@@ -1,0 +1,39 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus the DESIGN.md ablations and bechamel
+   micro-benchmarks.
+
+   Usage:
+     main.exe                 run everything at quick (laptop) scale
+     main.exe --paper         only the paper's tables/figures
+     main.exe --full          paper-scale sizes (slower)
+     main.exe fig10i fig12    selected experiments
+     main.exe micro           micro-benchmarks only
+     main.exe --list          list experiment ids *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let scale = if full then Cq_bench.Setup.full else Cq_bench.Setup.quick in
+  let selected =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  if List.mem "--list" args then begin
+    List.iter print_endline (Cq_bench.Registry.ids ());
+    print_endline "micro"
+  end
+  else if selected <> [] then
+    List.iter
+      (fun id ->
+        if id = "micro" then Cq_bench.Micro.run ()
+        else
+          match Cq_bench.Registry.find id with
+          | Some e -> e.run scale
+          | None ->
+              Printf.eprintf "unknown experiment %S; try --list\n" id;
+              exit 1)
+      selected
+  else if List.mem "--paper" args then Cq_bench.Registry.run_paper scale
+  else begin
+    Cq_bench.Registry.run_all scale;
+    Cq_bench.Micro.run ()
+  end

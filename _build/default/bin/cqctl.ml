@@ -1,0 +1,111 @@
+(* cqctl — command-line front end for the hotspot continuous-query
+   system: run reproduction experiments, inspect workloads, query the
+   Zipf coverage model. *)
+
+open Cmdliner
+
+let scale_term =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's full sizes (slower).")
+  in
+  Term.(const (fun f -> if f then Cq_bench.Setup.full else Cq_bench.Setup.quick) $ full)
+
+(* ------------------------------ bench --------------------------------- *)
+
+let bench_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see $(b,list)); default: all.")
+  in
+  let run scale ids =
+    match ids with
+    | [] ->
+        Cq_bench.Registry.run_all scale;
+        Cq_bench.Micro.run ();
+        `Ok ()
+    | ids ->
+        let rec go = function
+          | [] -> `Ok ()
+          | "micro" :: rest ->
+              Cq_bench.Micro.run ();
+              go rest
+          | id :: rest -> (
+              match Cq_bench.Registry.find id with
+              | Some e ->
+                  e.run scale;
+                  go rest
+              | None -> `Error (false, Printf.sprintf "unknown experiment %S (try: cqctl list)" id))
+        in
+        go ids
+  in
+  let info = Cmd.info "bench" ~doc:"Run reproduction experiments (tables/figures/ablations)." in
+  Cmd.v info Term.(ret (const run $ scale_term $ ids))
+
+let list_cmd =
+  let run () =
+    List.iter print_endline (Cq_bench.Registry.ids ());
+    print_endline "micro"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ const ())
+
+(* ------------------------------ zipf ---------------------------------- *)
+
+let zipf_cmd =
+  let groups =
+    Arg.(value & opt int 5000 & info [ "groups" ] ~docv:"N" ~doc:"Number of stabbing groups.")
+  in
+  let beta = Arg.(value & opt float 1.0 & info [ "beta" ] ~doc:"Zipf exponent.") in
+  let target =
+    Arg.(value & opt float 0.7 & info [ "target" ] ~doc:"Coverage target in [0,1].")
+  in
+  let run groups beta target =
+    let k = Cq_engine.Zipf_model.groups_needed ~n_groups:groups ~beta ~target in
+    Printf.printf
+      "with %d groups and beta = %g, the top %d groups (%.1f%% of groups) cover %.1f%% of queries\n"
+      groups beta k
+      (100.0 *. float_of_int k /. float_of_int groups)
+      (100.0 *. Cq_engine.Zipf_model.coverage ~n_groups:groups ~beta ~top_k:k)
+  in
+  Cmd.v
+    (Cmd.info "zipf" ~doc:"Figure 2's hotspot-coverage model: groups needed for a coverage target.")
+    Term.(const run $ groups $ beta $ target)
+
+(* ----------------------------- workload -------------------------------- *)
+
+let workload_cmd =
+  let n = Arg.(value & opt int 20_000 & info [ "n" ] ~doc:"Number of query ranges.") in
+  let clusters = Arg.(value & opt int 40 & info [ "clusters" ] ~doc:"Cluster count.") in
+  let frac =
+    Arg.(value & opt float 0.8 & info [ "frac" ] ~doc:"Fraction of clustered ranges.")
+  in
+  let alpha = Arg.(value & opt float 0.005 & info [ "alpha" ] ~doc:"Hotspot threshold.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run n n_clusters frac alpha seed =
+    let rng = Cq_util.Rng.create seed in
+    let ranges =
+      Cq_relation.Workload.gen_clustered_ranges ~scattered_len:(10.0, 4.0) rng ~n ~n_clusters
+        ~clustered_frac:frac ~domain:(0.0, 10_000.0) ~cluster_halfwidth:60.0 ~len_mu:300.0
+        ~len_sigma:100.0
+    in
+    let queries = Cq_joins.Band_query.of_ranges ranges in
+    let tau = Hotspot_core.Stabbing.tau Cq_joins.Band_query.Elem.interval queries in
+    let module T = Hotspot_core.Hotspot_tracker.Make (Cq_joins.Band_query.Elem) in
+    let tr = T.create ~alpha () in
+    let _, dt = Cq_util.Clock.time (fun () -> Array.iter (fun q -> T.insert tr q) queries) in
+    Printf.printf "ranges              %d\n" n;
+    Printf.printf "tau (optimal)       %d\n" tau;
+    Printf.printf "hotspots (alpha=%g) %d\n" alpha (T.num_hotspots tr);
+    Printf.printf "hotspot coverage    %.1f%%\n" (100.0 *. T.coverage tr);
+    Printf.printf "scattered groups    %d\n" (T.scattered_groups tr);
+    Printf.printf "moves/update        %.3f (bound: 5)\n"
+      (float_of_int (T.moves tr) /. float_of_int (max 1 (T.updates tr)));
+    Printf.printf "build time          %.2fs (%.1fus/insert)\n" dt (1e6 *. dt /. float_of_int n)
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a clustered workload and report its hotspot structure.")
+    Term.(const run $ n $ clusters $ frac $ alpha $ seed)
+
+let main =
+  let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in
+  Cmd.group (Cmd.info "cqctl" ~version:"1.0.0" ~doc) [ bench_cmd; list_cmd; zipf_cmd; workload_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/coastal_defense.ml: Cq_engine Cq_interval Cq_util Format Hashtbl List Option

@@ -1,0 +1,1 @@
+examples/coastal_defense.mli:

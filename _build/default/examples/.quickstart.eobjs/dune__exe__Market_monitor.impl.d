@@ -1,0 +1,1 @@
+examples/market_monitor.ml: Array Cq_histogram Cq_interval Cq_joins Cq_util Float Format Hotspot_core List

@@ -1,0 +1,1 @@
+examples/market_monitor.mli:

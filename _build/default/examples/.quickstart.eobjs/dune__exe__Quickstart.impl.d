@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cq_engine Cq_interval Cq_relation Format

@@ -1,0 +1,1 @@
+examples/supply_demand.ml: Array Cq_engine Cq_interval Cq_util Float Format

@@ -1,0 +1,68 @@
+(* Quickstart: register continuous queries against the engine, stream
+   tuples into both relations, watch results arrive through callbacks.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module I = Cq_interval.Interval
+module Engine = Cq_engine.Engine
+
+let () =
+  print_endline "=== quickstart: continuous queries over R(A,B) ⋈ S(B,C) ===\n";
+
+  let engine = Engine.create ~alpha:0.2 () in
+
+  (* A band join: alert whenever an S tuple lands within ±5 of an R
+     tuple on the join attribute B.  The optional retraction callback
+     fires when a previously reported pair disappears. *)
+  let band_hits = ref 0 in
+  let _band =
+    Engine.subscribe_band engine
+      ~on_retract:(fun r s ->
+        Format.printf "  RETRACTED:     %a / %a@." Cq_relation.Tuple.pp_r r
+          Cq_relation.Tuple.pp_s s)
+      ~range:(I.make (-5.0) 5.0)
+      (fun r s ->
+        incr band_hits;
+        Format.printf "  band result:   %a within 5 of %a@." Cq_relation.Tuple.pp_r r
+          Cq_relation.Tuple.pp_s s)
+  in
+
+  (* An equality join with local selections: R.A must fall in [10, 20]
+     and S.C in [100, 200]. *)
+  let select_hits = ref 0 in
+  let sel =
+    Engine.subscribe_select engine ~range_a:(I.make 10.0 20.0) ~range_c:(I.make 100.0 200.0)
+      (fun r s ->
+        incr select_hits;
+        Format.printf "  select result: %a matches %a@." Cq_relation.Tuple.pp_r r
+          Cq_relation.Tuple.pp_s s)
+  in
+
+  (* Pre-load some S data (continuous queries report only future
+     changes, so loading is silent). *)
+  Engine.load_s engine [| (42.0, 150.0); (42.0, 999.0); (70.0, 120.0) |];
+
+  print_endline "insert r(A=15, B=42):";
+  ignore (Engine.insert_r engine ~a:15.0 ~b:42.0);
+
+  print_endline "insert r(A=50, B=68):";
+  ignore (Engine.insert_r engine ~a:50.0 ~b:68.0);
+
+  (* S-side arrivals are symmetric: they join against everything R has
+     seen so far. *)
+  print_endline "insert s(B=68, C=1):";
+  ignore (Engine.insert_s engine ~b:68.0 ~c:1.0);
+
+  (* Deleting a tuple retracts the results it contributed. *)
+  print_endline "\ndeleting r(A=50, B=68):";
+  let r_gone = { Cq_relation.Tuple.rid = 1; a = 50.0; b = 68.0 } in
+  (match Engine.delete_r engine r_gone with
+  | Some k -> Format.printf "  %d result(s) retracted@." k
+  | None -> print_endline "  tuple not found");
+
+  print_endline "\nunsubscribing the select query and re-sending:";
+  ignore (Engine.unsubscribe engine sel);
+  ignore (Engine.insert_r engine ~a:15.0 ~b:42.0);
+
+  Format.printf "\n%a@." Engine.pp_stats (Engine.stats engine);
+  Format.printf "band results: %d, select results: %d@." !band_hits !select_hits

@@ -1,0 +1,1 @@
+lib/bench/ablations.ml: Array Cq_index Cq_interval Cq_joins Cq_relation Cq_util Hotspot_core List Printf Report Setup

@@ -1,0 +1,1 @@
+lib/bench/bj_exps.ml: Array Cq_joins Cq_util Hotspot_core List Report Setup

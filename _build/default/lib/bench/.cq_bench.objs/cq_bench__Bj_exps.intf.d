@@ -1,0 +1,1 @@
+lib/bench/bj_exps.mli: Setup

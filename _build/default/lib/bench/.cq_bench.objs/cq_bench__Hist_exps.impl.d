@@ -1,0 +1,1 @@
+lib/bench/hist_exps.ml: Array Cq_engine Cq_histogram Cq_interval Cq_relation Cq_util Format Fun Hotspot_core List Printf Report Setup

@@ -1,0 +1,1 @@
+lib/bench/hist_exps.mli: Setup

@@ -1,0 +1,1 @@
+lib/bench/micro.ml: Analyze Array Bechamel Benchmark Cq_index Cq_interval Cq_joins Cq_relation Cq_util Hashtbl Hotspot_core List Measure Report Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+lib/bench/registry.ml: Ablations Bj_exps Cq_util Hist_exps List Printf Setup Sj_exps

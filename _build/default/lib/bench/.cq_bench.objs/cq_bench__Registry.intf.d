@@ -1,0 +1,1 @@
+lib/bench/registry.mli: Setup

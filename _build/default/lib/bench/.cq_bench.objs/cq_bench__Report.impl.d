@@ -1,0 +1,1 @@
+lib/bench/report.ml: Array Cq_util Float Format List Printf String

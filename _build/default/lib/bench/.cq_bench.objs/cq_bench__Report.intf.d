@@ -1,0 +1,1 @@
+lib/bench/report.mli: Format

@@ -1,0 +1,1 @@
+lib/bench/setup.ml: Array Cq_interval Cq_joins Cq_relation Cq_util Float

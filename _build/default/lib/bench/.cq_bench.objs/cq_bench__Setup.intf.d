@@ -1,0 +1,1 @@
+lib/bench/setup.mli: Cq_joins Cq_relation

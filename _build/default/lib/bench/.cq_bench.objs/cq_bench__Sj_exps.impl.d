@@ -1,0 +1,1 @@
+lib/bench/sj_exps.ml: Array Cq_interval Cq_joins Cq_relation Hotspot_core List Printf Report Setup

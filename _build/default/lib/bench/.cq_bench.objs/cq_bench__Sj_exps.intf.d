@@ -1,0 +1,1 @@
+lib/bench/sj_exps.mli: Setup

@@ -1,0 +1,138 @@
+(* Band-join experiments: Figures 10(i), 10(ii) and 11. *)
+
+module BJ = Cq_joins.Band_join
+module BQ = Cq_joins.Band_query
+
+let strategies : (module BJ.STRATEGY) list =
+  [ (module BJ.Douter); (module BJ.Qouter); (module BJ.Merge); (module BJ.Ssi) ]
+
+(* Identification throughput (output enumeration excluded, as in the
+   paper's measurements). *)
+let run_one (module S : BJ.STRATEGY) table queries events =
+  let st = S.create table queries in
+  let affected = ref 0 in
+  let warmup = max 1 (Array.length events / 10) in
+  let tput =
+    Report.throughput ~events ~warmup (fun r -> S.affected st r (fun _ -> incr affected))
+  in
+  (tput, !affected)
+
+let tau_of queries = Hotspot_core.Stabbing.tau (fun (q : BQ.t) -> q.range) queries
+
+(* ---------------------------- Figure 10(i) ---------------------------- *)
+
+let fig10i (scale : Setup.scale) =
+  Report.section "fig10i" "Band joins: throughput vs #queries";
+  Report.note "paper: BJ-Q collapses beyond ~1000 queries; BJ-D is flat but low";
+  Report.note "(scans S); BJ-MJ flat until ~50k then decays; BJ-SSI wins by orders";
+  Report.note "of magnitude and loses only ~3x over a 10^4-fold query increase.";
+  (* Sparse S.B values (coarse quantum) keep the per-event match
+     probability low — the regime where identification cost, not output
+     size, is measured (see EXPERIMENTS.md). *)
+  let quantum = 2000.0 in
+  let table = Setup.s_table ~quantum scale ~seed:1 in
+  let events = Setup.r_events ~quantum scale ~seed:2 ~n:(max 30 (scale.events / 4)) in
+  let sizes =
+    [ 50; 500; 5_000; scale.queries; scale.queries * 5 / 2 ] |> List.sort_uniq compare
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let queries = Setup.band_queries scale ~seed:3 ~n ~len_mu:400.0 ~len_min:150.0 () in
+        let tau = tau_of queries in
+        string_of_int n :: string_of_int tau
+        :: List.map
+             (fun s ->
+               let tput, _ = run_one s table queries events in
+               Report.fmt_throughput tput)
+             strategies)
+      sizes
+  in
+  Report.table
+    ~header:("queries" :: "tau" :: List.map (fun (module S : BJ.STRATEGY) -> S.name) strategies)
+    ~rows
+
+(* --------------------------- Figure 10(ii) ---------------------------- *)
+
+let fig10ii (scale : Setup.scale) =
+  Report.section "fig10ii" "Band joins: throughput vs number of stabbing groups";
+  Report.note "paper: BJ-D and BJ-MJ are insensitive to the group count; BJ-SSI";
+  Report.note "degrades linearly in tau yet still wins even at ~5000 groups.";
+  let n = scale.queries in
+  let pair : (module BJ.STRATEGY) list = [ (module BJ.Douter); (module BJ.Merge); (module BJ.Ssi) ] in
+  let rows =
+    List.map
+      (fun len_min ->
+        (* Scale the S.B quantum with the window length so the match
+           probability — hence the output-sensitive term — stays
+           constant while tau varies. *)
+        let quantum = len_min *. 13.0 in
+        let table = Setup.s_table ~quantum scale ~seed:1 in
+        let events = Setup.r_events ~quantum scale ~seed:2 ~n:(max 30 (scale.events / 4)) in
+        let queries =
+          Setup.band_queries scale ~seed:3 ~n ~len_mu:(len_min *. 1.7) ~len_min ()
+        in
+        let tau = tau_of queries in
+        string_of_int tau
+        :: List.map
+             (fun s ->
+               let tput, _ = run_one s table queries events in
+               Report.fmt_throughput tput)
+             pair)
+      [ 100.0; 33.0; 10.0; 3.3; 2.0 ]
+  in
+  Report.table
+    ~header:("tau" :: List.map (fun (module S : BJ.STRATEGY) -> S.name) pair)
+    ~rows
+
+(* ----------------------------- Figure 11 ------------------------------ *)
+
+let fig11 (scale : Setup.scale) =
+  Report.section "fig11" "Band joins: amortized index maintenance cost per query update";
+  Report.note "paper: BJ-Q maintains nothing; BJ-MJ updates a sorted list; BJ-D a";
+  Report.note "dynamic stabbing index; BJ-SSI (eps = 3) a (1+eps)-approximate";
+  Report.note "stabbing partition, costing only ~20%% over BJ-MJ.";
+  let table = Setup.s_table scale ~seed:1 in
+  let n = scale.queries in
+  let initial = Setup.band_queries scale ~seed:3 ~n ~len_mu:400.0 ~len_min:150.0 () in
+  let fresh = Setup.band_queries scale ~seed:4 ~n ~len_mu:400.0 ~len_min:150.0 () in
+  let fresh = Array.mapi (fun i (q : BQ.t) -> { q with qid = n + i }) fresh in
+  let rng = Cq_util.Rng.create 5 in
+  let measure name insert_q delete_q =
+    (* 50/50 insertion/deletion mix, as in the paper. *)
+    let live = Cq_util.Vec.create () in
+    Array.iter (fun q -> Cq_util.Vec.push live q) initial;
+    let next_fresh = ref 0 in
+    let updates = n in
+    let ns =
+      Report.time_per_op ~n:updates (fun _ ->
+          if (Cq_util.Rng.bool rng && !next_fresh < Array.length fresh)
+             || Cq_util.Vec.length live = 0
+          then begin
+            let q = fresh.(!next_fresh) in
+            incr next_fresh;
+            insert_q q;
+            Cq_util.Vec.push live q
+          end
+          else begin
+            let i = Cq_util.Rng.int rng (Cq_util.Vec.length live) in
+            let q = Cq_util.Vec.swap_remove live i in
+            if not (delete_q q) then failwith (name ^ ": delete of live query failed")
+          end)
+    in
+    ns
+  in
+  let rows = ref [] in
+  let bd = BJ.Douter.create table initial in
+  rows := [ "BJ-D"; Report.fmt_ns (measure "BJ-D" (BJ.Douter.insert_query bd) (BJ.Douter.delete_query bd)); "-" ] :: !rows;
+  let bq = BJ.Qouter.create table initial in
+  rows := [ "BJ-Q"; Report.fmt_ns (measure "BJ-Q" (BJ.Qouter.insert_query bq) (BJ.Qouter.delete_query bq)); "-" ] :: !rows;
+  let bm = BJ.Merge.create table initial in
+  rows := [ "BJ-MJ"; Report.fmt_ns (measure "BJ-MJ" (BJ.Merge.insert_query bm) (BJ.Merge.delete_query bm)); "-" ] :: !rows;
+  let bs = BJ.Ssi_dynamic.create_eps ~epsilon:3.0 table initial in
+  let ssi_ns = measure "BJ-SSI" (BJ.Ssi_dynamic.insert_query bs) (BJ.Ssi_dynamic.delete_query bs) in
+  rows :=
+    [ "BJ-SSI (eps=3)"; Report.fmt_ns ssi_ns; string_of_int (BJ.Ssi_dynamic.reconstructions bs) ]
+    :: !rows;
+  Report.table ~header:[ "strategy"; "amortized update time"; "reconstructions" ]
+    ~rows:(List.rev !rows)

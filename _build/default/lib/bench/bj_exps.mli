@@ -1,0 +1,5 @@
+(** Band-join experiments: Figures 10(i), 10(ii), 11. *)
+
+val fig10i : Setup.scale -> unit
+val fig10ii : Setup.scale -> unit
+val fig11 : Setup.scale -> unit

@@ -1,0 +1,6 @@
+(** Histogram experiment (Figure 12), the Figure-2 coverage model and
+    the Table-1 parameter sheet. *)
+
+val fig12 : Setup.scale -> unit
+val fig2 : Setup.scale -> unit
+val table1 : Setup.scale -> unit

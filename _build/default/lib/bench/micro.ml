@@ -1,0 +1,107 @@
+(* Bechamel micro-benchmarks over the core operations: one Test.make
+   per operation, all collected into a single run. *)
+
+open Bechamel
+module I = Cq_interval.Interval
+module BQ = Cq_joins.Band_query
+module Fbt = Cq_relation.Table.Fbt
+module Itree = Cq_index.Interval_tree
+module P = Hotspot_core.Refined_partition.Make (BQ.Elem)
+module T = Hotspot_core.Hotspot_tracker.Make (BQ.Elem)
+
+let ranges n seed =
+  let rng = Cq_util.Rng.create seed in
+  Cq_relation.Workload.gen_clustered_ranges rng ~n ~n_clusters:30 ~clustered_frac:0.8
+    ~domain:(0.0, 10_000.0) ~cluster_halfwidth:80.0 ~len_mu:400.0 ~len_sigma:150.0
+
+let tests () =
+  let n = 10_000 in
+  let rs = ranges n 1 in
+  let queries = Array.mapi (fun qid range -> BQ.make ~qid ~range) rs in
+  (* Pre-built structures probed by the benchmarks. *)
+  let bt = Fbt.create () in
+  Array.iteri (fun i r -> Fbt.insert bt (I.midpoint r) i) rs;
+  let it = Itree.Mutable.create () in
+  Array.iteri (fun i r -> Itree.Mutable.add it r i) rs;
+  let part = P.create ~epsilon:1.0 () in
+  Array.iter (fun q -> P.insert part q) queries;
+  let tracker = T.create ~alpha:0.005 () in
+  Array.iter (fun q -> T.insert tracker q) (Array.sub queries 0 (n / 2));
+  let rng = Cq_util.Rng.create 99 in
+  let probe () = Cq_util.Dist.uniform rng ~lo:0.0 ~hi:10_000.0 in
+  let counter = ref n in
+  let rt = Cq_index.Rtree.create ~max_entries:8 () in
+  Array.iteri
+    (fun i r ->
+      Cq_index.Rtree.insert rt
+        (Cq_index.Rect.make ~x:r ~y:(I.of_midpoint ~mid:(I.midpoint r) ~len:(I.length r)))
+        i)
+    rs;
+  let sl = Cq_index.Interval_skiplist.create ~seed:7 () in
+  Array.iteri (fun i r -> Cq_index.Interval_skiplist.add sl r i) rs;
+  let pst = Cq_index.Priority_search_tree.Mutable.create ~seed:7 () in
+  Array.iteri (fun i r -> Cq_index.Priority_search_tree.Mutable.add pst r i) rs;
+  [
+    Test.make ~name:"rtree.point_stab"
+      (Staged.stage (fun () ->
+           ignore (Cq_index.Rtree.stab_count rt ~x:(probe ()) ~y:(probe ()))));
+    Test.make ~name:"interval_skiplist.stab"
+      (Staged.stage (fun () -> ignore (Cq_index.Interval_skiplist.stab_count sl (probe ()))));
+    Test.make ~name:"pst.stab_any"
+      (Staged.stage (fun () ->
+           ignore (Cq_index.Priority_search_tree.Mutable.stab_any pst (probe ()))));
+    Test.make ~name:"btree.seek_ge" (Staged.stage (fun () -> ignore (Fbt.seek_ge bt (probe ()))));
+    Test.make ~name:"btree.insert+delete"
+      (Staged.stage (fun () ->
+           let k = probe () in
+           Fbt.insert bt k (-1);
+           ignore (Fbt.remove_first bt k (fun v -> v = -1))));
+    Test.make ~name:"interval_tree.stab"
+      (Staged.stage (fun () -> ignore (Itree.Mutable.stab_count it (probe ()))));
+    Test.make ~name:"interval_tree.add+remove"
+      (Staged.stage (fun () ->
+           let iv = I.of_midpoint ~mid:(probe ()) ~len:300.0 in
+           Itree.Mutable.add it iv (-1);
+           ignore (Itree.Mutable.remove it iv (fun v -> v = -1))));
+    Test.make ~name:"canonical_partition.build(1k)"
+      (Staged.stage
+         (let sub = Array.sub queries 0 1000 in
+          fun () -> ignore (Hotspot_core.Stabbing.canonical BQ.Elem.interval sub)));
+    Test.make ~name:"refined_partition.insert+delete"
+      (Staged.stage (fun () ->
+           incr counter;
+           let q = BQ.make ~qid:!counter ~range:(I.of_midpoint ~mid:(probe ()) ~len:400.0) in
+           P.insert part q;
+           ignore (P.delete part q)));
+    Test.make ~name:"hotspot_tracker.insert+delete"
+      (Staged.stage (fun () ->
+           incr counter;
+           let q = BQ.make ~qid:!counter ~range:(I.of_midpoint ~mid:(probe ()) ~len:400.0) in
+           T.insert tracker q;
+           ignore (T.delete tracker q)));
+  ]
+
+let run () =
+  Report.section "micro" "Bechamel micro-benchmarks (ns per op, OLS on monotonic clock)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let est =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ e ] -> Report.fmt_ns e
+              | _ -> "n/a"
+            in
+            [ name; est ] :: acc)
+          analyzed [])
+      (tests ())
+    |> List.concat
+    |> List.sort compare
+  in
+  Report.table ~header:[ "operation"; "time/op" ] ~rows

@@ -1,0 +1,4 @@
+(** Bechamel micro-benchmarks over the core operations — one
+    [Test.make] per operation, all collected into a single run. *)
+
+val run : unit -> unit

@@ -1,0 +1,62 @@
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "================================================================\n%!"
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    print_string "  ";
+    List.iteri (fun i cell -> Printf.printf "%-*s  " widths.(i) cell) row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.init (List.length header) (fun i -> String.make widths.(i) '-'));
+  List.iter print_row rows;
+  print_string "\n";
+  flush stdout
+
+let throughput ~events ~warmup f =
+  let n = Array.length events in
+  if warmup >= n then invalid_arg "Report.throughput: no measured events";
+  for i = 0 to warmup - 1 do
+    f events.(i)
+  done;
+  let measured = n - warmup in
+  let t0 = Cq_util.Clock.now () in
+  for i = warmup to n - 1 do
+    f events.(i)
+  done;
+  let dt = Cq_util.Clock.now () -. t0 in
+  Cq_util.Clock.throughput ~events:measured ~seconds:dt
+
+let time_per_op ~n f =
+  if n <= 0 then invalid_arg "Report.time_per_op: n must be positive";
+  let t0 = Cq_util.Clock.now () in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  let dt = Cq_util.Clock.now () -. t0 in
+  dt /. float_of_int n *. 1e9
+
+let fmt_throughput x =
+  if x >= 1e6 then Printf.sprintf "%.2fM/s" (x /. 1e6)
+  else if x >= 1e3 then Printf.sprintf "%.1fk/s" (x /. 1e3)
+  else Printf.sprintf "%.1f/s" x
+
+let fmt_ns x =
+  if x >= 1e6 then Printf.sprintf "%.2fms" (x /. 1e6)
+  else if x >= 1e3 then Printf.sprintf "%.2fus" (x /. 1e3)
+  else Printf.sprintf "%.0fns" x
+
+let fmt_f x =
+  if Float.abs x >= 100.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.2f" x
+  else Printf.sprintf "%.4f" x

@@ -1,0 +1,23 @@
+(** Row/table printing and timing helpers shared by every experiment in
+    the benchmark harness. *)
+
+val section : string -> string -> unit
+(** [section id title] prints an experiment header. *)
+
+val note : ('a, Format.formatter, unit) format -> 'a
+(** Free-form annotation under the current section. *)
+
+val table : header:string list -> rows:string list list -> unit
+(** Aligned plain-text table. *)
+
+val throughput :
+  events:'a array -> warmup:int -> ('a -> unit) -> float
+(** Run the warmup prefix unmeasured, then time the rest; events/sec.
+    @raise Invalid_argument if there are no measured events. *)
+
+val time_per_op : n:int -> (int -> unit) -> float
+(** Average wall time per call, in nanoseconds. *)
+
+val fmt_throughput : float -> string
+val fmt_ns : float -> string
+val fmt_f : float -> string

@@ -1,0 +1,7 @@
+(** Select-join experiments: Figures 7(i), 7(ii), 8(iii), 8(iv), 9. *)
+
+val fig7i : Setup.scale -> unit
+val fig7ii : Setup.scale -> unit
+val fig8iii : Setup.scale -> unit
+val fig8iv : Setup.scale -> unit
+val fig9 : Setup.scale -> unit

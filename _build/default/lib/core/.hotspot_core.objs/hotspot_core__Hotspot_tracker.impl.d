@@ -1,0 +1,1 @@
+lib/core/hotspot_tracker.ml: Cq_interval Hashtbl Int List Map Option Partition_intf Printf Refined_partition Set

@@ -1,0 +1,1 @@
+lib/core/hotspot_tracker.mli: Partition_intf

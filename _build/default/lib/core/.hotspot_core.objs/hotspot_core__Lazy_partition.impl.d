@@ -1,0 +1,1 @@
+lib/core/lazy_partition.ml: Array Cq_index Cq_interval Float Hashtbl List Map Partition_intf Printf Set Stabbing

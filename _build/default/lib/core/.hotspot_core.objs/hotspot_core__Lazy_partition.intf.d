@@ -1,0 +1,1 @@
+lib/core/lazy_partition.mli: Partition_intf

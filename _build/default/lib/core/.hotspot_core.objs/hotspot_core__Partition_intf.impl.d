@@ -1,0 +1,1 @@
+lib/core/partition_intf.ml: Cq_interval

@@ -1,0 +1,1 @@
+lib/core/refined_partition.ml: Array Cq_index Cq_interval Cq_util Float Hashtbl List Map Option Partition_intf Printf Stabbing

@@ -1,0 +1,1 @@
+lib/core/refined_partition.mli: Partition_intf

@@ -1,0 +1,1 @@
+lib/core/ssi.ml: Array Partition_intf Stabbing

@@ -1,0 +1,1 @@
+lib/core/ssi.mli: Partition_intf

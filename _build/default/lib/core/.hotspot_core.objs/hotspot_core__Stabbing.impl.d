@@ -1,0 +1,1 @@
+lib/core/stabbing.ml: Array Cq_interval Cq_util Float List

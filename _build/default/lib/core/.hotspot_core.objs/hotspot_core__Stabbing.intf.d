@@ -1,0 +1,1 @@
+lib/core/stabbing.mli: Cq_interval

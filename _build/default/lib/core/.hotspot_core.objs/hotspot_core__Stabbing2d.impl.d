@@ -1,0 +1,1 @@
+lib/core/stabbing2d.ml: Array Cq_index Cq_util Int Stabbing

@@ -1,0 +1,1 @@
+lib/core/stabbing2d.mli: Cq_index

@@ -1,0 +1,79 @@
+(** Hotspot tracking — Section 2.2, Theorem 1.
+
+    Maintains a partition of the current interval set I into hotspot
+    groups [I_H] and a scattered remainder [S] (itself kept as a
+    near-optimal stabbing partition [I_S] by {!Refined_partition}),
+    preserving the paper's three invariants:
+
+    - (I1) [I_H] contains every α-hotspot, possibly some
+      (α/2)-hotspots, and nothing smaller — hence at most 2/α groups;
+    - (I2) the overall partition size is at most (1+ε)·τ(I) + 2/α;
+    - (I3) the amortised number of intervals moving between S and H is
+      at most 5 per update (the credit argument of Theorem 1) — checked
+      live by {!moves} accounting.
+
+    Consumers that keep auxiliary per-group structures (the SSI band
+    join and select-join processors) subscribe via [on_event] and
+    receive every membership change. *)
+
+module Make (E : Partition_intf.ELEMENT) : sig
+  type t
+
+  type event =
+    | Hotspot_created of int * E.t list
+        (** A scattered group reached α·|I| and was promoted; its
+            members just left S. *)
+    | Hotspot_destroyed of int * E.t list
+        (** A hotspot fell below (α/2)·|I|; its members return to S. *)
+    | Hotspot_added of int * E.t  (** New interval joined an existing hotspot. *)
+    | Hotspot_removed of int * E.t  (** Interval deleted from a hotspot. *)
+    | Scattered_added of E.t  (** Interval entered S (fresh insert or demotion). *)
+    | Scattered_removed of E.t  (** Interval left S (deletion or promotion). *)
+
+  val create :
+    ?alpha:float ->
+    ?epsilon:float ->
+    ?seed:int ->
+    ?on_event:(event -> unit) ->
+    unit ->
+    t
+  (** [alpha] is the hotspot threshold (default 0.01); [epsilon] the
+      scattered-partition slack (default 1.0).
+      @raise Invalid_argument unless [0 < alpha <= 1] and [epsilon > 0]. *)
+
+  val size : t -> int
+  val insert : t -> E.t -> unit
+  (** @raise Invalid_argument if already present. *)
+
+  val delete : t -> E.t -> bool
+  val mem : t -> E.t -> bool
+
+  val num_hotspots : t -> int
+  val hotspots : t -> (int * float * E.t list) list
+  (** [(gid, stabbing point, members)] per hotspot group. *)
+
+  val hotspot_of : t -> E.t -> int option
+  (** Hotspot gid holding the element, if it is a hotspot interval. *)
+
+  val hotspot_stab : t -> int -> float
+  (** Stabbing point of hotspot [gid].  @raise Not_found. *)
+
+  val scattered_count : t -> int
+  val scattered : t -> E.t list
+  val scattered_groups : t -> int
+  (** Current size of the scattered stabbing partition |I_S|. *)
+
+  val coverage : t -> float
+  (** Fraction of intervals inside hotspots (0 when empty). *)
+
+  val moves : t -> int
+  (** Total intervals moved into or out of S by promotions/demotions
+      over the whole history — the quantity bounded by (I3). *)
+
+  val updates : t -> int
+  (** Total insert/delete operations processed. *)
+
+  val check_invariants : t -> unit
+  (** Verify (I1), (I2), (I3) and structural consistency.
+      @raise Failure on violation. *)
+end

@@ -1,0 +1,18 @@
+(** The "simple strategy" of Section 2.3: lazy dynamic maintenance of a
+    near-optimal stabbing partition.
+
+    Insertions first try to join an existing group whose common
+    intersection overlaps the new interval (the paper's "more careful
+    implementation" that maintains each group's common intersection);
+    otherwise they open a singleton group.  Deletions shrink groups in
+    place.  A reconstruction stage — a full greedy rebuild — runs under
+    the paper's {e relaxed} trigger: only when the partition size
+    reaches [(1+epsilon) * (tau0 - m)], where [tau0] was the optimal
+    size at the last rebuild and [m] counts deletions since.  Lemma 3
+    guarantees the partition size never exceeds [(1+epsilon) * tau(I)].
+
+    Amortised cost is O(n log n / (epsilon * tau0)) per update — simple
+    and effective when queries are naturally clustered, but inferior to
+    {!Refined_partition}'s O(log n / epsilon) worst case. *)
+
+module Make (E : Partition_intf.ELEMENT) : Partition_intf.S with type elt = E.t

@@ -1,0 +1,69 @@
+(** Shared signatures for dynamic stabbing-partition maintainers.
+
+    A {e stabbing partition} of a set of intervals I is a partition
+    into groups such that each group has a nonempty common
+    intersection, hence a common {e stabbing point} (Definition 1).
+    Both maintainers in this library ({!Lazy_partition}, the simple
+    strategy of Section 2.3, and {!Refined_partition}, the Appendix-B
+    algorithm) satisfy [S] and keep the partition size within
+    [(1 + epsilon) * tau(I)] of optimal (Lemma 3 / Theorem 2). *)
+
+(** Elements carried by a partition: anything exposing an interval and
+    a total order whose primary criterion is the interval's left
+    endpoint (with some unique tiebreaker so equal ranges coexist). *)
+module type ELEMENT = sig
+  type t
+
+  val compare : t -> t -> int
+  val interval : t -> Cq_interval.Interval.t
+end
+
+(** Interface common to both dynamic maintainers. *)
+module type S = sig
+  type elt
+  type t
+
+  val create : ?epsilon:float -> ?seed:int -> unit -> t
+  (** [epsilon] is the slack of Lemma 2/3 (default 1.0; the paper's
+      band-join experiments use 3.0).  @raise Invalid_argument if
+      [epsilon <= 0]. *)
+
+  val size : t -> int
+  (** Number of intervals currently maintained. *)
+
+  val num_groups : t -> int
+  (** Current partition size |P|. *)
+
+  val insert : t -> elt -> unit
+  (** @raise Invalid_argument if the element is already present. *)
+
+  val delete : t -> elt -> bool
+  (** Remove an element; [false] if absent. *)
+
+  val mem : t -> elt -> bool
+
+  val groups : t -> (float * elt list) list
+  (** [(stabbing point, members)] for every group.  O(n); intended for
+      inspection, promotion scans and tests, not hot paths. *)
+
+  val iter_group_sizes : t -> (int -> int -> unit) -> unit
+  (** [iter_group_sizes t f] calls [f gid size] for every group.  Group
+      ids are never reused; reconstructions retire all current ids and
+      issue fresh ones, so a stale id simply stops resolving. *)
+
+  val group_members : t -> int -> elt list
+  (** Members of group [gid].  @raise Not_found for an unknown id. *)
+
+  val group_of : t -> elt -> int
+  (** Group id currently holding the element.  @raise Not_found. *)
+
+  val reconstructions : t -> int
+  (** How many reconstruction stages have run (maintenance-cost
+      telemetry for Figure 11). *)
+
+  val check_invariants : t -> unit
+  (** Every group's members share its stabbing point, every element is
+      in exactly one group, and the partition size respects the
+      [(1+epsilon)] bound against a freshly computed optimum.
+      @raise Failure on violation. *)
+end

@@ -1,0 +1,28 @@
+module type GROUP_STRUCTURE = sig
+  type elt
+  type t
+
+  val build : stab:float -> elt array -> t
+end
+
+module Make (E : Partition_intf.ELEMENT) (G : GROUP_STRUCTURE with type elt = E.t) = struct
+  type t = {
+    groups : (float * G.t) array; (* sorted by stabbing point *)
+    size : int;
+  }
+
+  let build elems =
+    let partition = Stabbing.canonical E.interval elems in
+    {
+      groups =
+        Array.map (fun (g : E.t Stabbing.group) -> (g.stab, G.build ~stab:g.stab g.members))
+          partition;
+      size = Array.length elems;
+    }
+
+  let size t = t.size
+  let num_groups t = Array.length t.groups
+  let iter t f = Array.iter (fun (stab, g) -> f ~stab g) t.groups
+  let fold t f acc = Array.fold_left (fun acc (stab, g) -> f acc ~stab g) acc t.groups
+  let stabbing_points t = Array.map fst t.groups
+end

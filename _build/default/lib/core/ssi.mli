@@ -1,0 +1,42 @@
+(** The stabbing set index (SSI) framework — Section 2.1.
+
+    An SSI derives one interval per continuous query, computes a
+    (canonical) stabbing partition, and attaches an arbitrary per-group
+    data structure to each group — "SSI is completely agnostic about
+    the underlying data structure used".  The band-join processor
+    instantiates the group structure with two sorted sequences; the
+    select-join processor instantiates it with an R-tree.
+
+    This module is the {e static} SSI used when indexing a fixed query
+    set (the paper's Figures 7, 8 and 10 apply SSI to all stabbing
+    groups of a static workload); dynamic SSIs over evolving hotspots
+    are driven by {!Hotspot_tracker} events instead. *)
+
+module type GROUP_STRUCTURE = sig
+  type elt
+  type t
+
+  val build : stab:float -> elt array -> t
+  (** Build the per-group structure from the group's members (given in
+      increasing left-endpoint order) and its stabbing point. *)
+end
+
+module Make (E : Partition_intf.ELEMENT) (G : GROUP_STRUCTURE with type elt = E.t) : sig
+  type t
+
+  val build : E.t array -> t
+  (** Compute the canonical stabbing partition of the elements and
+      build one [G.t] per group. *)
+
+  val size : t -> int
+  (** Number of indexed elements. *)
+
+  val num_groups : t -> int
+  (** τ(I): the stabbing number of the indexed set. *)
+
+  val iter : t -> (stab:float -> G.t -> unit) -> unit
+  (** Visit every group in increasing stabbing-point order. *)
+
+  val fold : t -> ('acc -> stab:float -> G.t -> 'acc) -> 'acc -> 'acc
+  val stabbing_points : t -> float array
+end

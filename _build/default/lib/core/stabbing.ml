@@ -1,0 +1,60 @@
+module I = Cq_interval.Interval
+
+type 'e group = {
+  stab : float;
+  isect : I.t;
+  members : 'e array;
+}
+
+let canonical interval_of elems =
+  let n = Array.length elems in
+  if n = 0 then [||]
+  else begin
+    let sorted = Array.copy elems in
+    Array.sort (fun a b -> I.compare_lo (interval_of a) (interval_of b)) sorted;
+    let groups = Cq_util.Vec.create () in
+    let start = ref 0 in
+    let isect = ref (interval_of sorted.(0)) in
+    let flush stop =
+      Cq_util.Vec.push groups
+        { stab = I.hi !isect; isect = !isect; members = Array.sub sorted !start (stop - !start) }
+    in
+    for i = 1 to n - 1 do
+      let iv = interval_of sorted.(i) in
+      let next = I.inter !isect iv in
+      if I.is_empty next then begin
+        flush i;
+        start := i;
+        isect := iv
+      end
+      else isect := next
+    done;
+    flush n;
+    Cq_util.Vec.to_array groups
+  end
+
+let tau interval_of elems = Array.length (canonical interval_of elems)
+
+let max_disjoint interval_of elems =
+  let n = Array.length elems in
+  if n = 0 then 0
+  else begin
+    (* Earliest-deadline greedy on right endpoints. *)
+    let sorted = Array.copy elems in
+    Array.sort (fun a b -> Float.compare (I.hi (interval_of a)) (I.hi (interval_of b))) sorted;
+    let count = ref 0 and frontier = ref neg_infinity in
+    Array.iter
+      (fun e ->
+        let iv = interval_of e in
+        if I.lo iv > !frontier then begin
+          incr count;
+          frontier := I.hi iv
+        end)
+      sorted;
+    !count
+  end
+
+let is_valid_partition interval_of groups =
+  List.for_all
+    (fun (p, members) -> List.for_all (fun e -> I.stabs (interval_of e) p) members)
+    groups

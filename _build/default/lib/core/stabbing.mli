@@ -1,0 +1,29 @@
+(** Canonical (optimal) stabbing partitions — Lemma 1.
+
+    The greedy algorithm scans intervals in increasing left-endpoint
+    order, keeping a running common intersection; whenever the next
+    interval misses it, the current group is emitted with its stabbing
+    point (we use the right endpoint of the common intersection, as
+    Appendix B does).  The result has the minimum possible number of
+    groups τ(I), in O(n log n) time. *)
+
+type 'e group = {
+  stab : float;  (** The group's stabbing point: every member contains it. *)
+  isect : Cq_interval.Interval.t;  (** Common intersection of the members. *)
+  members : 'e array;  (** In increasing left-endpoint order. *)
+}
+
+val canonical : ('e -> Cq_interval.Interval.t) -> 'e array -> 'e group array
+(** Canonical stabbing partition; groups appear in increasing stabbing
+    point order.  The input array is not modified. *)
+
+val tau : ('e -> Cq_interval.Interval.t) -> 'e array -> int
+(** τ(I): the optimal stabbing number (size of {!canonical}). *)
+
+val max_disjoint : ('e -> Cq_interval.Interval.t) -> 'e array -> int
+(** Maximum number of pairwise-disjoint intervals, computed by the
+    earliest-right-endpoint greedy.  By interval-graph duality this
+    equals τ(I); the test suite uses it as an independent oracle. *)
+
+val is_valid_partition : ('e -> Cq_interval.Interval.t) -> (float * 'e list) list -> bool
+(** Is every listed member stabbed by its group's stabbing point? *)

@@ -1,0 +1,42 @@
+module Rect = Cq_index.Rect
+
+type 'e group = {
+  px : float;
+  py : float;
+  members : 'e array;
+}
+
+let partition rect_of elems =
+  let xgroups = Stabbing.canonical (fun e -> (rect_of e).Rect.x) elems in
+  let out = Cq_util.Vec.create () in
+  Array.iter
+    (fun (xg : 'e Stabbing.group) ->
+      let ygroups = Stabbing.canonical (fun e -> (rect_of e).Rect.y) xg.members in
+      Array.iter
+        (fun (yg : 'e Stabbing.group) ->
+          Cq_util.Vec.push out { px = xg.stab; py = yg.stab; members = yg.members })
+        ygroups)
+    xgroups;
+  Cq_util.Vec.to_array out
+
+let size rect_of elems = Array.length (partition rect_of elems)
+
+let is_valid rect_of groups =
+  Array.for_all
+    (fun g ->
+      Array.length g.members > 0
+      && Array.for_all (fun e -> Rect.contains_point (rect_of e) ~x:g.px ~y:g.py) g.members)
+    groups
+
+let coverage_of_top rect_of elems ~top =
+  let n = Array.length elems in
+  if n = 0 then 0.0
+  else begin
+    let sizes =
+      partition rect_of elems |> Array.map (fun g -> Array.length g.members)
+    in
+    Array.sort (fun a b -> Int.compare b a) sizes;
+    let covered = ref 0 in
+    Array.iteri (fun i s -> if i < top then covered := !covered + s) sizes;
+    float_of_int !covered /. float_of_int n
+  end

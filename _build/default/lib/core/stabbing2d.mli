@@ -1,0 +1,33 @@
+(** Two-dimensional stabbing partitions — Section 6's first future-work
+    item ("extend the idea of clustering by stabbing partition to
+    multidimensional spaces, so that we can handle multi-attribute
+    selection conditions").
+
+    A 2-D stabbing partition groups rectangles so that every group has
+    a common {e stabbing point} (px, py) inside all its members.
+    Minimum piercing of rectangles is NP-hard (unlike intervals), so
+    the construction is the natural projection heuristic the paper's
+    footnote suggests: partition canonically on the x-projections, then
+    re-partition each x-group canonically on its y-projections.  The
+    result is at most τx·τy groups and is exact on workloads whose
+    clusters are axis-aligned (each cluster of overlapping rectangles
+    becomes one group). *)
+
+type 'e group = {
+  px : float;
+  py : float;  (** The group's stabbing point: inside every member. *)
+  members : 'e array;
+}
+
+val partition : ('e -> Cq_index.Rect.t) -> 'e array -> 'e group array
+(** The projection-heuristic 2-D stabbing partition. *)
+
+val size : ('e -> Cq_index.Rect.t) -> 'e array -> int
+(** Number of groups the heuristic produces. *)
+
+val is_valid : ('e -> Cq_index.Rect.t) -> 'e group array -> bool
+(** Every member contains its group's stabbing point, sizes add up. *)
+
+val coverage_of_top : ('e -> Cq_index.Rect.t) -> 'e array -> top:int -> float
+(** Fraction of rectangles inside the [top] largest groups — the 2-D
+    analogue of the hotspot coverage curves of Figure 2. *)

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Cq_interval Cq_joins Cq_relation Format Hashtbl Logs Printexc

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Cq_interval Cq_relation Format

@@ -1,0 +1,1 @@
+lib/engine/zipf_model.mli:

@@ -1,0 +1,246 @@
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module BQ = Cq_joins.Band_query
+module BJ = Cq_joins.Band_join
+module SQ = Cq_joins.Select_query
+module SJ = Cq_joins.Select_join
+
+type subscription =
+  | Band of { fwd : BQ.t; bwd : BQ.t }
+  | Select of { fwd : SQ.t; bwd : SQ.t }
+
+type t = {
+  s_table : Table.s_table;
+  (* R encoded in S shape: B stays the join key, A rides in the C
+     slot.  S-side events are processed against this mirror with the
+     mirrored queries below. *)
+  r_mirror : Table.s_table;
+  band_fwd : BJ.Hotspot.t;
+  band_bwd : BJ.Hotspot.t;
+  select_fwd : SJ.Hotspot.t;
+  select_bwd : SJ.Hotspot.t;
+  band_cbs : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
+  select_cbs : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
+  band_retracts : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
+  select_retracts : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
+  mutable next_qid : int;
+  mutable next_rid : int;
+  mutable next_sid : int;
+  mutable events : int;
+  mutable results : int;
+}
+
+let create ?(alpha = 0.01) ?seed:_ () =
+  let s_table = Table.create_s () in
+  let r_mirror = Table.create_s () in
+  {
+    s_table;
+    r_mirror;
+    band_fwd = BJ.Hotspot.create_alpha ~alpha s_table [||];
+    band_bwd = BJ.Hotspot.create_alpha ~alpha r_mirror [||];
+    select_fwd = SJ.Hotspot.create_alpha ~alpha s_table [||];
+    select_bwd = SJ.Hotspot.create_alpha ~alpha r_mirror [||];
+    band_cbs = Hashtbl.create 64;
+    select_cbs = Hashtbl.create 64;
+    band_retracts = Hashtbl.create 64;
+    select_retracts = Hashtbl.create 64;
+    next_qid = 0;
+    next_rid = 0;
+    next_sid = 0;
+    events = 0;
+    results = 0;
+  }
+
+let fresh_qid t =
+  let q = t.next_qid in
+  t.next_qid <- q + 1;
+  q
+
+(* The mirrored band window: S.B - R.B ∈ [lo, hi] iff
+   R.B - S.B ∈ [-hi, -lo]. *)
+let negate_range r = I.make (-.I.hi r) (-.I.lo r)
+
+let subscribe_band t ?on_retract ~range cb =
+  let qid = fresh_qid t in
+  let fwd = BQ.make ~qid ~range in
+  let bwd = BQ.make ~qid ~range:(negate_range range) in
+  BJ.Hotspot.insert_query t.band_fwd fwd;
+  BJ.Hotspot.insert_query t.band_bwd bwd;
+  Hashtbl.replace t.band_cbs qid cb;
+  (match on_retract with Some f -> Hashtbl.replace t.band_retracts qid f | None -> ());
+  Band { fwd; bwd }
+
+let subscribe_select t ?on_retract ~range_a ~range_c cb =
+  let qid = fresh_qid t in
+  let fwd = SQ.make ~qid ~range_a ~range_c in
+  (* Mirror swaps the roles of the two selection axes. *)
+  let bwd = SQ.make ~qid ~range_a:range_c ~range_c:range_a in
+  SJ.Hotspot.insert_query t.select_fwd fwd;
+  SJ.Hotspot.insert_query t.select_bwd bwd;
+  Hashtbl.replace t.select_cbs qid cb;
+  (match on_retract with Some f -> Hashtbl.replace t.select_retracts qid f | None -> ());
+  Select { fwd; bwd }
+
+let unsubscribe t = function
+  | Band { fwd; bwd } ->
+      let ok = BJ.Hotspot.delete_query t.band_fwd fwd in
+      if ok then begin
+        ignore (BJ.Hotspot.delete_query t.band_bwd bwd);
+        Hashtbl.remove t.band_cbs fwd.BQ.qid;
+        Hashtbl.remove t.band_retracts fwd.BQ.qid
+      end;
+      ok
+  | Select { fwd; bwd } ->
+      let ok = SJ.Hotspot.delete_query t.select_fwd fwd in
+      if ok then begin
+        ignore (SJ.Hotspot.delete_query t.select_bwd bwd);
+        Hashtbl.remove t.select_cbs fwd.SQ.qid;
+        Hashtbl.remove t.select_retracts fwd.SQ.qid
+      end;
+      ok
+
+let band_query_count t = BJ.Hotspot.query_count t.band_fwd
+let select_query_count t = SJ.Hotspot.query_count t.select_fwd
+
+let log_src = Logs.Src.create "cq.engine" ~doc:"continuous-query engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* A misbehaving subscriber must not break event processing for
+   everyone else: callback exceptions are contained and logged. *)
+let protected cb r s =
+  try cb r s
+  with exn ->
+    Log.warn (fun m -> m "subscriber callback raised %s" (Printexc.to_string exn))
+
+let deliver_band t (q : BQ.t) r s =
+  (match Hashtbl.find_opt t.band_cbs q.qid with
+  | Some cb -> protected cb r s
+  | None -> ());
+  t.results <- t.results + 1
+
+let deliver_select t (q : SQ.t) r s =
+  (match Hashtbl.find_opt t.select_cbs q.qid with
+  | Some cb -> protected cb r s
+  | None -> ());
+  t.results <- t.results + 1
+
+let insert_r t ~a ~b =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let r = { Tuple.rid; a; b } in
+  t.events <- t.events + 1;
+  let before = t.results in
+  BJ.Hotspot.process_r t.band_fwd r (fun q s -> deliver_band t q r s);
+  SJ.Hotspot.process_r t.select_fwd r (fun q s -> deliver_select t q r s);
+  (* Make the tuple visible to future S-side events. *)
+  Table.insert_s t.r_mirror { Tuple.sid = rid; b; c = a };
+  (r, t.results - before)
+
+let decode_r (ms : Tuple.s) = { Tuple.rid = ms.sid; a = ms.c; b = ms.b }
+
+let insert_s t ~b ~c =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let s = { Tuple.sid; b; c } in
+  t.events <- t.events + 1;
+  let before = t.results in
+  (* Process through the mirror: the new S-tuple plays the R role. *)
+  let pseudo_r = { Tuple.rid = sid; a = c; b } in
+  BJ.Hotspot.process_r t.band_bwd pseudo_r (fun q mirror ->
+      deliver_band t q (decode_r mirror) s);
+  SJ.Hotspot.process_r t.select_bwd pseudo_r (fun q mirror ->
+      deliver_select t q (decode_r mirror) s);
+  Table.insert_s t.s_table s;
+  (s, t.results - before)
+
+let load_s t rows =
+  Array.iter
+    (fun (b, c) ->
+      let sid = t.next_sid in
+      t.next_sid <- sid + 1;
+      Table.insert_s t.s_table { Tuple.sid; b; c })
+    rows
+
+let load_r t rows =
+  Array.iter
+    (fun (a, b) ->
+      let rid = t.next_rid in
+      t.next_rid <- rid + 1;
+      Table.insert_s t.r_mirror { Tuple.sid = rid; b; c = a })
+    rows
+
+(* The result pairs a tuple contributed are recomputed by the same
+   group-processing machinery that found them at insertion time; each
+   becomes a retraction. *)
+let delete_r t (r : Tuple.r) =
+  let mirror = { Tuple.sid = r.rid; b = r.b; c = r.a } in
+  if not (Table.delete_s t.r_mirror mirror) then None
+  else begin
+    t.events <- t.events + 1;
+    let count = ref 0 in
+    BJ.Hotspot.process_r t.band_fwd r (fun q s ->
+        incr count;
+        match Hashtbl.find_opt t.band_retracts q.BQ.qid with
+        | Some f -> protected f r s
+        | None -> ());
+    SJ.Hotspot.process_r t.select_fwd r (fun q s ->
+        incr count;
+        match Hashtbl.find_opt t.select_retracts q.SQ.qid with
+        | Some f -> protected f r s
+        | None -> ());
+    Some !count
+  end
+
+let delete_s t (s : Tuple.s) =
+  if not (Table.delete_s t.s_table s) then None
+  else begin
+    t.events <- t.events + 1;
+    let count = ref 0 in
+    let pseudo_r = { Tuple.rid = s.sid; a = s.c; b = s.b } in
+    BJ.Hotspot.process_r t.band_bwd pseudo_r (fun q mirror ->
+        incr count;
+        match Hashtbl.find_opt t.band_retracts q.BQ.qid with
+        | Some f -> protected f (decode_r mirror) s
+        | None -> ());
+    SJ.Hotspot.process_r t.select_bwd pseudo_r (fun q mirror ->
+        incr count;
+        match Hashtbl.find_opt t.select_retracts q.SQ.qid with
+        | Some f -> protected f (decode_r mirror) s
+        | None -> ());
+    Some !count
+  end
+
+type stats = {
+  r_size : int;
+  s_size : int;
+  events_processed : int;
+  results_delivered : int;
+  band_hotspots : int;
+  band_coverage : float;
+  select_hotspots : int;
+  select_coverage : float;
+}
+
+let stats t =
+  {
+    r_size = Table.s_size t.r_mirror;
+    s_size = Table.s_size t.s_table;
+    events_processed = t.events;
+    results_delivered = t.results;
+    band_hotspots = BJ.Hotspot.num_hotspots t.band_fwd;
+    band_coverage = BJ.Hotspot.coverage t.band_fwd;
+    select_hotspots = SJ.Hotspot.num_hotspots t.select_fwd;
+    select_coverage = SJ.Hotspot.coverage t.select_fwd;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>|R| = %d, |S| = %d@,\
+     events processed   %d@,\
+     results delivered  %d@,\
+     band hotspots      %d (coverage %.1f%%)@,\
+     select hotspots    %d (coverage %.1f%%)@]"
+    s.r_size s.s_size s.events_processed s.results_delivered s.band_hotspots
+    (100.0 *. s.band_coverage) s.select_hotspots (100.0 *. s.select_coverage)

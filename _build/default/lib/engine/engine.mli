@@ -1,0 +1,94 @@
+(** A continuous-query engine over the two-relation schema R(A,B),
+    S(B,C), tying the whole stack together: hotspot-tracked SSI
+    processing for both band joins and equality joins with local
+    selections, per-query result callbacks, and full symmetry — both
+    R-side and S-side insertions generate results.
+
+    S-side events are processed by the paper's "symmetric" argument
+    through mirrored state: the engine keeps R encoded as a second
+    S-shaped table (B as the join key, A in the C slot) together with
+    mirrored queries (band windows negated, rangeA/rangeC swapped), so
+    a new S-tuple is processed by the very same SSI machinery with the
+    roles of the relations exchanged. *)
+
+type t
+
+type subscription
+(** Handle for cancelling a registered continuous query. *)
+
+val create : ?alpha:float -> ?seed:int -> unit -> t
+(** [alpha] is the hotspot threshold passed to the trackers (default
+    0.01). *)
+
+(** {2 Continuous queries} *)
+
+val subscribe_band :
+  t ->
+  ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  range:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  subscription
+(** Register [R ⋈_{S.B−R.B ∈ range} S]; the callback fires once per
+    new result pair, for events on either side.  [on_retract] fires
+    once per result pair that {e disappears} when a tuple is deleted
+    (the paper's "changes between Q(D_i) and Q(D_{i-1})" include
+    removals). *)
+
+val subscribe_select :
+  t ->
+  ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  range_a:Cq_interval.Interval.t ->
+  range_c:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  subscription
+(** Register [σ_{A∈range_a} R ⋈_{B} σ_{C∈range_c} S]. *)
+
+(** Subscriber callbacks are isolated: an exception raised by one
+    callback is logged (source ["cq.engine"]) and does not disturb
+    event processing or other subscribers. *)
+
+val unsubscribe : t -> subscription -> bool
+
+val band_query_count : t -> int
+val select_query_count : t -> int
+
+(** {2 Data events} *)
+
+val insert_r : t -> a:float -> b:float -> Cq_relation.Tuple.r * int
+(** Append an R-tuple: runs all affected continuous queries, invokes
+    their callbacks, stores the tuple for future S-side events.
+    Returns the tuple and the number of results delivered. *)
+
+val insert_s : t -> b:float -> c:float -> Cq_relation.Tuple.s * int
+(** Symmetric S-side insertion. *)
+
+val delete_r : t -> Cq_relation.Tuple.r -> int option
+(** Delete a previously inserted R tuple: every result pair it
+    contributed is retracted through the [on_retract] callbacks.
+    Returns the number of retractions, or [None] if the tuple was not
+    present. *)
+
+val delete_s : t -> Cq_relation.Tuple.s -> int option
+
+val load_s : t -> (float * float) array -> unit
+(** Bulk-load initial S contents (no results are generated, matching
+    the continuous-query semantics of registering against a database
+    state). *)
+
+val load_r : t -> (float * float) array -> unit
+
+(** {2 Introspection} *)
+
+type stats = {
+  r_size : int;
+  s_size : int;
+  events_processed : int;
+  results_delivered : int;
+  band_hotspots : int;
+  band_coverage : float;
+  select_hotspots : int;
+  select_coverage : float;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

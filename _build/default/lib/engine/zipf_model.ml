@@ -1,0 +1,23 @@
+let weights ~n_groups ~beta = Cq_util.Dist.zipf_weights ~n:n_groups ~beta
+
+let coverage ~n_groups ~beta ~top_k =
+  if n_groups <= 0 then invalid_arg "Zipf_model.coverage: n_groups must be positive";
+  if top_k < 0 then invalid_arg "Zipf_model.coverage: top_k must be non-negative";
+  let w = weights ~n_groups ~beta in
+  let k = min top_k n_groups in
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. w.(i)
+  done;
+  !acc
+
+let series ~n_groups ~beta ~ks = List.map (fun k -> (k, coverage ~n_groups ~beta ~top_k:k)) ks
+
+let groups_needed ~n_groups ~beta ~target =
+  let w = weights ~n_groups ~beta in
+  let acc = ref 0.0 and k = ref 0 in
+  while !acc < target && !k < n_groups do
+    acc := !acc +. w.(!k);
+    incr k
+  done;
+  !k

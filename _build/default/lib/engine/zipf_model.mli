@@ -1,0 +1,17 @@
+(** The Zipf hotspot-coverage model of Figure 2.
+
+    If stabbing-group sizes follow a Zipf law with exponent beta (the
+    k-th largest group holds a share proportional to k^-beta), the
+    paper observes that a small number of top groups covers most
+    queries — the motivation for tracking only the α-hotspots. *)
+
+val coverage : n_groups:int -> beta:float -> top_k:int -> float
+(** Fraction of all queries covered by the [top_k] largest groups
+    among [n_groups] Zipf-distributed groups.
+    @raise Invalid_argument if [n_groups <= 0] or [top_k < 0]. *)
+
+val series : n_groups:int -> beta:float -> ks:int list -> (int * float) list
+(** [(k, coverage)] rows for Figure 2's curves. *)
+
+val groups_needed : n_groups:int -> beta:float -> target:float -> int
+(** Smallest k whose top-k coverage reaches [target] (in [0,1]). *)

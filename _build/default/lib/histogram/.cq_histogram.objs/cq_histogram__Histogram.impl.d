@@ -1,0 +1,1 @@
+lib/histogram/histogram.ml: Array Cq_util Float List Step_fn

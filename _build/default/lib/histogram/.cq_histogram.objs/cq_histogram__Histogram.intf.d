@@ -1,0 +1,1 @@
+lib/histogram/histogram.mli: Step_fn

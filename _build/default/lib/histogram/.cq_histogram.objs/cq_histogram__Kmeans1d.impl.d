@@ -1,0 +1,1 @@
+lib/histogram/kmeans1d.ml: Array Float

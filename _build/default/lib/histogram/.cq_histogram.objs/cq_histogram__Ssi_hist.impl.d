@@ -1,0 +1,1 @@
+lib/histogram/ssi_hist.ml: Array Cq_interval Float Fun Hotspot_core Int Kmeans1d List Step_fn

@@ -1,0 +1,1 @@
+lib/histogram/ssi_hist.mli: Cq_interval Step_fn

@@ -1,0 +1,1 @@
+lib/histogram/step_fn.ml: Array Cq_interval Cq_util Float List

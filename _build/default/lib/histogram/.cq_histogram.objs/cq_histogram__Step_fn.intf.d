@@ -1,0 +1,1 @@
+lib/histogram/step_fn.mli: Cq_interval

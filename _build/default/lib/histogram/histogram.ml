@@ -1,0 +1,229 @@
+type t = {
+  bounds : float array;
+  values : float array;
+}
+
+let num_buckets t = Array.length t.values
+
+let eval t x =
+  let k = num_buckets t in
+  if k = 0 || x < t.bounds.(0) || x >= t.bounds.(k) then 0.0
+  else begin
+    (* Rightmost boundary <= x. *)
+    let lo = ref 0 and hi = ref (k - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.bounds.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    t.values.(!lo)
+  end
+
+let of_step_fn f =
+  let pieces = Step_fn.breaks f in
+  let n = Array.length pieces in
+  if n = 0 then { bounds = [| 0.0; 1.0 |]; values = [| 0.0 |] }
+  else begin
+    let bounds = Array.make (n + 1) 0.0 in
+    let values = Array.make n 0.0 in
+    Array.iteri
+      (fun i (x, v) ->
+        bounds.(i) <- x;
+        values.(i) <- v)
+      pieces;
+    (* Last piece extends conceptually to +inf; close it just past the
+       final break (its value is normally 0 in stabbing functions). *)
+    bounds.(n) <- Float.succ (fst pieces.(n - 1));
+    { bounds; values }
+  end
+
+let to_step_fn t =
+  let k = num_buckets t in
+  let pairs = Array.init (k + 1) (fun i ->
+      if i < k then (t.bounds.(i), t.values.(i)) else (t.bounds.(k), 0.0))
+  in
+  Step_fn.of_breaks pairs
+
+(* Visit the refinement of [lo, hi) induced by both the histogram
+   boundaries and the step function breaks: [f seg_lo seg_hi h_val
+   f_val] per constant piece. *)
+let iter_refinement t f ~lo ~hi k =
+  let cuts =
+    Array.to_list t.bounds @ (Step_fn.breaks f |> Array.to_list |> List.map fst)
+    |> List.filter (fun x -> x > lo && x < hi)
+    |> List.sort_uniq Float.compare
+  in
+  let xs = (lo :: cuts) @ [ hi ] in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        k a b (eval t a) (Step_fn.eval f a);
+        go rest
+    | _ -> ()
+  in
+  go xs
+
+let mean_squared_rel_error t f ~lo ~hi =
+  if hi <= lo then invalid_arg "Histogram.mean_squared_rel_error: empty domain";
+  let total = ref 0.0 in
+  iter_refinement t f ~lo ~hi (fun a b hv fv ->
+      let denom = Float.max fv 1.0 in
+      let e = (hv -. fv) /. denom in
+      total := !total +. (e *. e *. (b -. a)));
+  !total /. (hi -. lo)
+
+let avg_rel_error_on t f ~probes =
+  let n = Array.length probes in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let fv = Step_fn.eval f x in
+        let hv = eval t x in
+        total := !total +. (Float.abs (hv -. fv) /. Float.max fv 1.0))
+      probes;
+    !total /. float_of_int n
+  end
+
+let equal_width f ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.equal_width: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.equal_width: empty domain";
+  let width = (hi -. lo) /. float_of_int buckets in
+  let bounds = Array.init (buckets + 1) (fun i -> lo +. (float_of_int i *. width)) in
+  let sums = Array.make buckets 0.0 in
+  (* Average of f over each bucket, integrated exactly. *)
+  let skeleton = { bounds; values = Array.make buckets 0.0 } in
+  iter_refinement skeleton f ~lo ~hi (fun a b _ fv ->
+      let bucket = min (buckets - 1) (int_of_float ((a -. lo) /. width)) in
+      sums.(bucket) <- sums.(bucket) +. (fv *. (b -. a)));
+  { bounds; values = Array.map (fun s -> s /. width) sums }
+
+let equal_depth f ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.equal_depth: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.equal_depth: empty domain";
+  (* Total mass and per-segment masses over [lo, hi). *)
+  let inner =
+    Step_fn.breaks f |> Array.to_list |> List.map fst |> List.filter (fun x -> x > lo && x < hi)
+  in
+  let xs = Array.of_list ((lo :: inner) @ [ hi ]) in
+  let m = Array.length xs - 1 in
+  let masses = Array.init m (fun i -> Step_fn.eval f xs.(i) *. (xs.(i + 1) -. xs.(i))) in
+  let total = Array.fold_left ( +. ) 0.0 masses in
+  if total <= 0.0 then
+    (* Degenerate: fall back to one flat zero bucket. *)
+    { bounds = [| lo; hi |]; values = [| 0.0 |] }
+  else begin
+    let per = total /. float_of_int buckets in
+    let bounds = Cq_util.Vec.create () in
+    Cq_util.Vec.push bounds lo;
+    let acc = ref 0.0 and target = ref per in
+    for i = 0 to m - 1 do
+      let v = Step_fn.eval f xs.(i) in
+      let seg_end = xs.(i + 1) in
+      let x = ref xs.(i) in
+      (* A heavy segment can close several buckets. *)
+      while
+        !target < total -. 1e-9
+        && v > 0.0
+        && !acc +. ((seg_end -. !x) *. v) >= !target -. 1e-12
+      do
+        let need = (!target -. !acc) /. v in
+        x := !x +. need;
+        acc := !target;
+        if !x > lo && !x < hi then Cq_util.Vec.push bounds !x;
+        target := !target +. per
+      done;
+      acc := !acc +. ((seg_end -. !x) *. v)
+    done;
+    Cq_util.Vec.push bounds hi;
+    let bounds = Cq_util.Vec.to_array bounds in
+    (* Deduplicate identical boundaries (possible with zero-width
+       buckets on spikes). *)
+    let bounds =
+      Array.of_list
+        (List.sort_uniq Float.compare (Array.to_list bounds))
+    in
+    let k = Array.length bounds - 1 in
+    let values = Array.make k 0.0 in
+    let skeleton = { bounds; values } in
+    let sums = Array.make k 0.0 in
+    iter_refinement skeleton f ~lo ~hi (fun a b _ fv ->
+        (* Locate the bucket of [a, b). *)
+        let idx = ref 0 in
+        for j = 0 to k - 1 do
+          if bounds.(j) <= a then idx := j
+        done;
+        sums.(!idx) <- sums.(!idx) +. (fv *. (b -. a)));
+    {
+      bounds;
+      values = Array.init k (fun j -> sums.(j) /. Float.max 1e-300 (bounds.(j + 1) -. bounds.(j)));
+    }
+  end
+
+let optimal f ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.optimal: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.optimal: empty domain";
+  (* Segments of fI within [lo, hi): x-boundaries and values. *)
+  let inner =
+    Step_fn.breaks f |> Array.to_list |> List.map fst
+    |> List.filter (fun x -> x > lo && x < hi)
+  in
+  let xs = Array.of_list ((lo :: inner) @ [ hi ]) in
+  let m = Array.length xs - 1 in
+  let ys = Array.init m (fun i -> Step_fn.eval f xs.(i)) in
+  (* Relative-error weights: w_l = len_l * phi / y_l^2 with phi
+     uniform; the constant 1/(hi-lo) does not change the argmin. *)
+  let ws =
+    Array.init m (fun i ->
+        let d = Float.max ys.(i) 1.0 in
+        (xs.(i + 1) -. xs.(i)) /. (d *. d))
+  in
+  let k = min buckets m in
+  (* Buckets must be contiguous in x (not in y), so this is a direct
+     DP over segments rather than a call into Kmeans1d.  Prefix sums
+     make the weighted relative-error cost of a bucket i..j O(1). *)
+  let w = Array.make (m + 1) 0.0 in
+  let wy = Array.make (m + 1) 0.0 in
+  let wyy = Array.make (m + 1) 0.0 in
+  for i = 0 to m - 1 do
+    w.(i + 1) <- w.(i) +. ws.(i);
+    wy.(i + 1) <- wy.(i) +. (ws.(i) *. ys.(i));
+    wyy.(i + 1) <- wyy.(i) +. (ws.(i) *. ys.(i) *. ys.(i))
+  done;
+  let seg_cost i j =
+    let sw = w.(j + 1) -. w.(i) in
+    let swy = wy.(j + 1) -. wy.(i) in
+    let swyy = wyy.(j + 1) -. wyy.(i) in
+    if sw <= 0.0 then (0.0, 0.0)
+    else (swy /. sw, Float.max 0.0 (swyy -. (swy *. swy /. sw)))
+  in
+  let dp = Array.make_matrix (k + 1) (m + 1) infinity in
+  let arg = Array.make_matrix (k + 1) (m + 1) 0 in
+  dp.(0).(0) <- 0.0;
+  for b = 1 to k do
+    for j = 1 to m do
+      for i = b - 1 to j - 1 do
+        if dp.(b - 1).(i) < infinity then begin
+          let _, cst = seg_cost i (j - 1) in
+          let total = dp.(b - 1).(i) +. cst in
+          if total < dp.(b).(j) then begin
+            dp.(b).(j) <- total;
+            arg.(b).(j) <- i
+          end
+        end
+      done
+    done
+  done;
+  let cut = Array.make (k + 1) 0 in
+  cut.(k) <- m;
+  let j = ref m in
+  for b = k downto 1 do
+    let i = arg.(b).(!j) in
+    cut.(b - 1) <- i;
+    j := i
+  done;
+  let bounds = Array.init (k + 1) (fun b -> xs.(cut.(b))) in
+  let values =
+    Array.init k (fun b ->
+        if cut.(b) >= cut.(b + 1) then 0.0 else fst (seg_cost cut.(b) (cut.(b + 1) - 1)))
+  in
+  { bounds; values }

@@ -1,0 +1,141 @@
+type result = {
+  boundaries : int array;
+  centers : float array;
+  cost : float;
+}
+
+let validate ~pts ~weights ~k =
+  let m = Array.length pts in
+  if k <= 0 then invalid_arg "Kmeans1d: k must be positive";
+  if Array.length weights <> m then invalid_arg "Kmeans1d: weights length mismatch";
+  for i = 1 to m - 1 do
+    if pts.(i - 1) > pts.(i) then invalid_arg "Kmeans1d: points must be sorted"
+  done;
+  Array.iter (fun w -> if w < 0.0 then invalid_arg "Kmeans1d: negative weight") weights
+
+(* Prefix sums of w, w*x, w*x^2 make any contiguous cluster's optimal
+   cost O(1): cost = sum(w x^2) - (sum(w x))^2 / sum(w). *)
+type prefix = { w : float array; wx : float array; wxx : float array }
+
+let prefixes ~pts ~weights =
+  let m = Array.length pts in
+  let w = Array.make (m + 1) 0.0 in
+  let wx = Array.make (m + 1) 0.0 in
+  let wxx = Array.make (m + 1) 0.0 in
+  for i = 0 to m - 1 do
+    w.(i + 1) <- w.(i) +. weights.(i);
+    wx.(i + 1) <- wx.(i) +. (weights.(i) *. pts.(i));
+    wxx.(i + 1) <- wxx.(i) +. (weights.(i) *. pts.(i) *. pts.(i))
+  done;
+  { w; wx; wxx }
+
+let segment p ~i ~j =
+  let sw = p.w.(j + 1) -. p.w.(i) in
+  let swx = p.wx.(j + 1) -. p.wx.(i) in
+  let swxx = p.wxx.(j + 1) -. p.wxx.(i) in
+  if sw <= 0.0 then (0.0, 0.0)
+  else
+    let mean = swx /. sw in
+    (* Guard against tiny negative round-off. *)
+    (mean, Float.max 0.0 (swxx -. (swx *. swx /. sw)))
+
+let cluster_cost ~pts ~weights ~i ~j =
+  let p = prefixes ~pts ~weights in
+  segment p ~i ~j
+
+let finalize ~pts ~weights ~boundaries =
+  let p = prefixes ~pts ~weights in
+  let k = Array.length boundaries - 1 in
+  let centers = Array.make k 0.0 in
+  let cost = ref 0.0 in
+  for c = 0 to k - 1 do
+    let i = boundaries.(c) and j = boundaries.(c + 1) - 1 in
+    if i <= j then begin
+      let mean, cst = segment p ~i ~j in
+      centers.(c) <- mean;
+      cost := !cost +. cst
+    end
+  done;
+  { boundaries; centers; cost = !cost }
+
+let exact ~pts ~weights ~k =
+  validate ~pts ~weights ~k;
+  let m = Array.length pts in
+  if m = 0 then { boundaries = Array.make (k + 1) 0; centers = Array.make k 0.0; cost = 0.0 }
+  else begin
+    let k = min k m in
+    let p = prefixes ~pts ~weights in
+    (* dp.(b).(j): best cost of clustering points 0..j-1 into b
+       clusters; arg.(b).(j): start index of the last cluster. *)
+    let dp = Array.make_matrix (k + 1) (m + 1) infinity in
+    let arg = Array.make_matrix (k + 1) (m + 1) 0 in
+    dp.(0).(0) <- 0.0;
+    for b = 1 to k do
+      for j = 1 to m do
+        for i = b - 1 to j - 1 do
+          if dp.(b - 1).(i) < infinity then begin
+            let _, cst = segment p ~i ~j:(j - 1) in
+            let total = dp.(b - 1).(i) +. cst in
+            if total < dp.(b).(j) then begin
+              dp.(b).(j) <- total;
+              arg.(b).(j) <- i
+            end
+          end
+        done
+      done
+    done;
+    (* Backtrack. *)
+    let boundaries = Array.make (k + 1) 0 in
+    boundaries.(k) <- m;
+    let j = ref m in
+    for b = k downto 1 do
+      let i = arg.(b).(!j) in
+      boundaries.(b - 1) <- i;
+      j := i
+    done;
+    finalize ~pts ~weights ~boundaries
+  end
+
+let lloyd ?(max_iter = 50) ~pts ~weights ~k () =
+  validate ~pts ~weights ~k;
+  let m = Array.length pts in
+  if m = 0 then { boundaries = Array.make (k + 1) 0; centers = Array.make k 0.0; cost = 0.0 }
+  else begin
+    let k = min k m in
+    let p = prefixes ~pts ~weights in
+    (* Seed with evenly spread index boundaries. *)
+    let boundaries = Array.init (k + 1) (fun c -> c * m / k) in
+    let centers = Array.make k 0.0 in
+    let recenter () =
+      for c = 0 to k - 1 do
+        let i = boundaries.(c) and j = boundaries.(c + 1) - 1 in
+        if i <= j then centers.(c) <- fst (segment p ~i ~j)
+      done
+    in
+    recenter ();
+    let changed = ref true in
+    let iter = ref 0 in
+    while !changed && !iter < max_iter do
+      incr iter;
+      changed := false;
+      (* Reassign: on sorted points, the boundary between cluster c and
+         c+1 is where points flip to being closer to centers.(c+1). *)
+      for c = 1 to k - 1 do
+        let lo = boundaries.(c - 1) and hi = boundaries.(c + 1) in
+        (* Find the first index in [lo, hi) closer to centers.(c) than
+           to centers.(c-1). *)
+        let target = (centers.(c - 1) +. centers.(c)) /. 2.0 in
+        let a = ref lo and b = ref hi in
+        while !a < !b do
+          let mid = (!a + !b) / 2 in
+          if pts.(mid) < target then a := mid + 1 else b := mid
+        done;
+        if boundaries.(c) <> !a then begin
+          boundaries.(c) <- !a;
+          changed := true
+        end
+      done;
+      recenter ()
+    done;
+    finalize ~pts ~weights ~boundaries
+  end

@@ -1,0 +1,30 @@
+(** Weighted one-dimensional k-means, the clustering subroutine of the
+    SSI histogram (Section 3.3, Lemma 5).
+
+    Input points must be sorted (the histogram use case feeds the
+    values of a monotone step function, which are sorted by
+    construction); optimal clusters of sorted 1-D points are contiguous
+    runs, so a clustering is returned as segment boundaries. *)
+
+type result = {
+  boundaries : int array;
+      (** [k+1] indices into the point array: cluster j spans points
+          [boundaries.(j) .. boundaries.(j+1) - 1]. *)
+  centers : float array;  (** Weighted mean of each cluster. *)
+  cost : float;  (** Total weighted squared distance to the centers. *)
+}
+
+val cluster_cost : pts:float array -> weights:float array -> i:int -> j:int -> float * float
+(** [(weighted mean, cost)] of clustering points [i..j] (inclusive)
+    into one cluster — O(1) after internal prefix sums are built by
+    the callers below; exposed for tests. *)
+
+val exact : pts:float array -> weights:float array -> k:int -> result
+(** Optimal contiguous clustering by dynamic programming, O(m²k).
+    @raise Invalid_argument on unsorted points, nonpositive k, or
+    mismatched arrays. *)
+
+val lloyd :
+  ?max_iter:int -> pts:float array -> weights:float array -> k:int -> unit -> result
+(** The iterative heuristic (default 50 iterations), seeded with
+    evenly spread quantile boundaries.  Same validation as {!exact}. *)

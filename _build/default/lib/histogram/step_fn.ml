@@ -1,0 +1,126 @@
+module I = Cq_interval.Interval
+
+(* Canonical form: xs strictly increasing, ys.(i) is the value on
+   [xs.(i), xs.(i+1)); the value is 0 before xs.(0); consecutive ys
+   differ. *)
+type t = {
+  xs : float array;
+  ys : float array;
+}
+
+let zero = { xs = [||]; ys = [||] }
+
+let canonicalise pairs =
+  (* Drop no-op breaks (same value as the running value). *)
+  let out = Cq_util.Vec.create () in
+  let current = ref 0.0 in
+  Array.iter
+    (fun (x, v) ->
+      if v <> !current then begin
+        Cq_util.Vec.push out (x, v);
+        current := v
+      end)
+    pairs;
+  let arr = Cq_util.Vec.to_array out in
+  { xs = Array.map fst arr; ys = Array.map snd arr }
+
+let of_breaks pairs =
+  let n = Array.length pairs in
+  for i = 1 to n - 1 do
+    if fst pairs.(i - 1) >= fst pairs.(i) then
+      invalid_arg "Step_fn.of_breaks: x values must be strictly increasing"
+  done;
+  canonicalise pairs
+
+let of_intervals ivs =
+  (* Events: +1 at lo, -1 just after hi (closed interval semantics,
+     exact in floating point via Float.succ). *)
+  let events = Cq_util.Vec.create () in
+  Array.iter
+    (fun iv ->
+      if not (I.is_empty iv) then begin
+        Cq_util.Vec.push events (I.lo iv, 1);
+        Cq_util.Vec.push events (Float.succ (I.hi iv), -1)
+      end)
+    ivs;
+  Cq_util.Vec.sort (fun (a, _) (b, _) -> Float.compare a b) events;
+  let out = Cq_util.Vec.create () in
+  let level = ref 0 in
+  let i = ref 0 in
+  let n = Cq_util.Vec.length events in
+  while !i < n do
+    let x = fst (Cq_util.Vec.get events !i) in
+    while !i < n && fst (Cq_util.Vec.get events !i) = x do
+      level := !level + snd (Cq_util.Vec.get events !i);
+      incr i
+    done;
+    Cq_util.Vec.push out (x, float_of_int !level)
+  done;
+  canonicalise (Cq_util.Vec.to_array out)
+
+let eval t x =
+  (* Rightmost break <= x. *)
+  let n = Array.length t.xs in
+  if n = 0 || x < t.xs.(0) then 0.0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    t.ys.(!lo)
+  end
+
+let breaks t = Array.init (Array.length t.xs) (fun i -> (t.xs.(i), t.ys.(i)))
+
+let num_pieces t = Array.length t.xs
+
+let add a b =
+  let na = Array.length a.xs and nb = Array.length b.xs in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Cq_util.Vec.create () in
+    let ia = ref 0 and ib = ref 0 in
+    let va = ref 0.0 and vb = ref 0.0 in
+    while !ia < na || !ib < nb do
+      let xa = if !ia < na then a.xs.(!ia) else infinity in
+      let xb = if !ib < nb then b.xs.(!ib) else infinity in
+      let x = Float.min xa xb in
+      if xa = x then begin
+        va := a.ys.(!ia);
+        incr ia
+      end;
+      if xb = x then begin
+        vb := b.ys.(!ib);
+        incr ib
+      end;
+      Cq_util.Vec.push out (x, !va +. !vb)
+    done;
+    canonicalise (Cq_util.Vec.to_array out)
+  end
+
+let sum_all fns =
+  (* Balanced pairwise summation keeps the merge cost O(p log g). *)
+  let rec round = function
+    | [] -> zero
+    | [ f ] -> f
+    | fs ->
+        let rec pair = function
+          | a :: b :: rest -> add a b :: pair rest
+          | tail -> tail
+        in
+        round (pair fs)
+  in
+  round fns
+
+let clip t ~lo ~hi =
+  let v_lo = eval t lo in
+  let inside =
+    breaks t |> Array.to_list
+    |> List.filter (fun (x, _) -> x > lo && x < hi)
+  in
+  let pairs = ((lo, v_lo) :: inside) @ [ (hi, 0.0) ] in
+  canonicalise (Array.of_list pairs)
+
+let equal_on a b ~probes = Array.for_all (fun x -> eval a x = eval b x) probes

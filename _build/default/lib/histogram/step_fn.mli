@@ -1,0 +1,42 @@
+(** Right-continuous step functions over the reals, the common
+    currency of Section 3.3: the stabbing-count function fI(x) of an
+    interval set is a step function, histograms are step functions
+    with few pieces, and the SSI histogram is a sum of per-group step
+    functions. *)
+
+type t
+(** Piecewise-constant; 0 before the first breakpoint.  At a
+    breakpoint x with value v, f(y) = v for all y in [x, next). *)
+
+val zero : t
+
+val of_breaks : (float * float) array -> t
+(** [(x, value from x onward)] pairs; must be strictly increasing in x.
+    @raise Invalid_argument otherwise. *)
+
+val of_intervals : Cq_interval.Interval.t array -> t
+(** The stabbing-count function fI: fI(x) = |{i : lo_i <= x <= hi_i}|.
+    Exact everywhere, including at closed endpoints (the drop after an
+    interval's right endpoint happens at [Float.succ hi]). *)
+
+val eval : t -> float -> float
+(** O(log pieces). *)
+
+val breaks : t -> (float * float) array
+(** The canonical breakpoint representation (strictly increasing x,
+    consecutive values distinct). *)
+
+val num_pieces : t -> int
+
+val add : t -> t -> t
+(** Pointwise sum (breakpoint merge). *)
+
+val sum_all : t list -> t
+(** Fold of {!add} over the list (balanced, so summing g step
+    functions with p total pieces costs O(p log g)). *)
+
+val clip : t -> lo:float -> hi:float -> t
+(** Restrict to [lo, hi): 0 outside. *)
+
+val equal_on : t -> t -> probes:float array -> bool
+(** Test helper: pointwise equality on the probe set. *)

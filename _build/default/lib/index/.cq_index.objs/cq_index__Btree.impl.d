@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array List Option Printf

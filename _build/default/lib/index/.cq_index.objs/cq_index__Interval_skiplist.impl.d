@@ -1,0 +1,1 @@
+lib/index/interval_skiplist.ml: Array Cq_interval Cq_util Fun Hashtbl List Option Printf

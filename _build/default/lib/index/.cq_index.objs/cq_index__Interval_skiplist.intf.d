@@ -1,0 +1,1 @@
+lib/index/interval_skiplist.mli: Cq_interval

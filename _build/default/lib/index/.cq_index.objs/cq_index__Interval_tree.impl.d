@@ -1,0 +1,1 @@
+lib/index/interval_tree.ml: Cq_interval Float List Printf

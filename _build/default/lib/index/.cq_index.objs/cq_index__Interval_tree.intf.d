@@ -1,0 +1,1 @@
+lib/index/interval_tree.mli: Cq_interval

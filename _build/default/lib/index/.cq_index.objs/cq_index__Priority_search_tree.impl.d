@@ -1,0 +1,1 @@
+lib/index/priority_search_tree.ml: Cq_interval Cq_util Float List Printf

@@ -1,0 +1,1 @@
+lib/index/priority_search_tree.mli: Cq_interval Cq_util

@@ -1,0 +1,1 @@
+lib/index/rect.ml: Cq_interval Format

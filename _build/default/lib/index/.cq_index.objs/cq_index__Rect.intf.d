@@ -1,0 +1,1 @@
+lib/index/rect.mli: Cq_interval Format

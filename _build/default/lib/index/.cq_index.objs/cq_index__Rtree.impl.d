@@ -1,0 +1,1 @@
+lib/index/rtree.ml: Array Cq_util Float Printf Rect

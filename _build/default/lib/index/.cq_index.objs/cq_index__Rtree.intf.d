@@ -1,0 +1,1 @@
+lib/index/rtree.mli: Rect

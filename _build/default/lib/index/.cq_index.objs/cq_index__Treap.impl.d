@@ -1,0 +1,1 @@
+lib/index/treap.ml: Cq_interval Cq_util List Printf

@@ -1,0 +1,1 @@
+lib/index/treap.mli: Cq_interval Cq_util

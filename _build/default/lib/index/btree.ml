@@ -1,0 +1,545 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+(* Nodes store exactly-sized arrays that are replaced on update.  Node
+   fan-out is bounded by 2*order, so each update copies O(order) words;
+   this keeps the rebalancing code free of count/capacity bookkeeping
+   and of dummy array elements. *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let array_concat a b = Array.append a b
+
+module Make (K : ORDERED) = struct
+  type 'a leaf = {
+    mutable lkeys : K.t array;
+    mutable lvals : 'a array;
+    mutable lnext : 'a leaf option;
+    mutable lprev : 'a leaf option;
+  }
+
+  type 'a node =
+    | Leaf of 'a leaf
+    | Internal of 'a internal
+
+  and 'a internal = {
+    mutable seps : K.t array;
+    (* |kids| = |seps| + 1.  All keys in [kids.(i)] lie in
+       [seps.(i-1), seps.(i)] (closed on both sides; duplicates may
+       touch a separator from either side). *)
+    mutable kids : 'a node array;
+  }
+
+  type 'a t = {
+    mutable root : 'a node;
+    mutable size : int;
+    order : int; (* minimum occupancy b; max is 2b *)
+  }
+
+  let create ?(order = 16) () =
+    if order < 2 then invalid_arg "Btree.create: order must be >= 2";
+    { root = Leaf { lkeys = [||]; lvals = [||]; lnext = None; lprev = None }; size = 0; order }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  (* Number of separators <= key: the child index used for inserts
+     (duplicates go right) and for seek_le descents. *)
+  let child_right seps key =
+    let n = Array.length seps in
+    let lo = ref 0 and hi = ref n in
+    (* invariant: seps.(i) <= key for i < lo; seps.(i) > key for i >= hi *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare seps.(mid) key <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* First child index i such that seps.(i) >= key (else the last
+     child): the descent for seek_ge. *)
+  let child_left seps key =
+    let n = Array.length seps in
+    let lo = ref 0 and hi = ref n in
+    (* invariant: seps.(i) < key for i < lo; seps.(i) >= key for i >= hi *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare seps.(mid) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Position of the first key > [key] in a leaf (insert point keeping
+     duplicates contiguous, new duplicate rightmost). *)
+  let leaf_upper_bound keys key =
+    let n = Array.length keys in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Position of the first key >= [key] in a leaf. *)
+  let leaf_lower_bound keys key =
+    let n = Array.length keys in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* ------------------------------------------------------------------ *)
+  (* Insertion                                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Returns [Some (sep, right)] when the node split. *)
+  let rec insert_node t node key v : (K.t * 'a node) option =
+    match node with
+    | Leaf l ->
+        let i = leaf_upper_bound l.lkeys key in
+        l.lkeys <- array_insert l.lkeys i key;
+        l.lvals <- array_insert l.lvals i v;
+        let n = Array.length l.lkeys in
+        if n <= 2 * t.order then None
+        else begin
+          let mid = n / 2 in
+          let rkeys = Array.sub l.lkeys mid (n - mid) in
+          let rvals = Array.sub l.lvals mid (n - mid) in
+          let right = { lkeys = rkeys; lvals = rvals; lnext = l.lnext; lprev = Some l } in
+          (match l.lnext with Some nx -> nx.lprev <- Some right | None -> ());
+          l.lkeys <- Array.sub l.lkeys 0 mid;
+          l.lvals <- Array.sub l.lvals 0 mid;
+          l.lnext <- Some right;
+          Some (rkeys.(0), Leaf right)
+        end
+    | Internal nd -> (
+        let ci = child_right nd.seps key in
+        match insert_node t nd.kids.(ci) key v with
+        | None -> None
+        | Some (sep, right) ->
+            nd.seps <- array_insert nd.seps ci sep;
+            nd.kids <- array_insert nd.kids (ci + 1) right;
+            let n = Array.length nd.seps in
+            if n <= 2 * t.order then None
+            else begin
+              let mid = n / 2 in
+              let up = nd.seps.(mid) in
+              let rseps = Array.sub nd.seps (mid + 1) (n - mid - 1) in
+              let rkids = Array.sub nd.kids (mid + 1) (n - mid) in
+              nd.seps <- Array.sub nd.seps 0 mid;
+              nd.kids <- Array.sub nd.kids 0 (mid + 1);
+              Some (up, Internal { seps = rseps; kids = rkids })
+            end)
+
+  let insert t key v =
+    (match insert_node t t.root key v with
+    | None -> ()
+    | Some (sep, right) -> t.root <- Internal { seps = [| sep |]; kids = [| t.root; right |] });
+    t.size <- t.size + 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Deletion                                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  let node_underflows t = function
+    | Leaf l -> Array.length l.lkeys < t.order
+    | Internal nd -> Array.length nd.seps < t.order
+
+  (* Rebalance the underfull child [ci] of internal node [nd] by
+     borrowing from a sibling or merging with one. *)
+  let rebalance t nd ci =
+    let borrowable = function
+      | Leaf l -> Array.length l.lkeys > t.order
+      | Internal n -> Array.length n.seps > t.order
+    in
+    let nkids = Array.length nd.kids in
+    let try_left = ci > 0 && borrowable nd.kids.(ci - 1) in
+    let try_right = ci < nkids - 1 && borrowable nd.kids.(ci + 1) in
+    match (nd.kids.(ci), try_left, try_right) with
+    | Leaf l, true, _ ->
+        (* Move last entry of the left sibling to the front of l. *)
+        let left = (match nd.kids.(ci - 1) with Leaf x -> x | Internal _ -> assert false) in
+        let ln = Array.length left.lkeys in
+        let k = left.lkeys.(ln - 1) and v = left.lvals.(ln - 1) in
+        left.lkeys <- Array.sub left.lkeys 0 (ln - 1);
+        left.lvals <- Array.sub left.lvals 0 (ln - 1);
+        l.lkeys <- array_insert l.lkeys 0 k;
+        l.lvals <- array_insert l.lvals 0 v;
+        nd.seps <- Array.mapi (fun i s -> if i = ci - 1 then k else s) nd.seps
+    | Leaf l, false, true ->
+        (* Move first entry of the right sibling to the end of l. *)
+        let right = (match nd.kids.(ci + 1) with Leaf x -> x | Internal _ -> assert false) in
+        let k = right.lkeys.(0) and v = right.lvals.(0) in
+        right.lkeys <- array_remove right.lkeys 0;
+        right.lvals <- array_remove right.lvals 0;
+        l.lkeys <- array_concat l.lkeys [| k |];
+        l.lvals <- array_concat l.lvals [| v |];
+        nd.seps <- Array.mapi (fun i s -> if i = ci then right.lkeys.(0) else s) nd.seps
+    | Leaf l, false, false ->
+        (* Merge with a sibling (prefer the left one). *)
+        if ci > 0 then begin
+          let left = (match nd.kids.(ci - 1) with Leaf x -> x | Internal _ -> assert false) in
+          left.lkeys <- array_concat left.lkeys l.lkeys;
+          left.lvals <- array_concat left.lvals l.lvals;
+          left.lnext <- l.lnext;
+          (match l.lnext with Some nx -> nx.lprev <- Some left | None -> ());
+          nd.seps <- array_remove nd.seps (ci - 1);
+          nd.kids <- array_remove nd.kids ci
+        end
+        else begin
+          let right = (match nd.kids.(ci + 1) with Leaf x -> x | Internal _ -> assert false) in
+          l.lkeys <- array_concat l.lkeys right.lkeys;
+          l.lvals <- array_concat l.lvals right.lvals;
+          l.lnext <- right.lnext;
+          (match right.lnext with Some nx -> nx.lprev <- Some l | None -> ());
+          nd.seps <- array_remove nd.seps ci;
+          nd.kids <- array_remove nd.kids (ci + 1)
+        end
+    | Internal c, true, _ ->
+        (* Rotate through the parent separator from the left sibling. *)
+        let left = (match nd.kids.(ci - 1) with Internal x -> x | Leaf _ -> assert false) in
+        let ln = Array.length left.seps in
+        let up = left.seps.(ln - 1) in
+        let moved = left.kids.(ln) in
+        left.seps <- Array.sub left.seps 0 (ln - 1);
+        left.kids <- Array.sub left.kids 0 ln;
+        c.seps <- array_insert c.seps 0 nd.seps.(ci - 1);
+        c.kids <- array_insert c.kids 0 moved;
+        nd.seps <- Array.mapi (fun i s -> if i = ci - 1 then up else s) nd.seps
+    | Internal c, false, true ->
+        let right = (match nd.kids.(ci + 1) with Internal x -> x | Leaf _ -> assert false) in
+        let up = right.seps.(0) in
+        let moved = right.kids.(0) in
+        right.seps <- array_remove right.seps 0;
+        right.kids <- array_remove right.kids 0;
+        c.seps <- array_concat c.seps [| nd.seps.(ci) |];
+        c.kids <- array_concat c.kids [| moved |];
+        nd.seps <- Array.mapi (fun i s -> if i = ci then up else s) nd.seps
+    | Internal c, false, false ->
+        if ci > 0 then begin
+          let left = (match nd.kids.(ci - 1) with Internal x -> x | Leaf _ -> assert false) in
+          left.seps <- array_concat left.seps (array_concat [| nd.seps.(ci - 1) |] c.seps);
+          left.kids <- array_concat left.kids c.kids;
+          nd.seps <- array_remove nd.seps (ci - 1);
+          nd.kids <- array_remove nd.kids ci
+        end
+        else begin
+          let right = (match nd.kids.(ci + 1) with Internal x -> x | Leaf _ -> assert false) in
+          c.seps <- array_concat c.seps (array_concat [| nd.seps.(ci) |] right.seps);
+          c.kids <- array_concat c.kids right.kids;
+          nd.seps <- array_remove nd.seps ci;
+          nd.kids <- array_remove nd.kids (ci + 1)
+        end
+
+  (* Delete the leftmost entry with key = [key] satisfying [pred].
+     Equal keys may straddle separators, so every child whose key range
+     can contain [key] is tried left-to-right. *)
+  let rec remove_node t node key pred =
+    match node with
+    | Leaf l ->
+        let n = Array.length l.lkeys in
+        let rec scan i =
+          if i >= n || K.compare l.lkeys.(i) key > 0 then false
+          else if K.compare l.lkeys.(i) key = 0 && pred l.lvals.(i) then begin
+            l.lkeys <- array_remove l.lkeys i;
+            l.lvals <- array_remove l.lvals i;
+            true
+          end
+          else scan (i + 1)
+        in
+        scan (leaf_lower_bound l.lkeys key)
+    | Internal nd ->
+        let first = child_left nd.seps key in
+        let last = child_right nd.seps key in
+        let rec try_child ci =
+          if ci > last then false
+          else if remove_node t nd.kids.(ci) key pred then begin
+            if node_underflows t nd.kids.(ci) then rebalance t nd ci;
+            true
+          end
+          else try_child (ci + 1)
+        in
+        try_child first
+
+  let collapse_root t =
+    match t.root with
+    | Internal nd when Array.length nd.seps = 0 -> t.root <- nd.kids.(0)
+    | _ -> ()
+
+  let remove_first t key pred =
+    if remove_node t t.root key pred then begin
+      collapse_root t;
+      t.size <- t.size - 1;
+      true
+    end
+    else false
+
+  (* ------------------------------------------------------------------ *)
+  (* Cursors and searches                                                *)
+  (* ------------------------------------------------------------------ *)
+
+  type 'a cursor = { cleaf : 'a leaf; cidx : int }
+
+  let key c = c.cleaf.lkeys.(c.cidx)
+  let value c = c.cleaf.lvals.(c.cidx)
+
+  let rec first_of_leaf leaf =
+    if Array.length leaf.lkeys > 0 then Some { cleaf = leaf; cidx = 0 }
+    else match leaf.lnext with Some nx -> first_of_leaf nx | None -> None
+
+  let rec last_of_leaf leaf =
+    let n = Array.length leaf.lkeys in
+    if n > 0 then Some { cleaf = leaf; cidx = n - 1 }
+    else match leaf.lprev with Some pv -> last_of_leaf pv | None -> None
+
+  let next c =
+    if c.cidx + 1 < Array.length c.cleaf.lkeys then Some { c with cidx = c.cidx + 1 }
+    else match c.cleaf.lnext with Some nx -> first_of_leaf nx | None -> None
+
+  let prev c =
+    if c.cidx > 0 then Some { c with cidx = c.cidx - 1 }
+    else match c.cleaf.lprev with Some pv -> last_of_leaf pv | None -> None
+
+  let rec descend_ge node key =
+    match node with
+    | Leaf l -> l
+    | Internal nd -> descend_ge nd.kids.(child_left nd.seps key) key
+
+  let rec descend_le node key =
+    match node with
+    | Leaf l -> l
+    | Internal nd -> descend_le nd.kids.(child_right nd.seps key) key
+
+  let seek_ge t k =
+    let l = descend_ge t.root k in
+    let i = leaf_lower_bound l.lkeys k in
+    if i < Array.length l.lkeys then Some { cleaf = l; cidx = i }
+    else match l.lnext with Some nx -> first_of_leaf nx | None -> None
+
+  let seek_le t k =
+    let l = descend_le t.root k in
+    (* Last index with key <= k is upper_bound - 1. *)
+    let i = leaf_upper_bound l.lkeys k - 1 in
+    if i >= 0 then Some { cleaf = l; cidx = i }
+    else match l.lprev with Some pv -> last_of_leaf pv | None -> None
+
+  let neighbours t k =
+    let pack = Option.map (fun c -> (key c, value c)) in
+    (pack (seek_le t k), pack (seek_ge t k))
+
+  let rec leftmost_leaf = function
+    | Leaf l -> l
+    | Internal nd -> leftmost_leaf nd.kids.(0)
+
+  let rec rightmost_leaf = function
+    | Leaf l -> l
+    | Internal nd -> rightmost_leaf nd.kids.(Array.length nd.kids - 1)
+
+  let min_entry t =
+    match first_of_leaf (leftmost_leaf t.root) with
+    | Some c -> Some (key c, value c)
+    | None -> None
+
+  let max_entry t =
+    match last_of_leaf (rightmost_leaf t.root) with
+    | Some c -> Some (key c, value c)
+    | None -> None
+
+  let iter t f =
+    let rec walk leaf =
+      for i = 0 to Array.length leaf.lkeys - 1 do
+        f leaf.lkeys.(i) leaf.lvals.(i)
+      done;
+      match leaf.lnext with Some nx -> walk nx | None -> ()
+    in
+    walk (leftmost_leaf t.root)
+
+  let iter_range t ~lo ~hi f =
+    let rec walk = function
+      | None -> ()
+      | Some c ->
+          let k = key c in
+          if K.compare k hi <= 0 then begin
+            f k (value c);
+            walk (next c)
+          end
+    in
+    walk (seek_ge t lo)
+
+  let fold_range t ~lo ~hi f acc =
+    let acc = ref acc in
+    iter_range t ~lo ~hi (fun k v -> acc := f !acc k v);
+    !acc
+
+  let count_range t ~lo ~hi = fold_range t ~lo ~hi (fun n _ _ -> n + 1) 0
+
+  let find_all t k =
+    List.rev (fold_range t ~lo:k ~hi:k (fun acc _ v -> v :: acc) [])
+
+  let to_list t =
+    let acc = ref [] in
+    iter t (fun k v -> acc := (k, v) :: !acc);
+    List.rev !acc
+
+  (* ------------------------------------------------------------------ *)
+  (* Bulk loading                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  let of_sorted ?(order = 16) entries =
+    if order < 2 then invalid_arg "Btree.of_sorted: order must be >= 2";
+    let n = Array.length entries in
+    for i = 1 to n - 1 do
+      if K.compare (fst entries.(i - 1)) (fst entries.(i)) > 0 then
+        invalid_arg "Btree.of_sorted: input not sorted"
+    done;
+    let t = create ~order () in
+    (* Choose a number of chunks so that even division yields sizes in
+       [order, 2*order] (single chunk allowed below [order]: the root
+       leaf is exempt).  Target 3/2*order leaves headroom for inserts
+       and deletes alike. *)
+    let clamp x lo hi = max lo (min hi x) in
+    let pick_groups m ~target ~min_size ~max_size =
+      let lo = (m + max_size - 1) / max_size in
+      let hi = max 1 (m / min_size) in
+      if hi < lo then 1 else clamp ((m + target - 1) / target) lo hi
+    in
+    if n = 0 then t
+    else begin
+      let nchunks =
+        pick_groups n ~target:(3 * order / 2) ~min_size:order ~max_size:(2 * order)
+      in
+      let leaves =
+        Array.init nchunks (fun c ->
+            let start = c * n / nchunks in
+            let stop = (c + 1) * n / nchunks in
+            {
+              lkeys = Array.init (stop - start) (fun i -> fst entries.(start + i));
+              lvals = Array.init (stop - start) (fun i -> snd entries.(start + i));
+              lnext = None;
+              lprev = None;
+            })
+      in
+      Array.iteri
+        (fun i l ->
+          if i > 0 then l.lprev <- Some leaves.(i - 1);
+          if i < nchunks - 1 then l.lnext <- Some leaves.(i + 1))
+        leaves;
+      (* Build internal levels bottom-up.  [mins.(i)] is the smallest
+         key under node [i]; group boundaries use it as separator. *)
+      let rec build (nodes : 'a node array) (mins : K.t array) =
+        let m = Array.length nodes in
+        if m = 1 then nodes.(0)
+        else begin
+          (* Group sizes (children per parent) in [order+1, 2*order+1],
+             i.e. separator counts within occupancy bounds; a single
+             group is fine — it becomes the root. *)
+          let ngroups =
+            pick_groups m ~target:((3 * order / 2) + 1) ~min_size:(order + 1)
+              ~max_size:((2 * order) + 1)
+          in
+          let parents =
+            Array.init ngroups (fun g ->
+                let start = g * m / ngroups in
+                let stop = (g + 1) * m / ngroups in
+                let kids = Array.sub nodes start (stop - start) in
+                let seps = Array.init (stop - start - 1) (fun i -> mins.(start + i + 1)) in
+                Internal { seps; kids })
+          in
+          let pmins = Array.init ngroups (fun g -> mins.(g * m / ngroups)) in
+          build parents pmins
+        end
+      in
+      let lnodes = Array.map (fun l -> Leaf l) leaves in
+      let lmins = Array.map (fun l -> l.lkeys.(0)) leaves in
+      t.root <- build lnodes lmins;
+      t.size <- n;
+      t
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Invariant checking (test support)                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let b = t.order in
+    (* Returns (depth, min_key, max_key, entry_count); bounds are None
+       for empty subtrees (only the empty root). *)
+    let rec check ~is_root node =
+      match node with
+      | Leaf l ->
+          let n = Array.length l.lkeys in
+          if Array.length l.lvals <> n then fail "leaf keys/vals length mismatch";
+          if (not is_root) && n < b then fail "leaf underflow: %d < %d" n b;
+          if n > 2 * b then fail "leaf overflow: %d > %d" n (2 * b);
+          for i = 1 to n - 1 do
+            if K.compare l.lkeys.(i - 1) l.lkeys.(i) > 0 then fail "leaf keys out of order"
+          done;
+          let bounds = if n = 0 then None else Some (l.lkeys.(0), l.lkeys.(n - 1)) in
+          (1, bounds, n)
+      | Internal nd ->
+          let ns = Array.length nd.seps in
+          if Array.length nd.kids <> ns + 1 then fail "internal kids/seps mismatch";
+          if (not is_root) && ns < b then fail "internal underflow";
+          if ns > 2 * b then fail "internal overflow";
+          if is_root && ns < 1 then fail "internal root with < 1 separator";
+          for i = 1 to ns - 1 do
+            if K.compare nd.seps.(i - 1) nd.seps.(i) > 0 then fail "separators out of order"
+          done;
+          let depth = ref 0 and total = ref 0 in
+          let lo_bound = ref None and hi_bound = ref None in
+          Array.iteri
+            (fun i kid ->
+              let d, bounds, cnt = check ~is_root:false kid in
+              if !depth = 0 then depth := d
+              else if d <> !depth then fail "non-uniform depth";
+              total := !total + cnt;
+              (match bounds with
+              | None -> fail "empty non-root child"
+              | Some (mn, mx) ->
+                  if i = 0 then lo_bound := Some mn;
+                  if i = Array.length nd.kids - 1 then hi_bound := Some mx;
+                  if i > 0 && K.compare nd.seps.(i - 1) mn > 0 then
+                    fail "separator above child's min key";
+                  if i < ns && K.compare mx nd.seps.(i) > 0 then
+                    fail "child's max key above separator"))
+            nd.kids;
+          let bounds =
+            match (!lo_bound, !hi_bound) with Some a, Some b -> Some (a, b) | _ -> None
+          in
+          (!depth + 1, bounds, !total)
+    in
+    let _, _, total = check ~is_root:true t.root in
+    if total <> t.size then fail "size mismatch: counted %d, recorded %d" total t.size;
+    (* Leaf chain must visit every entry in order. *)
+    let chain_count = ref 0 in
+    let last = ref None in
+    let rec walk leaf =
+      Array.iter
+        (fun k ->
+          (match !last with
+          | Some pk when K.compare pk k > 0 -> fail "leaf chain out of order"
+          | _ -> ());
+          last := Some k;
+          incr chain_count)
+        leaf.lkeys;
+      match leaf.lnext with
+      | Some nx ->
+          (match nx.lprev with
+          | Some back when back == leaf -> ()
+          | _ -> fail "broken lprev link");
+          walk nx
+      | None -> ()
+    in
+    walk (leftmost_leaf t.root);
+    if !chain_count <> t.size then fail "leaf chain count mismatch"
+end

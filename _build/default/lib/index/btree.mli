@@ -1,0 +1,87 @@
+(** In-memory B+-tree with doubly-linked leaves.
+
+    This is the ordered index the paper assumes on [S(B)] and on the
+    composite key [S(B,C)]: it supports logarithmic point lookup, the
+    "find the two adjacent entries surrounding a search key" operation
+    at the heart of BJ-SSI and SJ-SSI (here {!seek_le} / {!seek_ge}),
+    and bidirectional leaf scans from any position (here {!cursor}s).
+
+    Duplicate keys are allowed; entries with equal keys are adjacent in
+    leaf order.  All operations are O(log n) plus output size. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) : sig
+  type 'a t
+  (** A B+-tree mapping keys [K.t] to values ['a]. *)
+
+  val create : ?order:int -> unit -> 'a t
+  (** [create ~order ()] makes an empty tree.  [order] is the minimum
+      occupancy b (nodes hold between b and 2b entries); default 16.
+      @raise Invalid_argument if [order < 2]. *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val insert : 'a t -> K.t -> 'a -> unit
+
+  val remove_first : 'a t -> K.t -> ('a -> bool) -> bool
+  (** [remove_first t k pred] deletes the first (leftmost) entry whose
+      key equals [k] and whose value satisfies [pred]; returns whether
+      an entry was deleted. *)
+
+  val find_all : 'a t -> K.t -> 'a list
+  (** All values bound to a key, in leaf order. *)
+
+  val min_entry : 'a t -> (K.t * 'a) option
+  val max_entry : 'a t -> (K.t * 'a) option
+
+  (** {2 Cursors}
+
+      A cursor designates an entry and can walk the leaf chain in both
+      directions.  Cursors are invalidated by updates; the algorithms
+      in this repository never mutate during a scan. *)
+
+  type 'a cursor
+
+  val key : 'a cursor -> K.t
+  val value : 'a cursor -> 'a
+  val next : 'a cursor -> 'a cursor option
+  val prev : 'a cursor -> 'a cursor option
+
+  val seek_ge : 'a t -> K.t -> 'a cursor option
+  (** Leftmost entry with key >= the argument. *)
+
+  val seek_le : 'a t -> K.t -> 'a cursor option
+  (** Rightmost entry with key <= the argument. *)
+
+  val neighbours : 'a t -> K.t -> (K.t * 'a) option * (K.t * 'a) option
+  (** [neighbours t k] = (rightmost entry <= k, leftmost entry >= k) —
+      the pair (s1, s2) of the paper's STEP 1.  When an entry equals
+      [k] it appears on both sides. *)
+
+  val iter : 'a t -> (K.t -> 'a -> unit) -> unit
+  (** In-order iteration over all entries. *)
+
+  val iter_range : 'a t -> lo:K.t -> hi:K.t -> (K.t -> 'a -> unit) -> unit
+  (** All entries with lo <= key <= hi, in order. *)
+
+  val fold_range : 'a t -> lo:K.t -> hi:K.t -> ('acc -> K.t -> 'a -> 'acc) -> 'acc -> 'acc
+
+  val count_range : 'a t -> lo:K.t -> hi:K.t -> int
+
+  val to_list : 'a t -> (K.t * 'a) list
+
+  val of_sorted : ?order:int -> (K.t * 'a) array -> 'a t
+  (** Bulk-load from an array sorted by key (stable w.r.t. duplicates).
+      @raise Invalid_argument if the array is not sorted. *)
+
+  val check_invariants : 'a t -> unit
+  (** Verify structural invariants (uniform depth, occupancy bounds,
+      key order, separator consistency, leaf chaining); used by the
+      test suite.  @raise Failure on violation. *)
+end

@@ -1,0 +1,350 @@
+module I = Cq_interval.Interval
+
+(* Implementation notes.
+
+   Nodes sit at the distinct interval endpoints.  An interval "marks"
+   a set of edges whose spans tile [lo, hi] exactly, each edge as high
+   as the classic two-phase placement walk can push it.  Every node on
+   an interval's path also records it in [eq] (the eqMarkers of the
+   original paper), which answers stabbing queries that hit a node key
+   exactly and locates entries for deletion.
+
+   Structural changes (a node appearing or disappearing) invalidate
+   only the placements of intervals marking the edges adjacent to the
+   changed node: those intervals are unplaced first and re-placed
+   afterwards — expected O(log n) intervals, O(log n) each. *)
+
+type 'a entry = {
+  id : int;
+  iv : I.t;
+  payload : 'a;
+  (* Exact record of where this entry's markers live, so removal never
+     has to re-derive the placement walk (placements drift from the
+     canonical maximal walk as nodes split edges). *)
+  mutable edges : ('a node_ref * int) list;
+  mutable eq_nodes : 'a node_ref list;
+}
+
+and 'a node_ref = 'a node
+
+and 'a node = {
+  key : float;
+  mutable owners : int; (* endpoint references; 0 => node removable *)
+  forward : 'a node option array;
+  markers : (int, 'a entry) Hashtbl.t array; (* per outgoing level *)
+  eq : (int, 'a entry) Hashtbl.t;
+}
+
+let max_level = 32
+
+type 'a t = {
+  header : 'a node;
+  rng : Cq_util.Rng.t;
+  mutable size : int;
+  mutable next_id : int;
+}
+
+let make_node key level =
+  {
+    key;
+    owners = 0;
+    forward = Array.make level None;
+    markers = Array.init level (fun _ -> Hashtbl.create 4);
+    eq = Hashtbl.create 4;
+  }
+
+let create ?(seed = 0x151) () =
+  {
+    header = make_node neg_infinity max_level;
+    rng = Cq_util.Rng.create seed;
+    size = 0;
+    next_id = 0;
+  }
+
+let size t = t.size
+
+let node_level n = Array.length n.forward
+
+let random_level t =
+  let l = ref 1 in
+  while !l < max_level && Cq_util.Rng.bool t.rng do
+    incr l
+  done;
+  !l
+
+(* Predecessors of [key] at every level of the header. *)
+let update_path t key =
+  let update = Array.make max_level t.header in
+  let x = ref t.header in
+  for i = max_level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(i) with
+      | Some n when n.key < key -> x := n
+      | _ -> continue := false
+    done;
+    update.(i) <- !x
+  done;
+  update
+
+let find_node t key =
+  let update = update_path t key in
+  match update.(0).forward.(0) with Some n when n.key = key -> Some n | _ -> None
+
+(* Does the edge from [x] to its level-[i] successor lie entirely
+   inside the interval? *)
+let covers (e : 'a entry) x i =
+  match x.forward.(i) with
+  | Some s -> I.lo e.iv <= x.key && s.key <= I.hi e.iv
+  | None -> false
+
+let add_marker x i e = Hashtbl.replace x.markers.(i) e.id e
+
+let remove_marker x i e = Hashtbl.remove x.markers.(i) e.id
+
+let add_eq x e = Hashtbl.replace x.eq e.id e
+
+let remove_eq x e = Hashtbl.remove x.eq e.id
+
+let mark_edge e x i =
+  add_marker x i e;
+  e.edges <- (x, i) :: e.edges
+
+let mark_eq e x =
+  if not (Hashtbl.mem x.eq e.id) then begin
+    add_eq x e;
+    e.eq_nodes <- x :: e.eq_nodes
+  end
+
+(* The two-phase placement walk of Hanson & Johnson: mark each covered
+   edge as high as the structure allows, recording every placement on
+   the entry itself. *)
+let place_markers t e =
+  let left =
+    match find_node t (I.lo e.iv) with
+    | Some n -> n
+    | None -> failwith "Interval_skiplist: missing left endpoint node"
+  in
+  mark_eq e left;
+  let x = ref left in
+  let i = ref 0 in
+  (* Ascending phase: push each marked edge as high as possible. *)
+  let ascending = ref true in
+  while !ascending do
+    if covers e !x !i then begin
+      while !i + 1 < node_level !x && covers e !x (!i + 1) do
+        incr i
+      done;
+      mark_edge e !x !i;
+      x := Option.get !x.forward.(!i);
+      mark_eq e !x
+    end
+    else ascending := false
+  done;
+  (* Descending phase: finish the tiling down to the right endpoint. *)
+  while !x.key < I.hi e.iv do
+    while !i > 0 && not (covers e !x !i) do
+      decr i
+    done;
+    mark_edge e !x !i;
+    x := Option.get !x.forward.(!i);
+    mark_eq e !x
+  done
+
+(* Removal replays the recorded placements — exact whatever structural
+   drift has happened since. *)
+let unplace_markers _t e =
+  List.iter (fun (x, i) -> remove_marker x i e) e.edges;
+  List.iter (fun x -> remove_eq x e) e.eq_nodes;
+  e.edges <- [];
+  e.eq_nodes <- []
+
+(* ----------------------------------------------------------------------- *)
+(* Node insertion / removal with local marker repair                        *)
+(* ----------------------------------------------------------------------- *)
+
+let collect tbl_list =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun tbl -> Hashtbl.iter (fun id e -> Hashtbl.replace seen id e) tbl) tbl_list;
+  Hashtbl.fold (fun _ e acc -> e :: acc) seen []
+
+(* Insert a node for [key] (assumed absent) and return it.  Markers on
+   a split edge are copied onto both halves — the edge spans shrink, so
+   coverage and disjoint tiling are preserved.  (The placement is no
+   longer height-maximal; that only costs performance, never
+   correctness, and avoids the quadratic re-placement blowup on
+   workloads full of near-identical intervals.) *)
+let insert_node t key =
+  let update = update_path t key in
+  let level = random_level t in
+  let x = make_node key level in
+  for l = 0 to level - 1 do
+    x.forward.(l) <- update.(l).forward.(l);
+    update.(l).forward.(l) <- Some x;
+    Hashtbl.iter
+      (fun _ e ->
+        mark_edge e x l;
+        mark_eq e x)
+      update.(l).markers.(l)
+  done;
+  x
+
+(* Remove the node for [key] (owners = 0), repairing adjacent markers. *)
+let remove_node t key =
+  let update = update_path t key in
+  match update.(0).forward.(0) with
+  | Some x when x.key = key ->
+      let level = node_level x in
+      let incoming =
+        List.filter_map
+          (fun l -> if update.(l).forward.(l) == Some x then Some update.(l).markers.(l) else None)
+          (List.init level Fun.id)
+      in
+      let affected = collect ((x.eq :: incoming) @ Array.to_list x.markers) in
+      List.iter (unplace_markers t) affected;
+      for l = 0 to level - 1 do
+        if update.(l).forward.(l) == Some x then update.(l).forward.(l) <- x.forward.(l)
+      done;
+      List.iter (place_markers t) affected;
+      ()
+  | _ -> failwith "Interval_skiplist.remove_node: node not found"
+
+(* ----------------------------------------------------------------------- *)
+(* Public operations                                                         *)
+(* ----------------------------------------------------------------------- *)
+
+let ensure_node t key =
+  match find_node t key with Some n -> n | None -> insert_node t key
+
+let add t iv payload =
+  if I.is_empty iv then invalid_arg "Interval_skiplist.add: empty interval";
+  let e = { id = t.next_id; iv; payload; edges = []; eq_nodes = [] } in
+  t.next_id <- t.next_id + 1;
+  let left = ensure_node t (I.lo iv) in
+  left.owners <- left.owners + 1;
+  let right = ensure_node t (I.hi iv) in
+  right.owners <- right.owners + 1;
+  place_markers t e;
+  t.size <- t.size + 1
+
+let remove t iv pred =
+  match find_node t (I.lo iv) with
+  | None -> false
+  | Some left -> (
+      (* Every interval's path touches its left endpoint node, so the
+         entry is registered there. *)
+      match
+        Hashtbl.fold
+          (fun _ e acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> if I.equal e.iv iv && pred e.payload then Some e else None)
+          left.eq None
+      with
+      | None -> false
+      | Some e ->
+          unplace_markers t e;
+          left.owners <- left.owners - 1;
+          (match find_node t (I.hi iv) with
+          | Some right -> right.owners <- right.owners - 1
+          | None -> failwith "Interval_skiplist.remove: missing right endpoint");
+          if left.owners = 0 then remove_node t (I.lo iv);
+          if I.hi iv <> I.lo iv then begin
+            match find_node t (I.hi iv) with
+            | Some right when right.owners = 0 -> remove_node t (I.hi iv)
+            | _ -> ()
+          end;
+          t.size <- t.size - 1;
+          true)
+
+let stab t key f =
+  let x = ref t.header in
+  for i = max_level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(i) with
+      | Some n when n.key < key -> x := n
+      | _ -> continue := false
+    done;
+    (* Stopping edge at level i: spans (x.key, fwd.key].  When the
+       successor's key is exactly [key], its markers are deferred to
+       the node's eq set to avoid double reporting. *)
+    match !x.forward.(i) with
+    | Some n when n.key = key -> ()
+    | Some _ -> Hashtbl.iter (fun _ e -> f e.iv e.payload) !x.markers.(i)
+    | None -> ()
+  done;
+  match !x.forward.(0) with
+  | Some n when n.key = key -> Hashtbl.iter (fun _ e -> f e.iv e.payload) n.eq
+  | _ -> ()
+
+let stab_count t key =
+  let n = ref 0 in
+  stab t key (fun _ _ -> incr n);
+  !n
+
+let stab_list t key =
+  let acc = ref [] in
+  stab t key (fun iv p -> acc := (iv, p) :: !acc);
+  List.rev !acc
+
+(* ----------------------------------------------------------------------- *)
+(* Invariants                                                                *)
+(* ----------------------------------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Node keys strictly increasing along level 0; forward pointers at
+     higher levels consistent with level 0 ordering. *)
+  let rec walk0 acc = function
+    | None -> List.rev acc
+    | Some n ->
+        (match acc with
+        | prev :: _ when prev.key >= n.key -> fail "node keys not strictly increasing"
+        | _ -> ());
+        walk0 (n :: acc) n.forward.(0)
+  in
+  let nodes = walk0 [] t.header.forward.(0) in
+  (* Collect each entry's marked spans and check edge coverage. *)
+  let spans : (int, (float * float) list) Hashtbl.t = Hashtbl.create 64 in
+  let record x =
+    Array.iteri
+      (fun l ms ->
+        Hashtbl.iter
+          (fun _ e ->
+            (match x.forward.(l) with
+            | Some s ->
+                if not (I.lo e.iv <= x.key && s.key <= I.hi e.iv) then
+                  fail "marker does not cover its edge";
+                Hashtbl.replace spans e.id
+                  ((x.key, s.key) :: Option.value ~default:[] (Hashtbl.find_opt spans e.id))
+            | None -> fail "marker on a tail edge"))
+          ms)
+      x.markers
+  in
+  List.iter record nodes;
+  (* Every entry reachable via a left-endpoint eq set must have spans
+     tiling [lo, hi] exactly (empty for point intervals). *)
+  List.iter
+    (fun n ->
+      Hashtbl.iter
+        (fun _ e ->
+          if I.lo e.iv = n.key then begin
+            let sp =
+              List.sort compare (Option.value ~default:[] (Hashtbl.find_opt spans e.id))
+            in
+            let rec tiles cur = function
+              | [] -> cur = I.hi e.iv
+              | (a, b) :: rest -> a = cur && b > a && tiles b rest
+            in
+            if not (tiles (I.lo e.iv) sp) then
+              fail "marked spans do not tile the interval exactly"
+          end)
+        n.eq)
+    nodes;
+  (* Size: count distinct entries found at their left endpoints. *)
+  let counted = ref 0 in
+  List.iter
+    (fun n -> Hashtbl.iter (fun _ e -> if I.lo e.iv = n.key then incr counted) n.eq)
+    nodes;
+  if !counted <> t.size then fail "size mismatch: %d entries found, %d recorded" !counted t.size

@@ -1,0 +1,41 @@
+(** Interval skip list (Hanson & Johnson, WADS 1991) — the second
+    dynamic stabbing index the paper cites for indexing range-selection
+    continuous queries.
+
+    Intervals are decomposed onto the edges of a randomized skip list
+    built over their endpoints: an interval marks an edge when it
+    covers the edge's whole span and the edge is as high as possible.
+    A stabbing query walks the ordinary skip-list search path and
+    collects the markers of the edges it descends from — expected
+    O(log n + k).  Insertions and deletions place or remove O(log n)
+    expected markers and repair the markers of nodes whose level
+    structure changes.
+
+    Functionally interchangeable with {!Interval_tree}; the test suite
+    cross-checks the two, and the `ablation-stab-index` benchmark
+    compares them. *)
+
+type 'a t
+
+val create : ?seed:int -> unit -> 'a t
+
+val size : 'a t -> int
+(** Number of stored intervals. *)
+
+val add : 'a t -> Cq_interval.Interval.t -> 'a -> unit
+(** Insert an interval with a payload; duplicates are kept.
+    @raise Invalid_argument on an empty interval. *)
+
+val remove : 'a t -> Cq_interval.Interval.t -> ('a -> bool) -> bool
+(** Delete one entry with exactly this interval whose payload matches;
+    [false] if none does. *)
+
+val stab : 'a t -> float -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+(** Report every stored (interval, payload) containing the point. *)
+
+val stab_count : 'a t -> float -> int
+val stab_list : 'a t -> float -> (Cq_interval.Interval.t * 'a) list
+
+val check_invariants : 'a t -> unit
+(** Node ordering, marker placement/coverage invariants.
+    @raise Failure on violation. *)

@@ -1,0 +1,202 @@
+module I = Cq_interval.Interval
+
+type 'a t =
+  | Empty
+  | Node of {
+      iv : I.t;
+      payload : 'a;
+      left : 'a t;
+      right : 'a t;
+      height : int;
+      maxhi : float; (* max right endpoint over the whole subtree *)
+      count : int;
+    }
+
+let empty = Empty
+
+let is_empty = function Empty -> true | Node _ -> false
+
+let size = function Empty -> 0 | Node n -> n.count
+
+let height = function Empty -> 0 | Node n -> n.height
+
+let maxhi = function Empty -> neg_infinity | Node n -> n.maxhi
+
+(* Order by (lo, hi); equal keys go right so duplicates coexist. *)
+let cmp_iv a b =
+  let c = Float.compare (I.lo a) (I.lo b) in
+  if c <> 0 then c else Float.compare (I.hi a) (I.hi b)
+
+let mk iv payload left right =
+  Node
+    {
+      iv;
+      payload;
+      left;
+      right;
+      height = 1 + max (height left) (height right);
+      maxhi = Float.max (I.hi iv) (Float.max (maxhi left) (maxhi right));
+      count = 1 + size left + size right;
+    }
+
+let balance_factor = function Empty -> 0 | Node n -> height n.left - height n.right
+
+let rotate_right = function
+  | Node { iv; payload; left = Node l; right; _ } ->
+      mk l.iv l.payload l.left (mk iv payload l.right right)
+  | _ -> assert false
+
+let rotate_left = function
+  | Node { iv; payload; left; right = Node r; _ } ->
+      mk r.iv r.payload (mk iv payload left r.left) r.right
+  | _ -> assert false
+
+let rebalance t =
+  match t with
+  | Empty -> t
+  | Node n ->
+      let bf = balance_factor t in
+      if bf > 1 then
+        let left = if balance_factor n.left < 0 then rotate_left n.left else n.left in
+        rotate_right (mk n.iv n.payload left n.right)
+      else if bf < -1 then
+        let right = if balance_factor n.right > 0 then rotate_right n.right else n.right in
+        rotate_left (mk n.iv n.payload n.left right)
+      else t
+
+let rec add iv payload = function
+  | Empty -> mk iv payload Empty Empty
+  | Node n ->
+      if cmp_iv iv n.iv < 0 then rebalance (mk n.iv n.payload (add iv payload n.left) n.right)
+      else rebalance (mk n.iv n.payload n.left (add iv payload n.right))
+
+let rec min_node = function
+  | Empty -> invalid_arg "Interval_tree.min_node: empty"
+  | Node { left = Empty; iv; payload; _ } -> (iv, payload)
+  | Node { left; _ } -> min_node left
+
+let rec remove_min = function
+  | Empty -> invalid_arg "Interval_tree.remove_min: empty"
+  | Node { left = Empty; right; _ } -> right
+  | Node n -> rebalance (mk n.iv n.payload (remove_min n.left) n.right)
+
+(* Remove one entry with exactly key [iv] whose payload satisfies
+   [pred].  Equal keys live on the right spine below the first match,
+   so both subtrees of an equal node may need searching. *)
+let rec remove iv pred t =
+  match t with
+  | Empty -> None
+  | Node n -> (
+      let c = cmp_iv iv n.iv in
+      if c < 0 then
+        match remove iv pred n.left with
+        | Some l -> Some (rebalance (mk n.iv n.payload l n.right))
+        | None -> None
+      else if c > 0 then
+        match remove iv pred n.right with
+        | Some r -> Some (rebalance (mk n.iv n.payload n.left r))
+        | None -> None
+      else if pred n.payload then
+        match (n.left, n.right) with
+        | Empty, r -> Some r
+        | l, Empty -> Some l
+        | l, r ->
+            let siv, spay = min_node r in
+            Some (rebalance (mk siv spay l (remove_min r)))
+      else
+        (* Same key, wrong payload: equal keys were inserted to the
+           right, but rotations can move them to either side. *)
+        match remove iv pred n.right with
+        | Some r -> Some (rebalance (mk n.iv n.payload n.left r))
+        | None -> (
+            match remove iv pred n.left with
+            | Some l -> Some (rebalance (mk n.iv n.payload l n.right))
+            | None -> None))
+
+let rec stab t x f =
+  match t with
+  | Empty -> ()
+  | Node n ->
+      (* Prune: nothing below contains x if every right endpoint is to
+         its left. *)
+      if n.maxhi >= x then begin
+        stab n.left x f;
+        if I.stabs n.iv x then f n.iv n.payload;
+        (* Keys in the right subtree have lo >= this lo; if this lo is
+           already past x, so are theirs. *)
+        if I.lo n.iv <= x then stab n.right x f
+      end
+
+let stab_list t x =
+  let acc = ref [] in
+  stab t x (fun iv p -> acc := (iv, p) :: !acc);
+  List.rev !acc
+
+let stab_count t x =
+  let n = ref 0 in
+  stab t x (fun _ _ -> incr n);
+  !n
+
+let rec query t q f =
+  match t with
+  | Empty -> ()
+  | Node n ->
+      if (not (I.is_empty q)) && n.maxhi >= I.lo q then begin
+        query n.left q f;
+        if I.overlaps n.iv q then f n.iv n.payload;
+        if I.lo n.iv <= I.hi q then query n.right q f
+      end
+
+let rec iter f = function
+  | Empty -> ()
+  | Node n ->
+      iter f n.left;
+      f n.iv n.payload;
+      iter f n.right
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun iv p -> acc := (iv, p) :: !acc) t;
+  List.rev !acc
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec go = function
+    | Empty -> (0, neg_infinity, 0)
+    | Node n ->
+        let hl, ml, cl = go n.left in
+        let hr, mr, cr = go n.right in
+        if abs (hl - hr) > 1 then fail "AVL imbalance";
+        if n.height <> 1 + max hl hr then fail "stale height";
+        let expect = Float.max (I.hi n.iv) (Float.max ml mr) in
+        if n.maxhi <> expect then fail "stale maxhi";
+        if n.count <> 1 + cl + cr then fail "stale count";
+        (match n.left with
+        | Node l when cmp_iv l.iv n.iv > 0 -> fail "left key above node"
+        | _ -> ());
+        (match n.right with
+        | Node r when cmp_iv r.iv n.iv < 0 -> fail "right key below node"
+        | _ -> ());
+        (n.height, n.maxhi, n.count)
+  in
+  ignore (go t)
+
+module Mutable = struct
+  type 'a p = 'a t
+  type nonrec 'a t = { mutable tree : 'a p }
+
+  let create () = { tree = Empty }
+  let size m = size m.tree
+  let add m iv payload = m.tree <- add iv payload m.tree
+
+  let remove m iv pred =
+    match remove iv pred m.tree with
+    | Some tree ->
+        m.tree <- tree;
+        true
+    | None -> false
+
+  let stab m x f = stab m.tree x f
+  let stab_count m x = stab_count m.tree x
+  let snapshot m = m.tree
+end

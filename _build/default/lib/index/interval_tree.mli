@@ -1,0 +1,59 @@
+(** Dynamic stabbing index: an AVL tree keyed by interval left
+    endpoints, with each node augmented by the maximum right endpoint
+    in its subtree.
+
+    This is the classic in-memory interval tree the paper lists as an
+    option for BJ-DOuter and SJ-SelectFirst ("an index on ranges, e.g.,
+    priority search tree or external interval tree"): a stabbing query
+    — report every stored interval containing a point — runs in
+    O(min(n, (k+1) log n)) where k is the output size.  Insert and
+    delete are O(log n).
+
+    The structure is persistent (applicative); the thin {!Mutable}
+    wrapper packages it behind an imperative interface for call sites
+    that want one. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : Cq_interval.Interval.t -> 'a -> 'a t -> 'a t
+(** Insert an interval with a payload.  Duplicates (even identical
+    interval + payload) are kept. *)
+
+val remove : Cq_interval.Interval.t -> ('a -> bool) -> 'a t -> 'a t option
+(** [remove iv pred t] deletes one entry with exactly this interval
+    whose payload satisfies [pred]; [None] if no such entry exists. *)
+
+val stab : 'a t -> float -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+(** [stab t x f] applies [f] to every stored (interval, payload) whose
+    interval contains [x]. *)
+
+val stab_list : 'a t -> float -> (Cq_interval.Interval.t * 'a) list
+val stab_count : 'a t -> float -> int
+
+val query : 'a t -> Cq_interval.Interval.t -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+(** Report every stored interval overlapping the query interval. *)
+
+val iter : (Cq_interval.Interval.t -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> (Cq_interval.Interval.t * 'a) list
+(** Entries in key order (left endpoint, then right). *)
+
+val check_invariants : 'a t -> unit
+(** AVL balance, key order and max-hi augmentation; @raise Failure. *)
+
+(** Imperative facade over the persistent tree. *)
+module Mutable : sig
+  type 'a p := 'a t
+  type 'a t
+
+  val create : unit -> 'a t
+  val size : 'a t -> int
+  val add : 'a t -> Cq_interval.Interval.t -> 'a -> unit
+  val remove : 'a t -> Cq_interval.Interval.t -> ('a -> bool) -> bool
+  val stab : 'a t -> float -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+  val stab_count : 'a t -> float -> int
+  val snapshot : 'a t -> 'a p
+end

@@ -1,0 +1,183 @@
+module I = Cq_interval.Interval
+
+(* A randomized BST (treap) on left endpoints where every node carries
+   the tournament winner of its subtree — the entry with the largest
+   right endpoint.  Stabbing queries prune subtrees whose winner ends
+   before the query point; any un-pruned subtree fully inside the
+   "lo <= x" region is guaranteed to produce output, which makes
+   reporting output-sensitive (O(log n + k) in practice; the strict
+   McCreight bound needs entry push-down, which this treap variant
+   trades away for simple O(log n) expected updates — see DESIGN.md). *)
+
+type 'a entry = { iv : I.t; payload : 'a }
+
+type 'a t =
+  | Empty
+  | Node of {
+      entry : 'a entry;
+      prio : int64;
+      left : 'a t;
+      right : 'a t;
+      winner : 'a entry; (* max right endpoint in the subtree *)
+      count : int;
+    }
+
+let empty = Empty
+
+let size = function Empty -> 0 | Node n -> n.count
+
+let winner_hi = function Empty -> neg_infinity | Node n -> I.hi n.winner.iv
+
+let best a b = if I.hi a.iv >= I.hi b.iv then a else b
+
+let mk entry prio left right =
+  let winner = entry in
+  let winner = match left with Empty -> winner | Node l -> best winner l.winner in
+  let winner = match right with Empty -> winner | Node r -> best winner r.winner in
+  Node { entry; prio; left; right; winner; count = 1 + size left + size right }
+
+let cmp_entry a b =
+  let c = Float.compare (I.lo a.iv) (I.lo b.iv) in
+  if c <> 0 then c else Float.compare (I.hi a.iv) (I.hi b.iv)
+
+let rec split e = function
+  | Empty -> (Empty, Empty)
+  | Node n ->
+      if cmp_entry n.entry e <= 0 then
+        let l, r = split e n.right in
+        (mk n.entry n.prio n.left l, r)
+      else
+        let l, r = split e n.left in
+        (l, mk n.entry n.prio r n.right)
+
+let add rng iv payload t =
+  if I.is_empty iv then invalid_arg "Priority_search_tree.add: empty interval";
+  let e = { iv; payload } in
+  let prio = Cq_util.Rng.int64 rng in
+  let rec ins = function
+    | Empty -> mk e prio Empty Empty
+    | Node n when prio > n.prio ->
+        let l, r = split e (Node n) in
+        mk e prio l r
+    | Node n ->
+        if cmp_entry e n.entry <= 0 then mk n.entry n.prio (ins n.left) n.right
+        else mk n.entry n.prio n.left (ins n.right)
+  in
+  ins t
+
+let rec join l r =
+  match (l, r) with
+  | Empty, t | t, Empty -> t
+  | Node a, Node b ->
+      if a.prio >= b.prio then mk a.entry a.prio a.left (join a.right r)
+      else mk b.entry b.prio (join l b.left) b.right
+
+let rec remove iv pred t =
+  match t with
+  | Empty -> None
+  | Node n -> (
+      let c = I.compare_lo iv n.entry.iv in
+      if c = 0 && pred n.entry.payload then Some (join n.left n.right)
+      else if c < 0 then
+        match remove iv pred n.left with
+        | Some l -> Some (mk n.entry n.prio l n.right)
+        | None -> None
+      else if c > 0 then
+        match remove iv pred n.right with
+        | Some r -> Some (mk n.entry n.prio n.left r)
+        | None -> None
+      else
+        (* Equal key, wrong payload: duplicates can sit on either
+           side. *)
+        match remove iv pred n.left with
+        | Some l -> Some (mk n.entry n.prio l n.right)
+        | None -> (
+            match remove iv pred n.right with
+            | Some r -> Some (mk n.entry n.prio n.left r)
+            | None -> None))
+
+let rec stab t x f =
+  match t with
+  | Empty -> ()
+  | Node n ->
+      if winner_hi t >= x then begin
+        stab n.left x f;
+        if I.lo n.entry.iv <= x then begin
+          if I.hi n.entry.iv >= x then f n.entry.iv n.entry.payload;
+          stab n.right x f
+        end
+      end
+
+let stab_count t x =
+  let n = ref 0 in
+  stab t x (fun _ _ -> incr n);
+  !n
+
+exception Found
+
+let stab_any t x =
+  let hit = ref None in
+  (try
+     stab t x (fun iv p ->
+         hit := Some (iv, p);
+         raise Found)
+   with Found -> ());
+  !hit
+
+let rec iter f = function
+  | Empty -> ()
+  | Node n ->
+      iter f n.left;
+      f n.entry.iv n.entry.payload;
+      iter f n.right
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec go = function
+    | Empty -> None
+    | Node n ->
+        (match n.left with
+        | Node l ->
+            if l.prio > n.prio then fail "heap order violated (left)";
+            if cmp_entry l.entry n.entry > 0 then fail "BST order violated (left)"
+        | Empty -> ());
+        (match n.right with
+        | Node r ->
+            if r.prio > n.prio then fail "heap order violated (right)";
+            if cmp_entry r.entry n.entry < 0 then fail "BST order violated (right)"
+        | Empty -> ());
+        let wl = go n.left and wr = go n.right in
+        let expect =
+          List.fold_left
+            (fun acc w -> match w with Some e -> best acc e | None -> acc)
+            n.entry [ wl; wr ]
+        in
+        if I.hi expect.iv <> I.hi n.winner.iv then fail "stale tournament winner";
+        Some n.winner
+  in
+  ignore (go t)
+
+module Mutable = struct
+  type 'a p = 'a t
+
+  type nonrec 'a t = {
+    mutable tree : 'a p;
+    rng : Cq_util.Rng.t;
+  }
+
+  let create ?(seed = 0x9571) () = { tree = Empty; rng = Cq_util.Rng.create seed }
+  let size m = size m.tree
+  let add m iv payload = m.tree <- add m.rng iv payload m.tree
+
+  let remove m iv pred =
+    match remove iv pred m.tree with
+    | Some t ->
+        m.tree <- t;
+        true
+    | None -> false
+
+  let stab m x f = stab m.tree x f
+  let stab_count m x = stab_count m.tree x
+  let stab_any m x = stab_any m.tree x
+  let snapshot m = m.tree
+end

@@ -1,0 +1,55 @@
+(** Priority search tree (McCreight 1985), the structure the paper
+    names for the O(log(1/α)) hotspot-membership check and as a
+    BJ-DOuter window index.
+
+    An interval [\[lo, hi\]] is the point (lo, hi): a stabbing query
+    for x asks for all points with lo <= x <= hi — a three-sided query
+    (lo in (-inf, x], hi in [x, +inf)).  The tree is a binary search
+    tree on lo combined with a max-heap on hi: stabbing reports k
+    intervals in O(log n + k).
+
+    This implementation is a randomized-balanced (treap) variant with
+    heap-on-hi maintained as a subtree augmentation via tournament
+    winners, supporting O(log n) expected insert and delete. *)
+
+type 'a t
+
+val empty : 'a t
+val size : 'a t -> int
+
+val add : Cq_util.Rng.t -> Cq_interval.Interval.t -> 'a -> 'a t -> 'a t
+(** Persistent insert; duplicates kept.  @raise Invalid_argument on an
+    empty interval. *)
+
+val remove : Cq_interval.Interval.t -> ('a -> bool) -> 'a t -> 'a t option
+(** Remove one entry with exactly this interval and a matching
+    payload; [None] if absent. *)
+
+val stab : 'a t -> float -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+(** Report every stored interval containing x, in O(log n + k). *)
+
+val stab_count : 'a t -> float -> int
+val stab_any : 'a t -> float -> (Cq_interval.Interval.t * 'a) option
+(** Some stabbed interval if any exists — O(log n); the paper's
+    membership-style check. *)
+
+val iter : (Cq_interval.Interval.t -> 'a -> unit) -> 'a t -> unit
+
+val check_invariants : 'a t -> unit
+(** BST order on lo, max-hi augmentation correctness.
+    @raise Failure on violation. *)
+
+(** Imperative facade. *)
+module Mutable : sig
+  type 'a p := 'a t
+  type 'a t
+
+  val create : ?seed:int -> unit -> 'a t
+  val size : 'a t -> int
+  val add : 'a t -> Cq_interval.Interval.t -> 'a -> unit
+  val remove : 'a t -> Cq_interval.Interval.t -> ('a -> bool) -> bool
+  val stab : 'a t -> float -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+  val stab_count : 'a t -> float -> int
+  val stab_any : 'a t -> float -> (Cq_interval.Interval.t * 'a) option
+  val snapshot : 'a t -> 'a p
+end

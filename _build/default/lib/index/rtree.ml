@@ -1,0 +1,331 @@
+module Vec = Cq_util.Vec
+
+type 'a entry = { erect : Rect.t; payload : 'a }
+
+type 'a node =
+  | RLeaf of 'a leaf_node
+  | RInternal of 'a internal_node
+
+and 'a leaf_node = {
+  mutable entries : 'a entry Vec.t;
+  mutable lmbr : Rect.t;
+}
+
+and 'a internal_node = {
+  mutable children : 'a node Vec.t;
+  mutable imbr : Rect.t;
+}
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable count : int;
+  max_entries : int;
+  min_entries : int;
+}
+
+let node_mbr = function RLeaf l -> l.lmbr | RInternal n -> n.imbr
+
+let create ?(max_entries = 8) () =
+  if max_entries < 4 then invalid_arg "Rtree.create: max_entries must be >= 4";
+  {
+    root = RLeaf { entries = Vec.create (); lmbr = Rect.empty };
+    count = 0;
+    max_entries;
+    min_entries = max 2 (max_entries / 2);
+  }
+
+let size t = t.count
+
+let recompute_leaf_mbr l =
+  l.lmbr <- Vec.fold (fun acc e -> Rect.union acc e.erect) Rect.empty l.entries
+
+let recompute_internal_mbr n =
+  n.imbr <- Vec.fold (fun acc c -> Rect.union acc (node_mbr c)) Rect.empty n.children
+
+(* --------------------------------------------------------------------- *)
+(* Quadratic split (Guttman 1984)                                          *)
+(* --------------------------------------------------------------------- *)
+
+(* Splits [items] (with their rectangles given by [rect_of]) into two
+   groups, each of size >= [min_fill]. *)
+let quadratic_split rect_of items min_fill =
+  let n = Array.length items in
+  assert (n >= 2);
+  (* Pick seeds: the pair wasting the most area if grouped together. *)
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = rect_of items.(i) and rj = rect_of items.(j) in
+      let waste = Rect.area (Rect.union ri rj) -. Rect.area ri -. Rect.area rj in
+      if waste > !worst then begin
+        worst := waste;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let ga = Vec.create () and gb = Vec.create () in
+  let mbra = ref (rect_of items.(!seed_a)) and mbrb = ref (rect_of items.(!seed_b)) in
+  Vec.push ga items.(!seed_a);
+  Vec.push gb items.(!seed_b);
+  let remaining = Vec.create () in
+  Array.iteri (fun i it -> if i <> !seed_a && i <> !seed_b then Vec.push remaining it) items;
+  while not (Vec.is_empty remaining) do
+    let left = Vec.length remaining in
+    (* Force-assign when a group must take every remaining item to
+       reach minimum occupancy. *)
+    if Vec.length ga + left = min_fill then
+      while not (Vec.is_empty remaining) do
+        let it = Vec.pop remaining in
+        mbra := Rect.union !mbra (rect_of it);
+        Vec.push ga it
+      done
+    else if Vec.length gb + left = min_fill then
+      while not (Vec.is_empty remaining) do
+        let it = Vec.pop remaining in
+        mbrb := Rect.union !mbrb (rect_of it);
+        Vec.push gb it
+      done
+    else begin
+      (* PickNext: the item with the strongest preference. *)
+      let best = ref 0 and best_diff = ref neg_infinity in
+      for i = 0 to left - 1 do
+        let r = rect_of (Vec.get remaining i) in
+        let da = Rect.enlargement !mbra r and db = Rect.enlargement !mbrb r in
+        let diff = Float.abs (da -. db) in
+        if diff > !best_diff then begin
+          best_diff := diff;
+          best := i
+        end
+      done;
+      let it = Vec.swap_remove remaining !best in
+      let r = rect_of it in
+      let da = Rect.enlargement !mbra r and db = Rect.enlargement !mbrb r in
+      let to_a =
+        if da < db then true
+        else if db < da then false
+        else if Rect.area !mbra < Rect.area !mbrb then true
+        else if Rect.area !mbrb < Rect.area !mbra then false
+        else Vec.length ga <= Vec.length gb
+      in
+      if to_a then begin
+        mbra := Rect.union !mbra r;
+        Vec.push ga it
+      end
+      else begin
+        mbrb := Rect.union !mbrb r;
+        Vec.push gb it
+      end
+    end
+  done;
+  ((ga, !mbra), (gb, !mbrb))
+
+(* --------------------------------------------------------------------- *)
+(* Insertion                                                               *)
+(* --------------------------------------------------------------------- *)
+
+let choose_child children r =
+  let best = ref 0 and best_enl = ref infinity and best_area = ref infinity in
+  Vec.iteri
+    (fun i c ->
+      let m = node_mbr c in
+      let enl = Rect.enlargement m r in
+      let a = Rect.area m in
+      if enl < !best_enl || (enl = !best_enl && a < !best_area) then begin
+        best := i;
+        best_enl := enl;
+        best_area := a
+      end)
+    children;
+  !best
+
+(* Returns a new sibling when the node split. *)
+let rec insert_rec t node r payload : 'a node option =
+  match node with
+  | RLeaf l ->
+      Vec.push l.entries { erect = r; payload };
+      l.lmbr <- Rect.union l.lmbr r;
+      if Vec.length l.entries <= t.max_entries then None
+      else begin
+        let (ga, mbra), (gb, mbrb) =
+          quadratic_split (fun e -> e.erect) (Vec.to_array l.entries) t.min_entries
+        in
+        l.entries <- ga;
+        l.lmbr <- mbra;
+        Some (RLeaf { entries = gb; lmbr = mbrb })
+      end
+  | RInternal n -> (
+      let ci = choose_child n.children r in
+      let sibling = insert_rec t (Vec.get n.children ci) r payload in
+      n.imbr <- Rect.union n.imbr r;
+      match sibling with
+      | None -> None
+      | Some s ->
+          Vec.push n.children s;
+          if Vec.length n.children <= t.max_entries then None
+          else begin
+            let (ga, mbra), (gb, mbrb) =
+              quadratic_split node_mbr (Vec.to_array n.children) t.min_entries
+            in
+            n.children <- ga;
+            n.imbr <- mbra;
+            Some (RInternal { children = gb; imbr = mbrb })
+          end)
+
+let insert t r payload =
+  if Rect.is_empty r then invalid_arg "Rtree.insert: empty rectangle";
+  (match insert_rec t t.root r payload with
+  | None -> ()
+  | Some sibling ->
+      let children = Vec.create () in
+      Vec.push children t.root;
+      Vec.push children sibling;
+      t.root <- RInternal { children; imbr = Rect.union (node_mbr t.root) (node_mbr sibling) });
+  t.count <- t.count + 1
+
+(* --------------------------------------------------------------------- *)
+(* Deletion (with CondenseTree re-insertion)                               *)
+(* --------------------------------------------------------------------- *)
+
+let rec collect_entries node acc =
+  match node with
+  | RLeaf l -> Vec.iter (fun e -> Vec.push acc e) l.entries
+  | RInternal n -> Vec.iter (fun c -> collect_entries c acc) n.children
+
+(* Returns [true] if the entry was removed beneath [node].  Underfull
+   non-root nodes are dissolved: their surviving entries are appended
+   to [orphans] and the caller drops the child. *)
+let rec remove_rec t node r pred orphans : bool =
+  match node with
+  | RLeaf l ->
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < Vec.length l.entries do
+        let e = Vec.get l.entries !i in
+        if Rect.equal e.erect r && pred e.payload then begin
+          ignore (Vec.swap_remove l.entries !i);
+          found := true
+        end
+        else incr i
+      done;
+      if !found then recompute_leaf_mbr l;
+      !found
+  | RInternal n ->
+      let found = ref false in
+      let ci = ref 0 in
+      while (not !found) && !ci < Vec.length n.children do
+        let c = Vec.get n.children !ci in
+        if Rect.contains (node_mbr c) r then
+          if remove_rec t c r pred orphans then begin
+            found := true;
+            let under =
+              match c with
+              | RLeaf l -> Vec.length l.entries < t.min_entries
+              | RInternal m -> Vec.length m.children < t.min_entries
+            in
+            if under then begin
+              collect_entries c orphans;
+              ignore (Vec.swap_remove n.children !ci)
+            end
+          end
+          else incr ci
+        else incr ci
+      done;
+      if !found then recompute_internal_mbr n;
+      !found
+
+let remove t r pred =
+  if Rect.is_empty r then false
+  else begin
+    let orphans = Vec.create () in
+    let found = remove_rec t t.root r pred orphans in
+    if found then begin
+      t.count <- t.count - 1;
+      (* Collapse a root with a single child. *)
+      let rec collapse () =
+        match t.root with
+        | RInternal n when Vec.length n.children = 1 ->
+            t.root <- Vec.get n.children 0;
+            collapse ()
+        | RInternal n when Vec.length n.children = 0 ->
+            t.root <- RLeaf { entries = Vec.create (); lmbr = Rect.empty }
+        | _ -> ()
+      in
+      collapse ();
+      (* Re-insert entries of dissolved nodes. *)
+      Vec.iter
+        (fun e ->
+          t.count <- t.count - 1;
+          insert t e.erect e.payload)
+        orphans
+    end;
+    found
+  end
+
+(* --------------------------------------------------------------------- *)
+(* Queries                                                                 *)
+(* --------------------------------------------------------------------- *)
+
+let rec stab_rec node ~x ~y f =
+  match node with
+  | RLeaf l ->
+      Vec.iter (fun e -> if Rect.contains_point e.erect ~x ~y then f e.erect e.payload) l.entries
+  | RInternal n ->
+      Vec.iter (fun c -> if Rect.contains_point (node_mbr c) ~x ~y then stab_rec c ~x ~y f) n.children
+
+let stab t ~x ~y f = stab_rec t.root ~x ~y f
+
+let stab_count t ~x ~y =
+  let n = ref 0 in
+  stab t ~x ~y (fun _ _ -> incr n);
+  !n
+
+let rec search_rec node w f =
+  match node with
+  | RLeaf l -> Vec.iter (fun e -> if Rect.intersects e.erect w then f e.erect e.payload) l.entries
+  | RInternal n ->
+      Vec.iter (fun c -> if Rect.intersects (node_mbr c) w then search_rec c w f) n.children
+
+let search t w f = if not (Rect.is_empty w) then search_rec t.root w f
+
+let rec iter_rec node f =
+  match node with
+  | RLeaf l -> Vec.iter (fun e -> f e.erect e.payload) l.entries
+  | RInternal n -> Vec.iter (fun c -> iter_rec c f) n.children
+
+let iter t f = iter_rec t.root f
+
+(* --------------------------------------------------------------------- *)
+(* Invariants (test support)                                               *)
+(* --------------------------------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec go ~is_root node =
+    match node with
+    | RLeaf l ->
+        let n = Vec.length l.entries in
+        if (not is_root) && n < t.min_entries then fail "leaf underflow";
+        if n > t.max_entries then fail "leaf overflow";
+        let mbr = Vec.fold (fun acc e -> Rect.union acc e.erect) Rect.empty l.entries in
+        if not (Rect.equal mbr l.lmbr) then fail "stale leaf mbr";
+        (1, n)
+    | RInternal nd ->
+        let n = Vec.length nd.children in
+        if (not is_root) && n < t.min_entries then fail "internal underflow";
+        if is_root && n < 2 then fail "internal root with < 2 children";
+        if n > t.max_entries then fail "internal overflow";
+        let mbr = Vec.fold (fun acc c -> Rect.union acc (node_mbr c)) Rect.empty nd.children in
+        if not (Rect.equal mbr nd.imbr) then fail "stale internal mbr";
+        let depth = ref 0 and total = ref 0 in
+        Vec.iter
+          (fun c ->
+            let d, cnt = go ~is_root:false c in
+            if !depth = 0 then depth := d
+            else if d <> !depth then fail "non-uniform depth";
+            total := !total + cnt)
+          nd.children;
+        (!depth + 1, !total)
+  in
+  let _, total = go ~is_root:true t.root in
+  if total <> t.count then fail "size mismatch: counted %d, recorded %d" total t.count

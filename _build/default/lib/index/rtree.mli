@@ -1,0 +1,37 @@
+(** Guttman R-tree (quadratic split) over rectangles.
+
+    Used as the two-dimensional point-stabbing index over query
+    rectangles in SJ-JoinFirst, and as the per-group structure of the
+    SSI in SJ-SSI ("each group in the SSI is stored as an R-tree",
+    Section 3.2).  Supports insertion, deletion with tree condensing
+    and re-insertion, point stabbing and window queries. *)
+
+type 'a t
+
+val create : ?max_entries:int -> unit -> 'a t
+(** [max_entries] is M (default 8); minimum occupancy is M/2 rounded
+    down, at least 2.  @raise Invalid_argument if [max_entries < 4]. *)
+
+val size : 'a t -> int
+
+val insert : 'a t -> Rect.t -> 'a -> unit
+(** @raise Invalid_argument on an empty rectangle. *)
+
+val remove : 'a t -> Rect.t -> ('a -> bool) -> bool
+(** Delete one entry with exactly this rectangle whose payload
+    satisfies the predicate; underfull nodes are condensed and their
+    entries re-inserted (Guttman's CondenseTree). *)
+
+val stab : 'a t -> x:float -> y:float -> (Rect.t -> 'a -> unit) -> unit
+(** Every entry whose rectangle contains the point. *)
+
+val stab_count : 'a t -> x:float -> y:float -> int
+
+val search : 'a t -> Rect.t -> (Rect.t -> 'a -> unit) -> unit
+(** Every entry whose rectangle intersects the window. *)
+
+val iter : 'a t -> (Rect.t -> 'a -> unit) -> unit
+
+val check_invariants : 'a t -> unit
+(** MBR containment, occupancy bounds, uniform leaf depth;
+    @raise Failure. *)

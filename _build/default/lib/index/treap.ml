@@ -1,0 +1,156 @@
+module I = Cq_interval.Interval
+
+module type ELEMENT = sig
+  type t
+
+  val compare : t -> t -> int
+  val interval : t -> I.t
+end
+
+(* The common intersection of zero intervals is the whole line — the
+   neutral element of intersection — so that joins compose. *)
+let full_line = I.make neg_infinity infinity
+
+module Make (E : ELEMENT) = struct
+  type t =
+    | Empty
+    | Node of {
+        elt : E.t;
+        prio : int64;
+        left : t;
+        right : t;
+        isect : I.t;
+        count : int;
+      }
+
+  let empty = Empty
+
+  let is_empty = function Empty -> true | Node _ -> false
+
+  let size = function Empty -> 0 | Node n -> n.count
+
+  let isect = function Empty -> full_line | Node n -> n.isect
+
+  let mk elt prio left right =
+    Node
+      {
+        elt;
+        prio;
+        left;
+        right;
+        isect = I.inter (E.interval elt) (I.inter (isect left) (isect right));
+        count = 1 + size left + size right;
+      }
+
+  (* Split by element order: (elements < e or (= e)) handled by caller
+     through the strictness flag. *)
+  let rec split_cmp keep_eq_left e = function
+    | Empty -> (Empty, Empty)
+    | Node n ->
+        let c = E.compare n.elt e in
+        if c < 0 || (c = 0 && keep_eq_left) then
+          let l, r = split_cmp keep_eq_left e n.right in
+          (mk n.elt n.prio n.left l, r)
+        else
+          let l, r = split_cmp keep_eq_left e n.left in
+          (l, mk n.elt n.prio r n.right)
+
+  let rec join l r =
+    match (l, r) with
+    | Empty, t | t, Empty -> t
+    | Node a, Node b ->
+        if a.prio >= b.prio then mk a.elt a.prio a.left (join a.right r)
+        else mk b.elt b.prio (join l b.left) b.right
+
+  let add rng elt t =
+    let prio = Cq_util.Rng.int64 rng in
+    let rec ins = function
+      | Empty -> mk elt prio Empty Empty
+      | Node n when prio > n.prio ->
+          let l, r = split_cmp true elt (Node n) in
+          mk elt prio l r
+      | Node n ->
+          if E.compare elt n.elt <= 0 then mk n.elt n.prio (ins n.left) n.right
+          else mk n.elt n.prio n.left (ins n.right)
+    in
+    ins t
+
+  let rec remove elt t =
+    match t with
+    | Empty -> None
+    | Node n -> (
+        let c = E.compare elt n.elt in
+        if c = 0 then Some (join n.left n.right)
+        else if c < 0 then
+          match remove elt n.left with
+          | Some l -> Some (mk n.elt n.prio l n.right)
+          | None -> None
+        else
+          match remove elt n.right with
+          | Some r -> Some (mk n.elt n.prio n.left r)
+          | None -> None)
+
+  let rec mem elt = function
+    | Empty -> false
+    | Node n ->
+        let c = E.compare elt n.elt in
+        if c = 0 then true else if c < 0 then mem elt n.left else mem elt n.right
+
+  (* Split on the interval's left endpoint.  E.compare is primarily by
+     left endpoint, so the element order refines the lo order and a
+     structural descent on lo is well-defined. *)
+  let rec split_lo_le x = function
+    | Empty -> (Empty, Empty)
+    | Node n ->
+        if I.lo (E.interval n.elt) <= x then
+          let l, r = split_lo_le x n.right in
+          (mk n.elt n.prio n.left l, r)
+        else
+          let l, r = split_lo_le x n.left in
+          (l, mk n.elt n.prio r n.right)
+
+  let rec min_elt = function
+    | Empty -> None
+    | Node { left = Empty; elt; _ } -> Some elt
+    | Node { left; _ } -> min_elt left
+
+  let rec iter f = function
+    | Empty -> ()
+    | Node n ->
+        iter f n.left;
+        f n.elt;
+        iter f n.right
+
+  let fold f acc t =
+    let acc = ref acc in
+    iter (fun e -> acc := f !acc e) t;
+    !acc
+
+  let to_list t = List.rev (fold (fun acc e -> e :: acc) [] t)
+
+  let of_list rng elts = List.fold_left (fun t e -> add rng e t) Empty elts
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let rec go = function
+      | Empty -> (full_line, 0)
+      | Node n ->
+          (match n.left with
+          | Node l ->
+              if l.prio > n.prio then fail "heap order violated (left)";
+              if E.compare l.elt n.elt > 0 then fail "BST order violated (left)"
+          | Empty -> ());
+          (match n.right with
+          | Node r ->
+              if r.prio > n.prio then fail "heap order violated (right)";
+              if E.compare r.elt n.elt < 0 then fail "BST order violated (right)"
+          | Empty -> ());
+          let il, cl = go n.left in
+          let ir, cr = go n.right in
+          let expect = I.inter (E.interval n.elt) (I.inter il ir) in
+          if not (I.equal expect n.isect) then fail "stale intersection augmentation";
+          if n.count <> 1 + cl + cr then fail "stale count";
+          (n.isect, n.count)
+    in
+    ignore (go t)
+end

@@ -1,0 +1,62 @@
+(** Randomised balanced search trees (treaps) over interval-carrying
+    elements, with O(log n) expected insert, delete, {e split} and
+    {e join}, and a subtree augmentation maintaining the {e common
+    intersection} of all member intervals.
+
+    This is the "height-balanced binary tree supporting INSERT, DELETE,
+    SPLIT and JOIN in O(log n)" that Appendix B builds each stabbing
+    group on: leaves hold the group's intervals ordered by left
+    endpoint, and the root's augmented value is the group's common
+    intersection ⋂Ii.  (Tarjan's reference is a 2-3 tree; a treap gives
+    the same expected bounds with far simpler split/join.) *)
+
+module type ELEMENT = sig
+  type t
+
+  val compare : t -> t -> int
+  (** Total order whose {e primary} criterion must be the interval's
+      left endpoint (Appendix B's invariant (⋆) depends on it). *)
+
+  val interval : t -> Cq_interval.Interval.t
+end
+
+module Make (E : ELEMENT) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val size : t -> int
+
+  val isect : t -> Cq_interval.Interval.t
+  (** Common intersection of all member intervals; for the empty treap
+      this is the full line [(-inf, +inf)] (neutral element). *)
+
+  val add : Cq_util.Rng.t -> E.t -> t -> t
+  (** Insert (duplicates by [E.compare] are kept, landing adjacently).
+      The RNG draws the node's heap priority. *)
+
+  val remove : E.t -> t -> t option
+  (** Remove one element equal to the argument; [None] if absent. *)
+
+  val mem : E.t -> t -> bool
+
+  val split_lo_le : float -> t -> t * t
+  (** [split_lo_le x t] = (elements whose interval's left endpoint <= x,
+      the rest), each a valid treap.  This is the Appendix-B SPLIT at
+      the right endpoint of the active set's common intersection. *)
+
+  val join : t -> t -> t
+  (** [join l r] assumes every element of [l] precedes every element of
+      [r] in [E.compare] order (checked only in test builds via
+      {!check_invariants}). *)
+
+  val min_elt : t -> E.t option
+  val iter : (E.t -> unit) -> t -> unit
+  val fold : ('acc -> E.t -> 'acc) -> 'acc -> t -> 'acc
+  val to_list : t -> E.t list
+  val of_list : Cq_util.Rng.t -> E.t list -> t
+
+  val check_invariants : t -> unit
+  (** Heap order on priorities, BST order on elements, intersection
+      augmentation; @raise Failure. *)
+end

@@ -1,0 +1,1 @@
+lib/interval/interval.ml: Cq_util Float Format

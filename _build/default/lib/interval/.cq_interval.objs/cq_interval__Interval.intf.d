@@ -1,0 +1,1 @@
+lib/interval/interval.mli: Cq_util Format

@@ -1,0 +1,1 @@
+lib/joins/band_join.ml: Array Band_query Cq_index Cq_interval Cq_relation Cq_util Hashtbl Hotspot_core List

@@ -1,0 +1,1 @@
+lib/joins/band_join.mli: Band_query Cq_relation

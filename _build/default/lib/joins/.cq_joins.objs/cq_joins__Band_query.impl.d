@@ -1,0 +1,1 @@
+lib/joins/band_query.ml: Array Cq_interval Format Int

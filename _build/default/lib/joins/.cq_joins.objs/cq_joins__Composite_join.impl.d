@@ -1,0 +1,1 @@
+lib/joins/composite_join.ml: Array Composite_query Cq_index Cq_interval Cq_relation Cq_util Hashtbl Hotspot_core List

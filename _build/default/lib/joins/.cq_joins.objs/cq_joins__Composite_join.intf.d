@@ -1,0 +1,1 @@
+lib/joins/composite_join.mli: Composite_query Cq_relation

@@ -1,0 +1,1 @@
+lib/joins/composite_query.ml: Cq_interval Format Int

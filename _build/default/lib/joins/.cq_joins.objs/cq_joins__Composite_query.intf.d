@@ -1,0 +1,1 @@
+lib/joins/composite_query.mli: Cq_interval Format Hotspot_core

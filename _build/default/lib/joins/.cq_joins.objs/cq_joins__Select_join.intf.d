@@ -1,0 +1,1 @@
+lib/joins/select_join.mli: Cq_relation Select_query

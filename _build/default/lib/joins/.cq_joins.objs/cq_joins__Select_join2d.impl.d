@@ -1,0 +1,1 @@
+lib/joins/select_join2d.ml: Array Cq_index Cq_interval Cq_relation Cq_util Hashtbl Hotspot_core List Select_query

@@ -1,0 +1,1 @@
+lib/joins/select_join2d.mli: Cq_relation Select_query

@@ -1,0 +1,1 @@
+lib/joins/select_query.ml: Array Cq_index Cq_interval Format Int

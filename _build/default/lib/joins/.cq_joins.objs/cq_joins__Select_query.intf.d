@@ -1,0 +1,1 @@
+lib/joins/select_query.mli: Cq_index Cq_interval Format Hotspot_core

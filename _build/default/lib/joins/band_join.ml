@@ -1,0 +1,651 @@
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module Fbt = Table.Fbt
+module Itree = Cq_index.Interval_tree
+module Vec = Cq_util.Vec
+
+type sink = Band_query.t -> Tuple.s -> unit
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+  val create : Table.s_table -> Band_query.t array -> t
+  val process_r : t -> Tuple.r -> sink -> unit
+
+  val affected : t -> Tuple.r -> (Band_query.t -> unit) -> unit
+
+  val insert_query : t -> Band_query.t -> unit
+  val delete_query : t -> Band_query.t -> bool
+  val query_count : t -> int
+end
+
+(* Per-event deduplication of affected queries: a query containing both
+   boundary tuples is reachable from both scans. *)
+type dedupe = {
+  seen : (int, int) Hashtbl.t;
+  mutable event : int;
+}
+
+let new_dedupe () = { seen = Hashtbl.create 256; event = 0 }
+
+let fresh_event d =
+  d.event <- d.event + 1;
+  d.event
+
+let mark d q =
+  let qid = q.Band_query.qid in
+  match Hashtbl.find_opt d.seen qid with
+  | Some ev when ev = d.event -> false
+  | _ ->
+      Hashtbl.replace d.seen qid d.event;
+      true
+
+(* Existence probe shared by the per-query strategies: does the
+   instantiated window contain any S.B value? *)
+let window_nonempty table w =
+  match Fbt.seek_ge (Table.s_by_b table) (I.lo w) with
+  | Some c -> Fbt.key c <= I.hi w
+  | None -> false
+
+(* --------------------------------------------------------------------- *)
+(* BJ-QOuter: queries as the outer relation                                *)
+(* --------------------------------------------------------------------- *)
+
+module Qouter = struct
+  type t = {
+    table : Table.s_table;
+    queries : (int, Band_query.t) Hashtbl.t;
+  }
+
+  let name = "BJ-Q"
+
+  let create table queries =
+    let h = Hashtbl.create (max 16 (Array.length queries)) in
+    Array.iter (fun (q : Band_query.t) -> Hashtbl.replace h q.qid q) queries;
+    { table; queries = h }
+
+  let process_r t (r : Tuple.r) sink =
+    let sb = Table.s_by_b t.table in
+    Hashtbl.iter
+      (fun _ (q : Band_query.t) ->
+        let w = Band_query.instantiated q ~b:r.b in
+        Fbt.iter_range sb ~lo:(I.lo w) ~hi:(I.hi w) (fun _ s -> sink q s))
+      t.queries
+
+  let affected t (r : Tuple.r) report =
+    Hashtbl.iter
+      (fun _ (q : Band_query.t) ->
+        if window_nonempty t.table (Band_query.instantiated q ~b:r.b) then report q)
+      t.queries
+
+  let insert_query t q = Hashtbl.replace t.queries q.Band_query.qid q
+  let delete_query t (q : Band_query.t) =
+    if Hashtbl.mem t.queries q.qid then (Hashtbl.remove t.queries q.qid; true) else false
+
+  let query_count t = Hashtbl.length t.queries
+end
+
+(* --------------------------------------------------------------------- *)
+(* BJ-DOuter: data as the outer relation                                   *)
+(* --------------------------------------------------------------------- *)
+
+module Douter = struct
+  type t = {
+    table : Table.s_table;
+    (* Stabbing index over the band windows (the paper suggests a
+       dynamic priority search tree; an augmented interval tree has the
+       same O(log n + k) stabbing bound and O(log n) updates). *)
+    windows : Band_query.t Itree.Mutable.t;
+    dedupe : dedupe;
+  }
+
+  let name = "BJ-D"
+
+  let create table queries =
+    let windows = Itree.Mutable.create () in
+    Array.iter (fun (q : Band_query.t) -> Itree.Mutable.add windows q.range q) queries;
+    { table; windows; dedupe = new_dedupe () }
+
+  let process_r t (r : Tuple.r) sink =
+    Table.iter_s t.table (fun s ->
+        Itree.Mutable.stab t.windows (s.b -. r.b) (fun _ q -> sink q s))
+
+  let affected t (r : Tuple.r) report =
+    ignore (fresh_event t.dedupe);
+    Table.iter_s t.table (fun s ->
+        Itree.Mutable.stab t.windows (s.b -. r.b) (fun _ q ->
+            if mark t.dedupe q then report q))
+
+  let insert_query t (q : Band_query.t) = Itree.Mutable.add t.windows q.range q
+
+  let delete_query t (q : Band_query.t) =
+    Itree.Mutable.remove t.windows q.range (fun p -> p.Band_query.qid = q.qid)
+
+  let query_count t = Itree.Mutable.size t.windows
+end
+
+(* --------------------------------------------------------------------- *)
+(* BJ-MJ: merge join between the sorted windows and sorted S               *)
+(* --------------------------------------------------------------------- *)
+
+module Merge = struct
+  type t = {
+    table : Table.s_table;
+    (* Band windows in increasing left-endpoint order (a B-tree doubles
+       as the "sorted list" with O(log n) maintenance). *)
+    by_lo : Band_query.t Fbt.t;
+  }
+
+  let name = "BJ-MJ"
+
+  let create table queries =
+    let by_lo = Fbt.create () in
+    Array.iter (fun (q : Band_query.t) -> Fbt.insert by_lo (I.lo q.range) q) queries;
+    { table; by_lo }
+
+  let process_r t (r : Tuple.r) sink =
+    let sb = Table.s_by_b t.table in
+    (* The frontier cursor only ever moves right: total cost
+       O(n + m + k) per event. *)
+    let frontier = ref (Fbt.seek_ge sb neg_infinity) in
+    Fbt.iter t.by_lo (fun _ q ->
+        let w = Band_query.instantiated q ~b:r.b in
+        let rec advance () =
+          match !frontier with
+          | Some c when Fbt.key c < I.lo w ->
+              frontier := Fbt.next c;
+              advance ()
+          | _ -> ()
+        in
+        advance ();
+        let rec emit = function
+          | Some c when Fbt.key c <= I.hi w ->
+              sink q (Fbt.value c);
+              emit (Fbt.next c)
+          | _ -> ()
+        in
+        emit !frontier)
+
+  let affected t (r : Tuple.r) report =
+    let sb = Table.s_by_b t.table in
+    let frontier = ref (Fbt.seek_ge sb neg_infinity) in
+    Fbt.iter t.by_lo (fun _ q ->
+        let w = Band_query.instantiated q ~b:r.b in
+        let rec advance () =
+          match !frontier with
+          | Some c when Fbt.key c < I.lo w ->
+              frontier := Fbt.next c;
+              advance ()
+          | _ -> ()
+        in
+        advance ();
+        match !frontier with
+        | Some c when Fbt.key c <= I.hi w -> report q
+        | _ -> ())
+
+  let insert_query t (q : Band_query.t) = Fbt.insert t.by_lo (I.lo q.range) q
+
+  let delete_query t (q : Band_query.t) =
+    Fbt.remove_first t.by_lo (I.lo q.range) (fun p -> p.Band_query.qid = q.qid)
+
+  let query_count t = Fbt.length t.by_lo
+end
+
+(* --------------------------------------------------------------------- *)
+(* BJ-Shared: NiagaraCQ-style sharing of identical join conditions        *)
+(* --------------------------------------------------------------------- *)
+
+module Shared = struct
+  (* The related-work contrast (Section 5): NiagaraCQ shares work only
+     across queries with IDENTICAL join conditions.  Queries are binned
+     by their exact window; each distinct window is probed once and the
+     results fanned out.  With all-distinct windows this degenerates to
+     BJ-QOuter — exactly the limitation the SSI overcomes by exploiting
+     overlap instead of equality. *)
+  type t = {
+    table : Table.s_table;
+    bins : (float * float, (int, Band_query.t) Hashtbl.t) Hashtbl.t;
+    mutable count : int;
+  }
+
+  let name = "BJ-Shared"
+
+  let key (q : Band_query.t) = (I.lo q.range, I.hi q.range)
+
+  let create table queries =
+    let t = { table; bins = Hashtbl.create 64; count = 0 } in
+    Array.iter
+      (fun (q : Band_query.t) ->
+        let bin =
+          match Hashtbl.find_opt t.bins (key q) with
+          | Some b -> b
+          | None ->
+              let b = Hashtbl.create 4 in
+              Hashtbl.replace t.bins (key q) b;
+              b
+        in
+        Hashtbl.replace bin q.qid q;
+        t.count <- t.count + 1)
+      queries;
+    t
+
+  let process_r t (r : Tuple.r) sink =
+    let sb = Table.s_by_b t.table in
+    Hashtbl.iter
+      (fun (lo, hi) bin ->
+        Fbt.iter_range sb ~lo:(lo +. r.b) ~hi:(hi +. r.b) (fun _ s ->
+            Hashtbl.iter (fun _ q -> sink q s) bin))
+      t.bins
+
+  let affected t (r : Tuple.r) report =
+    Hashtbl.iter
+      (fun (lo, hi) bin ->
+        if window_nonempty t.table (I.shift (I.make lo hi) r.b) then
+          Hashtbl.iter (fun _ q -> report q) bin)
+      t.bins
+
+  let insert_query t (q : Band_query.t) =
+    let bin =
+      match Hashtbl.find_opt t.bins (key q) with
+      | Some b -> b
+      | None ->
+          let b = Hashtbl.create 4 in
+          Hashtbl.replace t.bins (key q) b;
+          b
+    in
+    Hashtbl.replace bin q.qid q;
+    t.count <- t.count + 1
+
+  let delete_query t (q : Band_query.t) =
+    match Hashtbl.find_opt t.bins (key q) with
+    | None -> false
+    | Some bin ->
+        if Hashtbl.mem bin q.qid then begin
+          Hashtbl.remove bin q.qid;
+          if Hashtbl.length bin = 0 then Hashtbl.remove t.bins (key q);
+          t.count <- t.count - 1;
+          true
+        end
+        else false
+
+  let query_count t = t.count
+end
+
+(* --------------------------------------------------------------------- *)
+(* Shared SSI group processing (STEP 1 + STEP 2 of Section 3.1)            *)
+(* --------------------------------------------------------------------- *)
+
+(* STEP 1 for one stabbing group against an incoming r: find the
+   affected queries.  [iter_lo f] visits members in increasing
+   left-endpoint order, [iter_hi f] in decreasing right-endpoint
+   order; both must stop when [f] returns [false] (early exit is the
+   point of the sorted sequences).  Returns the affected queries with
+   the two anchor cursors for STEP 2. *)
+let group_step1 table dedupe (r : Tuple.r) ~stab ~iter_lo ~iter_hi =
+  let b = r.b in
+  let key = stab +. b in
+  let sb = Table.s_by_b table in
+  (* Anchors around the stabbing point offset: c2 = leftmost entry
+     >= key; c1 = its predecessor (rightmost entry < key), or the last
+     entry when c2 is exhausted.  On an exact match the key's
+     duplicates all sit on the forward side, so the two scans never
+     meet. *)
+  let c2 = Fbt.seek_ge sb key in
+  let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
+  let affected = Vec.create () in
+  if not (c1 = None && c2 = None) then begin
+    let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
+    let consider q = if mark dedupe q then Vec.push affected q in
+    if exact then
+      (* The S-tuple at the stabbing point joins with every member. *)
+      iter_lo (fun q ->
+          consider q;
+          true)
+    else begin
+      (match c1 with
+      | Some c ->
+          let s1_shift = Fbt.key c -. b in
+          iter_lo (fun (q : Band_query.t) ->
+              if I.lo q.range <= s1_shift then (consider q; true) else false)
+      | None -> ());
+      match c2 with
+      | Some c ->
+          let s2_shift = Fbt.key c -. b in
+          iter_hi (fun (q : Band_query.t) ->
+              if I.hi q.range >= s2_shift then (consider q; true) else false)
+      | None -> ()
+    end
+  end;
+  (affected, c1, c2)
+
+let process_group table dedupe (r : Tuple.r) (sink : sink) ~stab ~iter_lo ~iter_hi =
+  let affected, c1, c2 = group_step1 table dedupe r ~stab ~iter_lo ~iter_hi in
+  let b = r.b in
+  (* STEP 2: for each affected query, walk the leaves outward from the
+     anchors, emitting until the instantiated window ends. *)
+  Vec.iter
+    (fun (q : Band_query.t) ->
+      let lo_b = I.lo q.range +. b and hi_b = I.hi q.range +. b in
+      let rec back = function
+        | Some c when Fbt.key c >= lo_b ->
+            sink q (Fbt.value c);
+            back (Fbt.prev c)
+        | _ -> ()
+      in
+      back c1;
+      let rec fwd = function
+        | Some c when Fbt.key c <= hi_b ->
+            sink q (Fbt.value c);
+            fwd (Fbt.next c)
+        | _ -> ()
+      in
+      fwd c2)
+    affected
+
+let identify_group table dedupe r report ~stab ~iter_lo ~iter_hi =
+  let affected, _, _ = group_step1 table dedupe r ~stab ~iter_lo ~iter_hi in
+  Vec.iter report affected
+
+let iter_lo_of_array members k =
+  let n = Array.length members in
+  let rec go i = if i < n && k members.(i) then go (i + 1) in
+  go 0
+
+let iter_hi_of_array by_hi k = iter_lo_of_array by_hi k
+
+(* --------------------------------------------------------------------- *)
+(* BJ-SSI over a static canonical partition                                *)
+(* --------------------------------------------------------------------- *)
+
+module Group_seqs = struct
+  type elt = Band_query.t
+
+  type t = {
+    by_lo : Band_query.t array; (* increasing left endpoint *)
+    by_hi : Band_query.t array; (* decreasing right endpoint *)
+  }
+
+  let build ~stab:_ members =
+    let by_hi = Array.copy members in
+    Array.sort (fun (a : Band_query.t) b -> I.compare_hi_desc a.range b.range) by_hi;
+    { by_lo = members; by_hi }
+end
+
+module Ssi_index = Hotspot_core.Ssi.Make (Band_query.Elem) (Group_seqs)
+
+module Ssi = struct
+  type t = {
+    table : Table.s_table;
+    queries : (int, Band_query.t) Hashtbl.t;
+    mutable index : Ssi_index.t;
+    mutable dirty : bool;
+    dedupe : dedupe;
+  }
+
+  let name = "BJ-SSI"
+
+  let rebuild t =
+    let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
+    t.index <- Ssi_index.build (Array.of_list qs);
+    t.dirty <- false
+
+  let create table queries =
+    let h = Hashtbl.create (max 16 (Array.length queries)) in
+    Array.iter (fun (q : Band_query.t) -> Hashtbl.replace h q.qid q) queries;
+    { table; queries = h; index = Ssi_index.build queries; dirty = false; dedupe = new_dedupe () }
+
+  let process_r t r sink =
+    if t.dirty then rebuild t;
+    ignore (fresh_event t.dedupe);
+    Ssi_index.iter t.index (fun ~stab (g : Group_seqs.t) ->
+        process_group t.table t.dedupe r sink ~stab
+          ~iter_lo:(iter_lo_of_array g.by_lo)
+          ~iter_hi:(iter_hi_of_array g.by_hi))
+
+  let affected t r report =
+    if t.dirty then rebuild t;
+    ignore (fresh_event t.dedupe);
+    Ssi_index.iter t.index (fun ~stab (g : Group_seqs.t) ->
+        identify_group t.table t.dedupe r report ~stab
+          ~iter_lo:(iter_lo_of_array g.by_lo)
+          ~iter_hi:(iter_hi_of_array g.by_hi))
+
+  let insert_query t q =
+    Hashtbl.replace t.queries q.Band_query.qid q;
+    t.dirty <- true
+
+  let delete_query t (q : Band_query.t) =
+    if Hashtbl.mem t.queries q.qid then begin
+      Hashtbl.remove t.queries q.qid;
+      t.dirty <- true;
+      true
+    end
+    else false
+
+  let query_count t = Hashtbl.length t.queries
+end
+
+(* --------------------------------------------------------------------- *)
+(* BJ-SSI over the dynamically maintained partition (Appendix B)           *)
+(* --------------------------------------------------------------------- *)
+
+module P = Hotspot_core.Refined_partition.Make (Band_query.Elem)
+
+module Ssi_dynamic = struct
+  type aux = {
+    stab : float;
+    by_lo : Band_query.t array;
+    by_hi : Band_query.t array;
+  }
+
+  type t = {
+    table : Table.s_table;
+    part : P.t;
+    (* Per-group sequences, rebuilt lazily after the group changes.
+       Updates touch at most one group (Theorem 2), so invalidation is
+       surgical; reconstructions retire every group id at once. *)
+    cache : (int, aux) Hashtbl.t;
+    mutable last_recon : int;
+    dedupe : dedupe;
+  }
+
+  let name = "BJ-SSI(dyn)"
+
+  let sync t =
+    let r = P.reconstructions t.part in
+    if r <> t.last_recon then begin
+      Hashtbl.reset t.cache;
+      t.last_recon <- r
+    end
+
+  let create_eps ~epsilon table queries =
+    let part = P.create ~epsilon ~seed:0xb57 () in
+    Array.iter (fun q -> P.insert part q) queries;
+    {
+      table;
+      part;
+      cache = Hashtbl.create 64;
+      last_recon = P.reconstructions part;
+      dedupe = new_dedupe ();
+    }
+
+  let create table queries = create_eps ~epsilon:3.0 table queries
+
+  let aux_of t gid =
+    match Hashtbl.find_opt t.cache gid with
+    | Some a -> a
+    | None ->
+        let members = Array.of_list (P.group_members t.part gid) in
+        Array.sort (fun (a : Band_query.t) b -> I.compare_lo a.range b.range) members;
+        let by_hi = Array.copy members in
+        Array.sort (fun (a : Band_query.t) b -> I.compare_hi_desc a.range b.range) by_hi;
+        let isect =
+          Array.fold_left (fun acc (q : Band_query.t) -> I.inter acc q.range)
+            (I.make neg_infinity infinity) members
+        in
+        let a = { stab = I.hi isect; by_lo = members; by_hi } in
+        Hashtbl.replace t.cache gid a;
+        a
+
+  let process_r t r sink =
+    sync t;
+    ignore (fresh_event t.dedupe);
+    P.iter_group_sizes t.part (fun gid _size ->
+        let a = aux_of t gid in
+        process_group t.table t.dedupe r sink ~stab:a.stab
+          ~iter_lo:(iter_lo_of_array a.by_lo)
+          ~iter_hi:(iter_hi_of_array a.by_hi))
+
+  let affected t r report =
+    sync t;
+    ignore (fresh_event t.dedupe);
+    P.iter_group_sizes t.part (fun gid _size ->
+        let a = aux_of t gid in
+        identify_group t.table t.dedupe r report ~stab:a.stab
+          ~iter_lo:(iter_lo_of_array a.by_lo)
+          ~iter_hi:(iter_hi_of_array a.by_hi))
+
+  let insert_query t q =
+    P.insert t.part q;
+    sync t;
+    (* The element landed in some group; drop that group's cache entry
+       (for a fresh singleton there is nothing cached — harmless). *)
+    (match P.group_of t.part q with
+    | gid -> Hashtbl.remove t.cache gid
+    | exception Not_found -> ())
+
+  let delete_query t q =
+    match P.group_of t.part q with
+    | exception Not_found -> false
+    | gid ->
+        ignore (P.delete t.part q);
+        sync t;
+        Hashtbl.remove t.cache gid;
+        true
+
+  let query_count t = P.size t.part
+  let num_groups t = P.num_groups t.part
+  let reconstructions t = P.reconstructions t.part
+end
+
+(* --------------------------------------------------------------------- *)
+(* SSI + hotspot tracking: BJ-SSI on hotspots, BJ-QOuter on the rest       *)
+(* --------------------------------------------------------------------- *)
+
+module Tracker = Hotspot_core.Hotspot_tracker.Make (Band_query.Elem)
+
+module Hotspot = struct
+  (* Per-hotspot sequences as B-trees so membership changes cost
+     O(log) instead of a rebuild. *)
+  type haux = {
+    by_lo : Band_query.t Fbt.t;
+    by_hi : Band_query.t Fbt.t; (* keyed on the right endpoint *)
+  }
+
+  type t = {
+    table : Table.s_table;
+    tracker : Tracker.t;
+    hot : (int, haux) Hashtbl.t;
+    scattered : (int, Band_query.t) Hashtbl.t;
+    dedupe : dedupe;
+  }
+
+  let name = "BJ-Hotspot"
+
+  let haux_add h (q : Band_query.t) =
+    Fbt.insert h.by_lo (I.lo q.range) q;
+    Fbt.insert h.by_hi (I.hi q.range) q
+
+  let haux_remove h (q : Band_query.t) =
+    ignore (Fbt.remove_first h.by_lo (I.lo q.range) (fun p -> p.Band_query.qid = q.qid));
+    ignore (Fbt.remove_first h.by_hi (I.hi q.range) (fun p -> p.Band_query.qid = q.qid))
+
+  let create_alpha ~alpha table queries =
+    let hot = Hashtbl.create 16 in
+    let scattered = Hashtbl.create 256 in
+    let on_event = function
+      | Tracker.Hotspot_created (gid, members) ->
+          let h = { by_lo = Fbt.create (); by_hi = Fbt.create () } in
+          List.iter (haux_add h) members;
+          Hashtbl.replace hot gid h
+      | Tracker.Hotspot_destroyed (gid, _members) -> Hashtbl.remove hot gid
+      | Tracker.Hotspot_added (gid, q) -> haux_add (Hashtbl.find hot gid) q
+      | Tracker.Hotspot_removed (gid, q) -> haux_remove (Hashtbl.find hot gid) q
+      | Tracker.Scattered_added q -> Hashtbl.replace scattered q.Band_query.qid q
+      | Tracker.Scattered_removed q -> Hashtbl.remove scattered q.Band_query.qid
+    in
+    let tracker = Tracker.create ~alpha ~on_event () in
+    Array.iter (fun q -> Tracker.insert tracker q) queries;
+    { table; tracker; hot; scattered; dedupe = new_dedupe () }
+
+  let create table queries = create_alpha ~alpha:0.001 table queries
+
+  (* Ascending scan of a by_lo B-tree with early exit. *)
+  let iter_tree_asc bt k =
+    let rec go = function
+      | Some c -> if k (Fbt.value c) then go (Fbt.next c)
+      | None -> ()
+    in
+    go (Fbt.seek_ge bt neg_infinity)
+
+  (* Descending scan of a by_hi B-tree with early exit. *)
+  let iter_tree_desc bt k =
+    let rec go = function
+      | Some c -> if k (Fbt.value c) then go (Fbt.prev c)
+      | None -> ()
+    in
+    go (Fbt.seek_le bt infinity)
+
+  let process_r t (r : Tuple.r) sink =
+    ignore (fresh_event t.dedupe);
+    (* Hotspot queries: SSI group processing per hotspot. *)
+    Hashtbl.iter
+      (fun gid h ->
+        let stab = Tracker.hotspot_stab t.tracker gid in
+        process_group t.table t.dedupe r sink ~stab
+          ~iter_lo:(iter_tree_asc h.by_lo)
+          ~iter_hi:(iter_tree_desc h.by_hi))
+      t.hot;
+    (* Scattered queries: traditional per-query index probing. *)
+    let sb = Table.s_by_b t.table in
+    Hashtbl.iter
+      (fun _ (q : Band_query.t) ->
+        let w = Band_query.instantiated q ~b:r.b in
+        Fbt.iter_range sb ~lo:(I.lo w) ~hi:(I.hi w) (fun _ s -> sink q s))
+      t.scattered
+
+  let affected t (r : Tuple.r) report =
+    ignore (fresh_event t.dedupe);
+    Hashtbl.iter
+      (fun gid h ->
+        let stab = Tracker.hotspot_stab t.tracker gid in
+        identify_group t.table t.dedupe r report ~stab
+          ~iter_lo:(iter_tree_asc h.by_lo)
+          ~iter_hi:(iter_tree_desc h.by_hi))
+      t.hot;
+    Hashtbl.iter
+      (fun _ (q : Band_query.t) ->
+        if window_nonempty t.table (Band_query.instantiated q ~b:r.b) then report q)
+      t.scattered
+
+  let insert_query t q = Tracker.insert t.tracker q
+  let delete_query t q = Tracker.delete t.tracker q
+  let query_count t = Tracker.size t.tracker
+  let num_hotspots t = Tracker.num_hotspots t.tracker
+  let coverage t = Tracker.coverage t.tracker
+end
+
+(* --------------------------------------------------------------------- *)
+(* Ground truth                                                            *)
+(* --------------------------------------------------------------------- *)
+
+let reference table queries (r : Tuple.r) =
+  let acc = ref [] in
+  Array.iter
+    (fun (q : Band_query.t) ->
+      Table.iter_s table (fun s ->
+          if Band_query.matches q ~r_b:r.b ~s_b:s.b then acc := (q.qid, s.sid) :: !acc))
+    queries;
+  List.sort compare !acc

@@ -1,0 +1,83 @@
+(** Group processing of continuous band joins — Section 3.1.
+
+    All strategies share one contract: given the current S table and a
+    registered set of band-join queries, [process_r] receives an
+    incoming R-tuple and reports every (query, S-tuple) pair the tuple
+    produces, through a callback.  Worst-case costs per event
+    (Theorem 3), with n queries, τ stabbing groups, m = |S|, k output:
+
+    - {!Qouter}   (BJ-QOuter): O(n log m + k)
+    - {!Douter}   (BJ-DOuter): O(m log n + k)
+    - {!Merge}    (BJ-MJ):     O(m + n + k)
+    - {!Ssi}      (BJ-SSI):    O(τ log m + k)
+    - {!Ssi_dynamic}: BJ-SSI over a dynamically maintained
+      (1+ε)-approximate stabbing partition (Appendix B, the
+      configuration measured in Figure 11)
+    - {!Hotspot}: BJ-SSI restricted to α-hotspots, per-query index
+      probing (BJ-QOuter style) on the scattered remainder — the
+      SSI + hotspot-tracking combination of Section 3.1's closing
+      remark, with the traditional method that is cheapest when the
+      scattered set is small. *)
+
+type sink = Band_query.t -> Cq_relation.Tuple.s -> unit
+(** Called once per new result tuple (the R side is the event itself). *)
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+
+  val create : Cq_relation.Table.s_table -> Band_query.t array -> t
+  (** The S table is shared, not copied: strategies see later S-side
+      updates made through the table's own interface. *)
+
+  val process_r : t -> Cq_relation.Tuple.r -> sink -> unit
+
+  val affected : t -> Cq_relation.Tuple.r -> (Band_query.t -> unit) -> unit
+  (** Identification only (the paper's STEP 1): report each query the
+      event affects, exactly once, without enumerating its result
+      tuples.  This is what the paper's throughput numbers measure —
+      "we excluded the output time from measurement". *)
+
+  val insert_query : t -> Band_query.t -> unit
+  val delete_query : t -> Band_query.t -> bool
+  val query_count : t -> int
+end
+
+module Qouter : STRATEGY
+module Douter : STRATEGY
+module Merge : STRATEGY
+module Ssi : STRATEGY
+
+module Shared : STRATEGY
+(** NiagaraCQ-style sharing of {e identical} join conditions (the
+    Section 5 related-work contrast): queries binned by exact window,
+    one probe per distinct window.  Degenerates to {!Qouter} when all
+    windows differ — the limitation SSI lifts by sharing across merely
+    {e overlapping} windows. *)
+
+module Ssi_dynamic : sig
+  include STRATEGY
+
+  val create_eps : epsilon:float -> Cq_relation.Table.s_table -> Band_query.t array -> t
+  (** Like [create] but choosing the partition slack (the paper uses
+      ε = 3 in the Figure 11 maintenance experiment, the default). *)
+
+  val num_groups : t -> int
+  val reconstructions : t -> int
+end
+
+module Hotspot : sig
+  include STRATEGY
+
+  val create_alpha :
+    alpha:float -> Cq_relation.Table.s_table -> Band_query.t array -> t
+
+  val num_hotspots : t -> int
+  val coverage : t -> float
+end
+
+val reference : Cq_relation.Table.s_table -> Band_query.t array -> Cq_relation.Tuple.r ->
+  (int * int) list
+(** Brute-force ground truth: sorted [(qid, sid)] result pairs for one
+    event — the oracle the test suite holds every strategy to. *)

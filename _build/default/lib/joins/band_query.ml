@@ -1,0 +1,23 @@
+module I = Cq_interval.Interval
+
+type t = { qid : int; range : I.t }
+
+let make ~qid ~range = { qid; range }
+
+let of_ranges ranges = Array.mapi (fun qid range -> { qid; range }) ranges
+
+let instantiated q ~b = I.shift q.range b
+
+let matches q ~r_b ~s_b = I.stabs q.range (s_b -. r_b)
+
+let pp fmt q = Format.fprintf fmt "bq#%d%a" q.qid I.pp q.range
+
+module Elem = struct
+  type nonrec t = t
+
+  let compare a b =
+    let c = I.compare_lo a.range b.range in
+    if c <> 0 then c else Int.compare a.qid b.qid
+
+  let interval q = q.range
+end

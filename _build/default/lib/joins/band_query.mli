@@ -1,0 +1,25 @@
+(** Continuous band-join queries (Section 3.1):
+
+    [R ⋈_{S.B - R.B ∈ rangeB_i} S]
+
+    Each query is its window [rangeB_i]; an incoming R-tuple [r]
+    instantiates it to the selection [S.B ∈ rangeB_i + r.B]. *)
+
+type t = { qid : int; range : Cq_interval.Interval.t }
+
+val make : qid:int -> range:Cq_interval.Interval.t -> t
+
+val of_ranges : Cq_interval.Interval.t array -> t array
+(** Number the ranges 0.. as query ids. *)
+
+val instantiated : t -> b:float -> Cq_interval.Interval.t
+(** [rangeB_i + r.B]: the S.B interval selected once [r] arrives. *)
+
+val matches : t -> r_b:float -> s_b:float -> bool
+(** Ground truth: does the (r,s) pair satisfy the band condition? *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Partition element view keyed on the band window (for SSI /
+    hotspot tracking over band-join queries). *)
+module Elem : Hotspot_core.Partition_intf.ELEMENT with type t = t

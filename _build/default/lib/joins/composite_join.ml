@@ -1,0 +1,248 @@
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module Fbt = Table.Fbt
+module Itree = Cq_index.Interval_tree
+module Vec = Cq_util.Vec
+module CQ = Composite_query
+
+type sink = CQ.t -> Tuple.s -> unit
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+  val create : Table.s_table -> CQ.t array -> t
+  val process_r : t -> Tuple.r -> sink -> unit
+  val affected : t -> Tuple.r -> (CQ.t -> unit) -> unit
+  val insert_query : t -> CQ.t -> unit
+  val delete_query : t -> CQ.t -> bool
+  val query_count : t -> int
+end
+
+(* Emit results of one query against the event: scan the instantiated
+   band window on the S.B index, filtering by the C selection.  With
+   [stop_after_first], stops at the first hit (existence probing for
+   [affected]).  Returns whether anything matched. *)
+let probe_query table (q : CQ.t) ~b ~stop_after_first sink =
+  let w = I.shift q.band b in
+  let hit = ref false in
+  (try
+     Fbt.iter_range (Table.s_by_b table) ~lo:(I.lo w) ~hi:(I.hi w) (fun _ s ->
+         if I.stabs q.range_c s.Tuple.c then begin
+           hit := true;
+           sink q s;
+           if stop_after_first then raise Exit
+         end)
+   with Exit -> ());
+  !hit
+
+(* --------------------------------------------------------------------- *)
+(* NAIVE                                                                   *)
+(* --------------------------------------------------------------------- *)
+
+module Naive = struct
+  type t = {
+    table : Table.s_table;
+    queries : (int, CQ.t) Hashtbl.t;
+  }
+
+  let name = "CJ-NAIVE"
+
+  let create table queries =
+    let h = Hashtbl.create (max 16 (Array.length queries)) in
+    Array.iter (fun (q : CQ.t) -> Hashtbl.replace h q.qid q) queries;
+    { table; queries = h }
+
+  let visit t (r : Tuple.r) ~stop_after_first sink report =
+    Hashtbl.iter
+      (fun _ (q : CQ.t) ->
+        if I.stabs q.range_a r.a then
+          if probe_query t.table q ~b:r.b ~stop_after_first sink then report q)
+      t.queries
+
+  let process_r t r sink = visit t r ~stop_after_first:false sink (fun _ -> ())
+  let affected t r report = visit t r ~stop_after_first:true (fun _ _ -> ()) report
+
+  let insert_query t q = Hashtbl.replace t.queries q.CQ.qid q
+
+  let delete_query t (q : CQ.t) =
+    if Hashtbl.mem t.queries q.qid then (Hashtbl.remove t.queries q.qid; true) else false
+
+  let query_count t = Hashtbl.length t.queries
+end
+
+(* --------------------------------------------------------------------- *)
+(* A-first: R.A selection index, then per-query probing                    *)
+(* --------------------------------------------------------------------- *)
+
+module Afirst = struct
+  type t = {
+    table : Table.s_table;
+    a_index : CQ.t Itree.Mutable.t;
+  }
+
+  let name = "CJ-A"
+
+  let create table queries =
+    let a_index = Itree.Mutable.create () in
+    Array.iter (fun (q : CQ.t) -> Itree.Mutable.add a_index q.range_a q) queries;
+    { table; a_index }
+
+  let process_r t (r : Tuple.r) sink =
+    Itree.Mutable.stab t.a_index r.a (fun _ q ->
+        ignore (probe_query t.table q ~b:r.b ~stop_after_first:false sink))
+
+  let affected t (r : Tuple.r) report =
+    Itree.Mutable.stab t.a_index r.a (fun _ q ->
+        if probe_query t.table q ~b:r.b ~stop_after_first:true (fun _ _ -> ()) then report q)
+
+  let insert_query t (q : CQ.t) = Itree.Mutable.add t.a_index q.range_a q
+
+  let delete_query t (q : CQ.t) =
+    Itree.Mutable.remove t.a_index q.range_a (fun p -> p.CQ.qid = q.qid)
+
+  let query_count t = Itree.Mutable.size t.a_index
+end
+
+(* --------------------------------------------------------------------- *)
+(* SSI over the band windows, selections filtered inline                   *)
+(* --------------------------------------------------------------------- *)
+
+module Group_seqs = struct
+  type elt = CQ.t
+
+  type t = {
+    by_lo : CQ.t array; (* band windows by increasing left endpoint *)
+    by_hi : CQ.t array; (* by decreasing right endpoint *)
+  }
+
+  let build ~stab:_ members =
+    let by_hi = Array.copy members in
+    Array.sort (fun (a : CQ.t) b -> I.compare_hi_desc a.band b.band) by_hi;
+    { by_lo = members; by_hi }
+end
+
+module Ssi_index = Hotspot_core.Ssi.Make (CQ.Elem) (Group_seqs)
+
+module Ssi = struct
+  type t = {
+    table : Table.s_table;
+    queries : (int, CQ.t) Hashtbl.t;
+    mutable index : Ssi_index.t;
+    mutable dirty : bool;
+    seen : (int, int) Hashtbl.t;
+    mutable event : int;
+  }
+
+  let name = "CJ-SSI"
+
+  let rebuild t =
+    let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
+    t.index <- Ssi_index.build (Array.of_list qs);
+    t.dirty <- false
+
+  let create table queries =
+    let h = Hashtbl.create (max 16 (Array.length queries)) in
+    Array.iter (fun (q : CQ.t) -> Hashtbl.replace h q.qid q) queries;
+    {
+      table;
+      queries = h;
+      index = Ssi_index.build queries;
+      dirty = false;
+      seen = Hashtbl.create 256;
+      event = 0;
+    }
+
+  let mark t (q : CQ.t) =
+    match Hashtbl.find_opt t.seen q.qid with
+    | Some ev when ev = t.event -> false
+    | _ ->
+        Hashtbl.replace t.seen q.qid t.event;
+        true
+
+  (* STEP 1 on the band axis; the R.A selection is tested before a
+     candidate is accepted (an O(1) filter the group walk absorbs for
+     free), and the C selection during the result walk. *)
+  let visit t (r : Tuple.r) ~stop_after_first sink report =
+    if t.dirty then rebuild t;
+    t.event <- t.event + 1;
+    let b = r.b in
+    let sb = Table.s_by_b t.table in
+    Ssi_index.iter t.index (fun ~stab (g : Group_seqs.t) ->
+        let key = stab +. b in
+        let c2 = Fbt.seek_ge sb key in
+        let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
+        if not (c1 = None && c2 = None) then begin
+          let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
+          let candidates = Vec.create () in
+          let consider (q : CQ.t) =
+            if I.stabs q.range_a r.a && mark t q then Vec.push candidates q
+          in
+          let scan_lo bound =
+            let n = Array.length g.by_lo in
+            let rec go i =
+              if i < n then begin
+                let q = g.by_lo.(i) in
+                if I.lo q.band <= bound then begin
+                  consider q;
+                  go (i + 1)
+                end
+              end
+            in
+            go 0
+          in
+          (if exact then scan_lo infinity
+           else begin
+             (match c1 with Some c -> scan_lo (Fbt.key c -. b) | None -> ());
+             match c2 with
+             | Some c ->
+                 let s2_shift = Fbt.key c -. b in
+                 let n = Array.length g.by_hi in
+                 let rec go i =
+                   if i < n then begin
+                     let q = g.by_hi.(i) in
+                     if I.hi q.band >= s2_shift then begin
+                       consider q;
+                       go (i + 1)
+                     end
+                   end
+                 in
+                 go 0
+             | None -> ()
+           end);
+          Vec.iter
+            (fun (q : CQ.t) ->
+              if probe_query t.table q ~b ~stop_after_first sink then report q)
+            candidates
+        end)
+
+  let process_r t r sink = visit t r ~stop_after_first:false sink (fun _ -> ())
+  let affected t r report = visit t r ~stop_after_first:true (fun _ _ -> ()) report
+
+  let insert_query t q =
+    Hashtbl.replace t.queries q.CQ.qid q;
+    t.dirty <- true
+
+  let delete_query t (q : CQ.t) =
+    if Hashtbl.mem t.queries q.qid then begin
+      Hashtbl.remove t.queries q.qid;
+      t.dirty <- true;
+      true
+    end
+    else false
+
+  let query_count t = Hashtbl.length t.queries
+end
+
+(* --------------------------------------------------------------------- *)
+
+let reference table queries (r : Tuple.r) =
+  let acc = ref [] in
+  Array.iter
+    (fun (q : CQ.t) ->
+      Table.iter_s table (fun s ->
+          if CQ.matches q ~r_a:r.a ~r_b:r.b ~s_b:s.Tuple.b ~s_c:s.Tuple.c then
+            acc := (q.qid, s.sid) :: !acc))
+    queries;
+  List.sort compare !acc

@@ -1,0 +1,49 @@
+(** Processing composite continuous queries (band join + local
+    selections) — an implementation of Section 6's first future-work
+    direction.
+
+    Composition costs something: once a C-selection filters the
+    B-consecutive result run, output-sensitivity of the SSI's STEP 2 is
+    lost (a candidate query may scan part of its instantiated window
+    without producing anything).  The SSI strategy here therefore
+    guarantees only that {e band-unaffected} queries are never touched;
+    among band-affected candidates, the R.A selection is tested in O(1)
+    and the C selection during the result walk.  This is precisely the
+    composition difficulty the paper flags ("it remains a challenging
+    problem to develop methods for composing group-processing
+    techniques"). *)
+
+type sink = Composite_query.t -> Cq_relation.Tuple.s -> unit
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+  val create : Cq_relation.Table.s_table -> Composite_query.t array -> t
+  val process_r : t -> Cq_relation.Tuple.r -> sink -> unit
+
+  val affected : t -> Cq_relation.Tuple.r -> (Composite_query.t -> unit) -> unit
+  (** Queries with at least one result for this event, each reported
+      once. *)
+
+  val insert_query : t -> Composite_query.t -> unit
+  val delete_query : t -> Composite_query.t -> bool
+  val query_count : t -> int
+end
+
+module Naive : STRATEGY
+(** Scan every query; O(n (log m + window)). *)
+
+module Afirst : STRATEGY
+(** Stab an interval index on the rangeA selections first (the
+    SJ-SelectFirst idea transplanted), then probe per query. *)
+
+module Ssi : STRATEGY
+(** SSI over the band windows with inline selection filtering. *)
+
+val reference :
+  Cq_relation.Table.s_table ->
+  Composite_query.t array ->
+  Cq_relation.Tuple.r ->
+  (int * int) list
+(** Brute-force oracle: sorted (qid, sid) result pairs for one event. *)

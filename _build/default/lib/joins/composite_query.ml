@@ -1,0 +1,27 @@
+module I = Cq_interval.Interval
+
+type t = {
+  qid : int;
+  band : I.t;
+  range_a : I.t;
+  range_c : I.t;
+}
+
+let make ~qid ~band ~range_a ~range_c = { qid; band; range_a; range_c }
+
+let matches q ~r_a ~r_b ~s_b ~s_c =
+  I.stabs q.range_a r_a && I.stabs q.band (s_b -. r_b) && I.stabs q.range_c s_c
+
+let pp fmt q =
+  Format.fprintf fmt "cq#%d(band:%a, A:%a, C:%a)" q.qid I.pp q.band I.pp q.range_a I.pp
+    q.range_c
+
+module Elem = struct
+  type nonrec t = t
+
+  let compare a b =
+    let c = I.compare_lo a.band b.band in
+    if c <> 0 then c else Int.compare a.qid b.qid
+
+  let interval q = q.band
+end

@@ -1,0 +1,29 @@
+(** Composite continuous queries — Section 6's first future-work item:
+    band joins {e combined with} local selections,
+
+    [σ_{A ∈ rangeA_i} R ⋈_{S.B − R.B ∈ rangeB_i} σ_{C ∈ rangeC_i} S]
+
+    (Example 2's coastal-defense query has exactly this shape: a model
+    selection on units, a firing-range band on positions, a type
+    selection on targets.) *)
+
+type t = {
+  qid : int;
+  band : Cq_interval.Interval.t;  (** window on S.B − R.B *)
+  range_a : Cq_interval.Interval.t;  (** local selection on R.A *)
+  range_c : Cq_interval.Interval.t;  (** local selection on S.C *)
+}
+
+val make :
+  qid:int ->
+  band:Cq_interval.Interval.t ->
+  range_a:Cq_interval.Interval.t ->
+  range_c:Cq_interval.Interval.t ->
+  t
+
+val matches : t -> r_a:float -> r_b:float -> s_b:float -> s_c:float -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Element view on the band window (the axis the SSI partitions on). *)
+module Elem : Hotspot_core.Partition_intf.ELEMENT with type t = t

@@ -1,0 +1,530 @@
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module Fbt = Table.Fbt
+module Pbt = Table.Pbt
+module Itree = Cq_index.Interval_tree
+module Rtree = Cq_index.Rtree
+module Vec = Cq_util.Vec
+
+type sink = Select_query.t -> Tuple.s -> unit
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+  val create : Table.s_table -> Select_query.t array -> t
+  val process_r : t -> Tuple.r -> sink -> unit
+  val affected : t -> Tuple.r -> (Select_query.t -> unit) -> unit
+  val insert_query : t -> Select_query.t -> unit
+  val delete_query : t -> Select_query.t -> bool
+  val query_count : t -> int
+end
+
+(* Visit the S-tuples joining with the event (same B), in C order. *)
+let iter_joining table ~b f =
+  Pbt.iter_range (Table.s_by_bc table) ~lo:(b, neg_infinity) ~hi:(b, infinity)
+    (fun _ s -> f s)
+
+(* Per-event deduplication of affected queries. *)
+type dedupe = {
+  seen : (int, int) Hashtbl.t;
+  mutable event : int;
+}
+
+let new_dedupe () = { seen = Hashtbl.create 256; event = 0 }
+
+let fresh_event d =
+  d.event <- d.event + 1;
+  d.event
+
+let mark d (q : Select_query.t) =
+  match Hashtbl.find_opt d.seen q.qid with
+  | Some ev when ev = d.event -> false
+  | _ ->
+      Hashtbl.replace d.seen q.qid d.event;
+      true
+
+(* --------------------------------------------------------------------- *)
+(* NAIVE: join, then evaluate every query on the intermediate result       *)
+(* --------------------------------------------------------------------- *)
+
+module Naive = struct
+  type t = {
+    table : Table.s_table;
+    queries : (int, Select_query.t) Hashtbl.t;
+  }
+
+  let name = "NAIVE"
+
+  let create table queries =
+    let h = Hashtbl.create (max 16 (Array.length queries)) in
+    Array.iter (fun (q : Select_query.t) -> Hashtbl.replace h q.qid q) queries;
+    { table; queries = h }
+
+  let process_r t (r : Tuple.r) sink =
+    (* Intermediate result, ordered by S.C. *)
+    let joined = Vec.create () in
+    iter_joining t.table ~b:r.b (fun s -> Vec.push joined s);
+    let m = Vec.length joined in
+    if m > 0 then begin
+      (* First index with C >= x. *)
+      let lower_bound x =
+        let lo = ref 0 and hi = ref m in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if (Vec.get joined mid).Tuple.c < x then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      Hashtbl.iter
+        (fun _ (q : Select_query.t) ->
+          if I.stabs q.range_a r.a then begin
+            let i = ref (lower_bound (I.lo q.range_c)) in
+            let continue = ref true in
+            while !continue && !i < m do
+              let s = Vec.get joined !i in
+              if s.Tuple.c <= I.hi q.range_c then begin
+                sink q s;
+                incr i
+              end
+              else continue := false
+            done
+          end)
+        t.queries
+    end
+
+  let affected t (r : Tuple.r) report =
+    let joined = Vec.create () in
+    iter_joining t.table ~b:r.b (fun s -> Vec.push joined s);
+    let m = Vec.length joined in
+    if m > 0 then begin
+      let lower_bound x =
+        let lo = ref 0 and hi = ref m in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if (Vec.get joined mid).Tuple.c < x then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      Hashtbl.iter
+        (fun _ (q : Select_query.t) ->
+          if I.stabs q.range_a r.a then begin
+            let i = lower_bound (I.lo q.range_c) in
+            if i < m && (Vec.get joined i).Tuple.c <= I.hi q.range_c then report q
+          end)
+        t.queries
+    end
+
+  let insert_query t q = Hashtbl.replace t.queries q.Select_query.qid q
+
+  let delete_query t (q : Select_query.t) =
+    if Hashtbl.mem t.queries q.qid then (Hashtbl.remove t.queries q.qid; true) else false
+
+  let query_count t = Hashtbl.length t.queries
+end
+
+(* --------------------------------------------------------------------- *)
+(* SJ-JoinFirst: join, then 2-D stab per join result point                 *)
+(* --------------------------------------------------------------------- *)
+
+module Join_first = struct
+  type t = {
+    table : Table.s_table;
+    rects : Select_query.t Rtree.t;
+    dedupe : dedupe;
+    mutable count : int;
+  }
+
+  let name = "SJ-J"
+
+  let create table queries =
+    let rects = Rtree.create ~max_entries:8 () in
+    Array.iter (fun q -> Rtree.insert rects (Select_query.rect q) q) queries;
+    { table; rects; dedupe = new_dedupe (); count = Array.length queries }
+
+  let process_r t (r : Tuple.r) sink =
+    iter_joining t.table ~b:r.b (fun s ->
+        Rtree.stab t.rects ~x:s.Tuple.c ~y:r.a (fun _ q -> sink q s))
+
+  let affected t (r : Tuple.r) report =
+    ignore (fresh_event t.dedupe);
+    iter_joining t.table ~b:r.b (fun s ->
+        Rtree.stab t.rects ~x:s.Tuple.c ~y:r.a (fun _ q ->
+            if mark t.dedupe q then report q))
+
+  let insert_query t q =
+    Rtree.insert t.rects (Select_query.rect q) q;
+    t.count <- t.count + 1
+
+  let delete_query t (q : Select_query.t) =
+    let hit = Rtree.remove t.rects (Select_query.rect q) (fun p -> p.Select_query.qid = q.qid) in
+    if hit then t.count <- t.count - 1;
+    hit
+
+  let query_count t = t.count
+end
+
+(* --------------------------------------------------------------------- *)
+(* SJ-SelectFirst: R.A selection first, then an index join per query       *)
+(* --------------------------------------------------------------------- *)
+
+module Select_first = struct
+  type t = {
+    table : Table.s_table;
+    a_index : Select_query.t Itree.Mutable.t;
+  }
+
+  let name = "SJ-S"
+
+  let create table queries =
+    let a_index = Itree.Mutable.create () in
+    Array.iter (fun (q : Select_query.t) -> Itree.Mutable.add a_index q.range_a q) queries;
+    { table; a_index }
+
+  let process_r t (r : Tuple.r) sink =
+    Itree.Mutable.stab t.a_index r.a (fun _ (q : Select_query.t) ->
+        Pbt.iter_range (Table.s_by_bc t.table)
+          ~lo:(r.b, I.lo q.range_c)
+          ~hi:(r.b, I.hi q.range_c)
+          (fun _ s -> sink q s))
+
+  let affected t (r : Tuple.r) report =
+    let bc = Table.s_by_bc t.table in
+    Itree.Mutable.stab t.a_index r.a (fun _ (q : Select_query.t) ->
+        match Pbt.seek_ge bc (r.b, I.lo q.range_c) with
+        | Some c ->
+            let kb, kc = Pbt.key c in
+            if kb = r.b && kc <= I.hi q.range_c then report q
+        | None -> ())
+
+  let insert_query t (q : Select_query.t) = Itree.Mutable.add t.a_index q.range_a q
+
+  let delete_query t (q : Select_query.t) =
+    Itree.Mutable.remove t.a_index q.range_a (fun p -> p.Select_query.qid = q.qid)
+
+  let query_count t = Itree.Mutable.size t.a_index
+end
+
+(* --------------------------------------------------------------------- *)
+(* Shared SSI group processing (Section 3.2, Figure 5)                     *)
+(* --------------------------------------------------------------------- *)
+
+(* STEP 1 for one stabbing group (on the rangeC projections) with
+   stabbing point [stab], whose member rectangles live in [rtree]:
+   find the affected queries and the anchor cursors for STEP 2. *)
+let group_step1 table dedupe (r : Tuple.r) ~stab ~rtree =
+  let b = r.b in
+  let bc = Table.s_by_bc table in
+  (* Anchors: the joining S-tuples whose C values surround the stabbing
+     point.  c2 = leftmost entry >= (b, stab); its predecessor is the
+     rightmost entry < (b, stab).  Each anchor is only usable while it
+     stays within the event's B value. *)
+  let c2 = Pbt.seek_ge bc (b, stab) in
+  let c1 = match c2 with Some c -> Pbt.prev c | None -> Pbt.seek_le bc (b, stab) in
+  let fwd = match c2 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
+  let bwd = match c1 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
+  let affected = Vec.create () in
+  if not (fwd = None && bwd = None) then begin
+    let consider q = if mark dedupe q then Vec.push affected q in
+    (* The two join result points closest to (stab, r.a) probe the
+       group's rectangle index. *)
+    (match bwd with
+    | Some c ->
+        let q1 = snd (Pbt.key c) in
+        Rtree.stab rtree ~x:q1 ~y:r.a (fun _ q -> consider q)
+    | None -> ());
+    match fwd with
+    | Some c ->
+        let q2 = snd (Pbt.key c) in
+        Rtree.stab rtree ~x:q2 ~y:r.a (fun _ q -> consider q)
+    | None -> ()
+  end;
+  (affected, bwd, fwd)
+
+let process_group table dedupe (r : Tuple.r) (sink : sink) ~stab ~rtree =
+  let b = r.b in
+  let affected, bwd, fwd = group_step1 table dedupe r ~stab ~rtree in
+  begin
+    (* STEP 2: each affected rectangle covers a consecutive C-run of
+       join result points including an anchor; walk outward. *)
+    Vec.iter
+      (fun (q : Select_query.t) ->
+        let lo_c = I.lo q.range_c and hi_c = I.hi q.range_c in
+        let rec back = function
+          | Some c ->
+              let kb, kc = Pbt.key c in
+              if kb = b && kc >= lo_c then begin
+                sink q (Pbt.value c);
+                back (Pbt.prev c)
+              end
+          | None -> ()
+        in
+        back bwd;
+        let rec forward = function
+          | Some c ->
+              let kb, kc = Pbt.key c in
+              if kb = b && kc <= hi_c then begin
+                sink q (Pbt.value c);
+                forward (Pbt.next c)
+              end
+          | None -> ()
+        in
+        forward fwd)
+      affected
+  end
+
+let identify_group table dedupe r report ~stab ~rtree =
+  let affected, _, _ = group_step1 table dedupe r ~stab ~rtree in
+  Vec.iter report affected
+
+(* --------------------------------------------------------------------- *)
+(* SJ-SSI over a static canonical partition of the rangeC projections      *)
+(* --------------------------------------------------------------------- *)
+
+module Group_rtree = struct
+  type elt = Select_query.t
+  type t = Select_query.t Rtree.t
+
+  let build ~stab:_ members =
+    let rt = Rtree.create ~max_entries:8 () in
+    Array.iter (fun q -> Rtree.insert rt (Select_query.rect q) q) members;
+    rt
+end
+
+module Ssi_index = Hotspot_core.Ssi.Make (Select_query.Elem_c) (Group_rtree)
+
+module Ssi = struct
+  type t = {
+    table : Table.s_table;
+    queries : (int, Select_query.t) Hashtbl.t;
+    mutable index : Ssi_index.t;
+    mutable dirty : bool;
+    dedupe : dedupe;
+  }
+
+  let name = "SJ-SSI"
+
+  let rebuild t =
+    let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
+    t.index <- Ssi_index.build (Array.of_list qs);
+    t.dirty <- false
+
+  let create table queries =
+    let h = Hashtbl.create (max 16 (Array.length queries)) in
+    Array.iter (fun (q : Select_query.t) -> Hashtbl.replace h q.qid q) queries;
+    { table; queries = h; index = Ssi_index.build queries; dirty = false; dedupe = new_dedupe () }
+
+  let process_r t r sink =
+    if t.dirty then rebuild t;
+    ignore (fresh_event t.dedupe);
+    Ssi_index.iter t.index (fun ~stab rtree ->
+        process_group t.table t.dedupe r sink ~stab ~rtree)
+
+  let affected t r report =
+    if t.dirty then rebuild t;
+    ignore (fresh_event t.dedupe);
+    Ssi_index.iter t.index (fun ~stab rtree ->
+        identify_group t.table t.dedupe r report ~stab ~rtree)
+
+  let insert_query t q =
+    Hashtbl.replace t.queries q.Select_query.qid q;
+    t.dirty <- true
+
+  let delete_query t (q : Select_query.t) =
+    if Hashtbl.mem t.queries q.qid then begin
+      Hashtbl.remove t.queries q.qid;
+      t.dirty <- true;
+      true
+    end
+    else false
+
+  let query_count t = Hashtbl.length t.queries
+end
+
+(* --------------------------------------------------------------------- *)
+(* SSI + hotspot tracking (Figure 9's HOTSPOT-BASED)                       *)
+(* --------------------------------------------------------------------- *)
+
+module Tracker = Hotspot_core.Hotspot_tracker.Make (Select_query.Elem_c)
+
+module Hotspot = struct
+  type t = {
+    table : Table.s_table;
+    tracker : Tracker.t;
+    hot : (int, Select_query.t Rtree.t) Hashtbl.t;
+    scattered_a : Select_query.t Itree.Mutable.t;
+    dedupe : dedupe;
+  }
+
+  let name = "SJ-Hotspot"
+
+  let create_alpha ~alpha table queries =
+    let hot = Hashtbl.create 16 in
+    let scattered_a = Itree.Mutable.create () in
+    let on_event = function
+      | Tracker.Hotspot_created (gid, members) ->
+          let rt = Rtree.create ~max_entries:8 () in
+          List.iter (fun q -> Rtree.insert rt (Select_query.rect q) q) members;
+          Hashtbl.replace hot gid rt
+      | Tracker.Hotspot_destroyed (gid, _) -> Hashtbl.remove hot gid
+      | Tracker.Hotspot_added (gid, q) ->
+          Rtree.insert (Hashtbl.find hot gid) (Select_query.rect q) q
+      | Tracker.Hotspot_removed (gid, q) ->
+          ignore
+            (Rtree.remove (Hashtbl.find hot gid) (Select_query.rect q) (fun p ->
+                 p.Select_query.qid = q.Select_query.qid))
+      | Tracker.Scattered_added q -> Itree.Mutable.add scattered_a q.Select_query.range_a q
+      | Tracker.Scattered_removed q ->
+          ignore
+            (Itree.Mutable.remove scattered_a q.Select_query.range_a (fun p ->
+                 p.Select_query.qid = q.Select_query.qid))
+    in
+    let tracker = Tracker.create ~alpha ~on_event () in
+    Array.iter (fun q -> Tracker.insert tracker q) queries;
+    { table; tracker; hot; scattered_a; dedupe = new_dedupe () }
+
+  let create table queries = create_alpha ~alpha:0.001 table queries
+
+  let process_r t (r : Tuple.r) sink =
+    ignore (fresh_event t.dedupe);
+    (* Hotspot queries: SJ-SSI per hotspot group. *)
+    Hashtbl.iter
+      (fun gid rtree ->
+        let stab = Tracker.hotspot_stab t.tracker gid in
+        process_group t.table t.dedupe r sink ~stab ~rtree)
+      t.hot;
+    (* Scattered queries: SJ-SelectFirst. *)
+    Itree.Mutable.stab t.scattered_a r.a (fun _ (q : Select_query.t) ->
+        Pbt.iter_range (Table.s_by_bc t.table)
+          ~lo:(r.b, I.lo q.range_c)
+          ~hi:(r.b, I.hi q.range_c)
+          (fun _ s -> sink q s))
+
+  let affected t (r : Tuple.r) report =
+    ignore (fresh_event t.dedupe);
+    Hashtbl.iter
+      (fun gid rtree ->
+        let stab = Tracker.hotspot_stab t.tracker gid in
+        identify_group t.table t.dedupe r report ~stab ~rtree)
+      t.hot;
+    let bc = Table.s_by_bc t.table in
+    Itree.Mutable.stab t.scattered_a r.a (fun _ (q : Select_query.t) ->
+        match Pbt.seek_ge bc (r.b, I.lo q.range_c) with
+        | Some c ->
+            let kb, kc = Pbt.key c in
+            if kb = r.b && kc <= I.hi q.range_c then report q
+        | None -> ())
+
+  let insert_query t q = Tracker.insert t.tracker q
+  let delete_query t q = Tracker.delete t.tracker q
+  let query_count t = Tracker.size t.tracker
+  let num_hotspots t = Tracker.num_hotspots t.tracker
+  let coverage t = Tracker.coverage t.tracker
+end
+
+(* --------------------------------------------------------------------- *)
+(* Adaptive per-event strategy choice (Section 6)                          *)
+(* --------------------------------------------------------------------- *)
+
+module Adaptive = struct
+  type choice = Use_select_first | Use_ssi
+
+  type t = {
+    table : Table.s_table;
+    sf : Select_first.t;
+    ssi : Ssi.t;
+    threshold : float;
+    (* n' estimator: an SSI histogram over the rangeA intervals,
+       rebuilt lazily after query churn. *)
+    mutable estimator : Cq_histogram.Ssi_hist.t option;
+    mutable churn : int;
+    mutable sf_events : int;
+    mutable ssi_events : int;
+  }
+
+  let name = "SJ-ADAPT"
+
+  let create_tuned ~threshold table queries =
+    {
+      table;
+      sf = Select_first.create table queries;
+      ssi = Ssi.create table queries;
+      threshold;
+      estimator = None;
+      churn = 0;
+      sf_events = 0;
+      ssi_events = 0;
+    }
+
+  let create table queries = create_tuned ~threshold:2.0 table queries
+
+  let estimator t =
+    match t.estimator with
+    | Some h when t.churn = 0 -> h
+    | _ ->
+        let ranges =
+          Hashtbl.fold (fun _ (q : Select_query.t) acc -> q.range_a :: acc) t.ssi.Ssi.queries []
+          |> Array.of_list
+        in
+        let buckets = max 16 (Array.length ranges / 250) in
+        let h = Cq_histogram.Ssi_hist.build ranges ~buckets in
+        t.estimator <- Some h;
+        t.churn <- 0;
+        h
+
+  let choose t (r : Tuple.r) =
+    let est_n' = Cq_histogram.Ssi_hist.estimate (estimator t) r.a in
+    (* Make sure the SSI index is current before reading tau. *)
+    if t.ssi.Ssi.dirty then Ssi.rebuild t.ssi;
+    let tau = float_of_int (Ssi_index.num_groups t.ssi.Ssi.index) in
+    if est_n' < t.threshold *. tau then Use_select_first else Use_ssi
+
+  let process_r t r sink =
+    match choose t r with
+    | Use_select_first ->
+        t.sf_events <- t.sf_events + 1;
+        Select_first.process_r t.sf r sink
+    | Use_ssi ->
+        t.ssi_events <- t.ssi_events + 1;
+        Ssi.process_r t.ssi r sink
+
+  let affected t r report =
+    match choose t r with
+    | Use_select_first ->
+        t.sf_events <- t.sf_events + 1;
+        Select_first.affected t.sf r report
+    | Use_ssi ->
+        t.ssi_events <- t.ssi_events + 1;
+        Ssi.affected t.ssi r report
+
+  let insert_query t q =
+    Select_first.insert_query t.sf q;
+    Ssi.insert_query t.ssi q;
+    t.churn <- t.churn + 1
+
+  let delete_query t q =
+    let ok = Select_first.delete_query t.sf q in
+    if ok then begin
+      ignore (Ssi.delete_query t.ssi q);
+      t.churn <- t.churn + 1
+    end;
+    ok
+
+  let query_count t = Ssi.query_count t.ssi
+  let decisions t = (t.sf_events, t.ssi_events)
+end
+
+(* --------------------------------------------------------------------- *)
+(* Ground truth                                                            *)
+(* --------------------------------------------------------------------- *)
+
+let reference table queries (r : Tuple.r) =
+  let acc = ref [] in
+  Array.iter
+    (fun (q : Select_query.t) ->
+      Table.iter_s table (fun s ->
+          if s.Tuple.b = r.b && Select_query.matches q ~r_a:r.a ~s_c:s.Tuple.c then
+            acc := (q.qid, s.sid) :: !acc))
+    queries;
+  List.sort compare !acc

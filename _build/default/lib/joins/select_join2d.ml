@@ -1,0 +1,163 @@
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module Pbt = Table.Pbt
+module Rtree = Cq_index.Rtree
+module Vec = Cq_util.Vec
+module S2 = Hotspot_core.Stabbing2d
+
+type r_sink = Select_query.t -> Tuple.s -> unit
+type s_sink = Select_query.t -> Tuple.r -> unit
+
+type group = {
+  pc : float; (* stabbing point on the S.C axis *)
+  pa : float; (* stabbing point on the R.A axis *)
+  rtree : Select_query.t Rtree.t;
+}
+
+type t = {
+  s_table : Table.s_table;
+  r_table : Table.r_table;
+  queries : (int, Select_query.t) Hashtbl.t;
+  mutable groups : group array;
+  mutable dirty : bool;
+  seen : (int, int) Hashtbl.t;
+  mutable event : int;
+}
+
+let rebuild t =
+  let qs = Array.of_list (Hashtbl.fold (fun _ q acc -> q :: acc) t.queries []) in
+  let partition = S2.partition Select_query.rect qs in
+  t.groups <-
+    Array.map
+      (fun (g : Select_query.t S2.group) ->
+        let rtree = Rtree.create ~max_entries:8 () in
+        Array.iter (fun q -> Rtree.insert rtree (Select_query.rect q) q) g.members;
+        { pc = g.px; pa = g.py; rtree })
+      partition;
+  t.dirty <- false
+
+let create s_table r_table queries =
+  let h = Hashtbl.create (max 16 (Array.length queries)) in
+  Array.iter (fun (q : Select_query.t) -> Hashtbl.replace h q.qid q) queries;
+  let t =
+    {
+      s_table;
+      r_table;
+      queries = h;
+      groups = [||];
+      dirty = true;
+      seen = Hashtbl.create 256;
+      event = 0;
+    }
+  in
+  rebuild t;
+  t
+
+let num_groups t =
+  if t.dirty then rebuild t;
+  Array.length t.groups
+
+let query_count t = Hashtbl.length t.queries
+
+let fresh_event t =
+  t.event <- t.event + 1;
+  t.event
+
+let mark t (q : Select_query.t) =
+  match Hashtbl.find_opt t.seen q.qid with
+  | Some ev when ev = t.event -> false
+  | _ ->
+      Hashtbl.replace t.seen q.qid t.event;
+      true
+
+(* Generic group processing over a composite-keyed B-tree: the paper's
+   STEP 1 (two anchor probes into the group's rectangle index) and
+   STEP 2 (outward leaf walks bounded by the query's selection range).
+   Instantiated with the S(B,C) index for R events and the R(B,A) index
+   for S events — only the axis accessors change. *)
+let process_group (type v) t (bt : v Pbt.t) ~b ~stab ~probe_of ~range_of
+    ~(rtree : Select_query.t Rtree.t) ~(emit : Select_query.t -> v -> unit) =
+  let c2 = Pbt.seek_ge bt (b, stab) in
+  let c1 = match c2 with Some c -> Pbt.prev c | None -> Pbt.seek_le bt (b, stab) in
+  let fwd = match c2 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
+  let bwd = match c1 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
+  if not (fwd = None && bwd = None) then begin
+    let affected = Vec.create () in
+    let consider q = if mark t q then Vec.push affected q in
+    (match bwd with
+    | Some c -> probe_of rtree (snd (Pbt.key c)) consider
+    | None -> ());
+    (match fwd with
+    | Some c -> probe_of rtree (snd (Pbt.key c)) consider
+    | None -> ());
+    Vec.iter
+      (fun (q : Select_query.t) ->
+        let range = range_of q in
+        let lo = I.lo range and hi = I.hi range in
+        let rec back = function
+          | Some c ->
+              let kb, kv = Pbt.key c in
+              if kb = b && kv >= lo then begin
+                emit q (Pbt.value c);
+                back (Pbt.prev c)
+              end
+          | None -> ()
+        in
+        back bwd;
+        let rec forward = function
+          | Some c ->
+              let kb, kv = Pbt.key c in
+              if kb = b && kv <= hi then begin
+                emit q (Pbt.value c);
+                forward (Pbt.next c)
+              end
+          | None -> ()
+        in
+        forward fwd)
+      affected
+  end
+
+let process_r t (r : Tuple.r) (sink : r_sink) =
+  if t.dirty then rebuild t;
+  ignore (fresh_event t);
+  Array.iter
+    (fun g ->
+      process_group t (Table.s_by_bc t.s_table) ~b:r.b ~stab:g.pc
+        ~probe_of:(fun rt c k -> Rtree.stab rt ~x:c ~y:r.a (fun _ q -> k q))
+        ~range_of:(fun q -> q.Select_query.range_c)
+        ~rtree:g.rtree ~emit:sink)
+    t.groups
+
+let process_s t (s : Tuple.s) (sink : s_sink) =
+  if t.dirty then rebuild t;
+  ignore (fresh_event t);
+  Array.iter
+    (fun g ->
+      process_group t (Table.r_by_ba t.r_table) ~b:s.b ~stab:g.pa
+        ~probe_of:(fun rt a k -> Rtree.stab rt ~x:s.c ~y:a (fun _ q -> k q))
+        ~range_of:(fun q -> q.Select_query.range_a)
+        ~rtree:g.rtree ~emit:sink)
+    t.groups
+
+let insert_query t (q : Select_query.t) =
+  Hashtbl.replace t.queries q.qid q;
+  t.dirty <- true
+
+let delete_query t (q : Select_query.t) =
+  if Hashtbl.mem t.queries q.qid then begin
+    Hashtbl.remove t.queries q.qid;
+    t.dirty <- true;
+    true
+  end
+  else false
+
+let reference_s r_table queries (s : Tuple.s) =
+  let acc = ref [] in
+  Array.iter
+    (fun (q : Select_query.t) ->
+      Table.iter_r r_table (fun r ->
+          if r.Tuple.b = s.b && Select_query.matches q ~r_a:r.Tuple.a ~s_c:s.c then
+            acc := (q.qid, r.rid) :: !acc))
+    queries;
+  List.sort compare !acc

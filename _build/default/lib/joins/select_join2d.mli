@@ -1,0 +1,51 @@
+(** Bidirectional SSI over two-dimensional stabbing groups — making
+    Section 6's "extend clustering by stabbing partition to
+    multidimensional spaces" operational for equality joins with local
+    selections.
+
+    {!Select_join.Ssi} partitions on the rangeC projections and can
+    therefore process only R-side events (the S-side needs a second SSI
+    on the rangeA projections, as the paper notes).  Here each group of
+    a {!Hotspot_core.Stabbing2d} partition has a full 2-D stabbing
+    point (pc, pa) inside every member rectangle, so the {e same}
+    groups process events from {e either} relation: an R event anchors
+    on the S(B,C) index around pc, an S event anchors on the R(B,A)
+    index around pa, with the identical two-probe STEP 1 / outward-walk
+    STEP 2 logic in transposed axes.
+
+    The price is the 2-D partition size (at least max(τ_A, τ_C), up to
+    their product on adversarial inputs; equal to the cluster count on
+    multi-attribute-clustered workloads). *)
+
+type r_sink = Select_query.t -> Cq_relation.Tuple.s -> unit
+type s_sink = Select_query.t -> Cq_relation.Tuple.r -> unit
+
+type t
+
+val create :
+  Cq_relation.Table.s_table ->
+  Cq_relation.Table.r_table ->
+  Select_query.t array ->
+  t
+
+val num_groups : t -> int
+(** Size of the 2-D partition currently indexed. *)
+
+val query_count : t -> int
+
+val process_r : t -> Cq_relation.Tuple.r -> r_sink -> unit
+(** All (query, S-tuple) results the R event produces. *)
+
+val process_s : t -> Cq_relation.Tuple.s -> s_sink -> unit
+(** All (query, R-tuple) results the S event produces — through the
+    same group structures. *)
+
+val insert_query : t -> Select_query.t -> unit
+val delete_query : t -> Select_query.t -> bool
+
+val reference_s :
+  Cq_relation.Table.r_table ->
+  Select_query.t array ->
+  Cq_relation.Tuple.s ->
+  (int * int) list
+(** Brute-force oracle for S-side events: sorted (qid, rid) pairs. *)

@@ -1,0 +1,38 @@
+module I = Cq_interval.Interval
+
+type t = {
+  qid : int;
+  range_a : I.t;
+  range_c : I.t;
+}
+
+let make ~qid ~range_a ~range_c = { qid; range_a; range_c }
+
+let of_ranges pairs =
+  Array.mapi (fun qid (range_a, range_c) -> { qid; range_a; range_c }) pairs
+
+let rect q = Cq_index.Rect.make ~x:q.range_c ~y:q.range_a
+
+let matches q ~r_a ~s_c = I.stabs q.range_a r_a && I.stabs q.range_c s_c
+
+let pp fmt q = Format.fprintf fmt "sq#%d(A:%a, C:%a)" q.qid I.pp q.range_a I.pp q.range_c
+
+module Elem_c = struct
+  type nonrec t = t
+
+  let compare a b =
+    let c = I.compare_lo a.range_c b.range_c in
+    if c <> 0 then c else Int.compare a.qid b.qid
+
+  let interval q = q.range_c
+end
+
+module Elem_a = struct
+  type nonrec t = t
+
+  let compare a b =
+    let c = I.compare_lo a.range_a b.range_a in
+    if c <> 0 then c else Int.compare a.qid b.qid
+
+  let interval q = q.range_a
+end

@@ -1,0 +1,33 @@
+(** Continuous equality joins with local selections (Section 3.2):
+
+    [σ_{A ∈ rangeA_i} R ⋈_{R.B = S.B} σ_{C ∈ rangeC_i} S]
+
+    Geometrically, the query is the rectangle [rangeC_i × rangeA_i] in
+    the product space S.C × R.A (Figure 5). *)
+
+type t = {
+  qid : int;
+  range_a : Cq_interval.Interval.t;
+  range_c : Cq_interval.Interval.t;
+}
+
+val make : qid:int -> range_a:Cq_interval.Interval.t -> range_c:Cq_interval.Interval.t -> t
+
+val of_ranges : (Cq_interval.Interval.t * Cq_interval.Interval.t) array -> t array
+(** Number [(rangeA, rangeC)] pairs 0.. as query ids. *)
+
+val rect : t -> Cq_index.Rect.t
+(** The query rectangle: x = rangeC (S.C axis), y = rangeA (R.A axis). *)
+
+val matches : t -> r_a:float -> s_c:float -> bool
+(** Ground truth on the selection conditions (join equality aside). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Element view keyed on the rangeC projection — the axis SJ-SSI
+    partitions on when processing R-side events. *)
+module Elem_c : Hotspot_core.Partition_intf.ELEMENT with type t = t
+
+(** Element view keyed on rangeA — used for the symmetric S-side SSI
+    and for the SJ-SelectFirst index. *)
+module Elem_a : Hotspot_core.Partition_intf.ELEMENT with type t = t

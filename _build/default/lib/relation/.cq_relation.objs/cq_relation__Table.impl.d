@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Cq_index Float Tuple

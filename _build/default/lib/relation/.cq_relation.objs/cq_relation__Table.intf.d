@@ -1,0 +1,1 @@
+lib/relation/table.mli: Cq_index Tuple

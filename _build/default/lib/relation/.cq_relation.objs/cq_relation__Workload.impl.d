@@ -1,0 +1,1 @@
+lib/relation/workload.ml: Array Cq_interval Cq_util Float Format Option Tuple

@@ -1,0 +1,1 @@
+lib/relation/workload.mli: Cq_interval Cq_util Format Tuple

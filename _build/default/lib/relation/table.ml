@@ -1,0 +1,78 @@
+module Fkey = struct
+  type t = float
+
+  let compare = Float.compare
+end
+
+module Pkey = struct
+  type t = float * float
+
+  let compare (a1, a2) (b1, b2) =
+    let c = Float.compare a1 b1 in
+    if c <> 0 then c else Float.compare a2 b2
+end
+
+module Fbt = Cq_index.Btree.Make (Fkey)
+module Pbt = Cq_index.Btree.Make (Pkey)
+
+type s_table = {
+  s_b : Tuple.s Fbt.t;
+  s_bc : Tuple.s Pbt.t;
+}
+
+let create_s () = { s_b = Fbt.create (); s_bc = Pbt.create () }
+
+let insert_s t (s : Tuple.s) =
+  Fbt.insert t.s_b s.b s;
+  Pbt.insert t.s_bc (s.b, s.c) s
+
+let delete_s t (s : Tuple.s) =
+  let hit = Fbt.remove_first t.s_b s.b (fun x -> Tuple.equal_s x s) in
+  if hit then ignore (Pbt.remove_first t.s_bc (s.b, s.c) (fun x -> Tuple.equal_s x s));
+  hit
+
+let of_s_tuples tuples =
+  let by_b = Array.copy tuples in
+  Array.sort (fun (a : Tuple.s) b -> Float.compare a.b b.b) by_b;
+  let by_bc = Array.copy tuples in
+  Array.sort (fun (a : Tuple.s) b -> Pkey.compare (a.b, a.c) (b.b, b.c)) by_bc;
+  {
+    s_b = Fbt.of_sorted (Array.map (fun (s : Tuple.s) -> (s.b, s)) by_b);
+    s_bc = Pbt.of_sorted (Array.map (fun (s : Tuple.s) -> ((s.b, s.c), s)) by_bc);
+  }
+
+let s_size t = Fbt.length t.s_b
+let s_by_b t = t.s_b
+let s_by_bc t = t.s_bc
+let iter_s t f = Fbt.iter t.s_b (fun _ s -> f s)
+
+type r_table = {
+  r_b : Tuple.r Fbt.t;
+  r_ba : Tuple.r Pbt.t;
+}
+
+let create_r () = { r_b = Fbt.create (); r_ba = Pbt.create () }
+
+let insert_r t (r : Tuple.r) =
+  Fbt.insert t.r_b r.b r;
+  Pbt.insert t.r_ba (r.b, r.a) r
+
+let delete_r t (r : Tuple.r) =
+  let hit = Fbt.remove_first t.r_b r.b (fun x -> Tuple.equal_r x r) in
+  if hit then ignore (Pbt.remove_first t.r_ba (r.b, r.a) (fun x -> Tuple.equal_r x r));
+  hit
+
+let of_r_tuples tuples =
+  let by_b = Array.copy tuples in
+  Array.sort (fun (a : Tuple.r) b -> Float.compare a.b b.b) by_b;
+  let by_ba = Array.copy tuples in
+  Array.sort (fun (a : Tuple.r) b -> Pkey.compare (a.b, a.a) (b.b, b.a)) by_ba;
+  {
+    r_b = Fbt.of_sorted (Array.map (fun (r : Tuple.r) -> (r.b, r)) by_b);
+    r_ba = Pbt.of_sorted (Array.map (fun (r : Tuple.r) -> ((r.b, r.a), r)) by_ba);
+  }
+
+let r_size t = Fbt.length t.r_b
+let r_by_b t = t.r_b
+let r_by_ba t = t.r_ba
+let iter_r t f = Fbt.iter t.r_b (fun _ r -> f r)

@@ -1,0 +1,51 @@
+(** The database relations, indexed as the paper assumes.
+
+    S(B,C) carries a B-tree on B (for band joins) and a composite
+    B-tree on (B,C) (for equality joins with local selections); R(A,B)
+    symmetrically carries B and (B,A) indexes so that S-side events can
+    be processed the same way R-side events are. *)
+
+module Fkey : Cq_index.Btree.ORDERED with type t = float
+
+module Pkey : Cq_index.Btree.ORDERED with type t = float * float
+(** Lexicographic order on (primary, secondary). *)
+
+module Fbt : module type of Cq_index.Btree.Make (Fkey)
+module Pbt : module type of Cq_index.Btree.Make (Pkey)
+
+(** {2 S(B,C)} *)
+
+type s_table
+
+val create_s : unit -> s_table
+
+val of_s_tuples : Tuple.s array -> s_table
+(** Bulk-load; input order is free. *)
+
+val insert_s : s_table -> Tuple.s -> unit
+val delete_s : s_table -> Tuple.s -> bool
+val s_size : s_table -> int
+val s_by_b : s_table -> Tuple.s Fbt.t
+(** B-tree keyed on S.B. *)
+
+val s_by_bc : s_table -> Tuple.s Pbt.t
+(** B-tree keyed on (S.B, S.C). *)
+
+val iter_s : s_table -> (Tuple.s -> unit) -> unit
+(** In increasing S.B order. *)
+
+(** {2 R(A,B)} *)
+
+type r_table
+
+val create_r : unit -> r_table
+val of_r_tuples : Tuple.r array -> r_table
+val insert_r : r_table -> Tuple.r -> unit
+val delete_r : r_table -> Tuple.r -> bool
+val r_size : r_table -> int
+
+val r_by_b : r_table -> Tuple.r Fbt.t
+val r_by_ba : r_table -> Tuple.r Pbt.t
+(** B-tree keyed on (R.B, R.A). *)
+
+val iter_r : r_table -> (Tuple.r -> unit) -> unit

@@ -1,0 +1,7 @@
+type r = { rid : int; a : float; b : float }
+type s = { sid : int; b : float; c : float }
+
+let pp_r fmt t = Format.fprintf fmt "r#%d(A=%g, B=%g)" t.rid t.a t.b
+let pp_s fmt t = Format.fprintf fmt "s#%d(B=%g, C=%g)" t.sid t.b t.c
+let equal_r (a : r) (b : r) = a.rid = b.rid && a.a = b.a && a.b = b.b
+let equal_s (a : s) (b : s) = a.sid = b.sid && a.b = b.b && a.c = b.c

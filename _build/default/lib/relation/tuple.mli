@@ -1,0 +1,11 @@
+(** Tuples of the two experiment relations (Section 4): R(A,B) and
+    S(B,C), where B is the join attribute and A, C carry the local
+    selections. *)
+
+type r = { rid : int; a : float; b : float }
+type s = { sid : int; b : float; c : float }
+
+val pp_r : Format.formatter -> r -> unit
+val pp_s : Format.formatter -> s -> unit
+val equal_r : r -> r -> bool
+val equal_s : s -> s -> bool

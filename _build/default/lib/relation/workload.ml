@@ -1,0 +1,114 @@
+module I = Cq_interval.Interval
+module Rng = Cq_util.Rng
+module Dist = Cq_util.Dist
+
+type config = {
+  domain_lo : float;
+  domain_hi : float;
+  b_quantum : float;
+  sb_mu : float;
+  sb_sigma : float;
+  range_a_mid_mu : float;
+  range_a_mid_sigma : float;
+  range_a_len_mu : float;
+  range_a_len_sigma : float;
+  range_b_len_mu : float;
+  range_b_len_sigma : float;
+}
+
+let default =
+  {
+    domain_lo = 0.0;
+    domain_hi = 10_000.0;
+    b_quantum = 1.0;
+    sb_mu = 5000.0;
+    sb_sigma = 1000.0;
+    range_a_mid_mu = 5000.0;
+    range_a_mid_sigma = 1500.0;
+    range_a_len_mu = 600.0;
+    range_a_len_sigma = 200.0;
+    range_b_len_mu = 400.0;
+    range_b_len_sigma = 150.0;
+  }
+
+let pp_config fmt c =
+  Format.fprintf fmt
+    "@[<v>domain                [%g, %g]@,\
+     S.B                   Normal(%g, %g) clamped@,\
+     R.A, R.B, S.C         Uni(domain)@,\
+     rangeA midpoint       Normal(%g, %g)@,\
+     rangeA/rangeC length  Normal(%g, %g)@,\
+     rangeB/rangeC midpoint Uni(domain)@,\
+     rangeB length         Normal(%g, %g)@]"
+    c.domain_lo c.domain_hi c.sb_mu c.sb_sigma c.range_a_mid_mu c.range_a_mid_sigma
+    c.range_a_len_mu c.range_a_len_sigma c.range_b_len_mu c.range_b_len_sigma
+
+(* "All integer-valued": B lands on a grid so equality joins match. *)
+let quantise c x = Float.round (x /. c.b_quantum) *. c.b_quantum
+
+let gen_s_tuples c rng ~n =
+  Array.init n (fun sid ->
+      {
+        Tuple.sid;
+        b =
+          quantise c
+            (Dist.normal_clamped rng ~mu:c.sb_mu ~sigma:c.sb_sigma ~lo:c.domain_lo
+               ~hi:c.domain_hi);
+        c = Dist.uniform rng ~lo:c.domain_lo ~hi:c.domain_hi;
+      })
+
+let gen_r_tuples c rng ~n =
+  Array.init n (fun rid ->
+      {
+        Tuple.rid;
+        a = Dist.uniform rng ~lo:c.domain_lo ~hi:c.domain_hi;
+        b = quantise c (Dist.uniform rng ~lo:c.domain_lo ~hi:c.domain_hi);
+      })
+
+(* Lengths are "normally distributed"; a negative draw means a
+   degenerate (point-like) range. *)
+let draw_len rng ~mu ~sigma = Float.max 0.0 (Dist.normal rng ~mu ~sigma)
+
+let gen_select_ranges c rng ~n =
+  Array.init n (fun _ ->
+      let mid_a = Dist.normal rng ~mu:c.range_a_mid_mu ~sigma:c.range_a_mid_sigma in
+      let len_a = draw_len rng ~mu:c.range_a_len_mu ~sigma:c.range_a_len_sigma in
+      let mid_c = Dist.uniform rng ~lo:c.domain_lo ~hi:c.domain_hi in
+      let len_c = draw_len rng ~mu:c.range_a_len_mu ~sigma:c.range_a_len_sigma in
+      (I.of_midpoint ~mid:mid_a ~len:len_a, I.of_midpoint ~mid:mid_c ~len:len_c))
+
+let gen_band_ranges c rng ~n =
+  Array.init n (fun _ ->
+      let mid = Dist.uniform rng ~lo:c.domain_lo ~hi:c.domain_hi in
+      let len = draw_len rng ~mu:c.range_b_len_mu ~sigma:c.range_b_len_sigma in
+      I.of_midpoint ~mid ~len)
+
+let gen_clustered_ranges ?scattered_len rng ~n ~n_clusters ~clustered_frac ~domain:(lo, hi)
+    ~cluster_halfwidth ~len_mu ~len_sigma =
+  if n_clusters <= 0 then invalid_arg "Workload.gen_clustered_ranges: n_clusters must be > 0";
+  if clustered_frac < 0.0 || clustered_frac > 1.0 then
+    invalid_arg "Workload.gen_clustered_ranges: clustered_frac must be in [0,1]";
+  let centres =
+    Array.init n_clusters (fun _ -> Dist.uniform rng ~lo ~hi)
+  in
+  let s_mu, s_sigma = Option.value scattered_len ~default:(len_mu, len_sigma) in
+  let cdf = Dist.cdf_of_weights (Dist.zipf_weights ~n:n_clusters ~beta:1.0) in
+  Array.init n (fun _ ->
+      if Rng.float rng < clustered_frac then begin
+        let len = Float.max 0.0 (Dist.normal rng ~mu:len_mu ~sigma:len_sigma) in
+        let k = Dist.zipf rng ~cdf in
+        let jitter = Dist.uniform rng ~lo:(-.cluster_halfwidth) ~hi:cluster_halfwidth in
+        (* Clustered ranges share their cluster centre: the centre
+           always stabs them, whatever the jitter and length. *)
+        let mid = centres.(k) +. jitter in
+        I.of_midpoint ~mid ~len:(Float.max len (2.0 *. Float.abs jitter))
+      end
+      else begin
+        let len = Float.max 0.0 (Dist.normal rng ~mu:s_mu ~sigma:s_sigma) in
+        I.of_midpoint ~mid:(Dist.uniform rng ~lo ~hi) ~len
+      end)
+
+let scale_lengths ranges ~factor =
+  Array.map
+    (fun iv -> I.of_midpoint ~mid:(I.midpoint iv) ~len:(I.length iv *. factor))
+    ranges

@@ -1,0 +1,75 @@
+(** Synthetic data and query workloads — Table 1 of the paper.
+
+    Base tables: R.B and the local-selection attributes R.A, S.C are
+    uniform on the domain; S.B follows a clamped ("discretized")
+    normal, modelling varying join selectivity.  Query ranges: rangeA
+    midpoints are normal, rangeB/rangeC midpoints uniform, all lengths
+    normal.  Every generator takes an explicit {!Cq_util.Rng.t} so
+    experiments are reproducible. *)
+
+type config = {
+  domain_lo : float;
+  domain_hi : float;  (** attribute domain, paper: [0, 10000] *)
+  b_quantum : float;
+      (** The paper's attributes are integer-valued; B values (both
+          relations) are rounded to multiples of this quantum so that
+          equality joins actually match.  A coarser quantum raises the
+          event selectivity on S (Figure 8(iv)'s knob). *)
+  sb_mu : float;
+  sb_sigma : float;  (** S.B ~ Normal(5000, 1000), clamped to the domain *)
+  range_a_mid_mu : float;
+  range_a_mid_sigma : float;  (** rangeA midpoint ~ Normal(mu1, sigma1) *)
+  range_a_len_mu : float;
+  range_a_len_sigma : float;  (** rangeA/rangeC length ~ Normal(mu2, sigma2) *)
+  range_b_len_mu : float;
+  range_b_len_sigma : float;  (** rangeB length ~ Normal(mu3, sigma3) *)
+}
+
+val default : config
+(** The paper's Table 1 with representative mu/sigma choices:
+    mu1 = 5000, sigma1 = 1500; mu2 = 600, sigma2 = 200;
+    mu3 = 400, sigma3 = 150. *)
+
+val pp_config : Format.formatter -> config -> unit
+
+(** {2 Base tables and streams} *)
+
+val gen_s_tuples : config -> Cq_util.Rng.t -> n:int -> Tuple.s array
+val gen_r_tuples : config -> Cq_util.Rng.t -> n:int -> Tuple.r array
+(** R insertion events: A and B uniform on the domain. *)
+
+(** {2 Query ranges} *)
+
+val gen_select_ranges :
+  config -> Cq_util.Rng.t -> n:int -> (Cq_interval.Interval.t * Cq_interval.Interval.t) array
+(** [(rangeA, rangeC)] pairs per Table 1. *)
+
+val gen_band_ranges : config -> Cq_util.Rng.t -> n:int -> Cq_interval.Interval.t array
+(** rangeB intervals per Table 1 (offsets around zero are applied by
+    the band-join semantics; here midpoints are uniform on the domain
+    like the paper's rangeB rows). *)
+
+(** {2 Clusteredness control} *)
+
+val gen_clustered_ranges :
+  ?scattered_len:float * float ->
+  Cq_util.Rng.t ->
+  n:int ->
+  n_clusters:int ->
+  clustered_frac:float ->
+  domain:float * float ->
+  cluster_halfwidth:float ->
+  len_mu:float ->
+  len_sigma:float ->
+  Cq_interval.Interval.t array
+(** [clustered_frac] of the ranges are centred near one of
+    [n_clusters] cluster centres (Zipf-weighted, beta = 1, so cluster
+    sizes follow the popularity law of Figure 2); the rest have
+    uniform midpoints.  Used to sweep the number of stabbing groups
+    (Figures 7(ii), 10(ii)) and hotspot coverage (Figure 9). *)
+
+val scale_lengths :
+  Cq_interval.Interval.t array -> factor:float -> Cq_interval.Interval.t array
+(** Shrink or grow every range around its midpoint — the paper's knob
+    for "decreasing mean and variance of interval lengths" to control
+    the stabbing number. *)

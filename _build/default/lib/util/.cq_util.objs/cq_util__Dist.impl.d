@@ -1,0 +1,1 @@
+lib/util/dist.ml: Array Float Rng

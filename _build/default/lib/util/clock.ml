@@ -1,0 +1,9 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let throughput ~events ~seconds =
+  if seconds <= 0.0 then 0.0 else float_of_int events /. seconds

@@ -1,0 +1,11 @@
+(** Wall-clock timing for the benchmark harness. *)
+
+val now : unit -> float
+(** Seconds since the epoch, wall clock. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall
+    time in seconds. *)
+
+val throughput : events:int -> seconds:float -> float
+(** Events per second; 0 when [seconds] is not positive. *)

@@ -1,0 +1,49 @@
+let uniform rng ~lo ~hi = lo +. ((hi -. lo) *. Rng.float rng)
+
+let normal rng ~mu ~sigma =
+  (* Box–Muller.  u1 must be nonzero for the log. *)
+  let rec nonzero () =
+    let u = Rng.float rng in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = Rng.float rng in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let normal_clamped rng ~mu ~sigma ~lo ~hi =
+  Float.max lo (Float.min hi (normal rng ~mu ~sigma))
+
+let zipf_weights ~n ~beta =
+  if n <= 0 then invalid_arg "Dist.zipf_weights: n must be positive";
+  let w = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.beta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let cdf_of_weights w =
+  let n = Array.length w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. w.(i);
+    cdf.(i) <- !acc
+  done;
+  if n > 0 then cdf.(n - 1) <- 1.0;
+  cdf
+
+let zipf rng ~cdf =
+  let x = Rng.float rng in
+  (* Binary search for the first index with cdf.(i) >= x. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = Rng.float rng in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate

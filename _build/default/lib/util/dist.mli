@@ -1,0 +1,28 @@
+(** Samplers for the distributions used by the paper's workload
+    (Table 1): uniform, normal (for range midpoints/lengths and the join
+    attribute S.B) and Zipf (for the hotspot-coverage model of Figure 2). *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform draw from [\[lo, hi)]. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian draw via Box–Muller (the spare variate is deliberately not
+    cached, keeping the sampler stateless w.r.t. the caller). *)
+
+val normal_clamped : Rng.t -> mu:float -> sigma:float -> lo:float -> hi:float -> float
+(** Gaussian draw clamped into [\[lo, hi\]] — the paper's "discretized
+    normal ... with domain \[0,10000\]" for S.B. *)
+
+val zipf_weights : n:int -> beta:float -> float array
+(** [zipf_weights ~n ~beta] is the normalised Zipf pmf over ranks
+    [1..n]: weight of rank k proportional to k^-beta. *)
+
+val zipf : Rng.t -> cdf:float array -> int
+(** Draw a rank in [\[0, n)] given the cumulative distribution built
+    from {!zipf_weights} (see {!cdf_of_weights}). *)
+
+val cdf_of_weights : float array -> float array
+(** Prefix sums of a pmf, last entry forced to [1.0]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential draw (used for arrival-gap simulation in examples). *)

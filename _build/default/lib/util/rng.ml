@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let float t =
+  (* 53 high-quality mantissa bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int without
+     wrapping negative; modulo bias is negligible for bounds far below
+     2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let split t =
+  let s = int64 t in
+  { state = mix s }

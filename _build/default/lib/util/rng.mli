@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation.
+
+    All experiments in this repository are seeded so that every run is
+    reproducible bit-for-bit.  The generator is splitmix64, which has a
+    64-bit state, passes BigCrush, and is trivially splittable — good
+    enough for workload synthesis (we make no cryptographic claims). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] draws uniformly from [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s continuation. *)

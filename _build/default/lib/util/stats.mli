@@ -1,0 +1,16 @@
+(** Small numeric summaries used when reporting experiment results. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted
+    copy; 0 on the empty array. *)
+
+val median : float array -> float
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; 0 if any value <= 0. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cq_index Cq_interval Cq_util Float Fun Hashtbl Hotspot_core Int List QCheck2 QCheck_alcotest

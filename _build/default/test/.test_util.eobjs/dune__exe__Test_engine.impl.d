@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cq_engine Cq_interval Cq_relation Hashtbl List Option QCheck2 QCheck_alcotest

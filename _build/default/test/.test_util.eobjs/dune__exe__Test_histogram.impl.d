@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Cq_histogram Cq_interval Cq_relation Cq_util Float Fun Hotspot_core List QCheck2 QCheck_alcotest

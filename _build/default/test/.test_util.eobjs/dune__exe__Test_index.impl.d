@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Cq_index Cq_interval Cq_util Float Int List Option QCheck2 QCheck_alcotest

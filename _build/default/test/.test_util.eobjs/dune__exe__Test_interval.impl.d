@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Cq_interval Cq_util Float QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Array Cq_interval Cq_joins Cq_relation List QCheck2 QCheck_alcotest

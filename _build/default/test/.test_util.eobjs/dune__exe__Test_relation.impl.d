@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Cq_interval Cq_relation Cq_util Float Fun Hashtbl Hotspot_core List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cq_util Dist Float List QCheck2 QCheck_alcotest Rng Stats Vec

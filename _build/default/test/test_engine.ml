@@ -1,0 +1,350 @@
+(* End-to-end engine tests: symmetric R/S event processing against an
+   incrementally maintained brute-force oracle, plus the Figure-2 Zipf
+   coverage model. *)
+
+module I = Cq_interval.Interval
+module Engine = Cq_engine.Engine
+module Zipf = Cq_engine.Zipf_model
+
+let fgen hi = QCheck2.Gen.(map float_of_int (int_bound hi))
+
+let interval_gen hi =
+  QCheck2.Gen.(map2 (fun a b -> if a <= b then I.make a b else I.make b a) (fgen hi) (fgen hi))
+
+type ev = InsR of float * float | InsS of float * float
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let* band_ranges = list_size (int_range 0 15) (interval_gen 10) in
+    let* select_ranges = list_size (int_range 0 15) (pair (interval_gen 20) (interval_gen 20)) in
+    let* events =
+      list_size (int_range 1 40)
+        (oneof
+           [
+             map2 (fun a b -> InsR (a, b)) (fgen 20) (fgen 10);
+             map2 (fun b c -> InsS (b, c)) (fgen 10) (fgen 20);
+           ])
+    in
+    return (band_ranges, select_ranges, events))
+
+let prop_engine_matches_oracle =
+  QCheck2.Test.make ~name:"engine: mixed R/S stream matches oracle" ~count:150 scenario_gen
+    (fun (band_ranges, select_ranges, events) ->
+      let eng = Engine.create ~alpha:0.3 () in
+      (* Record every delivered result as (kind, query-index, rid, sid). *)
+      let delivered = ref [] in
+      List.iteri
+        (fun i range ->
+          ignore
+            (Engine.subscribe_band eng ~range:(I.shift range (-5.0)) (fun r s ->
+                 delivered := (`Band, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+        band_ranges;
+      List.iteri
+        (fun i (range_a, range_c) ->
+          ignore
+            (Engine.subscribe_select eng ~range_a ~range_c (fun r s ->
+                 delivered := (`Select, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+        select_ranges;
+      (* Oracle state. *)
+      let rs = ref [] and ss = ref [] in
+      let expected = ref [] in
+      let band_match i range (rid, ra, rb) (sid, sb, _sc) =
+        ignore ra;
+        if I.stabs (I.shift range (-5.0)) (sb -. rb) then
+          expected := (`Band, i, rid, sid) :: !expected
+      in
+      let select_match i (range_a, range_c) (rid, ra, rb) (sid, sb, sc) =
+        if rb = sb && I.stabs range_a ra && I.stabs range_c sc then
+          expected := (`Select, i, rid, sid) :: !expected
+      in
+      List.iter
+        (fun ev ->
+          match ev with
+          | InsR (a, b) ->
+              let r, _ = Engine.insert_r eng ~a ~b in
+              let rt = (r.Cq_relation.Tuple.rid, a, b) in
+              List.iter (fun st -> List.iteri (fun i rg -> band_match i rg rt st) band_ranges) !ss;
+              List.iter
+                (fun st -> List.iteri (fun i rg -> select_match i rg rt st) select_ranges)
+                !ss;
+              rs := rt :: !rs
+          | InsS (b, c) ->
+              let s, _ = Engine.insert_s eng ~b ~c in
+              let st = (s.Cq_relation.Tuple.sid, b, c) in
+              List.iter (fun rt -> List.iteri (fun i rg -> band_match i rg rt st) band_ranges) !rs;
+              List.iter
+                (fun rt -> List.iteri (fun i rg -> select_match i rg rt st) select_ranges)
+                !rs;
+              ss := st :: !ss)
+        events;
+      let norm l = List.sort compare l in
+      norm !delivered = norm !expected
+      || QCheck2.Test.fail_reportf "delivered %d, expected %d results"
+           (List.length !delivered) (List.length !expected))
+
+let test_engine_unsubscribe () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  let sub = Engine.subscribe_band eng ~range:(I.make (-5.0) 5.0) (fun _ _ -> incr hits) in
+  Engine.load_s eng [| (3.0, 1.0) |];
+  ignore (Engine.insert_r eng ~a:0.0 ~b:2.0);
+  Alcotest.(check int) "hit once" 1 !hits;
+  Alcotest.(check bool) "unsubscribe" true (Engine.unsubscribe eng sub);
+  Alcotest.(check bool) "double unsubscribe" false (Engine.unsubscribe eng sub);
+  ignore (Engine.insert_r eng ~a:0.0 ~b:2.0);
+  Alcotest.(check int) "no further hits" 1 !hits;
+  Alcotest.(check int) "no band queries left" 0 (Engine.band_query_count eng)
+
+let test_engine_load_does_not_fire () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.subscribe_band eng ~range:(I.make (-100.0) 100.0) (fun _ _ -> incr hits));
+  Engine.load_s eng (Array.init 50 (fun i -> (float_of_int i, 0.0)));
+  Engine.load_r eng (Array.init 50 (fun i -> (0.0, float_of_int i)));
+  Alcotest.(check int) "loads are silent" 0 !hits;
+  let st = Engine.stats eng in
+  Alcotest.(check int) "r loaded" 50 st.Engine.r_size;
+  Alcotest.(check int) "s loaded" 50 st.Engine.s_size
+
+let test_engine_stats_accumulate () =
+  let eng = Engine.create ~alpha:0.4 () in
+  for i = 0 to 9 do
+    ignore
+      (Engine.subscribe_select eng
+         ~range_a:(I.make 0.0 10.0)
+         ~range_c:(I.make (float_of_int i) (float_of_int i +. 5.0))
+         (fun _ _ -> ()))
+  done;
+  Engine.load_s eng [| (5.0, 3.0); (5.0, 8.0) |];
+  let _, n = Engine.insert_r eng ~a:5.0 ~b:5.0 in
+  let st = Engine.stats eng in
+  Alcotest.(check int) "events" 1 st.Engine.events_processed;
+  Alcotest.(check int) "results match per-event count" n st.Engine.results_delivered;
+  Alcotest.(check bool) "some results" true (n > 0);
+  (* 10 heavily overlapping rangeC's with alpha=0.4 form a hotspot. *)
+  Alcotest.(check bool) "select hotspot exists" true (st.Engine.select_hotspots >= 1)
+
+
+let test_engine_retractions () =
+  let eng = Engine.create ~alpha:0.3 () in
+  let results = ref [] and retracted = ref [] in
+  ignore
+    (Engine.subscribe_band eng
+       ~on_retract:(fun r s ->
+         retracted := (r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !retracted)
+       ~range:(I.make (-2.0) 2.0)
+       (fun r s -> results := (r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !results));
+  let s1, _ = Engine.insert_s eng ~b:5.0 ~c:0.0 in
+  let r1, k1 = Engine.insert_r eng ~a:0.0 ~b:4.0 in
+  Alcotest.(check int) "one result" 1 k1;
+  (* Deleting the R tuple retracts the pair it produced. *)
+  (match Engine.delete_r eng r1 with
+  | Some k -> Alcotest.(check int) "one retraction" 1 k
+  | None -> Alcotest.fail "tuple should be present");
+  Alcotest.(check (list (pair int int))) "retraction pair" !results !retracted;
+  Alcotest.(check bool) "double delete" true (Engine.delete_r eng r1 = None);
+  (* A later event no longer joins with the deleted tuple. *)
+  let _, k2 = Engine.insert_s eng ~b:4.5 ~c:0.0 in
+  Alcotest.(check int) "deleted R invisible" 0 k2;
+  (* Deleting the S tuple retracts nothing (its partner is gone). *)
+  match Engine.delete_s eng s1 with
+  | Some k -> Alcotest.(check int) "no retractions left" 0 k
+  | None -> Alcotest.fail "s tuple should be present"
+
+let test_engine_select_retractions () =
+  let eng = Engine.create () in
+  let retracted = ref 0 in
+  ignore
+    (Engine.subscribe_select eng
+       ~on_retract:(fun _ _ -> incr retracted)
+       ~range_a:(I.make 0.0 10.0) ~range_c:(I.make 0.0 10.0)
+       (fun _ _ -> ()));
+  ignore (Engine.insert_r eng ~a:5.0 ~b:7.0);
+  let s, k = Engine.insert_s eng ~b:7.0 ~c:3.0 in
+  Alcotest.(check int) "one result" 1 k;
+  ignore (Engine.delete_s eng s);
+  Alcotest.(check int) "one retraction" 1 !retracted
+
+
+let test_engine_preloaded_r_joins_s_events () =
+  (* Tuples loaded into R must be visible to later S-side events via
+     the mirrored-processing path. *)
+  let eng = Engine.create () in
+  ignore
+    (Engine.subscribe_select eng ~range_a:(I.make 0.0 10.0) ~range_c:(I.make 0.0 10.0)
+       (fun _ _ -> ()));
+  ignore (Engine.subscribe_band eng ~range:(I.make (-1.0) 1.0) (fun _ _ -> ()));
+  Engine.load_r eng [| (5.0, 7.0); (20.0, 7.0) (* A out of rangeA *) |];
+  let _, k = Engine.insert_s eng ~b:7.0 ~c:5.0 in
+  (* select: joins the first R tuple only; band: |7-7|=0 joins both. *)
+  Alcotest.(check int) "select (1) + band (2)" 3 k
+
+
+(* Mixed insert/delete stream with retraction tracking: the multiset of
+   (query, pair) deliveries minus retractions must equal the live
+   brute-force join at every point; we check the final state. *)
+type dev = DInsR of float * float | DInsS of float * float | DDelR | DDelS
+
+let churn_scenario_gen =
+  QCheck2.Gen.(
+    let* band_ranges = list_size (int_range 0 10) (interval_gen 10) in
+    let* events =
+      list_size (int_range 1 50)
+        (frequency
+           [
+             (3, map2 (fun a b -> DInsR (a, b)) (fgen 20) (fgen 10));
+             (3, map2 (fun b c -> DInsS (b, c)) (fgen 10) (fgen 20));
+             (1, return DDelR);
+             (1, return DDelS);
+           ])
+    in
+    return (band_ranges, events))
+
+let prop_engine_deletions_retract =
+  QCheck2.Test.make ~name:"engine: net deliveries = live join under churn" ~count:120
+    churn_scenario_gen (fun (band_ranges, events) ->
+      let eng = Engine.create ~alpha:0.3 () in
+      (* net.(i) holds the balance of deliveries - retractions per query. *)
+      let net = Hashtbl.create 64 in
+      let bump k d =
+        Hashtbl.replace net k (d + Option.value ~default:0 (Hashtbl.find_opt net k))
+      in
+      List.iteri
+        (fun i range ->
+          ignore
+            (Engine.subscribe_band eng
+               ~on_retract:(fun r s ->
+                 bump (i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) (-1))
+               ~range:(I.shift range (-5.0))
+               (fun r s -> bump (i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) 1)))
+        band_ranges;
+      let live_r = ref [] and live_s = ref [] in
+      List.iter
+        (fun ev ->
+          match ev with
+          | DInsR (a, b) ->
+              let r, _ = Engine.insert_r eng ~a ~b in
+              live_r := r :: !live_r
+          | DInsS (b, c) ->
+              let sx, _ = Engine.insert_s eng ~b ~c in
+              live_s := sx :: !live_s
+          | DDelR -> (
+              match !live_r with
+              | [] -> ()
+              | r :: rest ->
+                  (match Engine.delete_r eng r with
+                  | Some _ -> live_r := rest
+                  | None -> QCheck2.Test.fail_report "delete_r failed on live tuple"))
+          | DDelS -> (
+              match !live_s with
+              | [] -> ()
+              | sx :: rest ->
+                  (match Engine.delete_s eng sx with
+                  | Some _ -> live_s := rest
+                  | None -> QCheck2.Test.fail_report "delete_s failed on live tuple")))
+        events;
+      (* Brute-force live join. *)
+      let expected = Hashtbl.create 64 in
+      List.iteri
+        (fun i range ->
+          let w = I.shift range (-5.0) in
+          List.iter
+            (fun (r : Cq_relation.Tuple.r) ->
+              List.iter
+                (fun (sx : Cq_relation.Tuple.s) ->
+                  if I.stabs w (sx.b -. r.b) then
+                    Hashtbl.replace expected (i, r.rid, sx.sid) 1)
+                !live_s)
+            !live_r)
+        band_ranges;
+      let ok = ref true in
+      Hashtbl.iter
+        (fun k d ->
+          let want = Option.value ~default:0 (Hashtbl.find_opt expected k) in
+          if d <> want then ok := false)
+        net;
+      Hashtbl.iter
+        (fun k _ ->
+          if Option.value ~default:0 (Hashtbl.find_opt net k) <> 1 then ok := false)
+        expected;
+      !ok)
+
+
+let test_engine_isolates_failing_callback () =
+  (* A raising subscriber must not starve its peers. *)
+  let eng = Engine.create () in
+  let good = ref 0 in
+  ignore
+    (Engine.subscribe_band eng ~range:(I.make (-1.0) 1.0) (fun _ _ -> failwith "boom"));
+  ignore (Engine.subscribe_band eng ~range:(I.make (-1.0) 1.0) (fun _ _ -> incr good));
+  Engine.load_s eng [| (5.0, 0.0) |];
+  let _, k = Engine.insert_r eng ~a:0.0 ~b:5.0 in
+  Alcotest.(check int) "both results delivered" 2 k;
+  Alcotest.(check int) "good subscriber saw the result" 1 !good
+
+(* ------------------------------ Zipf model ---------------------------- *)
+
+let test_zipf_figure2_anchor () =
+  (* The paper: with 5000 groups and beta = 1, the top 500 groups cover
+     about 70% of all queries. *)
+  let c = Zipf.coverage ~n_groups:5000 ~beta:1.0 ~top_k:500 in
+  if c < 0.68 || c > 0.78 then Alcotest.failf "coverage %.3f outside [0.68, 0.78]" c;
+  (* Coverage increases with beta. *)
+  let c11 = Zipf.coverage ~n_groups:5000 ~beta:1.1 ~top_k:500 in
+  let c12 = Zipf.coverage ~n_groups:5000 ~beta:1.2 ~top_k:500 in
+  Alcotest.(check bool) "beta=1.1 above beta=1.0" true (c11 > c);
+  Alcotest.(check bool) "beta=1.2 above beta=1.1" true (c12 > c11)
+
+let test_zipf_bounds () =
+  Alcotest.(check (float 1e-9)) "k=0" 0.0 (Zipf.coverage ~n_groups:100 ~beta:1.0 ~top_k:0);
+  Alcotest.(check (float 1e-9)) "k=n" 1.0 (Zipf.coverage ~n_groups:100 ~beta:1.0 ~top_k:100);
+  Alcotest.(check (float 1e-9)) "k>n clamps" 1.0 (Zipf.coverage ~n_groups:100 ~beta:1.0 ~top_k:1000)
+
+let prop_zipf_monotone =
+  QCheck2.Test.make ~name:"zipf: coverage monotone in k" ~count:100
+    QCheck2.Gen.(pair (int_range 1 200) (map (fun b -> 0.5 +. (float_of_int b /. 10.0)) (int_bound 10)))
+    (fun (n, beta) ->
+      let prev = ref (-1.0) in
+      List.for_all
+        (fun k ->
+          let c = Zipf.coverage ~n_groups:n ~beta ~top_k:k in
+          let ok = c >= !prev in
+          prev := c;
+          ok)
+        (List.init (min n 20) (fun i -> i + 1)))
+
+let test_zipf_groups_needed () =
+  let k = Zipf.groups_needed ~n_groups:5000 ~beta:1.0 ~target:0.70 in
+  Alcotest.(check bool) "around 500" true (k > 300 && k < 700);
+  Alcotest.(check (float 0.02)) "reaches target" 0.70
+    (Zipf.coverage ~n_groups:5000 ~beta:1.0 ~top_k:k)
+
+(* ---------------------------------------------------------------------- *)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cq_engine"
+    [
+      ( "engine",
+        [
+          qc prop_engine_matches_oracle;
+          Alcotest.test_case "unsubscribe" `Quick test_engine_unsubscribe;
+          Alcotest.test_case "loads are silent" `Quick test_engine_load_does_not_fire;
+          Alcotest.test_case "stats accumulate" `Quick test_engine_stats_accumulate;
+          Alcotest.test_case "band retractions" `Quick test_engine_retractions;
+          Alcotest.test_case "select retractions" `Quick test_engine_select_retractions;
+          Alcotest.test_case "preloaded R joins S events" `Quick
+            test_engine_preloaded_r_joins_s_events;
+          qc prop_engine_deletions_retract;
+          Alcotest.test_case "failing callback isolated" `Quick
+            test_engine_isolates_failing_callback;
+        ] );
+      ( "zipf_model",
+        [
+          Alcotest.test_case "figure 2 anchor" `Quick test_zipf_figure2_anchor;
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          qc prop_zipf_monotone;
+          Alcotest.test_case "groups needed" `Quick test_zipf_groups_needed;
+        ] );
+    ]

@@ -1,0 +1,605 @@
+(* Model-based tests for the index substrate: B+-tree vs a sorted-list
+   model, interval tree vs brute force, treap split/join algebra,
+   R-tree vs brute force. *)
+
+module I = Cq_interval.Interval
+module Btree = Cq_index.Btree
+module Itree = Cq_index.Interval_tree
+module Rect = Cq_index.Rect
+module Rtree = Cq_index.Rtree
+module Rng = Cq_util.Rng
+
+module FB = Btree.Make (Float)
+
+(* Values come from a small grid so duplicates are common — the hard
+   case for ordered-index seek semantics. *)
+let key_gen = QCheck2.Gen.(map (fun i -> float_of_int i /. 2.0) (int_bound 40))
+
+type op = Ins of float | Del of float
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof [ map (fun k -> Ins k) key_gen; map (fun k -> Del k) key_gen ])
+
+let ops_gen = QCheck2.Gen.(list_size (int_range 0 400) op_gen)
+
+(* Reference model: a sorted list of (key, value); duplicates kept in
+   insertion order among equals (the B-tree appends equal keys to the
+   right and deletes the leftmost match, so values with equal keys form
+   a FIFO). *)
+module Model = struct
+  type t = (float * int) list
+
+  let insert (m : t) k v =
+    let rec go = function
+      | [] -> [ (k, v) ]
+      | (k', v') :: rest when k' <= k -> (k', v') :: go rest
+      | rest -> (k, v) :: rest
+    in
+    go m
+
+  let remove_first (m : t) k pred =
+    let rec go = function
+      | [] -> None
+      | (k', v') :: rest when k' = k && pred v' -> Some rest
+      | x :: rest -> Option.map (fun r -> x :: r) (go rest)
+    in
+    go m
+
+  let seek_ge (m : t) k = List.find_opt (fun (k', _) -> k' >= k) m
+  let seek_le (m : t) k = List.fold_left (fun acc (k', v) -> if k' <= k then Some (k', v) else acc) None m
+end
+
+let apply_ops ops =
+  let t = FB.create ~order:2 () in
+  let model = ref [] in
+  let fresh = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Ins k ->
+          incr fresh;
+          FB.insert t k !fresh;
+          model := Model.insert !model k !fresh
+      | Del k -> (
+          let removed = FB.remove_first t k (fun _ -> true) in
+          match Model.remove_first !model k (fun _ -> true) with
+          | Some m ->
+              if not removed then QCheck2.Test.fail_report "model removed but tree did not";
+              model := m
+          | None -> if removed then QCheck2.Test.fail_report "tree removed but model did not"))
+    ops;
+  (t, !model)
+
+let prop_btree_models_sorted_list =
+  QCheck2.Test.make ~name:"btree: to_list matches model" ~count:300 ops_gen (fun ops ->
+      let t, model = apply_ops ops in
+      FB.check_invariants t;
+      FB.to_list t = model)
+
+let prop_btree_seeks =
+  QCheck2.Test.make ~name:"btree: seek_ge/seek_le match model" ~count:200
+    QCheck2.Gen.(pair ops_gen (list_size (int_range 1 30) key_gen))
+    (fun (ops, probes) ->
+      let t, model = apply_ops ops in
+      List.for_all
+        (fun k ->
+          let ge = Option.map (fun c -> (FB.key c, FB.value c)) (FB.seek_ge t k) in
+          let le = Option.map (fun c -> (FB.key c, FB.value c)) (FB.seek_le t k) in
+          (* seek_ge must agree on the key; among equal keys it must be
+             the leftmost, which the model's find_opt also returns. *)
+          ge = Model.seek_ge model k && le = Model.seek_le model k)
+        probes)
+
+let prop_btree_range =
+  QCheck2.Test.make ~name:"btree: iter_range matches model filter" ~count:200
+    QCheck2.Gen.(triple ops_gen key_gen key_gen)
+    (fun (ops, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let t, model = apply_ops ops in
+      let got = ref [] in
+      FB.iter_range t ~lo ~hi (fun k v -> got := (k, v) :: !got);
+      List.rev !got = List.filter (fun (k, _) -> k >= lo && k <= hi) model)
+
+let prop_btree_bulk_load =
+  QCheck2.Test.make ~name:"btree: of_sorted valid and faithful" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 600) key_gen)
+    (fun keys ->
+      let sorted = List.sort compare keys in
+      let entries = Array.of_list (List.mapi (fun i k -> (k, i)) sorted) in
+      (* Re-sort stably by key only (values keep relative order). *)
+      let t = FB.of_sorted ~order:3 entries in
+      FB.check_invariants t;
+      List.map fst (FB.to_list t) = sorted)
+
+let prop_btree_cursor_walk =
+  QCheck2.Test.make ~name:"btree: cursor walks forward and back" ~count:200 ops_gen (fun ops ->
+      let t, model = apply_ops ops in
+      (* Forward from the smallest key. *)
+      let forward =
+        match model with
+        | [] -> []
+        | (k0, _) :: _ ->
+            let rec walk acc = function
+              | None -> List.rev acc
+              | Some c -> walk ((FB.key c, FB.value c) :: acc) (FB.next c)
+            in
+            walk [] (FB.seek_ge t k0)
+      in
+      let backward =
+        match FB.max_entry t with
+        | None -> []
+        | Some (kmax, _) ->
+            let rec walk acc = function
+              | None -> acc
+              | Some c -> walk ((FB.key c, FB.value c) :: acc) (FB.prev c)
+            in
+            walk [] (FB.seek_le t kmax)
+      in
+      forward = model && backward = model)
+
+let test_btree_neighbours () =
+  let t = FB.create ~order:2 () in
+  List.iter (fun k -> FB.insert t k (int_of_float k)) [ 1.0; 3.0; 5.0; 7.0 ];
+  let le, ge = FB.neighbours t 4.0 in
+  Alcotest.(check (option (pair (float 0.0) int))) "le" (Some (3.0, 3)) le;
+  Alcotest.(check (option (pair (float 0.0) int))) "ge" (Some (5.0, 5)) ge;
+  let le, ge = FB.neighbours t 5.0 in
+  Alcotest.(check (option (pair (float 0.0) int))) "le exact" (Some (5.0, 5)) le;
+  Alcotest.(check (option (pair (float 0.0) int))) "ge exact" (Some (5.0, 5)) ge;
+  let le, ge = FB.neighbours t 0.0 in
+  Alcotest.(check (option (pair (float 0.0) int))) "le below min" None le;
+  Alcotest.(check (option (pair (float 0.0) int))) "ge below min" (Some (1.0, 1)) ge
+
+let test_btree_find_all_duplicates () =
+  let t = FB.create ~order:2 () in
+  for i = 1 to 20 do
+    FB.insert t 5.0 i;
+    FB.insert t (100.0 +. float_of_int i) (-i)
+  done;
+  Alcotest.(check (list int)) "duplicates in order" (List.init 20 (fun i -> i + 1))
+    (FB.find_all t 5.0);
+  Alcotest.(check int) "count_range" 20 (FB.count_range t ~lo:5.0 ~hi:5.0)
+
+let test_btree_empty () =
+  let t : int FB.t = FB.create () in
+  Alcotest.(check bool) "is_empty" true (FB.is_empty t);
+  Alcotest.(check bool) "seek on empty" true (FB.seek_ge t 1.0 = None);
+  Alcotest.(check bool) "remove on empty" false (FB.remove_first t 1.0 (fun _ -> true));
+  FB.check_invariants t
+
+(* --------------------------- Interval tree ---------------------------- *)
+
+let interval_gen =
+  QCheck2.Gen.(
+    map2
+      (fun a b -> if a <= b then I.make a b else I.make b a)
+      (map float_of_int (int_bound 100))
+      (map float_of_int (int_bound 100)))
+
+let prop_itree_stab_matches_brute =
+  QCheck2.Test.make ~name:"interval tree: stab = brute force" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 200) interval_gen) (list_size (int_range 1 20) (map float_of_int (int_bound 100))))
+    (fun (ivs, probes) ->
+      let t = List.fold_left (fun acc (i, iv) -> Itree.add iv i acc) Itree.empty
+          (List.mapi (fun i iv -> (i, iv)) ivs)
+      in
+      Itree.check_invariants t;
+      List.for_all
+        (fun x ->
+          let got = List.sort compare (List.map snd (Itree.stab_list t x)) in
+          let want =
+            List.sort compare
+              (List.filteri (fun _ _ -> true) (List.mapi (fun i iv -> (i, iv)) ivs)
+              |> List.filter (fun (_, iv) -> I.stabs iv x)
+              |> List.map fst)
+          in
+          got = want)
+        probes)
+
+let prop_itree_remove =
+  QCheck2.Test.make ~name:"interval tree: add/remove round trip" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 150) interval_gen)
+    (fun ivs ->
+      let indexed = List.mapi (fun i iv -> (i, iv)) ivs in
+      let t = List.fold_left (fun acc (i, iv) -> Itree.add iv i acc) Itree.empty indexed in
+      (* Remove every other element; survivors must be exactly the rest. *)
+      let t =
+        List.fold_left
+          (fun acc (i, iv) ->
+            if i mod 2 = 0 then
+              match Itree.remove iv (fun p -> p = i) acc with
+              | Some acc' -> acc'
+              | None -> QCheck2.Test.fail_report "expected removal to succeed"
+            else acc)
+          t indexed
+      in
+      Itree.check_invariants t;
+      let survivors = List.sort compare (List.map snd (Itree.to_list t)) in
+      survivors = List.sort compare (List.filter (fun i -> i mod 2 = 1) (List.map fst indexed)))
+
+let prop_itree_query_overlaps =
+  QCheck2.Test.make ~name:"interval tree: window query = brute force" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 150) interval_gen) interval_gen)
+    (fun (ivs, w) ->
+      let indexed = List.mapi (fun i iv -> (i, iv)) ivs in
+      let t = List.fold_left (fun acc (i, iv) -> Itree.add iv i acc) Itree.empty indexed in
+      let got = ref [] in
+      Itree.query t w (fun _ p -> got := p :: !got);
+      List.sort compare !got
+      = List.sort compare (List.map fst (List.filter (fun (_, iv) -> I.overlaps iv w) indexed)))
+
+let test_itree_remove_missing () =
+  let t = Itree.add (I.make 0.0 1.0) 0 Itree.empty in
+  Alcotest.(check bool) "absent interval" true (Itree.remove (I.make 5.0 6.0) (fun _ -> true) t = None);
+  Alcotest.(check bool) "wrong payload" true (Itree.remove (I.make 0.0 1.0) (fun p -> p = 9) t = None)
+
+let test_itree_mutable_facade () =
+  let m = Itree.Mutable.create () in
+  Itree.Mutable.add m (I.make 0.0 10.0) "a";
+  Itree.Mutable.add m (I.make 5.0 15.0) "b";
+  Alcotest.(check int) "stab count" 2 (Itree.Mutable.stab_count m 7.0);
+  Alcotest.(check bool) "remove" true (Itree.Mutable.remove m (I.make 0.0 10.0) (fun _ -> true));
+  Alcotest.(check int) "size after" 1 (Itree.Mutable.size m)
+
+(* ------------------------------- Treap -------------------------------- *)
+
+module TE = struct
+  type t = { iv : I.t; id : int }
+
+  let compare a b =
+    let c = Float.compare (I.lo a.iv) (I.lo b.iv) in
+    if c <> 0 then c
+    else
+      let c = Float.compare (I.hi a.iv) (I.hi b.iv) in
+      if c <> 0 then c else Int.compare a.id b.id
+
+  let interval e = e.iv
+end
+
+module T = Cq_index.Treap.Make (TE)
+
+let treap_elems_gen =
+  QCheck2.Gen.(list_size (int_range 0 200) interval_gen)
+
+let build_treap ivs =
+  let rng = Rng.create 99 in
+  T.of_list rng (List.mapi (fun i iv -> { TE.iv; id = i }) ivs)
+
+let prop_treap_sorted =
+  QCheck2.Test.make ~name:"treap: to_list sorted, isect exact" ~count:300 treap_elems_gen
+    (fun ivs ->
+      let t = build_treap ivs in
+      T.check_invariants t;
+      let l = T.to_list t in
+      let sorted = List.sort TE.compare l in
+      let want_isect =
+        List.fold_left (fun acc e -> I.inter acc (TE.interval e)) (I.make neg_infinity infinity) l
+      in
+      l = sorted && List.length l = List.length ivs && I.equal (T.isect t) want_isect)
+
+let prop_treap_split_join =
+  QCheck2.Test.make ~name:"treap: split_lo_le then join is identity" ~count:300
+    QCheck2.Gen.(pair treap_elems_gen (map float_of_int (int_bound 100)))
+    (fun (ivs, x) ->
+      let t = build_treap ivs in
+      let l, r = T.split_lo_le x t in
+      T.check_invariants l;
+      T.check_invariants r;
+      let ok_l = List.for_all (fun e -> I.lo (TE.interval e) <= x) (T.to_list l) in
+      let ok_r = List.for_all (fun e -> I.lo (TE.interval e) > x) (T.to_list r) in
+      let j = T.join l r in
+      T.check_invariants j;
+      ok_l && ok_r && T.to_list j = T.to_list t)
+
+let prop_treap_remove =
+  QCheck2.Test.make ~name:"treap: remove each element once" ~count:200 treap_elems_gen
+    (fun ivs ->
+      let elems = List.mapi (fun i iv -> { TE.iv; id = i }) ivs in
+      let t = build_treap ivs in
+      let t =
+        List.fold_left
+          (fun acc e ->
+            match T.remove e acc with
+            | Some acc' -> acc'
+            | None -> QCheck2.Test.fail_report "element should be present")
+          t
+          (List.filteri (fun i _ -> i mod 3 = 0) elems)
+      in
+      T.check_invariants t;
+      T.size t = List.length (List.filteri (fun i _ -> i mod 3 <> 0) elems))
+
+(* ------------------------------- R-tree ------------------------------- *)
+
+let rect_gen =
+  QCheck2.Gen.(
+    map2 (fun x y -> Rect.make ~x ~y)
+      (map2 (fun a b -> if a <= b then I.make a b else I.make b a)
+         (map float_of_int (int_bound 50))
+         (map float_of_int (int_bound 50)))
+      (map2 (fun a b -> if a <= b then I.make a b else I.make b a)
+         (map float_of_int (int_bound 50))
+         (map float_of_int (int_bound 50))))
+
+let prop_rtree_stab =
+  QCheck2.Test.make ~name:"rtree: point stab = brute force" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 150) rect_gen)
+                    (list_size (int_range 1 15) (pair (map float_of_int (int_bound 50)) (map float_of_int (int_bound 50)))))
+    (fun (rects, probes) ->
+      let t = Rtree.create ~max_entries:4 () in
+      List.iteri (fun i r -> Rtree.insert t r i) rects;
+      Rtree.check_invariants t;
+      List.for_all
+        (fun (x, y) ->
+          let got = ref [] in
+          Rtree.stab t ~x ~y (fun _ p -> got := p :: !got);
+          let want =
+            List.filteri (fun _ _ -> true) (List.mapi (fun i r -> (i, r)) rects)
+            |> List.filter (fun (_, r) -> Rect.contains_point r ~x ~y)
+            |> List.map fst
+          in
+          List.sort compare !got = List.sort compare want)
+        probes)
+
+let prop_rtree_search =
+  QCheck2.Test.make ~name:"rtree: window search = brute force" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 150) rect_gen) rect_gen)
+    (fun (rects, w) ->
+      let t = Rtree.create ~max_entries:5 () in
+      List.iteri (fun i r -> Rtree.insert t r i) rects;
+      let got = ref [] in
+      Rtree.search t w (fun _ p -> got := p :: !got);
+      let want = List.mapi (fun i r -> (i, r)) rects
+                 |> List.filter (fun (_, r) -> Rect.intersects r w)
+                 |> List.map fst in
+      List.sort compare !got = List.sort compare want)
+
+let prop_rtree_delete =
+  QCheck2.Test.make ~name:"rtree: delete half, survivors intact" ~count:150
+    QCheck2.Gen.(list_size (int_range 0 120) rect_gen)
+    (fun rects ->
+      let t = Rtree.create ~max_entries:4 () in
+      List.iteri (fun i r -> Rtree.insert t r i) rects;
+      List.iteri
+        (fun i r ->
+          if i mod 2 = 0 then
+            if not (Rtree.remove t r (fun p -> p = i)) then
+              QCheck2.Test.fail_report "expected delete to succeed")
+        rects;
+      Rtree.check_invariants t;
+      let got = ref [] in
+      Rtree.iter t (fun _ p -> got := p :: !got);
+      let want = List.mapi (fun i _ -> i) rects |> List.filter (fun i -> i mod 2 = 1) in
+      List.sort compare !got = List.sort compare want)
+
+let test_rtree_empty_rect_rejected () =
+  let t = Rtree.create () in
+  Alcotest.check_raises "empty rect" (Invalid_argument "Rtree.insert: empty rectangle")
+    (fun () -> Rtree.insert t Rect.empty 0)
+
+
+(* --------------------------- Interval skip list ----------------------- *)
+
+module Isl = Cq_index.Interval_skiplist
+
+let prop_isl_stab_matches_brute =
+  QCheck2.Test.make ~name:"skip list: stab = brute force" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 150) interval_gen)
+                    (list_size (int_range 1 20) (map float_of_int (int_bound 100))))
+    (fun (ivs, probes) ->
+      let t = Isl.create ~seed:5 () in
+      List.iteri (fun i iv -> Isl.add t iv i) ivs;
+      Isl.check_invariants t;
+      let probes =
+        probes @ List.concat_map (fun iv -> [ I.lo iv; I.hi iv ]) ivs
+      in
+      List.for_all
+        (fun x ->
+          let got = List.sort compare (List.map snd (Isl.stab_list t x)) in
+          let want =
+            List.mapi (fun i iv -> (i, iv)) ivs
+            |> List.filter (fun (_, iv) -> I.stabs iv x)
+            |> List.map fst |> List.sort compare
+          in
+          got = want)
+        probes)
+
+let prop_isl_matches_interval_tree_under_churn =
+  QCheck2.Test.make ~name:"skip list: agrees with interval tree under churn" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 200)
+                   (pair (frequencyl [ (3, true); (2, false) ]) interval_gen))
+    (fun ops ->
+      let sl = Isl.create ~seed:9 () in
+      let it = Itree.Mutable.create () in
+      let live = ref [] in
+      let next = ref 0 in
+      List.iter
+        (fun (is_add, iv) ->
+          if is_add then begin
+            let id = !next in
+            incr next;
+            Isl.add sl iv id;
+            Itree.Mutable.add it iv id;
+            live := (iv, id) :: !live
+          end
+          else
+            match !live with
+            | [] -> ()
+            | (iv, id) :: rest ->
+                if not (Isl.remove sl iv (fun p -> p = id)) then
+                  QCheck2.Test.fail_report "skip list remove failed";
+                ignore (Itree.Mutable.remove it iv (fun p -> p = id));
+                live := rest)
+        ops;
+      Isl.check_invariants sl;
+      let ok = ref true in
+      for x = 0 to 100 do
+        let xf = float_of_int x in
+        if
+          List.sort compare (List.map snd (Isl.stab_list sl xf))
+          <> List.sort compare
+               (List.map snd (Itree.stab_list (Itree.Mutable.snapshot it) xf))
+        then ok := false
+      done;
+      !ok && Isl.size sl = List.length !live)
+
+let test_isl_point_intervals () =
+  let t = Isl.create () in
+  Isl.add t (I.point 5.0) "a";
+  Isl.add t (I.point 5.0) "b";
+  Isl.add t (I.make 0.0 10.0) "c";
+  Isl.check_invariants t;
+  Alcotest.(check int) "stab at the point" 3 (Isl.stab_count t 5.0);
+  Alcotest.(check int) "stab off the point" 1 (Isl.stab_count t 6.0);
+  Alcotest.(check bool) "remove one dup" true (Isl.remove t (I.point 5.0) (fun p -> p = "a"));
+  Isl.check_invariants t;
+  Alcotest.(check int) "one dup left" 2 (Isl.stab_count t 5.0)
+
+let test_isl_remove_missing () =
+  let t = Isl.create () in
+  Isl.add t (I.make 1.0 2.0) 0;
+  Alcotest.(check bool) "absent interval" false (Isl.remove t (I.make 5.0 6.0) (fun _ -> true));
+  Alcotest.(check bool) "wrong payload" false (Isl.remove t (I.make 1.0 2.0) (fun p -> p = 9));
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       Isl.add t I.empty 1;
+       false
+     with Invalid_argument _ -> true)
+
+
+(* ------------------------ Priority search tree ------------------------ *)
+
+module Pst = Cq_index.Priority_search_tree
+
+let prop_pst_stab_matches_brute =
+  QCheck2.Test.make ~name:"pst: stab = brute force" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 200) interval_gen)
+                    (list_size (int_range 1 20) (map float_of_int (int_bound 100))))
+    (fun (ivs, probes) ->
+      let m = Pst.Mutable.create ~seed:17 () in
+      List.iteri (fun i iv -> Pst.Mutable.add m iv i) ivs;
+      Pst.check_invariants (Pst.Mutable.snapshot m);
+      List.for_all
+        (fun x ->
+          let got = ref [] in
+          Pst.Mutable.stab m x (fun _ p -> got := p :: !got);
+          let want =
+            List.mapi (fun i iv -> (i, iv)) ivs
+            |> List.filter (fun (_, iv) -> I.stabs iv x)
+            |> List.map fst
+          in
+          List.sort compare !got = List.sort compare want
+          && (Pst.Mutable.stab_any m x <> None) = (want <> []))
+        probes)
+
+let prop_pst_remove =
+  QCheck2.Test.make ~name:"pst: add/remove round trip" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 150) interval_gen)
+    (fun ivs ->
+      let m = Pst.Mutable.create ~seed:23 () in
+      List.iteri (fun i iv -> Pst.Mutable.add m iv i) ivs;
+      List.iteri
+        (fun i iv ->
+          if i mod 2 = 0 then
+            if not (Pst.Mutable.remove m iv (fun p -> p = i)) then
+              QCheck2.Test.fail_report "pst remove failed")
+        ivs;
+      Pst.check_invariants (Pst.Mutable.snapshot m);
+      let got = ref [] in
+      Pst.iter (fun _ p -> got := p :: !got) (Pst.Mutable.snapshot m);
+      List.sort compare !got
+      = (List.mapi (fun i _ -> i) ivs |> List.filter (fun i -> i mod 2 = 1)))
+
+let test_pst_empty_and_errors () =
+  let m : int Pst.Mutable.t = Pst.Mutable.create () in
+  Alcotest.(check int) "empty size" 0 (Pst.Mutable.size m);
+  Alcotest.(check bool) "stab_any on empty" true (Pst.Mutable.stab_any m 1.0 = None);
+  Alcotest.(check bool) "remove on empty" false (Pst.Mutable.remove m (I.make 0.0 1.0) (fun _ -> true));
+  Alcotest.check_raises "empty interval" (Invalid_argument "Priority_search_tree.add: empty interval")
+    (fun () -> Pst.Mutable.add m I.empty 0)
+
+
+let test_btree_validation () =
+  Alcotest.check_raises "order < 2" (Invalid_argument "Btree.create: order must be >= 2")
+    (fun () -> ignore (FB.create ~order:1 () : int FB.t));
+  Alcotest.check_raises "unsorted bulk load"
+    (Invalid_argument "Btree.of_sorted: input not sorted") (fun () ->
+      ignore (FB.of_sorted [| (2.0, 0); (1.0, 1) |]));
+  (* Bulk loads at many sizes keep the invariants. *)
+  List.iter
+    (fun n ->
+      let t = FB.of_sorted ~order:4 (Array.init n (fun i -> (float_of_int i, i))) in
+      FB.check_invariants t;
+      Alcotest.(check int) "size" n (FB.length t))
+    [ 0; 1; 3; 7; 8; 9; 63; 64; 65; 1000 ]
+
+let test_treap_extras () =
+  let rng = Rng.create 5 in
+  let mk lo hi id = { TE.iv = I.make lo hi; id } in
+  let t = T.of_list rng [ mk 0.0 5.0 0; mk 1.0 4.0 1; mk 2.0 9.0 2 ] in
+  Alcotest.(check bool) "mem present" true (T.mem (mk 1.0 4.0 1) t);
+  Alcotest.(check bool) "mem absent" false (T.mem (mk 1.0 4.0 9) t);
+  (match T.min_elt t with
+  | Some e -> Alcotest.(check int) "min by lo" 0 e.TE.id
+  | None -> Alcotest.fail "nonempty treap");
+  Alcotest.(check int) "fold counts" 3 (T.fold (fun acc _ -> acc + 1) 0 t);
+  Alcotest.(check bool) "isect" true
+    (I.equal (I.make 2.0 4.0) (T.isect t));
+  Alcotest.(check bool) "empty isect is full line" true
+    (I.stabs (T.isect T.empty) 1e18)
+
+(* --------------------------------------------------------------------- *)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cq_index"
+    [
+      ( "btree",
+        [
+          qc prop_btree_models_sorted_list;
+          qc prop_btree_seeks;
+          qc prop_btree_range;
+          qc prop_btree_bulk_load;
+          qc prop_btree_cursor_walk;
+          Alcotest.test_case "neighbours" `Quick test_btree_neighbours;
+          Alcotest.test_case "duplicates" `Quick test_btree_find_all_duplicates;
+          Alcotest.test_case "empty tree" `Quick test_btree_empty;
+          Alcotest.test_case "validation + bulk sizes" `Quick test_btree_validation;
+        ] );
+      ( "interval_tree",
+        [
+          qc prop_itree_stab_matches_brute;
+          qc prop_itree_remove;
+          qc prop_itree_query_overlaps;
+          Alcotest.test_case "remove missing" `Quick test_itree_remove_missing;
+          Alcotest.test_case "mutable facade" `Quick test_itree_mutable_facade;
+        ] );
+      ( "treap",
+        [
+          qc prop_treap_sorted;
+          qc prop_treap_split_join;
+          qc prop_treap_remove;
+          Alcotest.test_case "mem/min/fold/isect" `Quick test_treap_extras;
+        ] );
+      ( "interval_skiplist",
+        [
+          qc prop_isl_stab_matches_brute;
+          qc prop_isl_matches_interval_tree_under_churn;
+          Alcotest.test_case "point intervals" `Quick test_isl_point_intervals;
+          Alcotest.test_case "remove missing" `Quick test_isl_remove_missing;
+        ] );
+      ( "priority_search_tree",
+        [
+          qc prop_pst_stab_matches_brute;
+          qc prop_pst_remove;
+          Alcotest.test_case "empty/errors" `Quick test_pst_empty_and_errors;
+        ] );
+      ( "rtree",
+        [
+          qc prop_rtree_stab;
+          qc prop_rtree_search;
+          qc prop_rtree_delete;
+          Alcotest.test_case "empty rect rejected" `Quick test_rtree_empty_rect_rejected;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Direct tests for the interval algebra every other module leans on. *)
+
+module I = Cq_interval.Interval
+
+let interval_gen =
+  QCheck2.Gen.(
+    map2
+      (fun a b -> if a <= b then I.make a b else I.make b a)
+      (map float_of_int (int_bound 100))
+      (map float_of_int (int_bound 100)))
+
+let point_gen = QCheck2.Gen.(map float_of_int (int_bound 100))
+
+let prop_inter_is_intersection =
+  QCheck2.Test.make ~name:"inter: x in a∩b iff x in a and x in b" ~count:500
+    QCheck2.Gen.(triple interval_gen interval_gen point_gen)
+    (fun (a, b, x) -> I.stabs (I.inter a b) x = (I.stabs a x && I.stabs b x))
+
+let prop_hull_contains_both =
+  QCheck2.Test.make ~name:"hull contains both arguments" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) ->
+      let h = I.hull a b in
+      I.contains h a && I.contains h b)
+
+let prop_overlap_symmetric =
+  QCheck2.Test.make ~name:"overlaps symmetric, consistent with inter" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) ->
+      I.overlaps a b = I.overlaps b a && I.overlaps a b = not (I.is_empty (I.inter a b)))
+
+let prop_shift_translates_stabs =
+  QCheck2.Test.make ~name:"shift translates membership" ~count:500
+    QCheck2.Gen.(triple interval_gen point_gen point_gen)
+    (fun (a, d, x) -> I.stabs (I.shift a d) (x +. d) = I.stabs a x)
+
+let prop_inter_assoc_comm =
+  QCheck2.Test.make ~name:"inter associative and commutative" ~count:500
+    QCheck2.Gen.(triple interval_gen interval_gen interval_gen)
+    (fun (a, b, c) ->
+      I.equal (I.inter a b) (I.inter b a)
+      && I.equal (I.inter (I.inter a b) c) (I.inter a (I.inter b c)))
+
+let prop_contains_iff_inter_fixed =
+  QCheck2.Test.make ~name:"contains a b iff a∩b = b" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) -> I.contains a b = I.equal (I.inter a b) b)
+
+let prop_compare_lo_total_order =
+  QCheck2.Test.make ~name:"compare_lo antisymmetric on distinct intervals" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) ->
+      let c1 = I.compare_lo a b and c2 = I.compare_lo b a in
+      if I.equal a b then c1 = 0 && c2 = 0 else c1 = -c2)
+
+let test_constructors () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (I.make 2.0 1.0));
+  Alcotest.check_raises "NaN" (Invalid_argument "Interval.make: NaN bound") (fun () ->
+      ignore (I.make Float.nan 1.0));
+  let p = I.point 3.0 in
+  Alcotest.(check (float 0.0)) "point lo" 3.0 (I.lo p);
+  Alcotest.(check (float 0.0)) "point hi" 3.0 (I.hi p);
+  Alcotest.(check (float 0.0)) "point length" 0.0 (I.length p);
+  let m = I.of_midpoint ~mid:5.0 ~len:4.0 in
+  Alcotest.(check (float 1e-12)) "midpoint" 5.0 (I.midpoint m);
+  Alcotest.(check (float 1e-12)) "length" 4.0 (I.length m);
+  (* Negative lengths clamp to a point. *)
+  Alcotest.(check (float 0.0)) "negative length" 0.0 (I.length (I.of_midpoint ~mid:1.0 ~len:(-3.0)))
+
+let test_empty_behaviour () =
+  Alcotest.(check bool) "empty is empty" true (I.is_empty I.empty);
+  Alcotest.(check bool) "empty stabs nothing" false (I.stabs I.empty 0.0);
+  Alcotest.(check bool) "empty overlaps nothing" false (I.overlaps I.empty (I.make 0.0 1.0));
+  Alcotest.(check bool) "inter with empty" true (I.is_empty (I.inter I.empty (I.make 0.0 1.0)));
+  Alcotest.(check bool) "hull identity" true (I.equal (I.make 0.0 1.0) (I.hull I.empty (I.make 0.0 1.0)));
+  Alcotest.(check bool) "everything contains empty" true (I.contains (I.make 0.0 1.0) I.empty);
+  Alcotest.(check (float 0.0)) "empty length" 0.0 (I.length I.empty);
+  Alcotest.(check string) "pp empty" "[empty]" (I.to_string I.empty)
+
+let test_closed_endpoints () =
+  let iv = I.make 1.0 2.0 in
+  Alcotest.(check bool) "lo endpoint" true (I.stabs iv 1.0);
+  Alcotest.(check bool) "hi endpoint" true (I.stabs iv 2.0);
+  Alcotest.(check bool) "touching intervals overlap" true (I.overlaps iv (I.make 2.0 3.0));
+  Alcotest.(check bool) "point overlap" true (I.overlaps (I.point 2.0) iv)
+
+let test_random_normalised () =
+  let rng = Cq_util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let iv = I.random rng ~lo:0.0 ~hi:10.0 in
+    if I.lo iv > I.hi iv then Alcotest.fail "random interval not normalised"
+  done
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cq_interval"
+    [
+      ( "algebra",
+        [
+          qc prop_inter_is_intersection;
+          qc prop_hull_contains_both;
+          qc prop_overlap_symmetric;
+          qc prop_shift_translates_stabs;
+          qc prop_inter_assoc_comm;
+          qc prop_contains_iff_inter_fixed;
+          qc prop_compare_lo_total_order;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "empty" `Quick test_empty_behaviour;
+          Alcotest.test_case "closed endpoints" `Quick test_closed_endpoints;
+          Alcotest.test_case "random normalised" `Quick test_random_normalised;
+        ] );
+    ]

@@ -1,0 +1,567 @@
+(* The golden tests of the repository: every band-join strategy and
+   every select-join strategy must produce exactly the same result set
+   as a brute-force oracle, on randomized workloads, including under
+   query insertions/deletions between events. *)
+
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module BQ = Cq_joins.Band_query
+module BJ = Cq_joins.Band_join
+module SQ = Cq_joins.Select_query
+module SJ = Cq_joins.Select_join
+
+(* Small discrete domains so equality joins hit and band windows
+   overlap heavily. *)
+let fgen hi = QCheck2.Gen.(map float_of_int (int_bound hi))
+
+let interval_gen hi =
+  QCheck2.Gen.(
+    map2 (fun a b -> if a <= b then I.make a b else I.make b a) (fgen hi) (fgen hi))
+
+let s_tuples_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 120)
+      (map2 (fun b c -> (b, c)) (fgen 10) (fgen 20)))
+
+let r_events_gen =
+  QCheck2.Gen.(list_size (int_range 1 12) (map2 (fun a b -> (a, b)) (fgen 20) (fgen 10)))
+
+let make_s_table tuples =
+  let arr =
+    Array.of_list (List.mapi (fun sid (b, c) -> { Tuple.sid; b; c }) tuples)
+  in
+  (Table.of_s_tuples arr, arr)
+
+let make_r_events evs = List.mapi (fun rid (a, b) -> { Tuple.rid = 1000 + rid; a; b }) evs
+
+(* ------------------------------- Band joins --------------------------- *)
+
+(* Sorted (qid, sid) pairs a strategy emits for one event. *)
+let band_results (type s) (module S : BJ.STRATEGY with type t = s) (st : s) r =
+  let acc = ref [] in
+  S.process_r st r (fun q s -> acc := (q.BQ.qid, s.Tuple.sid) :: !acc);
+  List.sort compare !acc
+
+let band_strategies :
+    (module BJ.STRATEGY) list =
+  [
+    (module BJ.Qouter);
+    (module BJ.Douter);
+    (module BJ.Merge);
+    (module BJ.Ssi);
+    (module BJ.Ssi_dynamic);
+    (module BJ.Hotspot);
+    (module BJ.Shared);
+  ]
+
+let band_case_gen =
+  QCheck2.Gen.(
+    triple s_tuples_gen (list_size (int_range 0 60) (interval_gen 10)) r_events_gen)
+
+let prop_band_strategies_agree =
+  QCheck2.Test.make ~name:"band joins: all strategies match brute force" ~count:150
+    band_case_gen (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      (* Band windows are differences S.B - R.B in [-10, 10]. *)
+      let queries = BQ.of_ranges (Array.of_list (List.map (fun iv -> I.shift iv (-5.0)) ranges)) in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : BJ.STRATEGY) ->
+          let st = S.create table queries in
+          List.for_all
+            (fun r ->
+              let got = band_results (module S) st r in
+              let want = BJ.reference table queries r in
+              if got <> want then
+                QCheck2.Test.fail_reportf "%s diverges on event b=%g: got %d, want %d pairs"
+                  S.name r.Tuple.b (List.length got) (List.length want)
+              else true)
+            events)
+        band_strategies)
+
+let prop_band_dynamic_updates =
+  QCheck2.Test.make ~name:"band joins: equivalence under query churn" ~count:80
+    QCheck2.Gen.(
+      quad s_tuples_gen
+        (list_size (int_range 1 40) (interval_gen 10))
+        (list_size (int_range 1 30) (interval_gen 10))
+        r_events_gen)
+    (fun (s_tuples, initial, churn, events) ->
+      let table, _ = make_s_table s_tuples in
+      let initial = BQ.of_ranges (Array.of_list (List.map (fun iv -> I.shift iv (-5.0)) initial)) in
+      let churn_qs =
+        List.mapi
+          (fun i iv -> BQ.make ~qid:(10_000 + i) ~range:(I.shift iv (-5.0)))
+          churn
+      in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : BJ.STRATEGY) ->
+          let st = S.create table initial in
+          let live = ref (Array.to_list initial) in
+          (* Interleave: add a churn query, process an event, delete an
+             old query, process an event... *)
+          let ops =
+            List.concat
+              (List.mapi (fun i q -> [ `Add q ] @ if i mod 2 = 0 then [ `Drop ] else []) churn_qs)
+          in
+          let events = ref events in
+          let next_event () =
+            match !events with
+            | [] -> None
+            | e :: rest ->
+                events := rest;
+                Some e
+          in
+          List.for_all
+            (fun op ->
+              (match op with
+              | `Add q ->
+                  S.insert_query st q;
+                  live := q :: !live
+              | `Drop -> (
+                  match !live with
+                  | [] -> ()
+                  | q :: rest ->
+                      if not (S.delete_query st q) then
+                        QCheck2.Test.fail_reportf "%s: delete_query failed" S.name;
+                      live := rest));
+              match next_event () with
+              | None -> true
+              | Some r ->
+                  let got = band_results (module S) st r in
+                  let want = BJ.reference table (Array.of_list !live) r in
+                  got = want
+                  || QCheck2.Test.fail_reportf "%s diverges after churn" S.name)
+            ops)
+        band_strategies)
+
+(* Identification-only (STEP 1) must report exactly the distinct
+   queries having at least one result — once each. *)
+let prop_band_affected_matches =
+  QCheck2.Test.make ~name:"band joins: affected = distinct queries of reference" ~count:120
+    band_case_gen (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = BQ.of_ranges (Array.of_list (List.map (fun iv -> I.shift iv (-5.0)) ranges)) in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : BJ.STRATEGY) ->
+          let st = S.create table queries in
+          List.for_all
+            (fun r ->
+              let got = ref [] in
+              S.affected st r (fun q -> got := q.BQ.qid :: !got);
+              let sorted = List.sort compare !got in
+              let want =
+                BJ.reference table queries r |> List.map fst |> List.sort_uniq compare
+              in
+              (if sorted <> List.sort_uniq compare sorted then
+                 QCheck2.Test.fail_reportf "%s reported a query twice" S.name);
+              sorted = want
+              || QCheck2.Test.fail_reportf "%s affected diverges: got %d, want %d" S.name
+                   (List.length sorted) (List.length want))
+            events)
+        band_strategies)
+
+let test_band_empty_table () =
+  let table = Table.create_s () in
+  let queries = BQ.of_ranges [| I.make (-1.0) 1.0 |] in
+  List.iter
+    (fun (module S : BJ.STRATEGY) ->
+      let st = S.create table queries in
+      let got = band_results (module S) st { Tuple.rid = 0; a = 0.0; b = 5.0 } in
+      Alcotest.(check (list (pair int int))) (S.name ^ " empty S") [] got)
+    band_strategies
+
+let test_band_no_queries () =
+  let table, _ = make_s_table [ (1.0, 2.0); (3.0, 4.0) ] in
+  List.iter
+    (fun (module S : BJ.STRATEGY) ->
+      let st = S.create table [||] in
+      let got = band_results (module S) st { Tuple.rid = 0; a = 0.0; b = 2.0 } in
+      Alcotest.(check (list (pair int int))) (S.name ^ " no queries") [] got)
+    band_strategies
+
+let test_band_exact_match_duplicates () =
+  (* Several S tuples exactly at the stabbing point offset: the exact-
+     match path must emit each duplicate exactly once per query. *)
+  let table, _ = make_s_table [ (5.0, 0.0); (5.0, 1.0); (5.0, 2.0); (7.0, 0.0) ] in
+  let queries =
+    BQ.of_ranges [| I.make 0.0 0.0; I.make (-1.0) 2.0; I.make 0.0 3.0 |]
+  in
+  let r = { Tuple.rid = 0; a = 0.0; b = 5.0 } in
+  let want = BJ.reference table queries r in
+  List.iter
+    (fun (module S : BJ.STRATEGY) ->
+      let st = S.create table queries in
+      Alcotest.(check (list (pair int int))) S.name want (band_results (module S) st r))
+    band_strategies
+
+(* ----------------------------- Select joins --------------------------- *)
+
+let select_results (type s) (module S : SJ.STRATEGY with type t = s) (st : s) r =
+  let acc = ref [] in
+  S.process_r st r (fun q s -> acc := (q.SQ.qid, s.Tuple.sid) :: !acc);
+  List.sort compare !acc
+
+let select_strategies : (module SJ.STRATEGY) list =
+  [
+    (module SJ.Naive);
+    (module SJ.Join_first);
+    (module SJ.Select_first);
+    (module SJ.Ssi);
+    (module SJ.Hotspot);
+    (module SJ.Adaptive);
+  ]
+
+let select_queries_gen =
+  QCheck2.Gen.(list_size (int_range 0 60) (pair (interval_gen 20) (interval_gen 20)))
+
+let prop_select_strategies_agree =
+  QCheck2.Test.make ~name:"select joins: all strategies match brute force" ~count:150
+    QCheck2.Gen.(triple s_tuples_gen select_queries_gen r_events_gen)
+    (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = SQ.of_ranges (Array.of_list ranges) in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : SJ.STRATEGY) ->
+          let st = S.create table queries in
+          List.for_all
+            (fun r ->
+              let got = select_results (module S) st r in
+              let want = SJ.reference table queries r in
+              got = want
+              || QCheck2.Test.fail_reportf "%s diverges: got %d, want %d pairs" S.name
+                   (List.length got) (List.length want))
+            events)
+        select_strategies)
+
+let prop_select_dynamic_updates =
+  QCheck2.Test.make ~name:"select joins: equivalence under query churn" ~count:80
+    QCheck2.Gen.(
+      quad s_tuples_gen select_queries_gen
+        (list_size (int_range 1 25) (pair (interval_gen 20) (interval_gen 20)))
+        r_events_gen)
+    (fun (s_tuples, initial, churn, events) ->
+      let table, _ = make_s_table s_tuples in
+      let initial = SQ.of_ranges (Array.of_list initial) in
+      let churn_qs =
+        List.mapi (fun i (ra, rc) -> SQ.make ~qid:(10_000 + i) ~range_a:ra ~range_c:rc) churn
+      in
+      List.for_all
+        (fun (module S : SJ.STRATEGY) ->
+          let st = S.create table initial in
+          let live = ref (Array.to_list initial) in
+          let events = ref events in
+          let next_event () =
+            match !events with
+            | [] -> None
+            | e :: rest ->
+                events := rest;
+                Some e
+          in
+          List.for_all
+            (fun q ->
+              S.insert_query st q;
+              live := q :: !live;
+              (match !live with
+              | a :: b :: rest when q.SQ.qid mod 2 = 0 ->
+                  if not (S.delete_query st b) then
+                    QCheck2.Test.fail_reportf "%s: delete_query failed" S.name;
+                  live := a :: rest
+              | _ -> ());
+              match next_event () with
+              | None -> true
+              | Some (a, b) ->
+                  let r = { Tuple.rid = 0; a; b } in
+                  let got = select_results (module S) st r in
+                  let want = SJ.reference table (Array.of_list !live) r in
+                  got = want || QCheck2.Test.fail_reportf "%s diverges after churn" S.name)
+            churn_qs)
+        select_strategies)
+
+let prop_select_affected_matches =
+  QCheck2.Test.make ~name:"select joins: affected = distinct queries of reference" ~count:120
+    QCheck2.Gen.(triple s_tuples_gen select_queries_gen r_events_gen)
+    (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = SQ.of_ranges (Array.of_list ranges) in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : SJ.STRATEGY) ->
+          let st = S.create table queries in
+          List.for_all
+            (fun r ->
+              let got = ref [] in
+              S.affected st r (fun q -> got := q.SQ.qid :: !got);
+              let sorted = List.sort compare !got in
+              let want =
+                SJ.reference table queries r |> List.map fst |> List.sort_uniq compare
+              in
+              (if sorted <> List.sort_uniq compare sorted then
+                 QCheck2.Test.fail_reportf "%s reported a query twice" S.name);
+              sorted = want
+              || QCheck2.Test.fail_reportf "%s affected diverges" S.name)
+            events)
+        select_strategies)
+
+let test_select_no_join_partner () =
+  (* Event B value that exists in no S tuple: every strategy must
+     return nothing. *)
+  let table, _ = make_s_table [ (1.0, 5.0); (2.0, 6.0) ] in
+  let queries =
+    SQ.of_ranges [| (I.make 0.0 20.0, I.make 0.0 20.0) |]
+  in
+  let r = { Tuple.rid = 0; a = 10.0; b = 9.0 } in
+  List.iter
+    (fun (module S : SJ.STRATEGY) ->
+      let st = S.create table queries in
+      Alcotest.(check (list (pair int int))) S.name [] (select_results (module S) st r))
+    select_strategies
+
+let test_select_gap_between_anchors () =
+  (* Queries whose rangeC falls strictly inside the gap between two
+     adjacent joining C values must NOT be reported (the paper's
+     footnote on queries in the (q1, q2) gap). *)
+  let table, _ = make_s_table [ (5.0, 2.0); (5.0, 10.0) ] in
+  let queries =
+    SQ.of_ranges
+      [|
+        (I.make 0.0 20.0, I.make 4.0 6.0) (* C range inside the gap (2,10) *);
+        (I.make 0.0 20.0, I.make 1.0 5.0) (* catches C=2 *);
+      |]
+  in
+  let r = { Tuple.rid = 0; a = 3.0; b = 5.0 } in
+  let want = [ (1, 0) ] in
+  List.iter
+    (fun (module S : SJ.STRATEGY) ->
+      let st = S.create table queries in
+      Alcotest.(check (list (pair int int))) S.name want (select_results (module S) st r))
+    select_strategies
+
+let test_select_rect_contains_anchor_line () =
+  (* Exact stabbing-point coincidence: S tuple exactly at (b, pj). *)
+  let table, _ = make_s_table [ (5.0, 7.0); (5.0, 7.0); (5.0, 8.0) ] in
+  let queries = SQ.of_ranges [| (I.make 0.0 10.0, I.make 7.0 7.0) |] in
+  let r = { Tuple.rid = 0; a = 4.0; b = 5.0 } in
+  let want = SJ.reference table queries r in
+  Alcotest.(check int) "duplicate anchors both reported" 2 (List.length want);
+  List.iter
+    (fun (module S : SJ.STRATEGY) ->
+      let st = S.create table queries in
+      Alcotest.(check (list (pair int int))) S.name want (select_results (module S) st r))
+    select_strategies
+
+
+let test_adaptive_routes_both_ways () =
+  (* Narrow rangeA selections (tiny n') route to SJ-S; broad ones to
+     SJ-SSI. *)
+  let table, _ = make_s_table (List.init 50 (fun i -> (float_of_int (i mod 10), float_of_int i))) in
+  let narrow =
+    SQ.of_ranges (Array.init 40 (fun i -> (I.make (float_of_int i) (float_of_int i), I.make 0.0 50.0)))
+  in
+  let st = SJ.Adaptive.create table narrow in
+  Alcotest.(check bool) "narrow -> select-first" true
+    (SJ.Adaptive.choose st { Tuple.rid = 0; a = 3.0; b = 1.0 } = SJ.Adaptive.Use_select_first);
+  let broad =
+    SQ.of_ranges
+      (Array.init 40 (fun i ->
+           (I.make 0.0 50.0, I.make (float_of_int i) (float_of_int (i + 1)))))
+  in
+  let st = SJ.Adaptive.create table broad in
+  Alcotest.(check bool) "broad -> ssi" true
+    (SJ.Adaptive.choose st { Tuple.rid = 0; a = 3.0; b = 1.0 } = SJ.Adaptive.Use_ssi);
+  ignore (SJ.Adaptive.affected st { Tuple.rid = 0; a = 3.0; b = 1.0 } (fun _ -> ()));
+  let sf, ssi = SJ.Adaptive.decisions st in
+  Alcotest.(check (pair int int)) "decision counters" (0, 1) (sf, ssi)
+
+
+(* ----------------------- 2-D bidirectional SSI ------------------------- *)
+
+module SJ2 = Cq_joins.Select_join2d
+
+let make_r_table tuples =
+  Table.of_r_tuples (Array.of_list (List.mapi (fun rid (a, b) -> { Tuple.rid; a; b }) tuples))
+
+let prop_ssi2d_r_events_match =
+  QCheck2.Test.make ~name:"2d ssi: R events match brute force" ~count:120
+    QCheck2.Gen.(triple s_tuples_gen select_queries_gen r_events_gen)
+    (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let r_table = Table.create_r () in
+      let queries = SQ.of_ranges (Array.of_list ranges) in
+      let st = SJ2.create table r_table queries in
+      List.for_all
+        (fun r ->
+          let got = ref [] in
+          SJ2.process_r st r (fun q s -> got := (q.SQ.qid, s.Tuple.sid) :: !got);
+          List.sort compare !got = SJ.reference table queries r)
+        (make_r_events events))
+
+let prop_ssi2d_s_events_match =
+  QCheck2.Test.make ~name:"2d ssi: S events match brute force" ~count:120
+    QCheck2.Gen.(triple
+                   (list_size (int_range 0 100) (pair (fgen 20) (fgen 10)))
+                   select_queries_gen
+                   (list_size (int_range 1 10) (pair (fgen 10) (fgen 20))))
+    (fun (r_tuples, ranges, s_events) ->
+      let s_table = Table.create_s () in
+      let r_table = make_r_table r_tuples in
+      let queries = SQ.of_ranges (Array.of_list ranges) in
+      let st = SJ2.create s_table r_table queries in
+      List.for_all
+        (fun (b, c) ->
+          let s = { Tuple.sid = 999; b; c } in
+          let got = ref [] in
+          SJ2.process_s st s (fun q r -> got := (q.SQ.qid, r.Tuple.rid) :: !got);
+          List.sort compare !got = SJ2.reference_s r_table queries s)
+        s_events)
+
+let test_ssi2d_churn_and_groups () =
+  let table, _ = make_s_table [ (1.0, 5.0); (1.0, 15.0) ] in
+  let r_table = make_r_table [ (5.0, 1.0); (12.0, 1.0) ] in
+  let q0 = SQ.make ~qid:0 ~range_a:(I.make 0.0 10.0) ~range_c:(I.make 0.0 10.0) in
+  let q1 = SQ.make ~qid:1 ~range_a:(I.make 8.0 20.0) ~range_c:(I.make 10.0 20.0) in
+  let st = SJ2.create table r_table [| q0 |] in
+  Alcotest.(check int) "one group" 1 (SJ2.num_groups st);
+  SJ2.insert_query st q1;
+  Alcotest.(check int) "two queries" 2 (SJ2.query_count st);
+  (* Both directions after churn. *)
+  let got_r = ref [] in
+  SJ2.process_r st { Tuple.rid = 9; a = 9.0; b = 1.0 }
+    (fun q s -> got_r := (q.SQ.qid, s.Tuple.sid) :: !got_r);
+  Alcotest.(check (list (pair int int))) "r event" [ (0, 0); (1, 1) ]
+    (List.sort compare !got_r);
+  let got_s = ref [] in
+  SJ2.process_s st { Tuple.sid = 9; b = 1.0; c = 12.0 }
+    (fun q r -> got_s := (q.SQ.qid, r.Tuple.rid) :: !got_s);
+  Alcotest.(check (list (pair int int))) "s event" [ (1, 1) ] (List.sort compare !got_s);
+  Alcotest.(check bool) "delete" true (SJ2.delete_query st q0);
+  Alcotest.(check int) "one query left" 1 (SJ2.query_count st)
+
+(* ---------------------------- Composite joins -------------------------- *)
+
+module CQ = Cq_joins.Composite_query
+module CJ = Cq_joins.Composite_join
+
+let composite_results (type s) (module S : CJ.STRATEGY with type t = s) (st : s) r =
+  let acc = ref [] in
+  S.process_r st r (fun q s -> acc := (q.CQ.qid, s.Tuple.sid) :: !acc);
+  List.sort compare !acc
+
+let composite_strategies : (module CJ.STRATEGY) list =
+  [ (module CJ.Naive); (module CJ.Afirst); (module CJ.Ssi) ]
+
+let composite_gen =
+  QCheck2.Gen.(
+    triple s_tuples_gen
+      (list_size (int_range 0 40)
+         (triple (interval_gen 10) (interval_gen 20) (interval_gen 20)))
+      r_events_gen)
+
+let make_composites specs =
+  Array.of_list
+    (List.mapi
+       (fun qid (band, ra, rc) ->
+         CQ.make ~qid ~band:(I.shift band (-5.0)) ~range_a:ra ~range_c:rc)
+       specs)
+
+let prop_composite_strategies_agree =
+  QCheck2.Test.make ~name:"composite joins: all strategies match brute force" ~count:150
+    composite_gen (fun (s_tuples, specs, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = make_composites specs in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : CJ.STRATEGY) ->
+          let st = S.create table queries in
+          List.for_all
+            (fun r ->
+              let got = composite_results (module S) st r in
+              let want = CJ.reference table queries r in
+              got = want
+              || QCheck2.Test.fail_reportf "%s diverges: got %d, want %d" S.name
+                   (List.length got) (List.length want))
+            events)
+        composite_strategies)
+
+let prop_composite_affected =
+  QCheck2.Test.make ~name:"composite joins: affected = distinct queries" ~count:120
+    composite_gen (fun (s_tuples, specs, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = make_composites specs in
+      let events = make_r_events events in
+      List.for_all
+        (fun (module S : CJ.STRATEGY) ->
+          let st = S.create table queries in
+          List.for_all
+            (fun r ->
+              let got = ref [] in
+              S.affected st r (fun q -> got := q.CQ.qid :: !got);
+              let want =
+                CJ.reference table queries r |> List.map fst |> List.sort_uniq compare
+              in
+              List.sort compare !got = want)
+            events)
+        composite_strategies)
+
+let test_composite_churn () =
+  let table, _ = make_s_table [ (1.0, 5.0); (3.0, 12.0); (5.0, 5.0) ] in
+  let q0 = CQ.make ~qid:0 ~band:(I.make (-2.0) 2.0) ~range_a:(I.make 0.0 10.0) ~range_c:(I.make 0.0 10.0) in
+  let q1 = CQ.make ~qid:1 ~band:(I.make (-1.0) 1.0) ~range_a:(I.make 5.0 15.0) ~range_c:(I.make 10.0 20.0) in
+  List.iter
+    (fun (module S : CJ.STRATEGY) ->
+      let st = S.create table [| q0 |] in
+      S.insert_query st q1;
+      let r = { Tuple.rid = 0; a = 7.0; b = 3.0 } in
+      let want = CJ.reference table [| q0; q1 |] r in
+      Alcotest.(check (list (pair int int))) (S.name ^ " after insert") want
+        (composite_results (module S) st r);
+      Alcotest.(check bool) (S.name ^ " delete") true (S.delete_query st q0);
+      let want = CJ.reference table [| q1 |] r in
+      Alcotest.(check (list (pair int int))) (S.name ^ " after delete") want
+        (composite_results (module S) st r);
+      Alcotest.(check int) (S.name ^ " count") 1 (S.query_count st))
+    composite_strategies
+
+(* ---------------------------------------------------------------------- *)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cq_joins"
+    [
+      ( "band",
+        [
+          qc prop_band_strategies_agree;
+          qc prop_band_dynamic_updates;
+          qc prop_band_affected_matches;
+          Alcotest.test_case "empty S table" `Quick test_band_empty_table;
+          Alcotest.test_case "no queries" `Quick test_band_no_queries;
+          Alcotest.test_case "exact-match duplicates" `Quick test_band_exact_match_duplicates;
+        ] );
+      ( "select",
+        [
+          qc prop_select_strategies_agree;
+          qc prop_select_dynamic_updates;
+          qc prop_select_affected_matches;
+          Alcotest.test_case "no join partner" `Quick test_select_no_join_partner;
+          Alcotest.test_case "gap between anchors" `Quick test_select_gap_between_anchors;
+          Alcotest.test_case "anchor duplicates" `Quick test_select_rect_contains_anchor_line;
+          Alcotest.test_case "adaptive routing" `Quick test_adaptive_routes_both_ways;
+        ] );
+      ( "composite",
+        [
+          qc prop_composite_strategies_agree;
+          qc prop_composite_affected;
+          Alcotest.test_case "query churn" `Quick test_composite_churn;
+        ] );
+      ( "ssi2d",
+        [
+          qc prop_ssi2d_r_events_match;
+          qc prop_ssi2d_s_events_match;
+          Alcotest.test_case "churn + both directions" `Quick test_ssi2d_churn_and_groups;
+        ] );
+    ]

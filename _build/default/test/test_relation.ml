@@ -1,0 +1,155 @@
+(* Tests for the relation layer: table index consistency and the
+   Table-1 workload generators. *)
+
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module W = Cq_relation.Workload
+module Rng = Cq_util.Rng
+
+let tuples_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 200)
+      (map2 (fun b c -> (float_of_int b, float_of_int c)) (int_bound 20) (int_bound 20)))
+
+let prop_s_table_indexes_agree =
+  QCheck2.Test.make ~name:"s_table: B and (B,C) indexes stay consistent" ~count:300
+    QCheck2.Gen.(pair tuples_gen (list_size (int_range 0 50) (int_bound 300)))
+    (fun (rows, deletions) ->
+      let tuples = Array.of_list (List.mapi (fun sid (b, c) -> { Tuple.sid; b; c }) rows) in
+      let t = Table.of_s_tuples tuples in
+      Table.Fbt.check_invariants (Table.s_by_b t);
+      Table.Pbt.check_invariants (Table.s_by_bc t);
+      (* Delete a few specific tuples. *)
+      let deleted = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          if Array.length tuples > 0 then begin
+            let s = tuples.(i mod Array.length tuples) in
+            if (not (Hashtbl.mem deleted s.Tuple.sid)) && Table.delete_s t s then
+              Hashtbl.add deleted s.Tuple.sid ()
+          end)
+        deletions;
+      let survivors =
+        Array.to_list tuples |> List.filter (fun s -> not (Hashtbl.mem deleted s.Tuple.sid))
+      in
+      let by_b = ref [] in
+      Table.iter_s t (fun s -> by_b := s :: !by_b);
+      let by_bc = ref [] in
+      Table.Pbt.iter (Table.s_by_bc t) (fun _ s -> by_bc := s :: !by_bc);
+      let norm l = List.sort compare (List.map (fun s -> s.Tuple.sid) l) in
+      Table.s_size t = List.length survivors
+      && norm !by_b = norm survivors
+      && norm !by_bc = norm survivors)
+
+let prop_r_table_round_trip =
+  QCheck2.Test.make ~name:"r_table: insert/delete round trip" ~count:200 tuples_gen
+    (fun rows ->
+      let t = Table.create_r () in
+      let tuples = List.mapi (fun rid (a, b) -> { Tuple.rid; a; b }) rows in
+      List.iter (Table.insert_r t) tuples;
+      List.iteri (fun i r -> if i mod 2 = 0 then ignore (Table.delete_r t r)) tuples;
+      Table.r_size t = List.length tuples - ((List.length tuples + 1) / 2))
+
+let test_workload_distributions () =
+  let c = W.default in
+  let rng = Rng.create 5 in
+  let ss = W.gen_s_tuples c rng ~n:20_000 in
+  (* S.B clamped to the domain and quantised. *)
+  Array.iter
+    (fun (s : Tuple.s) ->
+      if s.b < c.W.domain_lo || s.b > c.W.domain_hi then Alcotest.fail "S.B out of domain";
+      if Float.rem s.b c.W.b_quantum <> 0.0 then Alcotest.fail "S.B not on the quantum grid")
+    ss;
+  let mean = Array.fold_left (fun acc (s : Tuple.s) -> acc +. s.b) 0.0 ss /. 20_000.0 in
+  if Float.abs (mean -. c.W.sb_mu) > 50.0 then Alcotest.failf "S.B mean off: %g" mean;
+  (* R.A uniform: mean ~ 5000. *)
+  let rs = W.gen_r_tuples c rng ~n:20_000 in
+  let mean_a = Array.fold_left (fun acc (r : Tuple.r) -> acc +. r.a) 0.0 rs /. 20_000.0 in
+  if Float.abs (mean_a -. 5000.0) > 100.0 then Alcotest.failf "R.A mean off: %g" mean_a
+
+
+let test_table1_query_generators () =
+  let c = W.default in
+  let rng = Rng.create 11 in
+  let pairs = W.gen_select_ranges c rng ~n:10_000 in
+  (* rangeA midpoints normal around 5000; rangeC midpoints uniform. *)
+  let mid_a = Array.map (fun (a, _) -> I.midpoint a) pairs in
+  let mid_c = Array.map (fun (_, cr) -> I.midpoint cr) pairs in
+  let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs) in
+  if Float.abs (mean mid_a -. 5000.0) > 100.0 then Alcotest.fail "rangeA midpoint mean off";
+  if Float.abs (mean mid_c -. 5000.0) > 100.0 then Alcotest.fail "rangeC midpoint mean off";
+  let sd xs =
+    let m = mean xs in
+    sqrt (Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. float_of_int (Array.length xs))
+  in
+  (* Normal(5000,1500) vs Uni(0,10000): very different spreads. *)
+  if sd mid_a > 2000.0 then Alcotest.fail "rangeA midpoints too spread";
+  if sd mid_c < 2500.0 then Alcotest.fail "rangeC midpoints not uniform-spread";
+  (* Lengths are non-negative everywhere. *)
+  Array.iter
+    (fun (a, cr) ->
+      if I.length a < 0.0 || I.length cr < 0.0 then Alcotest.fail "negative length")
+    pairs;
+  let bands = W.gen_band_ranges c rng ~n:10_000 in
+  let mean_len = mean (Array.map I.length bands) in
+  (* Normal(400,150) truncated at 0: mean close to 400. *)
+  if Float.abs (mean_len -. 400.0) > 25.0 then Alcotest.failf "band length mean off: %g" mean_len
+
+let test_clustered_generator () =
+  let rng = Rng.create 7 in
+  let ranges =
+    W.gen_clustered_ranges ~scattered_len:(5.0, 2.0) rng ~n:5000 ~n_clusters:10
+      ~clustered_frac:1.0 ~domain:(0.0, 10_000.0) ~cluster_halfwidth:40.0 ~len_mu:200.0
+      ~len_sigma:50.0
+  in
+  (* Fully clustered: the canonical partition collapses to roughly the
+     cluster count. *)
+  let tau = Hotspot_core.Stabbing.tau Fun.id ranges in
+  if tau > 15 then Alcotest.failf "expected ~10 groups, got %d" tau;
+  (* Fully scattered short ranges: many groups. *)
+  let scattered =
+    W.gen_clustered_ranges ~scattered_len:(5.0, 2.0) rng ~n:5000 ~n_clusters:10
+      ~clustered_frac:0.0 ~domain:(0.0, 10_000.0) ~cluster_halfwidth:40.0 ~len_mu:200.0
+      ~len_sigma:50.0
+  in
+  let tau_s = Hotspot_core.Stabbing.tau Fun.id scattered in
+  if tau_s < 200 then Alcotest.failf "expected scattered to fragment, got %d groups" tau_s
+
+let test_clustered_generator_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bad clusters"
+    (Invalid_argument "Workload.gen_clustered_ranges: n_clusters must be > 0") (fun () ->
+      ignore
+        (W.gen_clustered_ranges rng ~n:10 ~n_clusters:0 ~clustered_frac:0.5
+           ~domain:(0.0, 1.0) ~cluster_halfwidth:1.0 ~len_mu:1.0 ~len_sigma:0.1));
+  Alcotest.check_raises "bad frac"
+    (Invalid_argument "Workload.gen_clustered_ranges: clustered_frac must be in [0,1]")
+    (fun () ->
+      ignore
+        (W.gen_clustered_ranges rng ~n:10 ~n_clusters:2 ~clustered_frac:1.5
+           ~domain:(0.0, 1.0) ~cluster_halfwidth:1.0 ~len_mu:1.0 ~len_sigma:0.1))
+
+let test_scale_lengths () =
+  let ranges = [| I.make 0.0 10.0; I.make 5.0 5.0 |] in
+  let scaled = W.scale_lengths ranges ~factor:0.5 in
+  Alcotest.(check (float 1e-9)) "half length" 5.0 (I.length scaled.(0));
+  Alcotest.(check (float 1e-9)) "same midpoint" 5.0 (I.midpoint scaled.(0));
+  Alcotest.(check (float 1e-9)) "point stays" 0.0 (I.length scaled.(1))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cq_relation"
+    [
+      ( "table",
+        [ qc prop_s_table_indexes_agree; qc prop_r_table_round_trip ] );
+      ( "workload",
+        [
+          Alcotest.test_case "distributions" `Slow test_workload_distributions;
+          Alcotest.test_case "Table-1 query generators" `Slow test_table1_query_generators;
+          Alcotest.test_case "clustered generator" `Quick test_clustered_generator;
+          Alcotest.test_case "validation" `Quick test_clustered_generator_validation;
+          Alcotest.test_case "scale_lengths" `Quick test_scale_lengths;
+        ] );
+    ]

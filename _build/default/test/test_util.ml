@@ -1,0 +1,214 @@
+(* Tests for the cq_util substrate: RNG determinism, distribution
+   sanity, vector semantics, summary statistics. *)
+
+open Cq_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------- Rng --------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !distinct
+
+let test_rng_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of [0,17): %d" x
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  (* The split stream must not be a shifted copy of the parent. *)
+  let xs = Array.init 16 (fun _ -> Rng.int64 a) in
+  let ys = Array.init 16 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_uniformity_coarse () =
+  (* Chi-square-ish smoke check on 10 buckets. *)
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = int_of_float (Rng.float rng *. 10.0) in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+(* ------------------------------- Dist -------------------------------- *)
+
+let test_uniform_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Dist.uniform rng ~lo:5.0 ~hi:9.0 in
+    if x < 5.0 || x >= 9.0 then Alcotest.failf "uniform out of range: %g" x
+  done
+
+let test_normal_moments () =
+  let rng = Rng.create 13 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Dist.normal rng ~mu:50.0 ~sigma:10.0) in
+  let m = Stats.mean xs and sd = Stats.stddev xs in
+  if Float.abs (m -. 50.0) > 0.2 then Alcotest.failf "normal mean off: %g" m;
+  if Float.abs (sd -. 10.0) > 0.2 then Alcotest.failf "normal stddev off: %g" sd
+
+let test_normal_clamped () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 10_000 do
+    let x = Dist.normal_clamped rng ~mu:0.0 ~sigma:100.0 ~lo:(-50.0) ~hi:50.0 in
+    if x < -50.0 || x > 50.0 then Alcotest.failf "clamped normal out of range: %g" x
+  done
+
+let test_zipf_weights_normalised () =
+  let w = Dist.zipf_weights ~n:5000 ~beta:1.0 in
+  check_float "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 w);
+  (* Monotone decreasing. *)
+  for i = 1 to Array.length w - 1 do
+    if w.(i) > w.(i - 1) then Alcotest.fail "zipf weights not decreasing"
+  done
+
+let test_zipf_rank_frequencies () =
+  let rng = Rng.create 23 in
+  let w = Dist.zipf_weights ~n:100 ~beta:1.0 in
+  let cdf = Dist.cdf_of_weights w in
+  let counts = Array.make 100 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let r = Dist.zipf rng ~cdf in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* Rank 0 should be drawn roughly w.(0) of the time. *)
+  let f0 = float_of_int counts.(0) /. float_of_int n in
+  if Float.abs (f0 -. w.(0)) > 0.01 then Alcotest.failf "rank-0 frequency %g vs weight %g" f0 w.(0)
+
+let test_exponential_positive_mean () =
+  let rng = Rng.create 29 in
+  let xs = Array.init 100_000 (fun _ -> Dist.exponential rng ~rate:2.0) in
+  Array.iter (fun x -> if x < 0.0 then Alcotest.fail "negative exponential draw") xs;
+  let m = Stats.mean xs in
+  if Float.abs (m -. 0.5) > 0.02 then Alcotest.failf "exponential mean off: %g" m
+
+(* ------------------------------- Stats ------------------------------- *)
+
+let test_stats_basics () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "mean empty" 0.0 (Stats.mean [||]);
+  check_float "stddev" (sqrt 1.25) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "median" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "p100 = max" 9.0 (Stats.percentile [| 9.0; 1.0; 5.0 |] 100.0);
+  check_float "geometric mean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |]);
+  check_float "geometric mean w/ nonpositive" 0.0 (Stats.geometric_mean [| 1.0; -2.0 |])
+
+(* -------------------------------- Vec -------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" i (Vec.get v i)
+  done
+
+let test_vec_pop_lifo () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "pop" 2 (Vec.pop v);
+  Alcotest.(check int) "length" 1 (Vec.length v)
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  let removed = Vec.swap_remove v 1 in
+  Alcotest.(check int) "removed" 20 removed;
+  Alcotest.(check (list int)) "rest" [ 10; 40; 30 ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      Vec.clear v;
+      ignore (Vec.pop v))
+
+let test_vec_sort_fold () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "fold" 6 (Vec.fold ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "exists not" false (Vec.exists (fun x -> x = 9) v)
+
+(* qcheck: Vec behaves like a list under pushes and pops. *)
+let prop_vec_models_list =
+  QCheck2.Test.make ~name:"vec models list" ~count:500
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun ops ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) ops;
+      Vec.to_list v = ops)
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "cq_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "float in [0,1)" `Quick test_rng_float_range;
+          Alcotest.test_case "int in bound" `Quick test_rng_int_range;
+          Alcotest.test_case "bad bound rejected" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "coarse uniformity" `Slow test_rng_uniformity_coarse;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "clamped normal" `Quick test_normal_clamped;
+          Alcotest.test_case "zipf weights" `Quick test_zipf_weights_normalised;
+          Alcotest.test_case "zipf frequencies" `Slow test_zipf_rank_frequencies;
+          Alcotest.test_case "exponential" `Slow test_exponential_positive_mean;
+        ] );
+      ("stats", [ Alcotest.test_case "basics" `Quick test_stats_basics ]);
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "pop LIFO" `Quick test_vec_pop_lifo;
+          Alcotest.test_case "swap_remove" `Quick test_vec_swap_remove;
+          Alcotest.test_case "bounds errors" `Quick test_vec_bounds;
+          Alcotest.test_case "sort/fold/exists" `Quick test_vec_sort_fold;
+          QCheck_alcotest.to_alcotest prop_vec_models_list;
+        ] );
+    ]
