@@ -104,8 +104,62 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Generate a clustered workload and report its hotspot structure.")
     Term.(const run $ n $ clusters $ frac $ alpha $ seed)
 
+(* ------------------------------ fuzz ----------------------------------- *)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed; failures replay exactly under the same seed.")
+
+let fuzz_cmd =
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"M" ~doc:"Operations per structure.")
+  in
+  let run seed ops =
+    let outcomes = Cq_robust.Oracle.fuzz_all ~seed ~ops in
+    List.iter (fun o -> Format.printf "@[<v>%a@]@." Cq_robust.Oracle.pp_outcome o) outcomes;
+    let bad = List.filter (fun o -> not (Cq_robust.Oracle.passed o)) outcomes in
+    if bad = [] then (
+      Format.printf "all %d structures agree with the oracle@." (List.length outcomes);
+      `Ok ())
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d structure(s) diverged or violated invariants (seed %d)"
+            (List.length bad) seed )
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: run a seeded adversarial operation stream against every \
+          structure and a naive oracle; exit nonzero on any divergence or invariant violation.")
+    Term.(ret (const run $ seed_arg $ ops))
+
+(* ------------------------------ audit ---------------------------------- *)
+
+let audit_cmd =
+  let n =
+    Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Workload operations to build each structure from.")
+  in
+  let run seed n =
+    let reports = Cq_robust.Oracle.audit_workload ~seed ~n in
+    let bad = ref 0 in
+    List.iter
+      (fun (name, report) ->
+        (match report with Ok () -> () | Error _ -> incr bad);
+        Format.printf "@[<v>%-22s %a@]@." name Cq_robust.Invariant.pp_report report)
+      reports;
+    if !bad = 0 then `Ok ()
+    else `Error (false, Printf.sprintf "%d structure(s) failed their audit (seed %d)" !bad seed)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Build every structure from a seeded workload and run its deep invariant audit; \
+          exit nonzero on any violation.")
+    Term.(ret (const run $ seed_arg $ n))
+
 let main =
   let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in
-  Cmd.group (Cmd.info "cqctl" ~version:"1.0.0" ~doc) [ bench_cmd; list_cmd; zipf_cmd; workload_cmd ]
+  Cmd.group
+    (Cmd.info "cqctl" ~version:"1.0.0" ~doc)
+    [ bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main)

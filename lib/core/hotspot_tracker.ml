@@ -256,4 +256,27 @@ module Make (E : Partition_intf.ELEMENT) = struct
        credits per update. *)
     if t.move_count > (5 * t.update_count) + 1 then
       fail "moves %d exceed 5 per update (updates = %d)" t.move_count t.update_count
+
+  (* ------------------------------------------------------------------ *)
+  (* Test-only corruption hooks                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  module Testing = struct
+    let some_hot_group t =
+      Hashtbl.fold (fun _ g acc -> match acc with Some _ -> acc | None -> Some g) t.hot None
+
+    let corrupt_where_hot t =
+      match some_hot_group t with
+      | Some g when not (ESet.is_empty g.members) ->
+          t.where_hot <- EMap.remove (ESet.min_elt g.members) t.where_hot;
+          true
+      | _ -> false
+
+    let corrupt_isect t =
+      match some_hot_group t with
+      | Some g ->
+          g.isect <- I.make neg_infinity infinity;
+          true
+      | None -> false
+  end
 end

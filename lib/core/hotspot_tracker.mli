@@ -76,4 +76,17 @@ module Make (E : Partition_intf.ELEMENT) : sig
   val check_invariants : t -> unit
   (** Verify (I1), (I2), (I3) and structural consistency.
       @raise Failure on violation. *)
+
+  (** Deliberate state corruption, for verifying that the invariant
+      auditors actually detect broken trackers.  {b Test harnesses
+      only} — never call these from application code. *)
+  module Testing : sig
+    val corrupt_where_hot : t -> bool
+    (** Drop one hot member's reverse-lookup entry; [false] when there
+        is no hotspot to corrupt. *)
+
+    val corrupt_isect : t -> bool
+    (** Widen one hot group's maintained intersection past its members'
+        true common intersection. *)
+  end
 end

@@ -31,26 +31,36 @@ type t = {
   mutable results : int;
 }
 
-let create ?(alpha = 0.01) ?seed:_ () =
-  let s_table = Table.create_s () in
-  let r_mirror = Table.create_s () in
-  {
-    s_table;
-    r_mirror;
-    band_fwd = BJ.Hotspot.create_alpha ~alpha s_table [||];
-    band_bwd = BJ.Hotspot.create_alpha ~alpha r_mirror [||];
-    select_fwd = SJ.Hotspot.create_alpha ~alpha s_table [||];
-    select_bwd = SJ.Hotspot.create_alpha ~alpha r_mirror [||];
-    band_cbs = Hashtbl.create 64;
-    select_cbs = Hashtbl.create 64;
-    band_retracts = Hashtbl.create 64;
-    select_retracts = Hashtbl.create 64;
-    next_qid = 0;
-    next_rid = 0;
-    next_sid = 0;
-    events = 0;
-    results = 0;
-  }
+module Err = Cq_util.Error
+
+let try_create ?(alpha = 0.01) ?(seed = 0x40757) () =
+  match Err.in_unit_open_closed ~name:"alpha" alpha with
+  | Error e -> Error e
+  | Ok alpha ->
+      let s_table = Table.create_s () in
+      let r_mirror = Table.create_s () in
+      (* The four trackers get distinct derived seeds so their treap
+         priority streams stay independent. *)
+      Ok
+        {
+          s_table;
+          r_mirror;
+          band_fwd = BJ.Hotspot.create_alpha ~alpha ~seed s_table [||];
+          band_bwd = BJ.Hotspot.create_alpha ~alpha ~seed:(seed + 1) r_mirror [||];
+          select_fwd = SJ.Hotspot.create_alpha ~alpha ~seed:(seed + 2) s_table [||];
+          select_bwd = SJ.Hotspot.create_alpha ~alpha ~seed:(seed + 3) r_mirror [||];
+          band_cbs = Hashtbl.create 64;
+          select_cbs = Hashtbl.create 64;
+          band_retracts = Hashtbl.create 64;
+          select_retracts = Hashtbl.create 64;
+          next_qid = 0;
+          next_rid = 0;
+          next_sid = 0;
+          events = 0;
+          results = 0;
+        }
+
+let create ?alpha ?seed () = Err.ok_exn (try_create ?alpha ?seed ())
 
 let fresh_qid t =
   let q = t.next_qid in
@@ -61,26 +71,39 @@ let fresh_qid t =
    R.B - S.B ∈ [-hi, -lo]. *)
 let negate_range r = I.make (-.I.hi r) (-.I.lo r)
 
+let try_subscribe_band t ?on_retract ~range cb =
+  if I.is_empty range then Error (Err.Empty_range { name = "range" })
+  else begin
+    let qid = fresh_qid t in
+    let fwd = BQ.make ~qid ~range in
+    let bwd = BQ.make ~qid ~range:(negate_range range) in
+    BJ.Hotspot.insert_query t.band_fwd fwd;
+    BJ.Hotspot.insert_query t.band_bwd bwd;
+    Hashtbl.replace t.band_cbs qid cb;
+    (match on_retract with Some f -> Hashtbl.replace t.band_retracts qid f | None -> ());
+    Ok (Band { fwd; bwd })
+  end
+
 let subscribe_band t ?on_retract ~range cb =
-  let qid = fresh_qid t in
-  let fwd = BQ.make ~qid ~range in
-  let bwd = BQ.make ~qid ~range:(negate_range range) in
-  BJ.Hotspot.insert_query t.band_fwd fwd;
-  BJ.Hotspot.insert_query t.band_bwd bwd;
-  Hashtbl.replace t.band_cbs qid cb;
-  (match on_retract with Some f -> Hashtbl.replace t.band_retracts qid f | None -> ());
-  Band { fwd; bwd }
+  Err.ok_exn (try_subscribe_band t ?on_retract ~range cb)
+
+let try_subscribe_select t ?on_retract ~range_a ~range_c cb =
+  if I.is_empty range_a then Error (Err.Empty_range { name = "range_a" })
+  else if I.is_empty range_c then Error (Err.Empty_range { name = "range_c" })
+  else begin
+    let qid = fresh_qid t in
+    let fwd = SQ.make ~qid ~range_a ~range_c in
+    (* Mirror swaps the roles of the two selection axes. *)
+    let bwd = SQ.make ~qid ~range_a:range_c ~range_c:range_a in
+    SJ.Hotspot.insert_query t.select_fwd fwd;
+    SJ.Hotspot.insert_query t.select_bwd bwd;
+    Hashtbl.replace t.select_cbs qid cb;
+    (match on_retract with Some f -> Hashtbl.replace t.select_retracts qid f | None -> ());
+    Ok (Select { fwd; bwd })
+  end
 
 let subscribe_select t ?on_retract ~range_a ~range_c cb =
-  let qid = fresh_qid t in
-  let fwd = SQ.make ~qid ~range_a ~range_c in
-  (* Mirror swaps the roles of the two selection axes. *)
-  let bwd = SQ.make ~qid ~range_a:range_c ~range_c:range_a in
-  SJ.Hotspot.insert_query t.select_fwd fwd;
-  SJ.Hotspot.insert_query t.select_bwd bwd;
-  Hashtbl.replace t.select_cbs qid cb;
-  (match on_retract with Some f -> Hashtbl.replace t.select_retracts qid f | None -> ());
-  Select { fwd; bwd }
+  Err.ok_exn (try_subscribe_select t ?on_retract ~range_a ~range_c cb)
 
 let unsubscribe t = function
   | Band { fwd; bwd } ->
@@ -126,7 +149,10 @@ let deliver_select t (q : SQ.t) r s =
   | None -> ());
   t.results <- t.results + 1
 
-let insert_r t ~a ~b =
+(* Attribute values must be finite: a NaN join key admitted into the
+   B-trees breaks their total order silently — by far the nastiest
+   corruption the fuzz harness found a route to. *)
+let insert_r_unchecked t ~a ~b =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
   let r = { Tuple.rid; a; b } in
@@ -138,9 +164,16 @@ let insert_r t ~a ~b =
   Table.insert_s t.r_mirror { Tuple.sid = rid; b; c = a };
   (r, t.results - before)
 
+let try_insert_r t ~a ~b =
+  match Err.both (Err.finite ~name:"a" a) (Err.finite ~name:"b" b) with
+  | Error e -> Error e
+  | Ok _ -> Ok (insert_r_unchecked t ~a ~b)
+
+let insert_r t ~a ~b = Err.ok_exn (try_insert_r t ~a ~b)
+
 let decode_r (ms : Tuple.s) = { Tuple.rid = ms.sid; a = ms.c; b = ms.b }
 
-let insert_s t ~b ~c =
+let insert_s_unchecked t ~b ~c =
   let sid = t.next_sid in
   t.next_sid <- sid + 1;
   let s = { Tuple.sid; b; c } in
@@ -155,21 +188,53 @@ let insert_s t ~b ~c =
   Table.insert_s t.s_table s;
   (s, t.results - before)
 
-let load_s t rows =
-  Array.iter
-    (fun (b, c) ->
-      let sid = t.next_sid in
-      t.next_sid <- sid + 1;
-      Table.insert_s t.s_table { Tuple.sid; b; c })
-    rows
+let try_insert_s t ~b ~c =
+  match Err.both (Err.finite ~name:"b" b) (Err.finite ~name:"c" c) with
+  | Error e -> Error e
+  | Ok _ -> Ok (insert_s_unchecked t ~b ~c)
 
-let load_r t rows =
+let insert_s t ~b ~c = Err.ok_exn (try_insert_s t ~b ~c)
+
+(* Bulk loads validate every row before touching the tables, so a bad
+   row cannot leave a half-applied load behind. *)
+let validate_rows rows =
+  let bad = ref None in
   Array.iter
-    (fun (a, b) ->
-      let rid = t.next_rid in
-      t.next_rid <- rid + 1;
-      Table.insert_s t.r_mirror { Tuple.sid = rid; b; c = a })
-    rows
+    (fun (x, y) ->
+      if !bad = None then
+        if not (Float.is_finite x) then bad := Some (Err.Not_finite { name = "fst"; value = x })
+        else if not (Float.is_finite y) then
+          bad := Some (Err.Not_finite { name = "snd"; value = y }))
+    rows;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let try_load_s t rows =
+  match validate_rows rows with
+  | Error e -> Error e
+  | Ok () ->
+      Array.iter
+        (fun (b, c) ->
+          let sid = t.next_sid in
+          t.next_sid <- sid + 1;
+          Table.insert_s t.s_table { Tuple.sid; b; c })
+        rows;
+      Ok ()
+
+let load_s t rows = Err.ok_exn (try_load_s t rows)
+
+let try_load_r t rows =
+  match validate_rows rows with
+  | Error e -> Error e
+  | Ok () ->
+      Array.iter
+        (fun (a, b) ->
+          let rid = t.next_rid in
+          t.next_rid <- rid + 1;
+          Table.insert_s t.r_mirror { Tuple.sid = rid; b; c = a })
+        rows;
+      Ok ()
+
+let load_r t rows = Err.ok_exn (try_load_r t rows)
 
 (* The result pairs a tuple contributed are recomputed by the same
    group-processing machinery that found them at insertion time; each
@@ -211,6 +276,29 @@ let delete_s t (s : Tuple.s) =
         | None -> ());
     Some !count
   end
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  BJ.Hotspot.check_invariants t.band_fwd;
+  BJ.Hotspot.check_invariants t.band_bwd;
+  SJ.Hotspot.check_invariants t.select_fwd;
+  SJ.Hotspot.check_invariants t.select_bwd;
+  (* Forward and mirrored query sets are registered/cancelled in
+     lockstep. *)
+  if BJ.Hotspot.query_count t.band_fwd <> BJ.Hotspot.query_count t.band_bwd then
+    fail "engine: %d forward band queries but %d mirrored"
+      (BJ.Hotspot.query_count t.band_fwd)
+      (BJ.Hotspot.query_count t.band_bwd);
+  if SJ.Hotspot.query_count t.select_fwd <> SJ.Hotspot.query_count t.select_bwd then
+    fail "engine: %d forward select queries but %d mirrored"
+      (SJ.Hotspot.query_count t.select_fwd)
+      (SJ.Hotspot.query_count t.select_bwd);
+  if Hashtbl.length t.band_cbs <> BJ.Hotspot.query_count t.band_fwd then
+    fail "engine: band callback table out of sync with query set";
+  if Hashtbl.length t.select_cbs <> SJ.Hotspot.query_count t.select_fwd then
+    fail "engine: select callback table out of sync with query set";
+  if Table.s_size t.s_table > t.next_sid then fail "engine: |S| exceeds issued sids";
+  if Table.s_size t.r_mirror > t.next_rid then fail "engine: |R| exceeds issued rids"
 
 type stats = {
   r_size : int;

@@ -16,11 +16,39 @@ type t
 type subscription
 (** Handle for cancelling a registered continuous query. *)
 
-val create : ?alpha:float -> ?seed:int -> unit -> t
+(** {2 Input validation}
+
+    Every mutating entry point validates its inputs against the shared
+    taxonomy in {!Cq_util.Error}: non-finite attribute values are
+    rejected before they can break the B-trees' total order, empty
+    query windows are rejected at subscription time, and configuration
+    knobs are checked against their documented domains.  The
+    [try_]-prefixed variants return [result]s; the plain variants raise
+    {!Cq_util.Error.Cq_error} (never a bare [Invalid_argument]) on the
+    same conditions. *)
+
+val try_create : ?alpha:float -> ?seed:int -> unit -> (t, Cq_util.Error.t) result
 (** [alpha] is the hotspot threshold passed to the trackers (default
-    0.01). *)
+    0.01; must lie in (0, 1]).  [seed] (default [0x40757]) seeds the
+    four internal trackers' randomised partitions: two engines built
+    with the same seed and fed the same event sequence evolve
+    identically, bit for bit. *)
+
+val create : ?alpha:float -> ?seed:int -> unit -> t
 
 (** {2 Continuous queries} *)
+
+val try_subscribe_band :
+  t ->
+  ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  range:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  (subscription, Cq_util.Error.t) result
+(** Register [R ⋈_{S.B−R.B ∈ range} S]; the callback fires once per
+    new result pair, for events on either side.  [on_retract] fires
+    once per result pair that {e disappears} when a tuple is deleted
+    (the paper's "changes between Q(D_i) and Q(D_{i-1})" include
+    removals).  An empty [range] is rejected. *)
 
 val subscribe_band :
   t ->
@@ -28,11 +56,16 @@ val subscribe_band :
   range:Cq_interval.Interval.t ->
   (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   subscription
-(** Register [R ⋈_{S.B−R.B ∈ range} S]; the callback fires once per
-    new result pair, for events on either side.  [on_retract] fires
-    once per result pair that {e disappears} when a tuple is deleted
-    (the paper's "changes between Q(D_i) and Q(D_{i-1})" include
-    removals). *)
+
+val try_subscribe_select :
+  t ->
+  ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  range_a:Cq_interval.Interval.t ->
+  range_c:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  (subscription, Cq_util.Error.t) result
+(** Register [σ_{A∈range_a} R ⋈_{B} σ_{C∈range_c} S].  Empty selection
+    ranges are rejected. *)
 
 val subscribe_select :
   t ->
@@ -41,7 +74,6 @@ val subscribe_select :
   range_c:Cq_interval.Interval.t ->
   (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   subscription
-(** Register [σ_{A∈range_a} R ⋈_{B} σ_{C∈range_c} S]. *)
 
 (** Subscriber callbacks are isolated: an exception raised by one
     callback is logged (source ["cq.engine"]) and does not disturb
@@ -54,13 +86,20 @@ val select_query_count : t -> int
 
 (** {2 Data events} *)
 
-val insert_r : t -> a:float -> b:float -> Cq_relation.Tuple.r * int
+val try_insert_r :
+  t -> a:float -> b:float -> (Cq_relation.Tuple.r * int, Cq_util.Error.t) result
 (** Append an R-tuple: runs all affected continuous queries, invokes
     their callbacks, stores the tuple for future S-side events.
-    Returns the tuple and the number of results delivered. *)
+    Returns the tuple and the number of results delivered.  NaN or
+    infinite attribute values are rejected before any state changes. *)
+
+val insert_r : t -> a:float -> b:float -> Cq_relation.Tuple.r * int
+
+val try_insert_s :
+  t -> b:float -> c:float -> (Cq_relation.Tuple.s * int, Cq_util.Error.t) result
+(** Symmetric S-side insertion. *)
 
 val insert_s : t -> b:float -> c:float -> Cq_relation.Tuple.s * int
-(** Symmetric S-side insertion. *)
 
 val delete_r : t -> Cq_relation.Tuple.r -> int option
 (** Delete a previously inserted R tuple: every result pair it
@@ -70,11 +109,15 @@ val delete_r : t -> Cq_relation.Tuple.r -> int option
 
 val delete_s : t -> Cq_relation.Tuple.s -> int option
 
-val load_s : t -> (float * float) array -> unit
+val try_load_s : t -> (float * float) array -> (unit, Cq_util.Error.t) result
 (** Bulk-load initial S contents (no results are generated, matching
     the continuous-query semantics of registering against a database
-    state). *)
+    state).  All rows are validated before any is applied, so a
+    rejected load leaves the engine untouched. *)
 
+val load_s : t -> (float * float) array -> unit
+
+val try_load_r : t -> (float * float) array -> (unit, Cq_util.Error.t) result
 val load_r : t -> (float * float) array -> unit
 
 (** {2 Introspection} *)
@@ -92,3 +135,9 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val check_invariants : t -> unit
+(** Deep audit of the engine's internal consistency: the four hotspot
+    trackers' invariants (I1)–(I3), their aux structures' sync with the
+    tracker event streams, forward/mirror query-set lockstep, and
+    callback-table consistency.  @raise Failure on violation. *)

@@ -562,7 +562,7 @@ module Hotspot = struct
     ignore (Fbt.remove_first h.by_lo (I.lo q.range) (fun p -> p.Band_query.qid = q.qid));
     ignore (Fbt.remove_first h.by_hi (I.hi q.range) (fun p -> p.Band_query.qid = q.qid))
 
-  let create_alpha ~alpha table queries =
+  let create_alpha ~alpha ?seed table queries =
     let hot = Hashtbl.create 16 in
     let scattered = Hashtbl.create 256 in
     let on_event = function
@@ -576,7 +576,7 @@ module Hotspot = struct
       | Tracker.Scattered_added q -> Hashtbl.replace scattered q.Band_query.qid q
       | Tracker.Scattered_removed q -> Hashtbl.remove scattered q.Band_query.qid
     in
-    let tracker = Tracker.create ~alpha ~on_event () in
+    let tracker = Tracker.create ~alpha ?seed ~on_event () in
     Array.iter (fun q -> Tracker.insert tracker q) queries;
     { table; tracker; hot; scattered; dedupe = new_dedupe () }
 
@@ -635,6 +635,37 @@ module Hotspot = struct
   let query_count t = Tracker.size t.tracker
   let num_hotspots t = Tracker.num_hotspots t.tracker
   let coverage t = Tracker.coverage t.tracker
+
+  (* The aux B-trees are maintained purely from the tracker's event
+     stream; verify they never drift from the tracker's own view. *)
+  let check_invariants t =
+    Tracker.check_invariants t.tracker;
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let hotspots = Tracker.hotspots t.tracker in
+    if List.length hotspots <> Hashtbl.length t.hot then
+      fail "BJ-Hotspot: %d aux entries for %d hotspots" (Hashtbl.length t.hot)
+        (List.length hotspots);
+    List.iter
+      (fun (gid, _, members) ->
+        match Hashtbl.find_opt t.hot gid with
+        | None -> fail "BJ-Hotspot: hotspot %d has no aux trees" gid
+        | Some h ->
+            Fbt.check_invariants h.by_lo;
+            Fbt.check_invariants h.by_hi;
+            let n = List.length members in
+            if Fbt.length h.by_lo <> n || Fbt.length h.by_hi <> n then
+              fail "BJ-Hotspot: hotspot %d aux sizes (%d, %d) for %d members" gid
+                (Fbt.length h.by_lo) (Fbt.length h.by_hi) n)
+      hotspots;
+    let scattered = Tracker.scattered t.tracker in
+    if List.length scattered <> Hashtbl.length t.scattered then
+      fail "BJ-Hotspot: %d scattered aux entries for %d scattered queries"
+        (Hashtbl.length t.scattered) (List.length scattered);
+    List.iter
+      (fun (q : Band_query.t) ->
+        if not (Hashtbl.mem t.scattered q.qid) then
+          fail "BJ-Hotspot: scattered query %d missing from aux table" q.qid)
+      scattered
 end
 
 (* --------------------------------------------------------------------- *)

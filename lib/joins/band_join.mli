@@ -71,10 +71,16 @@ module Hotspot : sig
   include STRATEGY
 
   val create_alpha :
-    alpha:float -> Cq_relation.Table.s_table -> Band_query.t array -> t
+    alpha:float -> ?seed:int -> Cq_relation.Table.s_table -> Band_query.t array -> t
+  (** [seed] drives the tracker's scattered-partition treap priorities;
+      fixing it makes a run reproducible bit-for-bit. *)
 
   val num_hotspots : t -> int
   val coverage : t -> float
+
+  val check_invariants : t -> unit
+  (** Tracker invariants (I1)–(I3) plus aux-structure/tracker sync.
+      @raise Failure on violation. *)
 end
 
 val reference : Cq_relation.Table.s_table -> Band_query.t array -> Cq_relation.Tuple.r ->

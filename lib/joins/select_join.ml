@@ -359,7 +359,7 @@ module Hotspot = struct
 
   let name = "SJ-Hotspot"
 
-  let create_alpha ~alpha table queries =
+  let create_alpha ~alpha ?seed table queries =
     let hot = Hashtbl.create 16 in
     let scattered_a = Itree.Mutable.create () in
     let on_event = function
@@ -380,7 +380,7 @@ module Hotspot = struct
             (Itree.Mutable.remove scattered_a q.Select_query.range_a (fun p ->
                  p.Select_query.qid = q.Select_query.qid))
     in
-    let tracker = Tracker.create ~alpha ~on_event () in
+    let tracker = Tracker.create ~alpha ?seed ~on_event () in
     Array.iter (fun q -> Tracker.insert tracker q) queries;
     { table; tracker; hot; scattered_a; dedupe = new_dedupe () }
 
@@ -421,6 +421,32 @@ module Hotspot = struct
   let query_count t = Tracker.size t.tracker
   let num_hotspots t = Tracker.num_hotspots t.tracker
   let coverage t = Tracker.coverage t.tracker
+
+  (* The per-hotspot R-trees and the scattered interval tree are
+     maintained purely from the tracker's event stream; verify they
+     never drift from the tracker's own view. *)
+  let check_invariants t =
+    Tracker.check_invariants t.tracker;
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let hotspots = Tracker.hotspots t.tracker in
+    if List.length hotspots <> Hashtbl.length t.hot then
+      fail "SJ-Hotspot: %d aux R-trees for %d hotspots" (Hashtbl.length t.hot)
+        (List.length hotspots);
+    List.iter
+      (fun (gid, _, members) ->
+        match Hashtbl.find_opt t.hot gid with
+        | None -> fail "SJ-Hotspot: hotspot %d has no aux R-tree" gid
+        | Some rt ->
+            Rtree.check_invariants rt;
+            if Rtree.size rt <> List.length members then
+              fail "SJ-Hotspot: hotspot %d R-tree holds %d of %d members" gid (Rtree.size rt)
+                (List.length members))
+      hotspots;
+    let scattered = Tracker.scattered t.tracker in
+    Itree.check_invariants (Itree.Mutable.snapshot t.scattered_a);
+    if Itree.Mutable.size t.scattered_a <> List.length scattered then
+      fail "SJ-Hotspot: scattered interval tree holds %d of %d queries"
+        (Itree.Mutable.size t.scattered_a) (List.length scattered)
 end
 
 (* --------------------------------------------------------------------- *)

@@ -1,0 +1,172 @@
+module I = Cq_interval.Interval
+module Rng = Cq_util.Rng
+
+type op =
+  | Add of { id : int; iv : I.t }
+  | Remove of { id : int; iv : I.t }
+  | Remove_absent of { id : int; iv : I.t }
+  | Re_add of { id : int; iv : I.t }
+  | Probe of float
+
+let pp_op fmt = function
+  | Add { id; iv } -> Format.fprintf fmt "add %d %s" id (I.to_string iv)
+  | Remove { id; iv } -> Format.fprintf fmt "remove %d %s" id (I.to_string iv)
+  | Remove_absent { id; iv } -> Format.fprintf fmt "remove-absent %d %s" id (I.to_string iv)
+  | Re_add { id; iv } -> Format.fprintf fmt "re-add %d %s" id (I.to_string iv)
+  | Probe x -> Format.fprintf fmt "probe %g" x
+
+(* The generator is adversarial on purpose: intervals cluster around a
+   handful of hub points (so hotspot groups form, then churn), land on
+   an integer-ish grid (so endpoints collide exactly), include
+   zero-width points and huge spans, and the add/remove mix oscillates
+   in phases so group populations repeatedly cross the αn hotness
+   threshold in both directions. *)
+
+let hub_count = 5
+let live_cap = 3000
+let phase_len = 300
+
+let gen_interval rng hubs =
+  let hub = hubs.(Rng.int rng hub_count) in
+  match Rng.int rng 10 with
+  | 0 ->
+      (* zero-width point interval, exactly on the hub *)
+      I.make hub hub
+  | 1 ->
+      (* huge span engulfing everything *)
+      I.make (hub -. 1000.) (hub +. 1000.)
+  | 2 | 3 ->
+      (* tiny cluster: endpoints on a 0.25 grid just around the hub *)
+      let lo = hub +. (0.25 *. float_of_int (Rng.int rng 5 - 2)) in
+      I.make lo (lo +. (0.25 *. float_of_int (Rng.int rng 3)))
+  | 4 | 5 ->
+      (* touching endpoints: [hub-k, hub] or [hub, hub+k] *)
+      let k = 1. +. float_of_int (Rng.int rng 4) in
+      if Rng.bool rng then I.make (hub -. k) hub else I.make hub (hub +. k)
+  | _ ->
+      (* generic grid interval near the hub *)
+      let lo = hub +. float_of_int (Rng.int rng 9 - 4) in
+      I.make lo (lo +. float_of_int (1 + Rng.int rng 6))
+
+let gen ~seed ~n =
+  let rng = Rng.create seed in
+  let hubs = Array.init hub_count (fun i -> float_of_int (i * 20)) in
+  let live = ref [] (* (id, iv), most recent first *)
+  and live_n = ref 0
+  and next_id = ref 0 in
+  let pick_live () =
+    match !live with
+    | [] -> None
+    | l ->
+        let i = Rng.int rng !live_n in
+        Some (List.nth l i)
+  in
+  let fresh_add () =
+    let id = !next_id in
+    incr next_id;
+    let iv = gen_interval rng hubs in
+    live := (id, iv) :: !live;
+    incr live_n;
+    Add { id; iv }
+  in
+  let remove_some () =
+    match pick_live () with
+    | None -> fresh_add ()
+    | Some (id, iv) ->
+        live := List.filter (fun (id', _) -> id' <> id) !live;
+        decr live_n;
+        Remove { id; iv }
+  in
+  Array.init n (fun i ->
+      let adding_phase = i / phase_len mod 2 = 0 in
+      if !live_n >= live_cap then remove_some ()
+      else
+        match Rng.int rng 20 with
+        | 0 -> Probe (hubs.(Rng.int rng hub_count) +. Rng.float rng -. 0.5)
+        | 1 -> (
+            (* duplicate of an exact live (id, iv) pair *)
+            match pick_live () with
+            | Some (id, iv) -> Re_add { id; iv }
+            | None -> fresh_add ())
+        | 2 -> (
+            (* remove something that was never inserted *)
+            let id = !next_id + 1_000_000 + Rng.int rng 1000 in
+            Remove_absent { id; iv = gen_interval rng hubs })
+        | 3 | 4 | 5 | 6 | 7 | 8 -> if adding_phase then fresh_add () else remove_some ()
+        | _ -> if adding_phase || !live_n = 0 then fresh_add () else remove_some ())
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level operations                                              *)
+(* ------------------------------------------------------------------ *)
+
+type engine_op =
+  | Sub_band of { range : I.t }
+  | Sub_select of { range_a : I.t; range_c : I.t }
+  | Unsub_random
+  | Ins_r of { a : float; b : float }
+  | Ins_s of { b : float; c : float }
+  | Del_r_random
+  | Del_s_random
+  | Reject_ins_r of { a : float; b : float }
+  | Reject_sub_band
+
+let pp_engine_op fmt = function
+  | Sub_band { range } -> Format.fprintf fmt "sub-band %s" (I.to_string range)
+  | Sub_select { range_a; range_c } ->
+      Format.fprintf fmt "sub-select %s %s" (I.to_string range_a) (I.to_string range_c)
+  | Unsub_random -> Format.fprintf fmt "unsub"
+  | Ins_r { a; b } -> Format.fprintf fmt "ins-r %g %g" a b
+  | Ins_s { b; c } -> Format.fprintf fmt "ins-s %g %g" b c
+  | Del_r_random -> Format.fprintf fmt "del-r"
+  | Del_s_random -> Format.fprintf fmt "del-s"
+  | Reject_ins_r { a; b } -> Format.fprintf fmt "reject-ins-r %g %g" a b
+  | Reject_sub_band -> Format.fprintf fmt "reject-sub-band"
+
+let tuple_cap = 400
+let query_cap = 60
+
+let gen_engine ~seed ~n =
+  let rng = Rng.create seed in
+  let grid () = float_of_int (Rng.int rng 21 - 10) in
+  let window () =
+    let lo = grid () in
+    I.make lo (lo +. float_of_int (Rng.int rng 5))
+  in
+  (* Track approximate live counts so the stream stays bounded; exact
+     liveness is the driver's business. *)
+  let r = ref 0 and s = ref 0 and q = ref 0 in
+  Array.init n (fun _ ->
+      match Rng.int rng 24 with
+      | 0 when !q < query_cap ->
+          incr q;
+          Sub_band { range = window () }
+      | 1 when !q < query_cap ->
+          incr q;
+          Sub_select { range_a = window (); range_c = window () }
+      | 2 when !q > 0 ->
+          decr q;
+          Unsub_random
+      | 3 ->
+          let bad = if Rng.bool rng then Float.nan else Float.infinity in
+          if Rng.bool rng then Reject_ins_r { a = bad; b = grid () }
+          else Reject_ins_r { a = grid (); b = bad }
+      | 4 -> Reject_sub_band
+      | 5 | 6 | 7 when !r > 0 && !r + !s >= tuple_cap ->
+          decr r;
+          Del_r_random
+      | 8 | 9 | 10 when !s > 0 && !r + !s >= tuple_cap ->
+          decr s;
+          Del_s_random
+      | n when n mod 2 = 0 && !r + !s < tuple_cap ->
+          incr r;
+          Ins_r { a = grid (); b = grid () }
+      | _ when !r + !s < tuple_cap ->
+          incr s;
+          Ins_s { b = grid (); c = grid () }
+      | _ ->
+          if !r > 0 then (
+            decr r;
+            Del_r_random)
+          else (
+            decr s;
+            Del_s_random))

@@ -1,0 +1,667 @@
+module I = Cq_interval.Interval
+module Rng = Cq_util.Rng
+
+type divergence = { structure : string; seed : int; op_index : int; detail : string }
+
+type outcome = {
+  structure : string;
+  seed : int;
+  ops : int;
+  final_size : int;
+  violations : Invariant.violation list;
+  divergence : divergence option;
+}
+
+let passed o = o.divergence = None && o.violations = []
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-22s seed=%d ops=%d size=%d: " o.structure o.seed o.ops o.final_size;
+  match (o.divergence, o.violations) with
+  | None, [] -> Format.fprintf fmt "ok"
+  | d, vs ->
+      (match d with
+      | Some d ->
+          Format.fprintf fmt "@,  DIVERGENCE at op %d (replay with seed=%d): %s" d.op_index
+            d.seed d.detail
+      | None -> ());
+      List.iter (fun v -> Format.fprintf fmt "@,  VIOLATION %a" Invariant.pp_violation v) vs
+
+(* How often the (expensive, near-linear) invariant audits run. *)
+let checkpoint_gap ops = max 50 (ops / 20)
+
+(* Per-run mutable state shared by every driver below. *)
+type run = {
+  name : string;
+  seed : int;
+  mutable viol : Invariant.violation list;
+  mutable div : divergence option;
+}
+
+let make_run name seed = { name; seed; viol = []; div = None }
+
+let diverge run i fmt =
+  Printf.ksprintf
+    (fun detail ->
+      if run.div = None then
+        run.div <- Some { structure = run.name; seed = run.seed; op_index = i; detail })
+    fmt
+
+let record_report run = function Ok () -> () | Error vs -> run.viol <- run.viol @ vs
+
+let finish run ~ops ~final_size =
+  {
+    structure = run.name;
+    seed = run.seed;
+    ops;
+    final_size;
+    violations = run.viol;
+    divergence = run.div;
+  }
+
+(* The mirror for index-shaped structures: a multiset of (id, interval)
+   pairs, held as a Hashtbl with duplicate bindings per id. *)
+
+let mirror_mem tbl id iv = List.exists (fun iv' -> I.equal iv' iv) (Hashtbl.find_all tbl id)
+
+let mirror_remove_one tbl id iv =
+  let bs = Hashtbl.find_all tbl id in
+  let rec drop = function
+    | [] -> []
+    | iv' :: tl -> if I.equal iv' iv then tl else iv' :: drop tl
+  in
+  let bs' = drop bs in
+  List.iter (fun _ -> Hashtbl.remove tbl id) bs;
+  List.iter (fun iv' -> Hashtbl.add tbl id iv') (List.rev bs')
+
+let mirror_entries tbl = Hashtbl.fold (fun id iv acc -> (id, iv) :: acc) tbl []
+
+(* ------------------------------------------------------------------ *)
+(* Stabbing indexes: one generic driver, five instances                 *)
+(* ------------------------------------------------------------------ *)
+
+module type STAB_INDEX = sig
+  type t
+
+  val name : string
+  val create : seed:int -> t
+  val add : t -> int -> I.t -> unit
+  val remove : t -> int -> I.t -> bool
+  val stab_ids : t -> float -> int list
+  val size : t -> int
+  val audit : t -> entries:(int * I.t) list -> Invariant.report
+end
+
+let run_index (module S : STAB_INDEX) ~seed ~ops =
+  let run = make_run S.name seed in
+  let t = S.create ~seed in
+  let stream = Fault.gen ~seed ~n:ops in
+  let mirror : (int, I.t) Hashtbl.t = Hashtbl.create 1024 in
+  let gap = checkpoint_gap ops in
+  Array.iteri
+    (fun i op ->
+      if run.div = None then
+        try
+          (match op with
+          | Fault.Add { id; iv } | Fault.Re_add { id; iv } ->
+              S.add t id iv;
+              Hashtbl.add mirror id iv
+          | Fault.Remove { id; iv } | Fault.Remove_absent { id; iv } ->
+              let expect = mirror_mem mirror id iv in
+              let got = S.remove t id iv in
+              if got <> expect then
+                diverge run i "remove %d %s returned %b, oracle says %b" id (I.to_string iv)
+                  got expect
+              else if got then mirror_remove_one mirror id iv
+          | Fault.Probe x ->
+              let want =
+                List.sort compare
+                  (Hashtbl.fold
+                     (fun id iv acc -> if I.stabs iv x then id :: acc else acc)
+                     mirror [])
+              in
+              let got = List.sort compare (S.stab_ids t x) in
+              if got <> want then
+                diverge run i "stab %g returned %d ids, oracle says %d" x (List.length got)
+                  (List.length want));
+          let n = S.size t and m = Hashtbl.length mirror in
+          if n <> m then diverge run i "size %d, oracle says %d" n m;
+          if (i + 1) mod gap = 0 then
+            record_report run (S.audit t ~entries:(mirror_entries mirror))
+        with exn -> diverge run i "uncaught exception: %s" (Printexc.to_string exn))
+    stream;
+  record_report run (S.audit t ~entries:(mirror_entries mirror));
+  finish run ~ops ~final_size:(S.size t)
+
+module Itree_driver : STAB_INDEX = struct
+  module M = Cq_index.Interval_tree.Mutable
+
+  type t = int M.t
+
+  let name = "interval_tree"
+  let create ~seed:_ = M.create ()
+  let add t id iv = M.add t iv id
+  let remove t id iv = M.remove t iv (fun id' -> id' = id)
+
+  let stab_ids t x =
+    let acc = ref [] in
+    M.stab t x (fun _ id -> acc := id :: !acc);
+    !acc
+
+  let size = M.size
+  let audit t ~entries:_ = Invariant.interval_tree (M.snapshot t)
+end
+
+module Skiplist_driver : STAB_INDEX = struct
+  module M = Cq_index.Interval_skiplist
+
+  type t = int M.t
+
+  let name = "interval_skiplist"
+  let create ~seed = M.create ~seed ()
+  let add t id iv = M.add t iv id
+  let remove t id iv = M.remove t iv (fun id' -> id' = id)
+
+  let stab_ids t x =
+    let acc = ref [] in
+    M.stab t x (fun _ id -> acc := id :: !acc);
+    !acc
+
+  let size = M.size
+
+  let audit t ~entries =
+    let probes = List.concat_map (fun (_, iv) -> [ I.lo iv; I.midpoint iv; I.hi iv ]) entries in
+    let expected x = List.length (List.filter (fun (_, iv) -> I.stabs iv x) entries) in
+    Invariant.interval_skiplist ~probes ~expected t
+end
+
+module Pst_driver : STAB_INDEX = struct
+  module M = Cq_index.Priority_search_tree.Mutable
+
+  type t = int M.t
+
+  let name = "priority_search_tree"
+  let create ~seed = M.create ~seed ()
+  let add t id iv = M.add t iv id
+  let remove t id iv = M.remove t iv (fun id' -> id' = id)
+
+  let stab_ids t x =
+    let acc = ref [] in
+    M.stab t x (fun _ id -> acc := id :: !acc);
+    !acc
+
+  let size = M.size
+  let audit t ~entries:_ = Invariant.priority_search_tree (M.snapshot t)
+end
+
+(* Intervals embed into the R-tree as zero-height-free rectangles
+   [iv × [0,1]]; stabbing at y = 0.5 recovers 1-D stabbing. *)
+module Rtree_driver : STAB_INDEX = struct
+  module R = Cq_index.Rtree
+  module Rect = Cq_index.Rect
+
+  type t = int R.t
+
+  let name = "rtree"
+  let create ~seed:_ = R.create ()
+  let rect iv = Rect.make ~x:iv ~y:(I.make 0.0 1.0)
+  let add t id iv = R.insert t (rect iv) id
+  let remove t id iv = R.remove t (rect iv) (fun id' -> id' = id)
+
+  let stab_ids t x =
+    let acc = ref [] in
+    R.stab t ~x ~y:0.5 (fun _ id -> acc := id :: !acc);
+    !acc
+
+  let size = R.size
+  let audit t ~entries:_ = Invariant.rtree t
+end
+
+(* Treap elements are (id, interval), ordered primarily by left
+   endpoint as the partition algorithms require. *)
+module Elem = struct
+  type t = int * I.t
+
+  let compare (i1, v1) (i2, v2) =
+    match Float.compare (I.lo v1) (I.lo v2) with 0 -> Int.compare i1 i2 | c -> c
+
+  let interval (_, v) = v
+end
+
+module Tr = Cq_index.Treap.Make (Elem)
+module Tr_audit = Invariant.Treap (Elem) (Tr)
+
+module Treap_driver : STAB_INDEX = struct
+  type t = { rng : Rng.t; mutable tr : Tr.t }
+
+  let name = "treap"
+  let create ~seed = { rng = Rng.create seed; tr = Tr.empty }
+  let add t id iv = t.tr <- Tr.add t.rng (id, iv) t.tr
+
+  let remove t id iv =
+    match Tr.remove (id, iv) t.tr with
+    | Some tr ->
+        t.tr <- tr;
+        true
+    | None -> false
+
+  (* Each probe additionally exercises the Appendix-B SPLIT/JOIN pair:
+     the treap is split at the probe and rejoined before answering, so
+     a split/join bug corrupts the membership answer and gets caught. *)
+  let stab_ids t x =
+    let l, r = Tr.split_lo_le x t.tr in
+    t.tr <- Tr.join l r;
+    Tr.fold (fun acc (id, iv) -> if I.stabs iv x then id :: acc else acc) [] t.tr
+
+  let size t = Tr.size t.tr
+  let audit t ~entries:_ = Tr_audit.audit t.tr
+end
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree (keyed on interval left endpoints)                           *)
+(* ------------------------------------------------------------------ *)
+
+module Fkey = struct
+  type t = float
+
+  let compare = Float.compare
+end
+
+module Fbt = Cq_index.Btree.Make (Fkey)
+module Fbt_audit = Invariant.Btree (Fkey) (Fbt)
+
+let run_btree ~seed ~ops =
+  let run = make_run "btree" seed in
+  let t : int Fbt.t = Fbt.create () in
+  let stream = Fault.gen ~seed ~n:ops in
+  let mirror : (int, I.t) Hashtbl.t = Hashtbl.create 1024 in
+  let keys () = Hashtbl.fold (fun _ iv acc -> I.lo iv :: acc) mirror [] in
+  let gap = checkpoint_gap ops in
+  Array.iteri
+    (fun i op ->
+      if run.div = None then
+        try
+          (match op with
+          | Fault.Add { id; iv } | Fault.Re_add { id; iv } ->
+              Fbt.insert t (I.lo iv) id;
+              Hashtbl.add mirror id iv
+          | Fault.Remove { id; iv } | Fault.Remove_absent { id; iv } ->
+              let expect = mirror_mem mirror id iv in
+              let got = Fbt.remove_first t (I.lo iv) (fun id' -> id' = id) in
+              if got <> expect then
+                diverge run i "remove_first %d at %g returned %b, oracle says %b" id (I.lo iv)
+                  got expect
+              else if got then mirror_remove_one mirror id iv
+          | Fault.Probe x ->
+              let ks = keys () in
+              let want = List.length (List.filter (fun k -> k = x) ks) in
+              let got = Fbt.count_range t ~lo:x ~hi:x in
+              if got <> want then
+                diverge run i "count_range [%g,%g] = %d, oracle says %d" x x got want;
+              let le = List.filter (fun k -> k <= x) ks
+              and ge = List.filter (fun k -> k >= x) ks in
+              let left, right = Fbt.neighbours t x in
+              (match (left, le) with
+              | Some (k, _), _ :: _ ->
+                  let best = List.fold_left max neg_infinity le in
+                  if k <> best then diverge run i "left neighbour of %g is %g, oracle says %g" x k best
+              | None, [] -> ()
+              | _ -> diverge run i "left-neighbour presence at %g disagrees with oracle" x);
+              match (right, ge) with
+              | Some (k, _), _ :: _ ->
+                  let best = List.fold_left min infinity ge in
+                  if k <> best then
+                    diverge run i "right neighbour of %g is %g, oracle says %g" x k best
+              | None, [] -> ()
+              | _ -> diverge run i "right-neighbour presence at %g disagrees with oracle" x);
+          let n = Fbt.length t and m = Hashtbl.length mirror in
+          if n <> m then diverge run i "length %d, oracle says %d" n m;
+          if (i + 1) mod gap = 0 then record_report run (Fbt_audit.audit t)
+        with exn -> diverge run i "uncaught exception: %s" (Printexc.to_string exn))
+    stream;
+  record_report run (Fbt_audit.audit t);
+  finish run ~ops ~final_size:(Fbt.length t)
+
+(* ------------------------------------------------------------------ *)
+(* Set-like structures: hotspot tracker and the two partitions          *)
+(* ------------------------------------------------------------------ *)
+
+(* These reject duplicate inserts with Invalid_argument and hold at
+   most one copy of each element, so the mirror is a plain id -> iv
+   table and Re_add ops assert the rejection. *)
+type setlike = {
+  s_insert : int * I.t -> unit;
+  s_delete : int * I.t -> bool;
+  s_mem : int * I.t -> bool;
+  s_size : unit -> int;
+  s_audit : unit -> Invariant.report;
+}
+
+let run_setlike name s ~seed ~ops =
+  let run = make_run name seed in
+  let stream = Fault.gen ~seed ~n:ops in
+  let mirror : (int, I.t) Hashtbl.t = Hashtbl.create 1024 in
+  let gap = checkpoint_gap ops in
+  Array.iteri
+    (fun i op ->
+      if run.div = None then
+        try
+          (match op with
+          | Fault.Add { id; iv } ->
+              s.s_insert (id, iv);
+              Hashtbl.replace mirror id iv;
+              if not (s.s_mem (id, iv)) then diverge run i "mem is false right after insert"
+          | Fault.Re_add { id; iv } -> (
+              match s.s_insert (id, iv) with
+              | () -> diverge run i "duplicate insert of %d was accepted" id
+              | exception Invalid_argument _ -> ())
+          | Fault.Remove { id; iv } | Fault.Remove_absent { id; iv } ->
+              let expect = Hashtbl.mem mirror id in
+              let got = s.s_delete (id, iv) in
+              if got <> expect then
+                diverge run i "delete %d returned %b, oracle says %b" id got expect
+              else if got then Hashtbl.remove mirror id
+          | Fault.Probe _ -> ());
+          let n = s.s_size () and m = Hashtbl.length mirror in
+          if n <> m then diverge run i "size %d, oracle says %d" n m;
+          if (i + 1) mod gap = 0 then record_report run (s.s_audit ())
+        with exn -> diverge run i "uncaught exception: %s" (Printexc.to_string exn))
+    stream;
+  record_report run (s.s_audit ());
+  finish run ~ops ~final_size:(s.s_size ())
+
+module Tracker = Hotspot_core.Hotspot_tracker.Make (Elem)
+module Tracker_audit = Invariant.Tracker (Elem) (Tracker)
+
+let run_tracker ?(alpha = 0.05) ~seed ~ops () =
+  let t = Tracker.create ~alpha ~seed () in
+  run_setlike "hotspot_tracker"
+    {
+      s_insert = (fun e -> Tracker.insert t e);
+      s_delete = (fun e -> Tracker.delete t e);
+      s_mem = (fun e -> Tracker.mem t e);
+      s_size = (fun () -> Tracker.size t);
+      s_audit = (fun () -> Tracker_audit.audit t);
+    }
+    ~seed ~ops
+
+module Lazy_p = Hotspot_core.Lazy_partition.Make (Elem)
+module Refined_p = Hotspot_core.Refined_partition.Make (Elem)
+module Lazy_audit = Invariant.Partition (Elem) (Lazy_p)
+module Refined_audit = Invariant.Partition (Elem) (Refined_p)
+
+let run_lazy_partition ~seed ~ops =
+  let p = Lazy_p.create ~seed () in
+  run_setlike "lazy_partition"
+    {
+      s_insert = (fun e -> Lazy_p.insert p e);
+      s_delete = (fun e -> Lazy_p.delete p e);
+      s_mem = (fun e -> Lazy_p.mem p e);
+      s_size = (fun () -> Lazy_p.size p);
+      s_audit = (fun () -> Lazy_audit.audit ~name:"lazy_partition" p);
+    }
+    ~seed ~ops
+
+let run_refined_partition ~seed ~ops =
+  let p = Refined_p.create ~seed () in
+  run_setlike "refined_partition"
+    {
+      s_insert = (fun e -> Refined_p.insert p e);
+      s_delete = (fun e -> Refined_p.delete p e);
+      s_mem = (fun e -> Refined_p.mem p e);
+      s_size = (fun () -> Refined_p.size p);
+      s_audit = (fun () -> Refined_audit.audit ~name:"refined_partition" p);
+    }
+    ~seed ~ops
+
+(* ------------------------------------------------------------------ *)
+(* Whole-engine differential run                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Cq_engine.Engine
+module Tuple = Cq_relation.Tuple
+
+type q_kind = Band of I.t | Select of I.t * I.t
+
+type q_state = {
+  qid : int;
+  kind : q_kind;
+  sub : Engine.subscription;
+  mutable q_live : bool;
+  mutable actual : int; (* deliveries - retractions observed *)
+  mutable expect : int; (* same balance per the naive mirror *)
+}
+
+let q_matches q (r : Tuple.r) (s : Tuple.s) =
+  match q.kind with
+  | Band w -> I.stabs w (s.b -. r.b)
+  | Select (ra, rc) -> r.b = s.b && I.stabs ra r.a && I.stabs rc s.c
+
+let run_engine ~seed ~ops =
+  let run = make_run "engine" seed in
+  let eng = Engine.create ~alpha:0.1 ~seed () in
+  let stream = Fault.gen_engine ~seed ~n:ops in
+  let rng = Rng.create (seed + 0x9e37) in
+  let queries : q_state list ref = ref [] in
+  let r_live : Tuple.r list ref = ref [] in
+  let s_live : Tuple.s list ref = ref [] in
+  let next_qid = ref 0 in
+  let stray = ref None in
+  let gap = checkpoint_gap ops in
+  let subscribe i kind =
+    let qid = !next_qid in
+    incr next_qid;
+    let cell = ref None in
+    let guard delta _ _ =
+      match !cell with
+      | Some q when q.q_live -> q.actual <- q.actual + delta
+      | Some q when !stray = None -> stray := Some (q.qid, i)
+      | _ -> ()
+    in
+    let sub =
+      match kind with
+      | Band range -> Engine.subscribe_band eng ~on_retract:(guard (-1)) ~range (guard 1)
+      | Select (range_a, range_c) ->
+          Engine.subscribe_select eng ~on_retract:(guard (-1)) ~range_a ~range_c (guard 1)
+    in
+    let q = { qid; kind; sub; q_live = true; actual = 0; expect = 0 } in
+    cell := Some q;
+    queries := q :: !queries
+  in
+  let live_queries () = List.filter (fun q -> q.q_live) !queries in
+  (* Mirror the delivery semantics: completing a pair credits every
+     subscribed query it matches; deleting a tuple debits every
+     subscribed query once per live matching partner. *)
+  let credit_r delta r =
+    List.iter
+      (fun q ->
+        List.iter (fun s -> if q_matches q r s then q.expect <- q.expect + delta) !s_live)
+      (live_queries ())
+  in
+  let credit_s delta s =
+    List.iter
+      (fun q ->
+        List.iter (fun r -> if q_matches q r s then q.expect <- q.expect + delta) !r_live)
+      (live_queries ())
+  in
+  let pick l = match !l with [] -> None | xs -> Some (List.nth xs (Rng.int rng (List.length xs))) in
+  let checkpoint i =
+    List.iter
+      (fun q ->
+        if q.actual <> q.expect then
+          diverge run i "query %d balance %d, oracle says %d" q.qid q.actual q.expect)
+      !queries;
+    (match !stray with
+    | Some (qid, at) -> diverge run i "query %d received a result after unsubscribe (op %d)" qid at
+    | None -> ());
+    let st = Engine.stats eng in
+    let nr = List.length !r_live and ns = List.length !s_live in
+    if st.r_size <> nr then diverge run i "r_size %d, oracle says %d" st.r_size nr;
+    if st.s_size <> ns then diverge run i "s_size %d, oracle says %d" st.s_size ns;
+    record_report run (Invariant.engine eng)
+  in
+  Array.iteri
+    (fun i op ->
+      if run.div = None then
+        try
+          (match op with
+          | Fault.Sub_band { range } -> subscribe i (Band range)
+          | Fault.Sub_select { range_a; range_c } -> subscribe i (Select (range_a, range_c))
+          | Fault.Unsub_random -> (
+              match live_queries () with
+              | [] -> ()
+              | qs ->
+                  let q = List.nth qs (Rng.int rng (List.length qs)) in
+                  if not (Engine.unsubscribe eng q.sub) then
+                    diverge run i "unsubscribe of live query %d returned false" q.qid;
+                  q.q_live <- false)
+          | Fault.Ins_r { a; b } ->
+              let r, _ = Engine.insert_r eng ~a ~b in
+              credit_r 1 r;
+              r_live := r :: !r_live
+          | Fault.Ins_s { b; c } ->
+              let s, _ = Engine.insert_s eng ~b ~c in
+              credit_s 1 s;
+              s_live := s :: !s_live
+          | Fault.Del_r_random -> (
+              match pick r_live with
+              | None -> ()
+              | Some r -> (
+                  match Engine.delete_r eng r with
+                  | None -> diverge run i "delete_r of live tuple %d returned None" r.rid
+                  | Some _ ->
+                      r_live := List.filter (fun r' -> r'.Tuple.rid <> r.rid) !r_live;
+                      credit_r (-1) r))
+          | Fault.Del_s_random -> (
+              match pick s_live with
+              | None -> ()
+              | Some s -> (
+                  match Engine.delete_s eng s with
+                  | None -> diverge run i "delete_s of live tuple %d returned None" s.sid
+                  | Some _ ->
+                      s_live := List.filter (fun s' -> s'.Tuple.sid <> s.sid) !s_live;
+                      credit_s (-1) s))
+          | Fault.Reject_ins_r { a; b } -> (
+              match Engine.try_insert_r eng ~a ~b with
+              | Error _ -> ()
+              | Ok _ -> diverge run i "insert_r with non-finite attribute was accepted")
+          | Fault.Reject_sub_band -> (
+              match Engine.try_subscribe_band eng ~range:I.empty (fun _ _ -> ()) with
+              | Error _ -> ()
+              | Ok _ -> diverge run i "subscription with an empty window was accepted"));
+          if (i + 1) mod gap = 0 then checkpoint i
+        with exn -> diverge run i "uncaught exception: %s" (Printexc.to_string exn))
+    stream;
+  checkpoint (Array.length stream);
+  finish run ~ops ~final_size:(List.length !r_live + List.length !s_live)
+
+(* ------------------------------------------------------------------ *)
+(* The full battery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let index_drivers : (module STAB_INDEX) list =
+  [
+    (module Itree_driver);
+    (module Skiplist_driver);
+    (module Pst_driver);
+    (module Rtree_driver);
+    (module Treap_driver);
+  ]
+
+(* Build every structure from the same adversarial stream (mutations
+   only, single-copy semantics so the set-like structures can share
+   it), then deep-audit each one once. *)
+let audit_workload ~seed ~n =
+  let stream = Fault.gen ~seed ~n in
+  let mirror : (int, I.t) Hashtbl.t = Hashtbl.create 1024 in
+  let live = Hashtbl.create 1024 in
+  let apply ~add ~del =
+    Array.iter
+      (fun op ->
+        match op with
+        | Fault.Add { id; iv } ->
+            add id iv;
+            Hashtbl.replace live id iv
+        | Fault.Remove { id; iv } when Hashtbl.mem live id ->
+            del id iv;
+            Hashtbl.remove live id
+        | _ -> ())
+      stream;
+    Hashtbl.reset live
+  in
+  let index_reports =
+    List.map
+      (fun (module S : STAB_INDEX) ->
+        let t = S.create ~seed in
+        apply ~add:(S.add t) ~del:(fun id iv -> ignore (S.remove t id iv));
+        Hashtbl.reset mirror;
+        Array.iter
+          (function
+            | Fault.Add { id; iv } -> Hashtbl.replace mirror id iv
+            | Fault.Remove { id; _ } -> Hashtbl.remove mirror id
+            | _ -> ())
+          stream;
+        (S.name, S.audit t ~entries:(mirror_entries mirror)))
+      index_drivers
+  in
+  let bt : int Fbt.t = Fbt.create () in
+  apply
+    ~add:(fun id iv -> Fbt.insert bt (I.lo iv) id)
+    ~del:(fun id iv -> ignore (Fbt.remove_first bt (I.lo iv) (fun id' -> id' = id)));
+  let tr = Tracker.create ~alpha:0.05 ~seed () in
+  apply ~add:(fun id iv -> Tracker.insert tr (id, iv)) ~del:(fun id iv -> ignore (Tracker.delete tr (id, iv)));
+  let lp = Lazy_p.create ~seed () in
+  apply ~add:(fun id iv -> Lazy_p.insert lp (id, iv)) ~del:(fun id iv -> ignore (Lazy_p.delete lp (id, iv)));
+  let rp = Refined_p.create ~seed () in
+  apply ~add:(fun id iv -> Refined_p.insert rp (id, iv)) ~del:(fun id iv -> ignore (Refined_p.delete rp (id, iv)));
+  let eng = Engine.create ~alpha:0.1 ~seed () in
+  let rng = Rng.create (seed + 0x9e37) in
+  let subs = ref [] and rs = ref [] and ss = ref [] in
+  let pick l = match !l with [] -> None | xs -> Some (List.nth xs (Rng.int rng (List.length xs))) in
+  Array.iter
+    (fun op ->
+      match op with
+      | Fault.Sub_band { range } ->
+          subs := Engine.subscribe_band eng ~range (fun _ _ -> ()) :: !subs
+      | Fault.Sub_select { range_a; range_c } ->
+          subs := Engine.subscribe_select eng ~range_a ~range_c (fun _ _ -> ()) :: !subs
+      | Fault.Unsub_random -> (
+          match pick subs with
+          | None -> ()
+          | Some sub ->
+              ignore (Engine.unsubscribe eng sub);
+              subs := List.filter (fun s -> s != sub) !subs)
+      | Fault.Ins_r { a; b } -> rs := fst (Engine.insert_r eng ~a ~b) :: !rs
+      | Fault.Ins_s { b; c } -> ss := fst (Engine.insert_s eng ~b ~c) :: !ss
+      | Fault.Del_r_random -> (
+          match pick rs with
+          | None -> ()
+          | Some r ->
+              ignore (Engine.delete_r eng r);
+              rs := List.filter (fun r' -> r'.Tuple.rid <> r.rid) !rs)
+      | Fault.Del_s_random -> (
+          match pick ss with
+          | None -> ()
+          | Some s ->
+              ignore (Engine.delete_s eng s);
+              ss := List.filter (fun s' -> s'.Tuple.sid <> s.sid) !ss)
+      | Fault.Reject_ins_r _ | Fault.Reject_sub_band -> ())
+    (Fault.gen_engine ~seed ~n:(max 100 (n / 10)));
+  index_reports
+  @ [
+      ("btree", Fbt_audit.audit bt);
+      ("hotspot_tracker", Tracker_audit.audit tr);
+      ("lazy_partition", Lazy_audit.audit ~name:"lazy_partition" lp);
+      ("refined_partition", Refined_audit.audit ~name:"refined_partition" rp);
+      ("engine", Invariant.engine eng);
+    ]
+
+let fuzz_all ~seed ~ops =
+  let engine_ops = max 200 (ops / 10) in
+  List.map (fun d -> run_index d ~seed ~ops) index_drivers
+  @ [
+      run_btree ~seed ~ops;
+      run_tracker ~seed ~ops ();
+      run_lazy_partition ~seed ~ops;
+      run_refined_partition ~seed ~ops;
+      run_engine ~seed ~ops:engine_ops;
+    ]

@@ -1,0 +1,84 @@
+(** Differential testing: every structure in the stack runs an
+    adversarial {!Fault} stream next to a naive mirror (an O(n) scan
+    over a hashtable multiset — too slow to ship, too simple to be
+    wrong) and must agree with it on every answer.
+
+    A run stops at the {e first} divergence and reports the seed and
+    operation index, so any failure replays exactly:
+    [run_index d ~seed ~ops] with the printed seed reproduces it
+    bit-for-bit (the op stream, the treap priorities and the driver's
+    own choices are all derived from [seed]).  Invariant audits from
+    {!Invariant} run at checkpoints throughout and their violations are
+    collected alongside. *)
+
+type divergence = { structure : string; seed : int; op_index : int; detail : string }
+
+type outcome = {
+  structure : string;
+  seed : int;
+  ops : int;
+  final_size : int;
+  violations : Invariant.violation list;
+  divergence : divergence option;
+}
+
+val passed : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {2 Stabbing-index drivers}
+
+    The five 1-D-stabbing-capable indexes behind one interface; the
+    treap driver additionally split/joins at every probe, and the
+    R-tree driver embeds intervals as [iv × \[0,1\]] rectangles. *)
+
+module type STAB_INDEX = sig
+  type t
+
+  val name : string
+  val create : seed:int -> t
+  val add : t -> int -> Cq_interval.Interval.t -> unit
+  val remove : t -> int -> Cq_interval.Interval.t -> bool
+  val stab_ids : t -> float -> int list
+  val size : t -> int
+  val audit : t -> entries:(int * Cq_interval.Interval.t) list -> Invariant.report
+end
+
+module Itree_driver : STAB_INDEX
+module Skiplist_driver : STAB_INDEX
+module Pst_driver : STAB_INDEX
+module Rtree_driver : STAB_INDEX
+module Treap_driver : STAB_INDEX
+
+val index_drivers : (module STAB_INDEX) list
+
+val run_index : (module STAB_INDEX) -> seed:int -> ops:int -> outcome
+
+(** {2 Other structures} *)
+
+val run_btree : seed:int -> ops:int -> outcome
+(** B+-tree keyed on interval left endpoints: [count_range] and
+    [neighbours] checked against linear scans of the mirror. *)
+
+val run_tracker : ?alpha:float -> seed:int -> ops:int -> unit -> outcome
+(** Hotspot tracker (default [alpha] 0.05 so the hub clusters actually
+    promote): membership against the mirror, duplicate inserts must
+    raise, (I1)–(I3) audited at checkpoints. *)
+
+val run_lazy_partition : seed:int -> ops:int -> outcome
+val run_refined_partition : seed:int -> ops:int -> outcome
+
+val run_engine : seed:int -> ops:int -> outcome
+(** Whole-engine differential run: per-query delivery/retraction
+    balances against a brute-force join mirror, must-reject inputs
+    (NaN attributes, empty windows) asserted to return [Error],
+    callbacks after unsubscribe flagged, engine invariants audited at
+    checkpoints. *)
+
+val fuzz_all : seed:int -> ops:int -> outcome list
+(** The full battery (the engine runs [ops/10] operations, each one
+    being a full event cascade). *)
+
+val audit_workload : seed:int -> n:int -> (string * Invariant.report) list
+(** Build every structure from the same seeded adversarial stream and
+    run each deep audit once — no differential mirror, just the
+    invariant reports.  Powers [cqctl audit]. *)

@@ -375,6 +375,34 @@ let test_tracker_insert_into_hotspot () =
   Alcotest.(check bool) "member of hotspot" true
     (Tracker.hotspot_of t { E.iv = I.make 5.0 20.0; id = 50 } <> None)
 
+let test_tracker_isect_narrow_after_delete () =
+  (* Documented narrow-only behaviour of a hot group's maintained
+     intersection: deleting a member never re-widens it, so after the
+     narrow member [5,6] leaves a group of [0,10]s the stabbing point
+     stays inside [5,6] — narrower than the true common intersection,
+     but still stabbing every member (the only invariant promised). *)
+  let t = Tracker.create ~alpha:0.5 () in
+  let narrow = { E.iv = I.make 5.0 6.0; id = 0 } in
+  Tracker.insert t narrow;
+  let wide = List.init 3 (fun i -> { E.iv = I.make 0.0 10.0; id = 1 + i }) in
+  List.iter (Tracker.insert t) wide;
+  Alcotest.(check int) "one hot group" 1 (Tracker.num_hotspots t);
+  Alcotest.(check int) "all four members hot" 4
+    (let _, _, ms = List.hd (Tracker.hotspots t) in
+     List.length ms);
+  Alcotest.(check bool) "narrow member deleted" true (Tracker.delete t narrow);
+  Tracker.check_invariants t;
+  let gid, stab, members = List.hd (Tracker.hotspots t) in
+  Alcotest.(check int) "group survives with the wide members" 3 (List.length members);
+  Alcotest.(check (float 0.0)) "stab point pinned by the old narrow isect" stab
+    (Tracker.hotspot_stab t gid);
+  Alcotest.(check bool) "isect stayed narrow (not re-widened to [0,10])" true
+    (stab >= 5.0 && stab <= 6.0);
+  List.iter
+    (fun e ->
+      if not (I.stabs e.E.iv stab) then Alcotest.fail "narrowed stab point misses a member")
+    members
+
 let test_tracker_alpha_validation () =
   Alcotest.check_raises "bad alpha"
     (Invalid_argument "Hotspot_tracker.create: alpha must be in (0, 1]") (fun () ->
@@ -543,6 +571,8 @@ let () =
           Alcotest.test_case "promotes cluster" `Quick test_tracker_promotes_cluster;
           Alcotest.test_case "demotes on deletion" `Quick test_tracker_demotes_on_deletion;
           Alcotest.test_case "insert into hotspot" `Quick test_tracker_insert_into_hotspot;
+          Alcotest.test_case "isect narrow after delete" `Quick
+            test_tracker_isect_narrow_after_delete;
           Alcotest.test_case "alpha validation" `Quick test_tracker_alpha_validation;
           Alcotest.test_case "lookup errors" `Quick test_tracker_lookup_errors;
         ] );
