@@ -16,12 +16,24 @@ let bench_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see $(b,list)); default: all.")
   in
-  let run scale ids =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"DIR"
+          ~doc:"Also write one machine-readable BENCH_<id>.json per experiment into $(docv).")
+  in
+  let run scale json ids =
+    (match json with Some dir -> Cq_bench.Report.json_begin ~dir | None -> ());
+    let finish outcome =
+      if json <> None then Cq_bench.Report.json_end ();
+      outcome
+    in
     match ids with
     | [] ->
         Cq_bench.Registry.run_all scale;
         Cq_bench.Micro.run ();
-        `Ok ()
+        finish (`Ok ())
     | ids ->
         let rec go = function
           | [] -> `Ok ()
@@ -35,10 +47,10 @@ let bench_cmd =
                   go rest
               | None -> `Error (false, Printf.sprintf "unknown experiment %S (try: cqctl list)" id))
         in
-        go ids
+        finish (go ids)
   in
   let info = Cmd.info "bench" ~doc:"Run reproduction experiments (tables/figures/ablations)." in
-  Cmd.v info Term.(ret (const run $ scale_term $ ids))
+  Cmd.v info Term.(ret (const run $ scale_term $ json $ ids))
 
 let list_cmd =
   let run () =
@@ -108,12 +120,45 @@ let workload_cmd =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed; failures replay exactly under the same seed.")
 
+(* "itree" | "skiplist" | "treap" for a single backend, or "all". *)
+let backend_arg =
+  let parse s =
+    if s = "all" then Ok None
+    else
+      match Cq_index.Stab_backend.of_string s with
+      | Ok k -> Ok (Some k)
+      | Error msg -> Error (`Msg msg)
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "all"
+    | Some k -> Format.pp_print_string fmt (Cq_index.Stab_backend.to_string k)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Some Cq_index.Stab_backend.Itree)
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"Engine stabbing backend: $(b,itree), $(b,skiplist), $(b,treap), or $(b,all).")
+
+let backends_of = function Some k -> [ k ] | None -> Cq_index.Stab_backend.all
+
 let fuzz_cmd =
   let ops =
     Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"M" ~doc:"Operations per structure.")
   in
-  let run seed ops =
-    let outcomes = Cq_robust.Oracle.fuzz_all ~seed ~ops in
+  let run seed ops backend =
+    let outcomes =
+      match backends_of backend with
+      | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~seed ~ops ()
+      | b0 :: rest ->
+          (* One full battery, then the engine alone under each further
+             backend — the structure runs are backend-independent. *)
+          Cq_robust.Oracle.fuzz_all ~backend:b0 ~seed ~ops ()
+          @ List.map
+              (fun b ->
+                Cq_robust.Oracle.run_engine ~backend:b ~seed ~ops:(max 200 (ops / 10)) ())
+              rest
+      | [] -> []
+    in
     List.iter (fun o -> Format.printf "@[<v>%a@]@." Cq_robust.Oracle.pp_outcome o) outcomes;
     let bad = List.filter (fun o -> not (Cq_robust.Oracle.passed o)) outcomes in
     if bad = [] then (
@@ -130,7 +175,7 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: run a seeded adversarial operation stream against every \
           structure and a naive oracle; exit nonzero on any divergence or invariant violation.")
-    Term.(ret (const run $ seed_arg $ ops))
+    Term.(ret (const run $ seed_arg $ ops $ backend_arg))
 
 (* ------------------------------ audit ---------------------------------- *)
 
@@ -138,8 +183,12 @@ let audit_cmd =
   let n =
     Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Workload operations to build each structure from.")
   in
-  let run seed n =
-    let reports = Cq_robust.Oracle.audit_workload ~seed ~n in
+  let run seed n backend =
+    let reports =
+      List.concat_map
+        (fun b -> Cq_robust.Oracle.audit_workload ~backend:b ~seed ~n ())
+        (backends_of backend)
+    in
     let bad = ref 0 in
     List.iter
       (fun (name, report) ->
@@ -154,7 +203,7 @@ let audit_cmd =
        ~doc:
          "Build every structure from a seeded workload and run its deep invariant audit; \
           exit nonzero on any violation.")
-    Term.(ret (const run $ seed_arg $ n))
+    Term.(ret (const run $ seed_arg $ n $ backend_arg))
 
 let main =
   let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in

@@ -15,5 +15,9 @@ val ab_purist : Setup.scale -> unit
 val ab_stab_index : Setup.scale -> unit
 (** Interval tree vs interval skip list vs priority search tree. *)
 
+val ab_backend : Setup.scale -> unit
+(** The three pluggable stabbing backends under the same Hotspot
+    processors (band and select). *)
+
 val ab_adaptive : Setup.scale -> unit
 (** §6's per-event cost-based strategy routing. *)

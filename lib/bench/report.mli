@@ -21,3 +21,23 @@ val time_per_op : n:int -> (int -> unit) -> float
 val fmt_throughput : float -> string
 val fmt_ns : float -> string
 val fmt_f : float -> string
+
+(** {2 Machine-readable capture}
+
+    Between {!json_begin} and {!json_end}, every {!section} opens a
+    record, and {!note}/{!table}/{!throughput}/{!time_per_op} feed it;
+    each record is flushed to [DIR/BENCH_<id>.json] when the next
+    section starts (or at {!json_end}).  The JSON carries the
+    experiment id, title, recorded params, notes, raw metrics
+    ([events_per_sec] from {!throughput}, [ns_per_op] from
+    {!time_per_op}) and every printed table. *)
+
+val json_begin : dir:string -> unit
+(** Start recording; creates [dir] if missing. *)
+
+val json_end : unit -> unit
+(** Flush the last open record and stop recording. *)
+
+val json_param : string -> string -> unit
+(** Attach a key/value parameter to the current record (no-op when
+    recording is off or no section is open). *)

@@ -33,20 +33,30 @@ module Make (E : Partition_intf.ELEMENT) = struct
     mutable update_count : int;
   }
 
-  let create ?(alpha = 0.01) ?(epsilon = 1.0) ?(seed = 0x40757) ?(on_event = fun _ -> ()) () =
-    if alpha <= 0.0 || alpha > 1.0 then
-      invalid_arg "Hotspot_tracker.create: alpha must be in (0, 1]";
-    {
-      alpha;
-      on_event;
-      spart = Spart.create ~epsilon ~seed ();
-      hot = Hashtbl.create 16;
-      where_hot = EMap.empty;
-      next_gid = 0;
-      n = 0;
-      move_count = 0;
-      update_count = 0;
-    }
+  let try_create ?(alpha = 0.01) ?(epsilon = 1.0) ?(seed = 0x40757) ?(on_event = fun _ -> ())
+      () =
+    match
+      Cq_util.Error.both
+        (Cq_util.Error.in_unit_open_closed ~name:"alpha" alpha)
+        (Spart.try_create ~epsilon ~seed ())
+    with
+    | Error _ as e -> e
+    | Ok (alpha, spart) ->
+        Ok
+          {
+            alpha;
+            on_event;
+            spart;
+            hot = Hashtbl.create 16;
+            where_hot = EMap.empty;
+            next_gid = 0;
+            n = 0;
+            move_count = 0;
+            update_count = 0;
+          }
+
+  let create ?alpha ?epsilon ?seed ?on_event () =
+    Cq_util.Error.ok_exn (try_create ?alpha ?epsilon ?seed ?on_event ())
 
   let size t = t.n
   let num_hotspots t = Hashtbl.length t.hot

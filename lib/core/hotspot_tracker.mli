@@ -30,6 +30,17 @@ module Make (E : Partition_intf.ELEMENT) : sig
     | Scattered_added of E.t  (** Interval entered S (fresh insert or demotion). *)
     | Scattered_removed of E.t  (** Interval left S (deletion or promotion). *)
 
+  val try_create :
+    ?alpha:float ->
+    ?epsilon:float ->
+    ?seed:int ->
+    ?on_event:(event -> unit) ->
+    unit ->
+    (t, Cq_util.Error.t) result
+  (** [alpha] is the hotspot threshold (default 0.01); [epsilon] the
+      scattered-partition slack (default 1.0).  [Error] unless
+      [0 < alpha <= 1] and [epsilon > 0]. *)
+
   val create :
     ?alpha:float ->
     ?epsilon:float ->
@@ -37,9 +48,8 @@ module Make (E : Partition_intf.ELEMENT) : sig
     ?on_event:(event -> unit) ->
     unit ->
     t
-  (** [alpha] is the hotspot threshold (default 0.01); [epsilon] the
-      scattered-partition slack (default 1.0).
-      @raise Invalid_argument unless [0 < alpha <= 1] and [epsilon > 0]. *)
+  (** Like {!try_create}.
+      @raise Cq_util.Error.Cq_error on a bad [alpha] or [epsilon]. *)
 
   val size : t -> int
   val insert : t -> E.t -> unit

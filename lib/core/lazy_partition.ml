@@ -30,19 +30,24 @@ module Make (E : Partition_intf.ELEMENT) = struct
     mutable recon_count : int;
   }
 
-  let create ?(epsilon = 1.0) ?seed:_ () =
-    if epsilon <= 0.0 then invalid_arg "Lazy_partition.create: epsilon must be positive";
-    {
-      epsilon;
-      groups = Hashtbl.create 64;
-      gindex = Itree.Mutable.create ();
-      where = EMap.empty;
-      next_gid = 0;
-      n = 0;
-      tau0 = 0;
-      dels_since = 0;
-      recon_count = 0;
-    }
+  let try_create ?(epsilon = 1.0) ?seed:_ () =
+    match Cq_util.Error.positive ~name:"epsilon" epsilon with
+    | Error _ as e -> e
+    | Ok epsilon ->
+        Ok
+          {
+            epsilon;
+            groups = Hashtbl.create 64;
+            gindex = Itree.Mutable.create ();
+            where = EMap.empty;
+            next_gid = 0;
+            n = 0;
+            tau0 = 0;
+            dels_since = 0;
+            recon_count = 0;
+          }
+
+  let create ?epsilon ?seed () = Cq_util.Error.ok_exn (try_create ?epsilon ?seed ())
 
   let size t = t.n
   let num_groups t = Hashtbl.length t.groups

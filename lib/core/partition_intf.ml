@@ -23,9 +23,13 @@ module type S = sig
   type elt
   type t
 
-  val create : ?epsilon:float -> ?seed:int -> unit -> t
+  val try_create : ?epsilon:float -> ?seed:int -> unit -> (t, Cq_util.Error.t) result
   (** [epsilon] is the slack of Lemma 2/3 (default 1.0; the paper's
-      band-join experiments use 3.0).  @raise Invalid_argument if
+      band-join experiments use 3.0).  [Error] unless [epsilon] is
+      finite and positive. *)
+
+  val create : ?epsilon:float -> ?seed:int -> unit -> t
+  (** Like {!try_create}.  @raise Cq_util.Error.Cq_error if
       [epsilon <= 0]. *)
 
   val size : t -> int

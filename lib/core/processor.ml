@@ -1,0 +1,295 @@
+module I = Cq_interval.Interval
+
+(* Keep the library siblings reachable inside [Make], where [Ssi] and
+   [Hotspot] name the generated processors. *)
+module Ssi0 = Ssi
+module Tracker0 = Hotspot_tracker
+
+module Dedupe = struct
+  type t = {
+    seen : (int, int) Hashtbl.t;
+    mutable event : int;
+  }
+
+  let create () = { seen = Hashtbl.create 256; event = 0 }
+
+  let fresh d = d.event <- d.event + 1
+
+  let mark d qid =
+    match Hashtbl.find_opt d.seen qid with
+    | Some ev when ev = d.event -> false
+    | _ ->
+        Hashtbl.replace d.seen qid d.event;
+        true
+end
+
+module type QUERY = sig
+  type t
+  type event
+  type store
+  type result
+
+  val label : string
+  val qid : t -> int
+  val compare : t -> t -> int
+  val interval : t -> I.t
+  val scatter_interval : t -> I.t
+  val scatter_point : event -> float option
+  val probe : store -> t -> event -> (result -> unit) -> unit
+  val probe_hit : store -> t -> event -> bool
+
+  module Group : sig
+    type g
+
+    val create : unit -> g
+    val add : g -> t -> unit
+    val remove : g -> t -> unit
+    val size : g -> int
+    val check_invariants : g -> unit
+
+    val process :
+      store -> g -> stab:float -> event -> mark:(t -> bool) -> (t -> result -> unit) -> unit
+
+    val identify :
+      store -> g -> stab:float -> event -> mark:(t -> bool) -> (t -> unit) -> unit
+  end
+end
+
+module type STRATEGY = sig
+  type query
+  type event
+  type store
+  type result
+  type t
+
+  val name : string
+  val create : store -> query array -> t
+  val process_r : t -> event -> (query -> result -> unit) -> unit
+  val affected : t -> event -> (query -> unit) -> unit
+  val insert_query : t -> query -> unit
+  val delete_query : t -> query -> bool
+  val query_count : t -> int
+end
+
+module type PROCESSOR = sig
+  include STRATEGY
+
+  val create_cfg : ?alpha:float -> ?epsilon:float -> ?seed:int -> store -> query array -> t
+  val num_hotspots : t -> int
+  val coverage : t -> float
+  val check_invariants : t -> unit
+end
+
+type strategy = Hotspot | Ssi
+
+let strategies = [ Hotspot; Ssi ]
+
+let strategy_to_string = function Hotspot -> "hotspot" | Ssi -> "ssi"
+
+let strategy_of_string = function
+  | "hotspot" -> Ok Hotspot
+  | "ssi" -> Ok Ssi
+  | s -> Error (Printf.sprintf "unknown strategy %S (hotspot|ssi)" s)
+
+module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
+  module Elem = struct
+    type t = Q.t
+
+    let compare = Q.compare
+    let interval = Q.interval
+  end
+
+  module Tracker = Tracker0.Make (Elem)
+
+  module Hotspot = struct
+    type query = Q.t
+    type event = Q.event
+    type store = Q.store
+    type result = Q.result
+
+    type t = {
+      store : Q.store;
+      tracker : Tracker.t;
+      hot : (int, Q.Group.g) Hashtbl.t;
+      scattered : Q.t B.t;
+      dedupe : Dedupe.t;
+    }
+
+    let name = Q.label ^ "-Hotspot"
+
+    let create_cfg ?(alpha = 0.001) ?epsilon ?seed store queries =
+      let hot = Hashtbl.create 16 in
+      let scattered = B.create ~seed:(Option.value seed ~default:0x40757) in
+      let on_event = function
+        | Tracker.Hotspot_created (gid, members) ->
+            let g = Q.Group.create () in
+            List.iter (Q.Group.add g) members;
+            Hashtbl.replace hot gid g
+        | Tracker.Hotspot_destroyed (gid, _members) -> Hashtbl.remove hot gid
+        | Tracker.Hotspot_added (gid, q) -> Q.Group.add (Hashtbl.find hot gid) q
+        | Tracker.Hotspot_removed (gid, q) -> Q.Group.remove (Hashtbl.find hot gid) q
+        | Tracker.Scattered_added q -> B.add scattered (Q.scatter_interval q) q
+        | Tracker.Scattered_removed q ->
+            ignore (B.remove scattered (Q.scatter_interval q) (fun p -> Q.qid p = Q.qid q))
+      in
+      let tracker = Tracker.create ~alpha ?epsilon ?seed ~on_event () in
+      Array.iter (fun q -> Tracker.insert tracker q) queries;
+      { store; tracker; hot; scattered; dedupe = Dedupe.create () }
+
+    let create store queries = create_cfg store queries
+
+    (* Scattered queries are served individually; when the event
+       projects to a point on the scatter axis the backend prunes the
+       candidates with a stabbing query, otherwise every scattered
+       query is probed (band windows shift with the event, so no fixed
+       stabbing point exists). *)
+    let iter_scattered t ev f =
+      match Q.scatter_point ev with
+      | Some x -> B.stab t.scattered x f
+      | None -> B.iter t.scattered f
+
+    let process_r t ev sink =
+      Dedupe.fresh t.dedupe;
+      let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+      Hashtbl.iter
+        (fun gid g ->
+          let stab = Tracker.hotspot_stab t.tracker gid in
+          Q.Group.process t.store g ~stab ev ~mark sink)
+        t.hot;
+      iter_scattered t ev (fun q -> Q.probe t.store q ev (fun res -> sink q res))
+
+    let affected t ev report =
+      Dedupe.fresh t.dedupe;
+      let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+      Hashtbl.iter
+        (fun gid g ->
+          let stab = Tracker.hotspot_stab t.tracker gid in
+          Q.Group.identify t.store g ~stab ev ~mark report)
+        t.hot;
+      (* Hotspot and scattered sets are disjoint, so scattered hits
+         need no dedupe marking. *)
+      iter_scattered t ev (fun q -> if Q.probe_hit t.store q ev then report q)
+
+    let insert_query t q = Tracker.insert t.tracker q
+    let delete_query t q = Tracker.delete t.tracker q
+    let query_count t = Tracker.size t.tracker
+    let num_hotspots t = Tracker.num_hotspots t.tracker
+    let coverage t = Tracker.coverage t.tracker
+
+    (* The aux groups and the scattered index are maintained purely
+       from the tracker's event stream; verify they never drift from
+       the tracker's own view. *)
+    let check_invariants t =
+      Tracker.check_invariants t.tracker;
+      let fail fmt = Printf.ksprintf failwith fmt in
+      let hotspots = Tracker.hotspots t.tracker in
+      if List.length hotspots <> Hashtbl.length t.hot then
+        fail "%s: %d aux groups for %d hotspots" name (Hashtbl.length t.hot)
+          (List.length hotspots);
+      List.iter
+        (fun (gid, _, members) ->
+          match Hashtbl.find_opt t.hot gid with
+          | None -> fail "%s: hotspot %d has no aux group" name gid
+          | Some g ->
+              Q.Group.check_invariants g;
+              if Q.Group.size g <> List.length members then
+                fail "%s: hotspot %d aux group holds %d of %d members" name gid
+                  (Q.Group.size g) (List.length members))
+        hotspots;
+      let scattered = Tracker.scattered t.tracker in
+      B.check_invariants t.scattered;
+      if B.size t.scattered <> List.length scattered then
+        fail "%s: scattered index holds %d of %d queries" name (B.size t.scattered)
+          (List.length scattered)
+  end
+
+  module Ssi = struct
+    type query = Q.t
+    type event = Q.event
+    type store = Q.store
+    type result = Q.result
+
+    module G = struct
+      type elt = Q.t
+      type t = Q.Group.g
+
+      let build ~stab:_ members =
+        let g = Q.Group.create () in
+        Array.iter (Q.Group.add g) members;
+        g
+    end
+
+    module Index = Ssi0.Make (Elem) (G)
+
+    type t = {
+      store : Q.store;
+      queries : (int, Q.t) Hashtbl.t;
+      mutable index : Index.t;
+      mutable dirty : bool;
+      dedupe : Dedupe.t;
+    }
+
+    let name = Q.label ^ "-SSI"
+
+    let rebuild t =
+      let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
+      t.index <- Index.build (Array.of_list qs);
+      t.dirty <- false
+
+    let refresh t = if t.dirty then rebuild t
+
+    let create store queries =
+      let h = Hashtbl.create (max 16 (Array.length queries)) in
+      Array.iter (fun q -> Hashtbl.replace h (Q.qid q) q) queries;
+      {
+        store;
+        queries = h;
+        index = Index.build queries;
+        dirty = false;
+        dedupe = Dedupe.create ();
+      }
+
+    let create_cfg ?alpha:_ ?epsilon:_ ?seed:_ store queries = create store queries
+
+    let process_r t ev sink =
+      refresh t;
+      Dedupe.fresh t.dedupe;
+      let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+      Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink)
+
+    let affected t ev report =
+      refresh t;
+      Dedupe.fresh t.dedupe;
+      let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+      Index.iter t.index (fun ~stab g -> Q.Group.identify t.store g ~stab ev ~mark report)
+
+    let insert_query t q =
+      Hashtbl.replace t.queries (Q.qid q) q;
+      t.dirty <- true
+
+    let delete_query t q =
+      if Hashtbl.mem t.queries (Q.qid q) then begin
+        Hashtbl.remove t.queries (Q.qid q);
+        t.dirty <- true;
+        true
+      end
+      else false
+
+    let query_count t = Hashtbl.length t.queries
+    let num_hotspots _ = 0
+    let coverage _ = 0.0
+
+    let check_invariants t =
+      refresh t;
+      if Index.size t.index <> Hashtbl.length t.queries then
+        Printf.ksprintf failwith "%s: index holds %d of %d queries" name
+          (Index.size t.index) (Hashtbl.length t.queries)
+
+    (* Extras used by the adaptive dispatcher. *)
+    let num_groups t =
+      refresh t;
+      Index.num_groups t.index
+
+    let iter_queries t f = Hashtbl.iter (fun _ q -> f q) t.queries
+  end
+end

@@ -1,0 +1,190 @@
+(** The unified continuous-query processor core.
+
+    The paper's three applications — band joins (Section 3.1),
+    equality joins with local selections (Section 3.2), composite
+    queries (Section 6) — are all instances of one scheme: derive an
+    interval per query, maintain a stabbing partition (or only its
+    hotspots) over those intervals, keep a per-group auxiliary
+    structure, and process each event with the two-step group walk.
+    [Make] owns everything that scheme shares — per-event dedupe, the
+    hotspot-tracker subscription, SSI rebuild bookkeeping, query
+    insert/delete plumbing, invariant auditing — so each join module
+    only supplies its query geometry ({!QUERY}) and the processors fall
+    out as thin instantiations.
+
+    The stabbing index holding the scattered queries is itself a
+    functor parameter ({!Cq_index.Stab_backend.S}), so every backend
+    (interval tree, interval skip list, treap) drives identical
+    processing code. *)
+
+(** Per-event deduplication of affected queries: a query reachable
+    from both boundary scans of a group must be reported once. *)
+module Dedupe : sig
+  type t
+
+  val create : unit -> t
+  val fresh : t -> unit
+  (** Start a new event epoch. *)
+
+  val mark : t -> int -> bool
+  (** [mark d qid] is [true] the first time [qid] is marked in the
+      current epoch. *)
+end
+
+(** What a join application must provide: its query geometry and its
+    per-group structure. *)
+module type QUERY = sig
+  type t
+  (** The query. *)
+
+  type event
+  (** An incoming tuple of the driving relation. *)
+
+  type store
+  (** The indexed opposite relation the processors probe. *)
+
+  type result
+  (** A matched opposite-relation tuple. *)
+
+  val label : string
+  (** Short processor-name prefix ("BJ", "SJ", "CJ"). *)
+
+  val qid : t -> int
+  val compare : t -> t -> int
+
+  val interval : t -> Cq_interval.Interval.t
+  (** The interval the stabbing partition is computed on. *)
+
+  val scatter_interval : t -> Cq_interval.Interval.t
+  (** The interval scattered (non-hotspot) queries are indexed on —
+      may differ from {!interval} (SJ scatters on rangeA but
+      partitions on rangeC). *)
+
+  val scatter_point : event -> float option
+  (** Where the event stabs the scatter axis; [None] when the scatter
+      windows shift with the event (band joins), in which case every
+      scattered query is probed. *)
+
+  val probe : store -> t -> event -> (result -> unit) -> unit
+  (** Traditional per-query processing of one scattered query. *)
+
+  val probe_hit : store -> t -> event -> bool
+  (** Existence-only version of {!probe}. *)
+
+  (** The per-group auxiliary structure (sorted sequences for band
+      windows, an R-tree for select rectangles) with the group walk of
+      Section 3's STEP 1 / STEP 2. *)
+  module Group : sig
+    type g
+
+    val create : unit -> g
+    val add : g -> t -> unit
+    val remove : g -> t -> unit
+    val size : g -> int
+    val check_invariants : g -> unit
+
+    val process :
+      store -> g -> stab:float -> event -> mark:(t -> bool) -> (t -> result -> unit) -> unit
+    (** Emit every (member query, result) pair the event produces.
+        [mark] is the per-event dedupe: a member is considered
+        affected only when [mark] accepts it. *)
+
+    val identify :
+      store -> g -> stab:float -> event -> mark:(t -> bool) -> (t -> unit) -> unit
+    (** STEP 1 only: report affected members without enumerating
+        results. *)
+  end
+end
+
+(** The contract every event-processing strategy satisfies (the
+    per-join [STRATEGY] module types are this signature with the
+    four carrier types pinned). *)
+module type STRATEGY = sig
+  type query
+  type event
+  type store
+  type result
+  type t
+
+  val name : string
+
+  val create : store -> query array -> t
+  (** The store is shared, not copied: strategies see later updates
+      made through the store's own interface. *)
+
+  val process_r : t -> event -> (query -> result -> unit) -> unit
+
+  val affected : t -> event -> (query -> unit) -> unit
+  (** Identification only (the paper's STEP 1): report each affected
+      query exactly once, without enumerating its result tuples. *)
+
+  val insert_query : t -> query -> unit
+  val delete_query : t -> query -> bool
+  val query_count : t -> int
+end
+
+(** A strategy produced by {!Make}, with configuration knobs and
+    invariant auditing. *)
+module type PROCESSOR = sig
+  include STRATEGY
+
+  val create_cfg : ?alpha:float -> ?epsilon:float -> ?seed:int -> store -> query array -> t
+  (** [alpha] is the hotspot threshold (default 0.001), [epsilon] the
+      scattered-partition slack, [seed] the randomization seed; the
+      SSI processor ignores all three.
+      @raise Cq_util.Error.Cq_error on a bad [alpha] or [epsilon]. *)
+
+  val num_hotspots : t -> int
+  (** 0 for the SSI processor. *)
+
+  val coverage : t -> float
+  (** Fraction of queries inside hotspots; 0 for the SSI processor. *)
+
+  val check_invariants : t -> unit
+  (** @raise Failure on violation. *)
+end
+
+(** {2 Runtime strategy selection} *)
+
+type strategy = Hotspot | Ssi
+
+val strategies : strategy list
+val strategy_to_string : strategy -> string
+(** ["hotspot" | "ssi"] — the [cqctl] flag spellings. *)
+
+val strategy_of_string : string -> (strategy, string) result
+
+module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) : sig
+  module Tracker : module type of Hotspot_tracker.Make (struct
+    type t = Q.t
+
+    let compare = Q.compare
+    let interval = Q.interval
+  end)
+
+  (** SSI on the α-hotspots, per-query probing (pruned through [B]) on
+      the scattered remainder — Section 2.2 + the closing remark of
+      Section 3.1. *)
+  module Hotspot :
+    PROCESSOR
+      with type query = Q.t
+       and type event = Q.event
+       and type store = Q.store
+       and type result = Q.result
+
+  (** SSI over a static canonical partition of the whole query set,
+      rebuilt lazily after churn. *)
+  module Ssi : sig
+    include
+      PROCESSOR
+        with type query = Q.t
+         and type event = Q.event
+         and type store = Q.store
+         and type result = Q.result
+
+    val num_groups : t -> int
+    (** τ(I) of the current query set (refreshes the index first). *)
+
+    val iter_queries : t -> (query -> unit) -> unit
+  end
+end

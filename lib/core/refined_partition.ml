@@ -37,22 +37,27 @@ module Make (E : Partition_intf.ELEMENT) = struct
     mutable recon_count : int;
   }
 
-  let create ?(epsilon = 1.0) ?(seed = 0x5eed) () =
-    if epsilon <= 0.0 then invalid_arg "Refined_partition.create: epsilon must be positive";
-    {
-      epsilon;
-      rng = Cq_util.Rng.create seed;
-      olds = [||];
-      nonempty_olds = 0;
-      sing_gids = EMap.empty;
-      sing_by_gid = Hashtbl.create 64;
-      next_gid = 0;
-      n = 0;
-      tau0 = 0;
-      updates = 0;
-      dels_since = 0;
-      recon_count = 0;
-    }
+  let try_create ?(epsilon = 1.0) ?(seed = 0x5eed) () =
+    match Cq_util.Error.positive ~name:"epsilon" epsilon with
+    | Error _ as e -> e
+    | Ok epsilon ->
+        Ok
+          {
+            epsilon;
+            rng = Cq_util.Rng.create seed;
+            olds = [||];
+            nonempty_olds = 0;
+            sing_gids = EMap.empty;
+            sing_by_gid = Hashtbl.create 64;
+            next_gid = 0;
+            n = 0;
+            tau0 = 0;
+            updates = 0;
+            dels_since = 0;
+            recon_count = 0;
+          }
+
+  let create ?epsilon ?seed () = Cq_util.Error.ok_exn (try_create ?epsilon ?seed ())
 
   let size t = t.n
   let num_groups t = t.nonempty_olds + Hashtbl.length t.sing_by_gid

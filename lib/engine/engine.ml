@@ -5,10 +5,47 @@ module BQ = Cq_joins.Band_query
 module BJ = Cq_joins.Band_join
 module SQ = Cq_joins.Select_query
 module SJ = Cq_joins.Select_join
+module Err = Cq_util.Error
+
+module Config = struct
+  type t = {
+    alpha : float;
+    epsilon : float;
+    seed : int;
+    backend : Cq_index.Stab_backend.kind;
+    strategy : Hotspot_core.Processor.strategy;
+  }
+
+  let default =
+    {
+      alpha = 0.01;
+      epsilon = 1.0;
+      seed = 0x40757;
+      backend = Cq_index.Stab_backend.Itree;
+      strategy = Hotspot_core.Processor.Hotspot;
+    }
+end
 
 type subscription =
   | Band of { fwd : BQ.t; bwd : BQ.t }
   | Select of { fwd : SQ.t; bwd : SQ.t }
+
+(* The configured processors are chosen at engine creation time, so
+   each lives behind its module: an existential package pairing the
+   processor module with its state. *)
+type band_proc = Bproc : (module BJ.PROCESSOR with type t = 'a) * 'a -> band_proc
+type select_proc = Sproc : (module SJ.PROCESSOR with type t = 'a) * 'a -> select_proc
+
+(* One side of the symmetric engine.  A side processes the events for
+   which its tuples play the R role: its processors probe the {e other}
+   side's table, and [home] is where its own tuples are stored (always
+   in S shape — B stays the join key, the side-local attribute rides in
+   the other slot). *)
+type side = {
+  band : band_proc;
+  select : select_proc;
+  home : Table.s_table;
+}
 
 type t = {
   s_table : Table.s_table;
@@ -16,10 +53,8 @@ type t = {
      slot.  S-side events are processed against this mirror with the
      mirrored queries below. *)
   r_mirror : Table.s_table;
-  band_fwd : BJ.Hotspot.t;
-  band_bwd : BJ.Hotspot.t;
-  select_fwd : SJ.Hotspot.t;
-  select_bwd : SJ.Hotspot.t;
+  r_side : side;
+  s_side : side;
   band_cbs : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
   select_cbs : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
   band_retracts : (int, Tuple.r -> Tuple.s -> unit) Hashtbl.t;
@@ -31,24 +66,57 @@ type t = {
   mutable results : int;
 }
 
-module Err = Cq_util.Error
+(* Dispatch helpers over the existential packages. *)
+let band_process (Bproc ((module P), p)) r sink = P.process_r p r sink
+let band_insert (Bproc ((module P), p)) q = P.insert_query p q
+let band_delete (Bproc ((module P), p)) q = P.delete_query p q
+let band_count (Bproc ((module P), p)) = P.query_count p
+let band_check (Bproc ((module P), p)) = P.check_invariants p
+let band_hotspots (Bproc ((module P), p)) = P.num_hotspots p
+let band_coverage (Bproc ((module P), p)) = P.coverage p
+let select_process (Sproc ((module P), p)) r sink = P.process_r p r sink
+let select_insert (Sproc ((module P), p)) q = P.insert_query p q
+let select_delete (Sproc ((module P), p)) q = P.delete_query p q
+let select_count (Sproc ((module P), p)) = P.query_count p
+let select_check (Sproc ((module P), p)) = P.check_invariants p
+let select_hotspots (Sproc ((module P), p)) = P.num_hotspots p
+let select_coverage (Sproc ((module P), p)) = P.coverage p
 
-let try_create ?(alpha = 0.01) ?(seed = 0x40757) () =
-  match Err.in_unit_open_closed ~name:"alpha" alpha with
+let make_side (cfg : Config.t) ~probe ~home ~seed_base =
+  let (module BP : BJ.PROCESSOR) = BJ.processor cfg.strategy cfg.backend in
+  let (module SP : SJ.PROCESSOR) = SJ.processor cfg.strategy cfg.backend in
+  {
+    band =
+      Bproc
+        ( (module BP),
+          BP.create_cfg ~alpha:cfg.alpha ~epsilon:cfg.epsilon ~seed:seed_base probe [||] );
+    select =
+      Sproc
+        ( (module SP),
+          SP.create_cfg ~alpha:cfg.alpha ~epsilon:cfg.epsilon ~seed:(seed_base + 2) probe
+            [||] );
+    home;
+  }
+
+let try_create_cfg (cfg : Config.t) =
+  match
+    Err.both
+      (Err.in_unit_open_closed ~name:"alpha" cfg.alpha)
+      (Err.positive ~name:"epsilon" cfg.epsilon)
+  with
   | Error e -> Error e
-  | Ok alpha ->
+  | Ok _ ->
       let s_table = Table.create_s () in
       let r_mirror = Table.create_s () in
-      (* The four trackers get distinct derived seeds so their treap
-         priority streams stay independent. *)
+      (* The four processors get distinct derived seeds so their treap
+         priority streams stay independent: the R side takes seed and
+         seed+2, the S side seed+1 and seed+3. *)
       Ok
         {
           s_table;
           r_mirror;
-          band_fwd = BJ.Hotspot.create_alpha ~alpha ~seed s_table [||];
-          band_bwd = BJ.Hotspot.create_alpha ~alpha ~seed:(seed + 1) r_mirror [||];
-          select_fwd = SJ.Hotspot.create_alpha ~alpha ~seed:(seed + 2) s_table [||];
-          select_bwd = SJ.Hotspot.create_alpha ~alpha ~seed:(seed + 3) r_mirror [||];
+          r_side = make_side cfg ~probe:s_table ~home:r_mirror ~seed_base:cfg.seed;
+          s_side = make_side cfg ~probe:r_mirror ~home:s_table ~seed_base:(cfg.seed + 1);
           band_cbs = Hashtbl.create 64;
           select_cbs = Hashtbl.create 64;
           band_retracts = Hashtbl.create 64;
@@ -60,7 +128,21 @@ let try_create ?(alpha = 0.01) ?(seed = 0x40757) () =
           results = 0;
         }
 
-let create ?alpha ?seed () = Err.ok_exn (try_create ?alpha ?seed ())
+let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
+
+let try_create ?alpha ?epsilon ?seed ?backend ?strategy () =
+  let d = Config.default in
+  try_create_cfg
+    {
+      alpha = Option.value alpha ~default:d.alpha;
+      epsilon = Option.value epsilon ~default:d.epsilon;
+      seed = Option.value seed ~default:d.seed;
+      backend = Option.value backend ~default:d.backend;
+      strategy = Option.value strategy ~default:d.strategy;
+    }
+
+let create ?alpha ?epsilon ?seed ?backend ?strategy () =
+  Err.ok_exn (try_create ?alpha ?epsilon ?seed ?backend ?strategy ())
 
 let fresh_qid t =
   let q = t.next_qid in
@@ -77,8 +159,8 @@ let try_subscribe_band t ?on_retract ~range cb =
     let qid = fresh_qid t in
     let fwd = BQ.make ~qid ~range in
     let bwd = BQ.make ~qid ~range:(negate_range range) in
-    BJ.Hotspot.insert_query t.band_fwd fwd;
-    BJ.Hotspot.insert_query t.band_bwd bwd;
+    band_insert t.r_side.band fwd;
+    band_insert t.s_side.band bwd;
     Hashtbl.replace t.band_cbs qid cb;
     (match on_retract with Some f -> Hashtbl.replace t.band_retracts qid f | None -> ());
     Ok (Band { fwd; bwd })
@@ -95,8 +177,8 @@ let try_subscribe_select t ?on_retract ~range_a ~range_c cb =
     let fwd = SQ.make ~qid ~range_a ~range_c in
     (* Mirror swaps the roles of the two selection axes. *)
     let bwd = SQ.make ~qid ~range_a:range_c ~range_c:range_a in
-    SJ.Hotspot.insert_query t.select_fwd fwd;
-    SJ.Hotspot.insert_query t.select_bwd bwd;
+    select_insert t.r_side.select fwd;
+    select_insert t.s_side.select bwd;
     Hashtbl.replace t.select_cbs qid cb;
     (match on_retract with Some f -> Hashtbl.replace t.select_retracts qid f | None -> ());
     Ok (Select { fwd; bwd })
@@ -107,24 +189,24 @@ let subscribe_select t ?on_retract ~range_a ~range_c cb =
 
 let unsubscribe t = function
   | Band { fwd; bwd } ->
-      let ok = BJ.Hotspot.delete_query t.band_fwd fwd in
+      let ok = band_delete t.r_side.band fwd in
       if ok then begin
-        ignore (BJ.Hotspot.delete_query t.band_bwd bwd);
+        ignore (band_delete t.s_side.band bwd);
         Hashtbl.remove t.band_cbs fwd.BQ.qid;
         Hashtbl.remove t.band_retracts fwd.BQ.qid
       end;
       ok
   | Select { fwd; bwd } ->
-      let ok = SJ.Hotspot.delete_query t.select_fwd fwd in
+      let ok = select_delete t.r_side.select fwd in
       if ok then begin
-        ignore (SJ.Hotspot.delete_query t.select_bwd bwd);
+        ignore (select_delete t.s_side.select bwd);
         Hashtbl.remove t.select_cbs fwd.SQ.qid;
         Hashtbl.remove t.select_retracts fwd.SQ.qid
       end;
       ok
 
-let band_query_count t = BJ.Hotspot.query_count t.band_fwd
-let select_query_count t = SJ.Hotspot.query_count t.select_fwd
+let band_query_count t = band_count t.r_side.band
+let select_query_count t = select_count t.r_side.select
 
 let log_src = Logs.Src.create "cq.engine" ~doc:"continuous-query engine"
 
@@ -149,6 +231,40 @@ let deliver_select t (q : SQ.t) r s =
   | None -> ());
   t.results <- t.results + 1
 
+(* Both encodings are one and the same transposition: the join key B
+   stays put, the side-local attribute crosses to the other slot.  An
+   R-tuple stored in S shape, and a probe-table row decoded back into
+   R shape, go through these. *)
+let to_row (r : Tuple.r) = { Tuple.sid = r.rid; b = r.b; c = r.a }
+let of_row (s : Tuple.s) = { Tuple.rid = s.sid; a = s.c; b = s.b }
+
+(* The symmetric event path, written once and driven by both sides:
+   the event — encoded in the R role for [side]'s processors — is run
+   through the side's band and select processors, then stored in the
+   side's home table so future events on the other side can see it. *)
+let ingest t side pseudo ~on_band ~on_select =
+  t.events <- t.events + 1;
+  band_process side.band pseudo on_band;
+  select_process side.select pseudo on_select;
+  Table.insert_s side.home (to_row pseudo)
+
+(* Deletion, likewise: the tuple leaves the home table first (it must
+   not join with itself), then the very machinery that produced its
+   result pairs at insertion time recomputes them as retractions. *)
+let retract t side pseudo ~on_band ~on_select =
+  if not (Table.delete_s side.home (to_row pseudo)) then None
+  else begin
+    t.events <- t.events + 1;
+    let count = ref 0 in
+    band_process side.band pseudo (fun q s ->
+        incr count;
+        on_band q s);
+    select_process side.select pseudo (fun q s ->
+        incr count;
+        on_select q s);
+    Some !count
+  end
+
 (* Attribute values must be finite: a NaN join key admitted into the
    B-trees breaks their total order silently — by far the nastiest
    corruption the fuzz harness found a route to. *)
@@ -156,12 +272,10 @@ let insert_r_unchecked t ~a ~b =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
   let r = { Tuple.rid; a; b } in
-  t.events <- t.events + 1;
   let before = t.results in
-  BJ.Hotspot.process_r t.band_fwd r (fun q s -> deliver_band t q r s);
-  SJ.Hotspot.process_r t.select_fwd r (fun q s -> deliver_select t q r s);
-  (* Make the tuple visible to future S-side events. *)
-  Table.insert_s t.r_mirror { Tuple.sid = rid; b; c = a };
+  ingest t t.r_side r
+    ~on_band:(fun q s -> deliver_band t q r s)
+    ~on_select:(fun q s -> deliver_select t q r s);
   (r, t.results - before)
 
 let try_insert_r t ~a ~b =
@@ -171,21 +285,16 @@ let try_insert_r t ~a ~b =
 
 let insert_r t ~a ~b = Err.ok_exn (try_insert_r t ~a ~b)
 
-let decode_r (ms : Tuple.s) = { Tuple.rid = ms.sid; a = ms.c; b = ms.b }
-
 let insert_s_unchecked t ~b ~c =
   let sid = t.next_sid in
   t.next_sid <- sid + 1;
   let s = { Tuple.sid; b; c } in
-  t.events <- t.events + 1;
   let before = t.results in
-  (* Process through the mirror: the new S-tuple plays the R role. *)
-  let pseudo_r = { Tuple.rid = sid; a = c; b } in
-  BJ.Hotspot.process_r t.band_bwd pseudo_r (fun q mirror ->
-      deliver_band t q (decode_r mirror) s);
-  SJ.Hotspot.process_r t.select_bwd pseudo_r (fun q mirror ->
-      deliver_select t q (decode_r mirror) s);
-  Table.insert_s t.s_table s;
+  (* Through the mirror: the new S-tuple plays the R role, and the
+     probe results are r_mirror rows decoded back into R shape. *)
+  ingest t t.s_side (of_row s)
+    ~on_band:(fun q mirror -> deliver_band t q (of_row mirror) s)
+    ~on_select:(fun q mirror -> deliver_select t q (of_row mirror) s);
   (s, t.results - before)
 
 let try_insert_s t ~b ~c =
@@ -236,66 +345,48 @@ let try_load_r t rows =
 
 let load_r t rows = Err.ok_exn (try_load_r t rows)
 
-(* The result pairs a tuple contributed are recomputed by the same
-   group-processing machinery that found them at insertion time; each
-   becomes a retraction. *)
+let find_retract tbl qid = Hashtbl.find_opt tbl qid
+
 let delete_r t (r : Tuple.r) =
-  let mirror = { Tuple.sid = r.rid; b = r.b; c = r.a } in
-  if not (Table.delete_s t.r_mirror mirror) then None
-  else begin
-    t.events <- t.events + 1;
-    let count = ref 0 in
-    BJ.Hotspot.process_r t.band_fwd r (fun q s ->
-        incr count;
-        match Hashtbl.find_opt t.band_retracts q.BQ.qid with
-        | Some f -> protected f r s
-        | None -> ());
-    SJ.Hotspot.process_r t.select_fwd r (fun q s ->
-        incr count;
-        match Hashtbl.find_opt t.select_retracts q.SQ.qid with
-        | Some f -> protected f r s
-        | None -> ());
-    Some !count
-  end
+  retract t t.r_side r
+    ~on_band:(fun (q : BQ.t) s ->
+      match find_retract t.band_retracts q.qid with
+      | Some f -> protected f r s
+      | None -> ())
+    ~on_select:(fun (q : SQ.t) s ->
+      match find_retract t.select_retracts q.qid with
+      | Some f -> protected f r s
+      | None -> ())
 
 let delete_s t (s : Tuple.s) =
-  if not (Table.delete_s t.s_table s) then None
-  else begin
-    t.events <- t.events + 1;
-    let count = ref 0 in
-    let pseudo_r = { Tuple.rid = s.sid; a = s.c; b = s.b } in
-    BJ.Hotspot.process_r t.band_bwd pseudo_r (fun q mirror ->
-        incr count;
-        match Hashtbl.find_opt t.band_retracts q.BQ.qid with
-        | Some f -> protected f (decode_r mirror) s
-        | None -> ());
-    SJ.Hotspot.process_r t.select_bwd pseudo_r (fun q mirror ->
-        incr count;
-        match Hashtbl.find_opt t.select_retracts q.SQ.qid with
-        | Some f -> protected f (decode_r mirror) s
-        | None -> ());
-    Some !count
-  end
+  retract t t.s_side (of_row s)
+    ~on_band:(fun (q : BQ.t) mirror ->
+      match find_retract t.band_retracts q.qid with
+      | Some f -> protected f (of_row mirror) s
+      | None -> ())
+    ~on_select:(fun (q : SQ.t) mirror ->
+      match find_retract t.select_retracts q.qid with
+      | Some f -> protected f (of_row mirror) s
+      | None -> ())
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in
-  BJ.Hotspot.check_invariants t.band_fwd;
-  BJ.Hotspot.check_invariants t.band_bwd;
-  SJ.Hotspot.check_invariants t.select_fwd;
-  SJ.Hotspot.check_invariants t.select_bwd;
+  band_check t.r_side.band;
+  band_check t.s_side.band;
+  select_check t.r_side.select;
+  select_check t.s_side.select;
   (* Forward and mirrored query sets are registered/cancelled in
      lockstep. *)
-  if BJ.Hotspot.query_count t.band_fwd <> BJ.Hotspot.query_count t.band_bwd then
+  if band_count t.r_side.band <> band_count t.s_side.band then
     fail "engine: %d forward band queries but %d mirrored"
-      (BJ.Hotspot.query_count t.band_fwd)
-      (BJ.Hotspot.query_count t.band_bwd);
-  if SJ.Hotspot.query_count t.select_fwd <> SJ.Hotspot.query_count t.select_bwd then
+      (band_count t.r_side.band) (band_count t.s_side.band);
+  if select_count t.r_side.select <> select_count t.s_side.select then
     fail "engine: %d forward select queries but %d mirrored"
-      (SJ.Hotspot.query_count t.select_fwd)
-      (SJ.Hotspot.query_count t.select_bwd);
-  if Hashtbl.length t.band_cbs <> BJ.Hotspot.query_count t.band_fwd then
+      (select_count t.r_side.select)
+      (select_count t.s_side.select);
+  if Hashtbl.length t.band_cbs <> band_count t.r_side.band then
     fail "engine: band callback table out of sync with query set";
-  if Hashtbl.length t.select_cbs <> SJ.Hotspot.query_count t.select_fwd then
+  if Hashtbl.length t.select_cbs <> select_count t.r_side.select then
     fail "engine: select callback table out of sync with query set";
   if Table.s_size t.s_table > t.next_sid then fail "engine: |S| exceeds issued sids";
   if Table.s_size t.r_mirror > t.next_rid then fail "engine: |R| exceeds issued rids"
@@ -317,10 +408,10 @@ let stats t =
     s_size = Table.s_size t.s_table;
     events_processed = t.events;
     results_delivered = t.results;
-    band_hotspots = BJ.Hotspot.num_hotspots t.band_fwd;
-    band_coverage = BJ.Hotspot.coverage t.band_fwd;
-    select_hotspots = SJ.Hotspot.num_hotspots t.select_fwd;
-    select_coverage = SJ.Hotspot.coverage t.select_fwd;
+    band_hotspots = band_hotspots t.r_side.band;
+    band_coverage = band_coverage t.r_side.band;
+    select_hotspots = select_hotspots t.r_side.select;
+    select_coverage = select_coverage t.r_side.select;
   }
 
 let pp_stats fmt s =

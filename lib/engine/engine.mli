@@ -9,9 +9,43 @@
     S-shaped table (B as the join key, A in the C slot) together with
     mirrored queries (band windows negated, rangeA/rangeC swapped), so
     a new S-tuple is processed by the very same SSI machinery with the
-    roles of the relations exchanged. *)
+    roles of the relations exchanged.  Internally both directions are
+    one code path: a [side] value packages the processors that probe
+    the other side's table, and the R and S sides drive it with the
+    roles swapped.
+
+    The processors themselves are chosen per engine through
+    {!Config}: any {!Hotspot_core.Processor.strategy} (hotspot-tracked
+    or plain SSI) over any {!Cq_index.Stab_backend.kind} (interval
+    tree, interval skip list, or treap-based priority search tree). *)
 
 type t
+
+module Config : sig
+  type t = {
+    alpha : float;
+        (** Hotspot threshold passed to the trackers; must lie in
+            (0, 1].  Default 0.01. *)
+    epsilon : float;
+        (** Slack of the (1+ε)-approximate scattered partitions; must
+            be positive.  Default 1.0 (the paper's band-join
+            experiments use ε = 3). *)
+    seed : int;
+        (** Seeds the four processors' randomised partitions (each
+            gets a distinct derived seed): two engines built with the
+            same seed and fed the same event sequence evolve
+            identically, bit for bit.  Default [0x40757]. *)
+    backend : Cq_index.Stab_backend.kind;
+        (** Stabbing index used for the scattered query sets.
+            Default [Itree]. *)
+    strategy : Hotspot_core.Processor.strategy;
+        (** [Hotspot] (SSI on α-hotspots + per-query probing on the
+            scattered remainder, the default) or [Ssi] (one static
+            stabbing partition over all queries). *)
+  }
+
+  val default : t
+end
 
 type subscription
 (** Handle for cancelling a registered continuous query. *)
@@ -27,14 +61,28 @@ type subscription
     {!Cq_util.Error.Cq_error} (never a bare [Invalid_argument]) on the
     same conditions. *)
 
-val try_create : ?alpha:float -> ?seed:int -> unit -> (t, Cq_util.Error.t) result
-(** [alpha] is the hotspot threshold passed to the trackers (default
-    0.01; must lie in (0, 1]).  [seed] (default [0x40757]) seeds the
-    four internal trackers' randomised partitions: two engines built
-    with the same seed and fed the same event sequence evolve
-    identically, bit for bit. *)
+val try_create_cfg : Config.t -> (t, Cq_util.Error.t) result
+val create_cfg : Config.t -> t
 
-val create : ?alpha:float -> ?seed:int -> unit -> t
+val try_create :
+  ?alpha:float ->
+  ?epsilon:float ->
+  ?seed:int ->
+  ?backend:Cq_index.Stab_backend.kind ->
+  ?strategy:Hotspot_core.Processor.strategy ->
+  unit ->
+  (t, Cq_util.Error.t) result
+(** Per-knob convenience over {!try_create_cfg}; unspecified knobs
+    take their {!Config.default} values. *)
+
+val create :
+  ?alpha:float ->
+  ?epsilon:float ->
+  ?seed:int ->
+  ?backend:Cq_index.Stab_backend.kind ->
+  ?strategy:Hotspot_core.Processor.strategy ->
+  unit ->
+  t
 
 (** {2 Continuous queries} *)
 

@@ -288,6 +288,18 @@ let stab_list t key =
   stab t key (fun iv p -> acc := (iv, p) :: !acc);
   List.rev !acc
 
+(* Every entry's placement walk registers it in the eq set of its left
+   endpoint node, so scanning level 0 and reporting each entry at the
+   node matching its left endpoint visits each exactly once. *)
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        Hashtbl.iter (fun _ e -> if I.lo e.iv = n.key then f e.iv e.payload) n.eq;
+        go n.forward.(0)
+  in
+  go t.header.forward.(0)
+
 (* ----------------------------------------------------------------------- *)
 (* Invariants                                                                *)
 (* ----------------------------------------------------------------------- *)

@@ -36,6 +36,10 @@ val stab : 'a t -> float -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
 val stab_count : 'a t -> float -> int
 val stab_list : 'a t -> float -> (Cq_interval.Interval.t * 'a) list
 
+val iter : 'a t -> (Cq_interval.Interval.t -> 'a -> unit) -> unit
+(** Visit every stored (interval, payload) exactly once, in increasing
+    left-endpoint order (ties in arbitrary order). *)
+
 val check_invariants : 'a t -> unit
 (** Node ordering, marker placement/coverage invariants.
     @raise Failure on violation. *)

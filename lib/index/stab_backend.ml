@@ -1,0 +1,76 @@
+module I = Cq_interval.Interval
+
+module type S = sig
+  type 'a t
+
+  val name : string
+  val create : seed:int -> 'a t
+  val size : 'a t -> int
+  val add : 'a t -> I.t -> 'a -> unit
+  val remove : 'a t -> I.t -> ('a -> bool) -> bool
+  val stab : 'a t -> float -> ('a -> unit) -> unit
+  val iter : 'a t -> ('a -> unit) -> unit
+  val check_invariants : 'a t -> unit
+end
+
+module Interval_tree : S = struct
+  module M = Interval_tree.Mutable
+
+  type 'a t = 'a M.t
+
+  let name = "interval_tree"
+  let create ~seed:_ = M.create ()
+  let size = M.size
+  let add = M.add
+  let remove = M.remove
+  let stab t x f = M.stab t x (fun _ p -> f p)
+  let iter t f = Interval_tree.iter (fun _ p -> f p) (M.snapshot t)
+  let check_invariants t = Interval_tree.check_invariants (M.snapshot t)
+end
+
+module Interval_skiplist : S = struct
+  module M = Interval_skiplist
+
+  type 'a t = 'a M.t
+
+  let name = "interval_skiplist"
+  let create ~seed = M.create ~seed ()
+  let size = M.size
+  let add = M.add
+  let remove = M.remove
+  let stab t x f = M.stab t x (fun _ p -> f p)
+  let iter t f = M.iter t (fun _ p -> f p)
+  let check_invariants = M.check_invariants
+end
+
+module Treap : S = struct
+  module M = Priority_search_tree.Mutable
+
+  type 'a t = 'a M.t
+
+  let name = "priority_search_tree"
+  let create ~seed = M.create ~seed ()
+  let size = M.size
+  let add = M.add
+  let remove = M.remove
+  let stab t x f = M.stab t x (fun _ p -> f p)
+  let iter t f = Priority_search_tree.iter (fun _ p -> f p) (M.snapshot t)
+  let check_invariants t = Priority_search_tree.check_invariants (M.snapshot t)
+end
+
+type kind = Itree | Skiplist | Treap_pst
+
+let all = [ Itree; Skiplist; Treap_pst ]
+
+let to_string = function Itree -> "itree" | Skiplist -> "skiplist" | Treap_pst -> "treap"
+
+let of_string = function
+  | "itree" | "interval_tree" -> Ok Itree
+  | "skiplist" | "interval_skiplist" -> Ok Skiplist
+  | "treap" | "pst" | "priority_search_tree" -> Ok Treap_pst
+  | s -> Error (Printf.sprintf "unknown stabbing backend %S (itree|skiplist|treap)" s)
+
+let backend : kind -> (module S) = function
+  | Itree -> (module Interval_tree)
+  | Skiplist -> (module Interval_skiplist)
+  | Treap_pst -> (module Treap)

@@ -1,0 +1,72 @@
+(** First-class pluggable stabbing-index backends.
+
+    Every structure in this library that answers 1-D stabbing queries
+    — the augmented interval tree, the interval skip list, the
+    treap-based priority search tree — is packaged here behind one
+    imperative signature, so processors can be functorized over the
+    index rather than hard-wiring one.  The paper itself treats the
+    choice as open ("an index on ranges, e.g., priority search tree or
+    external interval tree"); making it a parameter lets the ablation
+    harness and the fuzz oracle drive every candidate through the same
+    code. *)
+
+(** The backend contract: a mutable multiset of (interval, payload)
+    entries supporting stabbing queries and full iteration. *)
+module type S = sig
+  type 'a t
+
+  val name : string
+  (** Short stable identifier ("interval_tree", "interval_skiplist",
+      "priority_search_tree"). *)
+
+  val create : seed:int -> 'a t
+  (** [seed] feeds any internal randomization (skip-list levels, treap
+      priorities); deterministic backends ignore it.  Fixing the seed
+      makes a run reproducible bit-for-bit. *)
+
+  val size : 'a t -> int
+
+  val add : 'a t -> Cq_interval.Interval.t -> 'a -> unit
+  (** Duplicates (even identical interval + payload) are kept.
+      @raise Invalid_argument on an empty interval. *)
+
+  val remove : 'a t -> Cq_interval.Interval.t -> ('a -> bool) -> bool
+  (** Remove one entry with exactly this interval and a matching
+      payload; [false] if absent. *)
+
+  val stab : 'a t -> float -> ('a -> unit) -> unit
+  (** Visit the payload of every stored interval containing [x]. *)
+
+  val iter : 'a t -> ('a -> unit) -> unit
+  (** Visit every stored payload exactly once. *)
+
+  val check_invariants : 'a t -> unit
+  (** The backend's own structural invariants.  @raise Failure. *)
+end
+
+module Interval_tree : S
+(** Augmented AVL interval tree ({!Cq_index.Interval_tree.Mutable});
+    deterministic, ignores the seed. *)
+
+module Interval_skiplist : S
+(** Hanson–Johnson interval skip list ({!Cq_index.Interval_skiplist}). *)
+
+module Treap : S
+(** Treap-based priority search tree
+    ({!Cq_index.Priority_search_tree.Mutable}). *)
+
+(** {2 Runtime selection}
+
+    A nominal tag for configuration records and CLI flags; resolve it
+    to an implementation with {!backend}. *)
+
+type kind = Itree | Skiplist | Treap_pst
+
+val all : kind list
+
+val to_string : kind -> string
+(** ["itree" | "skiplist" | "treap"] — the [cqctl] flag spellings. *)
+
+val of_string : string -> (kind, string) result
+
+val backend : kind -> (module S)

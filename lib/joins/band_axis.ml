@@ -1,0 +1,97 @@
+module I = Cq_interval.Interval
+module Table = Cq_relation.Table
+module Tuple = Cq_relation.Tuple
+module Fbt = Table.Fbt
+module Vec = Cq_util.Vec
+
+let window_nonempty table w =
+  match Fbt.seek_ge (Table.s_by_b table) (I.lo w) with
+  | Some c -> Fbt.key c <= I.hi w
+  | None -> false
+
+module Make (X : sig
+  type q
+
+  val qid : q -> int
+  val axis : q -> I.t
+end) =
+struct
+  (* Endpoint sequences as B-trees so membership changes cost O(log)
+     instead of a rebuild. *)
+  type g = {
+    by_lo : X.q Fbt.t;
+    by_hi : X.q Fbt.t; (* keyed on the right endpoint *)
+  }
+
+  let create () = { by_lo = Fbt.create (); by_hi = Fbt.create () }
+
+  let add g q =
+    Fbt.insert g.by_lo (I.lo (X.axis q)) q;
+    Fbt.insert g.by_hi (I.hi (X.axis q)) q
+
+  let remove g q =
+    ignore (Fbt.remove_first g.by_lo (I.lo (X.axis q)) (fun p -> X.qid p = X.qid q));
+    ignore (Fbt.remove_first g.by_hi (I.hi (X.axis q)) (fun p -> X.qid p = X.qid q))
+
+  let size g = Fbt.length g.by_lo
+
+  let check_invariants g =
+    Fbt.check_invariants g.by_lo;
+    Fbt.check_invariants g.by_hi;
+    if Fbt.length g.by_lo <> Fbt.length g.by_hi then
+      failwith "Band_axis: endpoint sequences out of sync"
+
+  (* Members in increasing left-endpoint order, stopping when [k]
+     returns false (early exit is the point of the sorted sequences). *)
+  let iter_lo g k =
+    let rec go = function
+      | Some c -> if k (Fbt.value c) then go (Fbt.next c)
+      | None -> ()
+    in
+    go (Fbt.seek_ge g.by_lo neg_infinity)
+
+  (* Members in decreasing right-endpoint order. *)
+  let iter_hi g k =
+    let rec go = function
+      | Some c -> if k (Fbt.value c) then go (Fbt.prev c)
+      | None -> ()
+    in
+    go (Fbt.seek_le g.by_hi infinity)
+
+  let step1 table (r : Tuple.r) g ~stab ~mark =
+    let b = r.b in
+    let key = stab +. b in
+    let sb = Table.s_by_b table in
+    (* Anchors around the stabbing point offset: c2 = leftmost entry
+       >= key; c1 = its predecessor (rightmost entry < key), or the
+       last entry when c2 is exhausted.  On an exact match the key's
+       duplicates all sit on the forward side, so the two scans never
+       meet. *)
+    let c2 = Fbt.seek_ge sb key in
+    let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
+    let affected = Vec.create () in
+    if not (c1 = None && c2 = None) then begin
+      let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
+      let consider q = if mark q then Vec.push affected q in
+      if exact then
+        (* The S-tuple at the stabbing point joins with every member. *)
+        iter_lo g (fun q ->
+            consider q;
+            true)
+      else begin
+        (match c1 with
+        | Some c ->
+            let s1_shift = Fbt.key c -. b in
+            iter_lo g (fun q ->
+                if I.lo (X.axis q) <= s1_shift then (consider q; true) else false)
+        | None -> ());
+        match c2 with
+        | Some c ->
+            let s2_shift = Fbt.key c -. b in
+            iter_hi g (fun q ->
+                if I.hi (X.axis q) >= s2_shift then (consider q; true) else false)
+        | None -> ()
+      end
+    end;
+    (affected, c1, c2)
+end

@@ -1,0 +1,45 @@
+(** Shared STEP-1 machinery for stabbing groups partitioned on a band
+    (S.B − R.B) axis — the group walk of Section 3.1 that both the
+    band-join and composite-query processors instantiate.
+
+    An incoming R-tuple shifts every member window by its B value; the
+    two S-tuples closest to the shifted stabbing point certify which
+    members are affected: a member whose window reaches the left
+    anchor (scanned in increasing left-endpoint order) or the right
+    anchor (scanned in decreasing right-endpoint order) has at least
+    one joining S-tuple. *)
+
+val window_nonempty : Cq_relation.Table.s_table -> Cq_interval.Interval.t -> bool
+(** Does the S.B index hold any value inside the window? *)
+
+module Make (X : sig
+  type q
+
+  val qid : q -> int
+  val axis : q -> Cq_interval.Interval.t
+end) : sig
+  type g
+  (** A group's members in two sorted endpoint sequences. *)
+
+  val create : unit -> g
+  val add : g -> X.q -> unit
+  val remove : g -> X.q -> unit
+  val size : g -> int
+
+  val check_invariants : g -> unit
+  (** @raise Failure on violation. *)
+
+  val step1 :
+    Cq_relation.Table.s_table ->
+    Cq_relation.Tuple.r ->
+    g ->
+    stab:float ->
+    mark:(X.q -> bool) ->
+    X.q Cq_util.Vec.t
+    * Cq_relation.Tuple.s Cq_relation.Table.Fbt.cursor option
+    * Cq_relation.Tuple.s Cq_relation.Table.Fbt.cursor option
+  (** Affected members (those accepted by [mark]) plus the two anchor
+      cursors on the S.B index for the caller's STEP 2 walk:
+      [(affected, c1, c2)] with [c1] the rightmost entry below the
+      shifted stabbing point and [c2] the leftmost at or above it. *)
+end

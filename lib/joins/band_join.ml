@@ -4,50 +4,26 @@ module Tuple = Cq_relation.Tuple
 module Fbt = Table.Fbt
 module Itree = Cq_index.Interval_tree
 module Vec = Cq_util.Vec
+module Processor = Hotspot_core.Processor
+module Dedupe = Processor.Dedupe
 
 type sink = Band_query.t -> Tuple.s -> unit
 
-module type STRATEGY = sig
-  type t
+module type STRATEGY =
+  Processor.STRATEGY
+    with type query := Band_query.t
+     and type event := Tuple.r
+     and type store := Table.s_table
+     and type result := Tuple.s
 
-  val name : string
-  val create : Table.s_table -> Band_query.t array -> t
-  val process_r : t -> Tuple.r -> sink -> unit
+module type PROCESSOR =
+  Processor.PROCESSOR
+    with type query = Band_query.t
+     and type event = Tuple.r
+     and type store = Table.s_table
+     and type result = Tuple.s
 
-  val affected : t -> Tuple.r -> (Band_query.t -> unit) -> unit
-
-  val insert_query : t -> Band_query.t -> unit
-  val delete_query : t -> Band_query.t -> bool
-  val query_count : t -> int
-end
-
-(* Per-event deduplication of affected queries: a query containing both
-   boundary tuples is reachable from both scans. *)
-type dedupe = {
-  seen : (int, int) Hashtbl.t;
-  mutable event : int;
-}
-
-let new_dedupe () = { seen = Hashtbl.create 256; event = 0 }
-
-let fresh_event d =
-  d.event <- d.event + 1;
-  d.event
-
-let mark d q =
-  let qid = q.Band_query.qid in
-  match Hashtbl.find_opt d.seen qid with
-  | Some ev when ev = d.event -> false
-  | _ ->
-      Hashtbl.replace d.seen qid d.event;
-      true
-
-(* Existence probe shared by the per-query strategies: does the
-   instantiated window contain any S.B value? *)
-let window_nonempty table w =
-  match Fbt.seek_ge (Table.s_by_b table) (I.lo w) with
-  | Some c -> Fbt.key c <= I.hi w
-  | None -> false
+let window_nonempty = Band_axis.window_nonempty
 
 (* --------------------------------------------------------------------- *)
 (* BJ-QOuter: queries as the outer relation                                *)
@@ -98,7 +74,7 @@ module Douter = struct
        dynamic priority search tree; an augmented interval tree has the
        same O(log n + k) stabbing bound and O(log n) updates). *)
     windows : Band_query.t Itree.Mutable.t;
-    dedupe : dedupe;
+    dedupe : Dedupe.t;
   }
 
   let name = "BJ-D"
@@ -106,17 +82,17 @@ module Douter = struct
   let create table queries =
     let windows = Itree.Mutable.create () in
     Array.iter (fun (q : Band_query.t) -> Itree.Mutable.add windows q.range q) queries;
-    { table; windows; dedupe = new_dedupe () }
+    { table; windows; dedupe = Dedupe.create () }
 
   let process_r t (r : Tuple.r) sink =
     Table.iter_s t.table (fun s ->
         Itree.Mutable.stab t.windows (s.b -. r.b) (fun _ q -> sink q s))
 
   let affected t (r : Tuple.r) report =
-    ignore (fresh_event t.dedupe);
+    Dedupe.fresh t.dedupe;
     Table.iter_s t.table (fun s ->
-        Itree.Mutable.stab t.windows (s.b -. r.b) (fun _ q ->
-            if mark t.dedupe q then report q))
+        Itree.Mutable.stab t.windows (s.b -. r.b) (fun _ (q : Band_query.t) ->
+            if Dedupe.mark t.dedupe q.qid then report q))
 
   let insert_query t (q : Band_query.t) = Itree.Mutable.add t.windows q.range q
 
@@ -274,54 +250,19 @@ module Shared = struct
 end
 
 (* --------------------------------------------------------------------- *)
-(* Shared SSI group processing (STEP 1 + STEP 2 of Section 3.1)            *)
+(* The shared processor core: groups on the band axis, STEP 2 walking     *)
+(* the S.B leaves outward from the anchors (Section 3.1)                  *)
 (* --------------------------------------------------------------------- *)
 
-(* STEP 1 for one stabbing group against an incoming r: find the
-   affected queries.  [iter_lo f] visits members in increasing
-   left-endpoint order, [iter_hi f] in decreasing right-endpoint
-   order; both must stop when [f] returns [false] (early exit is the
-   point of the sorted sequences).  Returns the affected queries with
-   the two anchor cursors for STEP 2. *)
-let group_step1 table dedupe (r : Tuple.r) ~stab ~iter_lo ~iter_hi =
-  let b = r.b in
-  let key = stab +. b in
-  let sb = Table.s_by_b table in
-  (* Anchors around the stabbing point offset: c2 = leftmost entry
-     >= key; c1 = its predecessor (rightmost entry < key), or the last
-     entry when c2 is exhausted.  On an exact match the key's
-     duplicates all sit on the forward side, so the two scans never
-     meet. *)
-  let c2 = Fbt.seek_ge sb key in
-  let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
-  let affected = Vec.create () in
-  if not (c1 = None && c2 = None) then begin
-    let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
-    let consider q = if mark dedupe q then Vec.push affected q in
-    if exact then
-      (* The S-tuple at the stabbing point joins with every member. *)
-      iter_lo (fun q ->
-          consider q;
-          true)
-    else begin
-      (match c1 with
-      | Some c ->
-          let s1_shift = Fbt.key c -. b in
-          iter_lo (fun (q : Band_query.t) ->
-              if I.lo q.range <= s1_shift then (consider q; true) else false)
-      | None -> ());
-      match c2 with
-      | Some c ->
-          let s2_shift = Fbt.key c -. b in
-          iter_hi (fun (q : Band_query.t) ->
-              if I.hi q.range >= s2_shift then (consider q; true) else false)
-      | None -> ()
-    end
-  end;
-  (affected, c1, c2)
+module G = Band_axis.Make (struct
+  type q = Band_query.t
 
-let process_group table dedupe (r : Tuple.r) (sink : sink) ~stab ~iter_lo ~iter_hi =
-  let affected, c1, c2 = group_step1 table dedupe r ~stab ~iter_lo ~iter_hi in
+  let qid (q : Band_query.t) = q.qid
+  let axis (q : Band_query.t) = q.range
+end)
+
+let process_group table g ~stab (r : Tuple.r) ~mark (sink : sink) =
+  let affected, c1, c2 = G.step1 table r g ~stab ~mark in
   let b = r.b in
   (* STEP 2: for each affected query, walk the leaves outward from the
      anchors, emitting until the instantiated window ends. *)
@@ -344,88 +285,67 @@ let process_group table dedupe (r : Tuple.r) (sink : sink) ~stab ~iter_lo ~iter_
       fwd c2)
     affected
 
-let identify_group table dedupe r report ~stab ~iter_lo ~iter_hi =
-  let affected, _, _ = group_step1 table dedupe r ~stab ~iter_lo ~iter_hi in
+let identify_group table g ~stab r ~mark report =
+  let affected, _, _ = G.step1 table r g ~stab ~mark in
   Vec.iter report affected
 
-let iter_lo_of_array members k =
-  let n = Array.length members in
-  let rec go i = if i < n && k members.(i) then go (i + 1) in
-  go 0
+module Core_query = struct
+  type t = Band_query.t
+  type event = Tuple.r
+  type store = Table.s_table
+  type result = Tuple.s
 
-let iter_hi_of_array by_hi k = iter_lo_of_array by_hi k
+  let label = "BJ"
+  let qid (q : Band_query.t) = q.qid
+  let compare = Band_query.Elem.compare
+  let interval (q : Band_query.t) = q.range
+  let scatter_interval = interval
 
-(* --------------------------------------------------------------------- *)
-(* BJ-SSI over a static canonical partition                                *)
-(* --------------------------------------------------------------------- *)
+  (* Band windows shift with the event's B value, so scattered queries
+     have no fixed stabbing point: each is probed individually. *)
+  let scatter_point _ = None
 
-module Group_seqs = struct
-  type elt = Band_query.t
+  let probe table (q : Band_query.t) (r : Tuple.r) emit =
+    let w = Band_query.instantiated q ~b:r.b in
+    Fbt.iter_range (Table.s_by_b table) ~lo:(I.lo w) ~hi:(I.hi w) (fun _ s -> emit s)
 
-  type t = {
-    by_lo : Band_query.t array; (* increasing left endpoint *)
-    by_hi : Band_query.t array; (* decreasing right endpoint *)
-  }
+  let probe_hit table q (r : Tuple.r) =
+    window_nonempty table (Band_query.instantiated q ~b:r.b)
 
-  let build ~stab:_ members =
-    let by_hi = Array.copy members in
-    Array.sort (fun (a : Band_query.t) b -> I.compare_hi_desc a.range b.range) by_hi;
-    { by_lo = members; by_hi }
+  module Group = struct
+    type g = G.g
+
+    let create = G.create
+    let add = G.add
+    let remove = G.remove
+    let size = G.size
+    let check_invariants = G.check_invariants
+    let process store g ~stab ev ~mark sink = process_group store g ~stab ev ~mark sink
+    let identify store g ~stab ev ~mark report = identify_group store g ~stab ev ~mark report
+  end
 end
 
-module Ssi_index = Hotspot_core.Ssi.Make (Band_query.Elem) (Group_seqs)
+module Make_core (B : Cq_index.Stab_backend.S) = Processor.Make (Core_query) (B)
+module C_itree = Make_core (Cq_index.Stab_backend.Interval_tree)
+module C_skiplist = Make_core (Cq_index.Stab_backend.Interval_skiplist)
+module C_treap = Make_core (Cq_index.Stab_backend.Treap)
 
-module Ssi = struct
-  type t = {
-    table : Table.s_table;
-    queries : (int, Band_query.t) Hashtbl.t;
-    mutable index : Ssi_index.t;
-    mutable dirty : bool;
-    dedupe : dedupe;
-  }
+module Ssi = C_itree.Ssi
 
-  let name = "BJ-SSI"
+module Hotspot = struct
+  include C_itree.Hotspot
 
-  let rebuild t =
-    let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
-    t.index <- Ssi_index.build (Array.of_list qs);
-    t.dirty <- false
-
-  let create table queries =
-    let h = Hashtbl.create (max 16 (Array.length queries)) in
-    Array.iter (fun (q : Band_query.t) -> Hashtbl.replace h q.qid q) queries;
-    { table; queries = h; index = Ssi_index.build queries; dirty = false; dedupe = new_dedupe () }
-
-  let process_r t r sink =
-    if t.dirty then rebuild t;
-    ignore (fresh_event t.dedupe);
-    Ssi_index.iter t.index (fun ~stab (g : Group_seqs.t) ->
-        process_group t.table t.dedupe r sink ~stab
-          ~iter_lo:(iter_lo_of_array g.by_lo)
-          ~iter_hi:(iter_hi_of_array g.by_hi))
-
-  let affected t r report =
-    if t.dirty then rebuild t;
-    ignore (fresh_event t.dedupe);
-    Ssi_index.iter t.index (fun ~stab (g : Group_seqs.t) ->
-        identify_group t.table t.dedupe r report ~stab
-          ~iter_lo:(iter_lo_of_array g.by_lo)
-          ~iter_hi:(iter_hi_of_array g.by_hi))
-
-  let insert_query t q =
-    Hashtbl.replace t.queries q.Band_query.qid q;
-    t.dirty <- true
-
-  let delete_query t (q : Band_query.t) =
-    if Hashtbl.mem t.queries q.qid then begin
-      Hashtbl.remove t.queries q.qid;
-      t.dirty <- true;
-      true
-    end
-    else false
-
-  let query_count t = Hashtbl.length t.queries
+  let create_alpha ~alpha ?seed table queries = create_cfg ~alpha ?seed table queries
 end
+
+let processor strategy kind : (module PROCESSOR) =
+  match (strategy, kind) with
+  | Processor.Hotspot, Cq_index.Stab_backend.Itree -> (module C_itree.Hotspot)
+  | Processor.Hotspot, Cq_index.Stab_backend.Skiplist -> (module C_skiplist.Hotspot)
+  | Processor.Hotspot, Cq_index.Stab_backend.Treap_pst -> (module C_treap.Hotspot)
+  | Processor.Ssi, Cq_index.Stab_backend.Itree -> (module C_itree.Ssi)
+  | Processor.Ssi, Cq_index.Stab_backend.Skiplist -> (module C_skiplist.Ssi)
+  | Processor.Ssi, Cq_index.Stab_backend.Treap_pst -> (module C_treap.Ssi)
 
 (* --------------------------------------------------------------------- *)
 (* BJ-SSI over the dynamically maintained partition (Appendix B)           *)
@@ -436,8 +356,7 @@ module P = Hotspot_core.Refined_partition.Make (Band_query.Elem)
 module Ssi_dynamic = struct
   type aux = {
     stab : float;
-    by_lo : Band_query.t array;
-    by_hi : Band_query.t array;
+    g : G.g;
   }
 
   type t = {
@@ -448,7 +367,7 @@ module Ssi_dynamic = struct
        surgical; reconstructions retire every group id at once. *)
     cache : (int, aux) Hashtbl.t;
     mutable last_recon : int;
-    dedupe : dedupe;
+    dedupe : Dedupe.t;
   }
 
   let name = "BJ-SSI(dyn)"
@@ -468,7 +387,7 @@ module Ssi_dynamic = struct
       part;
       cache = Hashtbl.create 64;
       last_recon = P.reconstructions part;
-      dedupe = new_dedupe ();
+      dedupe = Dedupe.create ();
     }
 
   let create table queries = create_eps ~epsilon:3.0 table queries
@@ -477,35 +396,32 @@ module Ssi_dynamic = struct
     match Hashtbl.find_opt t.cache gid with
     | Some a -> a
     | None ->
-        let members = Array.of_list (P.group_members t.part gid) in
-        Array.sort (fun (a : Band_query.t) b -> I.compare_lo a.range b.range) members;
-        let by_hi = Array.copy members in
-        Array.sort (fun (a : Band_query.t) b -> I.compare_hi_desc a.range b.range) by_hi;
+        let members = P.group_members t.part gid in
+        let g = G.create () in
+        List.iter (G.add g) members;
         let isect =
-          Array.fold_left (fun acc (q : Band_query.t) -> I.inter acc q.range)
+          List.fold_left (fun acc (q : Band_query.t) -> I.inter acc q.range)
             (I.make neg_infinity infinity) members
         in
-        let a = { stab = I.hi isect; by_lo = members; by_hi } in
+        let a = { stab = I.hi isect; g } in
         Hashtbl.replace t.cache gid a;
         a
 
   let process_r t r sink =
     sync t;
-    ignore (fresh_event t.dedupe);
+    Dedupe.fresh t.dedupe;
+    let mark (q : Band_query.t) = Dedupe.mark t.dedupe q.qid in
     P.iter_group_sizes t.part (fun gid _size ->
         let a = aux_of t gid in
-        process_group t.table t.dedupe r sink ~stab:a.stab
-          ~iter_lo:(iter_lo_of_array a.by_lo)
-          ~iter_hi:(iter_hi_of_array a.by_hi))
+        process_group t.table a.g ~stab:a.stab r ~mark sink)
 
   let affected t r report =
     sync t;
-    ignore (fresh_event t.dedupe);
+    Dedupe.fresh t.dedupe;
+    let mark (q : Band_query.t) = Dedupe.mark t.dedupe q.qid in
     P.iter_group_sizes t.part (fun gid _size ->
         let a = aux_of t gid in
-        identify_group t.table t.dedupe r report ~stab:a.stab
-          ~iter_lo:(iter_lo_of_array a.by_lo)
-          ~iter_hi:(iter_hi_of_array a.by_hi))
+        identify_group t.table a.g ~stab:a.stab r ~mark report)
 
   let insert_query t q =
     P.insert t.part q;
@@ -528,144 +444,6 @@ module Ssi_dynamic = struct
   let query_count t = P.size t.part
   let num_groups t = P.num_groups t.part
   let reconstructions t = P.reconstructions t.part
-end
-
-(* --------------------------------------------------------------------- *)
-(* SSI + hotspot tracking: BJ-SSI on hotspots, BJ-QOuter on the rest       *)
-(* --------------------------------------------------------------------- *)
-
-module Tracker = Hotspot_core.Hotspot_tracker.Make (Band_query.Elem)
-
-module Hotspot = struct
-  (* Per-hotspot sequences as B-trees so membership changes cost
-     O(log) instead of a rebuild. *)
-  type haux = {
-    by_lo : Band_query.t Fbt.t;
-    by_hi : Band_query.t Fbt.t; (* keyed on the right endpoint *)
-  }
-
-  type t = {
-    table : Table.s_table;
-    tracker : Tracker.t;
-    hot : (int, haux) Hashtbl.t;
-    scattered : (int, Band_query.t) Hashtbl.t;
-    dedupe : dedupe;
-  }
-
-  let name = "BJ-Hotspot"
-
-  let haux_add h (q : Band_query.t) =
-    Fbt.insert h.by_lo (I.lo q.range) q;
-    Fbt.insert h.by_hi (I.hi q.range) q
-
-  let haux_remove h (q : Band_query.t) =
-    ignore (Fbt.remove_first h.by_lo (I.lo q.range) (fun p -> p.Band_query.qid = q.qid));
-    ignore (Fbt.remove_first h.by_hi (I.hi q.range) (fun p -> p.Band_query.qid = q.qid))
-
-  let create_alpha ~alpha ?seed table queries =
-    let hot = Hashtbl.create 16 in
-    let scattered = Hashtbl.create 256 in
-    let on_event = function
-      | Tracker.Hotspot_created (gid, members) ->
-          let h = { by_lo = Fbt.create (); by_hi = Fbt.create () } in
-          List.iter (haux_add h) members;
-          Hashtbl.replace hot gid h
-      | Tracker.Hotspot_destroyed (gid, _members) -> Hashtbl.remove hot gid
-      | Tracker.Hotspot_added (gid, q) -> haux_add (Hashtbl.find hot gid) q
-      | Tracker.Hotspot_removed (gid, q) -> haux_remove (Hashtbl.find hot gid) q
-      | Tracker.Scattered_added q -> Hashtbl.replace scattered q.Band_query.qid q
-      | Tracker.Scattered_removed q -> Hashtbl.remove scattered q.Band_query.qid
-    in
-    let tracker = Tracker.create ~alpha ?seed ~on_event () in
-    Array.iter (fun q -> Tracker.insert tracker q) queries;
-    { table; tracker; hot; scattered; dedupe = new_dedupe () }
-
-  let create table queries = create_alpha ~alpha:0.001 table queries
-
-  (* Ascending scan of a by_lo B-tree with early exit. *)
-  let iter_tree_asc bt k =
-    let rec go = function
-      | Some c -> if k (Fbt.value c) then go (Fbt.next c)
-      | None -> ()
-    in
-    go (Fbt.seek_ge bt neg_infinity)
-
-  (* Descending scan of a by_hi B-tree with early exit. *)
-  let iter_tree_desc bt k =
-    let rec go = function
-      | Some c -> if k (Fbt.value c) then go (Fbt.prev c)
-      | None -> ()
-    in
-    go (Fbt.seek_le bt infinity)
-
-  let process_r t (r : Tuple.r) sink =
-    ignore (fresh_event t.dedupe);
-    (* Hotspot queries: SSI group processing per hotspot. *)
-    Hashtbl.iter
-      (fun gid h ->
-        let stab = Tracker.hotspot_stab t.tracker gid in
-        process_group t.table t.dedupe r sink ~stab
-          ~iter_lo:(iter_tree_asc h.by_lo)
-          ~iter_hi:(iter_tree_desc h.by_hi))
-      t.hot;
-    (* Scattered queries: traditional per-query index probing. *)
-    let sb = Table.s_by_b t.table in
-    Hashtbl.iter
-      (fun _ (q : Band_query.t) ->
-        let w = Band_query.instantiated q ~b:r.b in
-        Fbt.iter_range sb ~lo:(I.lo w) ~hi:(I.hi w) (fun _ s -> sink q s))
-      t.scattered
-
-  let affected t (r : Tuple.r) report =
-    ignore (fresh_event t.dedupe);
-    Hashtbl.iter
-      (fun gid h ->
-        let stab = Tracker.hotspot_stab t.tracker gid in
-        identify_group t.table t.dedupe r report ~stab
-          ~iter_lo:(iter_tree_asc h.by_lo)
-          ~iter_hi:(iter_tree_desc h.by_hi))
-      t.hot;
-    Hashtbl.iter
-      (fun _ (q : Band_query.t) ->
-        if window_nonempty t.table (Band_query.instantiated q ~b:r.b) then report q)
-      t.scattered
-
-  let insert_query t q = Tracker.insert t.tracker q
-  let delete_query t q = Tracker.delete t.tracker q
-  let query_count t = Tracker.size t.tracker
-  let num_hotspots t = Tracker.num_hotspots t.tracker
-  let coverage t = Tracker.coverage t.tracker
-
-  (* The aux B-trees are maintained purely from the tracker's event
-     stream; verify they never drift from the tracker's own view. *)
-  let check_invariants t =
-    Tracker.check_invariants t.tracker;
-    let fail fmt = Printf.ksprintf failwith fmt in
-    let hotspots = Tracker.hotspots t.tracker in
-    if List.length hotspots <> Hashtbl.length t.hot then
-      fail "BJ-Hotspot: %d aux entries for %d hotspots" (Hashtbl.length t.hot)
-        (List.length hotspots);
-    List.iter
-      (fun (gid, _, members) ->
-        match Hashtbl.find_opt t.hot gid with
-        | None -> fail "BJ-Hotspot: hotspot %d has no aux trees" gid
-        | Some h ->
-            Fbt.check_invariants h.by_lo;
-            Fbt.check_invariants h.by_hi;
-            let n = List.length members in
-            if Fbt.length h.by_lo <> n || Fbt.length h.by_hi <> n then
-              fail "BJ-Hotspot: hotspot %d aux sizes (%d, %d) for %d members" gid
-                (Fbt.length h.by_lo) (Fbt.length h.by_hi) n)
-      hotspots;
-    let scattered = Tracker.scattered t.tracker in
-    if List.length scattered <> Hashtbl.length t.scattered then
-      fail "BJ-Hotspot: %d scattered aux entries for %d scattered queries"
-        (Hashtbl.length t.scattered) (List.length scattered);
-    List.iter
-      (fun (q : Band_query.t) ->
-        if not (Hashtbl.mem t.scattered q.qid) then
-          fail "BJ-Hotspot: scattered query %d missing from aux table" q.qid)
-      scattered
 end
 
 (* --------------------------------------------------------------------- *)

@@ -17,37 +17,40 @@
       probing (BJ-QOuter style) on the scattered remainder — the
       SSI + hotspot-tracking combination of Section 3.1's closing
       remark, with the traditional method that is cheapest when the
-      scattered set is small. *)
+      scattered set is small.
+
+    {!Ssi} and {!Hotspot} are instantiations of the shared
+    {!Hotspot_core.Processor.Make} core with this module's band-axis
+    group walk; {!processor} selects one per strategy × stabbing
+    backend. *)
 
 type sink = Band_query.t -> Cq_relation.Tuple.s -> unit
 (** Called once per new result tuple (the R side is the event itself). *)
 
-module type STRATEGY = sig
-  type t
+module type STRATEGY =
+  Hotspot_core.Processor.STRATEGY
+    with type query := Band_query.t
+     and type event := Cq_relation.Tuple.r
+     and type store := Cq_relation.Table.s_table
+     and type result := Cq_relation.Tuple.s
 
-  val name : string
-
-  val create : Cq_relation.Table.s_table -> Band_query.t array -> t
-  (** The S table is shared, not copied: strategies see later S-side
-      updates made through the table's own interface. *)
-
-  val process_r : t -> Cq_relation.Tuple.r -> sink -> unit
-
-  val affected : t -> Cq_relation.Tuple.r -> (Band_query.t -> unit) -> unit
-  (** Identification only (the paper's STEP 1): report each query the
-      event affects, exactly once, without enumerating its result
-      tuples.  This is what the paper's throughput numbers measure —
-      "we excluded the output time from measurement". *)
-
-  val insert_query : t -> Band_query.t -> unit
-  val delete_query : t -> Band_query.t -> bool
-  val query_count : t -> int
-end
+module type PROCESSOR =
+  Hotspot_core.Processor.PROCESSOR
+    with type query = Band_query.t
+     and type event = Cq_relation.Tuple.r
+     and type store = Cq_relation.Table.s_table
+     and type result = Cq_relation.Tuple.s
 
 module Qouter : STRATEGY
 module Douter : STRATEGY
 module Merge : STRATEGY
-module Ssi : STRATEGY
+
+module Ssi : sig
+  include PROCESSOR
+
+  val num_groups : t -> int
+  (** τ(I) of the current query set. *)
+end
 
 module Shared : STRATEGY
 (** NiagaraCQ-style sharing of {e identical} join conditions (the
@@ -68,20 +71,21 @@ module Ssi_dynamic : sig
 end
 
 module Hotspot : sig
-  include STRATEGY
+  include PROCESSOR
 
   val create_alpha :
     alpha:float -> ?seed:int -> Cq_relation.Table.s_table -> Band_query.t array -> t
   (** [seed] drives the tracker's scattered-partition treap priorities;
       fixing it makes a run reproducible bit-for-bit. *)
-
-  val num_hotspots : t -> int
-  val coverage : t -> float
-
-  val check_invariants : t -> unit
-  (** Tracker invariants (I1)–(I3) plus aux-structure/tracker sync.
-      @raise Failure on violation. *)
 end
+
+val processor :
+  Hotspot_core.Processor.strategy ->
+  Cq_index.Stab_backend.kind ->
+  (module PROCESSOR)
+(** The {!Hotspot} or {!Ssi} processor backed by the chosen stabbing
+    index ({!Hotspot} and {!Ssi} themselves are the interval-tree
+    instances). *)
 
 val reference : Cq_relation.Table.s_table -> Band_query.t array -> Cq_relation.Tuple.r ->
   (int * int) list

@@ -5,20 +5,23 @@ module Fbt = Table.Fbt
 module Itree = Cq_index.Interval_tree
 module Vec = Cq_util.Vec
 module CQ = Composite_query
+module Processor = Hotspot_core.Processor
 
 type sink = CQ.t -> Tuple.s -> unit
 
-module type STRATEGY = sig
-  type t
+module type STRATEGY =
+  Processor.STRATEGY
+    with type query := CQ.t
+     and type event := Tuple.r
+     and type store := Table.s_table
+     and type result := Tuple.s
 
-  val name : string
-  val create : Table.s_table -> CQ.t array -> t
-  val process_r : t -> Tuple.r -> sink -> unit
-  val affected : t -> Tuple.r -> (CQ.t -> unit) -> unit
-  val insert_query : t -> CQ.t -> unit
-  val delete_query : t -> CQ.t -> bool
-  val query_count : t -> int
-end
+module type PROCESSOR =
+  Processor.PROCESSOR
+    with type query = CQ.t
+     and type event = Tuple.r
+     and type store = Table.s_table
+     and type result = Tuple.s
 
 (* Emit results of one query against the event: scan the instantiated
    band window on the S.B index, filtering by the C selection.  With
@@ -106,134 +109,91 @@ module Afirst = struct
 end
 
 (* --------------------------------------------------------------------- *)
-(* SSI over the band windows, selections filtered inline                   *)
+(* The shared processor core: groups on the band axis; the R.A             *)
+(* selection is tested before a candidate is accepted (an O(1) filter      *)
+(* the group walk absorbs for free) and the C selection during the         *)
+(* per-candidate result walk.  STEP 2's output-sensitivity is lost to      *)
+(* the C filter — exactly the composition difficulty the paper flags.      *)
 (* --------------------------------------------------------------------- *)
 
-module Group_seqs = struct
-  type elt = CQ.t
+module G = Band_axis.Make (struct
+  type q = CQ.t
 
-  type t = {
-    by_lo : CQ.t array; (* band windows by increasing left endpoint *)
-    by_hi : CQ.t array; (* by decreasing right endpoint *)
-  }
+  let qid (q : CQ.t) = q.qid
+  let axis (q : CQ.t) = q.band
+end)
 
-  let build ~stab:_ members =
-    let by_hi = Array.copy members in
-    Array.sort (fun (a : CQ.t) b -> I.compare_hi_desc a.band b.band) by_hi;
-    { by_lo = members; by_hi }
+module Core_query = struct
+  type t = CQ.t
+  type event = Tuple.r
+  type store = Table.s_table
+  type result = Tuple.s
+
+  let label = "CJ"
+  let qid (q : CQ.t) = q.qid
+  let compare = CQ.Elem.compare
+
+  (* Partition on the band windows; scattered queries are pruned by
+     their rangeA selection first (the Afirst idea). *)
+  let interval (q : CQ.t) = q.band
+  let scatter_interval (q : CQ.t) = q.range_a
+  let scatter_point (r : Tuple.r) = Some r.a
+
+  let probe table q (r : Tuple.r) emit =
+    ignore (probe_query table q ~b:r.b ~stop_after_first:false (fun _ s -> emit s))
+
+  let probe_hit table q (r : Tuple.r) =
+    probe_query table q ~b:r.b ~stop_after_first:true (fun _ _ -> ())
+
+  module Group = struct
+    type g = G.g
+
+    let create = G.create
+    let add = G.add
+    let remove = G.remove
+    let size = G.size
+    let check_invariants = G.check_invariants
+
+    let candidates table g ~stab (r : Tuple.r) ~mark =
+      let mark' (q : CQ.t) = I.stabs q.range_a r.a && mark q in
+      let affected, _, _ = G.step1 table r g ~stab ~mark:mark' in
+      affected
+
+    let process table g ~stab (r : Tuple.r) ~mark sink =
+      Vec.iter
+        (fun (q : CQ.t) ->
+          ignore (probe_query table q ~b:r.b ~stop_after_first:false (fun q s -> sink q s)))
+        (candidates table g ~stab r ~mark)
+
+    let identify table g ~stab (r : Tuple.r) ~mark report =
+      Vec.iter
+        (fun (q : CQ.t) ->
+          if probe_query table q ~b:r.b ~stop_after_first:true (fun _ _ -> ()) then report q)
+        (candidates table g ~stab r ~mark)
+  end
 end
 
-module Ssi_index = Hotspot_core.Ssi.Make (CQ.Elem) (Group_seqs)
+module Make_core (B : Cq_index.Stab_backend.S) = Processor.Make (Core_query) (B)
+module C_itree = Make_core (Cq_index.Stab_backend.Interval_tree)
+module C_skiplist = Make_core (Cq_index.Stab_backend.Interval_skiplist)
+module C_treap = Make_core (Cq_index.Stab_backend.Treap)
 
-module Ssi = struct
-  type t = {
-    table : Table.s_table;
-    queries : (int, CQ.t) Hashtbl.t;
-    mutable index : Ssi_index.t;
-    mutable dirty : bool;
-    seen : (int, int) Hashtbl.t;
-    mutable event : int;
-  }
+module Ssi = C_itree.Ssi
 
-  let name = "CJ-SSI"
+module Hotspot = struct
+  include C_itree.Hotspot
 
-  let rebuild t =
-    let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
-    t.index <- Ssi_index.build (Array.of_list qs);
-    t.dirty <- false
-
-  let create table queries =
-    let h = Hashtbl.create (max 16 (Array.length queries)) in
-    Array.iter (fun (q : CQ.t) -> Hashtbl.replace h q.qid q) queries;
-    {
-      table;
-      queries = h;
-      index = Ssi_index.build queries;
-      dirty = false;
-      seen = Hashtbl.create 256;
-      event = 0;
-    }
-
-  let mark t (q : CQ.t) =
-    match Hashtbl.find_opt t.seen q.qid with
-    | Some ev when ev = t.event -> false
-    | _ ->
-        Hashtbl.replace t.seen q.qid t.event;
-        true
-
-  (* STEP 1 on the band axis; the R.A selection is tested before a
-     candidate is accepted (an O(1) filter the group walk absorbs for
-     free), and the C selection during the result walk. *)
-  let visit t (r : Tuple.r) ~stop_after_first sink report =
-    if t.dirty then rebuild t;
-    t.event <- t.event + 1;
-    let b = r.b in
-    let sb = Table.s_by_b t.table in
-    Ssi_index.iter t.index (fun ~stab (g : Group_seqs.t) ->
-        let key = stab +. b in
-        let c2 = Fbt.seek_ge sb key in
-        let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
-        if not (c1 = None && c2 = None) then begin
-          let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
-          let candidates = Vec.create () in
-          let consider (q : CQ.t) =
-            if I.stabs q.range_a r.a && mark t q then Vec.push candidates q
-          in
-          let scan_lo bound =
-            let n = Array.length g.by_lo in
-            let rec go i =
-              if i < n then begin
-                let q = g.by_lo.(i) in
-                if I.lo q.band <= bound then begin
-                  consider q;
-                  go (i + 1)
-                end
-              end
-            in
-            go 0
-          in
-          (if exact then scan_lo infinity
-           else begin
-             (match c1 with Some c -> scan_lo (Fbt.key c -. b) | None -> ());
-             match c2 with
-             | Some c ->
-                 let s2_shift = Fbt.key c -. b in
-                 let n = Array.length g.by_hi in
-                 let rec go i =
-                   if i < n then begin
-                     let q = g.by_hi.(i) in
-                     if I.hi q.band >= s2_shift then begin
-                       consider q;
-                       go (i + 1)
-                     end
-                   end
-                 in
-                 go 0
-             | None -> ()
-           end);
-          Vec.iter
-            (fun (q : CQ.t) ->
-              if probe_query t.table q ~b ~stop_after_first sink then report q)
-            candidates
-        end)
-
-  let process_r t r sink = visit t r ~stop_after_first:false sink (fun _ -> ())
-  let affected t r report = visit t r ~stop_after_first:true (fun _ _ -> ()) report
-
-  let insert_query t q =
-    Hashtbl.replace t.queries q.CQ.qid q;
-    t.dirty <- true
-
-  let delete_query t (q : CQ.t) =
-    if Hashtbl.mem t.queries q.qid then begin
-      Hashtbl.remove t.queries q.qid;
-      t.dirty <- true;
-      true
-    end
-    else false
-
-  let query_count t = Hashtbl.length t.queries
+  let create_alpha ~alpha ?seed table queries = create_cfg ~alpha ?seed table queries
 end
+
+let processor strategy kind : (module PROCESSOR) =
+  match (strategy, kind) with
+  | Processor.Hotspot, Cq_index.Stab_backend.Itree -> (module C_itree.Hotspot)
+  | Processor.Hotspot, Cq_index.Stab_backend.Skiplist -> (module C_skiplist.Hotspot)
+  | Processor.Hotspot, Cq_index.Stab_backend.Treap_pst -> (module C_treap.Hotspot)
+  | Processor.Ssi, Cq_index.Stab_backend.Itree -> (module C_itree.Ssi)
+  | Processor.Ssi, Cq_index.Stab_backend.Skiplist -> (module C_skiplist.Ssi)
+  | Processor.Ssi, Cq_index.Stab_backend.Treap_pst -> (module C_treap.Ssi)
 
 (* --------------------------------------------------------------------- *)
 

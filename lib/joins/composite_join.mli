@@ -11,25 +11,29 @@
     and the C selection during the result walk.  This is precisely the
     composition difficulty the paper flags ("it remains a challenging
     problem to develop methods for composing group-processing
-    techniques"). *)
+    techniques").
+
+    {!Ssi} and {!Hotspot} are instantiations of the shared
+    {!Hotspot_core.Processor.Make} core — the hotspot tracker partitions
+    the band windows, and scattered queries are indexed (and pruned) by
+    their rangeA selections; {!processor} selects one per strategy ×
+    stabbing backend. *)
 
 type sink = Composite_query.t -> Cq_relation.Tuple.s -> unit
 
-module type STRATEGY = sig
-  type t
+module type STRATEGY =
+  Hotspot_core.Processor.STRATEGY
+    with type query := Composite_query.t
+     and type event := Cq_relation.Tuple.r
+     and type store := Cq_relation.Table.s_table
+     and type result := Cq_relation.Tuple.s
 
-  val name : string
-  val create : Cq_relation.Table.s_table -> Composite_query.t array -> t
-  val process_r : t -> Cq_relation.Tuple.r -> sink -> unit
-
-  val affected : t -> Cq_relation.Tuple.r -> (Composite_query.t -> unit) -> unit
-  (** Queries with at least one result for this event, each reported
-      once. *)
-
-  val insert_query : t -> Composite_query.t -> unit
-  val delete_query : t -> Composite_query.t -> bool
-  val query_count : t -> int
-end
+module type PROCESSOR =
+  Hotspot_core.Processor.PROCESSOR
+    with type query = Composite_query.t
+     and type event = Cq_relation.Tuple.r
+     and type store = Cq_relation.Table.s_table
+     and type result = Cq_relation.Tuple.s
 
 module Naive : STRATEGY
 (** Scan every query; O(n (log m + window)). *)
@@ -40,6 +44,27 @@ module Afirst : STRATEGY
 
 module Ssi : STRATEGY
 (** SSI over the band windows with inline selection filtering. *)
+
+module Hotspot : sig
+  include PROCESSOR
+
+  val create_alpha :
+    alpha:float -> ?seed:int -> Cq_relation.Table.s_table -> Composite_query.t array -> t
+  (** [seed] drives the tracker's scattered-partition treap priorities;
+      fixing it makes a run reproducible bit-for-bit. *)
+end
+(** SSI on α-hotspots of the band windows; scattered queries sit in a
+    stabbing index on their rangeA selections (the {!Afirst} idea), so
+    an event only ever touches scattered queries whose A-selection it
+    satisfies. *)
+
+val processor :
+  Hotspot_core.Processor.strategy ->
+  Cq_index.Stab_backend.kind ->
+  (module PROCESSOR)
+(** The {!Hotspot} or {!Ssi} processor backed by the chosen stabbing
+    backend ({!Hotspot} and {!Ssi} themselves are the interval-tree
+    instances). *)
 
 val reference :
   Cq_relation.Table.s_table ->

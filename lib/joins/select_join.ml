@@ -1,49 +1,33 @@
 module I = Cq_interval.Interval
 module Table = Cq_relation.Table
 module Tuple = Cq_relation.Tuple
-module Fbt = Table.Fbt
 module Pbt = Table.Pbt
 module Itree = Cq_index.Interval_tree
 module Rtree = Cq_index.Rtree
 module Vec = Cq_util.Vec
+module Processor = Hotspot_core.Processor
+module Dedupe = Processor.Dedupe
 
 type sink = Select_query.t -> Tuple.s -> unit
 
-module type STRATEGY = sig
-  type t
+module type STRATEGY =
+  Processor.STRATEGY
+    with type query := Select_query.t
+     and type event := Tuple.r
+     and type store := Table.s_table
+     and type result := Tuple.s
 
-  val name : string
-  val create : Table.s_table -> Select_query.t array -> t
-  val process_r : t -> Tuple.r -> sink -> unit
-  val affected : t -> Tuple.r -> (Select_query.t -> unit) -> unit
-  val insert_query : t -> Select_query.t -> unit
-  val delete_query : t -> Select_query.t -> bool
-  val query_count : t -> int
-end
+module type PROCESSOR =
+  Processor.PROCESSOR
+    with type query = Select_query.t
+     and type event = Tuple.r
+     and type store = Table.s_table
+     and type result = Tuple.s
 
 (* Visit the S-tuples joining with the event (same B), in C order. *)
 let iter_joining table ~b f =
   Pbt.iter_range (Table.s_by_bc table) ~lo:(b, neg_infinity) ~hi:(b, infinity)
     (fun _ s -> f s)
-
-(* Per-event deduplication of affected queries. *)
-type dedupe = {
-  seen : (int, int) Hashtbl.t;
-  mutable event : int;
-}
-
-let new_dedupe () = { seen = Hashtbl.create 256; event = 0 }
-
-let fresh_event d =
-  d.event <- d.event + 1;
-  d.event
-
-let mark d (q : Select_query.t) =
-  match Hashtbl.find_opt d.seen q.qid with
-  | Some ev when ev = d.event -> false
-  | _ ->
-      Hashtbl.replace d.seen q.qid d.event;
-      true
 
 (* --------------------------------------------------------------------- *)
 (* NAIVE: join, then evaluate every query on the intermediate result       *)
@@ -132,7 +116,7 @@ module Join_first = struct
   type t = {
     table : Table.s_table;
     rects : Select_query.t Rtree.t;
-    dedupe : dedupe;
+    dedupe : Dedupe.t;
     mutable count : int;
   }
 
@@ -141,17 +125,17 @@ module Join_first = struct
   let create table queries =
     let rects = Rtree.create ~max_entries:8 () in
     Array.iter (fun q -> Rtree.insert rects (Select_query.rect q) q) queries;
-    { table; rects; dedupe = new_dedupe (); count = Array.length queries }
+    { table; rects; dedupe = Dedupe.create (); count = Array.length queries }
 
   let process_r t (r : Tuple.r) sink =
     iter_joining t.table ~b:r.b (fun s ->
         Rtree.stab t.rects ~x:s.Tuple.c ~y:r.a (fun _ q -> sink q s))
 
   let affected t (r : Tuple.r) report =
-    ignore (fresh_event t.dedupe);
+    Dedupe.fresh t.dedupe;
     iter_joining t.table ~b:r.b (fun s ->
-        Rtree.stab t.rects ~x:s.Tuple.c ~y:r.a (fun _ q ->
-            if mark t.dedupe q then report q))
+        Rtree.stab t.rects ~x:s.Tuple.c ~y:r.a (fun _ (q : Select_query.t) ->
+            if Dedupe.mark t.dedupe q.qid then report q))
 
   let insert_query t q =
     Rtree.insert t.rects (Select_query.rect q) q;
@@ -207,13 +191,15 @@ module Select_first = struct
 end
 
 (* --------------------------------------------------------------------- *)
-(* Shared SSI group processing (Section 3.2, Figure 5)                     *)
+(* The shared processor core: groups as R-trees over the query             *)
+(* rectangles, STEP 1 probing at the two anchor join-result points         *)
+(* (Section 3.2, Figure 5)                                                 *)
 (* --------------------------------------------------------------------- *)
 
 (* STEP 1 for one stabbing group (on the rangeC projections) with
    stabbing point [stab], whose member rectangles live in [rtree]:
    find the affected queries and the anchor cursors for STEP 2. *)
-let group_step1 table dedupe (r : Tuple.r) ~stab ~rtree =
+let group_step1 table (r : Tuple.r) ~stab ~rtree ~mark =
   let b = r.b in
   let bc = Table.s_by_bc table in
   (* Anchors: the joining S-tuples whose C values surround the stabbing
@@ -226,7 +212,7 @@ let group_step1 table dedupe (r : Tuple.r) ~stab ~rtree =
   let bwd = match c1 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
   let affected = Vec.create () in
   if not (fwd = None && bwd = None) then begin
-    let consider q = if mark dedupe q then Vec.push affected q in
+    let consider q = if mark q then Vec.push affected q in
     (* The two join result points closest to (stab, r.a) probe the
        group's rectangle index. *)
     (match bwd with
@@ -242,212 +228,107 @@ let group_step1 table dedupe (r : Tuple.r) ~stab ~rtree =
   end;
   (affected, bwd, fwd)
 
-let process_group table dedupe (r : Tuple.r) (sink : sink) ~stab ~rtree =
+let process_group table rtree ~stab (r : Tuple.r) ~mark (sink : sink) =
   let b = r.b in
-  let affected, bwd, fwd = group_step1 table dedupe r ~stab ~rtree in
-  begin
-    (* STEP 2: each affected rectangle covers a consecutive C-run of
-       join result points including an anchor; walk outward. *)
-    Vec.iter
-      (fun (q : Select_query.t) ->
-        let lo_c = I.lo q.range_c and hi_c = I.hi q.range_c in
-        let rec back = function
-          | Some c ->
-              let kb, kc = Pbt.key c in
-              if kb = b && kc >= lo_c then begin
-                sink q (Pbt.value c);
-                back (Pbt.prev c)
-              end
-          | None -> ()
-        in
-        back bwd;
-        let rec forward = function
-          | Some c ->
-              let kb, kc = Pbt.key c in
-              if kb = b && kc <= hi_c then begin
-                sink q (Pbt.value c);
-                forward (Pbt.next c)
-              end
-          | None -> ()
-        in
-        forward fwd)
-      affected
-  end
-
-let identify_group table dedupe r report ~stab ~rtree =
-  let affected, _, _ = group_step1 table dedupe r ~stab ~rtree in
-  Vec.iter report affected
-
-(* --------------------------------------------------------------------- *)
-(* SJ-SSI over a static canonical partition of the rangeC projections      *)
-(* --------------------------------------------------------------------- *)
-
-module Group_rtree = struct
-  type elt = Select_query.t
-  type t = Select_query.t Rtree.t
-
-  let build ~stab:_ members =
-    let rt = Rtree.create ~max_entries:8 () in
-    Array.iter (fun q -> Rtree.insert rt (Select_query.rect q) q) members;
-    rt
-end
-
-module Ssi_index = Hotspot_core.Ssi.Make (Select_query.Elem_c) (Group_rtree)
-
-module Ssi = struct
-  type t = {
-    table : Table.s_table;
-    queries : (int, Select_query.t) Hashtbl.t;
-    mutable index : Ssi_index.t;
-    mutable dirty : bool;
-    dedupe : dedupe;
-  }
-
-  let name = "SJ-SSI"
-
-  let rebuild t =
-    let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
-    t.index <- Ssi_index.build (Array.of_list qs);
-    t.dirty <- false
-
-  let create table queries =
-    let h = Hashtbl.create (max 16 (Array.length queries)) in
-    Array.iter (fun (q : Select_query.t) -> Hashtbl.replace h q.qid q) queries;
-    { table; queries = h; index = Ssi_index.build queries; dirty = false; dedupe = new_dedupe () }
-
-  let process_r t r sink =
-    if t.dirty then rebuild t;
-    ignore (fresh_event t.dedupe);
-    Ssi_index.iter t.index (fun ~stab rtree ->
-        process_group t.table t.dedupe r sink ~stab ~rtree)
-
-  let affected t r report =
-    if t.dirty then rebuild t;
-    ignore (fresh_event t.dedupe);
-    Ssi_index.iter t.index (fun ~stab rtree ->
-        identify_group t.table t.dedupe r report ~stab ~rtree)
-
-  let insert_query t q =
-    Hashtbl.replace t.queries q.Select_query.qid q;
-    t.dirty <- true
-
-  let delete_query t (q : Select_query.t) =
-    if Hashtbl.mem t.queries q.qid then begin
-      Hashtbl.remove t.queries q.qid;
-      t.dirty <- true;
-      true
-    end
-    else false
-
-  let query_count t = Hashtbl.length t.queries
-end
-
-(* --------------------------------------------------------------------- *)
-(* SSI + hotspot tracking (Figure 9's HOTSPOT-BASED)                       *)
-(* --------------------------------------------------------------------- *)
-
-module Tracker = Hotspot_core.Hotspot_tracker.Make (Select_query.Elem_c)
-
-module Hotspot = struct
-  type t = {
-    table : Table.s_table;
-    tracker : Tracker.t;
-    hot : (int, Select_query.t Rtree.t) Hashtbl.t;
-    scattered_a : Select_query.t Itree.Mutable.t;
-    dedupe : dedupe;
-  }
-
-  let name = "SJ-Hotspot"
-
-  let create_alpha ~alpha ?seed table queries =
-    let hot = Hashtbl.create 16 in
-    let scattered_a = Itree.Mutable.create () in
-    let on_event = function
-      | Tracker.Hotspot_created (gid, members) ->
-          let rt = Rtree.create ~max_entries:8 () in
-          List.iter (fun q -> Rtree.insert rt (Select_query.rect q) q) members;
-          Hashtbl.replace hot gid rt
-      | Tracker.Hotspot_destroyed (gid, _) -> Hashtbl.remove hot gid
-      | Tracker.Hotspot_added (gid, q) ->
-          Rtree.insert (Hashtbl.find hot gid) (Select_query.rect q) q
-      | Tracker.Hotspot_removed (gid, q) ->
-          ignore
-            (Rtree.remove (Hashtbl.find hot gid) (Select_query.rect q) (fun p ->
-                 p.Select_query.qid = q.Select_query.qid))
-      | Tracker.Scattered_added q -> Itree.Mutable.add scattered_a q.Select_query.range_a q
-      | Tracker.Scattered_removed q ->
-          ignore
-            (Itree.Mutable.remove scattered_a q.Select_query.range_a (fun p ->
-                 p.Select_query.qid = q.Select_query.qid))
-    in
-    let tracker = Tracker.create ~alpha ?seed ~on_event () in
-    Array.iter (fun q -> Tracker.insert tracker q) queries;
-    { table; tracker; hot; scattered_a; dedupe = new_dedupe () }
-
-  let create table queries = create_alpha ~alpha:0.001 table queries
-
-  let process_r t (r : Tuple.r) sink =
-    ignore (fresh_event t.dedupe);
-    (* Hotspot queries: SJ-SSI per hotspot group. *)
-    Hashtbl.iter
-      (fun gid rtree ->
-        let stab = Tracker.hotspot_stab t.tracker gid in
-        process_group t.table t.dedupe r sink ~stab ~rtree)
-      t.hot;
-    (* Scattered queries: SJ-SelectFirst. *)
-    Itree.Mutable.stab t.scattered_a r.a (fun _ (q : Select_query.t) ->
-        Pbt.iter_range (Table.s_by_bc t.table)
-          ~lo:(r.b, I.lo q.range_c)
-          ~hi:(r.b, I.hi q.range_c)
-          (fun _ s -> sink q s))
-
-  let affected t (r : Tuple.r) report =
-    ignore (fresh_event t.dedupe);
-    Hashtbl.iter
-      (fun gid rtree ->
-        let stab = Tracker.hotspot_stab t.tracker gid in
-        identify_group t.table t.dedupe r report ~stab ~rtree)
-      t.hot;
-    let bc = Table.s_by_bc t.table in
-    Itree.Mutable.stab t.scattered_a r.a (fun _ (q : Select_query.t) ->
-        match Pbt.seek_ge bc (r.b, I.lo q.range_c) with
+  let affected, bwd, fwd = group_step1 table r ~stab ~rtree ~mark in
+  (* STEP 2: each affected rectangle covers a consecutive C-run of
+     join result points including an anchor; walk outward. *)
+  Vec.iter
+    (fun (q : Select_query.t) ->
+      let lo_c = I.lo q.range_c and hi_c = I.hi q.range_c in
+      let rec back = function
         | Some c ->
             let kb, kc = Pbt.key c in
-            if kb = r.b && kc <= I.hi q.range_c then report q
-        | None -> ())
+            if kb = b && kc >= lo_c then begin
+              sink q (Pbt.value c);
+              back (Pbt.prev c)
+            end
+        | None -> ()
+      in
+      back bwd;
+      let rec forward = function
+        | Some c ->
+            let kb, kc = Pbt.key c in
+            if kb = b && kc <= hi_c then begin
+              sink q (Pbt.value c);
+              forward (Pbt.next c)
+            end
+        | None -> ()
+      in
+      forward fwd)
+    affected
 
-  let insert_query t q = Tracker.insert t.tracker q
-  let delete_query t q = Tracker.delete t.tracker q
-  let query_count t = Tracker.size t.tracker
-  let num_hotspots t = Tracker.num_hotspots t.tracker
-  let coverage t = Tracker.coverage t.tracker
+let identify_group table rtree ~stab r ~mark report =
+  let affected, _, _ = group_step1 table r ~stab ~rtree ~mark in
+  Vec.iter report affected
 
-  (* The per-hotspot R-trees and the scattered interval tree are
-     maintained purely from the tracker's event stream; verify they
-     never drift from the tracker's own view. *)
-  let check_invariants t =
-    Tracker.check_invariants t.tracker;
-    let fail fmt = Printf.ksprintf failwith fmt in
-    let hotspots = Tracker.hotspots t.tracker in
-    if List.length hotspots <> Hashtbl.length t.hot then
-      fail "SJ-Hotspot: %d aux R-trees for %d hotspots" (Hashtbl.length t.hot)
-        (List.length hotspots);
-    List.iter
-      (fun (gid, _, members) ->
-        match Hashtbl.find_opt t.hot gid with
-        | None -> fail "SJ-Hotspot: hotspot %d has no aux R-tree" gid
-        | Some rt ->
-            Rtree.check_invariants rt;
-            if Rtree.size rt <> List.length members then
-              fail "SJ-Hotspot: hotspot %d R-tree holds %d of %d members" gid (Rtree.size rt)
-                (List.length members))
-      hotspots;
-    let scattered = Tracker.scattered t.tracker in
-    Itree.check_invariants (Itree.Mutable.snapshot t.scattered_a);
-    if Itree.Mutable.size t.scattered_a <> List.length scattered then
-      fail "SJ-Hotspot: scattered interval tree holds %d of %d queries"
-        (Itree.Mutable.size t.scattered_a) (List.length scattered)
+module Core_query = struct
+  type t = Select_query.t
+  type event = Tuple.r
+  type store = Table.s_table
+  type result = Tuple.s
+
+  let label = "SJ"
+  let qid (q : Select_query.t) = q.qid
+  let compare = Select_query.Elem_c.compare
+
+  (* Partition on the rangeC projections; scattered queries are served
+     SJ-SelectFirst style, indexed on rangeA and pruned by the event's
+     A value. *)
+  let interval (q : Select_query.t) = q.range_c
+  let scatter_interval (q : Select_query.t) = q.range_a
+  let scatter_point (r : Tuple.r) = Some r.a
+
+  let probe table (q : Select_query.t) (r : Tuple.r) emit =
+    Pbt.iter_range (Table.s_by_bc table)
+      ~lo:(r.b, I.lo q.range_c)
+      ~hi:(r.b, I.hi q.range_c)
+      (fun _ s -> emit s)
+
+  let probe_hit table (q : Select_query.t) (r : Tuple.r) =
+    match Pbt.seek_ge (Table.s_by_bc table) (r.b, I.lo q.range_c) with
+    | Some c ->
+        let kb, kc = Pbt.key c in
+        kb = r.b && kc <= I.hi q.range_c
+    | None -> false
+
+  module Group = struct
+    type g = Select_query.t Rtree.t
+
+    let create () = Rtree.create ~max_entries:8 ()
+    let add g q = Rtree.insert g (Select_query.rect q) q
+
+    let remove g (q : Select_query.t) =
+      ignore (Rtree.remove g (Select_query.rect q) (fun p -> p.Select_query.qid = q.qid))
+
+    let size = Rtree.size
+    let check_invariants = Rtree.check_invariants
+    let process store g ~stab ev ~mark sink = process_group store g ~stab ev ~mark sink
+    let identify store g ~stab ev ~mark report = identify_group store g ~stab ev ~mark report
+  end
 end
+
+module Make_core (B : Cq_index.Stab_backend.S) = Processor.Make (Core_query) (B)
+module C_itree = Make_core (Cq_index.Stab_backend.Interval_tree)
+module C_skiplist = Make_core (Cq_index.Stab_backend.Interval_skiplist)
+module C_treap = Make_core (Cq_index.Stab_backend.Treap)
+
+module Ssi = C_itree.Ssi
+
+module Hotspot = struct
+  include C_itree.Hotspot
+
+  let create_alpha ~alpha ?seed table queries = create_cfg ~alpha ?seed table queries
+end
+
+let processor strategy kind : (module PROCESSOR) =
+  match (strategy, kind) with
+  | Processor.Hotspot, Cq_index.Stab_backend.Itree -> (module C_itree.Hotspot)
+  | Processor.Hotspot, Cq_index.Stab_backend.Skiplist -> (module C_skiplist.Hotspot)
+  | Processor.Hotspot, Cq_index.Stab_backend.Treap_pst -> (module C_treap.Hotspot)
+  | Processor.Ssi, Cq_index.Stab_backend.Itree -> (module C_itree.Ssi)
+  | Processor.Ssi, Cq_index.Stab_backend.Skiplist -> (module C_skiplist.Ssi)
+  | Processor.Ssi, Cq_index.Stab_backend.Treap_pst -> (module C_treap.Ssi)
 
 (* --------------------------------------------------------------------- *)
 (* Adaptive per-event strategy choice (Section 6)                          *)
@@ -489,10 +370,9 @@ module Adaptive = struct
     match t.estimator with
     | Some h when t.churn = 0 -> h
     | _ ->
-        let ranges =
-          Hashtbl.fold (fun _ (q : Select_query.t) acc -> q.range_a :: acc) t.ssi.Ssi.queries []
-          |> Array.of_list
-        in
+        let acc = ref [] in
+        Ssi.iter_queries t.ssi (fun (q : Select_query.t) -> acc := q.range_a :: !acc);
+        let ranges = Array.of_list !acc in
         let buckets = max 16 (Array.length ranges / 250) in
         let h = Cq_histogram.Ssi_hist.build ranges ~buckets in
         t.estimator <- Some h;
@@ -501,9 +381,7 @@ module Adaptive = struct
 
   let choose t (r : Tuple.r) =
     let est_n' = Cq_histogram.Ssi_hist.estimate (estimator t) r.a in
-    (* Make sure the SSI index is current before reading tau. *)
-    if t.ssi.Ssi.dirty then Ssi.rebuild t.ssi;
-    let tau = float_of_int (Ssi_index.num_groups t.ssi.Ssi.index) in
+    let tau = float_of_int (Ssi.num_groups t.ssi) in
     if est_n' < t.threshold *. tau then Use_select_first else Use_ssi
 
   let process_r t r sink =

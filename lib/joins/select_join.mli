@@ -12,48 +12,56 @@
     - {!Ssi}           (SJ-SSI): O(τ (log m + g(n)) + k)
     - {!Hotspot}: SJ-SSI on α-hotspots + SJ-SelectFirst on scattered
       queries — Figure 9's HOTSPOT-BASED configuration (its
-      TRADITIONAL opponent is {!Select_first}). *)
+      TRADITIONAL opponent is {!Select_first}).
+
+    {!Ssi} and {!Hotspot} are instantiations of the shared
+    {!Hotspot_core.Processor.Make} core with this module's R-tree
+    group probe; {!processor} selects one per strategy × stabbing
+    backend. *)
 
 type sink = Select_query.t -> Cq_relation.Tuple.s -> unit
 
-module type STRATEGY = sig
-  type t
+module type STRATEGY =
+  Hotspot_core.Processor.STRATEGY
+    with type query := Select_query.t
+     and type event := Cq_relation.Tuple.r
+     and type store := Cq_relation.Table.s_table
+     and type result := Cq_relation.Tuple.s
 
-  val name : string
-  val create : Cq_relation.Table.s_table -> Select_query.t array -> t
-  val process_r : t -> Cq_relation.Tuple.r -> sink -> unit
-
-  val affected : t -> Cq_relation.Tuple.r -> (Select_query.t -> unit) -> unit
-  (** Identification only (the paper's STEP 1): report each affected
-      query exactly once without enumerating its result tuples — the
-      quantity the paper's throughput measurements time ("we excluded
-      the output time"). *)
-
-  val insert_query : t -> Select_query.t -> unit
-  val delete_query : t -> Select_query.t -> bool
-  val query_count : t -> int
-end
+module type PROCESSOR =
+  Hotspot_core.Processor.PROCESSOR
+    with type query = Select_query.t
+     and type event = Cq_relation.Tuple.r
+     and type store = Cq_relation.Table.s_table
+     and type result = Cq_relation.Tuple.s
 
 module Naive : STRATEGY
 module Join_first : STRATEGY
 module Select_first : STRATEGY
-module Ssi : STRATEGY
+
+module Ssi : sig
+  include PROCESSOR
+
+  val num_groups : t -> int
+  (** τ(I) of the current query set. *)
+end
 
 module Hotspot : sig
-  include STRATEGY
+  include PROCESSOR
 
   val create_alpha :
     alpha:float -> ?seed:int -> Cq_relation.Table.s_table -> Select_query.t array -> t
   (** [seed] drives the tracker's scattered-partition treap priorities;
       fixing it makes a run reproducible bit-for-bit. *)
-
-  val num_hotspots : t -> int
-  val coverage : t -> float
-
-  val check_invariants : t -> unit
-  (** Tracker invariants (I1)–(I3) plus aux-structure/tracker sync.
-      @raise Failure on violation. *)
 end
+
+val processor :
+  Hotspot_core.Processor.strategy ->
+  Cq_index.Stab_backend.kind ->
+  (module PROCESSOR)
+(** The {!Hotspot} or {!Ssi} processor backed by the chosen stabbing
+    index ({!Hotspot} and {!Ssi} themselves are the interval-tree
+    instances). *)
 
 module Adaptive : sig
   include STRATEGY

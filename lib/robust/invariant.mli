@@ -42,6 +42,15 @@ val engine : Cq_engine.Engine.t -> report
 (** Wraps {!Cq_engine.Engine.check_invariants}: the four trackers'
     (I1)–(I3), aux-structure sync, and forward/mirror lockstep. *)
 
+module Stab (B : Cq_index.Stab_backend.S) : sig
+  val audit : interval:('a -> Cq_interval.Interval.t) -> 'a B.t -> report
+  (** Backend-generic audit through the common {!Cq_index.Stab_backend.S}
+      signature: the backend's own structural check, size/iteration
+      agreement, and sampled stab queries versus a naive filter.
+      [interval] recovers each payload's stored interval (the backends
+      iterate payloads only). *)
+end
+
 module Btree (K : Cq_index.Btree.ORDERED) (B : module type of Cq_index.Btree.Make (K)) : sig
   val audit : 'a B.t -> report
   (** Key order, leaf occupancy, min/max entries, and sampled

@@ -132,66 +132,31 @@ let run_index (module S : STAB_INDEX) ~seed ~ops =
   record_report run (S.audit t ~entries:(mirror_entries mirror));
   finish run ~ops ~final_size:(S.size t)
 
-module Itree_driver : STAB_INDEX = struct
-  module M = Cq_index.Interval_tree.Mutable
+(* Any backend behind the common Stab_backend.S signature gets a
+   driver for free: payloads carry their interval along so the generic
+   audit can recover it. *)
+module Stab_driver (B : Cq_index.Stab_backend.S) : STAB_INDEX = struct
+  module A = Invariant.Stab (B)
 
-  type t = int M.t
+  type t = (int * I.t) B.t
 
-  let name = "interval_tree"
-  let create ~seed:_ = M.create ()
-  let add t id iv = M.add t iv id
-  let remove t id iv = M.remove t iv (fun id' -> id' = id)
-
-  let stab_ids t x =
-    let acc = ref [] in
-    M.stab t x (fun _ id -> acc := id :: !acc);
-    !acc
-
-  let size = M.size
-  let audit t ~entries:_ = Invariant.interval_tree (M.snapshot t)
-end
-
-module Skiplist_driver : STAB_INDEX = struct
-  module M = Cq_index.Interval_skiplist
-
-  type t = int M.t
-
-  let name = "interval_skiplist"
-  let create ~seed = M.create ~seed ()
-  let add t id iv = M.add t iv id
-  let remove t id iv = M.remove t iv (fun id' -> id' = id)
+  let name = B.name
+  let create ~seed = B.create ~seed
+  let add t id iv = B.add t iv (id, iv)
+  let remove t id iv = B.remove t iv (fun (id', _) -> id' = id)
 
   let stab_ids t x =
     let acc = ref [] in
-    M.stab t x (fun _ id -> acc := id :: !acc);
+    B.stab t x (fun (id, _) -> acc := id :: !acc);
     !acc
 
-  let size = M.size
-
-  let audit t ~entries =
-    let probes = List.concat_map (fun (_, iv) -> [ I.lo iv; I.midpoint iv; I.hi iv ]) entries in
-    let expected x = List.length (List.filter (fun (_, iv) -> I.stabs iv x) entries) in
-    Invariant.interval_skiplist ~probes ~expected t
+  let size = B.size
+  let audit t ~entries:_ = A.audit ~interval:snd t
 end
 
-module Pst_driver : STAB_INDEX = struct
-  module M = Cq_index.Priority_search_tree.Mutable
-
-  type t = int M.t
-
-  let name = "priority_search_tree"
-  let create ~seed = M.create ~seed ()
-  let add t id iv = M.add t iv id
-  let remove t id iv = M.remove t iv (fun id' -> id' = id)
-
-  let stab_ids t x =
-    let acc = ref [] in
-    M.stab t x (fun _ id -> acc := id :: !acc);
-    !acc
-
-  let size = M.size
-  let audit t ~entries:_ = Invariant.priority_search_tree (M.snapshot t)
-end
+module Itree_driver = Stab_driver (Cq_index.Stab_backend.Interval_tree)
+module Skiplist_driver = Stab_driver (Cq_index.Stab_backend.Interval_skiplist)
+module Pst_driver = Stab_driver (Cq_index.Stab_backend.Treap)
 
 (* Intervals embed into the R-tree as zero-height-free rectangles
    [iv × [0,1]]; stabbing at y = 0.5 recovers 1-D stabbing. *)
@@ -436,9 +401,11 @@ let q_matches q (r : Tuple.r) (s : Tuple.s) =
   | Band w -> I.stabs w (s.b -. r.b)
   | Select (ra, rc) -> r.b = s.b && I.stabs ra r.a && I.stabs rc s.c
 
-let run_engine ~seed ~ops =
-  let run = make_run "engine" seed in
-  let eng = Engine.create ~alpha:0.1 ~seed () in
+let run_engine ?(backend = Cq_index.Stab_backend.Itree) ~seed ~ops () =
+  let run =
+    make_run (Printf.sprintf "engine[%s]" (Cq_index.Stab_backend.to_string backend)) seed
+  in
+  let eng = Engine.create ~alpha:0.1 ~seed ~backend () in
   let stream = Fault.gen_engine ~seed ~n:ops in
   let rng = Rng.create (seed + 0x9e37) in
   let queries : q_state list ref = ref [] in
@@ -570,7 +537,7 @@ let index_drivers : (module STAB_INDEX) list =
 (* Build every structure from the same adversarial stream (mutations
    only, single-copy semantics so the set-like structures can share
    it), then deep-audit each one once. *)
-let audit_workload ~seed ~n =
+let audit_workload ?(backend = Cq_index.Stab_backend.Itree) ~seed ~n () =
   let stream = Fault.gen ~seed ~n in
   let mirror : (int, I.t) Hashtbl.t = Hashtbl.create 1024 in
   let live = Hashtbl.create 1024 in
@@ -613,7 +580,7 @@ let audit_workload ~seed ~n =
   apply ~add:(fun id iv -> Lazy_p.insert lp (id, iv)) ~del:(fun id iv -> ignore (Lazy_p.delete lp (id, iv)));
   let rp = Refined_p.create ~seed () in
   apply ~add:(fun id iv -> Refined_p.insert rp (id, iv)) ~del:(fun id iv -> ignore (Refined_p.delete rp (id, iv)));
-  let eng = Engine.create ~alpha:0.1 ~seed () in
+  let eng = Engine.create ~alpha:0.1 ~seed ~backend () in
   let rng = Rng.create (seed + 0x9e37) in
   let subs = ref [] and rs = ref [] and ss = ref [] in
   let pick l = match !l with [] -> None | xs -> Some (List.nth xs (Rng.int rng (List.length xs))) in
@@ -655,7 +622,7 @@ let audit_workload ~seed ~n =
       ("engine", Invariant.engine eng);
     ]
 
-let fuzz_all ~seed ~ops =
+let fuzz_all ?backend ~seed ~ops () =
   let engine_ops = max 200 (ops / 10) in
   List.map (fun d -> run_index d ~seed ~ops) index_drivers
   @ [
@@ -663,5 +630,5 @@ let fuzz_all ~seed ~ops =
       run_tracker ~seed ~ops ();
       run_lazy_partition ~seed ~ops;
       run_refined_partition ~seed ~ops;
-      run_engine ~seed ~ops:engine_ops;
+      run_engine ?backend ~seed ~ops:engine_ops ();
     ]

@@ -43,6 +43,11 @@ module type STAB_INDEX = sig
   val audit : t -> entries:(int * Cq_interval.Interval.t) list -> Invariant.report
 end
 
+module Stab_driver (B : Cq_index.Stab_backend.S) : STAB_INDEX
+(** A driver for any backend behind the common
+    {!Cq_index.Stab_backend.S} signature — the three backend drivers
+    below are its instances. *)
+
 module Itree_driver : STAB_INDEX
 module Skiplist_driver : STAB_INDEX
 module Pst_driver : STAB_INDEX
@@ -67,18 +72,27 @@ val run_tracker : ?alpha:float -> seed:int -> ops:int -> unit -> outcome
 val run_lazy_partition : seed:int -> ops:int -> outcome
 val run_refined_partition : seed:int -> ops:int -> outcome
 
-val run_engine : seed:int -> ops:int -> outcome
+val run_engine :
+  ?backend:Cq_index.Stab_backend.kind -> seed:int -> ops:int -> unit -> outcome
 (** Whole-engine differential run: per-query delivery/retraction
     balances against a brute-force join mirror, must-reject inputs
     (NaN attributes, empty windows) asserted to return [Error],
     callbacks after unsubscribe flagged, engine invariants audited at
-    checkpoints. *)
+    checkpoints.  [backend] selects the engine's stabbing backend
+    (default the interval tree) — the mirror is backend-oblivious, so
+    the same run exercises every candidate. *)
 
-val fuzz_all : seed:int -> ops:int -> outcome list
+val fuzz_all :
+  ?backend:Cq_index.Stab_backend.kind -> seed:int -> ops:int -> unit -> outcome list
 (** The full battery (the engine runs [ops/10] operations, each one
     being a full event cascade). *)
 
-val audit_workload : seed:int -> n:int -> (string * Invariant.report) list
+val audit_workload :
+  ?backend:Cq_index.Stab_backend.kind ->
+  seed:int ->
+  n:int ->
+  unit ->
+  (string * Invariant.report) list
 (** Build every structure from the same seeded adversarial stream and
     run each deep audit once — no differential mirror, just the
     invariant reports.  Powers [cqctl audit]. *)

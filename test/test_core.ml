@@ -404,9 +404,18 @@ let test_tracker_isect_narrow_after_delete () =
     members
 
 let test_tracker_alpha_validation () =
-  Alcotest.check_raises "bad alpha"
-    (Invalid_argument "Hotspot_tracker.create: alpha must be in (0, 1]") (fun () ->
-      ignore (Tracker.create ~alpha:0.0 ()))
+  (match Tracker.try_create ~alpha:0.0 () with
+  | Error (Cq_util.Error.Invalid_parameter { name = "alpha"; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Cq_util.Error.to_string e)
+  | Ok _ -> Alcotest.fail "alpha = 0 accepted");
+  (match Tracker.try_create ~epsilon:(-1.0) () with
+  | Error (Cq_util.Error.Invalid_parameter { name = "epsilon"; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Cq_util.Error.to_string e)
+  | Ok _ -> Alcotest.fail "epsilon < 0 accepted");
+  match Tracker.create ~alpha:1.5 () with
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { name = "alpha"; _ }) -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "alpha > 1 accepted"
 
 
 let test_tracker_lookup_errors () =

@@ -452,7 +452,7 @@ let composite_results (type s) (module S : CJ.STRATEGY with type t = s) (st : s)
   List.sort compare !acc
 
 let composite_strategies : (module CJ.STRATEGY) list =
-  [ (module CJ.Naive); (module CJ.Afirst); (module CJ.Ssi) ]
+  [ (module CJ.Naive); (module CJ.Afirst); (module CJ.Ssi); (module CJ.Hotspot) ]
 
 let composite_gen =
   QCheck2.Gen.(
@@ -526,6 +526,121 @@ let test_composite_churn () =
       Alcotest.(check int) (S.name ^ " count") 1 (S.query_count st))
     composite_strategies
 
+(* ----------------------- Pluggable stabbing backends ------------------- *)
+
+(* Every strategy × backend combination out of the shared processor
+   core must produce the exact result stream of the brute-force oracle
+   (hence streams identical across backends), including under churn. *)
+
+let strategies = [ Hotspot_core.Processor.Hotspot; Hotspot_core.Processor.Ssi ]
+let backends = Cq_index.Stab_backend.all
+
+let prop_band_backends_equivalent =
+  QCheck2.Test.make ~name:"band processors: identical streams across backends" ~count:100
+    band_case_gen (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = BQ.of_ranges (Array.of_list (List.map (fun iv -> I.shift iv (-5.0)) ranges)) in
+      let events = make_r_events events in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun kind ->
+              let (module P : BJ.PROCESSOR) = BJ.processor strategy kind in
+              let st = P.create_cfg ~alpha:0.3 ~seed:42 table queries in
+              List.for_all
+                (fun r ->
+                  let acc = ref [] in
+                  P.process_r st r (fun q s -> acc := (q.BQ.qid, s.Tuple.sid) :: !acc);
+                  List.sort compare !acc = BJ.reference table queries r
+                  || QCheck2.Test.fail_reportf "%s/%s diverges from the oracle" P.name
+                       (Cq_index.Stab_backend.to_string kind))
+                events)
+            backends)
+        strategies)
+
+let prop_select_backends_equivalent =
+  QCheck2.Test.make ~name:"select processors: identical streams across backends" ~count:100
+    QCheck2.Gen.(triple s_tuples_gen select_queries_gen r_events_gen)
+    (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = SQ.of_ranges (Array.of_list ranges) in
+      let events = make_r_events events in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun kind ->
+              let (module P : SJ.PROCESSOR) = SJ.processor strategy kind in
+              let st = P.create_cfg ~alpha:0.3 ~seed:42 table queries in
+              List.for_all
+                (fun r ->
+                  let acc = ref [] in
+                  P.process_r st r (fun q s -> acc := (q.SQ.qid, s.Tuple.sid) :: !acc);
+                  List.sort compare !acc = SJ.reference table queries r
+                  || QCheck2.Test.fail_reportf "%s/%s diverges from the oracle" P.name
+                       (Cq_index.Stab_backend.to_string kind))
+                events)
+            backends)
+        strategies)
+
+let prop_composite_backends_equivalent =
+  QCheck2.Test.make ~name:"composite processors: identical streams across backends"
+    ~count:100 composite_gen (fun (s_tuples, specs, events) ->
+      let table, _ = make_s_table s_tuples in
+      let queries = make_composites specs in
+      let events = make_r_events events in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun kind ->
+              let (module P : CJ.PROCESSOR) = CJ.processor strategy kind in
+              let st = P.create_cfg ~alpha:0.3 ~seed:42 table queries in
+              List.for_all
+                (fun r ->
+                  let acc = ref [] in
+                  P.process_r st r (fun q s -> acc := (q.CQ.qid, s.Tuple.sid) :: !acc);
+                  List.sort compare !acc = CJ.reference table queries r
+                  || QCheck2.Test.fail_reportf "%s/%s diverges from the oracle" P.name
+                       (Cq_index.Stab_backend.to_string kind))
+                events)
+            backends)
+        strategies)
+
+let prop_backends_churn_equivalent =
+  (* Query churn exercises the backends' remove paths: delete every
+     other query between events and re-check against the oracle. *)
+  QCheck2.Test.make ~name:"band processors: backends agree under churn" ~count:60
+    band_case_gen (fun (s_tuples, ranges, events) ->
+      let table, _ = make_s_table s_tuples in
+      let all = BQ.of_ranges (Array.of_list (List.map (fun iv -> I.shift iv (-5.0)) ranges)) in
+      let keep, drop =
+        let k = ref [] and d = ref [] in
+        Array.iteri (fun i q -> if i mod 2 = 0 then k := q :: !k else d := q :: !d) all;
+        (Array.of_list (List.rev !k), List.rev !d)
+      in
+      let events = make_r_events events in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun kind ->
+              let (module P : BJ.PROCESSOR) = BJ.processor strategy kind in
+              let st = P.create_cfg ~alpha:0.3 ~seed:42 table all in
+              List.iter
+                (fun q ->
+                  if not (P.delete_query st q) then
+                    ignore (QCheck2.Test.fail_reportf "%s: delete_query failed" P.name))
+                drop;
+              P.check_invariants st;
+              List.for_all
+                (fun r ->
+                  let acc = ref [] in
+                  P.process_r st r (fun q s -> acc := (q.BQ.qid, s.Tuple.sid) :: !acc);
+                  List.sort compare !acc = BJ.reference table keep r
+                  || QCheck2.Test.fail_reportf "%s/%s diverges after churn" P.name
+                       (Cq_index.Stab_backend.to_string kind))
+                events)
+            backends)
+        strategies)
+
 (* ---------------------------------------------------------------------- *)
 
 let qc = QCheck_alcotest.to_alcotest
@@ -563,5 +678,12 @@ let () =
           qc prop_ssi2d_r_events_match;
           qc prop_ssi2d_s_events_match;
           Alcotest.test_case "churn + both directions" `Quick test_ssi2d_churn_and_groups;
+        ] );
+      ( "backends",
+        [
+          qc prop_band_backends_equivalent;
+          qc prop_select_backends_equivalent;
+          qc prop_composite_backends_equivalent;
+          qc prop_backends_churn_equivalent;
         ] );
     ]

@@ -50,7 +50,11 @@ let test_fuzz_partitions () =
   check_outcome (Oracle.run_lazy_partition ~seed:3 ~ops:fuzz_ops);
   check_outcome (Oracle.run_refined_partition ~seed:3 ~ops:fuzz_ops)
 
-let test_fuzz_engine () = check_outcome (Oracle.run_engine ~seed:3 ~ops:400)
+let test_fuzz_engine () =
+  (* Every pluggable backend behind the same differential mirror. *)
+  List.iter
+    (fun backend -> check_outcome (Oracle.run_engine ~backend ~seed:3 ~ops:400 ()))
+    Cq_index.Stab_backend.all
 
 let test_audit_workload_clean () =
   List.iter
@@ -58,7 +62,7 @@ let test_audit_workload_clean () =
       match report with
       | Ok () -> ()
       | Error vs -> Alcotest.failf "%s: %d violations" name (List.length vs))
-    (Oracle.audit_workload ~seed:9 ~n:2_000)
+    (Oracle.audit_workload ~seed:9 ~n:2_000 ())
 
 (* --------------------- corruption detection --------------------------- *)
 
