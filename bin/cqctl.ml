@@ -10,6 +10,58 @@ let scale_term =
   in
   Term.(const (fun f -> if f then Cq_bench.Setup.full else Cq_bench.Setup.quick) $ full)
 
+(* --------------------------- observability ----------------------------- *)
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the observability registry (and trace ring) for the run and dump a \
+           metrics snapshot when done.")
+
+(* Wrap a command body: flip the global switches on first, dump the
+   registry after.  With the flag off this is a plain call — the
+   instrumentation in the libraries stays disabled (its default). *)
+let with_metrics enabled f =
+  if enabled then begin
+    Cq_obs.Metrics.set_enabled true;
+    Cq_obs.Trace.set_enabled true
+  end;
+  let r = f () in
+  if enabled then Format.printf "@.-- metrics ---------------------------------------------------@.%a" Cq_obs.Metrics.pp ();
+  r
+
+(* Shared demo workload for $(b,stats) and $(b,trace): a band-join
+   engine under a clustered query population hot enough that the
+   trackers promote (and, after the unsubscribe wave, demote) groups. *)
+let run_demo ~queries ~events ~alpha ~seed ~backend =
+  let module E = Cq_engine.Engine in
+  let rng = Cq_util.Rng.create seed in
+  let eng = E.create ~alpha ~seed ~backend () in
+  let ranges =
+    Cq_relation.Workload.gen_clustered_ranges ~scattered_len:(10.0, 4.0) rng ~n:queries
+      ~n_clusters:8 ~clustered_frac:0.9 ~domain:(-500.0, 500.0) ~cluster_halfwidth:15.0
+      ~len_mu:40.0 ~len_sigma:10.0
+  in
+  let subs =
+    Array.map (fun range -> E.subscribe_band eng ~range (fun _ _ -> ())) ranges
+  in
+  let r_tuples = ref [] in
+  for _ = 1 to events do
+    let b = 1000.0 *. Cq_util.Rng.float rng in
+    if Cq_util.Rng.bool rng then begin
+      let r, _ = E.insert_r eng ~a:(100.0 *. Cq_util.Rng.float rng) ~b in
+      r_tuples := r :: !r_tuples
+    end
+    else ignore (E.insert_s eng ~b ~c:(100.0 *. Cq_util.Rng.float rng))
+  done;
+  (* A deletion and unsubscribe wave: exercises the retract path and
+     drives hotspot groups below the demotion threshold. *)
+  List.iteri (fun i r -> if i mod 4 = 0 then ignore (E.delete_r eng r)) !r_tuples;
+  Array.iteri (fun i sub -> if i mod 2 = 0 then ignore (E.unsubscribe eng sub)) subs;
+  eng
+
 (* ------------------------------ bench --------------------------------- *)
 
 let bench_cmd =
@@ -23,7 +75,8 @@ let bench_cmd =
       & info [ "json" ] ~docv:"DIR"
           ~doc:"Also write one machine-readable BENCH_<id>.json per experiment into $(docv).")
   in
-  let run scale json ids =
+  let run scale json metrics ids =
+    with_metrics metrics @@ fun () ->
     (match json with Some dir -> Cq_bench.Report.json_begin ~dir | None -> ());
     let finish outcome =
       if json <> None then Cq_bench.Report.json_end ();
@@ -50,7 +103,7 @@ let bench_cmd =
         finish (go ids)
   in
   let info = Cmd.info "bench" ~doc:"Run reproduction experiments (tables/figures/ablations)." in
-  Cmd.v info Term.(ret (const run $ scale_term $ json $ ids))
+  Cmd.v info Term.(ret (const run $ scale_term $ json $ metrics_term $ ids))
 
 let list_cmd =
   let run () =
@@ -145,7 +198,8 @@ let fuzz_cmd =
   let ops =
     Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"M" ~doc:"Operations per structure.")
   in
-  let run seed ops backend =
+  let run seed ops backend metrics =
+    with_metrics metrics @@ fun () ->
     let outcomes =
       match backends_of backend with
       | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~seed ~ops ()
@@ -175,7 +229,7 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: run a seeded adversarial operation stream against every \
           structure and a naive oracle; exit nonzero on any divergence or invariant violation.")
-    Term.(ret (const run $ seed_arg $ ops $ backend_arg))
+    Term.(ret (const run $ seed_arg $ ops $ backend_arg $ metrics_term))
 
 (* ------------------------------ audit ---------------------------------- *)
 
@@ -183,7 +237,8 @@ let audit_cmd =
   let n =
     Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Workload operations to build each structure from.")
   in
-  let run seed n backend =
+  let run seed n backend metrics =
+    with_metrics metrics @@ fun () ->
     let reports =
       List.concat_map
         (fun b -> Cq_robust.Oracle.audit_workload ~backend:b ~seed ~n ())
@@ -203,12 +258,66 @@ let audit_cmd =
        ~doc:
          "Build every structure from a seeded workload and run its deep invariant audit; \
           exit nonzero on any violation.")
-    Term.(ret (const run $ seed_arg $ n $ backend_arg))
+    Term.(ret (const run $ seed_arg $ n $ backend_arg $ metrics_term))
+
+(* ------------------------- stats and trace ------------------------------ *)
+
+let demo_queries =
+  Arg.(value & opt int 400 & info [ "queries" ] ~docv:"N" ~doc:"Band queries to subscribe.")
+
+let demo_events =
+  Arg.(value & opt int 2_000 & info [ "events" ] ~docv:"N" ~doc:"Tuples to stream through.")
+
+let demo_alpha =
+  Arg.(value & opt float 0.02 & info [ "alpha" ] ~doc:"Hotspot threshold.")
+
+let first_backend b = match backends_of b with k :: _ -> k | [] -> Cq_index.Stab_backend.Itree
+
+let stats_cmd =
+  let run seed queries events alpha backend =
+    Cq_obs.Metrics.set_enabled true;
+    Cq_obs.Trace.set_enabled true;
+    let eng = run_demo ~queries ~events ~alpha ~seed ~backend:(first_backend backend) in
+    Format.printf "@[<v>%a@]@." Cq_engine.Engine.pp_stats (Cq_engine.Engine.stats eng);
+    Format.printf "@.-- metrics ---------------------------------------------------@.%a"
+      Cq_obs.Metrics.pp ();
+    Format.printf "@.-- trace tail ------------------------------------------------@.%a"
+      (Cq_obs.Trace.pp_tail ~limit:20) ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an instrumented demo band-join workload and print the engine stats block, the \
+          metrics registry, and the trace tail.")
+    Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let run seed queries events alpha backend out =
+    Cq_obs.Metrics.set_enabled true;
+    Cq_obs.Trace.set_enabled true;
+    ignore (run_demo ~queries ~events ~alpha ~seed ~backend:(first_backend backend));
+    Cq_obs.Trace.write_chrome ~path:out;
+    Printf.printf "wrote %d trace events to %s (%d dropped by the ring)\n"
+      (Cq_obs.Trace.length ()) out
+      (Cq_obs.Trace.dropped ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the instrumented demo workload and export the trace ring as Chrome \
+          trace_event JSON (load in chrome://tracing or Perfetto).")
+    Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg $ out)
 
 let main =
   let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in
   Cmd.group
     (Cmd.info "cqctl" ~version:"1.0.0" ~doc)
-    [ bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd ]
+    [ bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd; stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

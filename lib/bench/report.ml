@@ -43,6 +43,38 @@ let json_num v =
     else Printf.sprintf "%.9g" v
   else "null"
 
+(* The metrics registry rendered as one JSON object: the [obs] block
+   every BENCH_<id>.json carries.  Histograms are summarised (count /
+   sum / min / max / p50 / p90 / p99) rather than dumped bucket by
+   bucket. *)
+let json_of_obs () =
+  let module M = Cq_obs.Metrics in
+  let snap = M.snapshot () in
+  let counters =
+    List.map
+      (fun (name, v) -> Printf.sprintf "%s: %d" (json_str name) v)
+      snap.M.snap_counters
+  in
+  let gauges =
+    List.map
+      (fun (name, v) -> Printf.sprintf "%s: %s" (json_str name) (json_num v))
+      snap.M.snap_gauges
+  in
+  let hists =
+    List.map
+      (fun (name, (h : M.hist_summary)) ->
+        Printf.sprintf
+          "%s: {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
+           \"p90\": %s, \"p99\": %s}"
+          (json_str name) h.M.count (json_num h.M.sum) (json_num h.M.min_v)
+          (json_num h.M.max_v) (json_num h.M.p50) (json_num h.M.p90) (json_num h.M.p99))
+      snap.M.snap_histograms
+  in
+  Printf.sprintf
+    "{\"enabled\": %b, \"counters\": {%s}, \"gauges\": {%s}, \"histograms\": {%s}}"
+    (M.enabled ()) (String.concat ", " counters) (String.concat ", " gauges)
+    (String.concat ", " hists)
+
 let json_of_record r =
   let buf = Buffer.create 1024 in
   let add = Buffer.add_string buf in
@@ -79,7 +111,9 @@ let json_of_record r =
                     (fun row -> Printf.sprintf "[%s]" (String.concat ", " (List.map json_str row)))
                     rows)))
           (List.rev r.rec_tables)));
-  add "]\n}\n";
+  add "],\n";
+  add (Printf.sprintf "  \"obs\": %s\n" (json_of_obs ()));
+  add "}\n";
   Buffer.contents buf
 
 let flush_record () =
@@ -114,6 +148,9 @@ let json_param key value =
 
 let section id title =
   flush_record ();
+  (* Each section's obs block is a per-experiment delta, not a running
+     total since process start. *)
+  Cq_obs.Metrics.reset ();
   if !json_dir <> None then
     current :=
       Some
@@ -162,22 +199,22 @@ let throughput ~events ~warmup f =
     f events.(i)
   done;
   let measured = n - warmup in
-  let t0 = Cq_util.Clock.now () in
+  let t0 = Cq_util.Clock.monotonic () in
   for i = warmup to n - 1 do
     f events.(i)
   done;
-  let dt = Cq_util.Clock.now () -. t0 in
+  let dt = Cq_util.Clock.monotonic () -. t0 in
   let rate = Cq_util.Clock.throughput ~events:measured ~seconds:dt in
   record_metric "throughput" rate "events_per_sec";
   rate
 
 let time_per_op ~n f =
   if n <= 0 then invalid_arg "Report.time_per_op: n must be positive";
-  let t0 = Cq_util.Clock.now () in
+  let t0 = Cq_util.Clock.monotonic () in
   for i = 0 to n - 1 do
     f i
   done;
-  let dt = Cq_util.Clock.now () -. t0 in
+  let dt = Cq_util.Clock.monotonic () -. t0 in
   let ns = dt /. float_of_int n *. 1e9 in
   record_metric "time_per_op" ns "ns_per_op";
   ns

@@ -16,7 +16,7 @@ val throughput :
     @raise Invalid_argument if there are no measured events. *)
 
 val time_per_op : n:int -> (int -> unit) -> float
-(** Average wall time per call, in nanoseconds. *)
+(** Average time per call on the monotonic clock, in nanoseconds. *)
 
 val fmt_throughput : float -> string
 val fmt_ns : float -> string
@@ -30,7 +30,11 @@ val fmt_f : float -> string
     section starts (or at {!json_end}).  The JSON carries the
     experiment id, title, recorded params, notes, raw metrics
     ([events_per_sec] from {!throughput}, [ns_per_op] from
-    {!time_per_op}) and every printed table. *)
+    {!time_per_op}), every printed table, and an [obs] block — the
+    {!Cq_obs.Metrics} registry snapshot taken at flush time (reset at
+    each section start, so the block is a per-experiment delta).  With
+    metrics disabled the block is still present ([enabled] false,
+    every registered value at zero). *)
 
 val json_begin : dir:string -> unit
 (** Start recording; creates [dir] if missing. *)

@@ -1,4 +1,14 @@
 module I = Cq_interval.Interval
+module Metrics = Cq_obs.Metrics
+module Trace = Cq_obs.Trace
+
+(* Cross-instance aggregates: every tracker in the process feeds the
+   same registry cells (per-instance figures live in the telemetry
+   accessors below). *)
+let m_promotions = Metrics.counter "tracker.promotions"
+let m_demotions = Metrics.counter "tracker.demotions"
+let m_moves = Metrics.counter "tracker.moves"
+let m_group_size = Metrics.histogram "tracker.hot_group_size"
 
 module Make (E : Partition_intf.ELEMENT) = struct
   module Spart = Refined_partition.Make (E)
@@ -31,6 +41,9 @@ module Make (E : Partition_intf.ELEMENT) = struct
     mutable n : int;
     mutable move_count : int;
     mutable update_count : int;
+    mutable promote_count : int;
+    mutable demote_count : int;
+    mutable max_group : int;
   }
 
   let try_create ?(alpha = 0.01) ?(epsilon = 1.0) ?(seed = 0x40757) ?(on_event = fun _ -> ())
@@ -53,6 +66,9 @@ module Make (E : Partition_intf.ELEMENT) = struct
             n = 0;
             move_count = 0;
             update_count = 0;
+            promote_count = 0;
+            demote_count = 0;
+            max_group = 0;
           }
 
   let create ?alpha ?epsilon ?seed ?on_event () =
@@ -65,6 +81,15 @@ module Make (E : Partition_intf.ELEMENT) = struct
   let scattered_groups t = Spart.num_groups t.spart
   let moves t = t.move_count
   let updates t = t.update_count
+  let promotions t = t.promote_count
+  let demotions t = t.demote_count
+  let max_group_size t = t.max_group
+
+  (* Every structural reorganisation the instance has performed:
+     promotions and demotions of hotspot groups plus reconstructions of
+     the scattered partition. *)
+  let restructures t = t.promote_count + t.demote_count + Spart.reconstructions t.spart
+
   let mem t e = EMap.mem e t.where_hot || Spart.mem t.spart e
 
   let coverage t =
@@ -108,12 +133,23 @@ module Make (E : Partition_intf.ELEMENT) = struct
     let g = { gid; members = ESet.of_list members; isect } in
     Hashtbl.replace t.hot gid g;
     List.iter (fun e -> t.where_hot <- EMap.add e g t.where_hot) members;
+    t.promote_count <- t.promote_count + 1;
+    let sz = ESet.cardinal g.members in
+    if sz > t.max_group then t.max_group <- sz;
+    Metrics.incr m_promotions;
+    Metrics.add m_moves sz;
+    Metrics.observe m_group_size (float_of_int sz);
+    Trace.instant ~cat:"tracker" "tracker.promote";
     t.on_event (Hotspot_created (gid, members))
 
   let demote t (g : hgrp) =
     Hashtbl.remove t.hot g.gid;
     let members = ESet.elements g.members in
     List.iter (fun e -> t.where_hot <- EMap.remove e t.where_hot) members;
+    t.demote_count <- t.demote_count + 1;
+    Metrics.incr m_demotions;
+    Metrics.add m_moves (List.length members);
+    Trace.instant ~cat:"tracker" "tracker.demote";
     t.on_event (Hotspot_destroyed (g.gid, members));
     List.iter
       (fun e ->
@@ -190,6 +226,8 @@ module Make (E : Partition_intf.ELEMENT) = struct
         g.isect <- I.inter g.isect iv;
         g.members <- ESet.add e g.members;
         t.where_hot <- EMap.add e g t.where_hot;
+        let sz = ESet.cardinal g.members in
+        if sz > t.max_group then t.max_group <- sz;
         t.on_event (Hotspot_added (g.gid, e))
     | None ->
         Spart.insert t.spart e;

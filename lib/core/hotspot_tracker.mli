@@ -83,6 +83,20 @@ module Make (E : Partition_intf.ELEMENT) : sig
   val updates : t -> int
   (** Total insert/delete operations processed. *)
 
+  val promotions : t -> int
+  (** Scattered groups promoted into hotspots over the history. *)
+
+  val demotions : t -> int
+  (** Hotspot groups dissolved back into S over the history. *)
+
+  val restructures : t -> int
+  (** Every structural reorganisation performed by this instance:
+      promotions + demotions + reconstructions of the scattered
+      partition. *)
+
+  val max_group_size : t -> int
+  (** High-water mark of hotspot-group cardinality. *)
+
   val check_invariants : t -> unit
   (** Verify (I1), (I2), (I3) and structural consistency.
       @raise Failure on violation. *)

@@ -1,5 +1,9 @@
 module I = Cq_interval.Interval
 module Itree = Cq_index.Interval_tree
+module Metrics = Cq_obs.Metrics
+module Trace = Cq_obs.Trace
+
+let m_reconstructions = Metrics.counter "partition.reconstructions"
 
 module Make (E : Partition_intf.ELEMENT) = struct
   type elt = E.t
@@ -61,7 +65,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
 
   let elements t = EMap.fold (fun e _ acc -> e :: acc) t.where []
 
-  let reconstruct t =
+  let reconstruct_impl t =
     let elems = Array.of_list (elements t) in
     Hashtbl.reset t.groups;
     t.where <- EMap.empty;
@@ -79,6 +83,10 @@ module Make (E : Partition_intf.ELEMENT) = struct
     t.tau0 <- Array.length fresh;
     t.dels_since <- 0;
     t.recon_count <- t.recon_count + 1
+
+  let reconstruct t =
+    Metrics.incr m_reconstructions;
+    Trace.with_span ~cat:"partition" "lazy_partition.reconstruct" (fun () -> reconstruct_impl t)
 
   (* Paper's relaxed trigger: rebuild once |P| >= (1+eps)(tau0 - m). *)
   let maybe_reconstruct t =

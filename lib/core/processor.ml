@@ -1,4 +1,6 @@
 module I = Cq_interval.Interval
+module Metrics = Cq_obs.Metrics
+module Trace = Cq_obs.Trace
 
 (* Keep the library siblings reachable inside [Make], where [Ssi] and
    [Hotspot] name the generated processors. *)
@@ -71,12 +73,31 @@ module type STRATEGY = sig
   val query_count : t -> int
 end
 
+type telemetry = {
+  restructures : int;
+  groups_split : int;
+  groups_merged : int;
+  max_group_size : int;
+}
+
+let empty_telemetry =
+  { restructures = 0; groups_split = 0; groups_merged = 0; max_group_size = 0 }
+
+let add_telemetry a b =
+  {
+    restructures = a.restructures + b.restructures;
+    groups_split = a.groups_split + b.groups_split;
+    groups_merged = a.groups_merged + b.groups_merged;
+    max_group_size = max a.max_group_size b.max_group_size;
+  }
+
 module type PROCESSOR = sig
   include STRATEGY
 
   val create_cfg : ?alpha:float -> ?epsilon:float -> ?seed:int -> store -> query array -> t
   val num_hotspots : t -> int
   val coverage : t -> float
+  val telemetry : t -> telemetry
   val check_invariants : t -> unit
 end
 
@@ -100,6 +121,12 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
   end
 
   module Tracker = Tracker0.Make (Elem)
+
+  (* Per-event candidate fanout (queries visited by the group walk and
+     scattered probes) and the number surviving dedupe — shared cells
+     for every instance built from this QUERY. *)
+  let m_fanout = Metrics.histogram ("proc." ^ Q.label ^ ".fanout")
+  let m_dedupe_marks = Metrics.histogram ("proc." ^ Q.label ^ ".dedupe_marks")
 
   module Hotspot = struct
     type query = Q.t
@@ -150,13 +177,35 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
 
     let process_r t ev sink =
       Dedupe.fresh t.dedupe;
-      let mark q = Dedupe.mark t.dedupe (Q.qid q) in
-      Hashtbl.iter
-        (fun gid g ->
-          let stab = Tracker.hotspot_stab t.tracker gid in
-          Q.Group.process t.store g ~stab ev ~mark sink)
-        t.hot;
-      iter_scattered t ev (fun q -> Q.probe t.store q ev (fun res -> sink q res))
+      if Metrics.enabled () then begin
+        let cands = ref 0 and marked = ref 0 in
+        let mark q =
+          Stdlib.incr cands;
+          let fresh = Dedupe.mark t.dedupe (Q.qid q) in
+          if fresh then Stdlib.incr marked;
+          fresh
+        in
+        Hashtbl.iter
+          (fun gid g ->
+            let stab = Tracker.hotspot_stab t.tracker gid in
+            Q.Group.process t.store g ~stab ev ~mark sink)
+          t.hot;
+        iter_scattered t ev (fun q ->
+            Stdlib.incr cands;
+            Stdlib.incr marked;
+            Q.probe t.store q ev (fun res -> sink q res));
+        Metrics.observe m_fanout (float_of_int !cands);
+        Metrics.observe m_dedupe_marks (float_of_int !marked)
+      end
+      else begin
+        let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+        Hashtbl.iter
+          (fun gid g ->
+            let stab = Tracker.hotspot_stab t.tracker gid in
+            Q.Group.process t.store g ~stab ev ~mark sink)
+          t.hot;
+        iter_scattered t ev (fun q -> Q.probe t.store q ev (fun res -> sink q res))
+      end
 
     let affected t ev report =
       Dedupe.fresh t.dedupe;
@@ -175,6 +224,14 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
     let query_count t = Tracker.size t.tracker
     let num_hotspots t = Tracker.num_hotspots t.tracker
     let coverage t = Tracker.coverage t.tracker
+
+    let telemetry t =
+      {
+        restructures = Tracker.restructures t.tracker;
+        groups_split = Tracker.promotions t.tracker;
+        groups_merged = Tracker.demotions t.tracker;
+        max_group_size = Tracker.max_group_size t.tracker;
+      }
 
     (* The aux groups and the scattered index are maintained purely
        from the tracker's event stream; verify they never drift from
@@ -226,15 +283,18 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       queries : (int, Q.t) Hashtbl.t;
       mutable index : Index.t;
       mutable dirty : bool;
+      mutable rebuilds : int;
       dedupe : Dedupe.t;
     }
 
     let name = Q.label ^ "-SSI"
 
     let rebuild t =
-      let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
-      t.index <- Index.build (Array.of_list qs);
-      t.dirty <- false
+      t.rebuilds <- t.rebuilds + 1;
+      Trace.with_span ~cat:"ssi" (Q.label ^ ".ssi_rebuild") (fun () ->
+          let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
+          t.index <- Index.build (Array.of_list qs);
+          t.dirty <- false)
 
     let refresh t = if t.dirty then rebuild t
 
@@ -246,6 +306,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
         queries = h;
         index = Index.build queries;
         dirty = false;
+        rebuilds = 0;
         dedupe = Dedupe.create ();
       }
 
@@ -254,8 +315,22 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
     let process_r t ev sink =
       refresh t;
       Dedupe.fresh t.dedupe;
-      let mark q = Dedupe.mark t.dedupe (Q.qid q) in
-      Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink)
+      if Metrics.enabled () then begin
+        let cands = ref 0 and marked = ref 0 in
+        let mark q =
+          Stdlib.incr cands;
+          let fresh = Dedupe.mark t.dedupe (Q.qid q) in
+          if fresh then Stdlib.incr marked;
+          fresh
+        in
+        Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink);
+        Metrics.observe m_fanout (float_of_int !cands);
+        Metrics.observe m_dedupe_marks (float_of_int !marked)
+      end
+      else begin
+        let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+        Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink)
+      end
 
     let affected t ev report =
       refresh t;
@@ -278,6 +353,10 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
     let query_count t = Hashtbl.length t.queries
     let num_hotspots _ = 0
     let coverage _ = 0.0
+
+    (* The only structural reorganisation SSI performs is the lazy
+       full rebuild. *)
+    let telemetry t = { empty_telemetry with restructures = t.rebuilds }
 
     let check_invariants t =
       refresh t;

@@ -123,6 +123,24 @@ module type STRATEGY = sig
   val query_count : t -> int
 end
 
+(** Per-instance structural-reorganisation counters, exposed uniformly
+    so the engine can aggregate them into its stats block. *)
+type telemetry = {
+  restructures : int;
+      (** Every structural reorganisation: hotspot promotions +
+          demotions + scattered-partition reconstructions (Hotspot), or
+          lazy index rebuilds (SSI). *)
+  groups_split : int;  (** Hotspot promotions; 0 for SSI. *)
+  groups_merged : int;  (** Hotspot demotions; 0 for SSI. *)
+  max_group_size : int;
+      (** High-water mark of hotspot-group cardinality; 0 for SSI. *)
+}
+
+val empty_telemetry : telemetry
+
+val add_telemetry : telemetry -> telemetry -> telemetry
+(** Component-wise sum ([max] for {!telemetry.max_group_size}). *)
+
 (** A strategy produced by {!Make}, with configuration knobs and
     invariant auditing. *)
 module type PROCESSOR = sig
@@ -139,6 +157,8 @@ module type PROCESSOR = sig
 
   val coverage : t -> float
   (** Fraction of queries inside hotspots; 0 for the SSI processor. *)
+
+  val telemetry : t -> telemetry
 
   val check_invariants : t -> unit
   (** @raise Failure on violation. *)

@@ -1,4 +1,8 @@
 module I = Cq_interval.Interval
+module Metrics = Cq_obs.Metrics
+module Trace = Cq_obs.Trace
+
+let m_reconstructions = Metrics.counter "partition.reconstructions"
 
 module Make (E : Partition_intf.ELEMENT) = struct
   type elt = E.t
@@ -114,7 +118,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
 
   let full_line = I.make neg_infinity infinity
 
-  let reconstruct t =
+  let reconstruct_impl t =
     (* Unprocessed inputs: old groups in (⋆) order, singletons in
        left-endpoint order; both consumed from the head. *)
     let olds = ref (List.filter (fun g -> not (T.is_empty g.treap)) (Array.to_list t.olds)) in
@@ -224,6 +228,11 @@ module Make (E : Partition_intf.ELEMENT) = struct
     t.updates <- 0;
     t.dels_since <- 0;
     t.recon_count <- t.recon_count + 1
+
+  let reconstruct t =
+    Metrics.incr m_reconstructions;
+    Trace.with_span ~cat:"partition" "refined_partition.reconstruct" (fun () ->
+        reconstruct_impl t)
 
   (* The paper's relaxed trigger: rebuild only once the partition size
      reaches (1+eps)(tau0 - m), where m counts deletions since the last

@@ -6,6 +6,16 @@ module BJ = Cq_joins.Band_join
 module SQ = Cq_joins.Select_query
 module SJ = Cq_joins.Select_join
 module Err = Cq_util.Error
+module Metrics = Cq_obs.Metrics
+module Trace = Cq_obs.Trace
+
+(* End-to-end event latencies (index probes + group walks + callback
+   delivery + the home-table store), and global result/event totals.
+   All gated on the metrics switch; one branch each when disabled. *)
+let m_ingest_ns = Metrics.histogram "engine.ingest_ns"
+let m_retract_ns = Metrics.histogram "engine.retract_ns"
+let m_events = Metrics.counter "engine.events"
+let m_results = Metrics.counter "engine.results"
 
 module Config = struct
   type t = {
@@ -74,6 +84,7 @@ let band_count (Bproc ((module P), p)) = P.query_count p
 let band_check (Bproc ((module P), p)) = P.check_invariants p
 let band_hotspots (Bproc ((module P), p)) = P.num_hotspots p
 let band_coverage (Bproc ((module P), p)) = P.coverage p
+let band_telemetry (Bproc ((module P), p)) = P.telemetry p
 let select_process (Sproc ((module P), p)) r sink = P.process_r p r sink
 let select_insert (Sproc ((module P), p)) q = P.insert_query p q
 let select_delete (Sproc ((module P), p)) q = P.delete_query p q
@@ -81,6 +92,7 @@ let select_count (Sproc ((module P), p)) = P.query_count p
 let select_check (Sproc ((module P), p)) = P.check_invariants p
 let select_hotspots (Sproc ((module P), p)) = P.num_hotspots p
 let select_coverage (Sproc ((module P), p)) = P.coverage p
+let select_telemetry (Sproc ((module P), p)) = P.telemetry p
 
 let make_side (cfg : Config.t) ~probe ~home ~seed_base =
   let (module BP : BJ.PROCESSOR) = BJ.processor cfg.strategy cfg.backend in
@@ -223,13 +235,15 @@ let deliver_band t (q : BQ.t) r s =
   (match Hashtbl.find_opt t.band_cbs q.qid with
   | Some cb -> protected cb r s
   | None -> ());
-  t.results <- t.results + 1
+  t.results <- t.results + 1;
+  Metrics.incr m_results
 
 let deliver_select t (q : SQ.t) r s =
   (match Hashtbl.find_opt t.select_cbs q.qid with
   | Some cb -> protected cb r s
   | None -> ());
-  t.results <- t.results + 1
+  t.results <- t.results + 1;
+  Metrics.incr m_results
 
 (* Both encodings are one and the same transposition: the join key B
    stays put, the side-local attribute crosses to the other slot.  An
@@ -244,9 +258,21 @@ let of_row (s : Tuple.s) = { Tuple.rid = s.sid; a = s.c; b = s.b }
    side's home table so future events on the other side can see it. *)
 let ingest t side pseudo ~on_band ~on_select =
   t.events <- t.events + 1;
-  band_process side.band pseudo on_band;
-  select_process side.select pseudo on_select;
-  Table.insert_s side.home (to_row pseudo)
+  Metrics.incr m_events;
+  if Metrics.enabled () then begin
+    let (), dt =
+      Cq_util.Clock.time_ns (fun () ->
+          band_process side.band pseudo on_band;
+          select_process side.select pseudo on_select;
+          Table.insert_s side.home (to_row pseudo))
+    in
+    Metrics.observe m_ingest_ns (Int64.to_float dt)
+  end
+  else begin
+    band_process side.band pseudo on_band;
+    select_process side.select pseudo on_select;
+    Table.insert_s side.home (to_row pseudo)
+  end
 
 (* Deletion, likewise: the tuple leaves the home table first (it must
    not join with itself), then the very machinery that produced its
@@ -255,13 +281,21 @@ let retract t side pseudo ~on_band ~on_select =
   if not (Table.delete_s side.home (to_row pseudo)) then None
   else begin
     t.events <- t.events + 1;
+    Metrics.incr m_events;
     let count = ref 0 in
-    band_process side.band pseudo (fun q s ->
-        incr count;
-        on_band q s);
-    select_process side.select pseudo (fun q s ->
-        incr count;
-        on_select q s);
+    let run () =
+      band_process side.band pseudo (fun q s ->
+          incr count;
+          on_band q s);
+      select_process side.select pseudo (fun q s ->
+          incr count;
+          on_select q s)
+    in
+    if Metrics.enabled () then begin
+      let (), dt = Cq_util.Clock.time_ns run in
+      Metrics.observe m_retract_ns (Int64.to_float dt)
+    end
+    else run ();
     Some !count
   end
 
@@ -400,9 +434,26 @@ type stats = {
   band_coverage : float;
   select_hotspots : int;
   select_coverage : float;
+  restructures : int;
+  groups_split : int;
+  groups_merged : int;
+  max_group_size : int;
 }
 
+(* Aggregate structural-reorganisation telemetry over all four
+   processors (band/select × forward/mirror). *)
+let telemetry t =
+  let module P = Hotspot_core.Processor in
+  List.fold_left P.add_telemetry P.empty_telemetry
+    [
+      band_telemetry t.r_side.band;
+      band_telemetry t.s_side.band;
+      select_telemetry t.r_side.select;
+      select_telemetry t.s_side.select;
+    ]
+
 let stats t =
+  let tel = telemetry t in
   {
     r_size = Table.s_size t.r_mirror;
     s_size = Table.s_size t.s_table;
@@ -412,6 +463,10 @@ let stats t =
     band_coverage = band_coverage t.r_side.band;
     select_hotspots = select_hotspots t.r_side.select;
     select_coverage = select_coverage t.r_side.select;
+    restructures = tel.Hotspot_core.Processor.restructures;
+    groups_split = tel.Hotspot_core.Processor.groups_split;
+    groups_merged = tel.Hotspot_core.Processor.groups_merged;
+    max_group_size = tel.Hotspot_core.Processor.max_group_size;
   }
 
 let pp_stats fmt s =
@@ -420,6 +475,9 @@ let pp_stats fmt s =
      events processed   %d@,\
      results delivered  %d@,\
      band hotspots      %d (coverage %.1f%%)@,\
-     select hotspots    %d (coverage %.1f%%)@]"
+     select hotspots    %d (coverage %.1f%%)@,\
+     restructures       %d (%d splits, %d merges)@,\
+     max group size     %d@]"
     s.r_size s.s_size s.events_processed s.results_delivered s.band_hotspots
     (100.0 *. s.band_coverage) s.select_hotspots (100.0 *. s.select_coverage)
+    s.restructures s.groups_split s.groups_merged s.max_group_size

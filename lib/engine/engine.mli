@@ -179,6 +179,15 @@ type stats = {
   band_coverage : float;
   select_hotspots : int;
   select_coverage : float;
+  restructures : int;
+      (** Structural reorganisations across all four processors:
+          hotspot promotions + demotions + scattered-partition
+          reconstructions (SSI strategy: lazy index rebuilds). *)
+  groups_split : int;  (** Hotspot promotions; 0 under the SSI strategy. *)
+  groups_merged : int;  (** Hotspot demotions; 0 under the SSI strategy. *)
+  max_group_size : int;
+      (** High-water mark of hotspot-group cardinality across the four
+          processors. *)
 }
 
 val stats : t -> stats

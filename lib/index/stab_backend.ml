@@ -58,6 +58,53 @@ module Treap : S = struct
   let check_invariants t = Priority_search_tree.check_invariants (M.snapshot t)
 end
 
+(* Decorator: same backend, with per-operation monotonic timings fed
+   into the metrics registry under the backend's own name.  The wrapped
+   calls pay one enabled-check when metrics are off; the stab path is a
+   tree walk, so the branch disappears in the noise. *)
+module Instrumented (B : S) : S = struct
+  module M = Cq_obs.Metrics
+
+  type 'a t = 'a B.t
+
+  let name = B.name
+  let stab_ns = M.histogram (Printf.sprintf "stab.%s.stab_ns" B.name)
+  let add_ns = M.histogram (Printf.sprintf "stab.%s.add_ns" B.name)
+  let remove_ns = M.histogram (Printf.sprintf "stab.%s.remove_ns" B.name)
+  let stab_hits = M.histogram (Printf.sprintf "stab.%s.stab_hits" B.name)
+
+  let create ~seed = B.create ~seed
+  let size = B.size
+
+  let timed h f =
+    if M.enabled () then begin
+      let r, dt = Cq_util.Clock.time_ns f in
+      M.observe h (Int64.to_float dt);
+      r
+    end
+    else f ()
+
+  let add t iv p = timed add_ns (fun () -> B.add t iv p)
+  let remove t iv eq = timed remove_ns (fun () -> B.remove t iv eq)
+
+  let stab t x f =
+    if M.enabled () then begin
+      let hits = ref 0 in
+      let (), dt =
+        Cq_util.Clock.time_ns (fun () ->
+            B.stab t x (fun p ->
+                Stdlib.incr hits;
+                f p))
+      in
+      M.observe stab_ns (Int64.to_float dt);
+      M.observe stab_hits (float_of_int !hits)
+    end
+    else B.stab t x f
+
+  let iter = B.iter
+  let check_invariants = B.check_invariants
+end
+
 type kind = Itree | Skiplist | Treap_pst
 
 let all = [ Itree; Skiplist; Treap_pst ]
@@ -74,3 +121,12 @@ let backend : kind -> (module S) = function
   | Itree -> (module Interval_tree)
   | Skiplist -> (module Interval_skiplist)
   | Treap_pst -> (module Treap)
+
+module Instrumented_interval_tree = Instrumented (Interval_tree)
+module Instrumented_interval_skiplist = Instrumented (Interval_skiplist)
+module Instrumented_treap = Instrumented (Treap)
+
+let instrumented : kind -> (module S) = function
+  | Itree -> (module Instrumented_interval_tree)
+  | Skiplist -> (module Instrumented_interval_skiplist)
+  | Treap_pst -> (module Instrumented_treap)

@@ -55,6 +55,22 @@ module Treap : S
 (** Treap-based priority search tree
     ({!Cq_index.Priority_search_tree.Mutable}). *)
 
+module Instrumented (B : S) : S
+(** The same backend with per-operation monotonic timings recorded
+    into the {!Cq_obs.Metrics} registry under the backend's name:
+    [stab.<name>.stab_ns], [stab.<name>.add_ns],
+    [stab.<name>.remove_ns], and the per-stab result fanout
+    [stab.<name>.stab_hits].  While metrics are disabled the wrapper
+    costs one branch per call, so instrumented backends can be used
+    unconditionally. *)
+
+module Instrumented_interval_tree : S
+module Instrumented_interval_skiplist : S
+module Instrumented_treap : S
+(** Pre-applied {!Instrumented} wrappers — named so functor
+    instantiations over them are shared across the codebase instead of
+    duplicated at each use site. *)
+
 (** {2 Runtime selection}
 
     A nominal tag for configuration records and CLI flags; resolve it
@@ -70,3 +86,6 @@ val to_string : kind -> string
 val of_string : string -> (kind, string) result
 
 val backend : kind -> (module S)
+
+val instrumented : kind -> (module S)
+(** The {!Instrumented}-wrapped module for the kind. *)

@@ -309,9 +309,9 @@ module Core_query = struct
 end
 
 module Make_core (B : Cq_index.Stab_backend.S) = Processor.Make (Core_query) (B)
-module C_itree = Make_core (Cq_index.Stab_backend.Interval_tree)
-module C_skiplist = Make_core (Cq_index.Stab_backend.Interval_skiplist)
-module C_treap = Make_core (Cq_index.Stab_backend.Treap)
+module C_itree = Make_core (Cq_index.Stab_backend.Instrumented_interval_tree)
+module C_skiplist = Make_core (Cq_index.Stab_backend.Instrumented_interval_skiplist)
+module C_treap = Make_core (Cq_index.Stab_backend.Instrumented_treap)
 
 module Ssi = C_itree.Ssi
 

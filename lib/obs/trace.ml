@@ -1,0 +1,151 @@
+(* Structured tracing: a fixed-capacity ring buffer of typed events
+   with monotonic timestamps.  The ring overwrites oldest-first, so a
+   long run keeps the tail — which is what you want when something goes
+   wrong at event 10 million.  Export as Chrome trace_event JSON
+   (chrome://tracing / Perfetto both load it) or as a compact text
+   tail. *)
+
+type event =
+  | Span of { name : string; cat : string; ts_ns : int64; dur_ns : int64 }
+  | Instant of { name : string; cat : string; ts_ns : int64 }
+
+type t = {
+  mutable buf : event option array;
+  mutable next : int; (* ring write cursor *)
+  mutable total : int; (* events ever recorded *)
+}
+
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+(* The global ring every recording call targets. *)
+let ring = create ()
+
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let configure ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.configure: capacity must be positive";
+  ring.buf <- Array.make capacity None;
+  ring.next <- 0;
+  ring.total <- 0
+
+let clear () =
+  Array.fill ring.buf 0 (Array.length ring.buf) None;
+  ring.next <- 0;
+  ring.total <- 0
+
+let capacity () = Array.length ring.buf
+let length () = min ring.total (Array.length ring.buf)
+let dropped () = max 0 (ring.total - Array.length ring.buf)
+
+let push ev =
+  ring.buf.(ring.next) <- Some ev;
+  ring.next <- (ring.next + 1) mod Array.length ring.buf;
+  ring.total <- ring.total + 1
+
+let instant ?(cat = "cq") name =
+  if !on then push (Instant { name; cat; ts_ns = Cq_util.Clock.monotonic_ns () })
+
+let add_span ?(cat = "cq") ~name ~ts_ns ~dur_ns () =
+  if !on then push (Span { name; cat; ts_ns; dur_ns })
+
+let with_span ?(cat = "cq") name f =
+  if not !on then f ()
+  else begin
+    let t0 = Cq_util.Clock.monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Cq_util.Clock.monotonic_ns () in
+        push (Span { name; cat; ts_ns = t0; dur_ns = Int64.sub t1 t0 }))
+      f
+  end
+
+(* Oldest-first walk of the ring. *)
+let events () =
+  let cap = Array.length ring.buf in
+  let n = length () in
+  let start = if ring.total <= cap then 0 else ring.next in
+  List.init n (fun i -> ring.buf.((start + i) mod cap)) |> List.filter_map Fun.id
+
+let ts_of = function Span { ts_ns; _ } -> ts_ns | Instant { ts_ns; _ } -> ts_ns
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* trace_event wants microseconds; keep sub-microsecond precision as a
+   fractional part. *)
+let us ns = Int64.to_float ns /. 1e3
+
+let event_json buf ev =
+  match ev with
+  | Span { name; cat; ts_ns; dur_ns } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
+           (json_escape name) (json_escape cat) (us ts_ns) (us dur_ns))
+  | Instant { name; cat; ts_ns } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"g\",\"pid\":1,\"tid\":1}"
+           (json_escape name) (json_escape cat) (us ts_ns))
+
+let to_chrome_json () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      event_json buf ev)
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Text tail                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_event ?(t0 = 0L) fmt ev =
+  let rel ns = Int64.to_float (Int64.sub ns t0) /. 1e6 in
+  match ev with
+  | Span { name; cat; ts_ns; dur_ns } ->
+      Format.fprintf fmt "%10.3fms  span    %-28s %-10s %.1fus" (rel ts_ns) name cat
+        (Int64.to_float dur_ns /. 1e3)
+  | Instant { name; cat; ts_ns } ->
+      Format.fprintf fmt "%10.3fms  instant %-28s %-10s" (rel ts_ns) name cat
+
+let pp_tail ?(limit = 40) fmt () =
+  let evs = events () in
+  let n = List.length evs in
+  let t0 = match evs with [] -> 0L | ev :: _ -> ts_of ev in
+  let tail = if n <= limit then evs else List.filteri (fun i _ -> i >= n - limit) evs in
+  Format.fprintf fmt "@[<v>";
+  if dropped () > 0 then Format.fprintf fmt "... %d earlier events dropped by the ring@," (dropped ());
+  if n > List.length tail then Format.fprintf fmt "... %d earlier events elided@," (n - List.length tail);
+  List.iter (fun ev -> Format.fprintf fmt "%a@," (pp_event ~t0) ev) tail;
+  Format.fprintf fmt "@]"

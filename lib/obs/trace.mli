@@ -1,0 +1,63 @@
+(** Structured trace layer: a fixed-capacity ring buffer of typed
+    span/instant events with monotonic timestamps.
+
+    Like {!Metrics}, recording is gated on a global switch (off by
+    default) so [with_span]/[instant] calls can live permanently in the
+    hot paths; a disabled call is one load and one branch (and
+    [with_span] degenerates to a direct application of its thunk).
+
+    The ring overwrites {e oldest-first} — a bounded-memory tail of the
+    most recent activity.  Export the contents as Chrome
+    [trace_event] JSON (loadable in chrome://tracing or Perfetto) or
+    as a compact text tail. *)
+
+type event =
+  | Span of { name : string; cat : string; ts_ns : int64; dur_ns : int64 }
+  | Instant of { name : string; cat : string; ts_ns : int64 }
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val configure : capacity:int -> unit
+(** Replace the global ring with an empty one of the given capacity
+    (default 65536 events).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val clear : unit -> unit
+val capacity : unit -> int
+
+val length : unit -> int
+(** Events currently held (≤ capacity). *)
+
+val dropped : unit -> int
+(** Events overwritten so far. *)
+
+(** {2 Recording} *)
+
+val instant : ?cat:string -> string -> unit
+(** Point event at the current monotonic time. *)
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Time the thunk on the monotonic clock and record a complete span
+    (recorded even if the thunk raises). *)
+
+val add_span : ?cat:string -> name:string -> ts_ns:int64 -> dur_ns:int64 -> unit -> unit
+(** Record a span measured externally (decorators that already hold
+    the timestamps). *)
+
+(** {2 Inspection and export} *)
+
+val events : unit -> event list
+(** Oldest-first contents of the ring. *)
+
+val to_chrome_json : unit -> string
+(** The ring as a Chrome [trace_event] JSON document:
+    [{"displayTimeUnit":"ns","traceEvents":[...]}] with complete spans
+    ([ph = "X"]) and global instants ([ph = "i"]); timestamps in
+    microseconds with the nanosecond fraction preserved. *)
+
+val write_chrome : path:string -> unit
+
+val pp_tail : ?limit:int -> Format.formatter -> unit -> unit
+(** Compact text tail of the last [limit] (default 40) events,
+    timestamps relative to the oldest retained event. *)

@@ -1,5 +1,7 @@
 module I = Cq_interval.Interval
 module Rng = Cq_util.Rng
+module Metrics = Cq_obs.Metrics
+module Trace = Cq_obs.Trace
 
 type divergence = { structure : string; seed : int; op_index : int; detail : string }
 
@@ -33,11 +35,13 @@ let checkpoint_gap ops = max 50 (ops / 20)
 type run = {
   name : string;
   seed : int;
+  start_ns : int64;
   mutable viol : Invariant.violation list;
   mutable div : divergence option;
 }
 
-let make_run name seed = { name; seed; viol = []; div = None }
+let make_run name seed =
+  { name; seed; start_ns = Cq_util.Clock.monotonic_ns (); viol = []; div = None }
 
 let diverge run i fmt =
   Printf.ksprintf
@@ -48,7 +52,17 @@ let diverge run i fmt =
 
 let record_report run = function Ok () -> () | Error vs -> run.viol <- run.viol @ vs
 
+(* Elapsed time and op counts flow through the metrics registry (one
+   gauge/counter pair per structure) and the trace ring, so harnesses
+   read them out of the shared snapshot instead of each run printing
+   its own timings. *)
 let finish run ~ops ~final_size =
+  let dur_ns = Int64.sub (Cq_util.Clock.monotonic_ns ()) run.start_ns in
+  Metrics.set
+    (Metrics.gauge ("oracle." ^ run.name ^ ".elapsed_ms"))
+    (Int64.to_float dur_ns /. 1e6);
+  Metrics.add (Metrics.counter ("oracle." ^ run.name ^ ".ops")) ops;
+  Trace.add_span ~cat:"oracle" ~name:("oracle." ^ run.name) ~ts_ns:run.start_ns ~dur_ns ();
   {
     structure = run.name;
     seed = run.seed;
@@ -538,6 +552,7 @@ let index_drivers : (module STAB_INDEX) list =
    only, single-copy semantics so the set-like structures can share
    it), then deep-audit each one once. *)
 let audit_workload ?(backend = Cq_index.Stab_backend.Itree) ~seed ~n () =
+  let audit_start = Cq_util.Clock.monotonic_ns () in
   let stream = Fault.gen ~seed ~n in
   let mirror : (int, I.t) Hashtbl.t = Hashtbl.create 1024 in
   let live = Hashtbl.create 1024 in
@@ -613,14 +628,22 @@ let audit_workload ?(backend = Cq_index.Stab_backend.Itree) ~seed ~n () =
               ss := List.filter (fun s' -> s'.Tuple.sid <> s.sid) !ss)
       | Fault.Reject_ins_r _ | Fault.Reject_sub_band -> ())
     (Fault.gen_engine ~seed ~n:(max 100 (n / 10)));
-  index_reports
-  @ [
-      ("btree", Fbt_audit.audit bt);
-      ("hotspot_tracker", Tracker_audit.audit tr);
-      ("lazy_partition", Lazy_audit.audit ~name:"lazy_partition" lp);
-      ("refined_partition", Refined_audit.audit ~name:"refined_partition" rp);
-      ("engine", Invariant.engine eng);
-    ]
+  let reports =
+    index_reports
+    @ [
+        ("btree", Fbt_audit.audit bt);
+        ("hotspot_tracker", Tracker_audit.audit tr);
+        ("lazy_partition", Lazy_audit.audit ~name:"lazy_partition" lp);
+        ("refined_partition", Refined_audit.audit ~name:"refined_partition" rp);
+        ("engine", Invariant.engine eng);
+      ]
+  in
+  let dur_ns = Int64.sub (Cq_util.Clock.monotonic_ns ()) audit_start in
+  Metrics.set (Metrics.gauge "oracle.audit.elapsed_ms") (Int64.to_float dur_ns /. 1e6);
+  Metrics.add (Metrics.counter "oracle.audit.ops") n;
+  Metrics.add (Metrics.counter "oracle.audit.structures") (List.length reports);
+  Trace.add_span ~cat:"oracle" ~name:"oracle.audit_workload" ~ts_ns:audit_start ~dur_ns ();
+  reports
 
 let fuzz_all ?backend ~seed ~ops () =
   let engine_ops = max 200 (ops / 10) in

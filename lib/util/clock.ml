@@ -1,9 +1,18 @@
+external monotonic_ns : unit -> int64 = "cq_clock_monotonic_ns"
+
 let now () = Unix.gettimeofday ()
 
+let monotonic () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
 let time f =
-  let t0 = now () in
+  let t0 = monotonic_ns () in
   let r = f () in
-  (r, now () -. t0)
+  (r, Int64.to_float (Int64.sub (monotonic_ns ()) t0) *. 1e-9)
+
+let time_ns f =
+  let t0 = monotonic_ns () in
+  let r = f () in
+  (r, Int64.sub (monotonic_ns ()) t0)
 
 let throughput ~events ~seconds =
   if seconds <= 0.0 then 0.0 else float_of_int events /. seconds

@@ -1,11 +1,32 @@
-(** Wall-clock timing for the benchmark harness. *)
+(** Timing for the benchmark harness and the observability layer.
+
+    Two clocks, deliberately distinct:
+
+    - {!now} is the {e wall clock} — subject to NTP slews and
+      administrative jumps, meaningful only for display ("the run
+      started at ...").  Never subtract two [now] readings to measure
+      a duration.
+    - {!monotonic_ns} / {!monotonic} read [CLOCK_MONOTONIC] through a
+      C stub: an arbitrary-origin clock that never goes backwards,
+      which is what {!time}, {!throughput} and every latency metric
+      are built on. *)
 
 val now : unit -> float
-(** Seconds since the epoch, wall clock. *)
+(** Seconds since the epoch, wall clock.  Display only. *)
+
+val monotonic_ns : unit -> int64
+(** Nanoseconds on the monotonic clock (arbitrary origin); the
+    substrate for all interval measurements. *)
+
+val monotonic : unit -> float
+(** {!monotonic_ns} in seconds. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall
-    time in seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed
+    {e monotonic} time in seconds. *)
+
+val time_ns : (unit -> 'a) -> 'a * int64
+(** Like {!time}, in monotonic nanoseconds. *)
 
 val throughput : events:int -> seconds:float -> float
 (** Events per second; 0 when [seconds] is not positive. *)

@@ -1,0 +1,21 @@
+/* Monotonic clock for Cq_util.Clock: CLOCK_MONOTONIC nanoseconds.
+   Wall-clock time stays on the OCaml side (Unix.gettimeofday); this
+   stub exists because neither the stdlib Unix library nor any baked-in
+   opam package exposes clock_gettime. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value cq_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

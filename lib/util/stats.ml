@@ -15,8 +15,9 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then 0.0
   else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     let idx = max 0 (min (n - 1) (rank - 1)) in
     sorted.(idx)

@@ -7,8 +7,9 @@ val stddev : float array -> float
 (** Population standard deviation; 0 on arrays of length < 2. *)
 
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted
-    copy; 0 on the empty array. *)
+(** [percentile xs p] with [p] in [\[0,100\]] (values outside are
+    clamped), nearest-rank on a sorted copy; [p = 0] is the minimum,
+    [p = 100] the maximum; 0 on the empty array. *)
 
 val median : float array -> float
 

@@ -128,6 +128,27 @@ let test_stats_basics () =
   check_float "geometric mean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |]);
   check_float "geometric mean w/ nonpositive" 0.0 (Stats.geometric_mean [| 1.0; -2.0 |])
 
+let test_stats_percentile_edges () =
+  let xs = [| 9.0; 1.0; 5.0; 3.0 |] in
+  check_float "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100 = max" 9.0 (Stats.percentile xs 100.0);
+  check_float "p below 0 clamps to min" 1.0 (Stats.percentile xs (-10.0));
+  check_float "p above 100 clamps to max" 9.0 (Stats.percentile xs 250.0);
+  (* Single-element array: every percentile is that element. *)
+  check_float "singleton p0" 7.0 (Stats.percentile [| 7.0 |] 0.0);
+  check_float "singleton p50" 7.0 (Stats.percentile [| 7.0 |] 50.0);
+  check_float "singleton p100" 7.0 (Stats.percentile [| 7.0 |] 100.0);
+  (* Empty array: 0 at every p, no exception. *)
+  check_float "empty p0" 0.0 (Stats.percentile [||] 0.0);
+  check_float "empty p50" 0.0 (Stats.percentile [||] 50.0);
+  check_float "empty p100" 0.0 (Stats.percentile [||] 100.0);
+  check_float "empty median" 0.0 (Stats.median [||])
+
+let test_stats_geometric_mean_zero () =
+  check_float "zero collapses to 0" 0.0 (Stats.geometric_mean [| 2.0; 0.0; 8.0 |]);
+  check_float "empty is 0" 0.0 (Stats.geometric_mean [||]);
+  check_float "singleton" 3.0 (Stats.geometric_mean [| 3.0 |])
+
 (* -------------------------------- Vec -------------------------------- *)
 
 let test_vec_push_get () =
@@ -201,7 +222,12 @@ let () =
           Alcotest.test_case "zipf frequencies" `Slow test_zipf_rank_frequencies;
           Alcotest.test_case "exponential" `Slow test_exponential_positive_mean;
         ] );
-      ("stats", [ Alcotest.test_case "basics" `Quick test_stats_basics ]);
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
+          Alcotest.test_case "geometric mean edge cases" `Quick test_stats_geometric_mean_zero;
+        ] );
       ( "vec",
         [
           Alcotest.test_case "push/get" `Quick test_vec_push_get;
