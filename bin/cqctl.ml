@@ -79,7 +79,7 @@ let bench_cmd =
     with_metrics metrics @@ fun () ->
     (match json with Some dir -> Cq_bench.Report.json_begin ~dir | None -> ());
     let finish outcome =
-      if json <> None then Cq_bench.Report.json_end ();
+      if Option.is_some json then Cq_bench.Report.json_end ();
       outcome
     in
     match ids with
@@ -176,7 +176,7 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed
 (* "itree" | "skiplist" | "treap" for a single backend, or "all". *)
 let backend_arg =
   let parse s =
-    if s = "all" then Ok None
+    if String.equal s "all" then Ok None
     else
       match Cq_index.Stab_backend.of_string s with
       | Ok k -> Ok (Some k)
@@ -215,7 +215,7 @@ let fuzz_cmd =
     in
     List.iter (fun o -> Format.printf "@[<v>%a@]@." Cq_robust.Oracle.pp_outcome o) outcomes;
     let bad = List.filter (fun o -> not (Cq_robust.Oracle.passed o)) outcomes in
-    if bad = [] then (
+    if List.is_empty bad then (
       Format.printf "all %d structures agree with the oracle@." (List.length outcomes);
       `Ok ())
     else
@@ -314,10 +314,40 @@ let trace_cmd =
           trace_event JSON (load in chrome://tracing or Perfetto).")
     Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg $ out)
 
+let lint_cmd =
+  (* Shares Cq_lint.Engine with the standalone cqlint binary — same
+     rules, same waivers, same exit discipline. *)
+  let format_arg =
+    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let waivers_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "waivers" ] ~docv:"FILE" ~doc:"Waiver allowlist (default: ROOT/.cqlint if present).")
+  in
+  let root_arg =
+    Arg.(value & pos 0 dir "." & info [] ~docv:"ROOT" ~doc:"Workspace root containing lib/ and bin/.")
+  in
+  let run format waiver_file root =
+    let report = Cq_lint.Engine.run ?waiver_file ~root () in
+    (match format with
+    | `Json -> print_endline (Cq_lint.Render.json_of_report report)
+    | `Text -> print_string (Cq_lint.Render.text_of_report report));
+    if Cq_lint.Engine.clean report then `Ok () else `Error (false, "lint findings (see above)")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the cqlint static-analysis gate (CQL001-CQL005: polymorphic compare, error \
+          discipline, global mutable state, Obj.magic, mli coverage) over lib/ and bin/.")
+    Term.(ret (const run $ format_arg $ waivers_arg $ root_arg))
+
 let main =
   let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in
   Cmd.group
     (Cmd.info "cqctl" ~version:"1.0.0" ~doc)
-    [ bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd; stats_cmd; trace_cmd ]
+    [ bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd; stats_cmd; trace_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,50 @@
+(* cqlint — the repo's AST-driven convention gate (DESIGN.md §10).
+
+   Parses every .ml/.mli under ROOT/lib and ROOT/bin with ppxlib's
+   pinned AST and enforces CQL001–CQL005, honouring per-site waivers
+   from ROOT/.cqlint.  Exit 0 only when the tree is clean: no unwaived
+   finding, no stale waiver, no parse error. *)
+
+open Cmdliner
+
+let list_rules () =
+  List.iter
+    (fun r ->
+      Printf.printf "%s %-24s %s\n" (Cq_lint.Rule.id r) (Cq_lint.Rule.name r)
+        (Cq_lint.Rule.summary r))
+    Cq_lint.Rule.all;
+  0
+
+let run format waiver_file root list_only =
+  if list_only then list_rules ()
+  else begin
+    let report = Cq_lint.Engine.run ?waiver_file ~root () in
+    (match format with
+    | `Json -> print_endline (Cq_lint.Render.json_of_report report)
+    | `Text -> print_string (Cq_lint.Render.text_of_report report));
+    if Cq_lint.Engine.clean report then 0 else 1
+  end
+
+let format_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+
+let waivers_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "waivers" ] ~docv:"FILE" ~doc:"Waiver allowlist (default: ROOT/.cqlint if present).")
+
+let root_arg =
+  Arg.(value & pos 0 dir "." & info [] ~docv:"ROOT" ~doc:"Workspace root containing lib/ and bin/.")
+
+let list_rules_arg =
+  Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule set and exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cqlint" ~version:"1.0.0"
+       ~doc:"Static analysis gate: hot-path, error-discipline and domain-safety invariants.")
+    Term.(const run $ format_arg $ waivers_arg $ root_arg $ list_rules_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -33,7 +33,7 @@ let fig10i (scale : Setup.scale) =
   let table = Setup.s_table ~quantum scale ~seed:1 in
   let events = Setup.r_events ~quantum scale ~seed:2 ~n:(max 30 (scale.events / 4)) in
   let sizes =
-    [ 50; 500; 5_000; scale.queries; scale.queries * 5 / 2 ] |> List.sort_uniq compare
+    [ 50; 500; 5_000; scale.queries; scale.queries * 5 / 2 ] |> List.sort_uniq Int.compare
   in
   let rows =
     List.map
@@ -117,7 +117,8 @@ let fig11 (scale : Setup.scale) =
           else begin
             let i = Cq_util.Rng.int rng (Cq_util.Vec.length live) in
             let q = Cq_util.Vec.swap_remove live i in
-            if not (delete_q q) then failwith (name ^ ": delete of live query failed")
+            if not (delete_q q) then
+              Cq_util.Error.corrupt ~structure:name "delete of live query failed"
           end)
     in
     ns

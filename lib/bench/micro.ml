@@ -102,6 +102,6 @@ let run () =
           analyzed [])
       (tests ())
     |> List.concat
-    |> List.sort compare
+    |> List.sort (List.compare String.compare)
   in
   Report.table ~header:[ "operation"; "time/op" ] ~rows

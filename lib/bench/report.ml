@@ -151,7 +151,7 @@ let section id title =
   (* Each section's obs block is a per-experiment delta, not a running
      total since process start. *)
   Cq_obs.Metrics.reset ();
-  if !json_dir <> None then
+  if Option.is_some !json_dir then
     current :=
       Some
         {

@@ -37,7 +37,7 @@ let fig7i (scale : Setup.scale) =
   let table = Setup.s_table ~quantum scale ~seed:1 in
   let events = Setup.r_events ~quantum scale ~seed:2 ~n:scale.events in
   let sizes =
-    [ 10; 100; 1000; 10_000; scale.queries ] |> List.sort_uniq compare
+    [ 10; 100; 1000; 10_000; scale.queries ] |> List.sort_uniq Int.compare
     |> List.filter (fun n -> n <= scale.queries)
   in
   let rows =

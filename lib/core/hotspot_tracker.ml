@@ -167,7 +167,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
     let rounds = ref 0 in
     while !changed do
       incr rounds;
-      if !rounds > 1000 then failwith "Hotspot_tracker.stabilize: no fixpoint";
+      if !rounds > 1000 then Cq_util.Error.corrupt ~structure:"hotspot_tracker" "stabilize: no fixpoint";
       changed := false;
       let nf = float_of_int t.n in
       (* Promotions. *)
@@ -263,7 +263,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
   (* ------------------------------------------------------------------ *)
 
   let check_invariants t =
-    let fail fmt = Printf.ksprintf failwith fmt in
+    let fail fmt = Cq_util.Error.corrupt ~structure:"hotspot_tracker" fmt in
     let nf = float_of_int t.n in
     (* Structural consistency. *)
     Spart.check_invariants t.spart;

@@ -154,7 +154,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
     match EMap.find_opt e t.where with Some grp -> grp.gid | None -> raise Not_found
 
   let check_invariants t =
-    let fail fmt = Printf.ksprintf failwith fmt in
+    let fail fmt = Cq_util.Error.corrupt ~structure:"lazy_partition" fmt in
     (* Each member stabbed by its group's intersection. *)
     Hashtbl.iter
       (fun gid grp ->

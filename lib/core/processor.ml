@@ -238,7 +238,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
        the tracker's own view. *)
     let check_invariants t =
       Tracker.check_invariants t.tracker;
-      let fail fmt = Printf.ksprintf failwith fmt in
+      let fail fmt = Cq_util.Error.corrupt ~structure:name fmt in
       let hotspots = Tracker.hotspots t.tracker in
       if List.length hotspots <> Hashtbl.length t.hot then
         fail "%s: %d aux groups for %d hotspots" name (Hashtbl.length t.hot)
@@ -361,7 +361,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
     let check_invariants t =
       refresh t;
       if Index.size t.index <> Hashtbl.length t.queries then
-        Printf.ksprintf failwith "%s: index holds %d of %d queries" name
+        Cq_util.Error.corrupt ~structure:name "index holds %d of %d queries"
           (Index.size t.index) (Hashtbl.length t.queries)
 
     (* Extras used by the adaptive dispatcher. *)

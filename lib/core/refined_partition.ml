@@ -129,7 +129,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
     let u = ref T.empty in
     let v = ref [] in
     let isect = ref full_line in
-    let active_nonempty () = (not (T.is_empty !u)) || !v <> [] in
+    let active_nonempty () = (not (T.is_empty !u)) || not (List.is_empty !v) in
     let flush () =
       if active_nonempty () then begin
         let tj = List.fold_left (fun acc e -> T.add t.rng e acc) !u !v in
@@ -328,7 +328,7 @@ module Make (E : Partition_intf.ELEMENT) = struct
     !acc
 
   let check_invariants t =
-    let fail fmt = Printf.ksprintf failwith fmt in
+    let fail fmt = Cq_util.Error.corrupt ~structure:"refined_partition" fmt in
     (* Old groups: treap invariants, nonempty intersection, (⋆) order. *)
     let last_boundary = ref neg_infinity in
     Array.iter

@@ -344,7 +344,7 @@ let validate_rows rows =
   let bad = ref None in
   Array.iter
     (fun (x, y) ->
-      if !bad = None then
+      if Option.is_none !bad then
         if not (Float.is_finite x) then bad := Some (Err.Not_finite { name = "fst"; value = x })
         else if not (Float.is_finite y) then
           bad := Some (Err.Not_finite { name = "snd"; value = y }))
@@ -404,7 +404,7 @@ let delete_s t (s : Tuple.s) =
       | None -> ())
 
 let check_invariants t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Cq_util.Error.corrupt ~structure:"engine" fmt in
   band_check t.r_side.band;
   band_check t.s_side.band;
   select_check t.r_side.select;

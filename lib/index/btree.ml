@@ -470,7 +470,7 @@ module Make (K : ORDERED) = struct
   (* ------------------------------------------------------------------ *)
 
   let check_invariants t =
-    let fail fmt = Printf.ksprintf failwith fmt in
+    let fail fmt = Cq_util.Error.corrupt ~structure:"btree" fmt in
     let b = t.order in
     (* Returns (depth, min_key, max_key, entry_count); bounds are None
        for empty subtrees (only the empty root). *)

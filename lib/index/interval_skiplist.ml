@@ -123,7 +123,7 @@ let place_markers t e =
   let left =
     match find_node t (I.lo e.iv) with
     | Some n -> n
-    | None -> failwith "Interval_skiplist: missing left endpoint node"
+    | None -> Cq_util.Error.corrupt ~structure:"interval_skiplist" "missing left endpoint node"
   in
   mark_eq e left;
   let x = ref left in
@@ -207,7 +207,7 @@ let remove_node t key =
       done;
       List.iter (place_markers t) affected;
       ()
-  | _ -> failwith "Interval_skiplist.remove_node: node not found"
+  | _ -> Cq_util.Error.corrupt ~structure:"interval_skiplist" "remove_node: node not found"
 
 (* ----------------------------------------------------------------------- *)
 (* Public operations                                                         *)
@@ -247,7 +247,7 @@ let remove t iv pred =
           left.owners <- left.owners - 1;
           (match find_node t (I.hi iv) with
           | Some right -> right.owners <- right.owners - 1
-          | None -> failwith "Interval_skiplist.remove: missing right endpoint");
+          | None -> Cq_util.Error.corrupt ~structure:"interval_skiplist" "remove: missing right endpoint");
           if left.owners = 0 then remove_node t (I.lo iv);
           if I.hi iv <> I.lo iv then begin
             match find_node t (I.hi iv) with
@@ -305,7 +305,7 @@ let iter t f =
 (* ----------------------------------------------------------------------- *)
 
 let check_invariants t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Cq_util.Error.corrupt ~structure:"interval_skiplist" fmt in
   (* Node keys strictly increasing along level 0; forward pointers at
      higher levels consistent with level 0 ordering. *)
   let rec walk0 acc = function
@@ -343,7 +343,8 @@ let check_invariants t =
         (fun _ e ->
           if I.lo e.iv = n.key then begin
             let sp =
-              List.sort compare (Option.value ~default:[] (Hashtbl.find_opt spans e.id))
+              List.sort Cq_util.Order.float_pair
+                (Option.value ~default:[] (Hashtbl.find_opt spans e.id))
             in
             let rec tiles cur = function
               | [] -> cur = I.hi e.iv

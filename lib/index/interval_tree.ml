@@ -160,7 +160,7 @@ let to_list t =
   List.rev !acc
 
 let check_invariants t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Cq_util.Error.corrupt ~structure:"interval_tree" fmt in
   let rec go = function
     | Empty -> (0, neg_infinity, 0)
     | Node n ->

@@ -132,7 +132,7 @@ let rec iter f = function
       iter f n.right
 
 let check_invariants t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Cq_util.Error.corrupt ~structure:"priority_search_tree" fmt in
   let rec go = function
     | Empty -> None
     | Node n ->

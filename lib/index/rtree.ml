@@ -300,7 +300,7 @@ let iter t f = iter_rec t.root f
 (* --------------------------------------------------------------------- *)
 
 let check_invariants t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Cq_util.Error.corrupt ~structure:"rtree" fmt in
   let rec go ~is_root node =
     match node with
     | RLeaf l ->

@@ -131,7 +131,7 @@ module Make (E : ELEMENT) = struct
   let of_list rng elts = List.fold_left (fun t e -> add rng e t) Empty elts
 
   let check_invariants t =
-    let fail fmt = Printf.ksprintf failwith fmt in
+    let fail fmt = Cq_util.Error.corrupt ~structure:"treap" fmt in
     let rec go = function
       | Empty -> (full_line, 0)
       | Node n ->

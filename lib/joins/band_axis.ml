@@ -39,7 +39,7 @@ struct
     Fbt.check_invariants g.by_lo;
     Fbt.check_invariants g.by_hi;
     if Fbt.length g.by_lo <> Fbt.length g.by_hi then
-      failwith "Band_axis: endpoint sequences out of sync"
+      Cq_util.Error.corrupt ~structure:"band_axis" "endpoint sequences out of sync"
 
   (* Members in increasing left-endpoint order, stopping when [k]
      returns false (early exit is the point of the sorted sequences). *)
@@ -70,7 +70,7 @@ struct
     let c2 = Fbt.seek_ge sb key in
     let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
     let affected = Vec.create () in
-    if not (c1 = None && c2 = None) then begin
+    if not (Option.is_none c1 && Option.is_none c2) then begin
       let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
       let consider q = if mark q then Vec.push affected q in
       if exact then

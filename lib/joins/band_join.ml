@@ -457,4 +457,4 @@ let reference table queries (r : Tuple.r) =
       Table.iter_s table (fun s ->
           if Band_query.matches q ~r_b:r.b ~s_b:s.b then acc := (q.qid, s.sid) :: !acc))
     queries;
-  List.sort compare !acc
+  List.sort Cq_util.Order.int_pair !acc

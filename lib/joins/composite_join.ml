@@ -205,4 +205,4 @@ let reference table queries (r : Tuple.r) =
           if CQ.matches q ~r_a:r.a ~r_b:r.b ~s_b:s.Tuple.b ~s_c:s.Tuple.c then
             acc := (q.qid, s.sid) :: !acc))
     queries;
-  List.sort compare !acc
+  List.sort Cq_util.Order.int_pair !acc

@@ -211,7 +211,7 @@ let group_step1 table (r : Tuple.r) ~stab ~rtree ~mark =
   let fwd = match c2 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
   let bwd = match c1 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
   let affected = Vec.create () in
-  if not (fwd = None && bwd = None) then begin
+  if not (Option.is_none fwd && Option.is_none bwd) then begin
     let consider q = if mark q then Vec.push affected q in
     (* The two join result points closest to (stab, r.a) probe the
        group's rectangle index. *)
@@ -431,4 +431,4 @@ let reference table queries (r : Tuple.r) =
           if s.Tuple.b = r.b && Select_query.matches q ~r_a:r.a ~s_c:s.Tuple.c then
             acc := (q.qid, s.sid) :: !acc))
     queries;
-  List.sort compare !acc
+  List.sort Cq_util.Order.int_pair !acc

@@ -82,7 +82,7 @@ let process_group (type v) t (bt : v Pbt.t) ~b ~stab ~probe_of ~range_of
   let c1 = match c2 with Some c -> Pbt.prev c | None -> Pbt.seek_le bt (b, stab) in
   let fwd = match c2 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
   let bwd = match c1 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
-  if not (fwd = None && bwd = None) then begin
+  if not (Option.is_none fwd && Option.is_none bwd) then begin
     let affected = Vec.create () in
     let consider q = if mark t q then Vec.push affected q in
     (match bwd with
@@ -160,4 +160,4 @@ let reference_s r_table queries (s : Tuple.s) =
           if r.Tuple.b = s.b && Select_query.matches q ~r_a:r.Tuple.a ~s_c:s.c then
             acc := (q.qid, r.rid) :: !acc))
     queries;
-  List.sort compare !acc
+  List.sort Cq_util.Order.int_pair !acc

@@ -1,0 +1,40 @@
+type t = {
+  rule : Rule.t;
+  path : string;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  message : string;
+}
+
+let make ~rule ~path ~loc message =
+  let open Ppxlib in
+  let s = loc.loc_start and e = loc.loc_end in
+  {
+    rule;
+    path;
+    line = s.pos_lnum;
+    col = s.pos_cnum - s.pos_bol;
+    end_line = e.pos_lnum;
+    end_col = e.pos_cnum - e.pos_bol;
+    message;
+  }
+
+let file_level ~rule ~path message =
+  { rule; path; line = 1; col = 0; end_line = 1; end_col = 0; message }
+
+let compare a b =
+  match String.compare a.path b.path with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> Rule.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" d.path d.line d.col (Rule.id d.rule)
+    (Rule.name d.rule) d.message

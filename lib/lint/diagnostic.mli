@@ -1,0 +1,22 @@
+(** A single span-accurate lint finding. *)
+
+type t = {
+  rule : Rule.t;
+  path : string;  (** workspace-relative, ['/'] separators *)
+  line : int;  (** 1-based start line *)
+  col : int;  (** 0-based start column *)
+  end_line : int;
+  end_col : int;
+  message : string;
+}
+
+val make : rule:Rule.t -> path:string -> loc:Ppxlib.Location.t -> string -> t
+
+val file_level : rule:Rule.t -> path:string -> string -> t
+(** A whole-file finding (CQL005), anchored at line 1. *)
+
+val compare : t -> t -> int
+(** path, then position, then rule. *)
+
+val to_string : t -> string
+(** [path:line:col: CQL00N [name] message] — compiler-style, clickable. *)

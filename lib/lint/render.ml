@@ -1,0 +1,87 @@
+(* Hand-rolled JSON, same approach as Cq_bench.Report: the schema is
+   small and fixed, and the lint tool must not grow dependencies. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let finding_fields (d : Diagnostic.t) =
+  [
+    ("rule", str (Rule.id d.rule));
+    ("name", str (Rule.name d.rule));
+    ("path", str d.path);
+    ("line", string_of_int d.line);
+    ("col", string_of_int d.col);
+    ("end_line", string_of_int d.end_line);
+    ("end_col", string_of_int d.end_col);
+    ("message", str d.message);
+  ]
+
+let waiver_fields (w : Waiver.t) =
+  [
+    ("rule", str (Rule.id w.rule));
+    ("path", str w.path);
+    ("line", match w.line with Some l -> string_of_int l | None -> "null");
+    ("justification", str w.justification);
+    ("waiver_line", string_of_int w.source_line);
+  ]
+
+let json_of_report (r : Engine.report) =
+  obj
+    [
+      ("tool", str "cqlint");
+      ("schema_version", "1");
+      ( "summary",
+        obj
+          [
+            ("files", string_of_int (List.length r.files));
+            ("findings", string_of_int (List.length r.findings));
+            ("waived", string_of_int (List.length r.waived));
+            ("unused_waivers", string_of_int (List.length r.unused_waivers));
+            ("errors", string_of_int (List.length r.errors));
+          ] );
+      ("findings", arr (List.map (fun d -> obj (finding_fields d)) r.findings));
+      ( "waived",
+        arr
+          (List.map
+             (fun (d, (w : Waiver.t)) ->
+               obj (finding_fields d @ [ ("justification", str w.justification) ]))
+             r.waived) );
+      ("unused_waivers", arr (List.map (fun w -> obj (waiver_fields w)) r.unused_waivers));
+      ("errors", arr (List.map str r.errors));
+    ]
+
+let text_of_report (r : Engine.report) =
+  let buf = Buffer.create 1024 in
+  List.iter (fun e -> Buffer.add_string buf ("error: " ^ e ^ "\n")) r.errors;
+  List.iter (fun d -> Buffer.add_string buf (Diagnostic.to_string d ^ "\n")) r.findings;
+  List.iter
+    (fun (w : Waiver.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "unused waiver (remove or re-justify, line %d): %s -- %s\n"
+           w.source_line (Waiver.site_to_string w) w.justification))
+    r.unused_waivers;
+  Buffer.add_string buf
+    (Printf.sprintf "%d file(s) scanned: %d finding(s), %d waived, %d unused waiver(s)%s\n"
+       (List.length r.files) (List.length r.findings) (List.length r.waived)
+       (List.length r.unused_waivers)
+       (if Engine.clean r then " — clean" else ""));
+  Buffer.contents buf

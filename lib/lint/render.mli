@@ -1,0 +1,9 @@
+(** Report rendering: compiler-style text and the machine-readable JSON
+    the CI gate jq-checks (schema_version 1). *)
+
+val json_of_report : Engine.report -> string
+(** One JSON object:
+    [{tool, schema_version, summary:{files,findings,waived,unused_waivers,errors},
+      findings:[...], waived:[...], unused_waivers:[...], errors:[...]}] *)
+
+val text_of_report : Engine.report -> string

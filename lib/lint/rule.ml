@@ -1,0 +1,55 @@
+type t = CQL001 | CQL002 | CQL003 | CQL004 | CQL005
+
+let all = [ CQL001; CQL002; CQL003; CQL004; CQL005 ]
+
+let id = function
+  | CQL001 -> "CQL001"
+  | CQL002 -> "CQL002"
+  | CQL003 -> "CQL003"
+  | CQL004 -> "CQL004"
+  | CQL005 -> "CQL005"
+
+let name = function
+  | CQL001 -> "no-polymorphic-compare"
+  | CQL002 -> "error-discipline"
+  | CQL003 -> "global-mutable-state"
+  | CQL004 -> "obj-magic-ban"
+  | CQL005 -> "mli-coverage"
+
+let summary = function
+  | CQL001 ->
+      "polymorphic compare/hash at a non-immediate type: NaN-unsound on float \
+       endpoints and an indirect call on the hot path"
+  | CQL002 ->
+      "library code must not raise bare failwith/Failure; invalid_arg only in \
+       waived precondition guards — everything else goes through Cq_util.Error"
+  | CQL003 ->
+      "top-level mutable state in lib/ needs a waiver: shared state must be \
+       explicit before the engine is sharded across domains"
+  | CQL004 -> "Obj.magic and friends defeat the type system; never in this codebase"
+  | CQL005 -> "every lib/ module exposes a signature (.mli) or carries a waiver"
+
+let of_id s =
+  match String.uppercase_ascii (String.trim s) with
+  | "CQL001" -> Some CQL001
+  | "CQL002" -> Some CQL002
+  | "CQL003" -> Some CQL003
+  | "CQL004" -> Some CQL004
+  | "CQL005" -> Some CQL005
+  | _ -> None
+
+let equal a b = String.equal (id a) (id b)
+let compare a b = String.compare (id a) (id b)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* CQL001/CQL004 audit everything we compile; the error-discipline,
+   state and signature rules are library-only conventions. *)
+let applies_to rule ~path =
+  let in_lib = starts_with ~prefix:"lib/" path in
+  let in_bin = starts_with ~prefix:"bin/" path in
+  match rule with
+  | CQL001 | CQL004 -> in_lib || in_bin
+  | CQL002 | CQL003 | CQL005 -> in_lib

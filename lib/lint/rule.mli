@@ -1,0 +1,24 @@
+(** The cqlint rule set.
+
+    Each rule enforces a convention the OCaml compiler cannot check
+    for us; DESIGN.md §10 records the rationale for every rule. *)
+
+type t = CQL001 | CQL002 | CQL003 | CQL004 | CQL005
+
+val all : t list
+val id : t -> string  (** ["CQL001"] … *)
+
+val name : t -> string  (** kebab-case short name, e.g. [no-polymorphic-compare] *)
+
+val summary : t -> string  (** one-line rationale *)
+
+val of_id : string -> t option
+(** Case-insensitive parse of ["CQL001"]-style ids. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val applies_to : t -> path:string -> bool
+(** [path] is workspace-relative with ['/'] separators.  CQL001 and
+    CQL004 cover [lib/] and [bin/]; CQL002, CQL003 and CQL005 are
+    library-only conventions. *)

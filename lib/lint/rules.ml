@@ -1,0 +1,293 @@
+open Ppxlib
+
+(* Names whose local (re)binding shadows the polymorphic primitive of
+   the same name: a module-level [let compare = Elem.compare] makes
+   later bare [compare] uses monomorphic and unflaggable. *)
+let shadowable = [ "compare"; "min"; "max"; "failwith"; "invalid_arg" ]
+let is_shadowable n = List.exists (String.equal n) shadowable
+
+let rec bound_names acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (sub, { txt; _ }) -> bound_names (txt :: acc) sub
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left bound_names acc ps
+  | Ppat_construct (_, Some (_, sub)) -> bound_names acc sub
+  | Ppat_variant (_, Some sub)
+  | Ppat_constraint (sub, _)
+  | Ppat_lazy sub
+  | Ppat_open (_, sub)
+  | Ppat_exception sub ->
+      bound_names acc sub
+  | Ppat_or (a, b) -> bound_names (bound_names acc a) b
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, sub) -> bound_names acc sub) acc fields
+  | _ -> acc
+
+let rec strip_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> strip_constraint e
+  | _ -> e
+
+(* Comparison operators the compiler specializes when the operand type
+   is known: flagged only against operands whose type is syntactically
+   non-immediate (a structural literal). *)
+let poly_operators = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+let is_poly_operator n = List.exists (String.equal n) poly_operators
+
+(* List functions that embed a polymorphic equality. *)
+let poly_list_fns = [ "mem"; "memq"; "assoc"; "assq"; "mem_assoc"; "mem_assq" ]
+
+let is_structural_literal e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_construct ({ txt = Lident ("None" | "[]"); _ }, None) -> true
+  | Pexp_construct (_, Some _) -> true (* Some x, x :: tl, C payload *)
+  | Pexp_variant (_, Some _) -> true
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_constant (Pconst_string _) -> true
+  | _ -> false
+
+let is_float_literal e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let literal_hint e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_construct ({ txt = Lident "None"; _ }, None) ->
+      "use Option.is_none / Option.is_some or pattern-match"
+  | Pexp_construct ({ txt = Lident "[]"; _ }, None) ->
+      "use List.is_empty or pattern-match"
+  | Pexp_constant (Pconst_string _) -> "use String.equal / String.compare"
+  | Pexp_constant (Pconst_float _) -> "use Float.compare / Float.min / Float.max"
+  | _ -> "use a typed comparator (List.equal, Option.equal, a record field order, ...)"
+
+let mutable_ctor lid =
+  match lid with
+  | Lident "ref" -> Some "ref"
+  | Ldot (Lident "Hashtbl", "create") -> Some "Hashtbl.create"
+  | Ldot (Lident "Buffer", "create") -> Some "Buffer.create"
+  | Ldot (Lident "Bytes", ("create" | "make")) -> Some "Bytes.create"
+  | Ldot (Lident "Atomic", "make") -> Some "Atomic.make"
+  | Ldot (Lident "Queue", "create") -> Some "Queue.create"
+  | Ldot (Lident "Stack", "create") -> Some "Stack.create"
+  | Ldot (Lident "Array", ("make" | "init" | "create_float")) -> Some "Array.make"
+  | _ -> None
+
+let strip_stdlib = function Ldot (Lident "Stdlib", n) -> Lident n | lid -> lid
+
+class checker ~path ~(report : Diagnostic.t -> unit) =
+  let active r = Rule.applies_to r ~path in
+  let r001 = active Rule.CQL001
+  and r002 = active Rule.CQL002
+  and r003 = active Rule.CQL003
+  and r004 = active Rule.CQL004 in
+  object (self)
+    inherit Ast_traverse.iter as super
+
+    (* Multiset of currently shadowed primitive names. *)
+    val shadows : (string, int) Hashtbl.t = Hashtbl.create 8
+
+    (* Functor bodies allocate fresh state per application — their
+       module-level bindings are constructor state, not globals. *)
+    val mutable in_functor = false
+
+    method private shadowed n =
+      match Hashtbl.find_opt shadows n with Some c -> c > 0 | None -> false
+
+    method private push names =
+      List.iter
+        (fun n ->
+          if is_shadowable n then
+            Hashtbl.replace shadows n (1 + Option.value ~default:0 (Hashtbl.find_opt shadows n)))
+        names
+
+    method private pop names =
+      List.iter
+        (fun n ->
+          if is_shadowable n then
+            Hashtbl.replace shadows n (Option.value ~default:1 (Hashtbl.find_opt shadows n) - 1))
+        names
+
+    method private emit rule loc message =
+      report (Diagnostic.make ~rule ~path ~loc message)
+
+    method private check_ident lid loc =
+      (match strip_stdlib lid with
+      | Lident "compare" when r001 && not (self#shadowed "compare") ->
+          self#emit Rule.CQL001 loc
+            "bare polymorphic compare: indirect call per comparison and \
+             NaN-unsound on float keys; use a monomorphic comparator \
+             (Float.compare, Int.compare, Cq_util.Order.*)"
+      | Ldot (Lident "Hashtbl", ("hash" | "seeded_hash")) when r001 ->
+          self#emit Rule.CQL001 loc
+            "polymorphic Hashtbl.hash walks the value representation; hash an \
+             explicit key instead"
+      | Lident "failwith" when r002 && not (self#shadowed "failwith") ->
+          self#emit Rule.CQL002 loc
+            "bare failwith in library code: raise a typed Cq_util.Error \
+             (Error.corrupt for audit failures) so callers can match on it"
+      | Lident "invalid_arg" when r002 && not (self#shadowed "invalid_arg") ->
+          self#emit Rule.CQL002 loc
+            "invalid_arg is reserved for waived precondition guards; new code \
+             returns (_, Cq_util.Error.t) result via a try_* API"
+      | Ldot (Lident "Obj", ("magic" | "repr" | "obj")) when r004 ->
+          self#emit Rule.CQL004 loc "Obj.magic (and Obj.repr/Obj.obj) defeat the type system"
+      | _ -> ())
+
+    method private check_apply f args =
+      if r001 then
+        match (strip_constraint f).pexp_desc with
+        | Pexp_ident { txt; loc = _ } -> (
+            let args = List.map snd args in
+            match strip_stdlib txt with
+            | Lident op when is_poly_operator op ->
+                List.iter
+                  (fun a ->
+                    if is_structural_literal a then
+                      self#emit Rule.CQL001 a.pexp_loc
+                        (Printf.sprintf
+                           "polymorphic (%s) against a structural literal; %s" op
+                           (literal_hint a)))
+                  args
+            | Lident (("min" | "max") as op) when not (self#shadowed op) ->
+                List.iter
+                  (fun a ->
+                    if is_float_literal a || is_structural_literal a then
+                      self#emit Rule.CQL001 a.pexp_loc
+                        (Printf.sprintf
+                           "polymorphic %s at a non-immediate type; %s" op
+                           (literal_hint a)))
+                  args
+            | Ldot (Lident "List", fn) when List.exists (String.equal fn) poly_list_fns ->
+                List.iter
+                  (fun a ->
+                    if is_structural_literal a then
+                      self#emit Rule.CQL001 a.pexp_loc
+                        (Printf.sprintf
+                           "List.%s uses polymorphic equality on a structural \
+                            key; use an explicit equality (List.exists + \
+                            String.equal, an assoc with typed keys, ...)" fn))
+                  args
+            | _ -> ())
+        | _ -> ()
+
+    method private check_toplevel_state vbs =
+      if r003 && not in_functor then
+        List.iter
+          (fun vb ->
+            match (strip_constraint vb.pvb_expr).pexp_desc with
+            | Pexp_apply (f, _) -> (
+                match (strip_constraint f).pexp_desc with
+                | Pexp_ident { txt; _ } -> (
+                    match mutable_ctor (strip_stdlib txt) with
+                    | Some what ->
+                        self#emit Rule.CQL003 vb.pvb_loc
+                          (Printf.sprintf
+                             "top-level mutable state (%s): shared state must \
+                              be explicit before sharding — pass it through a \
+                              create function, or waive with a justification"
+                             what)
+                    | None -> ())
+                | _ -> ())
+            | _ -> ())
+          vbs
+
+    method private visit_cases cases =
+      List.iter
+        (fun c ->
+          let names = bound_names [] c.pc_lhs in
+          self#push names;
+          Option.iter self#expression c.pc_guard;
+          self#expression c.pc_rhs;
+          self#pop names)
+        cases
+
+    method private visit_bindings rf vbs k =
+      let names = List.concat_map (fun vb -> bound_names [] vb.pvb_pat) vbs in
+      if rf = Recursive then begin
+        self#push names;
+        List.iter (fun vb -> self#expression vb.pvb_expr) vbs;
+        k ();
+        self#pop names
+      end
+      else begin
+        List.iter (fun vb -> self#expression vb.pvb_expr) vbs;
+        self#push names;
+        k ();
+        self#pop names
+      end
+
+    method! expression e =
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> self#check_ident txt e.pexp_loc
+      | Pexp_construct ({ txt = Lident (("Failure" | "Invalid_argument") as exc); _ }, Some _)
+        when r002 ->
+          self#emit Rule.CQL002 e.pexp_loc
+            (Printf.sprintf
+               "constructing %s directly; raise a typed Cq_util.Error instead \
+                (catching it in a handler pattern is fine)" exc);
+          super#expression e
+      | Pexp_apply (f, args) ->
+          self#check_apply f args;
+          super#expression e
+      | Pexp_let (rf, vbs, body) ->
+          self#visit_bindings rf vbs (fun () -> self#expression body)
+      | Pexp_function (params, _, body) ->
+          let names =
+            List.concat_map
+              (fun p ->
+                match p.pparam_desc with
+                | Pparam_val (_, default, pat) ->
+                    Option.iter self#expression default;
+                    bound_names [] pat
+                | Pparam_newtype _ -> [])
+              params
+          in
+          self#push names;
+          (match body with
+          | Pfunction_body b -> self#expression b
+          | Pfunction_cases (cases, _, _) -> self#visit_cases cases);
+          self#pop names
+      | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+          self#expression scrut;
+          self#visit_cases cases
+      | _ -> super#expression e
+
+    method! module_expr m =
+      match m.pmod_desc with
+      | Pmod_functor (_, body) ->
+          let saved = in_functor in
+          in_functor <- true;
+          self#module_expr body;
+          in_functor <- saved
+      | _ -> super#module_expr m
+
+    method! structure items =
+      let pushed = ref [] in
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (rf, vbs) ->
+              self#check_toplevel_state vbs;
+              let names = List.concat_map (fun vb -> bound_names [] vb.pvb_pat) vbs in
+              if rf = Recursive then begin
+                self#push names;
+                List.iter (fun vb -> self#expression vb.pvb_expr) vbs
+              end
+              else begin
+                List.iter (fun vb -> self#expression vb.pvb_expr) vbs;
+                self#push names
+              end;
+              pushed := names @ !pushed
+          | _ -> super#structure_item item)
+        items;
+      self#pop !pushed
+  end
+
+let check_structure ~path st =
+  let acc = ref [] in
+  let c = new checker ~path ~report:(fun d -> acc := d :: !acc) in
+  c#structure st;
+  List.sort Diagnostic.compare !acc
+
+let check_signature ~path:_ (_ : signature) = []

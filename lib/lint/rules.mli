@@ -1,0 +1,15 @@
+(** The AST-driven rule checks (CQL001–CQL004).
+
+    CQL005 (mli-coverage) is a file-system property and lives in
+    {!Engine}.  All checks are scope-aware: a local or module-level
+    binding of [compare]/[min]/[max] shadows the polymorphic primitive
+    and suppresses CQL001 for uses in its scope, and functor bodies are
+    exempt from CQL003 (their "module-level" state is allocated per
+    application). *)
+
+val check_structure : path:string -> Ppxlib.structure -> Diagnostic.t list
+(** Run every rule that applies to [path] (see {!Rule.applies_to}) over
+    a parsed implementation; diagnostics come back in source order. *)
+
+val check_signature : path:string -> Ppxlib.signature -> Diagnostic.t list
+(** Interfaces contain no expressions; today this is always []. *)

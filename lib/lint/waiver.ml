@@ -1,0 +1,97 @@
+type t = {
+  rule : Rule.t;
+  path : string;
+  line : int option;
+  justification : string;
+  source_line : int;
+}
+
+type parse_error = { file : string; source_line : int; text : string; reason : string }
+
+let error_to_string e =
+  Printf.sprintf "%s:%d: bad waiver %S: %s" e.file e.source_line e.text e.reason
+
+let normalize_path p =
+  let p =
+    if String.length p > 2 && String.equal (String.sub p 0 2) "./" then
+      String.sub p 2 (String.length p - 2)
+    else p
+  in
+  String.map (function '\\' -> '/' | c -> c) p
+
+(* [path] or [path:line]; a trailing all-digit component after the last
+   ':' is a line number. *)
+let split_site site =
+  match String.rindex_opt site ':' with
+  | None -> Ok (normalize_path site, None)
+  | Some i ->
+      let path = String.sub site 0 i in
+      let suffix = String.sub site (i + 1) (String.length site - i - 1) in
+      if String.equal suffix "" then Error "empty line number after ':'"
+      else if String.for_all (fun c -> c >= '0' && c <= '9') suffix then
+        let n = int_of_string suffix in
+        if n <= 0 then Error "line numbers are 1-based" else Ok (normalize_path path, Some n)
+      else Error (Printf.sprintf "%S is not a line number" suffix)
+
+let parse_line ~file ~source_line raw =
+  let text = String.trim raw in
+  let err reason = Error { file; source_line; text; reason } in
+  if String.equal text "" || Char.equal text.[0] '#' then Ok None
+  else
+    match String.index_opt text ' ' with
+    | None -> err "expected: RULE path[:line] -- justification"
+    | Some sp -> (
+        let rule_s = String.sub text 0 sp in
+        match Rule.of_id rule_s with
+        | None -> err (Printf.sprintf "unknown rule id %S (expected CQL001..CQL005)" rule_s)
+        | Some rule -> (
+            let rest = String.trim (String.sub text sp (String.length text - sp)) in
+            (* Find the " -- " justification separator. *)
+            let sep =
+              let rec find i =
+                if i + 2 > String.length rest then None
+                else if String.equal (String.sub rest i 2) "--" then Some i
+                else find (i + 1)
+              in
+              find 0
+            in
+            match sep with
+            | None -> err "missing ' -- justification' (every waiver must say why)"
+            | Some i -> (
+                let site = String.trim (String.sub rest 0 i) in
+                let just = String.trim (String.sub rest (i + 2) (String.length rest - i - 2)) in
+                if String.equal site "" then err "missing path before '--'"
+                else if String.equal just "" then err "empty justification after '--'"
+                else
+                  match split_site site with
+                  | Error reason -> err reason
+                  | Ok (path, line) ->
+                      Ok (Some { rule; path; line; justification = just; source_line }))))
+
+let parse ~file contents =
+  let lines = String.split_on_char '\n' contents in
+  let waivers = ref [] and errors = ref [] in
+  List.iteri
+    (fun i raw ->
+      match parse_line ~file ~source_line:(i + 1) raw with
+      | Ok None -> ()
+      | Ok (Some w) -> waivers := w :: !waivers
+      | Error e -> errors := e :: !errors)
+    lines;
+  match List.rev !errors with [] -> Ok (List.rev !waivers) | es -> Error es
+
+let load file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | contents -> parse ~file contents
+  | exception Sys_error msg ->
+      Error [ { file; source_line = 0; text = ""; reason = msg } ]
+
+let covers w (d : Diagnostic.t) =
+  Rule.equal w.rule d.rule
+  && String.equal w.path d.path
+  && match w.line with None -> true | Some l -> l = d.line
+
+let site_to_string w =
+  match w.line with
+  | None -> Printf.sprintf "%s %s" (Rule.id w.rule) w.path
+  | Some l -> Printf.sprintf "%s %s:%d" (Rule.id w.rule) w.path l

@@ -1,0 +1,36 @@
+(** Per-site waivers loaded from a checked-in [.cqlint] allowlist.
+
+    One waiver per line:
+    {v
+    # comments and blank lines are ignored
+    CQL003 lib/obs/metrics.ml:6 -- the sanctioned off-by-default switch
+    CQL002 lib/util/vec.ml -- invalid_arg precondition guards (DESIGN §10)
+    v}
+    The justification after [--] is mandatory: a waiver that cannot say
+    why it exists is a finding waiting to happen. *)
+
+type t = {
+  rule : Rule.t;
+  path : string;  (** workspace-relative *)
+  line : int option;  (** [None] waives the whole file for that rule *)
+  justification : string;
+  source_line : int;  (** 1-based line in the waiver file *)
+}
+
+type parse_error = { file : string; source_line : int; text : string; reason : string }
+
+val error_to_string : parse_error -> string
+
+val parse_line :
+  file:string -> source_line:int -> string -> (t option, parse_error) result
+(** [Ok None] for blank/comment lines. *)
+
+val parse : file:string -> string -> (t list, parse_error list) result
+(** Parse a whole waiver file; all bad lines are reported, not just the
+    first. *)
+
+val load : string -> (t list, parse_error list) result
+(** [parse] on a file path; a missing file is a (single) error. *)
+
+val covers : t -> Diagnostic.t -> bool
+val site_to_string : t -> string

@@ -12,8 +12,9 @@ let pp_report fmt = function
       List.iter (fun v -> Format.fprintf fmt "@,  %a" pp_violation v) vs
 
 (* Violations accumulate so one audit reports every broken invariant,
-   not just the first; [guard] converts the Failure-raising
-   check_invariants style into a recorded violation. *)
+   not just the first; [guard] converts the Corrupt-raising
+   check_invariants style (Cq_util.Error.corrupt) into a recorded
+   violation. *)
 type ctx = { structure : string; mutable acc : violation list }
 
 let ctx structure = { structure; acc = [] }
@@ -22,6 +23,8 @@ let pushf c check fmt = Printf.ksprintf (push c check) fmt
 
 let guard c check f =
   try f () with
+  | Cq_util.Error.Cq_error (Corrupt { detail; _ }) -> push c check detail
+  | Cq_util.Error.Cq_error e -> push c check (Cq_util.Error.to_string e)
   | Failure msg -> push c check msg
   | exn -> push c check (Printexc.to_string exn)
 
@@ -31,7 +34,7 @@ let merge reports =
   let vs =
     List.concat_map (function Ok () -> [] | Error vs -> vs) reports
   in
-  if vs = [] then Ok () else Error vs
+  if List.is_empty vs then Ok () else Error vs
 
 (* Cap the quadratic cross-checks: probe at most [limit] positions
    spread evenly over the entries. *)
@@ -289,7 +292,7 @@ struct
             let gid = P.group_of p e in
             let gms = P.group_members p gid in
             if not (List.exists (fun e' -> E.compare e e' = 0) gms) then
-              failwith "group_of does not round-trip through group_members"))
+              Cq_util.Error.corrupt ~structure:"partition" "group_of does not round-trip through group_members"))
       (sample 48 members);
     seal c
 end
@@ -319,7 +322,7 @@ struct
         (List.length scattered) (T.size tr);
     List.iter
       (fun (gid, stab, members) ->
-        if members = [] then pushf c "hot" "hotspot %d has no members" gid;
+        if List.is_empty members then pushf c "hot" "hotspot %d has no members" gid;
         List.iter
           (fun e ->
             if not (I.stabs (E.interval e) stab) then

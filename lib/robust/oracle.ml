@@ -14,7 +14,7 @@ type outcome = {
   divergence : divergence option;
 }
 
-let passed o = o.divergence = None && o.violations = []
+let passed o = Option.is_none o.divergence && List.is_empty o.violations
 
 let pp_outcome fmt o =
   Format.fprintf fmt "%-22s seed=%d ops=%d size=%d: " o.structure o.seed o.ops o.final_size;
@@ -46,7 +46,7 @@ let make_run name seed =
 let diverge run i fmt =
   Printf.ksprintf
     (fun detail ->
-      if run.div = None then
+      if Option.is_none run.div then
         run.div <- Some { structure = run.name; seed = run.seed; op_index = i; detail })
     fmt
 
@@ -113,7 +113,7 @@ let run_index (module S : STAB_INDEX) ~seed ~ops =
   let gap = checkpoint_gap ops in
   Array.iteri
     (fun i op ->
-      if run.div = None then
+      if Option.is_none run.div then
         try
           (match op with
           | Fault.Add { id; iv } | Fault.Re_add { id; iv } ->
@@ -128,13 +128,13 @@ let run_index (module S : STAB_INDEX) ~seed ~ops =
               else if got then mirror_remove_one mirror id iv
           | Fault.Probe x ->
               let want =
-                List.sort compare
+                List.sort Int.compare
                   (Hashtbl.fold
                      (fun id iv acc -> if I.stabs iv x then id :: acc else acc)
                      mirror [])
               in
-              let got = List.sort compare (S.stab_ids t x) in
-              if got <> want then
+              let got = List.sort Int.compare (S.stab_ids t x) in
+              if not (List.equal Int.equal got want) then
                 diverge run i "stab %g returned %d ids, oracle says %d" x (List.length got)
                   (List.length want));
           let n = S.size t and m = Hashtbl.length mirror in
@@ -257,7 +257,7 @@ let run_btree ~seed ~ops =
   let gap = checkpoint_gap ops in
   Array.iteri
     (fun i op ->
-      if run.div = None then
+      if Option.is_none run.div then
         try
           (match op with
           | Fault.Add { id; iv } | Fault.Re_add { id; iv } ->
@@ -322,7 +322,7 @@ let run_setlike name s ~seed ~ops =
   let gap = checkpoint_gap ops in
   Array.iteri
     (fun i op ->
-      if run.div = None then
+      if Option.is_none run.div then
         try
           (match op with
           | Fault.Add { id; iv } ->
@@ -435,7 +435,7 @@ let run_engine ?(backend = Cq_index.Stab_backend.Itree) ~seed ~ops () =
     let guard delta _ _ =
       match !cell with
       | Some q when q.q_live -> q.actual <- q.actual + delta
-      | Some q when !stray = None -> stray := Some (q.qid, i)
+      | Some q when Option.is_none !stray -> stray := Some (q.qid, i)
       | _ -> ()
     in
     let sub =
@@ -482,7 +482,7 @@ let run_engine ?(backend = Cq_index.Stab_backend.Itree) ~seed ~ops () =
   in
   Array.iteri
     (fun i op ->
-      if run.div = None then
+      if Option.is_none run.div then
         try
           (match op with
           | Fault.Sub_band { range } -> subscribe i (Band range)

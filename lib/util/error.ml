@@ -4,6 +4,7 @@ type t =
   | Empty_range of { name : string }
   | Duplicate of { what : string }
   | Absent of { what : string }
+  | Corrupt of { structure : string; detail : string }
 
 exception Cq_error of t
 
@@ -14,6 +15,7 @@ let to_string = function
   | Empty_range { name } -> Printf.sprintf "%s is an empty range" name
   | Duplicate { what } -> Printf.sprintf "%s is already present" what
   | Absent { what } -> Printf.sprintf "%s is not present" what
+  | Corrupt { structure; detail } -> Printf.sprintf "%s is corrupt: %s" structure detail
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
@@ -24,6 +26,7 @@ let () =
 
 let raise_ e = raise (Cq_error e)
 let ok_exn = function Ok v -> v | Error e -> raise_ e
+let corrupt ~structure fmt = Printf.ksprintf (fun detail -> raise_ (Corrupt { structure; detail })) fmt
 
 let finite ~name v =
   if Float.is_finite v then Ok v else Error (Not_finite { name; value = v })

@@ -20,6 +20,12 @@ type t =
           fire and is almost certainly a caller bug. *)
   | Duplicate of { what : string }  (** Element already present. *)
   | Absent of { what : string }  (** Element not present. *)
+  | Corrupt of { structure : string; detail : string }
+      (** A structural invariant audit failed: [structure] names the
+          offending index or partition, [detail] the broken check.
+          Raised (never returned) by [check_invariants]-style audits;
+          {!Cq_robust.Invariant.guard} converts it into a recorded
+          violation. *)
 
 exception Cq_error of t
 
@@ -31,6 +37,10 @@ val raise_ : t -> 'a
 
 val ok_exn : ('a, t) result -> 'a
 (** [Ok v -> v]; [Error e] raises {!Cq_error}. *)
+
+val corrupt : structure:string -> ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt ~structure fmt ...] raises {!Cq_error} with a {!Corrupt}
+    payload — the audit-failure channel replacing bare [failwith]. *)
 
 (** {2 Validators} *)
 

@@ -1,0 +1,7 @@
+let int_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let float_pair (a1, b1) (a2, b2) =
+  match Float.compare a1 a2 with 0 -> Float.compare b1 b2 | c -> c
+
+let by f cmp a b = cmp (f a) (f b)

@@ -1,0 +1,17 @@
+(** Monomorphic comparators for the hot paths.
+
+    Polymorphic [compare] walks the runtime representation: it is an
+    indirect call per comparison, and on floats it orders NaN
+    inconsistently with IEEE semantics.  Every sort or membership test
+    in the library goes through an explicit comparator instead —
+    [cqlint] rule CQL001 enforces this. *)
+
+val int_pair : int * int -> int * int -> int
+(** Lexicographic order on [int] pairs — (qid, sid) result lists. *)
+
+val float_pair : float * float -> float * float -> int
+(** Lexicographic order via {!Float.compare} (total, NaN-last) —
+    endpoint span lists. *)
+
+val by : ('a -> 'b) -> ('b -> 'b -> int) -> 'a -> 'a -> int
+(** [by f cmp] compares through a projection: [cmp (f a) (f b)]. *)

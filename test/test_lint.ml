@@ -1,0 +1,422 @@
+(* Self-test harness for cqlint: fixture snippets asserting each
+   rule's hits AND non-hits, waiver-file parsing (bad lines rejected
+   with a usable error), waiver application, and a meta-test that the
+   analyzer runs clean on this repository itself. *)
+
+open Cq_lint
+
+(* ------------------------------------------------------------------ *)
+(* Fixture helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lint ?(path = "lib/fixture.ml") src =
+  match Engine.lint_source ~path src with
+  | Ok ds -> ds
+  | Error e -> Alcotest.failf "fixture failed to parse: %s" e
+
+let lines_of rule ds =
+  List.filter_map
+    (fun (d : Diagnostic.t) -> if Rule.equal d.rule rule then Some d.line else None)
+    ds
+
+let check_lines what rule expected ds =
+  Alcotest.(check (list int)) what expected (lines_of rule ds)
+
+(* ------------------------------------------------------------------ *)
+(* CQL001 no-polymorphic-compare                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cql001_hits () =
+  let ds =
+    lint
+      {|
+let f xs = List.sort compare xs
+let g x y = compare x y
+let h x = x = None
+let i xs = xs <> []
+let j x = min 0.0 x
+let k x = Hashtbl.hash x
+let l s = s = "literal"
+let m x xs = List.mem (Some x) xs
+|}
+  in
+  check_lines "one hit per corrupted line" Rule.CQL001 [ 2; 3; 4; 5; 6; 7; 8; 9 ] ds
+
+let cql001_non_hits () =
+  let ds =
+    lint
+      {|
+let f xs = List.sort Int.compare xs
+let compare a b = Float.compare a b
+let g xs = List.sort compare xs
+let h x = match x with None -> true | Some _ -> false
+let i n m = min n m
+let j x = x = 3
+let k c = c = 'x'
+module M = struct
+  let compare = Int.compare
+  let sorted xs = List.sort compare xs
+end
+let l xs = List.sort M.compare xs
+type r = { next : int option }
+let m () = { next = None }
+|}
+  in
+  check_lines "monomorphic/shadowed/immediate uses are clean" Rule.CQL001 [] ds
+
+let cql001_shadow_scoping () =
+  (* A local [compare] binding suppresses the rule only inside its
+     scope — the module-level use after it must still be flagged. *)
+  let ds =
+    lint
+      {|
+let f xs =
+  let compare a b = Int.compare a b in
+  List.sort compare xs
+let g xs = List.sort compare xs
+|}
+  in
+  check_lines "shadow does not leak out of its scope" Rule.CQL001 [ 5 ] ds
+
+let cql001_applies_to_bin () =
+  let ds = lint ~path:"bin/fixture.ml" "let f x y = compare x y" in
+  check_lines "CQL001 also covers bin/" Rule.CQL001 [ 1 ] ds
+
+let cql001_span_accuracy () =
+  let ds = lint "let f xs = List.sort compare xs" in
+  match ds with
+  | [ d ] ->
+      Alcotest.(check int) "line" 1 d.line;
+      Alcotest.(check int) "start col points at the compare ident" 21 d.col;
+      Alcotest.(check int) "end col" 28 d.end_col
+  | _ -> Alcotest.failf "expected exactly one finding, got %d" (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* CQL002 error-discipline                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cql002_hits () =
+  let ds =
+    lint
+      {|
+let f () = failwith "boom"
+let g x = if x < 0 then invalid_arg "g: negative"
+let h () = raise (Failure "bad")
+let i fmt = Printf.ksprintf failwith fmt
+|}
+  in
+  check_lines "failwith/invalid_arg/Failure all flagged" Rule.CQL002 [ 2; 3; 4; 5 ] ds
+
+let cql002_non_hits () =
+  let ds =
+    lint
+      {|
+let f () = Cq_util.Error.corrupt ~structure:"fixture" "broken: %d" 3
+let g () = try () with Failure _ -> ()
+let h e = match e with Invalid_argument m -> m | _ -> ""
+|}
+  in
+  check_lines "typed raises and handler patterns are clean" Rule.CQL002 [] ds
+
+let cql002_lib_only () =
+  let ds = lint ~path:"bin/fixture.ml" {|let f () = failwith "cli code may die"|} in
+  check_lines "CQL002 does not apply to bin/" Rule.CQL002 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL003 global-mutable-state                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cql003_hits () =
+  let ds =
+    lint
+      {|
+let table = Hashtbl.create 16
+let switch = ref false
+let buf = Buffer.create 80
+module M = struct
+  let inner = ref 0
+end
+|}
+  in
+  check_lines "module-level mutable allocations flagged" Rule.CQL003 [ 2; 3; 4; 6 ] ds
+
+let cql003_non_hits () =
+  let ds =
+    lint
+      {|
+let make () = ref 0
+let f () =
+  let r = ref 0 in
+  incr r;
+  !r
+module Make (X : sig end) = struct
+  let state = ref 0
+end
+let pure = 42
+|}
+  in
+  check_lines "constructor-local and functor state are clean" Rule.CQL003 [] ds
+
+let cql003_lib_only () =
+  let ds = lint ~path:"bin/fixture.ml" "let cache = Hashtbl.create 16" in
+  check_lines "CQL003 does not apply to bin/" Rule.CQL003 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL004 obj-magic-ban                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cql004_hits () =
+  let ds =
+    lint {|
+let f x = Obj.magic x
+let g x = Obj.repr x
+|}
+  in
+  check_lines "Obj.magic and Obj.repr flagged" Rule.CQL004 [ 2; 3 ] ds
+
+let cql004_everywhere () =
+  let ds = lint ~path:"bin/fixture.ml" "let f x = Obj.magic x" in
+  check_lines "CQL004 covers bin/ too" Rule.CQL004 [ 1 ] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL005 mli-coverage (needs a real directory tree)                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_tree files f =
+  (* temp_file gives us a unique path; reuse the name as a directory. *)
+  let root = Filename.temp_file "cqlint_test" ".d" in
+  Sys.remove root;
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  List.iter
+    (fun (rel, contents) ->
+      let full = Filename.concat root rel in
+      mkdirs (Filename.dirname full);
+      Out_channel.with_open_bin full (fun oc -> Out_channel.output_string oc contents))
+    files;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm d =
+        if Sys.is_directory d then begin
+          Array.iter (fun n -> rm (Filename.concat d n)) (Sys.readdir d);
+          Sys.rmdir d
+        end
+        else Sys.remove d
+      in
+      if Sys.file_exists root then rm root)
+    (fun () -> f root)
+
+let cql005_missing_mli () =
+  with_temp_tree
+    [ ("lib/a.ml", "let x = 1\n"); ("lib/b.ml", "let y = 2\n"); ("lib/b.mli", "val y : int\n") ]
+    (fun root ->
+      let report = Engine.run ~root () in
+      Alcotest.(check (list string)) "a.ml lacks an interface" [ "lib/a.ml" ]
+        (List.filter_map
+           (fun (d : Diagnostic.t) ->
+             if Rule.equal d.rule Rule.CQL005 then Some d.path else None)
+           report.findings))
+
+let cql005_waived_via_file () =
+  with_temp_tree
+    [
+      ("lib/a.ml", "let x = 1\n");
+      (".cqlint", "CQL005 lib/a.ml -- intf-only module pattern, fixture\n");
+    ]
+    (fun root ->
+      let report = Engine.run ~root () in
+      Alcotest.(check bool) "clean with waiver" true (Engine.clean report);
+      Alcotest.(check int) "one waived" 1 (List.length report.waived))
+
+let stale_waiver_fails () =
+  with_temp_tree
+    [
+      ("lib/a.ml", "let x = 1\n");
+      ("lib/a.mli", "val x : int\n");
+      (".cqlint", "CQL005 lib/a.ml -- no longer true: the mli exists now\n");
+    ]
+    (fun root ->
+      let report = Engine.run ~root () in
+      Alcotest.(check bool) "stale waiver breaks cleanliness" false (Engine.clean report);
+      Alcotest.(check int) "reported as unused" 1 (List.length report.unused_waivers))
+
+(* ------------------------------------------------------------------ *)
+(* Waiver parsing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_one s =
+  match Waiver.parse_line ~file:".cqlint" ~source_line:1 s with
+  | Ok v -> Ok v
+  | Error e -> Error e.reason
+
+let waiver_parse_good () =
+  (match parse_one "CQL001 lib/x.ml:12 -- floats compared polymorphically" with
+  | Ok (Some w) ->
+      Alcotest.(check string) "path" "lib/x.ml" w.path;
+      Alcotest.(check (option int)) "line" (Some 12) w.line;
+      Alcotest.(check string) "justification" "floats compared polymorphically" w.justification
+  | _ -> Alcotest.fail "line-pinned waiver should parse");
+  (match parse_one "cql002 ./lib/y.ml -- guards (lowercase id, ./ prefix ok)" with
+  | Ok (Some w) ->
+      Alcotest.(check string) "normalized path" "lib/y.ml" w.path;
+      Alcotest.(check (option int)) "file-level" None w.line
+  | _ -> Alcotest.fail "file-level waiver should parse");
+  (match parse_one "# just a comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comments are skipped");
+  match parse_one "   " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank lines are skipped"
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_reject what s fragment =
+  match parse_one s with
+  | Ok _ -> Alcotest.failf "%s: %S should have been rejected" what s
+  | Error reason ->
+      if not (contains ~needle:fragment reason) then
+        Alcotest.failf "%s: error %S does not mention %S" what reason fragment
+
+let waiver_parse_bad () =
+  expect_reject "unknown rule" "CQL999 lib/x.ml -- nope" "unknown rule";
+  expect_reject "missing justification" "CQL001 lib/x.ml" "justification";
+  expect_reject "empty justification" "CQL001 lib/x.ml -- " "justification";
+  expect_reject "zero line" "CQL001 lib/x.ml:0 -- reason" "1-based";
+  expect_reject "bad line suffix" "CQL001 lib/x.ml: -- reason" "empty line number";
+  expect_reject "no site" "CQL001 -- reason" "missing path"
+
+let waiver_parse_reports_all_bad_lines () =
+  let contents = "CQL001 lib/a.ml -- fine\nCQL999 b.ml -- bad\nCQL001 nope\n" in
+  match Waiver.parse ~file:".cqlint" contents with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error es ->
+      Alcotest.(check (list int)) "both bad lines reported, 1-based" [ 2; 3 ]
+        (List.map (fun (e : Waiver.parse_error) -> e.source_line) es)
+
+let waiver_covers () =
+  let d =
+    match lint "let f xs = List.sort compare xs" with
+    | [ d ] -> d
+    | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds)
+  in
+  let w line =
+    { Waiver.rule = Rule.CQL001; path = "lib/fixture.ml"; line; justification = "j"; source_line = 1 }
+  in
+  Alcotest.(check bool) "file-level covers" true (Waiver.covers (w None) d);
+  Alcotest.(check bool) "matching line covers" true (Waiver.covers (w (Some 1)) d);
+  Alcotest.(check bool) "other line does not" false (Waiver.covers (w (Some 9)) d);
+  Alcotest.(check bool) "other rule does not" false
+    (Waiver.covers { (w None) with rule = Rule.CQL004 } d)
+
+let syntax_error_is_reported () =
+  match Engine.lint_source ~path:"lib/broken.ml" "let let = in" with
+  | Error msg -> Alcotest.(check bool) "mentions the path" true (contains ~needle:"broken.ml" msg)
+  | Ok _ -> Alcotest.fail "unparsable source must not lint clean"
+
+(* ------------------------------------------------------------------ *)
+(* Meta: the repository itself lints clean                              *)
+(* ------------------------------------------------------------------ *)
+
+let find_repo_root () =
+  let rec up dir depth =
+    if depth > 8 then None
+    else if
+      Sys.file_exists (Filename.concat dir ".cqlint")
+      && Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let repo_lints_clean () =
+  match find_repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let report = Engine.run ~root () in
+      List.iter (fun d -> Printf.printf "unexpected: %s\n" (Diagnostic.to_string d)) report.findings;
+      List.iter (fun e -> Printf.printf "error: %s\n" e) report.errors;
+      Alcotest.(check (list string)) "no unwaived findings"
+        [] (List.map Diagnostic.to_string report.findings);
+      Alcotest.(check int) "no stale waivers" 0 (List.length report.unused_waivers);
+      Alcotest.(check (list string)) "no parse/waiver errors" [] report.errors;
+      Alcotest.(check bool) "scanned a real tree" true (List.length report.files > 50)
+
+let repo_waivers_all_justified () =
+  (* Belt and braces: every waiver entry in the checked-in .cqlint
+     parses with a non-empty justification (the parser enforces it; a
+     hand-edited file that breaks this fails here too). *)
+  match find_repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root -> (
+      match Waiver.load (Filename.concat root ".cqlint") with
+      | Error es ->
+          Alcotest.failf "waiver file does not parse: %s"
+            (String.concat "; " (List.map Waiver.error_to_string es))
+      | Ok ws ->
+          Alcotest.(check bool) "has entries" true (List.length ws > 0);
+          List.iter
+            (fun (w : Waiver.t) ->
+              if String.length w.justification < 10 then
+                Alcotest.failf "waiver %s: justification too thin" (Waiver.site_to_string w))
+            ws)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cq_lint"
+    [
+      ( "cql001",
+        [
+          Alcotest.test_case "hits" `Quick cql001_hits;
+          Alcotest.test_case "non-hits" `Quick cql001_non_hits;
+          Alcotest.test_case "shadow scoping" `Quick cql001_shadow_scoping;
+          Alcotest.test_case "applies to bin/" `Quick cql001_applies_to_bin;
+          Alcotest.test_case "span accuracy" `Quick cql001_span_accuracy;
+        ] );
+      ( "cql002",
+        [
+          Alcotest.test_case "hits" `Quick cql002_hits;
+          Alcotest.test_case "non-hits" `Quick cql002_non_hits;
+          Alcotest.test_case "lib-only" `Quick cql002_lib_only;
+        ] );
+      ( "cql003",
+        [
+          Alcotest.test_case "hits" `Quick cql003_hits;
+          Alcotest.test_case "non-hits" `Quick cql003_non_hits;
+          Alcotest.test_case "lib-only" `Quick cql003_lib_only;
+        ] );
+      ( "cql004",
+        [
+          Alcotest.test_case "hits" `Quick cql004_hits;
+          Alcotest.test_case "everywhere" `Quick cql004_everywhere;
+        ] );
+      ( "cql005",
+        [
+          Alcotest.test_case "missing mli" `Quick cql005_missing_mli;
+          Alcotest.test_case "waived" `Quick cql005_waived_via_file;
+          Alcotest.test_case "stale waiver fails" `Quick stale_waiver_fails;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "good lines" `Quick waiver_parse_good;
+          Alcotest.test_case "bad lines rejected" `Quick waiver_parse_bad;
+          Alcotest.test_case "all bad lines reported" `Quick waiver_parse_reports_all_bad_lines;
+          Alcotest.test_case "coverage matching" `Quick waiver_covers;
+          Alcotest.test_case "syntax errors reported" `Quick syntax_error_is_reported;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "repo lints clean" `Quick repo_lints_clean;
+          Alcotest.test_case "waivers justified" `Quick repo_waivers_all_justified;
+        ] );
+    ]

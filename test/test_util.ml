@@ -198,6 +198,40 @@ let prop_vec_models_list =
       List.iter (Vec.push v) ops;
       Vec.to_list v = ops)
 
+(* ------------------------------- Order ------------------------------- *)
+
+(* The monomorphic comparators that replaced polymorphic [List.sort
+   compare] on the result paths (CQL001) must order exactly as the
+   polymorphic primitive did — here, in test code, poly compare is the
+   oracle. *)
+let prop_order_int_pair_matches_poly =
+  QCheck2.Test.make ~name:"Order.int_pair orders like polymorphic compare" ~count:500
+    QCheck2.Gen.(list (pair small_signed_int small_signed_int))
+    (fun l -> List.sort Order.int_pair l = List.sort compare l)
+
+let prop_order_float_pair_matches_poly =
+  (* Finite floats only: on NaN, Float.compare is total where the
+     polymorphic primitive is not — that divergence is the point. *)
+  let finite = QCheck2.Gen.(map (fun (a, b) -> (float_of_int a /. 16., float_of_int b /. 16.)) (pair small_signed_int small_signed_int)) in
+  QCheck2.Test.make ~name:"Order.float_pair orders like polymorphic compare" ~count:500
+    QCheck2.Gen.(list finite)
+    (fun l -> List.sort Order.float_pair l = List.sort compare l)
+
+let test_order_float_pair_total_on_nan () =
+  (* Polymorphic compare is inconsistent on NaN; Float.compare puts it
+     first. The comparator must stay a total order. *)
+  let l = [ (Float.nan, 1.0); (0.0, Float.nan); (0.0, 0.0); (Float.nan, Float.nan) ] in
+  let sorted = List.sort Order.float_pair l in
+  Alcotest.(check int) "same length" (List.length l) (List.length sorted);
+  let s2 = List.sort Order.float_pair (List.rev l) in
+  Alcotest.(check bool) "order independent of input permutation" true
+    (List.for_all2 (fun (a, b) (c, d) -> Order.float_pair (a, b) (c, d) = 0) sorted s2)
+
+let test_order_by () =
+  let cmp = Order.by String.length Int.compare in
+  Alcotest.(check bool) "projects before comparing" true (cmp "ab" "xyz" < 0);
+  Alcotest.(check int) "equal projections tie" 0 (cmp "ab" "cd")
+
 (* --------------------------------------------------------------------- *)
 
 let () =
@@ -236,5 +270,12 @@ let () =
           Alcotest.test_case "bounds errors" `Quick test_vec_bounds;
           Alcotest.test_case "sort/fold/exists" `Quick test_vec_sort_fold;
           QCheck_alcotest.to_alcotest prop_vec_models_list;
+        ] );
+      ( "order",
+        [
+          QCheck_alcotest.to_alcotest prop_order_int_pair_matches_poly;
+          QCheck_alcotest.to_alcotest prop_order_float_pair_matches_poly;
+          Alcotest.test_case "total on NaN" `Quick test_order_float_pair_total_on_nan;
+          Alcotest.test_case "by projection" `Quick test_order_by;
         ] );
     ]
