@@ -4,11 +4,36 @@
 
 open Cmdliner
 
+(* Reject bad shard counts at parse time: the library's plain
+   constructors raise Cq_error on shards < 1, which cmdliner would
+   report as an "internal error" rather than a usage error. *)
+let shard_count =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "shard count must be >= 1, got %d" n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
 let scale_term =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's full sizes (slower).")
   in
-  Term.(const (fun f -> if f then Cq_bench.Setup.full else Cq_bench.Setup.quick) $ full)
+  let shards =
+    Arg.(
+      value
+      & opt (some (list shard_count)) None
+      & info [ "shards" ] ~docv:"N,.."
+          ~doc:
+            "Override the shard counts swept by $(b,scale-domains) (comma-separated, e.g. \
+             $(b,--shards 1,2)).")
+  in
+  Term.(
+    const (fun f shards ->
+        let s = if f then Cq_bench.Setup.full else Cq_bench.Setup.quick in
+        match shards with None -> s | Some sh -> { s with Cq_bench.Setup.shards = sh })
+    $ full $ shards)
 
 (* --------------------------- observability ----------------------------- *)
 
@@ -198,15 +223,21 @@ let fuzz_cmd =
   let ops =
     Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"M" ~doc:"Operations per structure.")
   in
-  let run seed ops backend metrics =
+  let shards =
+    Arg.(
+      value & opt shard_count 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard count for the parallel-vs-sequential differential run.")
+  in
+  let run seed ops backend shards metrics =
     with_metrics metrics @@ fun () ->
     let outcomes =
       match backends_of backend with
-      | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~seed ~ops ()
+      | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~shards ~seed ~ops ()
       | b0 :: rest ->
           (* One full battery, then the engine alone under each further
              backend — the structure runs are backend-independent. *)
-          Cq_robust.Oracle.fuzz_all ~backend:b0 ~seed ~ops ()
+          Cq_robust.Oracle.fuzz_all ~backend:b0 ~shards ~seed ~ops ()
           @ List.map
               (fun b ->
                 Cq_robust.Oracle.run_engine ~backend:b ~seed ~ops:(max 200 (ops / 10)) ())
@@ -229,7 +260,7 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: run a seeded adversarial operation stream against every \
           structure and a naive oracle; exit nonzero on any divergence or invariant violation.")
-    Term.(ret (const run $ seed_arg $ ops $ backend_arg $ metrics_term))
+    Term.(ret (const run $ seed_arg $ ops $ backend_arg $ shards $ metrics_term))
 
 (* ------------------------------ audit ---------------------------------- *)
 

@@ -19,6 +19,15 @@ let paper_exps =
     { id = "fig12"; title = "Histogram quality"; run = Hist_exps.fig12 };
   ]
 
+let scale_exps =
+  [
+    {
+      id = "scale-domains";
+      title = "Parallel engine: throughput vs shard count";
+      run = Scale_exps.scale_domains;
+    };
+  ]
+
 let ablation_exps =
   [
     { id = "ablation-eps"; title = "Epsilon sweep"; run = Ablations.ab_eps };
@@ -46,7 +55,7 @@ let ablation_exps =
     };
   ]
 
-let all = paper_exps @ ablation_exps
+let all = paper_exps @ scale_exps @ ablation_exps
 
 let find id = List.find_opt (fun e -> e.id = id) all
 

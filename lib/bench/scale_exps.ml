@@ -1,0 +1,74 @@
+(* Multicore scaling: the scale-domains experiment sweeps the parallel
+   engine's shard count over the same Table-1 band workload. *)
+
+module Par = Cq_engine.Parallel
+module BQ = Cq_joins.Band_query
+
+let scale_domains (scale : Setup.scale) =
+  Report.section "scale-domains" "Parallel engine: ingest throughput vs shard count";
+  Report.note "Query-sharded, tuple-broadcast (DESIGN.md s11): per-event";
+  Report.note "identification cost divides by the shard count, the O(log m) table";
+  Report.note "store is replicated.  Speedup needs real cores: with fewer cores";
+  Report.note "than shards the domains time-slice and shards > 1 only adds queue";
+  Report.note "and merge overhead.";
+  let recommended = Domain.recommended_domain_count () in
+  Report.note "this host: Domain.recommended_domain_count = %d" recommended;
+  Report.json_param "recommended_domains" (string_of_int recommended);
+  (* Unlike the join-strategy benches (which only count affected
+     queries), the engine enumerates and delivers every join result —
+     so the workload uses narrow bands and a reduced population to keep
+     the output term proportionate rather than explosive. *)
+  let n_queries = max 200 (scale.queries / 10) in
+  let s_scale = { scale with Setup.tuples = max 1_000 (scale.tuples / 4) } in
+  let s_rows = Setup.s_rows s_scale ~seed:1 in
+  let n_events = max 50 scale.events in
+  let r_rows = Setup.r_rows scale ~seed:2 ~n:n_events in
+  let queries = Setup.band_queries scale ~seed:3 ~n:n_queries ~len_mu:2.0 ~len_min:0.5 () in
+  let base = ref None in
+  let rows =
+    List.map
+      (fun shards ->
+        let t = Par.create ~seed:7 ~shards ~batch_size:256 () in
+        Array.iter
+          (fun (q : BQ.t) -> ignore (Par.subscribe_band t ~range:q.range (fun _ _ -> ())))
+          queries;
+        (* Preload S (the home table) unmeasured, as the join
+           experiments do. *)
+        Par.ingest_batch t Par.S s_rows;
+        ignore (Par.flush t);
+        let (), dt =
+          Cq_util.Clock.time (fun () ->
+              Par.ingest_batch t Par.R r_rows;
+              ignore (Par.flush t))
+        in
+        let st = Par.stats t in
+        let counts = Par.shard_result_counts t in
+        Par.shutdown t;
+        let tput = float_of_int n_events /. dt in
+        if Option.is_none !base then base := Some tput;
+        let speedup = tput /. Option.get !base in
+        let imbalance =
+          let total = Array.fold_left ( + ) 0 counts in
+          if total = 0 then 1.0
+          else
+            float_of_int (Array.fold_left Int.max 0 counts * Array.length counts)
+            /. float_of_int total
+        in
+        Report.json_param
+          (Printf.sprintf "shards_%d_events_per_sec" shards)
+          (Printf.sprintf "%.1f" tput);
+        Report.json_param
+          (Printf.sprintf "shards_%d_speedup" shards)
+          (Printf.sprintf "%.3f" speedup);
+        [
+          string_of_int shards;
+          Report.fmt_throughput tput;
+          Printf.sprintf "%.2fx" speedup;
+          string_of_int st.results_delivered;
+          Printf.sprintf "%.2f" imbalance;
+        ])
+      scale.shards
+  in
+  Report.table
+    ~header:[ "shards"; "events/s"; "speedup vs 1"; "results"; "imbalance" ]
+    ~rows

@@ -1,0 +1,15 @@
+(** Multicore scaling experiments for {!Cq_engine.Parallel} — not from
+    the paper (its 2006 evaluation is single-threaded), but the natural
+    follow-on: the hotspot design partitions queries, so shards scale
+    the dominant per-event identification term (Theorems 3/4) while
+    replicating the O(log m) table store. *)
+
+val scale_domains : Setup.scale -> unit
+(** Sweep [scale.shards] over the fig10i-style band workload (coarse
+    quantum, identification-dominated): per shard count, subscribe
+    [scale.queries] band queries, preload S unmeasured, then time
+    R-ingest + flush end-to-end.  Reports events/s, speedup vs the
+    1-shard row, delivered-result counts (equal across rows, by the
+    determinism property), per-shard imbalance, and the host's
+    [Domain.recommended_domain_count] — on hosts with fewer cores than
+    shards, expect slowdown, not speedup. *)

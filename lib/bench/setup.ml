@@ -3,10 +3,10 @@ module W = Cq_relation.Workload
 module Rng = Cq_util.Rng
 module Dist = Cq_util.Dist
 
-type scale = { tuples : int; queries : int; events : int }
+type scale = { tuples : int; queries : int; events : int; shards : int list }
 
-let quick = { tuples = 20_000; queries = 20_000; events = 200 }
-let full = { tuples = 100_000; queries = 100_000; events = 500 }
+let quick = { tuples = 20_000; queries = 20_000; events = 200; shards = [ 1; 2; 4 ] }
+let full = { tuples = 100_000; queries = 100_000; events = 500; shards = [ 1; 2; 4; 8 ] }
 
 let domain = (0.0, 10_000.0)
 
@@ -22,6 +22,17 @@ let r_events ?quantum scale ~seed ~n =
   ignore scale;
   let c = config ?quantum () in
   W.gen_r_tuples c (Rng.create seed) ~n
+
+(* Raw-row variants for the batch-ingest API of Cq_engine.Parallel,
+   which assigns tuple ids itself. *)
+let s_rows ?quantum ?sb_sigma scale ~seed =
+  let c = config ?quantum ?sb_sigma () in
+  Array.map
+    (fun (s : Cq_relation.Tuple.s) -> (s.b, s.c))
+    (W.gen_s_tuples c (Rng.create seed) ~n:scale.tuples)
+
+let r_rows ?quantum scale ~seed ~n =
+  Array.map (fun (r : Cq_relation.Tuple.r) -> (r.a, r.b)) (r_events ?quantum scale ~seed ~n)
 
 let draw_len rng ~mu ~sigma ~min_len = Float.max min_len (Dist.normal rng ~mu ~sigma)
 

@@ -1,14 +1,20 @@
 (** Workload construction shared by the experiments: Table-1 data at
     configurable scale, with the knobs each figure sweeps. *)
 
-type scale = { tuples : int; queries : int; events : int }
+type scale = {
+  tuples : int;
+  queries : int;
+  events : int;
+  shards : int list;  (** Shard counts the [scale-domains] experiment sweeps. *)
+}
 
 val quick : scale
-(** Laptop-scale defaults (20k tuples; runs the whole harness in
-    minutes). *)
+(** Laptop-scale defaults (20k tuples, shards [\[1; 2; 4\]]; runs the
+    whole harness in minutes). *)
 
 val full : scale
-(** The paper's sizes (100k tuples / 100k queries). *)
+(** The paper's sizes (100k tuples / 100k queries, shards
+    [\[1; 2; 4; 8\]]). *)
 
 val s_table :
   ?quantum:float -> ?sb_sigma:float -> scale -> seed:int -> Cq_relation.Table.s_table
@@ -16,6 +22,15 @@ val s_table :
     S-tuples per event (≈ tuples · quantum / 10000). *)
 
 val r_events : ?quantum:float -> scale -> seed:int -> n:int -> Cq_relation.Tuple.r array
+
+val s_rows :
+  ?quantum:float -> ?sb_sigma:float -> scale -> seed:int -> (float * float) array
+(** Same distribution as {!s_table}, as raw [(b, c)] rows for
+    {!Cq_engine.Parallel.ingest_batch} (the parallel engine assigns
+    tuple ids itself). *)
+
+val r_rows : ?quantum:float -> scale -> seed:int -> n:int -> (float * float) array
+(** {!r_events} as raw [(a, b)] rows. *)
 
 val select_queries :
   scale ->

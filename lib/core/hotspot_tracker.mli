@@ -14,7 +14,10 @@
 
     Consumers that keep auxiliary per-group structures (the SSI band
     join and select-join processors) subscribe via [on_event] and
-    receive every membership change. *)
+    receive every membership change.  Updates cost O(log n) amortised
+    (the scattered partition's maintainer bound) plus O(log(1/α)) for
+    the hotspot-membership check; the O(1) amortised move bound (I3)
+    caps the consumer-visible event rate. *)
 
 module Make (E : Partition_intf.ELEMENT) : sig
   type t

@@ -91,6 +91,32 @@ let add_telemetry a b =
     max_group_size = max a.max_group_size b.max_group_size;
   }
 
+type snapshot = {
+  snap_queries : int;
+  snap_hotspots : int;
+  snap_coverage : float;
+  snap_telemetry : telemetry;
+}
+
+let empty_snapshot =
+  { snap_queries = 0; snap_hotspots = 0; snap_coverage = 0.0; snap_telemetry = empty_telemetry }
+
+(* Coverage is a per-instance fraction, so the merge reweights it by
+   query count: the result is again "fraction of all queries covered". *)
+let merge_snapshot a b =
+  let n = a.snap_queries + b.snap_queries in
+  {
+    snap_queries = n;
+    snap_hotspots = a.snap_hotspots + b.snap_hotspots;
+    snap_coverage =
+      (if n = 0 then 0.0
+       else
+         ((a.snap_coverage *. float_of_int a.snap_queries)
+         +. (b.snap_coverage *. float_of_int b.snap_queries))
+         /. float_of_int n);
+    snap_telemetry = add_telemetry a.snap_telemetry b.snap_telemetry;
+  }
+
 module type PROCESSOR = sig
   include STRATEGY
 
@@ -98,6 +124,7 @@ module type PROCESSOR = sig
   val num_hotspots : t -> int
   val coverage : t -> float
   val telemetry : t -> telemetry
+  val snapshot : t -> snapshot
   val check_invariants : t -> unit
 end
 
@@ -233,6 +260,14 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
         max_group_size = Tracker.max_group_size t.tracker;
       }
 
+    let snapshot t =
+      {
+        snap_queries = query_count t;
+        snap_hotspots = num_hotspots t;
+        snap_coverage = coverage t;
+        snap_telemetry = telemetry t;
+      }
+
     (* The aux groups and the scattered index are maintained purely
        from the tracker's event stream; verify they never drift from
        the tracker's own view. *)
@@ -357,6 +392,14 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
     (* The only structural reorganisation SSI performs is the lazy
        full rebuild. *)
     let telemetry t = { empty_telemetry with restructures = t.rebuilds }
+
+    let snapshot t =
+      {
+        snap_queries = query_count t;
+        snap_hotspots = 0;
+        snap_coverage = 0.0;
+        snap_telemetry = telemetry t;
+      }
 
     let check_invariants t =
       refresh t;

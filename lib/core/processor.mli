@@ -15,7 +15,13 @@
     The stabbing index holding the scattered queries is itself a
     functor parameter ({!Cq_index.Stab_backend.S}), so every backend
     (interval tree, interval skip list, treap) drives identical
-    processing code. *)
+    processing code.
+
+    Per event, the two-step walk costs O(h log m + k) over the hotspot
+    groups (h ≤ 2/α of them, Theorems 3 and 4) plus the scattered
+    fallback — a per-query probe under the [Hotspot] strategy, another
+    group walk under plain [Ssi]; query insert/delete is O(log n)
+    amortised through the tracker and partition maintainers. *)
 
 (** Per-event deduplication of affected queries: a query reachable
     from both boundary scans of a group must be reported once. *)
@@ -141,6 +147,26 @@ val empty_telemetry : telemetry
 val add_telemetry : telemetry -> telemetry -> telemetry
 (** Component-wise sum ([max] for {!telemetry.max_group_size}). *)
 
+(** A processor's contribution to cross-shard statistics: a plain
+    value, safe to capture on the domain that owns the processor and
+    merge on another.  The sharded engine ([Cq_engine.Parallel])
+    collects one per shard and folds them with {!merge_snapshot}. *)
+type snapshot = {
+  snap_queries : int;  (** Registered queries in this instance. *)
+  snap_hotspots : int;
+  snap_coverage : float;
+      (** Fraction of {e this instance's} queries inside hotspots;
+          {!merge_snapshot} reweights by query count. *)
+  snap_telemetry : telemetry;
+}
+
+val empty_snapshot : snapshot
+
+val merge_snapshot : snapshot -> snapshot -> snapshot
+(** Sums counts and telemetry; coverage merges as the query-weighted
+    mean, so the merged value is again "fraction of all queries inside
+    hotspots". *)
+
 (** A strategy produced by {!Make}, with configuration knobs and
     invariant auditing. *)
 module type PROCESSOR = sig
@@ -159,6 +185,10 @@ module type PROCESSOR = sig
   (** Fraction of queries inside hotspots; 0 for the SSI processor. *)
 
   val telemetry : t -> telemetry
+
+  val snapshot : t -> snapshot
+  (** {!telemetry} plus query/hotspot/coverage counts, packaged for
+      cross-shard merging. *)
 
   val check_invariants : t -> unit
   (** @raise Failure on violation. *)

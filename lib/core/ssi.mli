@@ -10,7 +10,11 @@
     This module is the {e static} SSI used when indexing a fixed query
     set (the paper's Figures 7, 8 and 10 apply SSI to all stabbing
     groups of a static workload); dynamic SSIs over evolving hotspots
-    are driven by {!Hotspot_tracker} events instead. *)
+    are driven by {!Hotspot_tracker} events instead.  Construction is
+    O(n log n) for the canonical partition (Lemma 1) plus the group
+    structures' own build costs; a probe visits only the stabbed
+    groups — O(log τ) to locate them by stabbing point, then the group
+    structure's query cost each. *)
 
 module type GROUP_STRUCTURE = sig
   type elt

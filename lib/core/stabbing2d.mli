@@ -11,7 +11,8 @@
     re-partition each x-group canonically on its y-projections.  The
     result is at most τx·τy groups and is exact on workloads whose
     clusters are axis-aligned (each cluster of overlapping rectangles
-    becomes one group). *)
+    becomes one group).  Construction is O(n log n) — two nested
+    canonical passes, each a sort plus a linear greedy scan. *)
 
 type 'e group = {
   px : float;

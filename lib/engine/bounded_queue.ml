@@ -1,0 +1,66 @@
+(* A classic bounded buffer: ring of [capacity] slots guarded by one
+   mutex, with separate not-full / not-empty conditions so a push only
+   ever wakes the consumer and a pop only ever wakes the producer. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable head : int;  (* next pop *)
+  mutable tail : int;  (* next push *)
+  mutable len : int;
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    buf = Array.make capacity None;
+    cap = capacity;
+    head = 0;
+    tail = 0;
+    len = 0;
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let capacity t = t.cap
+
+let push t v =
+  Mutex.lock t.lock;
+  while t.len = t.cap do
+    Condition.wait t.not_full t.lock
+  done;
+  t.buf.(t.tail) <- Some v;
+  t.tail <- (t.tail + 1) mod t.cap;
+  t.len <- t.len + 1;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  while t.len = 0 do
+    Condition.wait t.not_empty t.lock
+  done;
+  let v =
+    match t.buf.(t.head) with
+    | Some v -> v
+    | None ->
+        (* Unreachable: len > 0 guarantees an occupied slot. *)
+        Mutex.unlock t.lock;
+        Cq_util.Error.corrupt ~structure:"bounded_queue" "occupied slot %d is empty" t.head
+  in
+  t.buf.(t.head) <- None;
+  t.head <- (t.head + 1) mod t.cap;
+  t.len <- t.len - 1;
+  Condition.signal t.not_full;
+  Mutex.unlock t.lock;
+  v
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n

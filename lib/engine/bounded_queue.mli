@@ -1,0 +1,32 @@
+(** Bounded single-producer/single-consumer work queue — the per-shard
+    command channel of {!Parallel}.
+
+    One producer (the coordinator domain) and one consumer (the shard's
+    worker domain); the bound provides backpressure, so a coordinator
+    that outruns a shard blocks on {!push} instead of growing an
+    unbounded backlog.  Blocking uses a mutex and two condition
+    variables rather than spinning: command granularity is one
+    [batch_size]-row batch, so queue transitions are rare relative to
+    per-tuple work, and a blocked party must yield the core on
+    oversubscribed machines (more shards than cores).
+
+    Operations are O(1); [push]/[pop] block (never busy-wait) while the
+    queue is full/empty. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the queue is full. *)
+
+val pop : 'a t -> 'a
+(** Blocks while the queue is empty. *)
+
+val length : 'a t -> int
+(** Instantaneous occupancy (racy by nature across domains; exact when
+    no concurrent push/pop is in flight).  Feeds the per-shard
+    [parallel.shard<i>.queue_depth] gauge. *)

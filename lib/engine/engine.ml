@@ -24,6 +24,8 @@ module Config = struct
     seed : int;
     backend : Cq_index.Stab_backend.kind;
     strategy : Hotspot_core.Processor.strategy;
+    shards : int;
+    batch_size : int;
   }
 
   let default =
@@ -33,7 +35,26 @@ module Config = struct
       seed = 0x40757;
       backend = Cq_index.Stab_backend.Itree;
       strategy = Hotspot_core.Processor.Hotspot;
+      shards = 1;
+      batch_size = 256;
     }
+
+  (* The single validator behind every try_create path (sequential and
+     parallel): a bad knob always surfaces as Invalid_parameter with
+     [name] spelled exactly as the record field. *)
+  let validate t =
+    match Err.in_unit_open_closed ~name:"alpha" t.alpha with
+    | Error _ as e -> e
+    | Ok _ -> (
+        match Err.positive ~name:"epsilon" t.epsilon with
+        | Error _ as e -> e
+        | Ok _ -> (
+            match Err.at_least ~name:"shards" ~min:1 t.shards with
+            | Error _ as e -> e
+            | Ok _ -> (
+                match Err.at_least ~name:"batch_size" ~min:1 t.batch_size with
+                | Error _ as e -> e
+                | Ok _ -> Ok t)))
 end
 
 type subscription =
@@ -111,11 +132,7 @@ let make_side (cfg : Config.t) ~probe ~home ~seed_base =
   }
 
 let try_create_cfg (cfg : Config.t) =
-  match
-    Err.both
-      (Err.in_unit_open_closed ~name:"alpha" cfg.alpha)
-      (Err.positive ~name:"epsilon" cfg.epsilon)
-  with
+  match Config.validate cfg with
   | Error e -> Error e
   | Ok _ ->
       let s_table = Table.create_s () in
@@ -142,7 +159,7 @@ let try_create_cfg (cfg : Config.t) =
 
 let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
 
-let try_create ?alpha ?epsilon ?seed ?backend ?strategy () =
+let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
   let d = Config.default in
   try_create_cfg
     {
@@ -151,10 +168,12 @@ let try_create ?alpha ?epsilon ?seed ?backend ?strategy () =
       seed = Option.value seed ~default:d.seed;
       backend = Option.value backend ~default:d.backend;
       strategy = Option.value strategy ~default:d.strategy;
+      shards = Option.value shards ~default:d.shards;
+      batch_size = Option.value batch_size ~default:d.batch_size;
     }
 
-let create ?alpha ?epsilon ?seed ?backend ?strategy () =
-  Err.ok_exn (try_create ?alpha ?epsilon ?seed ?backend ?strategy ())
+let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
+  Err.ok_exn (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ())
 
 let fresh_qid t =
   let q = t.next_qid in
@@ -339,20 +358,24 @@ let try_insert_s t ~b ~c =
 let insert_s t ~b ~c = Err.ok_exn (try_insert_s t ~b ~c)
 
 (* Bulk loads validate every row before touching the tables, so a bad
-   row cannot leave a half-applied load behind. *)
-let validate_rows rows =
+   row cannot leave a half-applied load behind.  The Cq_error payload
+   names the actual attribute ("b"/"c" for S rows, "a"/"b" for R rows),
+   matching what try_insert_r/try_insert_s report for the same value —
+   not the tuple position. *)
+let validate_rows ~fst_name ~snd_name rows =
   let bad = ref None in
   Array.iter
     (fun (x, y) ->
       if Option.is_none !bad then
-        if not (Float.is_finite x) then bad := Some (Err.Not_finite { name = "fst"; value = x })
+        if not (Float.is_finite x) then
+          bad := Some (Err.Not_finite { name = fst_name; value = x })
         else if not (Float.is_finite y) then
-          bad := Some (Err.Not_finite { name = "snd"; value = y }))
+          bad := Some (Err.Not_finite { name = snd_name; value = y }))
     rows;
   match !bad with None -> Ok () | Some e -> Error e
 
 let try_load_s t rows =
-  match validate_rows rows with
+  match validate_rows ~fst_name:"b" ~snd_name:"c" rows with
   | Error e -> Error e
   | Ok () ->
       Array.iter
@@ -366,7 +389,7 @@ let try_load_s t rows =
 let load_s t rows = Err.ok_exn (try_load_s t rows)
 
 let try_load_r t rows =
-  match validate_rows rows with
+  match validate_rows ~fst_name:"a" ~snd_name:"b" rows with
   | Error e -> Error e
   | Ok () ->
       Array.iter
@@ -468,6 +491,17 @@ let stats t =
     groups_merged = tel.Hotspot_core.Processor.groups_merged;
     max_group_size = tel.Hotspot_core.Processor.max_group_size;
   }
+
+(* Cross-shard merge hooks: forward-side snapshots only, matching the
+   hotspot/coverage fields of [stats] (the mirror side tracks the same
+   query population). *)
+let band_snapshot t =
+  let (Bproc ((module P), p)) = t.r_side.band in
+  P.snapshot p
+
+let select_snapshot t =
+  let (Sproc ((module P), p)) = t.r_side.select in
+  P.snapshot p
 
 let pp_stats fmt s =
   Format.fprintf fmt

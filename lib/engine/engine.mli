@@ -17,7 +17,15 @@
     The processors themselves are chosen per engine through
     {!Config}: any {!Hotspot_core.Processor.strategy} (hotspot-tracked
     or plain SSI) over any {!Cq_index.Stab_backend.kind} (interval
-    tree, interval skip list, or treap-based priority search tree). *)
+    tree, interval skip list, or treap-based priority search tree).
+
+    Cost model (Sections 3.1/3.2, Theorems 3 and 4): each insertion
+    pays O(log m) to store the tuple in its home table plus the
+    processors' identification cost — O(τ log m + k) per event, where
+    τ bounds the stabbed groups, m the opposite table size and k the
+    affected queries — plus output enumeration.  Query subscription
+    and removal are O(log n) amortised in the number of live
+    queries. *)
 
 type t
 
@@ -42,9 +50,27 @@ module Config : sig
         (** [Hotspot] (SSI on α-hotspots + per-query probing on the
             scattered remainder, the default) or [Ssi] (one static
             stabbing partition over all queries). *)
+    shards : int;
+        (** Worker shards for the {!Parallel} engine; must be >= 1.
+            The sequential engine accepts and ignores it (so one
+            [Config.t] describes both deployments); {!Parallel} spawns
+            [shards] domains when it is > 1 and degrades to an inline
+            sequential engine at 1.  Default 1. *)
+    batch_size : int;
+        (** Rows per work-queue command in {!Parallel.ingest_batch};
+            must be >= 1.  Ignored by the sequential engine.
+            Default 256. *)
   }
 
   val default : t
+
+  val validate : t -> (t, Cq_util.Error.t) result
+  (** Check every knob against its documented domain.  All [try_create]
+      paths — sequential and parallel, record- and per-knob-based —
+      funnel through this one validator, so a bad knob always yields
+      the same {!Cq_util.Error.Invalid_parameter} payload with [name]
+      spelled exactly as the record field ([alpha], [epsilon],
+      [shards], [batch_size]). *)
 end
 
 type subscription
@@ -70,10 +96,15 @@ val try_create :
   ?seed:int ->
   ?backend:Cq_index.Stab_backend.kind ->
   ?strategy:Hotspot_core.Processor.strategy ->
+  ?shards:int ->
+  ?batch_size:int ->
   unit ->
   (t, Cq_util.Error.t) result
 (** Per-knob convenience over {!try_create_cfg}; unspecified knobs
-    take their {!Config.default} values. *)
+    take their {!Config.default} values.  [shards]/[batch_size] are
+    validated (via {!Config.validate}) and otherwise ignored by the
+    sequential engine — pass the same knobs to {!Parallel.try_create}
+    for the sharded deployment. *)
 
 val create :
   ?alpha:float ->
@@ -81,6 +112,8 @@ val create :
   ?seed:int ->
   ?backend:Cq_index.Stab_backend.kind ->
   ?strategy:Hotspot_core.Processor.strategy ->
+  ?shards:int ->
+  ?batch_size:int ->
   unit ->
   t
 
@@ -192,6 +225,16 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val band_snapshot : t -> Hotspot_core.Processor.snapshot
+(** Forward-side band processor snapshot — the cross-shard merge hook:
+    {!Parallel} captures one per shard (on the shard's own domain) and
+    folds them with {!Hotspot_core.Processor.merge_snapshot} into the
+    merged {!stats} block. *)
+
+val select_snapshot : t -> Hotspot_core.Processor.snapshot
+(** Forward-side select processor snapshot; same merge contract as
+    {!band_snapshot}. *)
 
 val check_invariants : t -> unit
 (** Deep audit of the engine's internal consistency: the four hotspot

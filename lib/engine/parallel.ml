@@ -1,0 +1,589 @@
+module E = Engine
+module I = Cq_interval.Interval
+module Tuple = Cq_relation.Tuple
+module Err = Cq_util.Error
+module Metrics = Cq_obs.Metrics
+module P = Hotspot_core.Processor
+
+let log_src = Logs.Src.create "cq.parallel" ~doc:"sharded continuous-query engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Coordinator-side observability: merge latency per flush, batch
+   fan-out count, and the load-balance ratio (1.0 = perfectly even).
+   Per-shard queue-depth gauges are interned per engine in [create]
+   (before any worker domain exists — the registry's interning table is
+   shared). *)
+let m_merge_ns = Metrics.histogram "parallel.merge_ns"
+let m_batches = Metrics.counter "parallel.batches"
+let m_imbalance = Metrics.gauge "parallel.shard_imbalance"
+
+type side = R | S
+
+(* A result pair tagged for the deterministic merge: [seq] is the
+   global event sequence number stamped by the coordinator, [idx] the
+   delivery index within that event on the owning shard.  Sorting on
+   (seq, shard, idx) makes the output order a pure function of the
+   input stream. *)
+type tagged = { seq : int; shard : int; idx : int; qid : int; r : Tuple.r; s : Tuple.s }
+
+let compare_tagged a b =
+  let c = Int.compare a.seq b.seq in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.shard b.shard in
+    if c <> 0 then c else Int.compare a.idx b.idx
+
+type kind = Band | Select
+
+type subscription = { sub_qid : int; sub_shard : int }
+
+(* What a shard reports at every barrier: its drained result buffer
+   plus the stats/snapshot block, captured on the shard's own domain
+   so the coordinator never touches a live engine. *)
+type ack = {
+  a_results : tagged list;  (* newest first *)
+  a_stats : E.stats;
+  a_band : P.snapshot;
+  a_select : P.snapshot;
+}
+
+type cmd =
+  | Ingest of { iside : side; rows : (float * float) array; base_seq : int }
+  | Sub_band of { qid : int; range : I.t }
+  | Sub_select of { qid : int; range_a : I.t; range_c : I.t }
+  | Unsub of { qid : int }
+  | Flush
+  | Check
+  | Stop
+
+type shard_state = {
+  sid : int;
+  queue : cmd Bounded_queue.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable acked : bool;
+  mutable ack : ack option;
+  mutable worker_error : exn option;
+  mutable delivered : int;  (* coordinator-side running total for this shard *)
+  depth_gauge : Metrics.gauge;
+}
+
+type par = { shard_states : shard_state array; doms : unit Domain.t array }
+
+type seq_state = {
+  eng : E.t;
+  buf : tagged list ref;
+  cur_seq : int ref;
+  cur_idx : int ref;
+  subs : (int, E.subscription) Hashtbl.t;
+}
+
+type impl = Seq of seq_state | Par of par
+
+type t = {
+  cfg : E.Config.t;
+  impl : impl;
+  cbs : (int, kind * (Tuple.r -> Tuple.s -> unit)) Hashtbl.t;
+  owners : (int, int) Hashtbl.t;  (* qid -> owning shard *)
+  mutable next_qid : int;
+  mutable next_seq : int;
+  mutable total_delivered : int;
+  mutable stopped : bool;
+}
+
+(* ------------------------------ worker --------------------------------- *)
+
+let set_error st exn =
+  Mutex.lock st.lock;
+  if Option.is_none st.worker_error then st.worker_error <- Some exn;
+  Mutex.unlock st.lock
+
+let has_error st =
+  Mutex.lock st.lock;
+  let e = Option.is_some st.worker_error in
+  Mutex.unlock st.lock;
+  e
+
+(* The shard body: one sequential engine fed from the SPSC queue.  A
+   failing command poisons the shard — the exception is stored for the
+   coordinator and subsequent commands are skipped, but barrier acks
+   keep flowing so a poisoned shard can never deadlock a flush. *)
+let worker ~sid ~eng (st : shard_state) () =
+  let subs : (int, E.subscription) Hashtbl.t = Hashtbl.create 64 in
+  let buf = ref [] in
+  let cur_seq = ref 0 and cur_idx = ref 0 in
+  let record qid r s =
+    buf := { seq = !cur_seq; shard = sid; idx = !cur_idx; qid; r; s } :: !buf;
+    incr cur_idx
+  in
+  let apply = function
+    | Ingest { iside; rows; base_seq } ->
+        Array.iteri
+          (fun i (x, y) ->
+            cur_seq := base_seq + i;
+            cur_idx := 0;
+            match iside with
+            | R -> ignore (E.insert_r eng ~a:x ~b:y)
+            | S -> ignore (E.insert_s eng ~b:x ~c:y))
+          rows
+    | Sub_band { qid; range } ->
+        Hashtbl.replace subs qid (E.subscribe_band eng ~range (record qid))
+    | Sub_select { qid; range_a; range_c } ->
+        Hashtbl.replace subs qid (E.subscribe_select eng ~range_a ~range_c (record qid))
+    | Unsub { qid } -> (
+        match Hashtbl.find_opt subs qid with
+        | Some sub ->
+            ignore (E.unsubscribe eng sub);
+            Hashtbl.remove subs qid
+        | None -> ())
+    | Check -> E.check_invariants eng
+    | Flush | Stop -> ()
+  in
+  let running = ref true in
+  while !running do
+    match Bounded_queue.pop st.queue with
+    | Stop -> running := false
+    | (Flush | Check) as cmd ->
+        (if not (has_error st) then try apply cmd with exn -> set_error st exn);
+        let ack =
+          {
+            a_results = !buf;
+            a_stats = E.stats eng;
+            a_band = E.band_snapshot eng;
+            a_select = E.select_snapshot eng;
+          }
+        in
+        buf := [];
+        Mutex.lock st.lock;
+        st.ack <- Some ack;
+        st.acked <- true;
+        Condition.signal st.cond;
+        Mutex.unlock st.lock
+    | cmd -> if not (has_error st) then ( try apply cmd with exn -> set_error st exn)
+  done
+
+(* ---------------------------- construction ------------------------------ *)
+
+let queue_capacity = 64
+
+let try_create_cfg (cfg : E.Config.t) =
+  match E.Config.validate cfg with
+  | Error e -> Error e
+  | Ok cfg ->
+      let impl =
+        if cfg.shards = 1 then
+          Seq
+            {
+              eng = E.create_cfg cfg;
+              buf = ref [];
+              cur_seq = ref 0;
+              cur_idx = ref 0;
+              subs = Hashtbl.create 64;
+            }
+        else begin
+          let shard_states =
+            Array.init cfg.shards (fun sid ->
+                {
+                  sid;
+                  queue = Bounded_queue.create ~capacity:queue_capacity;
+                  lock = Mutex.create ();
+                  cond = Condition.create ();
+                  acked = false;
+                  ack = None;
+                  worker_error = None;
+                  delivered = 0;
+                  depth_gauge =
+                    Metrics.gauge (Printf.sprintf "parallel.shard%d.queue_depth" sid);
+                })
+          in
+          (* Shard engines are built here on the coordinator — metric
+             interning and processor construction are not domain-safe —
+             then handed over wholly to their worker domain.  Distinct
+             derived seeds keep the shards' treap priority streams
+             independent. *)
+          let doms =
+            Array.map
+              (fun st ->
+                let eng =
+                  E.create_cfg { cfg with shards = 1; seed = cfg.seed + (7919 * (st.sid + 1)) }
+                in
+                Domain.spawn (worker ~sid:st.sid ~eng st))
+              shard_states
+          in
+          Par { shard_states; doms }
+        end
+      in
+      Ok
+        {
+          cfg;
+          impl;
+          cbs = Hashtbl.create 64;
+          owners = Hashtbl.create 64;
+          next_qid = 0;
+          next_seq = 0;
+          total_delivered = 0;
+          stopped = false;
+        }
+
+let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
+
+let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
+  let d = E.Config.default in
+  try_create_cfg
+    {
+      alpha = Option.value alpha ~default:d.alpha;
+      epsilon = Option.value epsilon ~default:d.epsilon;
+      seed = Option.value seed ~default:d.seed;
+      backend = Option.value backend ~default:d.backend;
+      strategy = Option.value strategy ~default:d.strategy;
+      shards = Option.value shards ~default:d.shards;
+      batch_size = Option.value batch_size ~default:d.batch_size;
+    }
+
+let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
+  Err.ok_exn (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ())
+
+let shards t = t.cfg.shards
+
+let stopped_error =
+  Err.Invalid_parameter
+    { name = "engine"; value = "shut down"; expected = "a live parallel engine" }
+
+(* try_* entry points return this as [Error]; plain entry points raise
+   it via [ensure_live]. *)
+let live t = if t.stopped then Error stopped_error else Ok ()
+let ensure_live t = if t.stopped then Err.raise_ stopped_error
+
+(* --------------------------- query routing ----------------------------- *)
+
+(* Range partitioning with striping: the partition axis is cut into
+   fixed-width strips and strips are dealt round-robin to shards, so a
+   cluster of overlapping queries (a future hotspot) stays mostly
+   within one shard while distinct clusters spread across shards. *)
+let strip_width = 128.0
+
+let shard_for t iv =
+  let n = t.cfg.shards in
+  if n = 1 then 0
+  else
+    let mid = I.lo iv +. ((I.hi iv -. I.lo iv) /. 2.0) in
+    if not (Float.is_finite mid) then 0
+    else
+      let strip = int_of_float (Float.floor (mid /. strip_width)) in
+      ((strip mod n) + n) mod n
+
+let fresh_qid t =
+  let q = t.next_qid in
+  t.next_qid <- q + 1;
+  q
+
+let record_seq (s : seq_state) qid r s_tup =
+  s.buf := { seq = !(s.cur_seq); shard = 0; idx = !(s.cur_idx); qid; r; s = s_tup } :: !(s.buf);
+  incr s.cur_idx
+
+let try_subscribe_band t ~range cb =
+  match live t with
+  | Error e -> Error e
+  | Ok () ->
+  if I.is_empty range then Error (Err.Empty_range { name = "range" })
+  else begin
+    let qid = fresh_qid t in
+    let shard = shard_for t range in
+    Hashtbl.replace t.cbs qid (Band, cb);
+    Hashtbl.replace t.owners qid shard;
+    (match t.impl with
+    | Seq s -> Hashtbl.replace s.subs qid (E.subscribe_band s.eng ~range (record_seq s qid))
+    | Par p -> Bounded_queue.push p.shard_states.(shard).queue (Sub_band { qid; range }));
+    Ok { sub_qid = qid; sub_shard = shard }
+  end
+
+let subscribe_band t ~range cb = Err.ok_exn (try_subscribe_band t ~range cb)
+
+let try_subscribe_select t ~range_a ~range_c cb =
+  match live t with
+  | Error e -> Error e
+  | Ok () ->
+  if I.is_empty range_a then Error (Err.Empty_range { name = "range_a" })
+  else if I.is_empty range_c then Error (Err.Empty_range { name = "range_c" })
+  else begin
+    let qid = fresh_qid t in
+    (* range_c is the partition axis of the select processors. *)
+    let shard = shard_for t range_c in
+    Hashtbl.replace t.cbs qid (Select, cb);
+    Hashtbl.replace t.owners qid shard;
+    (match t.impl with
+    | Seq s ->
+        Hashtbl.replace s.subs qid
+          (E.subscribe_select s.eng ~range_a ~range_c (record_seq s qid))
+    | Par p ->
+        Bounded_queue.push p.shard_states.(shard).queue (Sub_select { qid; range_a; range_c }));
+    Ok { sub_qid = qid; sub_shard = shard }
+  end
+
+let subscribe_select t ~range_a ~range_c cb =
+  Err.ok_exn (try_subscribe_select t ~range_a ~range_c cb)
+
+let unsubscribe t sub =
+  ensure_live t;
+  if not (Hashtbl.mem t.cbs sub.sub_qid) then false
+  else begin
+    Hashtbl.remove t.cbs sub.sub_qid;
+    Hashtbl.remove t.owners sub.sub_qid;
+    (match t.impl with
+    | Seq s -> (
+        match Hashtbl.find_opt s.subs sub.sub_qid with
+        | Some esub ->
+            ignore (E.unsubscribe s.eng esub);
+            Hashtbl.remove s.subs sub.sub_qid
+        | None -> ())
+    | Par p ->
+        Bounded_queue.push p.shard_states.(sub.sub_shard).queue (Unsub { qid = sub.sub_qid }));
+    true
+  end
+
+let count_kind t k =
+  Hashtbl.fold
+    (fun _ (kind, _) acc ->
+      match (kind, k) with Band, Band | Select, Select -> acc + 1 | _ -> acc)
+    t.cbs 0
+
+let band_query_count t = count_kind t Band
+let select_query_count t = count_kind t Select
+
+(* ------------------------------ ingest --------------------------------- *)
+
+let validate_side_rows side rows =
+  let fst_name, snd_name = match side with R -> ("a", "b") | S -> ("b", "c") in
+  let bad = ref None in
+  Array.iter
+    (fun (x, y) ->
+      if Option.is_none !bad then
+        if not (Float.is_finite x) then
+          bad := Some (Err.Not_finite { name = fst_name; value = x })
+        else if not (Float.is_finite y) then
+          bad := Some (Err.Not_finite { name = snd_name; value = y }))
+    rows;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let try_ingest_batch t side rows =
+  match Result.bind (live t) (fun () -> validate_side_rows side rows) with
+  | Error e -> Error e
+  | Ok () ->
+      let bs = t.cfg.batch_size in
+      let n = Array.length rows in
+      let off = ref 0 in
+      while !off < n do
+        let len = min bs (n - !off) in
+        let chunk = Array.sub rows !off len in
+        let base_seq = t.next_seq in
+        t.next_seq <- base_seq + len;
+        (match t.impl with
+        | Seq s ->
+            Array.iteri
+              (fun i (x, y) ->
+                s.cur_seq := base_seq + i;
+                s.cur_idx := 0;
+                match side with
+                | R -> ignore (E.insert_r s.eng ~a:x ~b:y)
+                | S -> ignore (E.insert_s s.eng ~b:x ~c:y))
+              chunk
+        | Par p ->
+            Metrics.incr m_batches;
+            (* The chunk is immutable once published: every shard reads
+               the same array. *)
+            Array.iter
+              (fun st ->
+                Bounded_queue.push st.queue (Ingest { iside = side; rows = chunk; base_seq });
+                Metrics.set st.depth_gauge (float_of_int (Bounded_queue.length st.queue)))
+              p.shard_states);
+        off := !off + len
+      done;
+      Ok ()
+
+let ingest_batch t side rows = Err.ok_exn (try_ingest_batch t side rows)
+
+(* ------------------------- barrier and merge --------------------------- *)
+
+(* A misbehaving subscriber must not break delivery for everyone else. *)
+let protected cb r s =
+  try cb r s
+  with exn ->
+    Log.warn (fun m -> m "subscriber callback raised %s" (Printexc.to_string exn))
+
+let deliver t results =
+  let sorted = List.sort compare_tagged results in
+  List.iter
+    (fun tg ->
+      (match Hashtbl.find_opt t.cbs tg.qid with
+      | Some (_, cb) -> protected cb tg.r tg.s
+      | None -> ());
+      t.total_delivered <- t.total_delivered + 1)
+    sorted;
+  List.length sorted
+
+(* Run one barrier command (Flush or Check) through every shard and
+   wait for all acks before looking at any error — a poisoned shard
+   still acks, so the barrier cannot deadlock, and the first stored
+   worker exception is re-raised here on the coordinator. *)
+let barrier p cmd =
+  Array.iter
+    (fun st ->
+      Mutex.lock st.lock;
+      st.acked <- false;
+      st.ack <- None;
+      Mutex.unlock st.lock;
+      Bounded_queue.push st.queue cmd)
+    p.shard_states;
+  let acks =
+    Array.map
+      (fun st ->
+        Mutex.lock st.lock;
+        while not st.acked do
+          Condition.wait st.cond st.lock
+        done;
+        let ack = st.ack in
+        let err = st.worker_error in
+        Mutex.unlock st.lock;
+        Metrics.set st.depth_gauge (float_of_int (Bounded_queue.length st.queue));
+        (st, ack, err))
+      p.shard_states
+  in
+  Array.iter (fun (_, _, err) -> match err with Some exn -> raise exn | None -> ()) acks;
+  acks
+
+(* Drain every shard, deliver the merged results, and return the acks
+   (each also carries its shard's stats/snapshot block). *)
+let sync t =
+  match t.impl with
+  | Seq s ->
+      let rs = !(s.buf) in
+      s.buf := [];
+      let n = deliver t rs in
+      let acks =
+        [
+          {
+            a_results = [];
+            a_stats = E.stats s.eng;
+            a_band = E.band_snapshot s.eng;
+            a_select = E.select_snapshot s.eng;
+          };
+        ]
+      in
+      (acks, n)
+  | Par p ->
+      let acks = barrier p Flush in
+      let all =
+        Array.fold_left
+          (fun acc (st, ack, _) ->
+            match ack with
+            | Some a ->
+                st.delivered <- st.delivered + List.length a.a_results;
+                List.rev_append a.a_results acc
+            | None -> acc)
+          [] acks
+      in
+      let counts = Array.map (fun (st, _, _) -> st.delivered) acks in
+      let total = Array.fold_left ( + ) 0 counts in
+      if total > 0 then begin
+        let mx = Array.fold_left Int.max 0 counts in
+        Metrics.set m_imbalance
+          (float_of_int (mx * Array.length counts) /. float_of_int total)
+      end;
+      let n = deliver t all in
+      (Array.to_list (Array.map (fun (_, ack, _) -> ack) acks) |> List.filter_map Fun.id, n)
+
+let flush t =
+  ensure_live t;
+  if Metrics.enabled () then begin
+    let (_, n), dt = Cq_util.Clock.time_ns (fun () -> sync t) in
+    Metrics.observe m_merge_ns (Int64.to_float dt);
+    n
+  end
+  else snd (sync t)
+
+let results_delivered t = t.total_delivered
+
+(* ---------------------------- introspection ----------------------------- *)
+
+let merged_stats (acks : ack list) =
+  let band = List.fold_left (fun acc a -> P.merge_snapshot acc a.a_band) P.empty_snapshot acks in
+  let select =
+    List.fold_left (fun acc a -> P.merge_snapshot acc a.a_select) P.empty_snapshot acks
+  in
+  let mx f = List.fold_left (fun acc a -> Int.max acc (f a.a_stats)) 0 acks in
+  let sum f = List.fold_left (fun acc a -> acc + f a.a_stats) 0 acks in
+  {
+    E.r_size = mx (fun (s : E.stats) -> s.r_size);
+    s_size = mx (fun s -> s.s_size);
+    events_processed = mx (fun s -> s.events_processed);
+    results_delivered = sum (fun s -> s.results_delivered);
+    band_hotspots = band.P.snap_hotspots;
+    band_coverage = band.P.snap_coverage;
+    select_hotspots = select.P.snap_hotspots;
+    select_coverage = select.P.snap_coverage;
+    restructures = sum (fun s -> s.restructures);
+    groups_split = sum (fun s -> s.groups_split);
+    groups_merged = sum (fun s -> s.groups_merged);
+    max_group_size = mx (fun s -> s.max_group_size);
+  }
+
+let stats t =
+  ensure_live t;
+  let acks, _ = sync t in
+  merged_stats acks
+
+let shard_result_counts t =
+  match t.impl with
+  | Seq _ -> [| t.total_delivered |]
+  | Par p -> Array.map (fun st -> st.delivered) p.shard_states
+
+let check_invariants t =
+  ensure_live t;
+  let fail fmt = Err.corrupt ~structure:"parallel" fmt in
+  let acks, _ = sync t in
+  (match t.impl with
+  | Seq s -> E.check_invariants s.eng
+  | Par p -> ignore (barrier p Check));
+  (* Every registered query is owned by exactly one shard, and the
+     shards' query populations add up to the registry. *)
+  if Hashtbl.length t.cbs <> Hashtbl.length t.owners then
+    fail "parallel: %d callbacks for %d owned queries" (Hashtbl.length t.cbs)
+      (Hashtbl.length t.owners);
+  Hashtbl.iter
+    (fun qid shard ->
+      if shard < 0 || shard >= t.cfg.shards then
+        fail "parallel: query %d owned by nonexistent shard %d" qid shard)
+    t.owners;
+  let owned =
+    List.fold_left (fun acc a -> acc + a.a_band.P.snap_queries + a.a_select.P.snap_queries) 0 acks
+  in
+  if owned <> Hashtbl.length t.owners then
+    fail "parallel: shards own %d queries, registry has %d" owned (Hashtbl.length t.owners);
+  match t.impl with
+  | Seq _ -> ()
+  | Par p ->
+      let per_shard = Array.fold_left (fun acc st -> acc + st.delivered) 0 p.shard_states in
+      if per_shard <> t.total_delivered then
+        fail "parallel: per-shard deliveries sum to %d, total is %d" per_shard t.total_delivered
+
+(* ------------------------------ shutdown ------------------------------- *)
+
+let shutdown t =
+  if not t.stopped then
+    match t.impl with
+    | Seq _ ->
+        Fun.protect
+          ~finally:(fun () -> t.stopped <- true)
+          (fun () -> ignore (sync t))
+    | Par p ->
+        Fun.protect
+          ~finally:(fun () ->
+            t.stopped <- true;
+            Array.iter (fun st -> Bounded_queue.push st.queue Stop) p.shard_states;
+            Array.iter Domain.join p.doms)
+          (fun () -> ignore (sync t))
+
+let with_engine cfg f =
+  let t = create_cfg cfg in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,183 @@
+(** The multicore sharded engine: N independent {!Engine} instances on
+    OCaml 5 domains behind bounded SPSC work queues.
+
+    {2 Sharding scheme}
+
+    The hotspot design partitions {e queries}, not data: every stabbing
+    group — and a fortiori every query — is an independent unit of
+    work, so the parallel engine {b range-partitions the continuous
+    queries} across shards (contiguous strips of the partition axis,
+    striped round-robin so clustered workloads spread out) and
+    {b broadcasts every tuple batch} to all shards.  Each shard owns a
+    full {!Engine.t} — its own hotspot trackers, processors, and table
+    copies — and processes the whole event stream against its query
+    subset; per-event identification cost, the dominant term at scale
+    (Theorems 3/4: O(τ log m + k) per event), divides by the shard
+    count while the O(log m) home-table store is replicated.
+
+    {2 Determinism}
+
+    Results are delivered through subscriber callbacks {e at flush
+    time}, in a total order that is a pure function of the input
+    stream and the configuration:
+
+    - each query lives in exactly one shard, so the result {e multiset}
+      equals the sequential engine's (no duplication, no omission);
+    - each shard's engine is seeded and single-threaded, so its result
+      sequence per event is deterministic;
+    - every result is tagged [(seq, shard, idx)] — global event
+      sequence number, shard id, per-event delivery index — and the
+      merge sorts on that triple before invoking callbacks.
+
+    [cq_robust]'s differential oracle ([Cq_robust.Oracle.run_parallel])
+    replays seeded workloads through both engines and asserts the
+    multisets agree.
+
+    {2 Fallback and caveats}
+
+    With [shards = 1] no domains are spawned: commands execute inline
+    on a sequential {!Engine.t} with the same buffered-delivery
+    semantics.  Deletions and retraction callbacks are not yet routed
+    through the parallel API (use the sequential engine); observability
+    recording from worker domains is best-effort (concurrent counter
+    increments may be lost — the switches are off by default).
+    Speedup requires real cores: on a single-core host the shards
+    time-slice and queue/merge overhead makes [shards > 1] strictly
+    slower.  See DESIGN.md §11. *)
+
+type t
+
+(** Which relation a batch of rows belongs to: [R] rows are [(a, b)]
+    pairs, [S] rows are [(b, c)] pairs, exactly as in
+    {!Engine.try_insert_r} / {!Engine.try_insert_s}. *)
+type side = R | S
+
+type subscription
+
+val try_create_cfg : Engine.Config.t -> (t, Cq_util.Error.t) result
+(** Validates via {!Engine.Config.validate} (so a bad [shards] or
+    [batch_size] names that field in the error payload), then spawns
+    [cfg.shards - 1 >= 1 ? cfg.shards : 0] worker domains, each owning
+    a sequential engine derived from [cfg] with a distinct seed. *)
+
+val create_cfg : Engine.Config.t -> t
+
+val try_create :
+  ?alpha:float ->
+  ?epsilon:float ->
+  ?seed:int ->
+  ?backend:Cq_index.Stab_backend.kind ->
+  ?strategy:Hotspot_core.Processor.strategy ->
+  ?shards:int ->
+  ?batch_size:int ->
+  unit ->
+  (t, Cq_util.Error.t) result
+
+val create :
+  ?alpha:float ->
+  ?epsilon:float ->
+  ?seed:int ->
+  ?backend:Cq_index.Stab_backend.kind ->
+  ?strategy:Hotspot_core.Processor.strategy ->
+  ?shards:int ->
+  ?batch_size:int ->
+  unit ->
+  t
+
+val shards : t -> int
+
+(** {2 Continuous queries}
+
+    Callbacks fire during {!flush} (and {!shutdown}), on the
+    coordinator's domain, in the deterministic merge order — never
+    concurrently.  A raising callback is contained and logged, as in
+    the sequential engine. *)
+
+val try_subscribe_band :
+  t ->
+  range:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  (subscription, Cq_util.Error.t) result
+(** The query is assigned to the shard owning its band-window strip;
+    the subscription is applied at the current stream position (after
+    previously ingested batches, before subsequent ones). *)
+
+val subscribe_band :
+  t ->
+  range:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  subscription
+
+val try_subscribe_select :
+  t ->
+  range_a:Cq_interval.Interval.t ->
+  range_c:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  (subscription, Cq_util.Error.t) result
+(** Assigned by [range_c] strip (the partition axis of the select
+    processors). *)
+
+val subscribe_select :
+  t ->
+  range_a:Cq_interval.Interval.t ->
+  range_c:Cq_interval.Interval.t ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  subscription
+
+val unsubscribe : t -> subscription -> bool
+
+val band_query_count : t -> int
+val select_query_count : t -> int
+
+(** {2 Batch ingest} *)
+
+val try_ingest_batch : t -> side -> (float * float) array -> (unit, Cq_util.Error.t) result
+(** Stamp the rows with consecutive global sequence numbers, split
+    them into [batch_size]-row commands and broadcast each command to
+    every shard's queue.  Returns once the batches are {e enqueued}
+    (backpressure: blocks while a queue is full); results surface at
+    the next {!flush}.  All rows are validated before any is enqueued
+    — NaN/infinite attributes are rejected with the attribute's name
+    ([a]/[b] for [R] rows, [b]/[c] for [S] rows), and a rejected batch
+    leaves the engine untouched. *)
+
+val ingest_batch : t -> side -> (float * float) array -> unit
+
+val flush : t -> int
+(** Barrier: wait until every shard has drained its queue, then merge
+    the shards' tagged result buffers in [(seq, shard, idx)] order and
+    invoke the subscriber callbacks.  Returns the number of results
+    delivered by this flush.  Worker-side failures (a shard engine
+    raising) are re-raised here, on the coordinator. *)
+
+val results_delivered : t -> int
+(** Total results delivered across all flushes so far. *)
+
+(** {2 Introspection} *)
+
+val stats : t -> Engine.stats
+(** Flushes, then merges the per-shard stats: table sizes and event
+    counts are per-shard maxima (each shard sees the whole stream),
+    results and restructure counters sum, and hotspot/coverage fields
+    fold the shards' {!Hotspot_core.Processor.snapshot}s with
+    {!Hotspot_core.Processor.merge_snapshot} (query-weighted
+    coverage). *)
+
+val shard_result_counts : t -> int array
+(** Results delivered per shard so far — the load-balance signal behind
+    the [parallel.shard_imbalance] gauge. *)
+
+val check_invariants : t -> unit
+(** Flushes, then runs {!Engine.check_invariants} on every shard (on
+    the shard's own domain) plus coordinator-side checks: every
+    registered query is owned by exactly one live shard, and global
+    delivery counts equal the sum of per-shard counts. *)
+
+val shutdown : t -> unit
+(** Flush outstanding batches (delivering their results), stop and
+    join the worker domains.  Idempotent; the engine rejects further
+    use afterwards. *)
+
+val with_engine : Engine.Config.t -> (t -> 'a) -> 'a
+(** [with_engine cfg f] runs [f] on a fresh engine and guarantees
+    {!shutdown} on exit, including on exceptions. *)

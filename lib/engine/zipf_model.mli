@@ -3,7 +3,8 @@
     If stabbing-group sizes follow a Zipf law with exponent beta (the
     k-th largest group holds a share proportional to k^-beta), the
     paper observes that a small number of top groups covers most
-    queries — the motivation for tracking only the α-hotspots. *)
+    queries — the motivation for tracking only the α-hotspots.  All
+    entry points evaluate partial harmonic sums in O(n_groups). *)
 
 val coverage : n_groups:int -> beta:float -> top_k:int -> float
 (** Fraction of all queries covered by the [top_k] largest groups

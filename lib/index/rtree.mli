@@ -4,7 +4,12 @@
     rectangles in SJ-JoinFirst, and as the per-group structure of the
     SSI in SJ-SSI ("each group in the SSI is stored as an R-tree",
     Section 3.2).  Supports insertion, deletion with tree condensing
-    and re-insertion, point stabbing and window queries. *)
+    and re-insertion, point stabbing and window queries.  Insertion
+    descends one root-to-leaf path — O(log n) node visits plus O(M²)
+    work per quadratic split; queries have no sublinear worst-case
+    guarantee (overlapping bounding boxes may force multi-path
+    descent) but are output-sensitive on the clustered workloads the
+    SSI feeds them. *)
 
 type 'a t
 

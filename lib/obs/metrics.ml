@@ -83,43 +83,64 @@ let percentile h p =
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The registry's structural operations (interning, reset, snapshot)
+   take [lock] so they are safe from any domain — a Hashtbl being
+   resized by one domain while another walks it is memory-unsafe.
+   Recording into an already-interned cell stays lock-free: a lost
+   increment under concurrent recording is acceptable, a torn registry
+   is not. *)
 type registry = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  lock : Mutex.t;
 }
 
 let create_registry () =
-  { counters = Hashtbl.create 32; gauges = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    lock = Mutex.create ();
+  }
 
 let registry = create_registry ()
 
-let intern tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some m -> m
-  | None ->
-      let m = make () in
-      Hashtbl.replace tbl name m;
-      m
+let with_lock r f =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
 
-let counter ?(registry = registry) name = intern registry.counters name (fun () -> { c = 0 })
-let gauge ?(registry = registry) name = intern registry.gauges name (fun () -> { g = 0.0 })
+let intern r tbl name make =
+  with_lock r (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.replace tbl name m;
+          m)
+
+let counter ?(registry = registry) name =
+  intern registry registry.counters name (fun () -> { c = 0 })
+
+let gauge ?(registry = registry) name =
+  intern registry registry.gauges name (fun () -> { g = 0.0 })
 
 let histogram ?(registry = registry) name =
-  intern registry.histograms name (fun () ->
+  intern registry registry.histograms name (fun () ->
       { counts = Array.make n_buckets 0; n = 0; sum = 0.0; mn = infinity; mx = neg_infinity })
 
 let reset ?(registry = registry) () =
-  Hashtbl.iter (fun _ c -> c.c <- 0) registry.counters;
-  Hashtbl.iter (fun _ g -> g.g <- 0.0) registry.gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.counts 0 n_buckets 0;
-      h.n <- 0;
-      h.sum <- 0.0;
-      h.mn <- infinity;
-      h.mx <- neg_infinity)
-    registry.histograms
+  with_lock registry (fun () ->
+      Hashtbl.iter (fun _ c -> c.c <- 0) registry.counters;
+      Hashtbl.iter (fun _ g -> g.g <- 0.0) registry.gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.counts 0 n_buckets 0;
+          h.n <- 0;
+          h.sum <- 0.0;
+          h.mn <- infinity;
+          h.mx <- neg_infinity)
+        registry.histograms)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                            *)
@@ -155,15 +176,17 @@ let summarize h =
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot ?(registry = registry) () =
-  {
-    snap_counters =
-      Hashtbl.fold (fun k c acc -> (k, c.c) :: acc) registry.counters [] |> List.sort by_name;
-    snap_gauges =
-      Hashtbl.fold (fun k g acc -> (k, g.g) :: acc) registry.gauges [] |> List.sort by_name;
-    snap_histograms =
-      Hashtbl.fold (fun k h acc -> (k, summarize h) :: acc) registry.histograms []
-      |> List.sort by_name;
-  }
+  with_lock registry (fun () ->
+      {
+        snap_counters =
+          Hashtbl.fold (fun k c acc -> (k, c.c) :: acc) registry.counters []
+          |> List.sort by_name;
+        snap_gauges =
+          Hashtbl.fold (fun k g acc -> (k, g.g) :: acc) registry.gauges [] |> List.sort by_name;
+        snap_histograms =
+          Hashtbl.fold (fun k h acc -> (k, summarize h) :: acc) registry.histograms []
+          |> List.sort by_name;
+      })
 
 let pp_snapshot fmt s =
   Format.fprintf fmt "@[<v>";

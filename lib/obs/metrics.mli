@@ -12,7 +12,15 @@
     Naming scheme: dot-separated [subsystem.metric[_unit]] —
     [tracker.promotions], [engine.ingest_ns], [stab.interval_tree.stab_ns].
     Interning the same name twice returns the same cell, so
-    instrumentation sites aggregate naturally. *)
+    instrumentation sites aggregate naturally.
+
+    {b Domains.} Registry operations — interning ({!counter} /
+    {!gauge} / {!histogram}), {!reset}, {!snapshot} — are mutex-guarded
+    and safe from any domain.  {e Recording} ({!incr}, {!set},
+    {!observe}) is deliberately lock-free and therefore best-effort
+    under concurrency: concurrent increments to the same cell may be
+    lost.  [Cq_engine.Parallel] keeps per-shard metrics on
+    coordinator-owned cells for this reason. *)
 
 val set_enabled : bool -> unit
 (** Flip the global recording switch (default [false]). *)

@@ -536,6 +536,97 @@ let run_engine ?(backend = Cq_index.Stab_backend.Itree) ~seed ~ops () =
   finish run ~ops ~final_size:(List.length !r_live + List.length !s_live)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-vs-sequential differential run                              *)
+(* ------------------------------------------------------------------ *)
+
+module Par = Cq_engine.Parallel
+
+(* The whole workload — queries, row batches, the engine's batch size —
+   is materialised from the seed first, then replayed verbatim into a
+   1-shard and an N-shard engine, so both runs see bit-identical input
+   and tuple ids line up.  The property under test is the determinism
+   claim of Parallel's merge: the delivered result multiset, keyed by
+   (query, rid, sid), must not depend on the shard count. *)
+let run_parallel ?(shards = 2) ~seed ~ops () =
+  let run = make_run (Printf.sprintf "parallel[%d]" shards) seed in
+  let rng = Rng.create (seed + 0x517c) in
+  let n_q = 8 + Rng.int rng 17 in
+  let mk_iv () =
+    let lo = (Rng.float rng *. 1000.0) -. 200.0 in
+    let w = 1.0 +. (Rng.float rng *. 150.0) in
+    I.make lo (lo +. w)
+  in
+  let queries =
+    List.init n_q (fun _ ->
+        if Rng.bool rng then `Band (mk_iv ()) else `Select (mk_iv (), mk_iv ()))
+  in
+  let n_batches = max 2 (ops / 40) in
+  let batches =
+    List.init n_batches (fun _ ->
+        let side = if Rng.bool rng then Par.R else Par.S in
+        let len = 1 + Rng.int rng 50 in
+        let rows =
+          Array.init len (fun _ -> (Rng.float rng *. 1000.0, Rng.float rng *. 1000.0))
+        in
+        (side, rows))
+  in
+  let batch_size = 1 + Rng.int rng 64 in
+  let collect n_shards =
+    let t = Par.create ~alpha:0.1 ~seed ~shards:n_shards ~batch_size () in
+    let results = ref [] in
+    List.iteri
+      (fun qi q ->
+        let cb (r : Tuple.r) (s : Tuple.s) = results := (qi, r.rid, s.sid) :: !results in
+        match q with
+        | `Band range -> ignore (Par.subscribe_band t ~range cb)
+        | `Select (range_a, range_c) -> ignore (Par.subscribe_select t ~range_a ~range_c cb))
+      queries;
+    List.iter (fun (side, rows) -> Par.ingest_batch t side rows) batches;
+    ignore (Par.flush t);
+    Par.check_invariants t;
+    let delivered = Par.results_delivered t in
+    Par.shutdown t;
+    (!results, delivered)
+  in
+  let total_rows = List.fold_left (fun acc (_, rows) -> acc + Array.length rows) 0 batches in
+  (try
+     let seq_rs, seq_n = collect 1 in
+     let par_rs, par_n = collect shards in
+     let cmp (q1, r1, s1) (q2, r2, s2) =
+       let c = Int.compare q1 q2 in
+       if c <> 0 then c
+       else
+         let c = Int.compare r1 r2 in
+         if c <> 0 then c else Int.compare s1 s2
+     in
+     if seq_n <> par_n then
+       diverge run 0 "sequential delivered %d results, %d shards delivered %d" seq_n shards
+         par_n
+     else begin
+       let a = List.sort cmp seq_rs and b = List.sort cmp par_rs in
+       let rec first_diff i xs ys =
+         match (xs, ys) with
+         | [], [] -> ()
+         | (q, r, s) :: _, [] ->
+             diverge run i "result (q=%d, rid=%d, sid=%d) missing under %d shards" q r s shards
+         | [], (q, r, s) :: _ ->
+             diverge run i "result (q=%d, rid=%d, sid=%d) fabricated under %d shards" q r s
+               shards
+         | x :: xs', y :: ys' ->
+             if cmp x y = 0 then first_diff (i + 1) xs' ys'
+             else
+               let q, r, s = x and q', r', s' = y in
+               diverge run i
+                 "multisets differ: sequential has (q=%d, rid=%d, sid=%d), %d shards have \
+                  (q=%d, rid=%d, sid=%d)"
+                 q r s shards q' r' s'
+       in
+       first_diff 0 a b
+     end
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:total_rows ~final_size:total_rows
+
+(* ------------------------------------------------------------------ *)
 (* The full battery                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -645,7 +736,7 @@ let audit_workload ?(backend = Cq_index.Stab_backend.Itree) ~seed ~n () =
   Trace.add_span ~cat:"oracle" ~name:"oracle.audit_workload" ~ts_ns:audit_start ~dur_ns ();
   reports
 
-let fuzz_all ?backend ~seed ~ops () =
+let fuzz_all ?backend ?(shards = 2) ~seed ~ops () =
   let engine_ops = max 200 (ops / 10) in
   List.map (fun d -> run_index d ~seed ~ops) index_drivers
   @ [
@@ -654,4 +745,5 @@ let fuzz_all ?backend ~seed ~ops () =
       run_lazy_partition ~seed ~ops;
       run_refined_partition ~seed ~ops;
       run_engine ?backend ~seed ~ops:engine_ops ();
+      run_parallel ~shards ~seed ~ops:engine_ops ();
     ]

@@ -82,10 +82,27 @@ val run_engine :
     (default the interval tree) — the mirror is backend-oblivious, so
     the same run exercises every candidate. *)
 
+val run_parallel : ?shards:int -> seed:int -> ops:int -> unit -> outcome
+(** Parallel-vs-sequential differential run: one seeded workload
+    (band/select subscriptions plus [~ops] rows of batched ingest) is
+    replayed verbatim into {!Cq_engine.Parallel} at [shards = 1] and at
+    [shards] (default 2), and the delivered result multisets — keyed by
+    [(query, rid, sid)] — must be identical, as must the delivery
+    counts.  [Parallel.check_invariants] runs on both engines before
+    comparison.  Exercises the determinism argument in
+    [Parallel]'s docs; deletions are out of scope (the parallel API is
+    insert-only for now). *)
+
 val fuzz_all :
-  ?backend:Cq_index.Stab_backend.kind -> seed:int -> ops:int -> unit -> outcome list
-(** The full battery (the engine runs [ops/10] operations, each one
-    being a full event cascade). *)
+  ?backend:Cq_index.Stab_backend.kind ->
+  ?shards:int ->
+  seed:int ->
+  ops:int ->
+  unit ->
+  outcome list
+(** The full battery (the engine and parallel runs use [ops/10]
+    operations, each one being a full event cascade; [shards] — default
+    2 — feeds {!run_parallel}). *)
 
 val audit_workload :
   ?backend:Cq_index.Stab_backend.kind ->

@@ -42,4 +42,11 @@ let positive ~name v =
     Error
       (Invalid_parameter { name; value = Printf.sprintf "%g" v; expected = "a finite value > 0" })
 
+let at_least ~name ~min v =
+  if v >= min then Ok v
+  else
+    Error
+      (Invalid_parameter
+         { name; value = string_of_int v; expected = Printf.sprintf "an integer >= %d" min })
+
 let both a b = match (a, b) with Ok a, Ok b -> Ok (a, b) | Error e, _ | _, Error e -> Error e

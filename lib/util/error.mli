@@ -24,7 +24,7 @@ type t =
       (** A structural invariant audit failed: [structure] names the
           offending index or partition, [detail] the broken check.
           Raised (never returned) by [check_invariants]-style audits;
-          {!Cq_robust.Invariant.guard} converts it into a recorded
+          [Cq_robust.Invariant.guard] converts it into a recorded
           violation. *)
 
 exception Cq_error of t
@@ -52,6 +52,10 @@ val in_unit_open_closed : name:string -> float -> (float, t) result
 
 val positive : name:string -> float -> (float, t) result
 (** Require a finite [v > 0]. *)
+
+val at_least : name:string -> min:int -> int -> (int, t) result
+(** Require an integer [v >= min] (shard counts, batch sizes, queue
+    capacities). *)
 
 val both : ('a, t) result -> ('b, t) result -> ('a * 'b, t) result
 (** First error wins. *)

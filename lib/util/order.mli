@@ -10,7 +10,7 @@ val int_pair : int * int -> int * int -> int
 (** Lexicographic order on [int] pairs — (qid, sid) result lists. *)
 
 val float_pair : float * float -> float * float -> int
-(** Lexicographic order via {!Float.compare} (total, NaN-last) —
+(** Lexicographic order via [Float.compare] (total, NaN-last) —
     endpoint span lists. *)
 
 val by : ('a -> 'b) -> ('b -> 'b -> int) -> 'a -> 'a -> int

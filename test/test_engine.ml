@@ -347,6 +347,133 @@ let test_engine_isolates_failing_callback () =
   Alcotest.(check int) "both results delivered" 2 k;
   Alcotest.(check int) "good subscriber saw the result" 1 !good
 
+(* ---------------------------- parallel engine -------------------------- *)
+
+module Par = Cq_engine.Parallel
+
+(* Replay one generated scenario through the sharded engine; deliveries
+   surface at flush.  Single-row batches with a small batch_size stress
+   the command protocol harder than big aligned batches would. *)
+let run_parallel_scenario ~shards (band_ranges, select_ranges, events) =
+  let t = Par.create ~alpha:0.3 ~shards ~batch_size:8 () in
+  let delivered = ref [] in
+  List.iteri
+    (fun i range ->
+      ignore
+        (Par.subscribe_band t ~range:(I.shift range (-5.0)) (fun r s ->
+             delivered :=
+               (`Band, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    band_ranges;
+  List.iteri
+    (fun i (range_a, range_c) ->
+      ignore
+        (Par.subscribe_select t ~range_a ~range_c (fun r s ->
+             delivered :=
+               (`Select, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    select_ranges;
+  List.iter
+    (fun ev ->
+      match ev with
+      | InsR (a, b) -> Par.ingest_batch t Par.R [| (a, b) |]
+      | InsS (b, c) -> Par.ingest_batch t Par.S [| (b, c) |])
+    events;
+  ignore (Par.flush t);
+  Par.check_invariants t;
+  Par.shutdown t;
+  !delivered
+
+(* The sequential engine delivers the same scenario inline; its rids and
+   sids line up with the parallel engine's because both ingest the
+   identical stream in order. *)
+let run_sequential_scenario (band_ranges, select_ranges, events) =
+  let eng = Engine.create ~alpha:0.3 () in
+  let delivered = ref [] in
+  List.iteri
+    (fun i range ->
+      ignore
+        (Engine.subscribe_band eng ~range:(I.shift range (-5.0)) (fun r s ->
+             delivered :=
+               (`Band, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    band_ranges;
+  List.iteri
+    (fun i (range_a, range_c) ->
+      ignore
+        (Engine.subscribe_select eng ~range_a ~range_c (fun r s ->
+             delivered :=
+               (`Select, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    select_ranges;
+  List.iter
+    (fun ev ->
+      match ev with
+      | InsR (a, b) -> ignore (Engine.insert_r eng ~a ~b)
+      | InsS (b, c) -> ignore (Engine.insert_s eng ~b ~c))
+    events;
+  !delivered
+
+let prop_parallel_matches_sequential =
+  QCheck2.Test.make ~name:"parallel: shards in {1,2,4} match the sequential multiset"
+    ~count:40 scenario_gen (fun scenario ->
+      let norm l = List.sort compare l in
+      let base = norm (run_sequential_scenario scenario) in
+      List.for_all
+        (fun shards ->
+          let got = norm (run_parallel_scenario ~shards scenario) in
+          got = base
+          || QCheck2.Test.fail_reportf "shards=%d delivered %d results, sequential %d" shards
+               (List.length got) (List.length base))
+        [ 1; 2; 4 ])
+
+let test_parallel_shutdown_discipline () =
+  let t = Par.create ~shards:2 () in
+  let hits = ref 0 in
+  ignore (Par.subscribe_band t ~range:(I.make (-1.0) 1.0) (fun _ _ -> incr hits));
+  Par.ingest_batch t Par.S [| (5.0, 0.0) |];
+  Par.ingest_batch t Par.R [| (0.0, 5.0) |];
+  (* shutdown flushes pending batches, so the result arrives even
+     without an explicit flush... *)
+  Par.shutdown t;
+  Alcotest.(check int) "shutdown flushes" 1 !hits;
+  (* ...is idempotent, and the engine rejects further use. *)
+  Par.shutdown t;
+  (match Par.try_ingest_batch t Par.R [| (0.0, 0.0) |] with
+  | Error (Cq_util.Error.Invalid_parameter _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
+  | Ok () -> Alcotest.fail "ingest after shutdown accepted")
+
+(* Regression for the error-payload naming unification: every
+   validation failure names the exact configuration field or tuple
+   attribute, on both the sequential and parallel try_* paths. *)
+let test_error_payload_field_names () =
+  let param_name what = function
+    | Error (Cq_util.Error.Invalid_parameter { name; _ }) ->
+        Alcotest.(check string) what what name
+    | Error e -> Alcotest.failf "%s: unexpected error %s" what (Cq_util.Error.to_string e)
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+  in
+  let finite_name what = function
+    | Error (Cq_util.Error.Not_finite { name; _ }) -> Alcotest.(check string) what what name
+    | Error e -> Alcotest.failf "%s: unexpected error %s" what (Cq_util.Error.to_string e)
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+  in
+  param_name "alpha" (Engine.try_create ~alpha:1.5 ());
+  param_name "epsilon" (Engine.try_create ~epsilon:0.0 ());
+  param_name "shards" (Engine.try_create ~shards:0 ());
+  param_name "batch_size" (Engine.try_create ~batch_size:0 ());
+  param_name "shards" (Par.try_create ~shards:(-1) ());
+  param_name "batch_size" (Par.try_create ~batch_size:(-3) ());
+  let eng = Engine.create () in
+  finite_name "a" (Engine.try_load_r eng [| (Float.nan, 1.0) |]);
+  finite_name "b" (Engine.try_load_r eng [| (1.0, Float.infinity) |]);
+  finite_name "b" (Engine.try_load_s eng [| (Float.nan, 1.0) |]);
+  finite_name "c" (Engine.try_load_s eng [| (1.0, Float.neg_infinity) |]);
+  finite_name "a" (Engine.try_insert_r eng ~a:Float.nan ~b:1.0);
+  finite_name "c" (Engine.try_insert_s eng ~b:1.0 ~c:Float.nan);
+  Par.with_engine Engine.Config.default (fun t ->
+      finite_name "a" (Par.try_ingest_batch t Par.R [| (Float.nan, 1.0) |]);
+      finite_name "b" (Par.try_ingest_batch t Par.R [| (1.0, Float.nan) |]);
+      finite_name "b" (Par.try_ingest_batch t Par.S [| (Float.nan, 1.0) |]);
+      finite_name "c" (Par.try_ingest_batch t Par.S [| (1.0, Float.nan) |]))
+
 (* ------------------------------ Zipf model ---------------------------- *)
 
 let test_zipf_figure2_anchor () =
@@ -405,6 +532,13 @@ let () =
           qc prop_engine_deletions_retract;
           Alcotest.test_case "failing callback isolated" `Quick
             test_engine_isolates_failing_callback;
+        ] );
+      ( "parallel",
+        [
+          qc prop_parallel_matches_sequential;
+          Alcotest.test_case "shutdown discipline" `Quick test_parallel_shutdown_discipline;
+          Alcotest.test_case "error payload field names" `Quick
+            test_error_payload_field_names;
         ] );
       ( "zipf_model",
         [

@@ -56,6 +56,16 @@ let test_fuzz_engine () =
     (fun backend -> check_outcome (Oracle.run_engine ~backend ~seed:3 ~ops:400 ()))
     Cq_index.Stab_backend.all
 
+let test_fuzz_parallel () =
+  (* The parallel-vs-sequential multiset property across many seeds and
+     both interesting shard counts (2 = minimal fan-out, 4 = more
+     strips than the striping period wraps around). *)
+  List.iter
+    (fun seed ->
+      check_outcome (Oracle.run_parallel ~shards:2 ~seed ~ops:300 ());
+      check_outcome (Oracle.run_parallel ~shards:4 ~seed ~ops:300 ()))
+    (List.init 10 (fun i -> i + 1))
+
 let test_audit_workload_clean () =
   List.iter
     (fun (name, report) ->
@@ -198,6 +208,7 @@ let () =
           Alcotest.test_case "tracker agrees" `Quick test_fuzz_tracker;
           Alcotest.test_case "partitions agree" `Quick test_fuzz_partitions;
           Alcotest.test_case "engine agrees" `Quick test_fuzz_engine;
+          Alcotest.test_case "parallel matches sequential" `Quick test_fuzz_parallel;
           Alcotest.test_case "workload audit clean" `Quick test_audit_workload_clean;
         ] );
       ( "corruption",
