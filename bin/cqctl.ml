@@ -194,6 +194,59 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Generate a clustered workload and report its hotspot structure.")
     Term.(const run $ n $ clusters $ frac $ alpha $ seed)
 
+(* Bursty overload demo: a Shed/Reject-policy parallel engine under
+   volleys that outrun the drain, so the policy visibly engages.  Used
+   by $(b,stats --overload). *)
+let run_overload_demo ~seed ~overload ~events =
+  let module Par = Cq_engine.Parallel in
+  let module E = Cq_engine.Engine in
+  let module I = Cq_interval.Interval in
+  let t =
+    Par.create ~alpha:0.1 ~seed ~shards:2 ~batch_size:8 ~overload ()
+  in
+  let rng = Cq_util.Rng.create seed in
+  for _ = 1 to 12 do
+    let lo = (Cq_util.Rng.float rng *. 30.0) -. 15.0 in
+    ignore
+      (Par.subscribe_band t ~range:(I.make lo (lo +. (1.0 +. (Cq_util.Rng.float rng *. 5.0))))
+         (fun _ _ -> ()))
+  done;
+  let rejected = ref 0 and accepted = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Cq_robust.Fault.Burst_r rows -> (
+          match Par.try_ingest_batch t Par.R rows with
+          | Ok () -> incr accepted
+          | Error _ -> incr rejected)
+      | Cq_robust.Fault.Burst_s rows -> (
+          match Par.try_ingest_batch t Par.S rows with
+          | Ok () -> incr accepted
+          | Error _ -> incr rejected)
+      | Cq_robust.Fault.Burst_flush -> ignore (Par.flush t))
+    (Cq_robust.Fault.gen_burst ~seed ~n:(max 24 (events / 50)));
+  ignore (Par.flush t);
+  let totals = Par.shed_totals t in
+  let info = Par.shed_info t in
+  let stats = Par.stats t in
+  Par.shutdown t;
+  Format.printf "@[<v>%a@]@." E.pp_stats stats;
+  Format.printf
+    "@.-- overload (%s) ---------------------------------------------@."
+    (E.Config.overload_to_string overload);
+  Format.printf "batches accepted     %d@." !accepted;
+  Format.printf "batches rejected     %d@." !rejected;
+  Format.printf "candidates kept      %d@." totals.E.tot_kept;
+  Format.printf "candidates dropped   %d@." totals.E.tot_dropped;
+  Format.printf "min keep-rate        %.3f@." totals.E.tot_min_rate;
+  Format.printf "degraded queries     %d@." (List.length info);
+  List.iter
+    (fun (d : E.degraded) ->
+      Format.printf
+        "  q%-4d observed %-6d estimate %-10.1f +/- %-10.1f (min rate %.3f)@." d.E.deg_qid
+        d.E.deg_observed d.E.deg_estimate d.E.deg_claimed_error d.E.deg_rate)
+    info
+
 (* ------------------------------ fuzz ----------------------------------- *)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed; failures replay exactly under the same seed.")
@@ -229,20 +282,45 @@ let fuzz_cmd =
       & info [ "shards" ] ~docv:"N"
           ~doc:"Shard count for the parallel-vs-sequential differential run.")
   in
-  let run seed ops backend shards metrics =
+  let faults =
+    let f = Arg.enum [ ("default", `Default); ("burst", `Burst) ] in
+    Arg.(
+      value & opt f `Default
+      & info [ "faults" ] ~docv:"KIND"
+          ~doc:
+            "Fault stream: $(b,default) runs the full structure battery, $(b,burst) replays \
+             seeded overload bursts through the Shed policy and checks degraded answers \
+             against the exact mirror.")
+  in
+  let run seed ops backend shards faults metrics =
     with_metrics metrics @@ fun () ->
     let outcomes =
-      match backends_of backend with
-      | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~shards ~seed ~ops ()
-      | b0 :: rest ->
-          (* One full battery, then the engine alone under each further
-             backend — the structure runs are backend-independent. *)
-          Cq_robust.Oracle.fuzz_all ~backend:b0 ~shards ~seed ~ops ()
-          @ List.map
-              (fun b ->
-                Cq_robust.Oracle.run_engine ~backend:b ~seed ~ops:(max 200 (ops / 10)) ())
-              rest
-      | [] -> []
+      match faults with
+      | `Burst ->
+          (* The shed battery: forced-rate differential checks at two
+             rates and two shard counts (the outcomes must agree), then
+             the adaptive burst-liveness replay. *)
+          let fuzz_ops = max 100 (ops / 100) in
+          List.concat_map
+            (fun rate ->
+              [
+                Cq_robust.Oracle.run_shed ~shards:1 ~rate ~seed ~ops:fuzz_ops ();
+                Cq_robust.Oracle.run_shed ~shards ~rate ~seed ~ops:fuzz_ops ();
+              ])
+            [ 0.25; 0.75 ]
+          @ [ Cq_robust.Oracle.run_burst ~shards ~seed ~ops:(max 240 (ops / 50)) () ]
+      | `Default -> (
+          match backends_of backend with
+          | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~shards ~seed ~ops ()
+          | b0 :: rest ->
+              (* One full battery, then the engine alone under each further
+                 backend — the structure runs are backend-independent. *)
+              Cq_robust.Oracle.fuzz_all ~backend:b0 ~shards ~seed ~ops ()
+              @ List.map
+                  (fun b ->
+                    Cq_robust.Oracle.run_engine ~backend:b ~seed ~ops:(max 200 (ops / 10)) ())
+                  rest
+          | [] -> [])
     in
     List.iter (fun o -> Format.printf "@[<v>%a@]@." Cq_robust.Oracle.pp_outcome o) outcomes;
     let bad = List.filter (fun o -> not (Cq_robust.Oracle.passed o)) outcomes in
@@ -250,17 +328,20 @@ let fuzz_cmd =
       Format.printf "all %d structures agree with the oracle@." (List.length outcomes);
       `Ok ())
     else
+      let faults_flag = match faults with `Burst -> " --faults burst" | `Default -> "" in
       `Error
         ( false,
-          Printf.sprintf "%d structure(s) diverged or violated invariants (seed %d)"
-            (List.length bad) seed )
+          Printf.sprintf
+            "%d structure(s) diverged or violated invariants; replay exactly with: cqctl \
+             fuzz%s --seed %d --ops %d --shards %d"
+            (List.length bad) faults_flag seed ops shards )
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: run a seeded adversarial operation stream against every \
           structure and a naive oracle; exit nonzero on any divergence or invariant violation.")
-    Term.(ret (const run $ seed_arg $ ops $ backend_arg $ shards $ metrics_term))
+    Term.(ret (const run $ seed_arg $ ops $ backend_arg $ shards $ faults $ metrics_term))
 
 (* ------------------------------ audit ---------------------------------- *)
 
@@ -304,12 +385,27 @@ let demo_alpha =
 
 let first_backend b = match backends_of b with k :: _ -> k | [] -> Cq_index.Stab_backend.Itree
 
+let overload_arg =
+  let module C = Cq_engine.Engine.Config in
+  Arg.(
+    value
+    & opt (enum [ ("block", C.Block); ("reject", C.Reject); ("shed", C.Shed) ]) C.Block
+    & info [ "overload" ] ~docv:"POLICY"
+        ~doc:
+          "Overload policy for the demo: $(b,block) runs the exact sequential demo; \
+           $(b,reject) and $(b,shed) run a bursty parallel demo under that policy and \
+           report admission/shedding counters and degraded-answer bounds.")
+
 let stats_cmd =
-  let run seed queries events alpha backend =
+  let run seed queries events alpha backend overload =
     Cq_obs.Metrics.set_enabled true;
     Cq_obs.Trace.set_enabled true;
-    let eng = run_demo ~queries ~events ~alpha ~seed ~backend:(first_backend backend) in
-    Format.printf "@[<v>%a@]@." Cq_engine.Engine.pp_stats (Cq_engine.Engine.stats eng);
+    (match overload with
+    | Cq_engine.Engine.Config.Block ->
+        let eng = run_demo ~queries ~events ~alpha ~seed ~backend:(first_backend backend) in
+        Format.printf "@[<v>%a@]@." Cq_engine.Engine.pp_stats (Cq_engine.Engine.stats eng)
+    | (Cq_engine.Engine.Config.Reject | Cq_engine.Engine.Config.Shed) as overload ->
+        run_overload_demo ~seed ~overload ~events);
     Format.printf "@.-- metrics ---------------------------------------------------@.%a"
       Cq_obs.Metrics.pp ();
     Format.printf "@.-- trace tail ------------------------------------------------@.%a"
@@ -318,9 +414,10 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Run an instrumented demo band-join workload and print the engine stats block, the \
-          metrics registry, and the trace tail.")
-    Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg)
+         "Run an instrumented demo workload and print the engine stats block, the metrics \
+          registry, and the trace tail.  With $(b,--overload reject|shed), a bursty \
+          parallel demo exercises the admission-control / load-shedding path instead.")
+    Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg $ overload_arg)
 
 let trace_cmd =
   let out =

@@ -1,0 +1,7 @@
+(** Overload-management experiment: degraded-answer accuracy at forced
+    shed rates (Horvitz-Thompson estimate vs exact mirror, observed
+    error vs claimed bound) and Block/Reject/Shed ingest/flush latency
+    under seeded bursts.  Writes BENCH_overload.json under
+    [bench --json]; CI checks [claimed_error >= observed_error]. *)
+
+val overload : Setup.scale -> unit

@@ -26,6 +26,11 @@ let scale_exps =
       title = "Parallel engine: throughput vs shard count";
       run = Scale_exps.scale_domains;
     };
+    {
+      id = "overload";
+      title = "Overload management: admission control and load shedding";
+      run = Overload_exps.overload;
+    };
   ]
 
 let ablation_exps =

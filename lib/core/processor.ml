@@ -126,6 +126,19 @@ module type PROCESSOR = sig
   val telemetry : t -> telemetry
   val snapshot : t -> snapshot
   val check_invariants : t -> unit
+
+  val set_shed : t -> (int -> bool) option -> unit
+  (** Install ([Some]) or clear ([None], the default) a load-shedding
+      predicate.  During [process_r] the predicate is consulted only
+      for (event, qid) pairs that definitely produce at least one
+      result — group identification is anchor-exact, and the scattered
+      fallback confirms with [probe_hit] first — so the consultation
+      set is a pure function of the query population and the event
+      stream, independent of internal structure (hotspot grouping,
+      partition layout, seeds).  A [false] verdict suppresses that
+      query's probe for this event.  [affected] and structural
+      maintenance stay exact.  With [None] there is no per-candidate
+      overhead. *)
 end
 
 type strategy = Hotspot | Ssi
@@ -138,6 +151,7 @@ let strategy_of_string = function
   | "hotspot" -> Ok Hotspot
   | "ssi" -> Ok Ssi
   | s -> Error (Printf.sprintf "unknown strategy %S (hotspot|ssi)" s)
+
 
 module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
   module Elem = struct
@@ -167,6 +181,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       hot : (int, Q.Group.g) Hashtbl.t;
       scattered : Q.t B.t;
       dedupe : Dedupe.t;
+      mutable shed : (int -> bool) option;
     }
 
     let name = Q.label ^ "-Hotspot"
@@ -188,7 +203,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       in
       let tracker = Tracker.create ~alpha ?epsilon ?seed ~on_event () in
       Array.iter (fun q -> Tracker.insert tracker q) queries;
-      { store; tracker; hot; scattered; dedupe = Dedupe.create () }
+      { store; tracker; hot; scattered; dedupe = Dedupe.create (); shed = None }
 
     let create store queries = create_cfg store queries
 
@@ -210,28 +225,44 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
           Stdlib.incr cands;
           let fresh = Dedupe.mark t.dedupe (Q.qid q) in
           if fresh then Stdlib.incr marked;
-          fresh
+          fresh && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
         in
         Hashtbl.iter
           (fun gid g ->
             let stab = Tracker.hotspot_stab t.tracker gid in
             Q.Group.process t.store g ~stab ev ~mark sink)
           t.hot;
-        iter_scattered t ev (fun q ->
-            Stdlib.incr cands;
-            Stdlib.incr marked;
-            Q.probe t.store q ev (fun res -> sink q res));
+        (match t.shed with
+        | None ->
+            iter_scattered t ev (fun q ->
+                Stdlib.incr cands;
+                Stdlib.incr marked;
+                Q.probe t.store q ev (fun res -> sink q res))
+        | Some pred ->
+            iter_scattered t ev (fun q ->
+                Stdlib.incr cands;
+                Stdlib.incr marked;
+                if Q.probe_hit t.store q ev && pred (Q.qid q) then
+                  Q.probe t.store q ev (fun res -> sink q res)));
         Metrics.observe m_fanout (float_of_int !cands);
         Metrics.observe m_dedupe_marks (float_of_int !marked)
       end
       else begin
-        let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+        let mark q =
+          Dedupe.mark t.dedupe (Q.qid q)
+          && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
+        in
         Hashtbl.iter
           (fun gid g ->
             let stab = Tracker.hotspot_stab t.tracker gid in
             Q.Group.process t.store g ~stab ev ~mark sink)
           t.hot;
-        iter_scattered t ev (fun q -> Q.probe t.store q ev (fun res -> sink q res))
+        match t.shed with
+        | None -> iter_scattered t ev (fun q -> Q.probe t.store q ev (fun res -> sink q res))
+        | Some pred ->
+            iter_scattered t ev (fun q ->
+                if Q.probe_hit t.store q ev && pred (Q.qid q) then
+                  Q.probe t.store q ev (fun res -> sink q res))
       end
 
     let affected t ev report =
@@ -246,6 +277,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
          need no dedupe marking. *)
       iter_scattered t ev (fun q -> if Q.probe_hit t.store q ev then report q)
 
+    let set_shed t pred = t.shed <- pred
     let insert_query t q = Tracker.insert t.tracker q
     let delete_query t q = Tracker.delete t.tracker q
     let query_count t = Tracker.size t.tracker
@@ -320,6 +352,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       mutable dirty : bool;
       mutable rebuilds : int;
       dedupe : Dedupe.t;
+      mutable shed : (int -> bool) option;
     }
 
     let name = Q.label ^ "-SSI"
@@ -343,6 +376,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
         dirty = false;
         rebuilds = 0;
         dedupe = Dedupe.create ();
+        shed = None;
       }
 
     let create_cfg ?alpha:_ ?epsilon:_ ?seed:_ store queries = create store queries
@@ -356,14 +390,17 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
           Stdlib.incr cands;
           let fresh = Dedupe.mark t.dedupe (Q.qid q) in
           if fresh then Stdlib.incr marked;
-          fresh
+          fresh && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
         in
         Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink);
         Metrics.observe m_fanout (float_of_int !cands);
         Metrics.observe m_dedupe_marks (float_of_int !marked)
       end
       else begin
-        let mark q = Dedupe.mark t.dedupe (Q.qid q) in
+        let mark q =
+          Dedupe.mark t.dedupe (Q.qid q)
+          && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
+        in
         Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink)
       end
 
@@ -372,6 +409,8 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       Dedupe.fresh t.dedupe;
       let mark q = Dedupe.mark t.dedupe (Q.qid q) in
       Index.iter t.index (fun ~stab g -> Q.Group.identify t.store g ~stab ev ~mark report)
+
+    let set_shed t pred = t.shed <- pred
 
     let insert_query t q =
       Hashtbl.replace t.queries (Q.qid q) q;

@@ -192,6 +192,22 @@ module type PROCESSOR = sig
 
   val check_invariants : t -> unit
   (** @raise Failure on violation. *)
+
+  val set_shed : t -> (int -> bool) option -> unit
+  (** Install ([Some]) or clear ([None], the default) a load-shedding
+      predicate for degraded (approximate) processing.  During
+      {!process_r} the predicate is consulted at most once per (event,
+      candidate qid) — after per-event dedupe — and {e only} for pairs
+      that definitely produce at least one result: group
+      identification is anchor-exact, and the scattered fallback
+      confirms with [probe_hit] before asking.  The consultation set
+      is therefore a pure function of the query population and the
+      event stream, independent of internal structure (hotspot
+      grouping, scatter layout, seeds), which makes drop-side
+      accounting shard-count invariant.  A [false] verdict suppresses
+      that query's probes for this event.  {!affected}, query
+      maintenance, and invariant audits remain exact.  With [None]
+      there is no per-candidate overhead. *)
 end
 
 (** {2 Runtime strategy selection} *)

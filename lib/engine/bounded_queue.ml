@@ -59,6 +59,60 @@ let pop t =
   Mutex.unlock t.lock;
   v
 
+let try_push t v =
+  Mutex.lock t.lock;
+  let accepted = t.len < t.cap in
+  if accepted then begin
+    t.buf.(t.tail) <- Some v;
+    t.tail <- (t.tail + 1) mod t.cap;
+    t.len <- t.len + 1;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let v =
+    if t.len = 0 then None
+    else begin
+      let v =
+        match t.buf.(t.head) with
+        | Some v -> v
+        | None ->
+            (* Unreachable: len > 0 guarantees an occupied slot. *)
+            Mutex.unlock t.lock;
+            Cq_util.Error.corrupt ~structure:"bounded_queue" "occupied slot %d is empty" t.head
+      in
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod t.cap;
+      t.len <- t.len - 1;
+      Condition.signal t.not_full;
+      Some v
+    end
+  in
+  Mutex.unlock t.lock;
+  v
+
+(* The stdlib has no timed [Condition.wait], so the timeout variant
+   polls [try_push] against a monotonic deadline.  [cpu_relax] keeps the
+   spin friendly on SMT siblings; the queue drains at batch granularity,
+   so successful retries arrive within a handful of iterations. *)
+let push_timeout t v ~timeout_ns =
+  if try_push t v then true
+  else begin
+    let deadline = Int64.add (Cq_util.Clock.monotonic_ns ()) timeout_ns in
+    let rec loop () =
+      if try_push t v then true
+      else if Cq_util.Clock.monotonic_ns () >= deadline then false
+      else begin
+        Domain.cpu_relax ();
+        loop ()
+      end
+    in
+    loop ()
+  end
+
 let length t =
   Mutex.lock t.lock;
   let n = t.len in

@@ -26,6 +26,22 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** Blocks while the queue is empty. *)
 
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking push: [false] (and no enqueue) if the queue is full.
+    The admission-control primitive — overload policies that must never
+    stall the producer ({!Parallel.try_ingest_batch} under [Reject] /
+    [Shed]) use this instead of {!push}. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking pop: [None] if the queue is empty. *)
+
+val push_timeout : 'a t -> 'a -> timeout_ns:int64 -> bool
+(** [push_timeout t v ~timeout_ns] keeps retrying {!try_push} against a
+    {!Cq_util.Clock.monotonic_ns} deadline, yielding with
+    [Domain.cpu_relax] between attempts; [false] if the queue stayed
+    full for the whole window.  Used by [Parallel.shutdown] so a wedged
+    shard can never deadlock teardown. *)
+
 val length : 'a t -> int
 (** Instantaneous occupancy (racy by nature across domains; exact when
     no concurrent push/pop is in flight).  Feeds the per-shard

@@ -16,8 +16,20 @@ let m_ingest_ns = Metrics.histogram "engine.ingest_ns"
 let m_retract_ns = Metrics.histogram "engine.retract_ns"
 let m_events = Metrics.counter "engine.events"
 let m_results = Metrics.counter "engine.results"
+let m_shed_kept = Metrics.counter "engine.shed.kept"
+let m_shed_dropped = Metrics.counter "engine.shed.dropped"
 
 module Config = struct
+  type overload = Block | Reject | Shed
+
+  let overload_to_string = function Block -> "block" | Reject -> "reject" | Shed -> "shed"
+
+  let overload_of_string = function
+    | "block" -> Ok Block
+    | "reject" -> Ok Reject
+    | "shed" -> Ok Shed
+    | s -> Error (Printf.sprintf "unknown overload policy %S (block|reject|shed)" s)
+
   type t = {
     alpha : float;
     epsilon : float;
@@ -26,6 +38,8 @@ module Config = struct
     strategy : Hotspot_core.Processor.strategy;
     shards : int;
     batch_size : int;
+    overload : overload;
+    shed_rate : float;
   }
 
   let default =
@@ -37,6 +51,8 @@ module Config = struct
       strategy = Hotspot_core.Processor.Hotspot;
       shards = 1;
       batch_size = 256;
+      overload = Block;
+      shed_rate = 1.0;
     }
 
   (* The single validator behind every try_create path (sequential and
@@ -54,7 +70,10 @@ module Config = struct
             | Ok _ -> (
                 match Err.at_least ~name:"batch_size" ~min:1 t.batch_size with
                 | Error _ as e -> e
-                | Ok _ -> Ok t)))
+                | Ok _ -> (
+                    match Err.in_unit_open_closed ~name:"shed_rate" t.shed_rate with
+                    | Error _ as e -> e
+                    | Ok _ -> Ok t))))
 end
 
 type subscription =
@@ -78,6 +97,22 @@ type side = {
   home : Table.s_table;
 }
 
+(* Per-query Horvitz-Thompson accounting for shed mode.  Results of one
+   event are accumulated in the [se_ev_*] pending cells and folded into
+   the estimate lazily when a later event (or a reader) arrives, so the
+   per-result hot path is two int bumps. *)
+type shed_est = {
+  mutable se_obs : int;  (* results actually delivered *)
+  mutable se_est : float;  (* HT cardinality estimate *)
+  mutable se_err : float;  (* exact kept-side error mass: sum k*(1-p)/p *)
+  mutable se_dropped : int;  (* dropped (event, query) candidates *)
+  mutable se_min_p : float;  (* lowest keep-rate this query saw *)
+  mutable se_kbound : float;  (* sum of per-event k caps over drops *)
+  mutable se_ev : int;  (* ordinal of the pending event *)
+  mutable se_ev_k : int;  (* results of the pending event *)
+  mutable se_ev_p : float;  (* keep-rate of the pending event *)
+}
+
 type t = {
   s_table : Table.s_table;
   (* R encoded in S shape: B stays the join key, A rides in the C
@@ -95,6 +130,19 @@ type t = {
   mutable next_sid : int;
   mutable events : int;
   mutable results : int;
+  (* Load-shedding state.  [shed_rate] is the current Bernoulli
+     keep-probability (1.0 = exact); [shed_seed]/[shed_ord] key the
+     deterministic per-(event, query) coin, with the ordinal counting
+     ingests only so that every shard of a broadcast stream assigns the
+     same ordinals. *)
+  mutable shed_rate : float;
+  mutable shed_seed : int;
+  mutable shed_ord : int;
+  mutable shed_kept : int;
+  mutable shed_dropped : int;
+  mutable shed_floor : float;  (* lowest rate applied while shedding *)
+  mutable shed_ev_kbound : int;  (* opposite-table size for this event *)
+  shed_ests : (int, shed_est) Hashtbl.t;
 }
 
 (* Dispatch helpers over the existential packages. *)
@@ -106,7 +154,9 @@ let band_check (Bproc ((module P), p)) = P.check_invariants p
 let band_hotspots (Bproc ((module P), p)) = P.num_hotspots p
 let band_coverage (Bproc ((module P), p)) = P.coverage p
 let band_telemetry (Bproc ((module P), p)) = P.telemetry p
+let band_set_shed (Bproc ((module P), p)) pred = P.set_shed p pred
 let select_process (Sproc ((module P), p)) r sink = P.process_r p r sink
+let select_set_shed (Sproc ((module P), p)) pred = P.set_shed p pred
 let select_insert (Sproc ((module P), p)) q = P.insert_query p q
 let select_delete (Sproc ((module P), p)) q = P.delete_query p q
 let select_count (Sproc ((module P), p)) = P.query_count p
@@ -114,6 +164,157 @@ let select_check (Sproc ((module P), p)) = P.check_invariants p
 let select_hotspots (Sproc ((module P), p)) = P.num_hotspots p
 let select_coverage (Sproc ((module P), p)) = P.coverage p
 let select_telemetry (Sproc ((module P), p)) = P.telemetry p
+
+(* {2 Load shedding}
+
+   Shed mode samples (event, query) candidate pairs with a Bernoulli
+   coin of keep-probability [shed_rate]; a dropped pair skips the
+   query's probes for that event entirely.  Delivered answers are
+   degraded: the per-query Horvitz-Thompson estimate [se_est] unbiases
+   the observed cardinality, and the claimed absolute-error bound is
+
+     max(se_err, se_kbound)
+
+   This is rigorous, not heuristic.  Writing the exact count as
+   N = sum over all (event, query) candidates of k_i (the event's
+   result count for the query), the estimate is sum over kept events
+   of k_i/p_i, so
+
+     est - N = sum_kept k_i*(1-p_i)/p_i - sum_dropped k_i
+
+   The positive part is [se_err] exactly (accumulated per kept event);
+   the negative part is bounded by [se_kbound], the sum over dropped
+   events of that event's opposite-table size — an event's results all
+   pair it with previously stored tuples of the other relation, so the
+   table size at ingest time caps k_i.  The difference of two
+   non-negative sums is bounded by their max.  Tuples are broadcast to
+   every shard, so table sizes at a given ordinal — like the coins —
+   are shard-invariant, and the claimed bound is identical for every
+   shard count.  [Cq_robust.Oracle.run_shed] fuzzes the bound against
+   the exact naive mirror. *)
+
+let est_for t qid =
+  match Hashtbl.find_opt t.shed_ests qid with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          se_obs = 0;
+          se_est = 0.0;
+          se_err = 0.0;
+          se_dropped = 0;
+          se_min_p = 1.0;
+          se_kbound = 0.0;
+          se_ev = -1;
+          se_ev_k = 0;
+          se_ev_p = 1.0;
+        }
+      in
+      Hashtbl.replace t.shed_ests qid e;
+      e
+
+let flush_pending est =
+  if est.se_ev_k > 0 then begin
+    let k = float_of_int est.se_ev_k and p = est.se_ev_p in
+    est.se_est <- est.se_est +. (k /. p);
+    est.se_err <- est.se_err +. (k *. (1.0 -. p) /. p);
+    est.se_ev_k <- 0
+  end
+
+(* The coin is a pure function of (seed, event ordinal, qid): every
+   shard of a broadcast stream — and every replay with the same seed —
+   flips identically, which is what makes shed decisions deterministic
+   and shard-count-invariant. *)
+let shed_coin t qid =
+  let mix =
+    t.shed_seed
+    lxor (t.shed_ord * 0x2545F4914F6CDD1D)
+    lxor ((qid + 1) * 0x1F3779B97F4A7C15)
+  in
+  Cq_util.Rng.float (Cq_util.Rng.create mix) < t.shed_rate
+
+let shed_pred t qid =
+  t.shed_rate >= 1.0
+  ||
+  if shed_coin t qid then begin
+    t.shed_kept <- t.shed_kept + 1;
+    if t.shed_rate < t.shed_floor then t.shed_floor <- t.shed_rate;
+    Metrics.incr m_shed_kept;
+    true
+  end
+  else begin
+    t.shed_dropped <- t.shed_dropped + 1;
+    if t.shed_rate < t.shed_floor then t.shed_floor <- t.shed_rate;
+    Metrics.incr m_shed_dropped;
+    let est = est_for t qid in
+    est.se_dropped <- est.se_dropped + 1;
+    est.se_kbound <- est.se_kbound +. float_of_int t.shed_ev_kbound;
+    if t.shed_rate < est.se_min_p then est.se_min_p <- t.shed_rate;
+    false
+  end
+
+let shed_note_result t qid =
+  if t.shed_rate < 1.0 then begin
+    let est = est_for t qid in
+    if est.se_ev <> t.shed_ord then begin
+      flush_pending est;
+      est.se_ev <- t.shed_ord;
+      est.se_ev_p <- t.shed_rate
+    end;
+    est.se_ev_k <- est.se_ev_k + 1;
+    est.se_obs <- est.se_obs + 1;
+    if t.shed_rate < est.se_min_p then est.se_min_p <- t.shed_rate
+  end
+
+type degraded = {
+  deg_qid : int;
+  deg_observed : int;
+  deg_estimate : float;
+  deg_claimed_error : float;
+  deg_rate : float;
+}
+
+type shed_totals = { tot_kept : int; tot_dropped : int; tot_min_rate : float }
+
+let shed_totals t =
+  { tot_kept = t.shed_kept; tot_dropped = t.shed_dropped; tot_min_rate = t.shed_floor }
+
+let shed_info t =
+  let out =
+    Hashtbl.fold
+      (fun qid est acc ->
+        flush_pending est;
+        let claimed = Float.max est.se_err est.se_kbound in
+        {
+          deg_qid = qid;
+          deg_observed = est.se_obs;
+          deg_estimate = est.se_est;
+          deg_claimed_error = claimed;
+          deg_rate = est.se_min_p;
+        }
+        :: acc)
+      t.shed_ests []
+  in
+  List.sort (fun a b -> Int.compare a.deg_qid b.deg_qid) out
+
+(* All four processors share one predicate closed over the engine, so
+   a rate change applies everywhere at once.  The predicate is only
+   installed while shedding is active (rate < 1.0): with [None]
+   installed the processors take their exact zero-overhead path, so
+   Block mode is byte-for-byte the pre-shedding engine. *)
+let install_shed t =
+  let pred = if t.shed_rate < 1.0 then Some (fun qid -> shed_pred t qid) else None in
+  band_set_shed t.r_side.band pred;
+  band_set_shed t.s_side.band pred;
+  select_set_shed t.r_side.select pred;
+  select_set_shed t.s_side.select pred
+
+let set_shed_rate t rate =
+  let was_shedding = t.shed_rate < 1.0 in
+  t.shed_rate <- rate;
+  if was_shedding <> (rate < 1.0) then install_shed t
+
+let set_shed_seed t seed = t.shed_seed <- seed
 
 let make_side (cfg : Config.t) ~probe ~home ~seed_base =
   let (module BP : BJ.PROCESSOR) = BJ.processor cfg.strategy cfg.backend in
@@ -140,7 +341,7 @@ let try_create_cfg (cfg : Config.t) =
       (* The four processors get distinct derived seeds so their treap
          priority streams stay independent: the R side takes seed and
          seed+2, the S side seed+1 and seed+3. *)
-      Ok
+      let t =
         {
           s_table;
           r_mirror;
@@ -155,11 +356,23 @@ let try_create_cfg (cfg : Config.t) =
           next_sid = 0;
           events = 0;
           results = 0;
+          shed_rate = cfg.shed_rate;
+          shed_seed = cfg.seed;
+          shed_ord = 0;
+          shed_kept = 0;
+          shed_dropped = 0;
+          shed_floor = 1.0;
+          shed_ev_kbound = 0;
+          shed_ests = Hashtbl.create 32;
         }
+      in
+      install_shed t;
+      Ok t
 
 let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
 
-let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
+let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
+    ?shed_rate () =
   let d = Config.default in
   try_create_cfg
     {
@@ -170,53 +383,78 @@ let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
       strategy = Option.value strategy ~default:d.strategy;
       shards = Option.value shards ~default:d.shards;
       batch_size = Option.value batch_size ~default:d.batch_size;
+      overload = Option.value overload ~default:d.overload;
+      shed_rate = Option.value shed_rate ~default:d.shed_rate;
     }
 
-let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
-  Err.ok_exn (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ())
+let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload ?shed_rate
+    () =
+  Err.ok_exn
+    (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
+       ?shed_rate ())
 
 let fresh_qid t =
   let q = t.next_qid in
   t.next_qid <- q + 1;
   q
 
+(* Subscriptions normally draw sequential qids; an explicit [?qid]
+   override lets a coordinator (Engine.Parallel) impose its own global
+   numbering so qids — and therefore shed-coin outcomes — are identical
+   on every shard regardless of which queries landed there. *)
+let claim_qid t = function
+  | None -> Ok (fresh_qid t)
+  | Some q ->
+      if Hashtbl.mem t.band_cbs q || Hashtbl.mem t.select_cbs q then
+        Error (Err.Duplicate { what = Printf.sprintf "qid %d" q })
+      else begin
+        t.next_qid <- max t.next_qid (q + 1);
+        Ok q
+      end
+
 (* The mirrored band window: S.B - R.B ∈ [lo, hi] iff
    R.B - S.B ∈ [-hi, -lo]. *)
 let negate_range r = I.make (-.I.hi r) (-.I.lo r)
 
-let try_subscribe_band t ?on_retract ~range cb =
+let try_subscribe_band t ?qid ?on_retract ~range cb =
   if I.is_empty range then Error (Err.Empty_range { name = "range" })
-  else begin
-    let qid = fresh_qid t in
-    let fwd = BQ.make ~qid ~range in
-    let bwd = BQ.make ~qid ~range:(negate_range range) in
-    band_insert t.r_side.band fwd;
-    band_insert t.s_side.band bwd;
-    Hashtbl.replace t.band_cbs qid cb;
-    (match on_retract with Some f -> Hashtbl.replace t.band_retracts qid f | None -> ());
-    Ok (Band { fwd; bwd })
-  end
+  else
+    match claim_qid t qid with
+    | Error _ as e -> e
+    | Ok qid ->
+        let fwd = BQ.make ~qid ~range in
+        let bwd = BQ.make ~qid ~range:(negate_range range) in
+        band_insert t.r_side.band fwd;
+        band_insert t.s_side.band bwd;
+        Hashtbl.replace t.band_cbs qid cb;
+        (match on_retract with
+        | Some f -> Hashtbl.replace t.band_retracts qid f
+        | None -> ());
+        Ok (Band { fwd; bwd })
 
-let subscribe_band t ?on_retract ~range cb =
-  Err.ok_exn (try_subscribe_band t ?on_retract ~range cb)
+let subscribe_band t ?qid ?on_retract ~range cb =
+  Err.ok_exn (try_subscribe_band t ?qid ?on_retract ~range cb)
 
-let try_subscribe_select t ?on_retract ~range_a ~range_c cb =
+let try_subscribe_select t ?qid ?on_retract ~range_a ~range_c cb =
   if I.is_empty range_a then Error (Err.Empty_range { name = "range_a" })
   else if I.is_empty range_c then Error (Err.Empty_range { name = "range_c" })
-  else begin
-    let qid = fresh_qid t in
-    let fwd = SQ.make ~qid ~range_a ~range_c in
-    (* Mirror swaps the roles of the two selection axes. *)
-    let bwd = SQ.make ~qid ~range_a:range_c ~range_c:range_a in
-    select_insert t.r_side.select fwd;
-    select_insert t.s_side.select bwd;
-    Hashtbl.replace t.select_cbs qid cb;
-    (match on_retract with Some f -> Hashtbl.replace t.select_retracts qid f | None -> ());
-    Ok (Select { fwd; bwd })
-  end
+  else
+    match claim_qid t qid with
+    | Error _ as e -> e
+    | Ok qid ->
+        let fwd = SQ.make ~qid ~range_a ~range_c in
+        (* Mirror swaps the roles of the two selection axes. *)
+        let bwd = SQ.make ~qid ~range_a:range_c ~range_c:range_a in
+        select_insert t.r_side.select fwd;
+        select_insert t.s_side.select bwd;
+        Hashtbl.replace t.select_cbs qid cb;
+        (match on_retract with
+        | Some f -> Hashtbl.replace t.select_retracts qid f
+        | None -> ());
+        Ok (Select { fwd; bwd })
 
-let subscribe_select t ?on_retract ~range_a ~range_c cb =
-  Err.ok_exn (try_subscribe_select t ?on_retract ~range_a ~range_c cb)
+let subscribe_select t ?qid ?on_retract ~range_a ~range_c cb =
+  Err.ok_exn (try_subscribe_select t ?qid ?on_retract ~range_a ~range_c cb)
 
 let unsubscribe t = function
   | Band { fwd; bwd } ->
@@ -255,6 +493,7 @@ let deliver_band t (q : BQ.t) r s =
   | Some cb -> protected cb r s
   | None -> ());
   t.results <- t.results + 1;
+  shed_note_result t q.qid;
   Metrics.incr m_results
 
 let deliver_select t (q : SQ.t) r s =
@@ -262,6 +501,7 @@ let deliver_select t (q : SQ.t) r s =
   | Some cb -> protected cb r s
   | None -> ());
   t.results <- t.results + 1;
+  shed_note_result t q.qid;
   Metrics.incr m_results
 
 (* Both encodings are one and the same transposition: the join key B
@@ -277,6 +517,17 @@ let of_row (s : Tuple.s) = { Tuple.rid = s.sid; a = s.c; b = s.b }
    side's home table so future events on the other side can see it. *)
 let ingest t side pseudo ~on_band ~on_select =
   t.events <- t.events + 1;
+  (* Ordinals advance on ingests only (never on retractions), so a
+     broadcast stream assigns the same ordinal to the same event on
+     every shard. *)
+  t.shed_ord <- t.shed_ord + 1;
+  (* Cap on this event's per-query result count: it can only pair with
+     tuples already stored on the other side.  Broadcast replication
+     makes this size shard-invariant at a given ordinal, so the claimed
+     error bounds built from it are too. *)
+  if t.shed_rate < 1.0 then
+    t.shed_ev_kbound <-
+      Table.s_size (if side == t.r_side then t.s_side.home else t.r_side.home);
   Metrics.incr m_events;
   if Metrics.enabled () then begin
     let (), dt =
@@ -310,11 +561,20 @@ let retract t side pseudo ~on_band ~on_select =
           incr count;
           on_select q s)
     in
-    if Metrics.enabled () then begin
-      let (), dt = Cq_util.Clock.time_ns run in
-      Metrics.observe m_retract_ns (Int64.to_float dt)
-    end
-    else run ();
+    (* Retraction must recompute exactly the result pairs produced at
+       insertion time, so shedding is suspended for its duration (the
+       estimator ignores rate-1.0 traffic, keeping degraded-answer
+       bookkeeping insert-only). *)
+    let saved_rate = t.shed_rate in
+    t.shed_rate <- 1.0;
+    Fun.protect
+      ~finally:(fun () -> t.shed_rate <- saved_rate)
+      (fun () ->
+        if Metrics.enabled () then begin
+          let (), dt = Cq_util.Clock.time_ns run in
+          Metrics.observe m_retract_ns (Int64.to_float dt)
+        end
+        else run ());
     Some !count
   end
 

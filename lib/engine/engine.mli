@@ -30,6 +30,21 @@
 type t
 
 module Config : sig
+  (** What the engine does when ingest outruns processing capacity:
+      [Block] (the default) applies backpressure and stays exact,
+      [Reject] refuses whole batches with {!Cq_util.Error.Overload} so
+      the producer can back off, [Shed] admits everything but samples
+      (event, query) candidate pairs, degrading answers to
+      Horvitz-Thompson estimates with claimed error bounds.  The
+      policy forms a lattice of fidelity vs availability — see
+      DESIGN.md §12. *)
+  type overload = Block | Reject | Shed
+
+  val overload_to_string : overload -> string
+  (** ["block" | "reject" | "shed"] — the [cqctl] flag spellings. *)
+
+  val overload_of_string : string -> (overload, string) result
+
   type t = {
     alpha : float;
         (** Hotspot threshold passed to the trackers; must lie in
@@ -60,6 +75,18 @@ module Config : sig
         (** Rows per work-queue command in {!Parallel.ingest_batch};
             must be >= 1.  Ignored by the sequential engine.
             Default 256. *)
+    overload : overload;
+        (** Overload policy applied by {!Parallel.try_ingest_batch}.
+            The sequential engine ignores [Reject] (it has no queue to
+            overflow) but honours [Shed] via [shed_rate].
+            Default [Block]. *)
+    shed_rate : float;
+        (** Bernoulli keep-probability for shed mode; must lie in
+            (0, 1].  At 1.0 (the default) no coin is ever flipped and
+            processing is exact.  Below 1.0 it acts as a {e forced}
+            rate — the deterministic-replay configuration; under
+            [Shed] with rate 1.0 the parallel engine instead adapts
+            the rate to queue depth. *)
   }
 
   val default : t
@@ -98,6 +125,8 @@ val try_create :
   ?strategy:Hotspot_core.Processor.strategy ->
   ?shards:int ->
   ?batch_size:int ->
+  ?overload:Config.overload ->
+  ?shed_rate:float ->
   unit ->
   (t, Cq_util.Error.t) result
 (** Per-knob convenience over {!try_create_cfg}; unspecified knobs
@@ -114,6 +143,8 @@ val create :
   ?strategy:Hotspot_core.Processor.strategy ->
   ?shards:int ->
   ?batch_size:int ->
+  ?overload:Config.overload ->
+  ?shed_rate:float ->
   unit ->
   t
 
@@ -121,6 +152,7 @@ val create :
 
 val try_subscribe_band :
   t ->
+  ?qid:int ->
   ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   range:Cq_interval.Interval.t ->
   (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
@@ -129,10 +161,16 @@ val try_subscribe_band :
     new result pair, for events on either side.  [on_retract] fires
     once per result pair that {e disappears} when a tuple is deleted
     (the paper's "changes between Q(D_i) and Q(D_{i-1})" include
-    removals).  An empty [range] is rejected. *)
+    removals).  An empty [range] is rejected.
+
+    [qid] overrides the engine's sequential numbering — the hook
+    {!Parallel} uses to impose one global numbering on every shard, so
+    shed-coin outcomes are shard-invariant.  A [qid] already held by a
+    live subscription is rejected with {!Cq_util.Error.Duplicate}. *)
 
 val subscribe_band :
   t ->
+  ?qid:int ->
   ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   range:Cq_interval.Interval.t ->
   (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
@@ -140,16 +178,18 @@ val subscribe_band :
 
 val try_subscribe_select :
   t ->
+  ?qid:int ->
   ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   range_a:Cq_interval.Interval.t ->
   range_c:Cq_interval.Interval.t ->
   (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   (subscription, Cq_util.Error.t) result
 (** Register [σ_{A∈range_a} R ⋈_{B} σ_{C∈range_c} S].  Empty selection
-    ranges are rejected. *)
+    ranges are rejected.  [qid] as in {!try_subscribe_band}. *)
 
 val subscribe_select :
   t ->
+  ?qid:int ->
   ?on_retract:(Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
   range_a:Cq_interval.Interval.t ->
   range_c:Cq_interval.Interval.t ->
@@ -200,6 +240,48 @@ val load_s : t -> (float * float) array -> unit
 
 val try_load_r : t -> (float * float) array -> (unit, Cq_util.Error.t) result
 val load_r : t -> (float * float) array -> unit
+
+(** {2 Load shedding (degraded answers)}
+
+    Under [Shed] with an effective rate below 1.0, each (event, query)
+    candidate pair is kept with probability [rate] by a coin that is a
+    pure function of (shed seed, event ordinal, qid) — deterministic
+    under replay and invariant across shard counts.  A dropped pair
+    skips the query's probes for that event; kept pairs deliver their
+    results normally.  Per query the engine maintains a
+    Horvitz-Thompson cardinality estimate and a claimed absolute-error
+    bound — the max of the exact kept-side error mass and a rigorous
+    cap on the dropped mass (each dropped event's results can only
+    pair it with the opposite table's current contents, so that table
+    size bounds its contribution); {!Cq_robust.Oracle.run_shed}
+    fuzz-checks observed error <= claimed bound against an exact
+    mirror.  Retractions and {!check_invariants} are never shed. *)
+
+(** One query's degraded-answer report. *)
+type degraded = {
+  deg_qid : int;
+  deg_observed : int;  (** Results actually delivered. *)
+  deg_estimate : float;  (** HT estimate of the exact result count. *)
+  deg_claimed_error : float;
+      (** Claimed bound on [|deg_estimate - exact count|]. *)
+  deg_rate : float;  (** Lowest keep-rate this query experienced. *)
+}
+
+type shed_totals = { tot_kept : int; tot_dropped : int; tot_min_rate : float }
+
+val shed_info : t -> degraded list
+(** Degraded-answer reports for every query that was ever subject to a
+    coin flip, sorted by qid.  Empty when processing has been exact. *)
+
+val shed_totals : t -> shed_totals
+
+val set_shed_rate : t -> float -> unit
+(** Set the current keep-probability.  Not validated: callers
+    ({!Parallel}'s admission control) pass values in (0, 1]. *)
+
+val set_shed_seed : t -> int -> unit
+(** Re-key the shed coin.  {!Parallel} aligns every shard to the
+    coordinator's seed so coins agree across shards. *)
 
 (** {2 Introspection} *)
 

@@ -18,6 +18,15 @@ let m_merge_ns = Metrics.histogram "parallel.merge_ns"
 let m_batches = Metrics.counter "parallel.batches"
 let m_imbalance = Metrics.gauge "parallel.shard_imbalance"
 
+(* Overload-management observability: admission-control rejections
+   (Reject policy), whole chunks dropped because a queue stayed full
+   past the shed-mode grace window, the effective keep-rate of the most
+   recent shed-mode chunk, and flush latency while degraded. *)
+let m_rejected = Metrics.counter "parallel.overload.rejected_batches"
+let m_dropped = Metrics.counter "parallel.overload.dropped_chunks"
+let m_shed_rate = Metrics.gauge "parallel.overload.shed_rate"
+let m_degraded_flush_ns = Metrics.histogram "parallel.overload.degraded_flush_ns"
+
 type side = R | S
 
 (* A result pair tagged for the deterministic merge: [seq] is the
@@ -46,10 +55,15 @@ type ack = {
   a_stats : E.stats;
   a_band : P.snapshot;
   a_select : P.snapshot;
+  a_degraded : E.degraded list;
+  a_shed : E.shed_totals;
 }
 
 type cmd =
-  | Ingest of { iside : side; rows : (float * float) array; base_seq : int }
+  | Ingest of { iside : side; rows : (float * float) array; base_seq : int; rate : float }
+      (* [rate] is the keep-probability the coordinator decided for
+         this chunk at admission time; every shard applies it so shed
+         decisions are a pure function of the command stream. *)
   | Sub_band of { qid : int; range : I.t }
   | Sub_select of { qid : int; range_a : I.t; range_c : I.t }
   | Unsub of { qid : int }
@@ -118,7 +132,8 @@ let worker ~sid ~eng (st : shard_state) () =
     incr cur_idx
   in
   let apply = function
-    | Ingest { iside; rows; base_seq } ->
+    | Ingest { iside; rows; base_seq; rate } ->
+        E.set_shed_rate eng rate;
         Array.iteri
           (fun i (x, y) ->
             cur_seq := base_seq + i;
@@ -128,9 +143,9 @@ let worker ~sid ~eng (st : shard_state) () =
             | S -> ignore (E.insert_s eng ~b:x ~c:y))
           rows
     | Sub_band { qid; range } ->
-        Hashtbl.replace subs qid (E.subscribe_band eng ~range (record qid))
+        Hashtbl.replace subs qid (E.subscribe_band eng ~qid ~range (record qid))
     | Sub_select { qid; range_a; range_c } ->
-        Hashtbl.replace subs qid (E.subscribe_select eng ~range_a ~range_c (record qid))
+        Hashtbl.replace subs qid (E.subscribe_select eng ~qid ~range_a ~range_c (record qid))
     | Unsub { qid } -> (
         match Hashtbl.find_opt subs qid with
         | Some sub ->
@@ -152,6 +167,8 @@ let worker ~sid ~eng (st : shard_state) () =
             a_stats = E.stats eng;
             a_band = E.band_snapshot eng;
             a_select = E.select_snapshot eng;
+            a_degraded = E.shed_info eng;
+            a_shed = E.shed_totals eng;
           }
         in
         buf := [];
@@ -208,6 +225,10 @@ let try_create_cfg (cfg : E.Config.t) =
                 let eng =
                   E.create_cfg { cfg with shards = 1; seed = cfg.seed + (7919 * (st.sid + 1)) }
                 in
+                (* Structural seeds differ per shard, but the shed coin
+                   must not: re-key every shard to the coordinator's
+                   seed so coin flips agree across shard counts. *)
+                E.set_shed_seed eng cfg.seed;
                 Domain.spawn (worker ~sid:st.sid ~eng st))
               shard_states
           in
@@ -228,7 +249,8 @@ let try_create_cfg (cfg : E.Config.t) =
 
 let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
 
-let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
+let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
+    ?shed_rate () =
   let d = E.Config.default in
   try_create_cfg
     {
@@ -239,10 +261,15 @@ let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
       strategy = Option.value strategy ~default:d.strategy;
       shards = Option.value shards ~default:d.shards;
       batch_size = Option.value batch_size ~default:d.batch_size;
+      overload = Option.value overload ~default:d.overload;
+      shed_rate = Option.value shed_rate ~default:d.shed_rate;
     }
 
-let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size () =
-  Err.ok_exn (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ())
+let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload ?shed_rate
+    () =
+  Err.ok_exn
+    (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
+       ?shed_rate ())
 
 let shards t = t.cfg.shards
 
@@ -366,40 +393,136 @@ let validate_side_rows side rows =
     rows;
   match !bad with None -> Ok () | Some e -> Error e
 
+(* Crude service-time hint for rejected producers: roughly half a
+   millisecond per command ahead of the one that didn't fit. *)
+let retry_after_ms ~depth ~needed = 0.5 *. float_of_int (depth + needed)
+
+(* Shed-mode keep-rate from instantaneous queue pressure: exact below
+   half capacity, then degrading linearly to a floor of 0.1 as the
+   deepest queue approaches full. *)
+let adaptive_rate p =
+  let half = queue_capacity / 2 in
+  let maxd =
+    Array.fold_left (fun acc st -> Int.max acc (Bounded_queue.length st.queue)) 0 p.shard_states
+  in
+  if maxd <= half then 1.0
+  else
+    Float.max 0.1 (1.0 -. (0.9 *. (float_of_int (maxd - half) /. float_of_int half)))
+
+(* Shed mode never blocks indefinitely: a chunk waits at most this long
+   for every queue to have a free slot, then is dropped whole (no shard
+   receives it, so shards never disagree about the event stream). *)
+let shed_grace_ns = 5_000_000L (* 5 ms *)
+
+(* The coordinator is the only producer, so once a free slot is
+   observed it cannot disappear before our push. *)
+let wait_all_space p ~deadline =
+  Array.for_all
+    (fun st ->
+      let rec loop () =
+        if Bounded_queue.length st.queue < queue_capacity then true
+        else if Cq_util.Clock.monotonic_ns () >= deadline then false
+        else begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+      in
+      loop ())
+    p.shard_states
+
 let try_ingest_batch t side rows =
   match Result.bind (live t) (fun () -> validate_side_rows side rows) with
   | Error e -> Error e
-  | Ok () ->
+  | Ok () -> (
       let bs = t.cfg.batch_size in
       let n = Array.length rows in
-      let off = ref 0 in
-      while !off < n do
-        let len = min bs (n - !off) in
-        let chunk = Array.sub rows !off len in
-        let base_seq = t.next_seq in
-        t.next_seq <- base_seq + len;
-        (match t.impl with
-        | Seq s ->
-            Array.iteri
-              (fun i (x, y) ->
-                s.cur_seq := base_seq + i;
-                s.cur_idx := 0;
-                match side with
-                | R -> ignore (E.insert_r s.eng ~a:x ~b:y)
-                | S -> ignore (E.insert_s s.eng ~b:x ~c:y))
-              chunk
-        | Par p ->
-            Metrics.incr m_batches;
-            (* The chunk is immutable once published: every shard reads
-               the same array. *)
-            Array.iter
-              (fun st ->
-                Bounded_queue.push st.queue (Ingest { iside = side; rows = chunk; base_seq });
-                Metrics.set st.depth_gauge (float_of_int (Bounded_queue.length st.queue)))
-              p.shard_states);
-        off := !off + len
-      done;
-      Ok ()
+      let needed = (n + bs - 1) / bs in
+      (* Reject-mode admission check happens before any chunk is
+         published: the whole batch is accepted or refused atomically,
+         so a rejected call leaves no partial state behind. *)
+      let admission =
+        match (t.cfg.overload, t.impl) with
+        | E.Config.Reject, Par p ->
+            Array.fold_left
+              (fun acc st ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    let depth = Bounded_queue.length st.queue in
+                    if depth + needed > queue_capacity then begin
+                      Metrics.incr m_rejected;
+                      Error
+                        (Err.Overload
+                           {
+                             shard = st.sid;
+                             queue_depth = depth;
+                             retry_after_ms = retry_after_ms ~depth ~needed;
+                           })
+                    end
+                    else Ok ())
+              (Ok ()) p.shard_states
+        | _ -> Ok ()
+      in
+      match admission with
+      | Error _ as e -> e
+      | Ok () ->
+          let off = ref 0 in
+          while !off < n do
+            let len = min bs (n - !off) in
+            let chunk = Array.sub rows !off len in
+            let base_seq = t.next_seq in
+            t.next_seq <- base_seq + len;
+            (match t.impl with
+            | Seq s ->
+                Array.iteri
+                  (fun i (x, y) ->
+                    s.cur_seq := base_seq + i;
+                    s.cur_idx := 0;
+                    match side with
+                    | R -> ignore (E.insert_r s.eng ~a:x ~b:y)
+                    | S -> ignore (E.insert_s s.eng ~b:x ~c:y))
+                  chunk
+            | Par p ->
+                (* Per-chunk keep-rate: a forced shed_rate < 1.0 is the
+                   deterministic-replay configuration; otherwise Shed
+                   adapts to the deepest queue and Block/Reject stay at
+                   the configured (normally exact) rate. *)
+                let rate =
+                  match t.cfg.overload with
+                  | E.Config.Shed ->
+                      if t.cfg.shed_rate < 1.0 then t.cfg.shed_rate else adaptive_rate p
+                  | E.Config.Block | E.Config.Reject -> t.cfg.shed_rate
+                in
+                let admit =
+                  match t.cfg.overload with
+                  | E.Config.Shed ->
+                      Metrics.set m_shed_rate rate;
+                      let deadline =
+                        Int64.add (Cq_util.Clock.monotonic_ns ()) shed_grace_ns
+                      in
+                      wait_all_space p ~deadline
+                  | E.Config.Block | E.Config.Reject -> true
+                in
+                if admit then begin
+                  Metrics.incr m_batches;
+                  (* The chunk is immutable once published: every shard
+                     reads the same array. *)
+                  Array.iter
+                    (fun st ->
+                      Bounded_queue.push st.queue
+                        (Ingest { iside = side; rows = chunk; base_seq; rate });
+                      Metrics.set st.depth_gauge
+                        (float_of_int (Bounded_queue.length st.queue)))
+                    p.shard_states
+                end
+                else begin
+                  Metrics.incr m_dropped;
+                  Log.warn (fun m ->
+                      m "shed mode dropped a %d-row chunk: queues full past grace window" len)
+                end);
+            off := !off + len
+          done;
+          Ok ())
 
 let ingest_batch t side rows = Err.ok_exn (try_ingest_batch t side rows)
 
@@ -467,6 +590,8 @@ let sync t =
             a_stats = E.stats s.eng;
             a_band = E.band_snapshot s.eng;
             a_select = E.select_snapshot s.eng;
+            a_degraded = E.shed_info s.eng;
+            a_shed = E.shed_totals s.eng;
           };
         ]
       in
@@ -498,6 +623,8 @@ let flush t =
   if Metrics.enabled () then begin
     let (_, n), dt = Cq_util.Clock.time_ns (fun () -> sync t) in
     Metrics.observe m_merge_ns (Int64.to_float dt);
+    if t.cfg.overload = E.Config.Shed then
+      Metrics.observe m_degraded_flush_ns (Int64.to_float dt);
     n
   end
   else snd (sync t)
@@ -532,6 +659,27 @@ let stats t =
   ensure_live t;
   let acks, _ = sync t in
   merged_stats acks
+
+(* Queries live on exactly one shard, so the per-shard degraded lists
+   are disjoint and their union is the global report. *)
+let shed_info t =
+  ensure_live t;
+  let acks, _ = sync t in
+  List.concat_map (fun a -> a.a_degraded) acks
+  |> List.sort (fun (a : E.degraded) b -> Int.compare a.deg_qid b.deg_qid)
+
+let shed_totals t =
+  ensure_live t;
+  let acks, _ = sync t in
+  List.fold_left
+    (fun (acc : E.shed_totals) a ->
+      {
+        E.tot_kept = acc.tot_kept + a.a_shed.E.tot_kept;
+        tot_dropped = acc.tot_dropped + a.a_shed.E.tot_dropped;
+        tot_min_rate = Float.min acc.tot_min_rate a.a_shed.E.tot_min_rate;
+      })
+    { E.tot_kept = 0; tot_dropped = 0; tot_min_rate = 1.0 }
+    acks
 
 let shard_result_counts t =
   match t.impl with
@@ -580,8 +728,24 @@ let shutdown t =
         Fun.protect
           ~finally:(fun () ->
             t.stopped <- true;
-            Array.iter (fun st -> Bounded_queue.push st.queue Stop) p.shard_states;
-            Array.iter Domain.join p.doms)
+            (* Bounded-wait Stop delivery: a wedged or poisoned shard
+               whose queue stays full must not deadlock teardown.  A
+               shard whose Stop could not be enqueued is abandoned
+               (leaked domain) rather than joined forever — and the
+               leak is logged. *)
+            let stop_ok =
+              Array.map
+                (fun st ->
+                  Bounded_queue.push_timeout st.queue Stop ~timeout_ns:200_000_000L)
+                p.shard_states
+            in
+            Array.iteri
+              (fun i ok ->
+                if ok then Domain.join p.doms.(i)
+                else
+                  Log.err (fun m ->
+                      m "shard %d did not accept Stop within 200ms; abandoning its domain" i))
+              stop_ok)
           (fun () -> ignore (sync t))
 
 let with_engine cfg f =

@@ -70,6 +70,8 @@ val try_create :
   ?strategy:Hotspot_core.Processor.strategy ->
   ?shards:int ->
   ?batch_size:int ->
+  ?overload:Engine.Config.overload ->
+  ?shed_rate:float ->
   unit ->
   (t, Cq_util.Error.t) result
 
@@ -81,6 +83,8 @@ val create :
   ?strategy:Hotspot_core.Processor.strategy ->
   ?shards:int ->
   ?batch_size:int ->
+  ?overload:Engine.Config.overload ->
+  ?shed_rate:float ->
   unit ->
   t
 
@@ -134,12 +138,29 @@ val select_query_count : t -> int
 val try_ingest_batch : t -> side -> (float * float) array -> (unit, Cq_util.Error.t) result
 (** Stamp the rows with consecutive global sequence numbers, split
     them into [batch_size]-row commands and broadcast each command to
-    every shard's queue.  Returns once the batches are {e enqueued}
-    (backpressure: blocks while a queue is full); results surface at
-    the next {!flush}.  All rows are validated before any is enqueued
-    — NaN/infinite attributes are rejected with the attribute's name
-    ([a]/[b] for [R] rows, [b]/[c] for [S] rows), and a rejected batch
-    leaves the engine untouched. *)
+    every shard's queue.  Returns once the batches are {e enqueued};
+    results surface at the next {!flush}.  All rows are validated
+    before any is enqueued — NaN/infinite attributes are rejected with
+    the attribute's name ([a]/[b] for [R] rows, [b]/[c] for [S] rows),
+    and a rejected batch leaves the engine untouched.
+
+    What happens when a shard queue is full depends on the configured
+    {!Engine.Config.overload} policy:
+
+    - [Block] (default): apply backpressure — block until space frees
+      up.  Exact results, unbounded producer latency.
+    - [Reject]: an admission check runs before anything is published;
+      if any shard lacks room for the whole batch the call returns
+      [Error (Overload {shard; queue_depth; retry_after_ms})] and no
+      row is ingested (all-or-nothing).
+    - [Shed]: never blocks indefinitely.  Each chunk is stamped with a
+      keep-rate (the forced [shed_rate] when < 1.0, else adapted to
+      the deepest queue) and shards sample (event, query) candidates
+      at that rate; a chunk that cannot be enqueued everywhere within
+      a short grace window is dropped whole and counted in
+      [parallel.overload.dropped_chunks].  Degraded answers carry
+      Horvitz-Thompson estimates and claimed error bounds — see
+      {!shed_info}. *)
 
 val ingest_batch : t -> side -> (float * float) array -> unit
 
@@ -167,6 +188,18 @@ val shard_result_counts : t -> int array
 (** Results delivered per shard so far — the load-balance signal behind
     the [parallel.shard_imbalance] gauge. *)
 
+val shed_info : t -> Engine.degraded list
+(** Flushes, then returns the degraded-answer reports of every query
+    that was ever subject to a shed coin flip, sorted by qid (each
+    query lives on one shard, so the per-shard reports are disjoint).
+    Empty when processing has been exact.  Deterministic under a
+    forced [shed_rate]: identical — including claimed bounds — for
+    every shard count. *)
+
+val shed_totals : t -> Engine.shed_totals
+(** Flushes, then sums kept/dropped candidate counters across shards
+    ([tot_min_rate] is the minimum rate any shard applied). *)
+
 val check_invariants : t -> unit
 (** Flushes, then runs {!Engine.check_invariants} on every shard (on
     the shard's own domain) plus coordinator-side checks: every
@@ -176,7 +209,10 @@ val check_invariants : t -> unit
 val shutdown : t -> unit
 (** Flush outstanding batches (delivering their results), stop and
     join the worker domains.  Idempotent; the engine rejects further
-    use afterwards. *)
+    use afterwards.  Stop commands are delivered with a bounded wait
+    ({!Bounded_queue.push_timeout}), so a wedged shard with a full
+    queue cannot deadlock teardown — its domain is abandoned and the
+    leak logged instead. *)
 
 val with_engine : Engine.Config.t -> (t -> 'a) -> 'a
 (** [with_engine cfg f] runs [f] on a fresh engine and guarantees

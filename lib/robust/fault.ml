@@ -122,6 +122,43 @@ let pp_engine_op fmt = function
   | Reject_ins_r { a; b } -> Format.fprintf fmt "reject-ins-r %g %g" a b
   | Reject_sub_band -> Format.fprintf fmt "reject-sub-band"
 
+(* ------------------------------------------------------------------ *)
+(* Overload burst streams                                               *)
+(* ------------------------------------------------------------------ *)
+
+type burst_op =
+  | Burst_r of (float * float) array
+  | Burst_s of (float * float) array
+  | Burst_flush
+
+let pp_burst_op fmt = function
+  | Burst_r rows -> Format.fprintf fmt "burst-r[%d]" (Array.length rows)
+  | Burst_s rows -> Format.fprintf fmt "burst-s[%d]" (Array.length rows)
+  | Burst_flush -> Format.fprintf fmt "burst-flush"
+
+(* Alternating quiet/burst phases.  Quiet phases trickle small batches
+   and flush often (the drain keeps up); burst phases fire large
+   batches back-to-back with no flush, so the per-shard queues fill and
+   the overload machinery — backpressure, rejection, or shedding,
+   depending on policy — must engage. *)
+
+let burst_phase_len = 12
+
+let gen_burst ~seed ~n =
+  let rng = Rng.create seed in
+  let grid () = float_of_int (Rng.int rng 41 - 20) /. 2.0 in
+  let rows count = Array.init count (fun _ -> (grid (), grid ())) in
+  Array.init n (fun i ->
+      let bursting = i / burst_phase_len mod 2 = 1 in
+      if bursting then
+        let count = 64 + Rng.int rng 193 in
+        if Rng.bool rng then Burst_r (rows count) else Burst_s (rows count)
+      else
+        match Rng.int rng 4 with
+        | 0 -> Burst_flush
+        | 1 -> Burst_s (rows (1 + Rng.int rng 8))
+        | _ -> Burst_r (rows (1 + Rng.int rng 8)))
+
 let tuple_cap = 400
 let query_cap = 60
 

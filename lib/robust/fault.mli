@@ -54,3 +54,18 @@ val pp_engine_op : Format.formatter -> engine_op -> unit
 val gen_engine : seed:int -> n:int -> engine_op array
 (** Engine op stream with bounded live tuple/query populations, mixing
     subscriptions, churn on both relations, and must-reject inputs. *)
+
+(** {2 Overload burst streams} *)
+
+type burst_op =
+  | Burst_r of (float * float) array  (** A batch of R rows to ingest. *)
+  | Burst_s of (float * float) array
+  | Burst_flush  (** Drain: barrier + deliver buffered results. *)
+
+val pp_burst_op : Format.formatter -> burst_op -> unit
+
+val gen_burst : seed:int -> n:int -> burst_op array
+(** Seeded overload workload alternating quiet phases (small batches,
+    frequent flushes) with burst phases (large 64–256-row batches,
+    no flush), so ingest repeatedly outruns drain and the configured
+    overload policy must engage.  Pure function of [seed]. *)

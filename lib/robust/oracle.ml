@@ -626,6 +626,184 @@ let run_parallel ?(shards = 2) ~seed ~ops () =
    with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
   finish run ~ops:total_rows ~final_size:total_rows
 
+(* Shed-mode differential check: replay a seeded insert-only workload
+   through a Shed-policy engine at a forced keep-rate, compute the
+   exact answer for every query by brute force, and require (a) the
+   delivered subset never exceeds the exact answer, (b) the engine's
+   observed counter matches what the callbacks saw, and (c) every
+   Horvitz-Thompson estimate lands within its own claimed error
+   bound. *)
+let run_shed ?(shards = 1) ?(rate = 0.5) ~seed ~ops () =
+  let run = make_run (Printf.sprintf "shed[%dx%.2f]" shards rate) seed in
+  let rng = Rng.create (seed + 0x53ed) in
+  let n_q = 6 + Rng.int rng 11 in
+  let mk_iv () =
+    let lo = (Rng.float rng *. 1000.0) -. 200.0 in
+    let w = 1.0 +. (Rng.float rng *. 150.0) in
+    I.make lo (lo +. w)
+  in
+  let queries =
+    Array.init n_q (fun _ ->
+        if Rng.bool rng then `Band (mk_iv ()) else `Select (mk_iv (), mk_iv ()))
+  in
+  let n_batches = max 2 (ops / 40) in
+  let batches =
+    List.init n_batches (fun _ ->
+        let side = if Rng.bool rng then Par.R else Par.S in
+        let len = 1 + Rng.int rng 50 in
+        let rows =
+          Array.init len (fun _ -> (Rng.float rng *. 1000.0, Rng.float rng *. 1000.0))
+        in
+        (side, rows))
+  in
+  let batch_size = 1 + Rng.int rng 64 in
+  let total_rows = List.fold_left (fun acc (_, rows) -> acc + Array.length rows) 0 batches in
+  (try
+     let t =
+       Par.create ~alpha:0.1 ~seed ~shards ~batch_size ~overload:Engine.Config.Shed
+         ~shed_rate:rate ()
+     in
+     let observed = Array.make n_q 0 in
+     Array.iteri
+       (fun qi q ->
+         let cb (_ : Tuple.r) (_ : Tuple.s) = observed.(qi) <- observed.(qi) + 1 in
+         match q with
+         | `Band range -> ignore (Par.subscribe_band t ~range cb)
+         | `Select (range_a, range_c) -> ignore (Par.subscribe_select t ~range_a ~range_c cb))
+       queries;
+     List.iter (fun (side, rows) -> Par.ingest_batch t side rows) batches;
+     ignore (Par.flush t);
+     Par.check_invariants t;
+     let info = Par.shed_info t in
+     Par.shutdown t;
+     let rs = ref [] and ss = ref [] in
+     List.iter
+       (fun (side, rows) ->
+         match side with
+         | Par.R -> Array.iter (fun row -> rs := row :: !rs) rows
+         | Par.S -> Array.iter (fun row -> ss := row :: !ss) rows)
+       batches;
+     let exact qi =
+       let n = ref 0 in
+       List.iter
+         (fun (ra, rb) ->
+           List.iter
+             (fun (sb, sc) ->
+               let hit =
+                 match queries.(qi) with
+                 | `Band w -> I.stabs w (sb -. rb)
+                 | `Select (wa, wc) -> rb = sb && I.stabs wa ra && I.stabs wc sc
+               in
+               if hit then incr n)
+             !ss)
+         !rs;
+       !n
+     in
+     let reported = Hashtbl.create 16 in
+     List.iter (fun (d : Engine.degraded) -> Hashtbl.replace reported d.deg_qid d) info;
+     Array.iteri
+       (fun qi _ ->
+         let n = exact qi in
+         match Hashtbl.find_opt reported qi with
+         | Some (d : Engine.degraded) ->
+             if observed.(qi) > n then
+               diverge run qi
+                 "query %d delivered %d results but only %d exist (subsample violated)" qi
+                 observed.(qi) n;
+             if d.deg_observed <> observed.(qi) then
+               diverge run qi "query %d: engine reports %d observed, callbacks saw %d" qi
+                 d.deg_observed observed.(qi);
+             let err = Float.abs (d.deg_estimate -. float_of_int n) in
+             if err > d.deg_claimed_error +. 1e-6 then
+               diverge run qi
+                 "query %d: estimate %.2f for exact %d misses the claimed bound %.2f (err %.2f)"
+                 qi d.deg_estimate n d.deg_claimed_error err
+         | None ->
+             if observed.(qi) <> n then
+               diverge run qi
+                 "query %d never saw a shed coin yet delivered %d of %d exact results" qi
+                 observed.(qi) n)
+       queries
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:total_rows ~final_size:total_rows
+
+(* Burst replay: the Fault.gen_burst stream (quiet trickle alternating
+   with 64-256-row volleys, no flush inside a volley) goes through an
+   adaptive Shed engine.  Shed's contract is liveness, not exactness:
+   every ingest call must return [Ok] — never a blocking stall, never
+   an [Overload] error — and what does get delivered must remain a
+   subset of the exact answer over everything submitted. *)
+let run_burst ?(shards = 2) ~seed ~ops () =
+  let run = make_run (Printf.sprintf "burst[%d]" shards) seed in
+  let burst = Fault.gen_burst ~seed ~n:(max 24 (ops / 10)) in
+  let rng = Rng.create (seed + 0xb5e7) in
+  let n_q = 4 + Rng.int rng 9 in
+  let mk_iv () =
+    let lo = (Rng.float rng *. 30.0) -. 15.0 in
+    let w = 0.5 +. (Rng.float rng *. 6.0) in
+    I.make lo (lo +. w)
+  in
+  let queries =
+    Array.init n_q (fun _ ->
+        if Rng.bool rng then `Band (mk_iv ()) else `Select (mk_iv (), mk_iv ()))
+  in
+  let total_rows = ref 0 in
+  (try
+     let t =
+       Par.create ~alpha:0.1 ~seed ~shards ~batch_size:8 ~overload:Engine.Config.Shed ()
+     in
+     let observed = Array.make n_q 0 in
+     Array.iteri
+       (fun qi q ->
+         let cb (_ : Tuple.r) (_ : Tuple.s) = observed.(qi) <- observed.(qi) + 1 in
+         match q with
+         | `Band range -> ignore (Par.subscribe_band t ~range cb)
+         | `Select (range_a, range_c) -> ignore (Par.subscribe_select t ~range_a ~range_c cb))
+       queries;
+     let rs = ref [] and ss = ref [] in
+     let ingest i side rows mirror =
+       total_rows := !total_rows + Array.length rows;
+       match Par.try_ingest_batch t side rows with
+       | Ok () -> Array.iter (fun row -> mirror := row :: !mirror) rows
+       | Error e ->
+           diverge run i "shed-mode ingest must stay non-blocking and Ok, got: %s"
+             (Cq_util.Error.to_string e)
+     in
+     Array.iteri
+       (fun i op ->
+         match op with
+         | Fault.Burst_r rows -> ingest i Par.R rows rs
+         | Fault.Burst_s rows -> ingest i Par.S rows ss
+         | Fault.Burst_flush -> ignore (Par.flush t))
+       burst;
+     ignore (Par.flush t);
+     Par.check_invariants t;
+     let totals : Engine.shed_totals = Par.shed_totals t in
+     Par.shutdown t;
+     if totals.tot_min_rate <= 0.0 || totals.tot_min_rate > 1.0 then
+       diverge run 0 "applied shed rate %.3f outside (0, 1]" totals.tot_min_rate;
+     Array.iteri
+       (fun qi q ->
+         let n = ref 0 in
+         List.iter
+           (fun (ra, rb) ->
+             List.iter
+               (fun (sb, sc) ->
+                 let hit =
+                   match q with
+                   | `Band w -> I.stabs w (sb -. rb)
+                   | `Select (wa, wc) -> rb = sb && I.stabs wa ra && I.stabs wc sc
+                 in
+                 if hit then incr n)
+               !ss)
+           !rs;
+         if observed.(qi) > !n then
+           diverge run qi "query %d delivered %d results but only %d exist under burst" qi
+             observed.(qi) !n)
+       queries
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:!total_rows ~final_size:!total_rows
+
 (* ------------------------------------------------------------------ *)
 (* The full battery                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -93,6 +93,27 @@ val run_parallel : ?shards:int -> seed:int -> ops:int -> unit -> outcome
     [Parallel]'s docs; deletions are out of scope (the parallel API is
     insert-only for now). *)
 
+val run_shed : ?shards:int -> ?rate:float -> seed:int -> ops:int -> unit -> outcome
+(** Shed-mode differential check.  A seeded insert-only workload runs
+    through a [Shed]-policy parallel engine at the forced keep-rate
+    [rate] (default 0.5, [shards] default 1); the exact answer for each
+    query is then computed by brute force over the full workload.
+    Divergences: a query delivering more results than exist (the
+    delivered set must be a subsample), the engine's per-query observed
+    counter disagreeing with what the callbacks saw, or a
+    Horvitz-Thompson estimate falling outside its own claimed error
+    bound.  Queries never touched by a shed coin must be exact.  Both
+    the shed decisions and the claimed bounds are pure functions of the
+    seed, so the outcome is identical across shard counts. *)
+
+val run_burst : ?shards:int -> seed:int -> ops:int -> unit -> outcome
+(** Replays {!Fault.gen_burst} (quiet trickle alternating with
+    64–256-row volleys) through an adaptive [Shed] engine ([shards]
+    default 2).  Asserts the liveness contract — every
+    [try_ingest_batch] returns [Ok], never blocking, never [Overload] —
+    plus the subsample property per query, engine invariants, and that
+    the minimum applied keep-rate stays in (0, 1]. *)
+
 val fuzz_all :
   ?backend:Cq_index.Stab_backend.kind ->
   ?shards:int ->

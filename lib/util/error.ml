@@ -5,6 +5,7 @@ type t =
   | Duplicate of { what : string }
   | Absent of { what : string }
   | Corrupt of { structure : string; detail : string }
+  | Overload of { shard : int; queue_depth : int; retry_after_ms : float }
 
 exception Cq_error of t
 
@@ -16,6 +17,9 @@ let to_string = function
   | Duplicate { what } -> Printf.sprintf "%s is already present" what
   | Absent { what } -> Printf.sprintf "%s is not present" what
   | Corrupt { structure; detail } -> Printf.sprintf "%s is corrupt: %s" structure detail
+  | Overload { shard; queue_depth; retry_after_ms } ->
+      Printf.sprintf "shard %d overloaded (queue depth %d); retry after %.1f ms" shard queue_depth
+        retry_after_ms
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

@@ -26,6 +26,12 @@ type t =
           Raised (never returned) by [check_invariants]-style audits;
           [Cq_robust.Invariant.guard] converts it into a recorded
           violation. *)
+  | Overload of { shard : int; queue_depth : int; retry_after_ms : float }
+      (** Admission control refused a batch: the named shard's ingest
+          queue is too deep to accept it without blocking.  The caller
+          should back off for roughly [retry_after_ms] milliseconds
+          and retry — or switch the engine to [Shed] mode and accept
+          bounded-error degraded answers instead. *)
 
 exception Cq_error of t
 

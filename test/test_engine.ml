@@ -474,6 +474,148 @@ let test_error_payload_field_names () =
       finite_name "b" (Par.try_ingest_batch t Par.S [| (Float.nan, 1.0) |]);
       finite_name "c" (Par.try_ingest_batch t Par.S [| (1.0, Float.nan) |]))
 
+(* --------------------------- bounded queue ----------------------------- *)
+
+module BQ = Cq_engine.Bounded_queue
+
+let test_bounded_queue_try_ops () =
+  let q = BQ.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (BQ.try_push q 1);
+  Alcotest.(check bool) "push 2" true (BQ.try_push q 2);
+  Alcotest.(check bool) "full" false (BQ.try_push q 3);
+  Alcotest.(check int) "length" 2 (BQ.length q);
+  Alcotest.(check (option int)) "pop fifo" (Some 1) (BQ.try_pop q);
+  Alcotest.(check bool) "space again" true (BQ.try_push q 4);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (BQ.try_pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (BQ.try_pop q);
+  Alcotest.(check (option int)) "empty" None (BQ.try_pop q)
+
+let test_bounded_queue_push_timeout () =
+  let q = BQ.create ~capacity:1 in
+  Alcotest.(check bool) "fits immediately" true (BQ.push_timeout q 1 ~timeout_ns:1_000L);
+  let t0 = Cq_util.Clock.monotonic_ns () in
+  Alcotest.(check bool) "full queue times out" false
+    (BQ.push_timeout q 2 ~timeout_ns:5_000_000L);
+  let dt = Int64.sub (Cq_util.Clock.monotonic_ns ()) t0 in
+  Alcotest.(check bool) "waited at least the window" true (dt >= 5_000_000L);
+  (* A consumer freeing space lets a concurrent timed push through. *)
+  let d = Domain.spawn (fun () -> BQ.push_timeout q 3 ~timeout_ns:2_000_000_000L) in
+  ignore (BQ.pop q);
+  Alcotest.(check bool) "succeeds once space frees" true (Domain.join d);
+  Alcotest.(check (option int)) "drained" (Some 3) (BQ.try_pop q)
+
+(* --------------------------- overload policies ------------------------- *)
+
+let test_parallel_shutdown_with_inflight_batches () =
+  (* A backlog bigger than the queue capacity, never flushed: shutdown
+     must still deliver everything and join every domain (the Stop
+     commands go through the bounded-wait push). *)
+  let t = Par.create ~shards:4 ~batch_size:1 () in
+  let hits = ref 0 in
+  ignore (Par.subscribe_band t ~range:(I.make (-1.0) 1.0) (fun _ _ -> incr hits));
+  Par.ingest_batch t Par.S (Array.init 50 (fun _ -> (0.0, 0.0)));
+  Par.ingest_batch t Par.R (Array.init 50 (fun _ -> (0.0, 0.0)));
+  Par.shutdown t;
+  Alcotest.(check int) "all pairs delivered" 2500 !hits;
+  (* Double shutdown is a no-op, not a crash. *)
+  Par.shutdown t;
+  match Par.try_ingest_batch t Par.R [| (0.0, 0.0) |] with
+  | Error (Cq_util.Error.Invalid_parameter _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
+  | Ok () -> Alcotest.fail "ingest after double shutdown accepted"
+
+let test_reject_overload_payload () =
+  (* With batch_size 1, a 100-row batch needs 100 queue slots against a
+     capacity of 64: Reject must refuse it before publishing anything,
+     with the typed Overload payload. *)
+  let t = Par.create ~shards:2 ~batch_size:1 ~overload:Engine.Config.Reject () in
+  let hits = ref 0 in
+  ignore (Par.subscribe_band t ~range:(I.make (-1.0) 1.0) (fun _ _ -> incr hits));
+  (match Par.try_ingest_batch t Par.R (Array.make 100 (0.0, 0.0)) with
+  | Error (Cq_util.Error.Overload { shard; queue_depth; retry_after_ms }) ->
+      Alcotest.(check bool) "shard in range" true (shard >= 0 && shard < 2);
+      Alcotest.(check bool) "depth reported" true (queue_depth >= 0);
+      Alcotest.(check bool) "retry hint positive" true (retry_after_ms > 0.0)
+  | Error e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
+  | Ok () -> Alcotest.fail "oversized batch accepted under Reject");
+  (* All-or-nothing: the stream is untouched, small batches still flow. *)
+  Par.ingest_batch t Par.S [| (0.0, 0.0) |];
+  Par.ingest_batch t Par.R [| (0.0, 0.0) |];
+  ignore (Par.flush t);
+  Alcotest.(check int) "only the small batch's result" 1 !hits;
+  Par.shutdown t
+
+(* Replay a scenario through a forced-rate Shed engine; periodic
+   flushes keep queue depths far from the shed grace window so the only
+   degradation is the deterministic coin. *)
+let run_shed_scenario ~shards ~rate (band_ranges, select_ranges, events) =
+  let t =
+    Par.create ~alpha:0.3 ~shards ~batch_size:8 ~overload:Engine.Config.Shed
+      ~shed_rate:rate ()
+  in
+  let delivered = ref [] in
+  List.iteri
+    (fun i range ->
+      ignore
+        (Par.subscribe_band t ~range:(I.shift range (-5.0)) (fun r s ->
+             delivered :=
+               (`Band, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    band_ranges;
+  List.iteri
+    (fun i (range_a, range_c) ->
+      ignore
+        (Par.subscribe_select t ~range_a ~range_c (fun r s ->
+             delivered :=
+               (`Select, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    select_ranges;
+  List.iteri
+    (fun i ev ->
+      (match ev with
+      | InsR (a, b) -> Par.ingest_batch t Par.R [| (a, b) |]
+      | InsS (b, c) -> Par.ingest_batch t Par.S [| (b, c) |]);
+      if i mod 16 = 15 then ignore (Par.flush t))
+    events;
+  ignore (Par.flush t);
+  Par.check_invariants t;
+  let info =
+    List.map
+      (fun (d : Engine.degraded) ->
+        (d.deg_qid, d.deg_observed, d.deg_estimate, d.deg_claimed_error, d.deg_rate))
+      (Par.shed_info t)
+  in
+  Par.shutdown t;
+  (!delivered, info)
+
+let prop_shed_decisions_shard_invariant =
+  QCheck2.Test.make
+    ~name:"shed: forced rate 0.5 sheds identically under shards 1 and 4" ~count:30
+    scenario_gen (fun scenario ->
+      let norm l = List.sort compare l in
+      let d1, i1 = run_shed_scenario ~shards:1 ~rate:0.5 scenario in
+      let d4, i4 = run_shed_scenario ~shards:4 ~rate:0.5 scenario in
+      if norm d1 <> norm d4 then
+        QCheck2.Test.fail_reportf "delivered multisets differ: %d vs %d results"
+          (List.length d1) (List.length d4)
+      else if i1 <> i4 then
+        QCheck2.Test.fail_reportf
+          "degraded reports differ (%d vs %d entries) — claimed bounds must be bitwise \
+           shard-invariant"
+          (List.length i1) (List.length i4)
+      else true)
+
+let prop_shed_rate_one_matches_block =
+  QCheck2.Test.make ~name:"shed: forced rate 1.0 equals Block byte-for-byte" ~count:30
+    scenario_gen (fun scenario ->
+      let norm l = List.sort compare l in
+      let base = norm (run_sequential_scenario scenario) in
+      let d, info = run_shed_scenario ~shards:1 ~rate:1.0 scenario in
+      if norm d <> base then
+        QCheck2.Test.fail_reportf "rate-1.0 shed delivered %d results, exact run %d"
+          (List.length d) (List.length base)
+      else if info <> [] then
+        QCheck2.Test.fail_reportf "%d degraded reports under rate 1.0" (List.length info)
+      else true)
+
 (* ------------------------------ Zipf model ---------------------------- *)
 
 let test_zipf_figure2_anchor () =
@@ -539,6 +681,19 @@ let () =
           Alcotest.test_case "shutdown discipline" `Quick test_parallel_shutdown_discipline;
           Alcotest.test_case "error payload field names" `Quick
             test_error_payload_field_names;
+        ] );
+      ( "bounded_queue",
+        [
+          Alcotest.test_case "try_push/try_pop" `Quick test_bounded_queue_try_ops;
+          Alcotest.test_case "push_timeout" `Quick test_bounded_queue_push_timeout;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "shutdown with in-flight batches" `Quick
+            test_parallel_shutdown_with_inflight_batches;
+          Alcotest.test_case "reject overload payload" `Quick test_reject_overload_payload;
+          qc prop_shed_decisions_shard_invariant;
+          qc prop_shed_rate_one_matches_block;
         ] );
       ( "zipf_model",
         [

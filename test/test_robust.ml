@@ -66,6 +66,40 @@ let test_fuzz_parallel () =
       check_outcome (Oracle.run_parallel ~shards:4 ~seed ~ops:300 ()))
     (List.init 10 (fun i -> i + 1))
 
+let test_burst_gen_deterministic () =
+  let dump ops =
+    String.concat "; "
+      (Array.to_list (Array.map (Format.asprintf "%a" Fault.pp_burst_op) ops))
+  in
+  Alcotest.(check string) "same seed, same burst stream"
+    (dump (Fault.gen_burst ~seed:5 ~n:300))
+    (dump (Fault.gen_burst ~seed:5 ~n:300));
+  Alcotest.(check bool) "different seed, different burst stream" true
+    (dump (Fault.gen_burst ~seed:5 ~n:300) <> dump (Fault.gen_burst ~seed:6 ~n:300))
+
+let test_fuzz_shed () =
+  (* The shed-mode differential check over many seeds: the degraded
+     answers' claimed relative-error bounds must always contain the
+     true cardinality.  shards = 1 covers the estimator math cheaply;
+     a smaller shards = 4 sweep covers the cross-shard merge. *)
+  List.iter
+    (fun seed ->
+      check_outcome (Oracle.run_shed ~shards:1 ~rate:0.5 ~seed ~ops:150 ()))
+    (List.init 100 (fun i -> i + 1));
+  List.iter
+    (fun seed ->
+      check_outcome (Oracle.run_shed ~shards:4 ~rate:0.25 ~seed ~ops:150 ());
+      check_outcome (Oracle.run_shed ~shards:4 ~rate:0.75 ~seed ~ops:150 ()))
+    (List.init 10 (fun i -> i + 1))
+
+let test_fuzz_burst () =
+  (* Seeded burst replay through Shed admission: ingest must never
+     block or error, and the degraded answers must stay within their
+     claimed bounds. *)
+  List.iter
+    (fun seed -> check_outcome (Oracle.run_burst ~shards:2 ~seed ~ops:400 ()))
+    (List.init 5 (fun i -> i + 1))
+
 let test_audit_workload_clean () =
   List.iter
     (fun (name, report) ->
@@ -199,6 +233,7 @@ let () =
       ( "fault",
         [
           Alcotest.test_case "stream deterministic" `Quick test_fault_gen_deterministic;
+          Alcotest.test_case "burst stream deterministic" `Quick test_burst_gen_deterministic;
           Alcotest.test_case "replay deterministic" `Quick test_fuzz_replay_deterministic;
         ] );
       ( "oracle",
@@ -209,6 +244,8 @@ let () =
           Alcotest.test_case "partitions agree" `Quick test_fuzz_partitions;
           Alcotest.test_case "engine agrees" `Quick test_fuzz_engine;
           Alcotest.test_case "parallel matches sequential" `Quick test_fuzz_parallel;
+          Alcotest.test_case "shed answers within claimed bounds" `Quick test_fuzz_shed;
+          Alcotest.test_case "burst replay stays non-blocking" `Quick test_fuzz_burst;
           Alcotest.test_case "workload audit clean" `Quick test_audit_workload_clean;
         ] );
       ( "corruption",
