@@ -236,16 +236,23 @@ let run_overload_demo ~seed ~overload ~events =
     (E.Config.overload_to_string overload);
   Format.printf "batches accepted     %d@." !accepted;
   Format.printf "batches rejected     %d@." !rejected;
-  Format.printf "candidates kept      %d@." totals.E.tot_kept;
-  Format.printf "candidates dropped   %d@." totals.E.tot_dropped;
-  Format.printf "min keep-rate        %.3f@." totals.E.tot_min_rate;
+  Format.printf "candidates kept      %d@." totals.Par.par_kept;
+  Format.printf "candidates dropped   %d@." totals.Par.par_dropped;
+  Format.printf "min keep-rate        %.3f@." totals.Par.par_min_rate;
+  Format.printf "chunks dropped whole %d (%d rows)@." totals.Par.par_dropped_chunks
+    totals.Par.par_dropped_rows;
   Format.printf "degraded queries     %d@." (List.length info);
   List.iter
     (fun (d : E.degraded) ->
       Format.printf
         "  q%-4d observed %-6d estimate %-10.1f +/- %-10.1f (min rate %.3f)@." d.E.deg_qid
         d.E.deg_observed d.E.deg_estimate d.E.deg_claimed_error d.E.deg_rate)
-    info
+    info;
+  if totals.Par.par_dropped_rows > 0 then
+    Format.printf
+      "  note: %d rows were dropped whole at admission and are outside the estimates — \
+       the claimed bounds above are not valid for this run@."
+      totals.Par.par_dropped_rows
 
 (* ------------------------------ fuzz ----------------------------------- *)
 
@@ -298,8 +305,9 @@ let fuzz_cmd =
       match faults with
       | `Burst ->
           (* The shed battery: forced-rate differential checks at two
-             rates and two shard counts (the outcomes must agree), then
-             the adaptive burst-liveness replay. *)
+             rates and two shard counts (the outcomes must agree), the
+             mixed-rate schedule that interleaves exact and shedding
+             phases, then the adaptive burst-liveness replay. *)
           let fuzz_ops = max 100 (ops / 100) in
           List.concat_map
             (fun rate ->
@@ -308,7 +316,10 @@ let fuzz_cmd =
                 Cq_robust.Oracle.run_shed ~shards ~rate ~seed ~ops:fuzz_ops ();
               ])
             [ 0.25; 0.75 ]
-          @ [ Cq_robust.Oracle.run_burst ~shards ~seed ~ops:(max 240 (ops / 50)) () ]
+          @ [
+              Cq_robust.Oracle.run_shed_adaptive ~seed ~ops:fuzz_ops ();
+              Cq_robust.Oracle.run_burst ~shards ~seed ~ops:(max 240 (ops / 50)) ();
+            ]
       | `Default -> (
           match backends_of backend with
           | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~shards ~seed ~ops ()

@@ -136,6 +136,14 @@ type t = {
      ingests only so that every shard of a broadcast stream assigns the
      same ordinals. *)
   mutable shed_rate : float;
+  (* True once the engine is in shed mode: created under the [Shed]
+     policy or with a forced rate, or handed a sub-unit rate later.
+     While engaged, {e every} delivered result is folded into the
+     per-query estimator — rate-1.0 phases at p = 1.0 contribute zero
+     error mass — so the claimed bound covers the whole stream even
+     when an adaptive controller moves the rate through 1.0.  Never
+     reset: bounds stay valid across exact interludes. *)
+  mutable shed_engaged : bool;
   mutable shed_seed : int;
   mutable shed_ord : int;
   mutable shed_kept : int;
@@ -190,8 +198,20 @@ let select_telemetry (Sproc ((module P), p)) = P.telemetry p
    non-negative sums is bounded by their max.  Tuples are broadcast to
    every shard, so table sizes at a given ordinal — like the coins —
    are shard-invariant, and the claimed bound is identical for every
-   shard count.  [Cq_robust.Oracle.run_shed] fuzzes the bound against
-   the exact naive mirror. *)
+   shard count.
+
+   For the sum to cover the whole stream the estimator must see every
+   delivered result, including those of exact phases: an adaptive
+   controller moves the rate between 1.0 and sub-unit values per
+   chunk, and results delivered at rate 1.0 are candidates kept with
+   p = 1 — they add k/1 to the estimate and zero to either error term.
+   Omitting them would understate the estimate by exactly the exact
+   phases' result count while the claimed bound only covered the
+   shed phases' sampling error.  Hence recording is gated on
+   [shed_engaged] (shed mode), not on the instantaneous rate.
+   [Cq_robust.Oracle.run_shed] fuzzes the bound at constant forced
+   rates and [Cq_robust.Oracle.run_shed_adaptive] across rate
+   schedules that mix exact and shedding phases. *)
 
 let est_for t qid =
   match Hashtbl.find_opt t.shed_ests qid with
@@ -254,7 +274,7 @@ let shed_pred t qid =
   end
 
 let shed_note_result t qid =
-  if t.shed_rate < 1.0 then begin
+  if t.shed_engaged then begin
     let est = est_for t qid in
     if est.se_ev <> t.shed_ord then begin
       flush_pending est;
@@ -279,20 +299,28 @@ type shed_totals = { tot_kept : int; tot_dropped : int; tot_min_rate : float }
 let shed_totals t =
   { tot_kept = t.shed_kept; tot_dropped = t.shed_dropped; tot_min_rate = t.shed_floor }
 
+(* Only queries actually touched by a sub-unit coin are reported: a
+   query whose candidates were all seen at rate 1.0 (in particular,
+   every query of an engine that never shed) has estimate = observed =
+   exact and claimed error 0 — omitting it keeps "exact processing ⇒
+   empty report" true even though the estimator records rate-1.0
+   traffic while engaged. *)
 let shed_info t =
   let out =
     Hashtbl.fold
       (fun qid est acc ->
         flush_pending est;
-        let claimed = Float.max est.se_err est.se_kbound in
-        {
-          deg_qid = qid;
-          deg_observed = est.se_obs;
-          deg_estimate = est.se_est;
-          deg_claimed_error = claimed;
-          deg_rate = est.se_min_p;
-        }
-        :: acc)
+        if est.se_dropped = 0 && est.se_min_p >= 1.0 then acc
+        else
+          let claimed = Float.max est.se_err est.se_kbound in
+          {
+            deg_qid = qid;
+            deg_observed = est.se_obs;
+            deg_estimate = est.se_est;
+            deg_claimed_error = claimed;
+            deg_rate = est.se_min_p;
+          }
+          :: acc)
       t.shed_ests []
   in
   List.sort (fun a b -> Int.compare a.deg_qid b.deg_qid) out
@@ -312,6 +340,7 @@ let install_shed t =
 let set_shed_rate t rate =
   let was_shedding = t.shed_rate < 1.0 in
   t.shed_rate <- rate;
+  if rate < 1.0 then t.shed_engaged <- true;
   if was_shedding <> (rate < 1.0) then install_shed t
 
 let set_shed_seed t seed = t.shed_seed <- seed
@@ -357,6 +386,7 @@ let try_create_cfg (cfg : Config.t) =
           events = 0;
           results = 0;
           shed_rate = cfg.shed_rate;
+          shed_engaged = (cfg.overload = Config.Shed || cfg.shed_rate < 1.0);
           shed_seed = cfg.seed;
           shed_ord = 0;
           shed_kept = 0;
@@ -546,7 +576,26 @@ let ingest t side pseudo ~on_band ~on_select =
 
 (* Deletion, likewise: the tuple leaves the home table first (it must
    not join with itself), then the very machinery that produced its
-   result pairs at insertion time recomputes them as retractions. *)
+   result pairs at insertion time recomputes them as retractions.
+
+   Shed mode is insert-only, matching the parallel API (which routes no
+   deletions at all): a retraction would recompute the {e exact} result
+   pairs — firing [on_retract] for pairs that were shed at insertion
+   time and never delivered — and the Horvitz-Thompson accounting has
+   no sound way to subtract them.  [shed_guard] rejects the deletion
+   up front, before any state changes. *)
+let shed_guard t what =
+  if t.shed_engaged then
+    Err.raise_
+      (Err.Invalid_parameter
+         {
+           name = what;
+           value = "shed-mode engine";
+           expected =
+             "an insert-only workload under the Shed policy / a forced shed_rate (use \
+              Block or Reject for workloads with deletions)";
+         })
+
 let retract t side pseudo ~on_band ~on_select =
   if not (Table.delete_s side.home (to_row pseudo)) then None
   else begin
@@ -561,20 +610,13 @@ let retract t side pseudo ~on_band ~on_select =
           incr count;
           on_select q s)
     in
-    (* Retraction must recompute exactly the result pairs produced at
-       insertion time, so shedding is suspended for its duration (the
-       estimator ignores rate-1.0 traffic, keeping degraded-answer
-       bookkeeping insert-only). *)
-    let saved_rate = t.shed_rate in
-    t.shed_rate <- 1.0;
-    Fun.protect
-      ~finally:(fun () -> t.shed_rate <- saved_rate)
-      (fun () ->
-        if Metrics.enabled () then begin
-          let (), dt = Cq_util.Clock.time_ns run in
-          Metrics.observe m_retract_ns (Int64.to_float dt)
-        end
-        else run ());
+    (* [shed_guard] has already excluded shed-mode engines, so the rate
+       is 1.0 here and the recomputation is exact. *)
+    if Metrics.enabled () then begin
+      let (), dt = Cq_util.Clock.time_ns run in
+      Metrics.observe m_retract_ns (Int64.to_float dt)
+    end
+    else run ();
     Some !count
   end
 
@@ -665,6 +707,7 @@ let load_r t rows = Err.ok_exn (try_load_r t rows)
 let find_retract tbl qid = Hashtbl.find_opt tbl qid
 
 let delete_r t (r : Tuple.r) =
+  shed_guard t "delete_r";
   retract t t.r_side r
     ~on_band:(fun (q : BQ.t) s ->
       match find_retract t.band_retracts q.qid with
@@ -676,6 +719,7 @@ let delete_r t (r : Tuple.r) =
       | None -> ())
 
 let delete_s t (s : Tuple.s) =
+  shed_guard t "delete_s";
   retract t t.s_side (of_row s)
     ~on_band:(fun (q : BQ.t) mirror ->
       match find_retract t.band_retracts q.qid with

@@ -226,9 +226,20 @@ val delete_r : t -> Cq_relation.Tuple.r -> int option
 (** Delete a previously inserted R tuple: every result pair it
     contributed is retracted through the [on_retract] callbacks.
     Returns the number of retractions, or [None] if the tuple was not
-    present. *)
+    present.
+
+    Shed mode is insert-only (matching the parallel API, which routes
+    no deletions): on an engine in shed mode — [Shed] policy, a forced
+    [shed_rate], or any past {!set_shed_rate} below 1.0 — deletion
+    would retract pairs that were shed at insertion time and never
+    delivered, and the degraded-answer accounting cannot soundly
+    subtract them, so the call raises {!Cq_util.Error.Cq_error}
+    ([Invalid_parameter]) before touching any state.  Use [Block] or
+    [Reject] for workloads with deletions. *)
 
 val delete_s : t -> Cq_relation.Tuple.s -> int option
+(** Symmetric S-side deletion; same shed-mode restriction as
+    {!delete_r}. *)
 
 val try_load_s : t -> (float * float) array -> (unit, Cq_util.Error.t) result
 (** Bulk-load initial S contents (no results are generated, matching
@@ -253,9 +264,27 @@ val load_r : t -> (float * float) array -> unit
     bound — the max of the exact kept-side error mass and a rigorous
     cap on the dropped mass (each dropped event's results can only
     pair it with the opposite table's current contents, so that table
-    size bounds its contribution); {!Cq_robust.Oracle.run_shed}
-    fuzz-checks observed error <= claimed bound against an exact
-    mirror.  Retractions and {!check_invariants} are never shed. *)
+    size bounds its contribution).
+
+    The estimator runs whenever the engine is {e in shed mode} —
+    created under the [Shed] policy or with a forced [shed_rate] —
+    not merely while the instantaneous rate is below 1.0: results
+    delivered during exact (rate-1.0) phases are candidates kept with
+    p = 1, contributing their count to the estimate and zero to the
+    error terms, so the claimed bound covers the {e entire} stream
+    even when an adaptive controller alternates exact and shedding
+    phases.  {!Cq_robust.Oracle.run_shed} fuzz-checks observed error
+    <= claimed bound at constant forced rates and
+    {!Cq_robust.Oracle.run_shed_adaptive} across mixed-rate
+    schedules, both against an exact mirror.
+
+    An engine first handed a sub-unit rate via {!set_shed_rate}
+    mid-stream (rather than at creation) enters shed mode only at
+    that point: its estimates and bounds cover the results delivered
+    {e from engagement onward}, so create the engine in shed mode
+    when whole-stream bounds are wanted.  {!check_invariants} is
+    never shed; deletions are rejected in shed mode (see
+    {!delete_r}). *)
 
 (** One query's degraded-answer report. *)
 type degraded = {
@@ -270,14 +299,22 @@ type degraded = {
 type shed_totals = { tot_kept : int; tot_dropped : int; tot_min_rate : float }
 
 val shed_info : t -> degraded list
-(** Degraded-answer reports for every query that was ever subject to a
-    coin flip, sorted by qid.  Empty when processing has been exact. *)
+(** Degraded-answer reports for every query ever touched by a
+    sub-unit coin (a candidate kept at rate < 1.0 or dropped), sorted
+    by qid.  Empty when processing has been exact — in particular for
+    a shed-mode engine whose rate never left 1.0.  Each report's
+    estimate covers all of that query's results since the engine
+    entered shed mode, exact phases included (at p = 1, with zero
+    error mass). *)
 
 val shed_totals : t -> shed_totals
 
 val set_shed_rate : t -> float -> unit
 (** Set the current keep-probability.  Not validated: callers
-    ({!Parallel}'s admission control) pass values in (0, 1]. *)
+    ({!Parallel}'s admission control) pass values in (0, 1].  A value
+    below 1.0 puts the engine in shed mode permanently (if it was not
+    already); see the section comment above for what that means for
+    bound coverage when it happens mid-stream. *)
 
 val set_shed_seed : t -> int -> unit
 (** Re-key the shed coin.  {!Parallel} aligns every shard to the

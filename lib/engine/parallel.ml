@@ -85,6 +85,14 @@ type shard_state = {
 
 type par = { shard_states : shard_state array; doms : unit Domain.t array }
 
+type shed_totals = {
+  par_kept : int;
+  par_dropped : int;
+  par_min_rate : float;
+  par_dropped_chunks : int;
+  par_dropped_rows : int;
+}
+
 type seq_state = {
   eng : E.t;
   buf : tagged list ref;
@@ -103,6 +111,14 @@ type t = {
   mutable next_qid : int;
   mutable next_seq : int;
   mutable total_delivered : int;
+  (* Chunks (and their rows) dropped whole because a queue stayed full
+     past the shed grace window.  Dropped rows never reach any shard —
+     no table stores them, no coin is flipped for them — so they are
+     invisible to the per-query estimators: the claimed error bounds
+     in [shed_info] are only valid while [dropped_rows] is 0, and
+     [shed_totals] surfaces both counters so callers can check. *)
+  mutable dropped_chunks : int;
+  mutable dropped_rows : int;
   mutable stopped : bool;
 }
 
@@ -244,6 +260,8 @@ let try_create_cfg (cfg : E.Config.t) =
           next_qid = 0;
           next_seq = 0;
           total_delivered = 0;
+          dropped_chunks = 0;
+          dropped_rows = 0;
           stopped = false;
         }
 
@@ -439,9 +457,25 @@ let try_ingest_batch t side rows =
       let needed = (n + bs - 1) / bs in
       (* Reject-mode admission check happens before any chunk is
          published: the whole batch is accepted or refused atomically,
-         so a rejected call leaves no partial state behind. *)
+         so a rejected call leaves no partial state behind.  A batch
+         needing more chunks than the queue can hold at all is refused
+         with a distinct, non-retriable error — an [Overload] with its
+         backoff hint would send the producer into a retry loop that
+         can never succeed, even against idle queues. *)
       let admission =
         match (t.cfg.overload, t.impl) with
+        | E.Config.Reject, Par _ when needed > queue_capacity ->
+            Error
+              (Err.Invalid_parameter
+                 {
+                   name = "rows";
+                   value = Printf.sprintf "%d rows (%d chunks of %d)" n needed bs;
+                   expected =
+                     Printf.sprintf
+                       "at most queue_capacity * batch_size = %d rows per batch under \
+                        the Reject policy; split the batch"
+                       (queue_capacity * bs);
+                 })
         | E.Config.Reject, Par p ->
             Array.fold_left
               (fun acc st ->
@@ -516,6 +550,8 @@ let try_ingest_batch t side rows =
                     p.shard_states
                 end
                 else begin
+                  t.dropped_chunks <- t.dropped_chunks + 1;
+                  t.dropped_rows <- t.dropped_rows + len;
                   Metrics.incr m_dropped;
                   Log.warn (fun m ->
                       m "shed mode dropped a %d-row chunk: queues full past grace window" len)
@@ -671,15 +707,24 @@ let shed_info t =
 let shed_totals t =
   ensure_live t;
   let acks, _ = sync t in
-  List.fold_left
-    (fun (acc : E.shed_totals) a ->
-      {
-        E.tot_kept = acc.tot_kept + a.a_shed.E.tot_kept;
-        tot_dropped = acc.tot_dropped + a.a_shed.E.tot_dropped;
-        tot_min_rate = Float.min acc.tot_min_rate a.a_shed.E.tot_min_rate;
-      })
-    { E.tot_kept = 0; tot_dropped = 0; tot_min_rate = 1.0 }
-    acks
+  let coins =
+    List.fold_left
+      (fun (acc : E.shed_totals) a ->
+        {
+          E.tot_kept = acc.tot_kept + a.a_shed.E.tot_kept;
+          tot_dropped = acc.tot_dropped + a.a_shed.E.tot_dropped;
+          tot_min_rate = Float.min acc.tot_min_rate a.a_shed.E.tot_min_rate;
+        })
+      { E.tot_kept = 0; tot_dropped = 0; tot_min_rate = 1.0 }
+      acks
+  in
+  {
+    par_kept = coins.E.tot_kept;
+    par_dropped = coins.E.tot_dropped;
+    par_min_rate = coins.E.tot_min_rate;
+    par_dropped_chunks = t.dropped_chunks;
+    par_dropped_rows = t.dropped_rows;
+  }
 
 let shard_result_counts t =
   match t.impl with

@@ -152,15 +152,19 @@ val try_ingest_batch : t -> side -> (float * float) array -> (unit, Cq_util.Erro
     - [Reject]: an admission check runs before anything is published;
       if any shard lacks room for the whole batch the call returns
       [Error (Overload {shard; queue_depth; retry_after_ms})] and no
-      row is ingested (all-or-nothing).
+      row is ingested (all-or-nothing).  A batch that could {e never}
+      be admitted — more than [queue_capacity * batch_size] rows, so
+      its chunks cannot fit even an idle queue — is instead refused
+      with [Error (Invalid_parameter _)] and no retry hint: the
+      producer must split it, not back off.
     - [Shed]: never blocks indefinitely.  Each chunk is stamped with a
       keep-rate (the forced [shed_rate] when < 1.0, else adapted to
       the deepest queue) and shards sample (event, query) candidates
       at that rate; a chunk that cannot be enqueued everywhere within
       a short grace window is dropped whole and counted in
-      [parallel.overload.dropped_chunks].  Degraded answers carry
-      Horvitz-Thompson estimates and claimed error bounds — see
-      {!shed_info}. *)
+      [parallel.overload.dropped_chunks] and {!shed_totals}.  Degraded
+      answers carry Horvitz-Thompson estimates and claimed error
+      bounds — see {!shed_info}. *)
 
 val ingest_batch : t -> side -> (float * float) array -> unit
 
@@ -190,15 +194,36 @@ val shard_result_counts : t -> int array
 
 val shed_info : t -> Engine.degraded list
 (** Flushes, then returns the degraded-answer reports of every query
-    that was ever subject to a shed coin flip, sorted by qid (each
+    that was ever touched by a sub-unit shed coin, sorted by qid (each
     query lives on one shard, so the per-shard reports are disjoint).
     Empty when processing has been exact.  Deterministic under a
     forced [shed_rate]: identical — including claimed bounds — for
-    every shard count. *)
+    every shard count.
 
-val shed_totals : t -> Engine.shed_totals
+    The claimed error bounds cover coin drops only.  Whole chunks
+    dropped past the shed grace window never reach any shard — no coin
+    is flipped for their events, nothing accounts for them — so the
+    bounds are valid {b only while} {!shed_totals}[.par_dropped_rows]
+    is 0; check it before trusting them
+    ({!Cq_robust.Oracle.run_burst} does exactly that). *)
+
+(** Aggregate shedding counters: the shards' coin totals plus the
+    coordinator's whole-chunk drops (which no coin ever sees). *)
+type shed_totals = {
+  par_kept : int;  (** Candidates kept by a sub-unit coin, all shards. *)
+  par_dropped : int;  (** Candidates dropped by a coin, all shards. *)
+  par_min_rate : float;  (** Minimum keep-rate any shard applied. *)
+  par_dropped_chunks : int;
+      (** Chunks dropped whole at admission (grace window expired). *)
+  par_dropped_rows : int;
+      (** Rows in those chunks; nonzero invalidates {!shed_info}'s
+          claimed bounds. *)
+}
+
+val shed_totals : t -> shed_totals
 (** Flushes, then sums kept/dropped candidate counters across shards
-    ([tot_min_rate] is the minimum rate any shard applied). *)
+    ([par_min_rate] is the minimum rate any shard applied) and adds
+    the coordinator-side dropped-chunk counters. *)
 
 val check_invariants : t -> unit
 (** Flushes, then runs {!Engine.check_invariants} on every shard (on

@@ -727,12 +727,140 @@ let run_shed ?(shards = 1) ?(rate = 0.5) ~seed ~ops () =
    with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
   finish run ~ops:total_rows ~final_size:total_rows
 
+(* Adaptive-schedule differential check: the keep-rate moves between
+   1.0 and sub-unit values per batch — the regime the parallel
+   adaptive controller produces — and every claimed bound must still
+   contain the exact count.  The load-bearing case is an exact phase
+   followed by a shedding one: results delivered at rate 1.0 must fold
+   into the estimate at p = 1, or the estimate omits the whole exact
+   phase while the claimed error only covers shed-phase sampling.
+   Driven through the sequential engine so the schedule is a pure
+   function of the seed (the parallel controller reads live queue
+   depths, which no replay can pin down). *)
+let run_shed_adaptive ~seed ~ops () =
+  let run = make_run "shed-adaptive" seed in
+  let rng = Rng.create (seed + 0xada) in
+  let n_q = 6 + Rng.int rng 11 in
+  let mk_iv () =
+    let lo = (Rng.float rng *. 1000.0) -. 200.0 in
+    let w = 1.0 +. (Rng.float rng *. 150.0) in
+    I.make lo (lo +. w)
+  in
+  let queries =
+    Array.init n_q (fun _ ->
+        if Rng.bool rng then `Band (mk_iv ()) else `Select (mk_iv (), mk_iv ()))
+  in
+  let n_batches = max 4 (ops / 40) in
+  let batches =
+    List.init n_batches (fun i ->
+        let side = if Rng.bool rng then `R else `S in
+        let len = 1 + Rng.int rng 50 in
+        let rows =
+          Array.init len (fun _ -> (Rng.float rng *. 1000.0, Rng.float rng *. 1000.0))
+        in
+        (* Always open with an exact phase (the historical failure
+           shape), then mix freely — about half the batches exact. *)
+        let rate =
+          if i = 0 then 1.0
+          else
+            match Rng.int rng 6 with
+            | 0 | 1 | 2 -> 1.0
+            | 3 -> 0.25
+            | 4 -> 0.5
+            | _ -> 0.75
+        in
+        (side, rate, rows))
+  in
+  let total_rows =
+    List.fold_left (fun acc (_, _, rows) -> acc + Array.length rows) 0 batches
+  in
+  (try
+     let eng = Engine.create ~alpha:0.1 ~seed ~overload:Engine.Config.Shed () in
+     let observed = Array.make n_q 0 in
+     Array.iteri
+       (fun qi q ->
+         let cb (_ : Tuple.r) (_ : Tuple.s) = observed.(qi) <- observed.(qi) + 1 in
+         match q with
+         | `Band range -> ignore (Engine.subscribe_band eng ~range cb)
+         | `Select (range_a, range_c) ->
+             ignore (Engine.subscribe_select eng ~range_a ~range_c cb))
+       queries;
+     List.iter
+       (fun (side, rate, rows) ->
+         Engine.set_shed_rate eng rate;
+         Array.iter
+           (fun (x, y) ->
+             match side with
+             | `R -> ignore (Engine.insert_r eng ~a:x ~b:y)
+             | `S -> ignore (Engine.insert_s eng ~b:x ~c:y))
+           rows)
+       batches;
+     Engine.check_invariants eng;
+     let info = Engine.shed_info eng in
+     let rs = ref [] and ss = ref [] in
+     List.iter
+       (fun (side, _, rows) ->
+         match side with
+         | `R -> Array.iter (fun row -> rs := row :: !rs) rows
+         | `S -> Array.iter (fun row -> ss := row :: !ss) rows)
+       batches;
+     let exact qi =
+       let n = ref 0 in
+       List.iter
+         (fun (ra, rb) ->
+           List.iter
+             (fun (sb, sc) ->
+               let hit =
+                 match queries.(qi) with
+                 | `Band w -> I.stabs w (sb -. rb)
+                 | `Select (wa, wc) -> rb = sb && I.stabs wa ra && I.stabs wc sc
+               in
+               if hit then incr n)
+             !ss)
+         !rs;
+       !n
+     in
+     let reported = Hashtbl.create 16 in
+     List.iter (fun (d : Engine.degraded) -> Hashtbl.replace reported d.deg_qid d) info;
+     Array.iteri
+       (fun qi _ ->
+         let n = exact qi in
+         match Hashtbl.find_opt reported qi with
+         | Some (d : Engine.degraded) ->
+             if observed.(qi) > n then
+               diverge run qi
+                 "query %d delivered %d results but only %d exist (subsample violated)" qi
+                 observed.(qi) n;
+             if d.deg_observed <> observed.(qi) then
+               diverge run qi "query %d: engine reports %d observed, callbacks saw %d" qi
+                 d.deg_observed observed.(qi);
+             let err = Float.abs (d.deg_estimate -. float_of_int n) in
+             if err > d.deg_claimed_error +. 1e-6 then
+               diverge run qi
+                 "query %d: estimate %.2f for exact %d misses the claimed bound %.2f \
+                  (err %.2f) under a mixed-rate schedule"
+                 qi d.deg_estimate n d.deg_claimed_error err
+         | None ->
+             if observed.(qi) <> n then
+               diverge run qi
+                 "query %d never saw a sub-unit coin yet delivered %d of %d exact results"
+                 qi observed.(qi) n)
+       queries
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:total_rows ~final_size:total_rows
+
 (* Burst replay: the Fault.gen_burst stream (quiet trickle alternating
    with 64-256-row volleys, no flush inside a volley) goes through an
    adaptive Shed engine.  Shed's contract is liveness, not exactness:
    every ingest call must return [Ok] — never a blocking stall, never
    an [Overload] error — and what does get delivered must remain a
-   subset of the exact answer over everything submitted. *)
+   subset of the exact answer over everything submitted.  The adaptive
+   rate itself is timing-dependent (it reads live queue depths), so
+   the run is not replayable decision-for-decision — but the bound
+   contract is checked regardless: whenever no whole chunk was dropped
+   past the grace window (the one loss the estimators cannot see),
+   every degraded report must contain the exact count within its
+   claimed error, and every unreported query must be exact. *)
 let run_burst ?(shards = 2) ~seed ~ops () =
   let run = make_run (Printf.sprintf "burst[%d]" shards) seed in
   let burst = Fault.gen_burst ~seed ~n:(max 24 (ops / 10)) in
@@ -778,10 +906,14 @@ let run_burst ?(shards = 2) ~seed ~ops () =
        burst;
      ignore (Par.flush t);
      Par.check_invariants t;
-     let totals : Engine.shed_totals = Par.shed_totals t in
+     let totals : Par.shed_totals = Par.shed_totals t in
+     let info = Par.shed_info t in
      Par.shutdown t;
-     if totals.tot_min_rate <= 0.0 || totals.tot_min_rate > 1.0 then
-       diverge run 0 "applied shed rate %.3f outside (0, 1]" totals.tot_min_rate;
+     if totals.par_min_rate <= 0.0 || totals.par_min_rate > 1.0 then
+       diverge run 0 "applied shed rate %.3f outside (0, 1]" totals.par_min_rate;
+     let reported = Hashtbl.create 16 in
+     List.iter (fun (d : Engine.degraded) -> Hashtbl.replace reported d.deg_qid d) info;
+     (* Qids are issued in subscription order, so query index = qid. *)
      Array.iteri
        (fun qi q ->
          let n = ref 0 in
@@ -799,7 +931,29 @@ let run_burst ?(shards = 2) ~seed ~ops () =
            !rs;
          if observed.(qi) > !n then
            diverge run qi "query %d delivered %d results but only %d exist under burst" qi
-             observed.(qi) !n)
+             observed.(qi) !n;
+         (* Whole-chunk drops at admission are the one loss the
+            per-query estimators never see (no coin is flipped for a
+            row that reaches no shard), so the claimed bounds are only
+            asserted on runs where none occurred. *)
+         if totals.par_dropped_rows = 0 then
+           match Hashtbl.find_opt reported qi with
+           | Some (d : Engine.degraded) ->
+               if d.deg_observed <> observed.(qi) then
+                 diverge run qi "query %d: engine reports %d observed, callbacks saw %d" qi
+                   d.deg_observed observed.(qi);
+               let err = Float.abs (d.deg_estimate -. float_of_int !n) in
+               if err > d.deg_claimed_error +. 1e-6 then
+                 diverge run qi
+                   "query %d: adaptive estimate %.2f for exact %d misses the claimed \
+                    bound %.2f (err %.2f)"
+                   qi d.deg_estimate !n d.deg_claimed_error err
+           | None ->
+               if observed.(qi) <> !n then
+                 diverge run qi
+                   "query %d never saw a sub-unit coin yet delivered %d of %d exact \
+                    results under burst"
+                   qi observed.(qi) !n)
        queries
    with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
   finish run ~ops:!total_rows ~final_size:!total_rows
@@ -924,4 +1078,5 @@ let fuzz_all ?backend ?(shards = 2) ~seed ~ops () =
       run_refined_partition ~seed ~ops;
       run_engine ?backend ~seed ~ops:engine_ops ();
       run_parallel ~shards ~seed ~ops:engine_ops ();
+      run_shed_adaptive ~seed ~ops:engine_ops ();
     ]

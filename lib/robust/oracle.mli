@@ -106,13 +106,30 @@ val run_shed : ?shards:int -> ?rate:float -> seed:int -> ops:int -> unit -> outc
     the shed decisions and the claimed bounds are pure functions of the
     seed, so the outcome is identical across shard counts. *)
 
+val run_shed_adaptive : seed:int -> ops:int -> unit -> outcome
+(** Mixed-rate-schedule differential check through the {e sequential}
+    engine in [Shed] mode: the keep-rate moves between 1.0 and forced
+    sub-unit values per batch — the shape the parallel adaptive
+    controller produces, made deterministic by pinning the schedule to
+    the seed.  Asserts the same contract as {!run_shed} (subsample,
+    observed-counter agreement, every estimate within its claimed
+    bound, untouched queries exact); in particular, results delivered
+    during exact phases must fold into the estimates at p = 1, so a
+    rate-1.0 phase followed by a shedding one cannot push the exact
+    count outside the claimed bound. *)
+
 val run_burst : ?shards:int -> seed:int -> ops:int -> unit -> outcome
 (** Replays {!Fault.gen_burst} (quiet trickle alternating with
     64–256-row volleys) through an adaptive [Shed] engine ([shards]
     default 2).  Asserts the liveness contract — every
     [try_ingest_batch] returns [Ok], never blocking, never [Overload] —
     plus the subsample property per query, engine invariants, and that
-    the minimum applied keep-rate stays in (0, 1]. *)
+    the minimum applied keep-rate stays in (0, 1].  The adaptive rates
+    themselves are timing-dependent, but on runs where no whole chunk
+    was dropped past the grace window
+    ({!Cq_engine.Parallel.shed_totals}[.par_dropped_rows] = 0) the
+    degraded-answer contract is asserted too: every estimate within
+    its claimed bound, every unreported query exact. *)
 
 val fuzz_all :
   ?backend:Cq_index.Stab_backend.kind ->

@@ -524,25 +524,60 @@ let test_parallel_shutdown_with_inflight_batches () =
   | Error e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
   | Ok () -> Alcotest.fail "ingest after double shutdown accepted"
 
-let test_reject_overload_payload () =
+let test_reject_oversized_batch_not_retriable () =
   (* With batch_size 1, a 100-row batch needs 100 queue slots against a
-     capacity of 64: Reject must refuse it before publishing anything,
-     with the typed Overload payload. *)
+     capacity of 64: it could never be admitted, so Reject must refuse
+     it with a non-retriable Invalid_parameter — an Overload with its
+     backoff hint would send the producer into a retry loop that can
+     never succeed, even against idle queues. *)
   let t = Par.create ~shards:2 ~batch_size:1 ~overload:Engine.Config.Reject () in
   let hits = ref 0 in
   ignore (Par.subscribe_band t ~range:(I.make (-1.0) 1.0) (fun _ _ -> incr hits));
   (match Par.try_ingest_batch t Par.R (Array.make 100 (0.0, 0.0)) with
-  | Error (Cq_util.Error.Overload { shard; queue_depth; retry_after_ms }) ->
-      Alcotest.(check bool) "shard in range" true (shard >= 0 && shard < 2);
-      Alcotest.(check bool) "depth reported" true (queue_depth >= 0);
-      Alcotest.(check bool) "retry hint positive" true (retry_after_ms > 0.0)
+  | Error (Cq_util.Error.Invalid_parameter { name = "rows"; _ }) -> ()
   | Error e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
-  | Ok () -> Alcotest.fail "oversized batch accepted under Reject");
+  | Ok () -> Alcotest.fail "unsatisfiable batch accepted under Reject");
   (* All-or-nothing: the stream is untouched, small batches still flow. *)
   Par.ingest_batch t Par.S [| (0.0, 0.0) |];
   Par.ingest_batch t Par.R [| (0.0, 0.0) |];
   ignore (Par.flush t);
   Alcotest.(check int) "only the small batch's result" 1 !hits;
+  Par.shutdown t
+
+let test_reject_overload_payload () =
+  (* Genuine transient pressure: make each row expensive to drain
+     (every R row joins a preloaded 2000-row S table), then publish
+     admissible 32-row batches back-to-back without flushing.  The
+     producer outruns the shards, depth climbs past capacity - 32, and
+     Reject answers with the typed Overload payload and backoff hint.
+     The loop is timing-tolerant: any single Ok just means the shard
+     drained in time, and the next batch piles on. *)
+  let t = Par.create ~shards:2 ~batch_size:1 ~overload:Engine.Config.Reject () in
+  ignore (Par.subscribe_band t ~range:(I.make (-1.0) 1.0) (fun _ _ -> ()));
+  (* Preload in admissible batches, flushing each so admission never
+     sees preload pressure (batch_size 1: a 2000-row batch would trip
+     the oversized check). *)
+  for _ = 1 to 63 do
+    Par.ingest_batch t Par.S (Array.make 32 (0.0, 0.0));
+    ignore (Par.flush t)
+  done;
+  let overloaded = ref None in
+  let attempts = ref 0 in
+  while !overloaded = None && !attempts < 500 do
+    incr attempts;
+    match Par.try_ingest_batch t Par.R (Array.make 32 (0.0, 0.0)) with
+    | Ok () -> ()
+    | Error (Cq_util.Error.Overload _ as e) -> overloaded := Some e
+    | Error e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
+  done;
+  (match !overloaded with
+  | Some (Cq_util.Error.Overload { shard; queue_depth; retry_after_ms }) ->
+      Alcotest.(check bool) "shard in range" true (shard >= 0 && shard < 2);
+      Alcotest.(check bool) "depth reported" true (queue_depth >= 0 && queue_depth <= 64);
+      Alcotest.(check bool) "retry hint positive" true (retry_after_ms > 0.0)
+  | Some e -> Alcotest.failf "unexpected error %s" (Cq_util.Error.to_string e)
+  | None -> Alcotest.fail "no Overload across 500 back-to-back admissible batches");
+  ignore (Par.flush t);
   Par.shutdown t
 
 (* Replay a scenario through a forced-rate Shed engine; periodic
@@ -615,6 +650,68 @@ let prop_shed_rate_one_matches_block =
       else if info <> [] then
         QCheck2.Test.fail_reportf "%d degraded reports under rate 1.0" (List.length info)
       else true)
+
+let test_shed_exact_phase_folds_into_estimate () =
+  (* Regression for the adaptive-rate hole: results delivered while the
+     rate sat at 1.0 must fold into the Horvitz-Thompson estimate at
+     p = 1, otherwise a rate-1.0 phase followed by a shedding one
+     leaves the exact-phase results out of the estimate while the
+     claimed bound only covers the shedding phase's sampling error. *)
+  let eng = Engine.create ~alpha:0.1 ~seed:42 ~overload:Engine.Config.Shed () in
+  let delivered = ref 0 in
+  ignore (Engine.subscribe_band eng ~range:(I.make (-1000.0) 1000.0) (fun _ _ -> incr delivered));
+  (* Exact phase: rate 1.0 (the Shed default), 50 x 70 = 3500 pairs. *)
+  for i = 1 to 50 do
+    ignore (Engine.insert_s eng ~b:(float_of_int i) ~c:0.0)
+  done;
+  for i = 1 to 70 do
+    ignore (Engine.insert_r eng ~a:0.0 ~b:(float_of_int i))
+  done;
+  Alcotest.(check int) "exact phase delivers everything" 3500 !delivered;
+  (* Shedding phase: 10 more R rows x 50 S partners = 500 exact pairs. *)
+  Engine.set_shed_rate eng 0.5;
+  for i = 71 to 80 do
+    ignore (Engine.insert_r eng ~a:0.0 ~b:(float_of_int i))
+  done;
+  let exact = 3500 + 500 in
+  match Engine.shed_info eng with
+  | [ d ] ->
+      Alcotest.(check int) "observed counter agrees with callbacks" !delivered
+        d.Engine.deg_observed;
+      Alcotest.(check bool) "subsample" true (!delivered <= exact);
+      let err = Float.abs (d.Engine.deg_estimate -. float_of_int exact) in
+      if err > d.Engine.deg_claimed_error +. 1e-6 then
+        Alcotest.failf "estimate %.1f misses exact %d by %.1f > claimed %.1f"
+          d.Engine.deg_estimate exact err d.Engine.deg_claimed_error
+  | info -> Alcotest.failf "expected one degraded report, got %d" (List.length info)
+
+let test_shed_mode_rejects_deletes () =
+  (* Shed mode is insert-only: a retraction would have to recompute
+     exact join results and fire on_retract for pairs the subscriber
+     never saw.  Both delete entry points must refuse, and the refusal
+     must also cover engines dragged into shed mode mid-stream. *)
+  let eng = Engine.create ~overload:Engine.Config.Shed () in
+  let r, _ = Engine.insert_r eng ~a:0.0 ~b:0.0 in
+  let s, _ = Engine.insert_s eng ~b:5.0 ~c:0.0 in
+  (match Engine.delete_r eng r with
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { name = "delete_r"; _ })
+    -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "delete_r accepted in shed mode");
+  (match Engine.delete_s eng s with
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { name = "delete_s"; _ })
+    -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "delete_s accepted in shed mode");
+  (* Engagement via set_shed_rate is permanent, even back at 1.0. *)
+  let eng2 = Engine.create () in
+  let r2, _ = Engine.insert_r eng2 ~a:0.0 ~b:0.0 in
+  Engine.set_shed_rate eng2 0.5;
+  Engine.set_shed_rate eng2 1.0;
+  (match Engine.delete_r eng2 r2 with
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter _) -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "delete_r accepted after mid-stream shed engagement")
 
 (* ------------------------------ Zipf model ---------------------------- *)
 
@@ -691,9 +788,14 @@ let () =
         [
           Alcotest.test_case "shutdown with in-flight batches" `Quick
             test_parallel_shutdown_with_inflight_batches;
+          Alcotest.test_case "reject oversized batch not retriable" `Quick
+            test_reject_oversized_batch_not_retriable;
           Alcotest.test_case "reject overload payload" `Quick test_reject_overload_payload;
           qc prop_shed_decisions_shard_invariant;
           qc prop_shed_rate_one_matches_block;
+          Alcotest.test_case "exact phase folds into estimate" `Quick
+            test_shed_exact_phase_folds_into_estimate;
+          Alcotest.test_case "shed mode rejects deletes" `Quick test_shed_mode_rejects_deletes;
         ] );
       ( "zipf_model",
         [

@@ -92,6 +92,15 @@ let test_fuzz_shed () =
       check_outcome (Oracle.run_shed ~shards:4 ~rate:0.75 ~seed ~ops:150 ()))
     (List.init 10 (fun i -> i + 1))
 
+let test_fuzz_shed_adaptive () =
+  (* The mixed-rate schedule (exact phases at 1.0 interleaved with
+     forced sub-unit phases) over many seeds: results delivered during
+     exact phases must fold into the estimates at p = 1, so the claimed
+     bounds cover the whole stream, not just the shedding phases. *)
+  List.iter
+    (fun seed -> check_outcome (Oracle.run_shed_adaptive ~seed ~ops:150 ()))
+    (List.init 100 (fun i -> i + 1))
+
 let test_fuzz_burst () =
   (* Seeded burst replay through Shed admission: ingest must never
      block or error, and the degraded answers must stay within their
@@ -245,6 +254,8 @@ let () =
           Alcotest.test_case "engine agrees" `Quick test_fuzz_engine;
           Alcotest.test_case "parallel matches sequential" `Quick test_fuzz_parallel;
           Alcotest.test_case "shed answers within claimed bounds" `Quick test_fuzz_shed;
+          Alcotest.test_case "adaptive-rate shed answers within bounds" `Quick
+            test_fuzz_shed_adaptive;
           Alcotest.test_case "burst replay stays non-blocking" `Quick test_fuzz_burst;
           Alcotest.test_case "workload audit clean" `Quick test_audit_workload_clean;
         ] );
