@@ -324,12 +324,18 @@ let fuzz_cmd =
           match backends_of backend with
           | [ b ] -> Cq_robust.Oracle.fuzz_all ~backend:b ~shards ~seed ~ops ()
           | b0 :: rest ->
-              (* One full battery, then the engine alone under each further
-                 backend — the structure runs are backend-independent. *)
+              (* One full battery, then the backend-sensitive runs (engine
+                 plus the flat-batch differential, whose stab_batch descent
+                 differs per backend) under each further backend — the
+                 structure runs are backend-independent. *)
               Cq_robust.Oracle.fuzz_all ~backend:b0 ~shards ~seed ~ops ()
-              @ List.map
+              @ List.concat_map
                   (fun b ->
-                    Cq_robust.Oracle.run_engine ~backend:b ~seed ~ops:(max 200 (ops / 10)) ())
+                    let fuzz_ops = max 200 (ops / 10) in
+                    [
+                      Cq_robust.Oracle.run_engine ~backend:b ~seed ~ops:fuzz_ops ();
+                      Cq_robust.Oracle.run_batch ~backend:b ~seed ~ops:fuzz_ops ();
+                    ])
                   rest
           | [] -> [])
     in

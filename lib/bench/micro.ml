@@ -1,5 +1,7 @@
 (* Bechamel micro-benchmarks over the core operations: one Test.make
-   per operation, all collected into a single run. *)
+   per operation, all collected into a single run — plus the ingest
+   allocation/latency measurements (Gc.minor_words deltas and p99
+   per-event latency over the engine ingest spine). *)
 
 open Bechamel
 module I = Cq_interval.Interval
@@ -81,8 +83,253 @@ let tests () =
            ignore (T.delete tracker q)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Ingest-path allocation and latency                                  *)
+(*                                                                     *)
+(* Engine-level, deterministic workload; allocations are measured as   *)
+(* Gc minor/promoted word deltas per ingested tuple, latency as p50/   *)
+(* p99 over per-event monotonic-clock timings.  Two scenarios:         *)
+(*   spine   — no subscriptions; the pure relation->engine storage     *)
+(*             path (the headline allocs/op number)                    *)
+(*   queried — a live band+select query population, so per-event work  *)
+(*             includes group walks and result delivery.               *)
+(* The seed capture of these numbers (out/BENCH_micro_seed.json) is    *)
+(* the frozen baseline the batch path is compared against.             *)
+(* ------------------------------------------------------------------ *)
+
+module E = Cq_engine.Engine
+module W = Cq_relation.Workload
+module Batch = Cq_relation.Batch
+module Stats = Cq_util.Stats
+
+(* Frozen per-tuple baseline from the seed capture
+   (out/BENCH_micro_seed.json, commit before the flat-batch refactor):
+   minor words per ingested tuple on the spine / queried scenarios.
+   The batch path's reduction_vs_seed metrics divide against these. *)
+let seed_spine_allocs_per_op = 317.48
+let seed_queried_allocs_per_op = 31525.28
+
+type ingest_measure = {
+  mi_allocs : float;  (* minor words / op *)
+  mi_promoted : float;  (* promoted words / op *)
+  mi_p50_ns : float;
+  mi_p99_ns : float;
+}
+
+let ingest_rows ~n ~seed =
+  let c = W.default in
+  let s_rows =
+    Array.map
+      (fun (s : Cq_relation.Tuple.s) -> (s.b, s.c))
+      (W.gen_s_tuples c (Cq_util.Rng.create seed) ~n)
+  in
+  let r_rows =
+    Array.map
+      (fun (r : Cq_relation.Tuple.r) -> (r.a, r.b))
+      (W.gen_r_tuples c (Cq_util.Rng.create (seed + 1)) ~n)
+  in
+  (s_rows, r_rows)
+
+(* Band offsets cluster near zero (the realistic band-join shape, as in
+   the cqctl demo workload) so per-event work is dominated by group
+   walks, not result fan-out; select queries follow Table 1. *)
+let subscribe_queries eng ~seed ~n_band ~n_select =
+  let rng = Cq_util.Rng.create seed in
+  Array.iter
+    (fun range -> ignore (E.subscribe_band eng ~range (fun _ _ -> ())))
+    (W.gen_clustered_ranges ~scattered_len:(10.0, 4.0) rng ~n:n_band ~n_clusters:8
+       ~clustered_frac:0.9 ~domain:(-500.0, 500.0) ~cluster_halfwidth:15.0 ~len_mu:40.0
+       ~len_sigma:10.0);
+  for _ = 1 to n_select do
+    let mid_a = Cq_util.Dist.normal rng ~mu:5000.0 ~sigma:1500.0 in
+    let mid_c = Cq_util.Dist.uniform rng ~lo:0.0 ~hi:10_000.0 in
+    ignore
+      (E.subscribe_select eng
+         ~range_a:(I.of_midpoint ~mid:mid_a ~len:1000.0)
+         ~range_c:(I.of_midpoint ~mid:mid_c ~len:300.0)
+         (fun _ _ -> ()))
+  done
+
+(* One alternating S/R ingest step; [i] indexes into pre-generated row
+   arrays so the allocation pass itself builds nothing. *)
+let ingest_step eng s_rows r_rows i =
+  if i land 1 = 0 then begin
+    let b, c = s_rows.(i lsr 1) in
+    ignore (E.insert_s eng ~b ~c)
+  end
+  else begin
+    let a, b = r_rows.(i lsr 1) in
+    ignore (E.insert_r eng ~a ~b)
+  end
+
+let measure_per_tuple ~queried ~n =
+  let warmup = n / 4 in
+  (* Enough rows for warmup + alloc pass + latency pass. *)
+  let total = warmup + (2 * n) in
+  let s_rows, r_rows = ingest_rows ~n:((total / 2) + 1) ~seed:42 in
+  let eng = E.create ~seed:42 () in
+  if queried then subscribe_queries eng ~seed:7 ~n_band:300 ~n_select:150;
+  for i = 0 to warmup - 1 do
+    ingest_step eng s_rows r_rows i
+  done;
+  Gc.minor ();
+  let st0 = Gc.quick_stat () in
+  let w0 = Gc.minor_words () in
+  for i = warmup to warmup + n - 1 do
+    ingest_step eng s_rows r_rows i
+  done;
+  let w1 = Gc.minor_words () in
+  let st1 = Gc.quick_stat () in
+  let fn = float_of_int n in
+  let lat = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let j = warmup + n + i in
+    let t0 = Cq_util.Clock.monotonic () in
+    ingest_step eng s_rows r_rows j;
+    lat.(i) <- (Cq_util.Clock.monotonic () -. t0) *. 1e9
+  done;
+  {
+    mi_allocs = (w1 -. w0) /. fn;
+    mi_promoted = (st1.Gc.promoted_words -. st0.Gc.promoted_words) /. fn;
+    mi_p50_ns = Stats.percentile lat 50.0;
+    mi_p99_ns = Stats.percentile lat 99.0;
+  }
+
+(* The flat-batch path over the same row streams: rows are pre-chunked
+   into batches before measurement (construction is the producer's
+   cost, not the ingest path's), then S and R batches alternate. *)
+let batch_chunk = 512
+
+let build_batches rows ~chunk =
+  let n = Array.length rows in
+  let nb = (n + chunk - 1) / chunk in
+  Array.init nb (fun bi ->
+      let off = bi * chunk in
+      let len = min chunk (n - off) in
+      let b = Batch.create ~capacity:len () in
+      for i = 0 to len - 1 do
+        let x, y = rows.(off + i) in
+        Batch.push b ~x ~y
+      done;
+      b)
+
+let measure_batch ~queried ~n =
+  let chunk = batch_chunk in
+  let warmup = n / 4 in
+  let per_side = ((warmup + (2 * n)) / 2) + (2 * chunk) in
+  let s_rows, r_rows = ingest_rows ~n:per_side ~seed:42 in
+  let s_batches = build_batches s_rows ~chunk in
+  let r_batches = build_batches r_rows ~chunk in
+  let eng = E.create ~seed:42 () in
+  if queried then subscribe_queries eng ~seed:7 ~n_band:300 ~n_select:150;
+  let si = ref 0 and ri = ref 0 and toggle = ref false in
+  let ingest_one ?on_event () =
+    let len =
+      if !toggle then begin
+        let b = r_batches.(!ri) in
+        incr ri;
+        ignore (E.ingest_batch_r eng ?on_event b);
+        Batch.length b
+      end
+      else begin
+        let b = s_batches.(!si) in
+        incr si;
+        ignore (E.ingest_batch_s eng ?on_event b);
+        Batch.length b
+      end
+    in
+    toggle := not !toggle;
+    len
+  in
+  let warmed = ref 0 in
+  while !warmed < warmup do
+    warmed := !warmed + ingest_one ()
+  done;
+  Gc.minor ();
+  let st0 = Gc.quick_stat () in
+  let w0 = Gc.minor_words () in
+  let cnt = ref 0 in
+  while !cnt < n do
+    cnt := !cnt + ingest_one ()
+  done;
+  let w1 = Gc.minor_words () in
+  let st1 = Gc.quick_stat () in
+  let fn = float_of_int !cnt in
+  (* Per-event latency from the post-event hook: the gap between
+     consecutive hook firings is one event's processing time. *)
+  let lat = Array.make (n + chunk) 0.0 in
+  let li = ref 0 in
+  let lcnt = ref 0 in
+  while !lcnt < n do
+    let prev = ref (Cq_util.Clock.monotonic ()) in
+    let on_event _ =
+      let now = Cq_util.Clock.monotonic () in
+      if !li < Array.length lat then begin
+        lat.(!li) <- (now -. !prev) *. 1e9;
+        incr li
+      end;
+      prev := now
+    in
+    lcnt := !lcnt + ingest_one ~on_event ()
+  done;
+  let lat = Array.sub lat 0 !li in
+  {
+    mi_allocs = (w1 -. w0) /. fn;
+    mi_promoted = (st1.Gc.promoted_words -. st0.Gc.promoted_words) /. fn;
+    mi_p50_ns = Stats.percentile lat 50.0;
+    mi_p99_ns = Stats.percentile lat 99.0;
+  }
+
+let ingest_row ~scenario ~path (m : ingest_measure) =
+  Report.record_metric
+    (Printf.sprintf "ingest_%s_%s_allocs_per_op" scenario path)
+    m.mi_allocs "minor_words_per_op";
+  Report.record_metric
+    (Printf.sprintf "ingest_%s_%s_promoted_per_op" scenario path)
+    m.mi_promoted "words_per_op";
+  Report.record_metric
+    (Printf.sprintf "ingest_%s_%s_p99_ns" scenario path)
+    m.mi_p99_ns "ns";
+  [
+    scenario;
+    path;
+    Report.fmt_f m.mi_allocs;
+    Report.fmt_f m.mi_promoted;
+    Report.fmt_ns m.mi_p50_ns;
+    Report.fmt_ns m.mi_p99_ns;
+  ]
+
+let ingest_run () =
+  let spine = measure_per_tuple ~queried:false ~n:20_000 in
+  let queried = measure_per_tuple ~queried:true ~n:4_000 in
+  let spine_b = measure_batch ~queried:false ~n:20_000 in
+  let queried_b = measure_batch ~queried:true ~n:4_000 in
+  let rows =
+    [
+      ingest_row ~scenario:"spine" ~path:"per_tuple" spine;
+      ingest_row ~scenario:"spine" ~path:"batch" spine_b;
+      ingest_row ~scenario:"queried" ~path:"per_tuple" queried;
+      ingest_row ~scenario:"queried" ~path:"batch" queried_b;
+    ]
+  in
+  (* Headline acceptance metric: allocs-per-tuple reduction of the
+     batch path against the frozen seed per-tuple capture. *)
+  let reduction seed got = seed /. Float.max got 1e-9 in
+  let spine_red = reduction seed_spine_allocs_per_op spine_b.mi_allocs in
+  let queried_red = reduction seed_queried_allocs_per_op queried_b.mi_allocs in
+  Report.record_metric "ingest_spine_batch_reduction_vs_seed" spine_red "x";
+  Report.record_metric "ingest_queried_batch_reduction_vs_seed" queried_red "x";
+  Report.note "seed per-tuple baseline: spine %.1f w/op, queried %.1f w/op"
+    seed_spine_allocs_per_op seed_queried_allocs_per_op;
+  Report.note "batch-path alloc reduction vs seed: spine %.1fx, queried %.1fx" spine_red
+    queried_red;
+  Report.table
+    ~header:[ "scenario"; "path"; "minor w/op"; "promoted w/op"; "p50"; "p99" ]
+    ~rows
+
 let run () =
   Report.section "micro" "Bechamel micro-benchmarks (ns per op, OLS on monotonic clock)";
+  ingest_run ();
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in

@@ -45,3 +45,9 @@ val json_end : unit -> unit
 val json_param : string -> string -> unit
 (** Attach a key/value parameter to the current record (no-op when
     recording is off or no section is open). *)
+
+val record_metric : string -> float -> string -> unit
+(** [record_metric name value unit] appends a raw metric to the current
+    record — the hook experiments use for measurements that don't come
+    from {!throughput}/{!time_per_op} (e.g. allocs per op, p99 latency).
+    No-op when recording is off or no section is open. *)

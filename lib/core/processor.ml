@@ -139,6 +139,24 @@ module type PROCESSOR = sig
       query's probe for this event.  [affected] and structural
       maintenance stay exact.  With [None] there is no per-candidate
       overhead. *)
+
+  val stage_batch : t -> event array -> int -> unit
+  (** [stage_batch t evs n] precomputes per-event scattered-index
+      candidates for the events [evs.(0 .. n-1)] with a single batched
+      index descent, when the processor has a scattered index and the
+      events project to fixed stabbing points.  A no-op (beyond
+      refreshing lazy state) otherwise.  The staged candidates feed
+      [process_staged]; any query insertion or deletion invalidates
+      them (later [process_staged] calls then fall back to the live
+      per-event path, preserving exact semantics). *)
+
+  val process_staged : t -> idx:int -> event -> (query -> result -> unit) -> unit
+  (** [process_staged t ~idx ev sink] is exactly [process_r t ev sink]
+      for the [idx]-th staged event, reusing the candidates staged by
+      the last [stage_batch] when they are still valid.  [ev] must be
+      the same value passed at position [idx] of that batch.  Falls
+      back to [process_r] when nothing (or a smaller batch) was
+      staged. *)
 end
 
 type strategy = Hotspot | Ssi
@@ -154,6 +172,8 @@ let strategy_of_string = function
 
 
 module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
+  module Vec = Cq_util.Vec
+
   module Elem = struct
     type t = Q.t
 
@@ -162,6 +182,8 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
   end
 
   module Tracker = Tracker0.Make (Elem)
+
+  let dummy_sink : Q.t -> Q.result -> unit = fun _ _ -> ()
 
   (* Per-event candidate fanout (queries visited by the group walk and
      scattered probes) and the number surviving dedupe — shared cells
@@ -182,6 +204,22 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       scattered : Q.t B.t;
       dedupe : Dedupe.t;
       mutable shed : (int -> bool) option;
+      (* Hot-path closures, allocated once and parameterised through
+         the [cur_*] cells so [process_r] builds no closure per event.
+         Set after record creation (they capture [t]). *)
+      mutable cur_ev : Q.event option;
+      mutable cur_sink : Q.t -> Q.result -> unit;
+      mutable c_mark : Q.t -> bool;
+      mutable c_group : int -> Q.Group.g -> unit;
+      mutable c_scat : Q.t -> unit;
+      (* Batch staging: one scattered-index descent answers a whole
+         batch of events; [stage_cand] holds one reusable candidate
+         bucket per event position.  [staged_n] < 0 means nothing
+         staged (or staged state invalidated by query churn). *)
+      mutable stage_keys : float array;
+      stage_cand : Q.t Vec.t Vec.t;
+      mutable c_stage : idx:int -> Q.t -> unit;
+      mutable staged_n : int;
     }
 
     let name = Q.label ^ "-Hotspot"
@@ -203,7 +241,48 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       in
       let tracker = Tracker.create ~alpha ?epsilon ?seed ~on_event () in
       Array.iter (fun q -> Tracker.insert tracker q) queries;
-      { store; tracker; hot; scattered; dedupe = Dedupe.create (); shed = None }
+      let t =
+        {
+          store;
+          tracker;
+          hot;
+          scattered;
+          dedupe = Dedupe.create ();
+          shed = None;
+          cur_ev = None;
+          cur_sink = dummy_sink;
+          c_mark = (fun _ -> false);
+          c_group = (fun _ _ -> ());
+          c_scat = (fun _ -> ());
+          stage_keys = [||];
+          stage_cand = Vec.create ();
+          c_stage = (fun ~idx:_ _ -> ());
+          staged_n = -1;
+        }
+      in
+      t.c_mark <-
+        (fun q ->
+          Dedupe.mark t.dedupe (Q.qid q)
+          && (match t.shed with None -> true | Some pred -> pred (Q.qid q)));
+      t.c_group <-
+        (fun gid g ->
+          match t.cur_ev with
+          | Some ev ->
+              let stab = Tracker.hotspot_stab t.tracker gid in
+              Q.Group.process t.store g ~stab ev ~mark:t.c_mark t.cur_sink
+          | None -> ());
+      t.c_scat <-
+        (fun q ->
+          match t.cur_ev with
+          | Some ev -> (
+              match t.shed with
+              | None -> Q.probe t.store q ev (fun res -> t.cur_sink q res)
+              | Some pred ->
+                  if Q.probe_hit t.store q ev && pred (Q.qid q) then
+                    Q.probe t.store q ev (fun res -> t.cur_sink q res))
+          | None -> ());
+      t.c_stage <- (fun ~idx q -> Vec.push (Vec.get t.stage_cand idx) q);
+      t
 
     let create store queries = create_cfg store queries
 
@@ -248,21 +327,91 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
         Metrics.observe m_dedupe_marks (float_of_int !marked)
       end
       else begin
-        let mark q =
-          Dedupe.mark t.dedupe (Q.qid q)
-          && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
-        in
-        Hashtbl.iter
-          (fun gid g ->
-            let stab = Tracker.hotspot_stab t.tracker gid in
-            Q.Group.process t.store g ~stab ev ~mark sink)
-          t.hot;
-        match t.shed with
-        | None -> iter_scattered t ev (fun q -> Q.probe t.store q ev (fun res -> sink q res))
-        | Some pred ->
-            iter_scattered t ev (fun q ->
-                if Q.probe_hit t.store q ev && pred (Q.qid q) then
+        t.cur_ev <- Some ev;
+        t.cur_sink <- sink;
+        Hashtbl.iter t.c_group t.hot;
+        iter_scattered t ev t.c_scat;
+        t.cur_ev <- None;
+        t.cur_sink <- dummy_sink
+      end
+
+    (* Stage the scattered-index candidates for a whole batch with one
+       batched descent.  Only possible when every event projects to a
+       point on the scatter axis; band-style queries (no fixed stabbing
+       point) keep the per-event path.  The staged buckets stay valid
+       for the rest of the batch because event processing never moves
+       queries between the hotspot and scattered partitions — only
+       query churn does, and that invalidates below. *)
+    let stage_batch t evs n =
+      t.staged_n <- -1;
+      if n > 0 && B.size t.scattered > 0 then begin
+        match Q.scatter_point evs.(0) with
+        | None -> ()
+        | Some _ ->
+            if Array.length t.stage_keys <> n then t.stage_keys <- Array.make n 0.0;
+            let ok = ref true in
+            for i = 0 to n - 1 do
+              match Q.scatter_point evs.(i) with
+              | Some x -> t.stage_keys.(i) <- x
+              | None -> ok := false
+            done;
+            if !ok then begin
+              while Vec.length t.stage_cand < n do
+                Vec.push t.stage_cand (Vec.create ())
+              done;
+              for i = 0 to n - 1 do
+                Vec.clear (Vec.get t.stage_cand i)
+              done;
+              B.stab_batch t.scattered ~keys:t.stage_keys ~f:t.c_stage;
+              t.staged_n <- n
+            end
+      end
+
+    let process_staged t ~idx ev sink =
+      if idx < 0 || idx >= t.staged_n then process_r t ev sink
+      else begin
+        Dedupe.fresh t.dedupe;
+        let bucket = Vec.get t.stage_cand idx in
+        if Metrics.enabled () then begin
+          let cands = ref 0 and marked = ref 0 in
+          let mark q =
+            Stdlib.incr cands;
+            let fresh = Dedupe.mark t.dedupe (Q.qid q) in
+            if fresh then Stdlib.incr marked;
+            fresh && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
+          in
+          Hashtbl.iter
+            (fun gid g ->
+              let stab = Tracker.hotspot_stab t.tracker gid in
+              Q.Group.process t.store g ~stab ev ~mark sink)
+            t.hot;
+          (match t.shed with
+          | None ->
+              Vec.iter
+                (fun q ->
+                  Stdlib.incr cands;
+                  Stdlib.incr marked;
                   Q.probe t.store q ev (fun res -> sink q res))
+                bucket
+          | Some pred ->
+              Vec.iter
+                (fun q ->
+                  Stdlib.incr cands;
+                  Stdlib.incr marked;
+                  if Q.probe_hit t.store q ev && pred (Q.qid q) then
+                    Q.probe t.store q ev (fun res -> sink q res))
+                bucket);
+          Metrics.observe m_fanout (float_of_int !cands);
+          Metrics.observe m_dedupe_marks (float_of_int !marked)
+        end
+        else begin
+          t.cur_ev <- Some ev;
+          t.cur_sink <- sink;
+          Hashtbl.iter t.c_group t.hot;
+          Vec.iter t.c_scat bucket;
+          t.cur_ev <- None;
+          t.cur_sink <- dummy_sink
+        end
       end
 
     let affected t ev report =
@@ -278,8 +427,16 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       iter_scattered t ev (fun q -> if Q.probe_hit t.store q ev then report q)
 
     let set_shed t pred = t.shed <- pred
-    let insert_query t q = Tracker.insert t.tracker q
-    let delete_query t q = Tracker.delete t.tracker q
+
+    (* Query churn can move queries between the hotspot and scattered
+       partitions, so any staged batch candidates are stale. *)
+    let insert_query t q =
+      t.staged_n <- -1;
+      Tracker.insert t.tracker q
+
+    let delete_query t q =
+      t.staged_n <- -1;
+      Tracker.delete t.tracker q
     let query_count t = Tracker.size t.tracker
     let num_hotspots t = Tracker.num_hotspots t.tracker
     let coverage t = Tracker.coverage t.tracker
@@ -353,6 +510,11 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
       mutable rebuilds : int;
       dedupe : Dedupe.t;
       mutable shed : (int -> bool) option;
+      (* Hot-path closures, allocated once (see Hotspot above). *)
+      mutable cur_ev : Q.event option;
+      mutable cur_sink : Q.t -> Q.result -> unit;
+      mutable c_mark : Q.t -> bool;
+      mutable c_visit : stab:float -> Q.Group.g -> unit;
     }
 
     let name = Q.label ^ "-SSI"
@@ -369,15 +531,31 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
     let create store queries =
       let h = Hashtbl.create (max 16 (Array.length queries)) in
       Array.iter (fun q -> Hashtbl.replace h (Q.qid q) q) queries;
-      {
-        store;
-        queries = h;
-        index = Index.build queries;
-        dirty = false;
-        rebuilds = 0;
-        dedupe = Dedupe.create ();
-        shed = None;
-      }
+      let t =
+        {
+          store;
+          queries = h;
+          index = Index.build queries;
+          dirty = false;
+          rebuilds = 0;
+          dedupe = Dedupe.create ();
+          shed = None;
+          cur_ev = None;
+          cur_sink = dummy_sink;
+          c_mark = (fun _ -> false);
+          c_visit = (fun ~stab:_ _ -> ());
+        }
+      in
+      t.c_mark <-
+        (fun q ->
+          Dedupe.mark t.dedupe (Q.qid q)
+          && (match t.shed with None -> true | Some pred -> pred (Q.qid q)));
+      t.c_visit <-
+        (fun ~stab g ->
+          match t.cur_ev with
+          | Some ev -> Q.Group.process t.store g ~stab ev ~mark:t.c_mark t.cur_sink
+          | None -> ());
+      t
 
     let create_cfg ?alpha:_ ?epsilon:_ ?seed:_ store queries = create store queries
 
@@ -397,12 +575,17 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
         Metrics.observe m_dedupe_marks (float_of_int !marked)
       end
       else begin
-        let mark q =
-          Dedupe.mark t.dedupe (Q.qid q)
-          && (match t.shed with None -> true | Some pred -> pred (Q.qid q))
-        in
-        Index.iter t.index (fun ~stab g -> Q.Group.process t.store g ~stab ev ~mark sink)
+        t.cur_ev <- Some ev;
+        t.cur_sink <- sink;
+        Index.iter t.index t.c_visit;
+        t.cur_ev <- None;
+        t.cur_sink <- dummy_sink
       end
+
+    (* SSI has no scattered index, so there is nothing to stage beyond
+       hoisting the lazy rebuild out of the per-event loop. *)
+    let stage_batch t _ n = if n > 0 then refresh t
+    let process_staged t ~idx:_ ev sink = process_r t ev sink
 
     let affected t ev report =
       refresh t;

@@ -208,6 +208,25 @@ module type PROCESSOR = sig
       that query's probes for this event.  {!affected}, query
       maintenance, and invariant audits remain exact.  With [None]
       there is no per-candidate overhead. *)
+
+  val stage_batch : t -> event array -> int -> unit
+  (** [stage_batch t evs n] precomputes per-event scattered-index
+      candidates for the events [evs.(0 .. n-1)] with a single batched
+      index descent ({!Cq_index.Stab_backend.S.stab_batch}), when the
+      processor keeps a scattered index and the events project to
+      fixed stabbing points; otherwise it only hoists lazy maintenance
+      (the SSI rebuild) out of the per-event loop.  Staged candidates
+      are invalidated by any query insertion or deletion — subsequent
+      {!process_staged} calls then fall back to the live per-event
+      path, so semantics never depend on staleness. *)
+
+  val process_staged : t -> idx:int -> event -> (query -> result -> unit) -> unit
+  (** [process_staged t ~idx ev sink] behaves exactly like
+      [process_r t ev sink], reusing candidates staged for position
+      [idx] by the last {!stage_batch} when still valid and falling
+      back to the live path otherwise.  [ev] must be the event passed
+      at position [idx] of that batch.  Results for a given event are
+      identical, in identical order, to the per-event path. *)
 end
 
 (** {2 Runtime strategy selection} *)

@@ -1,6 +1,7 @@
 module I = Cq_interval.Interval
 module Table = Cq_relation.Table
 module Tuple = Cq_relation.Tuple
+module Batch = Cq_relation.Batch
 module BQ = Cq_joins.Band_query
 module BJ = Cq_joins.Band_join
 module SQ = Cq_joins.Select_query
@@ -151,10 +152,24 @@ type t = {
   mutable shed_floor : float;  (* lowest rate applied while shedding *)
   mutable shed_ev_kbound : int;  (* opposite-table size for this event *)
   shed_ests : (int, shed_est) Hashtbl.t;
+  (* Hot-path delivery closures, allocated once at creation and
+     parameterised through the [cur_r]/[cur_s] cells, so per-event
+     ingest builds no sink closures.  [evbuf]/[sbuf] are the reusable
+     pseudo-event buffers of the flat-batch path. *)
+  mutable cur_r : Tuple.r option;
+  mutable cur_s : Tuple.s option;
+  mutable ob_r : BQ.t -> Tuple.s -> unit;
+  mutable os_r : SQ.t -> Tuple.s -> unit;
+  mutable ob_s : BQ.t -> Tuple.s -> unit;
+  mutable os_s : SQ.t -> Tuple.s -> unit;
+  mutable evbuf : Tuple.r array;
+  mutable sbuf : Tuple.s array;
 }
 
 (* Dispatch helpers over the existential packages. *)
 let band_process (Bproc ((module P), p)) r sink = P.process_r p r sink
+let band_stage (Bproc ((module P), p)) evs n = P.stage_batch p evs n
+let band_process_staged (Bproc ((module P), p)) ~idx r sink = P.process_staged p ~idx r sink
 let band_insert (Bproc ((module P), p)) q = P.insert_query p q
 let band_delete (Bproc ((module P), p)) q = P.delete_query p q
 let band_count (Bproc ((module P), p)) = P.query_count p
@@ -164,6 +179,8 @@ let band_coverage (Bproc ((module P), p)) = P.coverage p
 let band_telemetry (Bproc ((module P), p)) = P.telemetry p
 let band_set_shed (Bproc ((module P), p)) pred = P.set_shed p pred
 let select_process (Sproc ((module P), p)) r sink = P.process_r p r sink
+let select_stage (Sproc ((module P), p)) evs n = P.stage_batch p evs n
+let select_process_staged (Sproc ((module P), p)) ~idx r sink = P.process_staged p ~idx r sink
 let select_set_shed (Sproc ((module P), p)) pred = P.set_shed p pred
 let select_insert (Sproc ((module P), p)) q = P.insert_query p q
 let select_delete (Sproc ((module P), p)) q = P.delete_query p q
@@ -345,6 +362,43 @@ let set_shed_rate t rate =
 
 let set_shed_seed t seed = t.shed_seed <- seed
 
+let log_src = Logs.Src.create "cq.engine" ~doc:"continuous-query engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* A misbehaving subscriber must not break event processing for
+   everyone else: callback exceptions are contained and logged. *)
+let protected cb r s =
+  try cb r s
+  with exn ->
+    Log.warn (fun m -> m "subscriber callback raised %s" (Printexc.to_string exn))
+
+let deliver_band t (q : BQ.t) r s =
+  (match Hashtbl.find_opt t.band_cbs q.qid with
+  | Some cb -> protected cb r s
+  | None -> ());
+  t.results <- t.results + 1;
+  shed_note_result t q.qid;
+  Metrics.incr m_results
+
+let deliver_select t (q : SQ.t) r s =
+  (match Hashtbl.find_opt t.select_cbs q.qid with
+  | Some cb -> protected cb r s
+  | None -> ());
+  t.results <- t.results + 1;
+  shed_note_result t q.qid;
+  Metrics.incr m_results
+
+(* Both encodings are one and the same transposition: the join key B
+   stays put, the side-local attribute crosses to the other slot.  An
+   R-tuple stored in S shape, and a probe-table row decoded back into
+   R shape, go through these. *)
+let to_row (r : Tuple.r) = { Tuple.sid = r.rid; b = r.b; c = r.a }
+let of_row (s : Tuple.s) = { Tuple.rid = s.sid; a = s.c; b = s.b }
+
+let dummy_r = { Tuple.rid = -1; a = 0.0; b = 0.0 }
+let dummy_s = { Tuple.sid = -1; b = 0.0; c = 0.0 }
+
 let make_side (cfg : Config.t) ~probe ~home ~seed_base =
   let (module BP : BJ.PROCESSOR) = BJ.processor cfg.strategy cfg.backend in
   let (module SP : SJ.PROCESSOR) = SJ.processor cfg.strategy cfg.backend in
@@ -394,8 +448,29 @@ let try_create_cfg (cfg : Config.t) =
           shed_floor = 1.0;
           shed_ev_kbound = 0;
           shed_ests = Hashtbl.create 32;
+          cur_r = None;
+          cur_s = None;
+          ob_r = (fun _ _ -> ());
+          os_r = (fun _ _ -> ());
+          ob_s = (fun _ _ -> ());
+          os_s = (fun _ _ -> ());
+          evbuf = [||];
+          sbuf = [||];
         }
       in
+      (* Tie the delivery-closure knot: the four sinks read the event
+         tuple from [cur_r]/[cur_s] instead of capturing it, so the
+         same closures serve every event. *)
+      t.ob_r <-
+        (fun q s -> match t.cur_r with Some r -> deliver_band t q r s | None -> ());
+      t.os_r <-
+        (fun q s -> match t.cur_r with Some r -> deliver_select t q r s | None -> ());
+      t.ob_s <-
+        (fun q mirror ->
+          match t.cur_s with Some s -> deliver_band t q (of_row mirror) s | None -> ());
+      t.os_s <-
+        (fun q mirror ->
+          match t.cur_s with Some s -> deliver_select t q (of_row mirror) s | None -> ());
       install_shed t;
       Ok t
 
@@ -507,40 +582,6 @@ let unsubscribe t = function
 let band_query_count t = band_count t.r_side.band
 let select_query_count t = select_count t.r_side.select
 
-let log_src = Logs.Src.create "cq.engine" ~doc:"continuous-query engine"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
-(* A misbehaving subscriber must not break event processing for
-   everyone else: callback exceptions are contained and logged. *)
-let protected cb r s =
-  try cb r s
-  with exn ->
-    Log.warn (fun m -> m "subscriber callback raised %s" (Printexc.to_string exn))
-
-let deliver_band t (q : BQ.t) r s =
-  (match Hashtbl.find_opt t.band_cbs q.qid with
-  | Some cb -> protected cb r s
-  | None -> ());
-  t.results <- t.results + 1;
-  shed_note_result t q.qid;
-  Metrics.incr m_results
-
-let deliver_select t (q : SQ.t) r s =
-  (match Hashtbl.find_opt t.select_cbs q.qid with
-  | Some cb -> protected cb r s
-  | None -> ());
-  t.results <- t.results + 1;
-  shed_note_result t q.qid;
-  Metrics.incr m_results
-
-(* Both encodings are one and the same transposition: the join key B
-   stays put, the side-local attribute crosses to the other slot.  An
-   R-tuple stored in S shape, and a probe-table row decoded back into
-   R shape, go through these. *)
-let to_row (r : Tuple.r) = { Tuple.sid = r.rid; b = r.b; c = r.a }
-let of_row (s : Tuple.s) = { Tuple.rid = s.sid; a = s.c; b = s.b }
-
 (* The symmetric event path, written once and driven by both sides:
    the event — encoded in the R role for [side]'s processors — is run
    through the side's band and select processors, then stored in the
@@ -628,9 +669,9 @@ let insert_r_unchecked t ~a ~b =
   t.next_rid <- rid + 1;
   let r = { Tuple.rid; a; b } in
   let before = t.results in
-  ingest t t.r_side r
-    ~on_band:(fun q s -> deliver_band t q r s)
-    ~on_select:(fun q s -> deliver_select t q r s);
+  t.cur_r <- Some r;
+  ingest t t.r_side r ~on_band:t.ob_r ~on_select:t.os_r;
+  t.cur_r <- None;
   (r, t.results - before)
 
 let try_insert_r t ~a ~b =
@@ -647,9 +688,9 @@ let insert_s_unchecked t ~b ~c =
   let before = t.results in
   (* Through the mirror: the new S-tuple plays the R role, and the
      probe results are r_mirror rows decoded back into R shape. *)
-  ingest t t.s_side (of_row s)
-    ~on_band:(fun q mirror -> deliver_band t q (of_row mirror) s)
-    ~on_select:(fun q mirror -> deliver_select t q (of_row mirror) s);
+  t.cur_s <- Some s;
+  ingest t t.s_side (of_row s) ~on_band:t.ob_s ~on_select:t.os_s;
+  t.cur_s <- None;
   (s, t.results - before)
 
 let try_insert_s t ~b ~c =
@@ -658,6 +699,125 @@ let try_insert_s t ~b ~c =
   | Ok _ -> Ok (insert_s_unchecked t ~b ~c)
 
 let insert_s t ~b ~c = Err.ok_exn (try_insert_s t ~b ~c)
+
+(* {2 Flat-batch ingest}
+
+   The batch is validated as a whole, its events staged through the
+   processors' batched scattered-index descent, then processed event
+   by event through the preallocated sinks — no per-event closures, no
+   intermediate per-tuple lists.  Semantics are exactly the sequential
+   path's: each event is processed before its row reaches the home
+   table (a tuple never joins with itself), ordinals advance once per
+   row, and same-side events never join with each other, so staging
+   the whole batch up front observes the same index state per event as
+   a sequential replay.  Subscriber callbacks must not re-enter the
+   engine (ingest, subscribe, unsubscribe) during a batch: the staged
+   candidates and scratch buffers assume the structure is quiescent
+   until the batch returns. *)
+
+let ensure_evbuf t n =
+  if Array.length t.evbuf < n then t.evbuf <- Array.make n dummy_r
+
+let ensure_sbuf t n = if Array.length t.sbuf < n then t.sbuf <- Array.make n dummy_s
+
+(* Same per-event bookkeeping as [ingest], with the staged processor
+   entry points. *)
+(* [home] is the row stored in the side's home table — structurally
+   [to_row pseudo], passed in so the S side can reuse the row it
+   already built instead of re-allocating it per event. *)
+let ingest_staged t side ~idx pseudo ~home ~on_band ~on_select =
+  t.events <- t.events + 1;
+  t.shed_ord <- t.shed_ord + 1;
+  if t.shed_rate < 1.0 then
+    t.shed_ev_kbound <-
+      Table.s_size (if side == t.r_side then t.s_side.home else t.r_side.home);
+  Metrics.incr m_events;
+  if Metrics.enabled () then begin
+    let (), dt =
+      Cq_util.Clock.time_ns (fun () ->
+          band_process_staged side.band ~idx pseudo on_band;
+          select_process_staged side.select ~idx pseudo on_select;
+          Table.insert_s side.home home)
+    in
+    Metrics.observe m_ingest_ns (Int64.to_float dt)
+  end
+  else begin
+    band_process_staged side.band ~idx pseudo on_band;
+    select_process_staged side.select ~idx pseudo on_select;
+    Table.insert_s side.home home
+  end
+
+(* Whole-batch validation, mirroring [validate_rows]: a bad row fails
+   the batch before any state changes. *)
+let validate_batch ~x_name ~y_name batch =
+  let n = Batch.length batch in
+  let bad = ref None in
+  for i = 0 to n - 1 do
+    if Option.is_none !bad then begin
+      let x = Batch.unsafe_x batch i and y = Batch.unsafe_y batch i in
+      if not (Float.is_finite x) then bad := Some (Err.Not_finite { name = x_name; value = x })
+      else if not (Float.is_finite y) then
+        bad := Some (Err.Not_finite { name = y_name; value = y })
+    end
+  done;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let try_ingest_batch_r t ?on_event batch =
+  match validate_batch ~x_name:"a" ~y_name:"b" batch with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Batch.length batch in
+      let before = t.results in
+      ensure_evbuf t n;
+      let writable = not (Batch.is_view batch || Batch.sealed batch) in
+      for i = 0 to n - 1 do
+        let rid = t.next_rid in
+        t.next_rid <- rid + 1;
+        if writable then Batch.set_id batch i rid;
+        t.evbuf.(i) <- { Tuple.rid; a = Batch.unsafe_x batch i; b = Batch.unsafe_y batch i }
+      done;
+      band_stage t.r_side.band t.evbuf n;
+      select_stage t.r_side.select t.evbuf n;
+      for i = 0 to n - 1 do
+        let r = t.evbuf.(i) in
+        t.cur_r <- Some r;
+        ingest_staged t t.r_side ~idx:i r ~home:(to_row r) ~on_band:t.ob_r ~on_select:t.os_r;
+        match on_event with Some f -> f i | None -> ()
+      done;
+      t.cur_r <- None;
+      Ok (t.results - before)
+
+let try_ingest_batch_s t ?on_event batch =
+  match validate_batch ~x_name:"b" ~y_name:"c" batch with
+  | Error e -> Error e
+  | Ok () ->
+      let n = Batch.length batch in
+      let before = t.results in
+      ensure_evbuf t n;
+      ensure_sbuf t n;
+      let writable = not (Batch.is_view batch || Batch.sealed batch) in
+      for i = 0 to n - 1 do
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        if writable then Batch.set_id batch i sid;
+        let s = { Tuple.sid; b = Batch.unsafe_x batch i; c = Batch.unsafe_y batch i } in
+        t.sbuf.(i) <- s;
+        (* The S-tuple plays the R role against the mirror. *)
+        t.evbuf.(i) <- of_row s
+      done;
+      band_stage t.s_side.band t.evbuf n;
+      select_stage t.s_side.select t.evbuf n;
+      for i = 0 to n - 1 do
+        t.cur_s <- Some t.sbuf.(i);
+        ingest_staged t t.s_side ~idx:i t.evbuf.(i) ~home:t.sbuf.(i) ~on_band:t.ob_s
+          ~on_select:t.os_s;
+        match on_event with Some f -> f i | None -> ()
+      done;
+      t.cur_s <- None;
+      Ok (t.results - before)
+
+let ingest_batch_r t ?on_event batch = Err.ok_exn (try_ingest_batch_r t ?on_event batch)
+let ingest_batch_s t ?on_event batch = Err.ok_exn (try_ingest_batch_s t ?on_event batch)
 
 (* Bulk loads validate every row before touching the tables, so a bad
    row cannot leave a half-applied load behind.  The Cq_error payload

@@ -222,6 +222,39 @@ val try_insert_s :
 
 val insert_s : t -> b:float -> c:float -> Cq_relation.Tuple.s * int
 
+(** {2 Flat-batch ingest}
+
+    The zero-allocation hot path: a whole {!Cq_relation.Batch} of rows
+    is validated up front, staged through the processors' batched
+    scattered-index descent, and processed event by event through
+    preallocated delivery closures — no per-event closures and no
+    intermediate per-tuple lists.  Results, callback invocations,
+    ordinals and shed coins are identical, event for event, to a loop
+    of the corresponding [insert_*] calls.
+
+    {b Non-reentrancy.}  Subscriber callbacks must not re-enter the
+    engine (ingest, subscribe, unsubscribe, delete) while a batch is
+    in flight: the staged candidates and reused scratch buffers assume
+    the structures are quiescent until the call returns.  (Query
+    churn {e between} batches is fine and invalidates staged state
+    automatically.) *)
+
+val try_ingest_batch_r :
+  t -> ?on_event:(int -> unit) -> Cq_relation.Batch.t -> (int, Cq_util.Error.t) result
+(** Ingest every row of the batch as an R-tuple ([x = a, y = b]).
+    Returns the total number of results delivered.  All rows are
+    validated before any is applied.  When the batch is a writable
+    root, each row's assigned [rid] is written back into its id slot.
+    [on_event i] (default none) fires after row [i] is fully
+    processed — the per-event latency hook. *)
+
+val try_ingest_batch_s :
+  t -> ?on_event:(int -> unit) -> Cq_relation.Batch.t -> (int, Cq_util.Error.t) result
+(** Symmetric S-side batch ingest ([x = b, y = c]). *)
+
+val ingest_batch_r : t -> ?on_event:(int -> unit) -> Cq_relation.Batch.t -> int
+val ingest_batch_s : t -> ?on_event:(int -> unit) -> Cq_relation.Batch.t -> int
+
 val delete_r : t -> Cq_relation.Tuple.r -> int option
 (** Delete a previously inserted R tuple: every result pair it
     contributed is retracted through the [on_retract] callbacks.

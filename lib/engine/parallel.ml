@@ -1,6 +1,7 @@
 module E = Engine
 module I = Cq_interval.Interval
 module Tuple = Cq_relation.Tuple
+module Batch = Cq_relation.Batch
 module Err = Cq_util.Error
 module Metrics = Cq_obs.Metrics
 module P = Hotspot_core.Processor
@@ -60,10 +61,13 @@ type ack = {
 }
 
 type cmd =
-  | Ingest of { iside : side; rows : (float * float) array; base_seq : int; rate : float }
-      (* [rate] is the keep-probability the coordinator decided for
-         this chunk at admission time; every shard applies it so shed
-         decisions are a pure function of the command stream. *)
+  | Ingest of { iside : side; batch : Batch.t; base_seq : int; rate : float }
+      (* [batch] is a zero-copy slice view of the caller's root batch
+         (sealed until the next flush barrier), so fanning a chunk out
+         to every shard ships one immutable view instead of copying
+         rows.  [rate] is the keep-probability the coordinator decided
+         for this chunk at admission time; every shard applies it so
+         shed decisions are a pure function of the command stream. *)
   | Sub_band of { qid : int; range : I.t }
   | Sub_select of { qid : int; range_a : I.t; range_c : I.t }
   | Unsub of { qid : int }
@@ -119,6 +123,10 @@ type t = {
      [shed_totals] surfaces both counters so callers can check. *)
   mutable dropped_chunks : int;
   mutable dropped_rows : int;
+  (* Root batches sealed by the coordinator while zero-copy chunk
+     views of them sit in shard queues; unsealed at the next flush
+     barrier, after every shard has consumed its copy of the views. *)
+  mutable inflight : Batch.t list;
   mutable stopped : bool;
 }
 
@@ -148,16 +156,22 @@ let worker ~sid ~eng (st : shard_state) () =
     incr cur_idx
   in
   let apply = function
-    | Ingest { iside; rows; base_seq; rate } ->
+    | Ingest { iside; batch; base_seq; rate } ->
         E.set_shed_rate eng rate;
-        Array.iteri
-          (fun i (x, y) ->
-            cur_seq := base_seq + i;
-            cur_idx := 0;
-            match iside with
-            | R -> ignore (E.insert_r eng ~a:x ~b:y)
-            | S -> ignore (E.insert_s eng ~b:x ~c:y))
-          rows
+        (* Results are tagged while their event processes, so the tag
+           must be positioned before each event: set it for event 0
+           here, and let the engine's post-event hook pre-position it
+           for event [i + 1]. *)
+        cur_seq := base_seq;
+        cur_idx := 0;
+        let bump i =
+          cur_seq := base_seq + i + 1;
+          cur_idx := 0
+        in
+        ignore
+          (match iside with
+          | R -> E.ingest_batch_r eng ~on_event:bump batch
+          | S -> E.ingest_batch_s eng ~on_event:bump batch)
     | Sub_band { qid; range } ->
         Hashtbl.replace subs qid (E.subscribe_band eng ~qid ~range (record qid))
     | Sub_select { qid; range_a; range_c } ->
@@ -262,6 +276,7 @@ let try_create_cfg (cfg : E.Config.t) =
           total_delivered = 0;
           dropped_chunks = 0;
           dropped_rows = 0;
+          inflight = [];
           stopped = false;
         }
 
@@ -398,17 +413,18 @@ let select_query_count t = count_kind t Select
 
 (* ------------------------------ ingest --------------------------------- *)
 
-let validate_side_rows side rows =
+let validate_side_batch side batch =
   let fst_name, snd_name = match side with R -> ("a", "b") | S -> ("b", "c") in
+  let n = Batch.length batch in
   let bad = ref None in
-  Array.iter
-    (fun (x, y) ->
-      if Option.is_none !bad then
-        if not (Float.is_finite x) then
-          bad := Some (Err.Not_finite { name = fst_name; value = x })
-        else if not (Float.is_finite y) then
-          bad := Some (Err.Not_finite { name = snd_name; value = y }))
-    rows;
+  for i = 0 to n - 1 do
+    if Option.is_none !bad then begin
+      let x = Batch.x batch i and y = Batch.y batch i in
+      if not (Float.is_finite x) then bad := Some (Err.Not_finite { name = fst_name; value = x })
+      else if not (Float.is_finite y) then
+        bad := Some (Err.Not_finite { name = snd_name; value = y })
+    end
+  done;
   match !bad with None -> Ok () | Some e -> Error e
 
 (* Crude service-time hint for rejected producers: roughly half a
@@ -448,12 +464,12 @@ let wait_all_space p ~deadline =
       loop ())
     p.shard_states
 
-let try_ingest_batch t side rows =
-  match Result.bind (live t) (fun () -> validate_side_rows side rows) with
+let try_ingest_batch_flat t side batch =
+  match Result.bind (live t) (fun () -> validate_side_batch side batch) with
   | Error e -> Error e
   | Ok () -> (
       let bs = t.cfg.batch_size in
-      let n = Array.length rows in
+      let n = Batch.length batch in
       let needed = (n + bs - 1) / bs in
       (* Reject-mode admission check happens before any chunk is
          published: the whole batch is accepted or refused atomically,
@@ -500,23 +516,40 @@ let try_ingest_batch t side rows =
       match admission with
       | Error _ as e -> e
       | Ok () ->
-          let off = ref 0 in
-          while !off < n do
-            let len = min bs (n - !off) in
-            let chunk = Array.sub rows !off len in
-            let base_seq = t.next_seq in
-            t.next_seq <- base_seq + len;
-            (match t.impl with
-            | Seq s ->
-                Array.iteri
-                  (fun i (x, y) ->
-                    s.cur_seq := base_seq + i;
-                    s.cur_idx := 0;
-                    match side with
-                    | R -> ignore (E.insert_r s.eng ~a:x ~b:y)
-                    | S -> ignore (E.insert_s s.eng ~b:x ~c:y))
-                  chunk
-            | Par p ->
+          (match t.impl with
+          | Seq s ->
+              (* Single engine: one batch-path descent over the whole
+                 batch.  Results are tagged while their event
+                 processes, so position the tag for event 0 up front
+                 and let the post-event hook pre-position it for event
+                 [i + 1] — identical numbering to the per-row loop. *)
+              let base_seq = t.next_seq in
+              t.next_seq <- base_seq + n;
+              s.cur_seq := base_seq;
+              s.cur_idx := 0;
+              let bump i =
+                s.cur_seq := base_seq + i + 1;
+                s.cur_idx := 0
+              in
+              ignore
+                (match side with
+                | R -> E.ingest_batch_r s.eng ~on_event:bump batch
+                | S -> E.ingest_batch_s s.eng ~on_event:bump batch)
+          | Par p ->
+              (* Chunks are zero-copy slice views of the caller's
+                 batch: freeze the root while any view sits in a shard
+                 queue, releasing it at the next flush barrier.  An
+                 already-sealed root stays the caller's to unseal. *)
+              if n > 0 && (not (Batch.is_view batch)) && not (Batch.sealed batch) then begin
+                Batch.seal batch;
+                t.inflight <- batch :: t.inflight
+              end;
+              let off = ref 0 in
+              while !off < n do
+                let len = min bs (n - !off) in
+                let chunk = Batch.slice batch ~pos:!off ~len in
+                let base_seq = t.next_seq in
+                t.next_seq <- base_seq + len;
                 (* Per-chunk keep-rate: a forced shed_rate < 1.0 is the
                    deterministic-replay configuration; otherwise Shed
                    adapts to the deepest queue and Block/Reject stay at
@@ -539,12 +572,12 @@ let try_ingest_batch t side rows =
                 in
                 if admit then begin
                   Metrics.incr m_batches;
-                  (* The chunk is immutable once published: every shard
-                     reads the same array. *)
+                  (* The view is immutable once published: every shard
+                     reads the same sealed columns. *)
                   Array.iter
                     (fun st ->
                       Bounded_queue.push st.queue
-                        (Ingest { iside = side; rows = chunk; base_seq; rate });
+                        (Ingest { iside = side; batch = chunk; base_seq; rate });
                       Metrics.set st.depth_gauge
                         (float_of_int (Bounded_queue.length st.queue)))
                     p.shard_states
@@ -555,11 +588,16 @@ let try_ingest_batch t side rows =
                   Metrics.incr m_dropped;
                   Log.warn (fun m ->
                       m "shed mode dropped a %d-row chunk: queues full past grace window" len)
-                end);
-            off := !off + len
-          done;
+                end;
+                off := !off + len
+              done);
           Ok ())
 
+let ingest_batch_flat t side batch = Err.ok_exn (try_ingest_batch_flat t side batch)
+
+(* Legacy row-array ingest: copy once into a fresh root batch and ship
+   it down the flat path. *)
+let try_ingest_batch t side rows = try_ingest_batch_flat t side (Batch.of_rows rows)
 let ingest_batch t side rows = Err.ok_exn (try_ingest_batch t side rows)
 
 (* ------------------------- barrier and merge --------------------------- *)
@@ -634,6 +672,11 @@ let sync t =
       (acks, n)
   | Par p ->
       let acks = barrier p Flush in
+      (* Every shard has drained its queue past our Ingest commands
+         (the barrier ack follows them in FIFO order), so no chunk
+         view is live any more: release the frozen roots. *)
+      List.iter (fun b -> if Batch.sealed b then Batch.unseal b) t.inflight;
+      t.inflight <- [];
       let all =
         Array.fold_left
           (fun acc (st, ack, _) ->

@@ -135,14 +135,44 @@ val select_query_count : t -> int
 
 (** {2 Batch ingest} *)
 
+val try_ingest_batch_flat :
+  t -> side -> Cq_relation.Batch.t -> (unit, Cq_util.Error.t) result
+(** The flat-batch ingest path: stamp the batch's rows with
+    consecutive global sequence numbers, split the batch into
+    [batch_size]-row {e zero-copy slice views}
+    ({!Cq_relation.Batch.slice}) and broadcast each view to every
+    shard's queue as a single command; shards run it through
+    {!Engine.try_ingest_batch_r} / [_s], so the whole chunk costs one
+    scattered-index descent per processor instead of one per event.
+    Returns once the chunks are {e enqueued}; results surface at the
+    next {!flush}.
+
+    Because the queued chunks alias the caller's batch, the root is
+    {!Cq_relation.Batch.seal}ed here and unsealed at the next flush
+    barrier (including the implicit ones in {!stats}, {!shed_info},
+    {!shed_totals}, {!check_invariants} and {!shutdown}) — mutating
+    the batch before then raises {!Cq_util.Error.Cq_error}.  A batch the
+    caller sealed beforehand stays the caller's to unseal.  Passing a
+    view is allowed but the caller must then keep the underlying root
+    frozen until the next flush.  Tuple ids are {e not} written back
+    (each shard assigns its own id stream); use the sequential
+    {!Engine.try_ingest_batch_r} when ids matter.
+
+    Validation and overload behaviour are identical to
+    {!try_ingest_batch}. *)
+
+val ingest_batch_flat : t -> side -> Cq_relation.Batch.t -> unit
+
 val try_ingest_batch : t -> side -> (float * float) array -> (unit, Cq_util.Error.t) result
-(** Stamp the rows with consecutive global sequence numbers, split
-    them into [batch_size]-row commands and broadcast each command to
-    every shard's queue.  Returns once the batches are {e enqueued};
-    results surface at the next {!flush}.  All rows are validated
-    before any is enqueued — NaN/infinite attributes are rejected with
-    the attribute's name ([a]/[b] for [R] rows, [b]/[c] for [S] rows),
-    and a rejected batch leaves the engine untouched.
+(** Row-array convenience wrapper: copies [rows] once into a fresh
+    {!Cq_relation.Batch.t} and runs {!try_ingest_batch_flat}.  Rows
+    are stamped with consecutive global sequence numbers, split into
+    [batch_size]-row commands and broadcast to every shard's queue.
+    Returns once the batches are {e enqueued}; results surface at the
+    next {!flush}.  All rows are validated before any is enqueued —
+    NaN/infinite attributes are rejected with the attribute's name
+    ([a]/[b] for [R] rows, [b]/[c] for [S] rows), and a rejected batch
+    leaves the engine untouched.
 
     What happens when a shard queue is full depends on the configured
     {!Engine.Config.overload} policy:

@@ -2,12 +2,22 @@ module type ORDERED = sig
   type t
 
   val compare : t -> t -> int
+  val compare_at : t array -> int -> t -> int
 end
 
-(* Nodes store exactly-sized arrays that are replaced on update.  Node
-   fan-out is bounded by 2*order, so each update copies O(order) words;
-   this keeps the rebalancing code free of count/capacity bookkeeping
-   and of dummy array elements. *)
+(* Leaves hold slack arrays: fixed capacity 2*order+1 with an explicit
+   count, updated by in-place blits.  A leaf allocates only when it is
+   created (empty-root laziness aside) or split, so steady-state
+   insert/remove churn costs zero heap words — this is the allocation
+   dominator on the ingest hot path.  A removed slot keeps its old
+   key/value reference until overwritten (bounded by one leaf's
+   capacity per leaf; harmless for the numeric keys and tuple values
+   stored here).
+
+   Internal nodes keep exactly-sized arrays that are replaced on
+   update: internal updates happen only on child split/merge, so the
+   O(order) copies amortise away and the rebalancing code stays free
+   of capacity bookkeeping. *)
 
 let array_insert a i x =
   let n = Array.length a in
@@ -21,8 +31,9 @@ let array_concat a b = Array.append a b
 
 module Make (K : ORDERED) = struct
   type 'a leaf = {
-    mutable lkeys : K.t array;
+    mutable lkeys : K.t array; (* capacity 2*order+1 once allocated; [||] only in the empty root *)
     mutable lvals : 'a array;
+    mutable lcount : int;
     mutable lnext : 'a leaf option;
     mutable lprev : 'a leaf option;
   }
@@ -45,12 +56,24 @@ module Make (K : ORDERED) = struct
     order : int; (* minimum occupancy b; max is 2b *)
   }
 
+  let leaf_capacity order = (2 * order) + 1
+
   let create ?(order = 16) () =
     if order < 2 then invalid_arg "Btree.create: order must be >= 2";
-    { root = Leaf { lkeys = [||]; lvals = [||]; lnext = None; lprev = None }; size = 0; order }
+    {
+      root = Leaf { lkeys = [||]; lvals = [||]; lcount = 0; lnext = None; lprev = None };
+      size = 0;
+      order;
+    }
 
   let length t = t.size
   let is_empty t = t.size = 0
+
+  (* A fresh full-capacity leaf, every slot filled with [key]/[v] (the
+     filler is immediately overwritten where it matters). *)
+  let alloc_leaf t ~key ~v ~count ~lnext ~lprev =
+    let cap = leaf_capacity t.order in
+    { lkeys = Array.make cap key; lvals = Array.make cap v; lcount = count; lnext; lprev }
 
   (* Number of separators <= key: the child index used for inserts
      (duplicates go right) and for seek_le descents. *)
@@ -60,7 +83,7 @@ module Make (K : ORDERED) = struct
     (* invariant: seps.(i) <= key for i < lo; seps.(i) > key for i >= hi *)
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if K.compare seps.(mid) key <= 0 then lo := mid + 1 else hi := mid
+      if K.compare_at seps mid key <= 0 then lo := mid + 1 else hi := mid
     done;
     !lo
 
@@ -72,28 +95,27 @@ module Make (K : ORDERED) = struct
     (* invariant: seps.(i) < key for i < lo; seps.(i) >= key for i >= hi *)
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if K.compare seps.(mid) key < 0 then lo := mid + 1 else hi := mid
+      if K.compare_at seps mid key < 0 then lo := mid + 1 else hi := mid
     done;
     !lo
 
-  (* Position of the first key > [key] in a leaf (insert point keeping
-     duplicates contiguous, new duplicate rightmost). *)
-  let leaf_upper_bound keys key =
-    let n = Array.length keys in
-    let lo = ref 0 and hi = ref n in
+  (* Position of the first key > [key] among the live prefix of a leaf
+     (insert point keeping duplicates contiguous, new duplicate
+     rightmost). *)
+  let leaf_upper_bound keys count key =
+    let lo = ref 0 and hi = ref count in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if K.compare keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+      if K.compare_at keys mid key <= 0 then lo := mid + 1 else hi := mid
     done;
     !lo
 
-  (* Position of the first key >= [key] in a leaf. *)
-  let leaf_lower_bound keys key =
-    let n = Array.length keys in
-    let lo = ref 0 and hi = ref n in
+  (* Position of the first key >= [key] among the live prefix. *)
+  let leaf_lower_bound keys count key =
+    let lo = ref 0 and hi = ref count in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if K.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+      if K.compare_at keys mid key < 0 then lo := mid + 1 else hi := mid
     done;
     !lo
 
@@ -101,25 +123,48 @@ module Make (K : ORDERED) = struct
   (* Insertion                                                           *)
   (* ------------------------------------------------------------------ *)
 
+  let leaf_insert_at l i key v =
+    Array.blit l.lkeys i l.lkeys (i + 1) (l.lcount - i);
+    Array.blit l.lvals i l.lvals (i + 1) (l.lcount - i);
+    l.lkeys.(i) <- key;
+    l.lvals.(i) <- v;
+    l.lcount <- l.lcount + 1
+
+  let leaf_remove_at l i =
+    Array.blit l.lkeys (i + 1) l.lkeys i (l.lcount - i - 1);
+    Array.blit l.lvals (i + 1) l.lvals i (l.lcount - i - 1);
+    l.lcount <- l.lcount - 1
+
   (* Returns [Some (sep, right)] when the node split. *)
   let rec insert_node t node key v : (K.t * 'a node) option =
     match node with
     | Leaf l ->
-        let i = leaf_upper_bound l.lkeys key in
-        l.lkeys <- array_insert l.lkeys i key;
-        l.lvals <- array_insert l.lvals i v;
-        let n = Array.length l.lkeys in
-        if n <= 2 * t.order then None
+        if Array.length l.lkeys = 0 then begin
+          (* The lazily-allocated empty root. *)
+          let cap = leaf_capacity t.order in
+          l.lkeys <- Array.make cap key;
+          l.lvals <- Array.make cap v;
+          l.lcount <- 1;
+          None
+        end
         else begin
-          let mid = n / 2 in
-          let rkeys = Array.sub l.lkeys mid (n - mid) in
-          let rvals = Array.sub l.lvals mid (n - mid) in
-          let right = { lkeys = rkeys; lvals = rvals; lnext = l.lnext; lprev = Some l } in
-          (match l.lnext with Some nx -> nx.lprev <- Some right | None -> ());
-          l.lkeys <- Array.sub l.lkeys 0 mid;
-          l.lvals <- Array.sub l.lvals 0 mid;
-          l.lnext <- Some right;
-          Some (rkeys.(0), Leaf right)
+          let i = leaf_upper_bound l.lkeys l.lcount key in
+          leaf_insert_at l i key v;
+          if l.lcount <= 2 * t.order then None
+          else begin
+            let n = l.lcount in
+            let mid = n / 2 in
+            let right =
+              alloc_leaf t ~key:l.lkeys.(mid) ~v:l.lvals.(mid) ~count:(n - mid)
+                ~lnext:l.lnext ~lprev:(Some l)
+            in
+            Array.blit l.lkeys mid right.lkeys 0 (n - mid);
+            Array.blit l.lvals mid right.lvals 0 (n - mid);
+            (match l.lnext with Some nx -> nx.lprev <- Some right | None -> ());
+            l.lcount <- mid;
+            l.lnext <- Some right;
+            Some (right.lkeys.(0), Leaf right)
+          end
         end
     | Internal nd -> (
         let ci = child_right nd.seps key in
@@ -151,14 +196,14 @@ module Make (K : ORDERED) = struct
   (* ------------------------------------------------------------------ *)
 
   let node_underflows t = function
-    | Leaf l -> Array.length l.lkeys < t.order
+    | Leaf l -> l.lcount < t.order
     | Internal nd -> Array.length nd.seps < t.order
 
   (* Rebalance the underfull child [ci] of internal node [nd] by
      borrowing from a sibling or merging with one. *)
   let rebalance t nd ci =
     let borrowable = function
-      | Leaf l -> Array.length l.lkeys > t.order
+      | Leaf l -> l.lcount > t.order
       | Internal n -> Array.length n.seps > t.order
     in
     let nkids = Array.length nd.kids in
@@ -168,28 +213,26 @@ module Make (K : ORDERED) = struct
     | Leaf l, true, _ ->
         (* Move last entry of the left sibling to the front of l. *)
         let left = (match nd.kids.(ci - 1) with Leaf x -> x | Internal _ -> assert false) in
-        let ln = Array.length left.lkeys in
+        let ln = left.lcount in
         let k = left.lkeys.(ln - 1) and v = left.lvals.(ln - 1) in
-        left.lkeys <- Array.sub left.lkeys 0 (ln - 1);
-        left.lvals <- Array.sub left.lvals 0 (ln - 1);
-        l.lkeys <- array_insert l.lkeys 0 k;
-        l.lvals <- array_insert l.lvals 0 v;
-        nd.seps <- Array.mapi (fun i s -> if i = ci - 1 then k else s) nd.seps
+        left.lcount <- ln - 1;
+        leaf_insert_at l 0 k v;
+        nd.seps.(ci - 1) <- k
     | Leaf l, false, true ->
         (* Move first entry of the right sibling to the end of l. *)
         let right = (match nd.kids.(ci + 1) with Leaf x -> x | Internal _ -> assert false) in
         let k = right.lkeys.(0) and v = right.lvals.(0) in
-        right.lkeys <- array_remove right.lkeys 0;
-        right.lvals <- array_remove right.lvals 0;
-        l.lkeys <- array_concat l.lkeys [| k |];
-        l.lvals <- array_concat l.lvals [| v |];
-        nd.seps <- Array.mapi (fun i s -> if i = ci then right.lkeys.(0) else s) nd.seps
+        leaf_remove_at right 0;
+        leaf_insert_at l l.lcount k v;
+        nd.seps.(ci) <- right.lkeys.(0)
     | Leaf l, false, false ->
-        (* Merge with a sibling (prefer the left one). *)
+        (* Merge with a sibling (prefer the left one); the combined
+           count is < order + order, within capacity. *)
         if ci > 0 then begin
           let left = (match nd.kids.(ci - 1) with Leaf x -> x | Internal _ -> assert false) in
-          left.lkeys <- array_concat left.lkeys l.lkeys;
-          left.lvals <- array_concat left.lvals l.lvals;
+          Array.blit l.lkeys 0 left.lkeys left.lcount l.lcount;
+          Array.blit l.lvals 0 left.lvals left.lcount l.lcount;
+          left.lcount <- left.lcount + l.lcount;
           left.lnext <- l.lnext;
           (match l.lnext with Some nx -> nx.lprev <- Some left | None -> ());
           nd.seps <- array_remove nd.seps (ci - 1);
@@ -197,8 +240,9 @@ module Make (K : ORDERED) = struct
         end
         else begin
           let right = (match nd.kids.(ci + 1) with Leaf x -> x | Internal _ -> assert false) in
-          l.lkeys <- array_concat l.lkeys right.lkeys;
-          l.lvals <- array_concat l.lvals right.lvals;
+          Array.blit right.lkeys 0 l.lkeys l.lcount right.lcount;
+          Array.blit right.lvals 0 l.lvals l.lcount right.lcount;
+          l.lcount <- l.lcount + right.lcount;
           l.lnext <- right.lnext;
           (match right.lnext with Some nx -> nx.lprev <- Some l | None -> ());
           nd.seps <- array_remove nd.seps ci;
@@ -214,7 +258,7 @@ module Make (K : ORDERED) = struct
         left.kids <- Array.sub left.kids 0 ln;
         c.seps <- array_insert c.seps 0 nd.seps.(ci - 1);
         c.kids <- array_insert c.kids 0 moved;
-        nd.seps <- Array.mapi (fun i s -> if i = ci - 1 then up else s) nd.seps
+        nd.seps.(ci - 1) <- up
     | Internal c, false, true ->
         let right = (match nd.kids.(ci + 1) with Internal x -> x | Leaf _ -> assert false) in
         let up = right.seps.(0) in
@@ -223,7 +267,7 @@ module Make (K : ORDERED) = struct
         right.kids <- array_remove right.kids 0;
         c.seps <- array_concat c.seps [| nd.seps.(ci) |];
         c.kids <- array_concat c.kids [| moved |];
-        nd.seps <- Array.mapi (fun i s -> if i = ci then up else s) nd.seps
+        nd.seps.(ci) <- up
     | Internal c, false, false ->
         if ci > 0 then begin
           let left = (match nd.kids.(ci - 1) with Internal x -> x | Leaf _ -> assert false) in
@@ -246,17 +290,16 @@ module Make (K : ORDERED) = struct
   let rec remove_node t node key pred =
     match node with
     | Leaf l ->
-        let n = Array.length l.lkeys in
+        let n = l.lcount in
         let rec scan i =
           if i >= n || K.compare l.lkeys.(i) key > 0 then false
           else if K.compare l.lkeys.(i) key = 0 && pred l.lvals.(i) then begin
-            l.lkeys <- array_remove l.lkeys i;
-            l.lvals <- array_remove l.lvals i;
+            leaf_remove_at l i;
             true
           end
           else scan (i + 1)
         in
-        scan (leaf_lower_bound l.lkeys key)
+        scan (leaf_lower_bound l.lkeys l.lcount key)
     | Internal nd ->
         let first = child_left nd.seps key in
         let last = child_right nd.seps key in
@@ -293,16 +336,16 @@ module Make (K : ORDERED) = struct
   let value c = c.cleaf.lvals.(c.cidx)
 
   let rec first_of_leaf leaf =
-    if Array.length leaf.lkeys > 0 then Some { cleaf = leaf; cidx = 0 }
+    if leaf.lcount > 0 then Some { cleaf = leaf; cidx = 0 }
     else match leaf.lnext with Some nx -> first_of_leaf nx | None -> None
 
   let rec last_of_leaf leaf =
-    let n = Array.length leaf.lkeys in
+    let n = leaf.lcount in
     if n > 0 then Some { cleaf = leaf; cidx = n - 1 }
     else match leaf.lprev with Some pv -> last_of_leaf pv | None -> None
 
   let next c =
-    if c.cidx + 1 < Array.length c.cleaf.lkeys then Some { c with cidx = c.cidx + 1 }
+    if c.cidx + 1 < c.cleaf.lcount then Some { c with cidx = c.cidx + 1 }
     else match c.cleaf.lnext with Some nx -> first_of_leaf nx | None -> None
 
   let prev c =
@@ -321,20 +364,44 @@ module Make (K : ORDERED) = struct
 
   let seek_ge t k =
     let l = descend_ge t.root k in
-    let i = leaf_lower_bound l.lkeys k in
-    if i < Array.length l.lkeys then Some { cleaf = l; cidx = i }
+    let i = leaf_lower_bound l.lkeys l.lcount k in
+    if i < l.lcount then Some { cleaf = l; cidx = i }
     else match l.lnext with Some nx -> first_of_leaf nx | None -> None
 
   let seek_le t k =
     let l = descend_le t.root k in
     (* Last index with key <= k is upper_bound - 1. *)
-    let i = leaf_upper_bound l.lkeys k - 1 in
+    let i = leaf_upper_bound l.lkeys l.lcount k - 1 in
     if i >= 0 then Some { cleaf = l; cidx = i }
     else match l.lprev with Some pv -> last_of_leaf pv | None -> None
 
   let neighbours t k =
     let pack = Option.map (fun c -> (key c, value c)) in
     (pack (seek_le t k), pack (seek_ge t k))
+
+  (* Allocation-free bounded walks: the hot-path replacement for
+     cursor chains (each cursor hop allocates an option + record;
+     these walk the leaf chain with tail calls and ints only). *)
+
+  let walk_ge t k0 f =
+    let rec walk l i =
+      if i < l.lcount then begin
+        if f l.lkeys.(i) l.lvals.(i) then walk l (i + 1)
+      end
+      else match l.lnext with Some nx -> walk nx 0 | None -> ()
+    in
+    let l = descend_ge t.root k0 in
+    walk l (leaf_lower_bound l.lkeys l.lcount k0)
+
+  let walk_lt t k0 f =
+    let rec walk l i =
+      if i >= 0 then begin
+        if f l.lkeys.(i) l.lvals.(i) then walk l (i - 1)
+      end
+      else match l.lprev with Some pv -> walk pv (pv.lcount - 1) | None -> ()
+    in
+    let l = descend_ge t.root k0 in
+    walk l (leaf_lower_bound l.lkeys l.lcount k0 - 1)
 
   let rec leftmost_leaf = function
     | Leaf l -> l
@@ -356,7 +423,7 @@ module Make (K : ORDERED) = struct
 
   let iter t f =
     let rec walk leaf =
-      for i = 0 to Array.length leaf.lkeys - 1 do
+      for i = 0 to leaf.lcount - 1 do
         f leaf.lkeys.(i) leaf.lvals.(i)
       done;
       match leaf.lnext with Some nx -> walk nx | None -> ()
@@ -364,16 +431,12 @@ module Make (K : ORDERED) = struct
     walk (leftmost_leaf t.root)
 
   let iter_range t ~lo ~hi f =
-    let rec walk = function
-      | None -> ()
-      | Some c ->
-          let k = key c in
-          if K.compare k hi <= 0 then begin
-            f k (value c);
-            walk (next c)
-          end
-    in
-    walk (seek_ge t lo)
+    walk_ge t lo (fun k v ->
+        if K.compare k hi <= 0 then begin
+          f k v;
+          true
+        end
+        else false)
 
   let fold_range t ~lo ~hi f acc =
     let acc = ref acc in
@@ -421,12 +484,13 @@ module Make (K : ORDERED) = struct
         Array.init nchunks (fun c ->
             let start = c * n / nchunks in
             let stop = (c + 1) * n / nchunks in
-            {
-              lkeys = Array.init (stop - start) (fun i -> fst entries.(start + i));
-              lvals = Array.init (stop - start) (fun i -> snd entries.(start + i));
-              lnext = None;
-              lprev = None;
-            })
+            let k0, v0 = entries.(start) in
+            let l = alloc_leaf t ~key:k0 ~v:v0 ~count:(stop - start) ~lnext:None ~lprev:None in
+            for i = start to stop - 1 do
+              l.lkeys.(i - start) <- fst entries.(i);
+              l.lvals.(i - start) <- snd entries.(i)
+            done;
+            l)
       in
       Array.iteri
         (fun i l ->
@@ -477,8 +541,12 @@ module Make (K : ORDERED) = struct
     let rec check ~is_root node =
       match node with
       | Leaf l ->
-          let n = Array.length l.lkeys in
-          if Array.length l.lvals <> n then fail "leaf keys/vals length mismatch";
+          let n = l.lcount in
+          if Array.length l.lvals <> Array.length l.lkeys then
+            fail "leaf keys/vals capacity mismatch";
+          if n > Array.length l.lkeys then fail "leaf count exceeds capacity";
+          if Array.length l.lkeys > 0 && Array.length l.lkeys <> leaf_capacity b then
+            fail "leaf capacity %d not %d" (Array.length l.lkeys) (leaf_capacity b);
           if (not is_root) && n < b then fail "leaf underflow: %d < %d" n b;
           if n > 2 * b then fail "leaf overflow: %d > %d" n (2 * b);
           for i = 1 to n - 1 do
@@ -524,14 +592,14 @@ module Make (K : ORDERED) = struct
     let chain_count = ref 0 in
     let last = ref None in
     let rec walk leaf =
-      Array.iter
-        (fun k ->
-          (match !last with
-          | Some pk when K.compare pk k > 0 -> fail "leaf chain out of order"
-          | _ -> ());
-          last := Some k;
-          incr chain_count)
-        leaf.lkeys;
+      for i = 0 to leaf.lcount - 1 do
+        let k = leaf.lkeys.(i) in
+        (match !last with
+        | Some pk when K.compare pk k > 0 -> fail "leaf chain out of order"
+        | _ -> ());
+        last := Some k;
+        incr chain_count
+      done;
       match leaf.lnext with
       | Some nx ->
           (match nx.lprev with

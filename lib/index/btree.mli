@@ -13,6 +13,15 @@ module type ORDERED = sig
   type t
 
   val compare : t -> t -> int
+
+  val compare_at : t array -> int -> t -> int
+  (** [compare_at a i k] must equal [compare a.(i) k].  The tree's
+      descent searches read keys through this hook so a key module can
+      supply a {e monomorphic} array read: for [t = float] the key
+      arrays are flat float arrays and a polymorphic [a.(i)] boxes the
+      element on every comparison — the dominant allocation of an
+      insert-heavy workload.  Non-float keys just use the generic
+      default [fun a i k -> compare a.(i) k]. *)
 end
 
 module Make (K : ORDERED) : sig
@@ -63,6 +72,17 @@ module Make (K : ORDERED) : sig
   (** [neighbours t k] = (rightmost entry <= k, leftmost entry >= k) —
       the pair (s1, s2) of the paper's STEP 1.  When an entry equals
       [k] it appears on both sides. *)
+
+  val walk_ge : 'a t -> K.t -> (K.t -> 'a -> bool) -> unit
+  (** [walk_ge t k f] visits entries in ascending order starting at the
+      leftmost entry with key >= [k], for as long as [f] returns
+      [true].  Unlike a cursor chain this allocates nothing — the
+      hot-path form of a bounded ascending scan. *)
+
+  val walk_lt : 'a t -> K.t -> (K.t -> 'a -> bool) -> unit
+  (** [walk_lt t k f] visits entries in descending order starting at
+      the rightmost entry with key < [k] (strictly), for as long as
+      [f] returns [true].  Allocation-free. *)
 
   val iter : 'a t -> (K.t -> 'a -> unit) -> unit
   (** In-order iteration over all entries. *)

@@ -12,36 +12,42 @@ module I = Cq_interval.Interval
    Structural changes (a node appearing or disappearing) invalidate
    only the placements of intervals marking the edges adjacent to the
    changed node: those intervals are unplaced first and re-placed
-   afterwards — expected O(log n) intervals, O(log n) each. *)
+   afterwards — expected O(log n) intervals, O(log n) each.
 
-type 'a entry = {
-  id : int;
-  iv : I.t;
-  payload : 'a;
-  (* Exact record of where this entry's markers live, so removal never
-     has to re-derive the placement walk (placements drift from the
-     canonical maximal walk as nodes split edges). *)
-  mutable edges : ('a node_ref * int) list;
-  mutable eq_nodes : 'a node_ref list;
-}
+   Entries are int-indexed: an entry is a slot id into struct-of-array
+   columns on [t] ([e_iv], [e_payload], [e_edges], [e_eq]) rather than
+   a boxed per-entry record, and the marker/eq tables key those ids
+   with unit values.  A stabbing query therefore walks int-keyed
+   tables and reads two arena columns per hit instead of chasing a
+   per-entry heap record; freed ids are recycled through a free list,
+   and releasing an id drops its interval and payload references
+   immediately.  The placement record ([e_edges]/[e_eq]) stays a list
+   — it is touched only on structural repair, never on the stab
+   path. *)
 
-and 'a node_ref = 'a node
-
-and 'a node = {
+(* A node is endpoint structure only — entries live in the arena on
+   [t], so nodes carry no payload type. *)
+type node = {
   key : float;
   mutable owners : int; (* endpoint references; 0 => node removable *)
-  forward : 'a node option array;
-  markers : (int, 'a entry) Hashtbl.t array; (* per outgoing level *)
-  eq : (int, 'a entry) Hashtbl.t;
+  forward : node option array;
+  markers : (int, unit) Hashtbl.t array; (* entry ids, per outgoing level *)
+  eq : (int, unit) Hashtbl.t;
 }
 
 let max_level = 32
 
 type 'a t = {
-  header : 'a node;
+  header : node;
   rng : Cq_util.Rng.t;
   mutable size : int;
-  mutable next_id : int;
+  (* Entry arena, indexed by id. *)
+  mutable e_iv : I.t option array;
+  mutable e_payload : 'a option array;
+  mutable e_edges : (node * int) list array; (* exact marker placements *)
+  mutable e_eq : node list array; (* nodes whose eq set holds the id *)
+  mutable e_free : int list;
+  mutable e_limit : int; (* next never-used id *)
 }
 
 let make_node key level =
@@ -58,10 +64,65 @@ let create ?(seed = 0x151) () =
     header = make_node neg_infinity max_level;
     rng = Cq_util.Rng.create seed;
     size = 0;
-    next_id = 0;
+    e_iv = [||];
+    e_payload = [||];
+    e_edges = [||];
+    e_eq = [||];
+    e_free = [];
+    e_limit = 0;
   }
 
 let size t = t.size
+
+let corrupt fmt = Cq_util.Error.corrupt ~structure:"interval_skiplist" fmt
+
+(* ------------------------------------------------------------------ *)
+(* Entry arena                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let entry_iv t id =
+  match t.e_iv.(id) with Some iv -> iv | None -> corrupt "dangling entry id %d" id
+
+let entry_payload t id =
+  match t.e_payload.(id) with Some p -> p | None -> corrupt "entry id %d has no payload" id
+
+let grow_entries t =
+  let cap = Array.length t.e_iv in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let widen a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.e_iv <- widen t.e_iv None;
+  t.e_payload <- widen t.e_payload None;
+  t.e_edges <- widen t.e_edges [];
+  t.e_eq <- widen t.e_eq []
+
+let alloc_entry t iv payload =
+  let id =
+    match t.e_free with
+    | id :: rest ->
+        t.e_free <- rest;
+        id
+    | [] ->
+        if t.e_limit = Array.length t.e_iv then grow_entries t;
+        let id = t.e_limit in
+        t.e_limit <- t.e_limit + 1;
+        id
+  in
+  t.e_iv.(id) <- Some iv;
+  t.e_payload.(id) <- Some payload;
+  t.e_edges.(id) <- [];
+  t.e_eq.(id) <- [];
+  id
+
+let release_entry t id =
+  t.e_iv.(id) <- None;
+  t.e_payload.(id) <- None;
+  t.e_edges.(id) <- [];
+  t.e_eq.(id) <- [];
+  t.e_free <- id :: t.e_free
 
 let node_level n = Array.length n.forward
 
@@ -92,72 +153,75 @@ let find_node t key =
   match update.(0).forward.(0) with Some n when n.key = key -> Some n | _ -> None
 
 (* Does the edge from [x] to its level-[i] successor lie entirely
-   inside the interval? *)
-let covers (e : 'a entry) x i =
+   inside the entry's interval? *)
+let covers t id x i =
   match x.forward.(i) with
-  | Some s -> I.lo e.iv <= x.key && s.key <= I.hi e.iv
+  | Some s ->
+      let iv = entry_iv t id in
+      I.lo iv <= x.key && s.key <= I.hi iv
   | None -> false
 
-let add_marker x i e = Hashtbl.replace x.markers.(i) e.id e
+let add_marker x i id = Hashtbl.replace x.markers.(i) id ()
 
-let remove_marker x i e = Hashtbl.remove x.markers.(i) e.id
+let remove_marker x i id = Hashtbl.remove x.markers.(i) id
 
-let add_eq x e = Hashtbl.replace x.eq e.id e
+let add_eq x id = Hashtbl.replace x.eq id ()
 
-let remove_eq x e = Hashtbl.remove x.eq e.id
+let remove_eq x id = Hashtbl.remove x.eq id
 
-let mark_edge e x i =
-  add_marker x i e;
-  e.edges <- (x, i) :: e.edges
+let mark_edge t id x i =
+  add_marker x i id;
+  t.e_edges.(id) <- (x, i) :: t.e_edges.(id)
 
-let mark_eq e x =
-  if not (Hashtbl.mem x.eq e.id) then begin
-    add_eq x e;
-    e.eq_nodes <- x :: e.eq_nodes
+let mark_eq t id x =
+  if not (Hashtbl.mem x.eq id) then begin
+    add_eq x id;
+    t.e_eq.(id) <- x :: t.e_eq.(id)
   end
 
 (* The two-phase placement walk of Hanson & Johnson: mark each covered
    edge as high as the structure allows, recording every placement on
-   the entry itself. *)
-let place_markers t e =
+   the entry's arena slot. *)
+let place_markers t id =
+  let iv = entry_iv t id in
   let left =
-    match find_node t (I.lo e.iv) with
+    match find_node t (I.lo iv) with
     | Some n -> n
-    | None -> Cq_util.Error.corrupt ~structure:"interval_skiplist" "missing left endpoint node"
+    | None -> corrupt "missing left endpoint node"
   in
-  mark_eq e left;
+  mark_eq t id left;
   let x = ref left in
   let i = ref 0 in
   (* Ascending phase: push each marked edge as high as possible. *)
   let ascending = ref true in
   while !ascending do
-    if covers e !x !i then begin
-      while !i + 1 < node_level !x && covers e !x (!i + 1) do
+    if covers t id !x !i then begin
+      while !i + 1 < node_level !x && covers t id !x (!i + 1) do
         incr i
       done;
-      mark_edge e !x !i;
+      mark_edge t id !x !i;
       x := Option.get !x.forward.(!i);
-      mark_eq e !x
+      mark_eq t id !x
     end
     else ascending := false
   done;
   (* Descending phase: finish the tiling down to the right endpoint. *)
-  while !x.key < I.hi e.iv do
-    while !i > 0 && not (covers e !x !i) do
+  while !x.key < I.hi iv do
+    while !i > 0 && not (covers t id !x !i) do
       decr i
     done;
-    mark_edge e !x !i;
+    mark_edge t id !x !i;
     x := Option.get !x.forward.(!i);
-    mark_eq e !x
+    mark_eq t id !x
   done
 
 (* Removal replays the recorded placements — exact whatever structural
    drift has happened since. *)
-let unplace_markers _t e =
-  List.iter (fun (x, i) -> remove_marker x i e) e.edges;
-  List.iter (fun x -> remove_eq x e) e.eq_nodes;
-  e.edges <- [];
-  e.eq_nodes <- []
+let unplace_markers t id =
+  List.iter (fun (x, i) -> remove_marker x i id) t.e_edges.(id);
+  List.iter (fun x -> remove_eq x id) t.e_eq.(id);
+  t.e_edges.(id) <- [];
+  t.e_eq.(id) <- []
 
 (* ----------------------------------------------------------------------- *)
 (* Node insertion / removal with local marker repair                        *)
@@ -165,8 +229,8 @@ let unplace_markers _t e =
 
 let collect tbl_list =
   let seen = Hashtbl.create 16 in
-  List.iter (fun tbl -> Hashtbl.iter (fun id e -> Hashtbl.replace seen id e) tbl) tbl_list;
-  Hashtbl.fold (fun _ e acc -> e :: acc) seen []
+  List.iter (fun tbl -> Hashtbl.iter (fun id () -> Hashtbl.replace seen id ()) tbl) tbl_list;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen []
 
 (* Insert a node for [key] (assumed absent) and return it.  Markers on
    a split edge are copied onto both halves — the edge spans shrink, so
@@ -182,9 +246,9 @@ let insert_node t key =
     x.forward.(l) <- update.(l).forward.(l);
     update.(l).forward.(l) <- Some x;
     Hashtbl.iter
-      (fun _ e ->
-        mark_edge e x l;
-        mark_eq e x)
+      (fun id () ->
+        mark_edge t id x l;
+        mark_eq t id x)
       update.(l).markers.(l)
   done;
   x
@@ -207,7 +271,7 @@ let remove_node t key =
       done;
       List.iter (place_markers t) affected;
       ()
-  | _ -> Cq_util.Error.corrupt ~structure:"interval_skiplist" "remove_node: node not found"
+  | _ -> corrupt "remove_node: node not found"
 
 (* ----------------------------------------------------------------------- *)
 (* Public operations                                                         *)
@@ -218,13 +282,12 @@ let ensure_node t key =
 
 let add t iv payload =
   if I.is_empty iv then invalid_arg "Interval_skiplist.add: empty interval";
-  let e = { id = t.next_id; iv; payload; edges = []; eq_nodes = [] } in
-  t.next_id <- t.next_id + 1;
+  let id = alloc_entry t iv payload in
   let left = ensure_node t (I.lo iv) in
   left.owners <- left.owners + 1;
   let right = ensure_node t (I.hi iv) in
   right.owners <- right.owners + 1;
-  place_markers t e;
+  place_markers t id;
   t.size <- t.size + 1
 
 let remove t iv pred =
@@ -235,19 +298,21 @@ let remove t iv pred =
          entry is registered there. *)
       match
         Hashtbl.fold
-          (fun _ e acc ->
+          (fun id () acc ->
             match acc with
             | Some _ -> acc
-            | None -> if I.equal e.iv iv && pred e.payload then Some e else None)
+            | None ->
+                if I.equal (entry_iv t id) iv && pred (entry_payload t id) then Some id else None)
           left.eq None
       with
       | None -> false
-      | Some e ->
-          unplace_markers t e;
+      | Some id ->
+          unplace_markers t id;
+          release_entry t id;
           left.owners <- left.owners - 1;
           (match find_node t (I.hi iv) with
           | Some right -> right.owners <- right.owners - 1
-          | None -> Cq_util.Error.corrupt ~structure:"interval_skiplist" "remove: missing right endpoint");
+          | None -> corrupt "remove: missing right endpoint");
           if left.owners = 0 then remove_node t (I.lo iv);
           if I.hi iv <> I.lo iv then begin
             match find_node t (I.hi iv) with
@@ -258,6 +323,7 @@ let remove t iv pred =
           true)
 
 let stab t key f =
+  let report id = f (entry_iv t id) (entry_payload t id) in
   let x = ref t.header in
   for i = max_level - 1 downto 0 do
     let continue = ref true in
@@ -271,11 +337,11 @@ let stab t key f =
        the node's eq set to avoid double reporting. *)
     match !x.forward.(i) with
     | Some n when n.key = key -> ()
-    | Some _ -> Hashtbl.iter (fun _ e -> f e.iv e.payload) !x.markers.(i)
+    | Some _ -> Hashtbl.iter (fun id () -> report id) !x.markers.(i)
     | None -> ()
   done;
   match !x.forward.(0) with
-  | Some n when n.key = key -> Hashtbl.iter (fun _ e -> f e.iv e.payload) n.eq
+  | Some n when n.key = key -> Hashtbl.iter (fun id () -> report id) n.eq
   | _ -> ()
 
 let stab_count t key =
@@ -295,7 +361,11 @@ let iter t f =
   let rec go = function
     | None -> ()
     | Some n ->
-        Hashtbl.iter (fun _ e -> if I.lo e.iv = n.key then f e.iv e.payload) n.eq;
+        Hashtbl.iter
+          (fun id () ->
+            let iv = entry_iv t id in
+            if I.lo iv = n.key then f iv (entry_payload t id))
+          n.eq;
         go n.forward.(0)
   in
   go t.header.forward.(0)
@@ -305,7 +375,7 @@ let iter t f =
 (* ----------------------------------------------------------------------- *)
 
 let check_invariants t =
-  let fail fmt = Cq_util.Error.corrupt ~structure:"interval_skiplist" fmt in
+  let fail fmt = corrupt fmt in
   (* Node keys strictly increasing along level 0; forward pointers at
      higher levels consistent with level 0 ordering. *)
   let rec walk0 acc = function
@@ -323,14 +393,15 @@ let check_invariants t =
     Array.iteri
       (fun l ms ->
         Hashtbl.iter
-          (fun _ e ->
-            (match x.forward.(l) with
+          (fun id () ->
+            let iv = entry_iv t id in
+            match x.forward.(l) with
             | Some s ->
-                if not (I.lo e.iv <= x.key && s.key <= I.hi e.iv) then
+                if not (I.lo iv <= x.key && s.key <= I.hi iv) then
                   fail "marker does not cover its edge";
-                Hashtbl.replace spans e.id
-                  ((x.key, s.key) :: Option.value ~default:[] (Hashtbl.find_opt spans e.id))
-            | None -> fail "marker on a tail edge"))
+                Hashtbl.replace spans id
+                  ((x.key, s.key) :: Option.value ~default:[] (Hashtbl.find_opt spans id))
+            | None -> fail "marker on a tail edge")
           ms)
       x.markers
   in
@@ -340,24 +411,33 @@ let check_invariants t =
   List.iter
     (fun n ->
       Hashtbl.iter
-        (fun _ e ->
-          if I.lo e.iv = n.key then begin
+        (fun id () ->
+          let iv = entry_iv t id in
+          if I.lo iv = n.key then begin
             let sp =
               List.sort Cq_util.Order.float_pair
-                (Option.value ~default:[] (Hashtbl.find_opt spans e.id))
+                (Option.value ~default:[] (Hashtbl.find_opt spans id))
             in
             let rec tiles cur = function
-              | [] -> cur = I.hi e.iv
+              | [] -> cur = I.hi iv
               | (a, b) :: rest -> a = cur && b > a && tiles b rest
             in
-            if not (tiles (I.lo e.iv) sp) then
-              fail "marked spans do not tile the interval exactly"
+            if not (tiles (I.lo iv) sp) then fail "marked spans do not tile the interval exactly"
           end)
         n.eq)
     nodes;
   (* Size: count distinct entries found at their left endpoints. *)
   let counted = ref 0 in
   List.iter
-    (fun n -> Hashtbl.iter (fun _ e -> if I.lo e.iv = n.key then incr counted) n.eq)
+    (fun n -> Hashtbl.iter (fun id () -> if I.lo (entry_iv t id) = n.key then incr counted) n.eq)
     nodes;
-  if !counted <> t.size then fail "size mismatch: %d entries found, %d recorded" !counted t.size
+  if !counted <> t.size then fail "size mismatch: %d entries found, %d recorded" !counted t.size;
+  (* Arena accounting: live ids + free ids = the allocated prefix. *)
+  let live = ref 0 in
+  for id = 0 to t.e_limit - 1 do
+    match t.e_iv.(id) with Some _ -> incr live | None -> ()
+  done;
+  if !live <> t.size then fail "arena mismatch: %d live ids, %d recorded" !live t.size;
+  let frees = List.length t.e_free in
+  if !live + frees <> t.e_limit then
+    fail "arena leak: %d live + %d free <> %d allocated" !live frees t.e_limit

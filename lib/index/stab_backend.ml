@@ -9,12 +9,18 @@ module type S = sig
   val add : 'a t -> I.t -> 'a -> unit
   val remove : 'a t -> I.t -> ('a -> bool) -> bool
   val stab : 'a t -> float -> ('a -> unit) -> unit
+  val stab_batch : 'a t -> keys:float array -> f:(idx:int -> 'a -> unit) -> unit
   val iter : 'a t -> ('a -> unit) -> unit
   val check_invariants : 'a t -> unit
 end
 
+(* Backends without a native batched descent answer a batch as a loop
+   of scalar stabs — semantically the reference implementation. *)
+let loop_stab_batch stab t ~keys ~f =
+  Array.iteri (fun i x -> stab t x (fun p -> f ~idx:i p)) keys
+
 module Interval_tree : S = struct
-  module M = Interval_tree.Mutable
+  module M = Flat_interval_tree
 
   type 'a t = 'a M.t
 
@@ -23,9 +29,10 @@ module Interval_tree : S = struct
   let size = M.size
   let add = M.add
   let remove = M.remove
-  let stab t x f = M.stab t x (fun _ p -> f p)
-  let iter t f = Interval_tree.iter (fun _ p -> f p) (M.snapshot t)
-  let check_invariants t = Interval_tree.check_invariants (M.snapshot t)
+  let stab = M.stab
+  let stab_batch = M.stab_batch
+  let iter = M.iter
+  let check_invariants = M.check_invariants
 end
 
 module Interval_skiplist : S = struct
@@ -39,6 +46,7 @@ module Interval_skiplist : S = struct
   let add = M.add
   let remove = M.remove
   let stab t x f = M.stab t x (fun _ p -> f p)
+  let stab_batch t ~keys ~f = loop_stab_batch stab t ~keys ~f
   let iter t f = M.iter t (fun _ p -> f p)
   let check_invariants = M.check_invariants
 end
@@ -54,6 +62,7 @@ module Treap : S = struct
   let add = M.add
   let remove = M.remove
   let stab t x f = M.stab t x (fun _ p -> f p)
+  let stab_batch t ~keys ~f = loop_stab_batch stab t ~keys ~f
   let iter t f = Priority_search_tree.iter (fun _ p -> f p) (M.snapshot t)
   let check_invariants t = Priority_search_tree.check_invariants (M.snapshot t)
 end
@@ -69,6 +78,7 @@ module Instrumented (B : S) : S = struct
 
   let name = B.name
   let stab_ns = M.histogram (Printf.sprintf "stab.%s.stab_ns" B.name)
+  let stab_batch_ns = M.histogram (Printf.sprintf "stab.%s.stab_batch_ns" B.name)
   let add_ns = M.histogram (Printf.sprintf "stab.%s.add_ns" B.name)
   let remove_ns = M.histogram (Printf.sprintf "stab.%s.remove_ns" B.name)
   let stab_hits = M.histogram (Printf.sprintf "stab.%s.stab_hits" B.name)
@@ -100,6 +110,20 @@ module Instrumented (B : S) : S = struct
       M.observe stab_hits (float_of_int !hits)
     end
     else B.stab t x f
+
+  let stab_batch t ~keys ~f =
+    if M.enabled () then begin
+      let hits = ref 0 in
+      let (), dt =
+        Cq_util.Clock.time_ns (fun () ->
+            B.stab_batch t ~keys ~f:(fun ~idx p ->
+                Stdlib.incr hits;
+                f ~idx p))
+      in
+      M.observe stab_batch_ns (Int64.to_float dt);
+      M.observe stab_hits (float_of_int !hits)
+    end
+    else B.stab_batch t ~keys ~f
 
   let iter = B.iter
   let check_invariants = B.check_invariants

@@ -37,6 +37,15 @@ module type S = sig
   val stab : 'a t -> float -> ('a -> unit) -> unit
   (** Visit the payload of every stored interval containing [x]. *)
 
+  val stab_batch : 'a t -> keys:float array -> f:(idx:int -> 'a -> unit) -> unit
+  (** Answer a whole batch of stabbing queries: [f ~idx p] is called
+      for every pair of a key index [idx] and a stored payload [p]
+      whose interval contains [keys.(idx)].  For a fixed [idx] the
+      payloads arrive in exactly the order [stab t keys.(idx)] would
+      report them; calls for different keys may interleave.  Backends
+      with a batched descent ({!Interval_tree}) answer the whole array
+      per index walk; the others fall back to a loop of scalar stabs. *)
+
   val iter : 'a t -> ('a -> unit) -> unit
   (** Visit every stored payload exactly once. *)
 
@@ -45,8 +54,11 @@ module type S = sig
 end
 
 module Interval_tree : S
-(** Augmented AVL interval tree ({!Cq_index.Interval_tree.Mutable});
-    deterministic, ignores the seed. *)
+(** Augmented AVL interval tree, backed by the flat arena layout
+    ({!Cq_index.Flat_interval_tree}) — allocation-free stabs and a
+    native batched descent; deterministic, ignores the seed.
+    Traversal order is bit-for-bit that of the boxed
+    {!Cq_index.Interval_tree.Mutable} it replaced. *)
 
 module Interval_skiplist : S
 (** Hanson–Johnson interval skip list ({!Cq_index.Interval_skiplist}). *)
@@ -58,9 +70,9 @@ module Treap : S
 module Instrumented (B : S) : S
 (** The same backend with per-operation monotonic timings recorded
     into the {!Cq_obs.Metrics} registry under the backend's name:
-    [stab.<name>.stab_ns], [stab.<name>.add_ns],
-    [stab.<name>.remove_ns], and the per-stab result fanout
-    [stab.<name>.stab_hits].  While metrics are disabled the wrapper
+    [stab.<name>.stab_ns], [stab.<name>.stab_batch_ns],
+    [stab.<name>.add_ns], [stab.<name>.remove_ns], and the per-stab
+    result fanout [stab.<name>.stab_hits].  While metrics are disabled the wrapper
     costs one branch per call, so instrumented backends can be used
     unconditionally. *)
 

@@ -17,13 +17,18 @@ module Make (X : sig
 end) =
 struct
   (* Endpoint sequences as B-trees so membership changes cost O(log)
-     instead of a rebuild. *)
+     instead of a rebuild.  [scratch] is the reusable STEP-1 output
+     buffer: [step1] clears and refills it, so its contents are only
+     valid until the next [step1] on the same group (no re-entrant
+     processing of one group — the batch-ingest non-reentrancy
+     contract). *)
   type g = {
     by_lo : X.q Fbt.t;
     by_hi : X.q Fbt.t; (* keyed on the right endpoint *)
+    scratch : X.q Vec.t;
   }
 
-  let create () = { by_lo = Fbt.create (); by_hi = Fbt.create () }
+  let create () = { by_lo = Fbt.create (); by_hi = Fbt.create (); scratch = Vec.create () }
 
   let add g q =
     Fbt.insert g.by_lo (I.lo (X.axis q)) q;
@@ -42,56 +47,49 @@ struct
       Cq_util.Error.corrupt ~structure:"band_axis" "endpoint sequences out of sync"
 
   (* Members in increasing left-endpoint order, stopping when [k]
-     returns false (early exit is the point of the sorted sequences). *)
-  let iter_lo g k =
-    let rec go = function
-      | Some c -> if k (Fbt.value c) then go (Fbt.next c)
-      | None -> ()
-    in
-    go (Fbt.seek_ge g.by_lo neg_infinity)
+     returns false (early exit is the point of the sorted sequences).
+     Leaf walks, not cursor chains: no allocation per member. *)
+  let iter_lo g k = Fbt.walk_ge g.by_lo neg_infinity (fun _ q -> k q)
 
   (* Members in decreasing right-endpoint order. *)
-  let iter_hi g k =
-    let rec go = function
-      | Some c -> if k (Fbt.value c) then go (Fbt.prev c)
-      | None -> ()
-    in
-    go (Fbt.seek_le g.by_hi infinity)
+  let iter_hi g k = Fbt.walk_lt g.by_hi infinity (fun _ q -> k q)
 
   let step1 table (r : Tuple.r) g ~stab ~mark =
     let b = r.b in
     let key = stab +. b in
     let sb = Table.s_by_b table in
-    (* Anchors around the stabbing point offset: c2 = leftmost entry
-       >= key; c1 = its predecessor (rightmost entry < key), or the
-       last entry when c2 is exhausted.  On an exact match the key's
+    let affected = g.scratch in
+    Vec.clear affected;
+    (* Anchors around the stabbing point offset: s2 = leftmost entry
+       >= key; s1 = rightmost entry < key.  On an exact match the key's
        duplicates all sit on the forward side, so the two scans never
        meet. *)
-    let c2 = Fbt.seek_ge sb key in
-    let c1 = match c2 with Some c -> Fbt.prev c | None -> Fbt.seek_le sb key in
-    let affected = Vec.create () in
-    if not (Option.is_none c1 && Option.is_none c2) then begin
-      let exact = match c2 with Some c -> Fbt.key c = key | None -> false in
-      let consider q = if mark q then Vec.push affected q in
-      if exact then
-        (* The S-tuple at the stabbing point joins with every member. *)
-        iter_lo g (fun q ->
-            consider q;
-            true)
-      else begin
-        (match c1 with
-        | Some c ->
-            let s1_shift = Fbt.key c -. b in
-            iter_lo g (fun q ->
-                if I.lo (X.axis q) <= s1_shift then (consider q; true) else false)
-        | None -> ());
-        match c2 with
-        | Some c ->
-            let s2_shift = Fbt.key c -. b in
-            iter_hi g (fun q ->
-                if I.hi (X.axis q) >= s2_shift then (consider q; true) else false)
-        | None -> ()
+    let s2 = ref 0.0 and has2 = ref false in
+    Fbt.walk_ge sb key (fun k _ ->
+        s2 := k;
+        has2 := true;
+        false);
+    let exact = !has2 && !s2 = key in
+    let consider q = if mark q then Vec.push affected q in
+    if exact then
+      (* The S-tuple at the stabbing point joins with every member. *)
+      iter_lo g (fun q ->
+          consider q;
+          true)
+    else begin
+      let s1 = ref 0.0 and has1 = ref false in
+      Fbt.walk_lt sb key (fun k _ ->
+          s1 := k;
+          has1 := true;
+          false);
+      if !has1 then begin
+        let s1_shift = !s1 -. b in
+        iter_lo g (fun q -> if I.lo (X.axis q) <= s1_shift then (consider q; true) else false)
+      end;
+      if !has2 then begin
+        let s2_shift = !s2 -. b in
+        iter_hi g (fun q -> if I.hi (X.axis q) >= s2_shift then (consider q; true) else false)
       end
     end;
-    (affected, c1, c2)
+    affected
 end

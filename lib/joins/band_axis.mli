@@ -19,7 +19,8 @@ module Make (X : sig
   val axis : q -> Cq_interval.Interval.t
 end) : sig
   type g
-  (** A group's members in two sorted endpoint sequences. *)
+  (** A group's members in two sorted endpoint sequences, plus a
+      reusable STEP-1 scratch buffer. *)
 
   val create : unit -> g
   val add : g -> X.q -> unit
@@ -36,10 +37,11 @@ end) : sig
     stab:float ->
     mark:(X.q -> bool) ->
     X.q Cq_util.Vec.t
-    * Cq_relation.Tuple.s Cq_relation.Table.Fbt.cursor option
-    * Cq_relation.Tuple.s Cq_relation.Table.Fbt.cursor option
-  (** Affected members (those accepted by [mark]) plus the two anchor
-      cursors on the S.B index for the caller's STEP 2 walk:
-      [(affected, c1, c2)] with [c1] the rightmost entry below the
-      shifted stabbing point and [c2] the leftmost at or above it. *)
+  (** Affected members (those accepted by [mark]).  The returned vector
+      is the group's own scratch buffer, cleared and refilled on every
+      call: read it before the next [step1] on the same group and do
+      not retain it.  Callers needing the STEP-2 anchors recompute them
+      from [stab +. r.b] with {!Cq_relation.Table.Fbt.walk_lt} /
+      [walk_ge] (rightmost entry below the shifted stabbing point and
+      leftmost at or above it, respectively). *)
 end

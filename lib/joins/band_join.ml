@@ -262,31 +262,24 @@ module G = Band_axis.Make (struct
 end)
 
 let process_group table g ~stab (r : Tuple.r) ~mark (sink : sink) =
-  let affected, c1, c2 = G.step1 table r g ~stab ~mark in
+  let affected = G.step1 table r g ~stab ~mark in
   let b = r.b in
+  let key = stab +. b in
+  let sb = Table.s_by_b table in
   (* STEP 2: for each affected query, walk the leaves outward from the
-     anchors, emitting until the instantiated window ends. *)
+     anchors (rightmost entry below the shifted stabbing point, then
+     leftmost at or above it), emitting until the instantiated window
+     ends.  Leaf walks rather than cursor chains: no allocation per
+     emitted result. *)
   Vec.iter
     (fun (q : Band_query.t) ->
       let lo_b = I.lo q.range +. b and hi_b = I.hi q.range +. b in
-      let rec back = function
-        | Some c when Fbt.key c >= lo_b ->
-            sink q (Fbt.value c);
-            back (Fbt.prev c)
-        | _ -> ()
-      in
-      back c1;
-      let rec fwd = function
-        | Some c when Fbt.key c <= hi_b ->
-            sink q (Fbt.value c);
-            fwd (Fbt.next c)
-        | _ -> ()
-      in
-      fwd c2)
+      Fbt.walk_lt sb key (fun k s -> if k >= lo_b then (sink q s; true) else false);
+      Fbt.walk_ge sb key (fun k s -> if k <= hi_b then (sink q s; true) else false))
     affected
 
 let identify_group table g ~stab r ~mark report =
-  let affected, _, _ = G.step1 table r g ~stab ~mark in
+  let affected = G.step1 table r g ~stab ~mark in
   Vec.iter report affected
 
 module Core_query = struct

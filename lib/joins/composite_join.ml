@@ -156,8 +156,7 @@ module Core_query = struct
 
     let candidates table g ~stab (r : Tuple.r) ~mark =
       let mark' (q : CQ.t) = I.stabs q.range_a r.a && mark q in
-      let affected, _, _ = G.step1 table r g ~stab ~mark:mark' in
-      affected
+      G.step1 table r g ~stab ~mark:mark'
 
     let process table g ~stab (r : Tuple.r) ~mark sink =
       Vec.iter

@@ -196,70 +196,67 @@ end
 (* (Section 3.2, Figure 5)                                                 *)
 (* --------------------------------------------------------------------- *)
 
+(* A stabbing group: member rectangles in an R-tree plus a reusable
+   STEP-1 output buffer.  [group_step1] clears and refills [scratch],
+   so its contents are only valid until the next STEP 1 on the same
+   group (the batch-ingest non-reentrancy contract). *)
+type group = {
+  rtree : Select_query.t Rtree.t;
+  scratch : Select_query.t Vec.t;
+}
+
 (* STEP 1 for one stabbing group (on the rangeC projections) with
-   stabbing point [stab], whose member rectangles live in [rtree]:
-   find the affected queries and the anchor cursors for STEP 2. *)
-let group_step1 table (r : Tuple.r) ~stab ~rtree ~mark =
+   stabbing point [stab]: find the affected queries.  The anchors are
+   the joining S-tuples whose C values surround the stabbing point —
+   the rightmost entry < (b, stab) and the leftmost >= (b, stab), each
+   usable only while it stays within the event's B value. *)
+let group_step1 table (r : Tuple.r) ~stab ~g ~mark =
   let b = r.b in
   let bc = Table.s_by_bc table in
-  (* Anchors: the joining S-tuples whose C values surround the stabbing
-     point.  c2 = leftmost entry >= (b, stab); its predecessor is the
-     rightmost entry < (b, stab).  Each anchor is only usable while it
-     stays within the event's B value. *)
-  let c2 = Pbt.seek_ge bc (b, stab) in
-  let c1 = match c2 with Some c -> Pbt.prev c | None -> Pbt.seek_le bc (b, stab) in
-  let fwd = match c2 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
-  let bwd = match c1 with Some c when fst (Pbt.key c) = b -> Some c | _ -> None in
-  let affected = Vec.create () in
-  if not (Option.is_none fwd && Option.is_none bwd) then begin
-    let consider q = if mark q then Vec.push affected q in
-    (* The two join result points closest to (stab, r.a) probe the
-       group's rectangle index. *)
-    (match bwd with
-    | Some c ->
-        let q1 = snd (Pbt.key c) in
-        Rtree.stab rtree ~x:q1 ~y:r.a (fun _ q -> consider q)
-    | None -> ());
-    match fwd with
-    | Some c ->
-        let q2 = snd (Pbt.key c) in
-        Rtree.stab rtree ~x:q2 ~y:r.a (fun _ q -> consider q)
-    | None -> ()
-  end;
-  (affected, bwd, fwd)
+  let key = (b, stab) in
+  let affected = g.scratch in
+  Vec.clear affected;
+  (* The two join result points closest to (stab, r.a) probe the
+     group's rectangle index. *)
+  let q1 = ref 0.0 and has1 = ref false in
+  Pbt.walk_lt bc key (fun k _ ->
+      if fst k = b then begin
+        q1 := snd k;
+        has1 := true
+      end;
+      false);
+  if !has1 then Rtree.stab g.rtree ~x:!q1 ~y:r.a (fun _ q -> if mark q then Vec.push affected q);
+  let q2 = ref 0.0 and has2 = ref false in
+  Pbt.walk_ge bc key (fun k _ ->
+      if fst k = b then begin
+        q2 := snd k;
+        has2 := true
+      end;
+      false);
+  if !has2 then Rtree.stab g.rtree ~x:!q2 ~y:r.a (fun _ q -> if mark q then Vec.push affected q);
+  affected
 
-let process_group table rtree ~stab (r : Tuple.r) ~mark (sink : sink) =
+let process_group table g ~stab (r : Tuple.r) ~mark (sink : sink) =
   let b = r.b in
-  let affected, bwd, fwd = group_step1 table r ~stab ~rtree ~mark in
+  let bc = Table.s_by_bc table in
+  let key = (b, stab) in
+  let affected = group_step1 table r ~stab ~g ~mark in
   (* STEP 2: each affected rectangle covers a consecutive C-run of
-     join result points including an anchor; walk outward. *)
+     join result points including an anchor; walk the leaves outward.
+     No allocation per emitted result. *)
   Vec.iter
     (fun (q : Select_query.t) ->
       let lo_c = I.lo q.range_c and hi_c = I.hi q.range_c in
-      let rec back = function
-        | Some c ->
-            let kb, kc = Pbt.key c in
-            if kb = b && kc >= lo_c then begin
-              sink q (Pbt.value c);
-              back (Pbt.prev c)
-            end
-        | None -> ()
-      in
-      back bwd;
-      let rec forward = function
-        | Some c ->
-            let kb, kc = Pbt.key c in
-            if kb = b && kc <= hi_c then begin
-              sink q (Pbt.value c);
-              forward (Pbt.next c)
-            end
-        | None -> ()
-      in
-      forward fwd)
+      Pbt.walk_lt bc key (fun k s ->
+          let kb, kc = k in
+          if kb = b && kc >= lo_c then (sink q s; true) else false);
+      Pbt.walk_ge bc key (fun k s ->
+          let kb, kc = k in
+          if kb = b && kc <= hi_c then (sink q s; true) else false))
     affected
 
-let identify_group table rtree ~stab r ~mark report =
-  let affected, _, _ = group_step1 table r ~stab ~rtree ~mark in
+let identify_group table g ~stab r ~mark report =
+  let affected = group_step1 table r ~stab ~g ~mark in
   Vec.iter report affected
 
 module Core_query = struct
@@ -293,16 +290,16 @@ module Core_query = struct
     | None -> false
 
   module Group = struct
-    type g = Select_query.t Rtree.t
+    type g = group
 
-    let create () = Rtree.create ~max_entries:8 ()
-    let add g q = Rtree.insert g (Select_query.rect q) q
+    let create () = { rtree = Rtree.create ~max_entries:8 (); scratch = Vec.create () }
+    let add g q = Rtree.insert g.rtree (Select_query.rect q) q
 
     let remove g (q : Select_query.t) =
-      ignore (Rtree.remove g (Select_query.rect q) (fun p -> p.Select_query.qid = q.qid))
+      ignore (Rtree.remove g.rtree (Select_query.rect q) (fun p -> p.Select_query.qid = q.qid))
 
-    let size = Rtree.size
-    let check_invariants = Rtree.check_invariants
+    let size g = Rtree.size g.rtree
+    let check_invariants g = Rtree.check_invariants g.rtree
     let process store g ~stab ev ~mark sink = process_group store g ~stab ev ~mark sink
     let identify store g ~stab ev ~mark report = identify_group store g ~stab ev ~mark report
   end

@@ -1,0 +1,189 @@
+(* Flat structure-of-arrays tuple batches: the unit of ingest on the
+   zero-allocation hot path.  Columns are monomorphic [int array] /
+   [float array] so reads and writes never box (a polymorphic
+   [Cq_util.Vec] push would box every float crossing the call
+   boundary); the growth discipline mirrors Vec's doubling.
+
+   Column meaning follows the raw-row convention of the engine's batch
+   APIs: for R rows [x = a, y = b]; for S rows [x = b, y = c].  The
+   [ids] column carries caller-side tuple ids (workload generators
+   stamp them); the engine assigns its own ids at ingest and never
+   writes into a batch, so a batch slice can be shared read-only
+   across shards.
+
+   Slices are zero-copy views aliasing the root's columns.  A view is
+   read-only; the root must not be mutated while views are in flight —
+   [seal] turns mutation attempts into [Cq_util.Error.Cq_error] until
+   [unseal] (the parallel engine seals around shard dispatch). *)
+
+module Err = Cq_util.Error
+
+type t = {
+  mutable ids : int array;
+  mutable xs : float array;
+  mutable ys : float array;
+  mutable off : int;
+  mutable len : int;
+  view : bool;
+  mutable sealed : bool;
+}
+
+let create ?(capacity = 0) () =
+  let capacity = max capacity 0 in
+  {
+    ids = Array.make capacity (-1);
+    xs = Array.make capacity 0.0;
+    ys = Array.make capacity 0.0;
+    off = 0;
+    len = 0;
+    view = false;
+    sealed = false;
+  }
+
+let length b = b.len
+let is_empty b = b.len = 0
+let is_view b = b.view
+let sealed b = b.sealed
+
+let reject ~fn ~value =
+  Err.raise_
+    (Err.Invalid_parameter
+       { name = "batch"; value; expected = Printf.sprintf "a writable root batch for Batch.%s" fn })
+
+let check_mutable b fn =
+  if b.view then reject ~fn ~value:"read-only view";
+  if b.sealed then reject ~fn ~value:"sealed batch"
+
+let seal b = if b.view then reject ~fn:"seal" ~value:"read-only view" else b.sealed <- true
+let unseal b = if b.view then reject ~fn:"unseal" ~value:"read-only view" else b.sealed <- false
+
+let grow b =
+  let cap = max 8 (2 * Array.length b.xs) in
+  let ids = Array.make cap (-1)
+  and xs = Array.make cap 0.0
+  and ys = Array.make cap 0.0 in
+  Array.blit b.ids 0 ids 0 b.len;
+  Array.blit b.xs 0 xs 0 b.len;
+  Array.blit b.ys 0 ys 0 b.len;
+  b.ids <- ids;
+  b.xs <- xs;
+  b.ys <- ys
+
+let push b ~x ~y =
+  check_mutable b "push";
+  if b.len = Array.length b.xs then grow b;
+  b.ids.(b.len) <- -1;
+  b.xs.(b.len) <- x;
+  b.ys.(b.len) <- y;
+  b.len <- b.len + 1
+
+let clear b =
+  check_mutable b "clear";
+  b.len <- 0
+
+let check_index b i fn =
+  if i < 0 || i >= b.len then
+    Err.raise_
+      (Err.Invalid_parameter
+         {
+           name = "i";
+           value = string_of_int i;
+           expected = Printf.sprintf "0 <= i < %d in Batch.%s" b.len fn;
+         })
+
+let id b i =
+  check_index b i "id";
+  b.ids.(b.off + i)
+
+(* Single-expression bodies so the classic inliner expands them at the
+   call site: a non-inlined call would box the float return on every
+   read, defeating the flat columns. *)
+let unsafe_x b i = Array.unsafe_get b.xs (b.off + i)
+let unsafe_y b i = Array.unsafe_get b.ys (b.off + i)
+
+let x b i =
+  check_index b i "x";
+  b.xs.(b.off + i)
+
+let y b i =
+  check_index b i "y";
+  b.ys.(b.off + i)
+
+let set_id b i id =
+  check_mutable b "set_id";
+  check_index b i "set_id";
+  b.ids.(b.off + i) <- id
+
+let slice b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > b.len then
+    Err.raise_
+      (Err.Invalid_parameter
+         {
+           name = "pos/len";
+           value = Printf.sprintf "pos=%d len=%d" pos len;
+           expected = Printf.sprintf "0 <= pos, 0 <= len, pos + len <= %d in Batch.slice" b.len;
+         });
+  {
+    ids = b.ids;
+    xs = b.xs;
+    ys = b.ys;
+    off = b.off + pos;
+    len;
+    view = true;
+    sealed = false;
+  }
+
+let iter b ~f =
+  for i = 0 to b.len - 1 do
+    let j = b.off + i in
+    f ~i ~x:b.xs.(j) ~y:b.ys.(j)
+  done
+
+let of_rows rows =
+  let n = Array.length rows in
+  let b = create ~capacity:n () in
+  for i = 0 to n - 1 do
+    let x, y = rows.(i) in
+    push b ~x ~y
+  done;
+  b
+
+let to_rows b = Array.init b.len (fun i -> (b.xs.(b.off + i), b.ys.(b.off + i)))
+
+let of_r_tuples rs =
+  let b = create ~capacity:(Array.length rs) () in
+  Array.iter
+    (fun (r : Tuple.r) ->
+      push b ~x:r.a ~y:r.b;
+      b.ids.(b.len - 1) <- r.rid)
+    rs;
+  b
+
+let of_s_tuples ss =
+  let b = create ~capacity:(Array.length ss) () in
+  Array.iter
+    (fun (s : Tuple.s) ->
+      push b ~x:s.b ~y:s.c;
+      b.ids.(b.len - 1) <- s.sid)
+    ss;
+  b
+
+let to_r_tuples b =
+  Array.init b.len (fun i ->
+      let j = b.off + i in
+      { Tuple.rid = b.ids.(j); a = b.xs.(j); b = b.ys.(j) })
+
+let to_s_tuples b =
+  Array.init b.len (fun i ->
+      let j = b.off + i in
+      { Tuple.sid = b.ids.(j); b = b.xs.(j); c = b.ys.(j) })
+
+let check_invariants b =
+  let fail fmt = Err.corrupt ~structure:"batch" fmt in
+  if b.off < 0 || b.len < 0 then fail "negative offset %d or length %d" b.off b.len;
+  if b.off + b.len > Array.length b.xs then
+    fail "extent %d + %d exceeds column storage %d" b.off b.len (Array.length b.xs);
+  if Array.length b.xs <> Array.length b.ys || Array.length b.xs <> Array.length b.ids then
+    fail "column lengths differ: xs=%d ys=%d ids=%d" (Array.length b.xs) (Array.length b.ys)
+      (Array.length b.ids);
+  if b.view && b.sealed then fail "a view cannot be sealed"

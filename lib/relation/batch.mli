@@ -1,0 +1,80 @@
+(** Flat structure-of-arrays tuple batches — the unit of ingest on the
+    zero-allocation hot path.
+
+    A batch holds three parallel columns: [ids] (caller-side tuple
+    ids, [-1] when unset) and two float attribute columns whose
+    meaning follows the engine's raw-row convention — for R rows
+    [x = a, y = b]; for S rows [x = b, y = c].  Columns are
+    monomorphic arrays, so per-row access never allocates or boxes.
+
+    {b Ownership and aliasing.}  [slice] returns a zero-copy {e view}
+    aliasing the root's columns; views are read-only.  While views are
+    in flight (e.g. queued to shards), the root must not be mutated:
+    [seal] makes [push]/[clear]/[set_id] raise
+    {!Cq_util.Error.Cq_error} until [unseal].  Note a
+    [push] that grows the root reallocates its columns, after which
+    existing views keep aliasing the {e old} storage — sealing around
+    dispatch is what rules this out on the parallel path. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh root batch; [capacity] pre-sizes the columns (default 0,
+    grown on demand). *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> x:float -> y:float -> unit
+(** Append a row with id [-1].  Amortised O(1).
+    @raise Cq_util.Error.Cq_error on a view or a sealed batch. *)
+
+val clear : t -> unit
+(** Reset to length 0, keeping capacity for reuse.
+    @raise Cq_util.Error.Cq_error on a view or a sealed batch. *)
+
+val id : t -> int -> int
+val x : t -> int -> float
+val y : t -> int -> float
+
+val unsafe_x : t -> int -> float
+(** [x] without the bounds check — a single-expression accessor the
+    compiler inlines, keeping the float unboxed at the call site.  The
+    caller guarantees [0 <= i < length t]. *)
+
+val unsafe_y : t -> int -> float
+(** [y] without the bounds check; same contract as {!unsafe_x}. *)
+
+val set_id : t -> int -> int -> unit
+(** @raise Cq_util.Error.Cq_error on a view or a sealed batch. *)
+
+val slice : t -> pos:int -> len:int -> t
+(** Zero-copy read-only view of rows [pos .. pos+len-1]. *)
+
+val is_view : t -> bool
+
+val seal : t -> unit
+(** Freeze the root against mutation while views are in flight.
+    @raise Cq_util.Error.Cq_error on a view. *)
+
+val unseal : t -> unit
+val sealed : t -> bool
+
+val iter : t -> f:(i:int -> x:float -> y:float -> unit) -> unit
+(** In-order row iteration; allocation-free apart from [f] itself. *)
+
+val of_rows : (float * float) array -> t
+val to_rows : t -> (float * float) array
+
+val of_r_tuples : Tuple.r array -> t
+(** [x = a, y = b], ids from [rid]. *)
+
+val of_s_tuples : Tuple.s array -> t
+(** [x = b, y = c], ids from [sid]. *)
+
+val to_r_tuples : t -> Tuple.r array
+val to_s_tuples : t -> Tuple.s array
+
+val check_invariants : t -> unit
+(** @raise Cq_util.Error.Cq_error ([Corrupt]) on a violated structural
+    invariant. *)

@@ -2,6 +2,10 @@ module Fkey = struct
   type t = float
 
   let compare = Float.compare
+
+  (* Monomorphic read: the key arrays are flat float arrays, so the
+     generic [a.(i)] would box on every comparison of every descent. *)
+  let compare_at (a : float array) i k = Float.compare (Array.unsafe_get a i) k
 end
 
 module Pkey = struct
@@ -10,6 +14,8 @@ module Pkey = struct
   let compare (a1, a2) (b1, b2) =
     let c = Float.compare a1 b1 in
     if c <> 0 then c else Float.compare a2 b2
+
+  let compare_at a i k = compare (Array.unsafe_get a i) k
 end
 
 module Fbt = Cq_index.Btree.Make (Fkey)
@@ -41,6 +47,8 @@ let of_s_tuples tuples =
     s_bc = Pbt.of_sorted (Array.map (fun (s : Tuple.s) -> ((s.b, s.c), s)) by_bc);
   }
 
+let of_s_batch b = of_s_tuples (Batch.to_s_tuples b)
+
 let s_size t = Fbt.length t.s_b
 let s_by_b t = t.s_b
 let s_by_bc t = t.s_bc
@@ -71,6 +79,8 @@ let of_r_tuples tuples =
     r_b = Fbt.of_sorted (Array.map (fun (r : Tuple.r) -> (r.b, r)) by_b);
     r_ba = Pbt.of_sorted (Array.map (fun (r : Tuple.r) -> ((r.b, r.a), r)) by_ba);
   }
+
+let of_r_batch b = of_r_tuples (Batch.to_r_tuples b)
 
 let r_size t = Fbt.length t.r_b
 let r_by_b t = t.r_b

@@ -22,6 +22,9 @@ val create_s : unit -> s_table
 val of_s_tuples : Tuple.s array -> s_table
 (** Bulk-load; input order is free. *)
 
+val of_s_batch : Batch.t -> s_table
+(** Bulk-load from a flat batch ([x = b, y = c], ids as [sid]). *)
+
 val insert_s : s_table -> Tuple.s -> unit
 val delete_s : s_table -> Tuple.s -> bool
 val s_size : s_table -> int
@@ -40,6 +43,10 @@ type r_table
 
 val create_r : unit -> r_table
 val of_r_tuples : Tuple.r array -> r_table
+
+val of_r_batch : Batch.t -> r_table
+(** Bulk-load from a flat batch ([x = a, y = b], ids as [rid]). *)
+
 val insert_r : r_table -> Tuple.r -> unit
 val delete_r : r_table -> Tuple.r -> bool
 val r_size : r_table -> int

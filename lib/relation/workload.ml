@@ -65,6 +65,9 @@ let gen_r_tuples c rng ~n =
         b = quantise c (Dist.uniform rng ~lo:c.domain_lo ~hi:c.domain_hi);
       })
 
+let gen_s_batch c rng ~n = Batch.of_s_tuples (gen_s_tuples c rng ~n)
+let gen_r_batch c rng ~n = Batch.of_r_tuples (gen_r_tuples c rng ~n)
+
 (* Lengths are "normally distributed"; a negative draw means a
    degenerate (point-like) range. *)
 let draw_len rng ~mu ~sigma = Float.max 0.0 (Dist.normal rng ~mu ~sigma)

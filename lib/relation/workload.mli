@@ -38,6 +38,12 @@ val gen_s_tuples : config -> Cq_util.Rng.t -> n:int -> Tuple.s array
 val gen_r_tuples : config -> Cq_util.Rng.t -> n:int -> Tuple.r array
 (** R insertion events: A and B uniform on the domain. *)
 
+val gen_s_batch : config -> Cq_util.Rng.t -> n:int -> Batch.t
+val gen_r_batch : config -> Cq_util.Rng.t -> n:int -> Batch.t
+(** Flat-batch variants of the tuple generators: same draws in the
+    same order, packed into a {!Batch} (ids stamped from the tuple
+    ids), so per-tuple and batch ingest replay identical streams. *)
+
 (** {2 Query ranges} *)
 
 val gen_select_ranges :

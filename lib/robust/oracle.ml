@@ -243,6 +243,7 @@ module Fkey = struct
   type t = float
 
   let compare = Float.compare
+  let compare_at (a : float array) i k = Float.compare (Array.unsafe_get a i) k
 end
 
 module Fbt = Cq_index.Btree.Make (Fkey)
@@ -620,6 +621,109 @@ let run_parallel ?(shards = 2) ~seed ~ops () =
                  "multisets differ: sequential has (q=%d, rid=%d, sid=%d), %d shards have \
                   (q=%d, rid=%d, sid=%d)"
                  q r s shards q' r' s'
+       in
+       first_diff 0 a b
+     end
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:total_rows ~final_size:total_rows
+
+(* Flat-batch differential check: one seeded insert-only workload runs
+   twice through identically configured sequential engines — once a
+   row at a time (insert_r/insert_s), once through the flat-batch path
+   (ingest_batch_r/_s) — and the delivered (query, rid, sid) multisets
+   must be identical, tuple-id assignment included (both paths draw
+   rids/sids from the same counter in the same order).  A third of the
+   batches are followed by a fresh subscription, so staged candidates
+   go stale mid-stream and the staging-invalidation fallback is
+   exercised on both engines alike. *)
+let run_batch ?(backend = Cq_index.Stab_backend.Itree) ~seed ~ops () =
+  let run =
+    make_run (Printf.sprintf "batch[%s]" (Cq_index.Stab_backend.to_string backend)) seed
+  in
+  let rng = Rng.create (seed + 0xba7c) in
+  let n_q = 8 + Rng.int rng 17 in
+  let mk_iv () =
+    let lo = (Rng.float rng *. 1000.0) -. 200.0 in
+    let w = 1.0 +. (Rng.float rng *. 150.0) in
+    I.make lo (lo +. w)
+  in
+  let mk_query () = if Rng.bool rng then `Band (mk_iv ()) else `Select (mk_iv (), mk_iv ()) in
+  let initial = List.init n_q (fun _ -> mk_query ()) in
+  let n_batches = max 2 (ops / 40) in
+  let batches =
+    List.init n_batches (fun _ ->
+        let side = if Rng.bool rng then `R else `S in
+        let len = 1 + Rng.int rng 50 in
+        let rows =
+          Array.init len (fun _ -> (Rng.float rng *. 1000.0, Rng.float rng *. 1000.0))
+        in
+        let churn = if Rng.int rng 3 = 0 then Some (mk_query ()) else None in
+        (side, rows, churn))
+  in
+  let collect use_batch =
+    let eng = Engine.create ~alpha:0.1 ~seed ~backend () in
+    let results = ref [] in
+    let next_q = ref 0 in
+    let subscribe q =
+      let qi = !next_q in
+      incr next_q;
+      let cb (r : Tuple.r) (s : Tuple.s) = results := (qi, r.rid, s.sid) :: !results in
+      match q with
+      | `Band range -> ignore (Engine.subscribe_band eng ~range cb)
+      | `Select (range_a, range_c) ->
+          ignore (Engine.subscribe_select eng ~range_a ~range_c cb)
+    in
+    List.iter subscribe initial;
+    List.iter
+      (fun (side, rows, churn) ->
+        (if use_batch then
+           let b = Cq_relation.Batch.of_rows rows in
+           ignore
+             (match side with
+             | `R -> Engine.ingest_batch_r eng b
+             | `S -> Engine.ingest_batch_s eng b)
+         else
+           Array.iter
+             (fun (x, y) ->
+               match side with
+               | `R -> ignore (Engine.insert_r eng ~a:x ~b:y)
+               | `S -> ignore (Engine.insert_s eng ~b:x ~c:y))
+             rows);
+        match churn with Some q -> subscribe q | None -> ())
+      batches;
+    Engine.check_invariants eng;
+    (!results, (Engine.stats eng).results_delivered)
+  in
+  let total_rows = List.fold_left (fun acc (_, rows, _) -> acc + Array.length rows) 0 batches in
+  (try
+     let seq_rs, seq_n = collect false in
+     let bat_rs, bat_n = collect true in
+     let cmp (q1, r1, s1) (q2, r2, s2) =
+       let c = Int.compare q1 q2 in
+       if c <> 0 then c
+       else
+         let c = Int.compare r1 r2 in
+         if c <> 0 then c else Int.compare s1 s2
+     in
+     if seq_n <> bat_n then
+       diverge run 0 "per-tuple path delivered %d results, batch path delivered %d" seq_n bat_n
+     else begin
+       let a = List.sort cmp seq_rs and b = List.sort cmp bat_rs in
+       let rec first_diff i xs ys =
+         match (xs, ys) with
+         | [], [] -> ()
+         | (q, r, s) :: _, [] ->
+             diverge run i "result (q=%d, rid=%d, sid=%d) missing under batch ingest" q r s
+         | [], (q, r, s) :: _ ->
+             diverge run i "result (q=%d, rid=%d, sid=%d) fabricated under batch ingest" q r s
+         | x :: xs', y :: ys' ->
+             if cmp x y = 0 then first_diff (i + 1) xs' ys'
+             else
+               let q, r, s = x and q', r', s' = y in
+               diverge run i
+                 "multisets differ: per-tuple has (q=%d, rid=%d, sid=%d), batch has (q=%d, \
+                  rid=%d, sid=%d)"
+                 q r s q' r' s'
        in
        first_diff 0 a b
      end
@@ -1077,6 +1181,7 @@ let fuzz_all ?backend ?(shards = 2) ~seed ~ops () =
       run_lazy_partition ~seed ~ops;
       run_refined_partition ~seed ~ops;
       run_engine ?backend ~seed ~ops:engine_ops ();
+      run_batch ?backend ~seed ~ops:engine_ops ();
       run_parallel ~shards ~seed ~ops:engine_ops ();
       run_shed_adaptive ~seed ~ops:engine_ops ();
     ]

@@ -82,6 +82,20 @@ val run_engine :
     (default the interval tree) — the mirror is backend-oblivious, so
     the same run exercises every candidate. *)
 
+val run_batch :
+  ?backend:Cq_index.Stab_backend.kind -> seed:int -> ops:int -> unit -> outcome
+(** Flat-batch-vs-per-tuple differential run: one seeded insert-only
+    workload (band/select subscriptions plus batched rows) is replayed
+    into two identically configured sequential engines — once through
+    {!Cq_engine.Engine.insert_r}/[insert_s] a row at a time, once
+    through {!Cq_engine.Engine.ingest_batch_r}/[_s] — and the
+    delivered result multisets, keyed by [(query, rid, sid)], must be
+    identical (tuple-id assignment included).  A third of the batches
+    are followed by a mid-stream subscription, exercising the
+    staging-invalidation fallback.  [backend] selects the stabbing
+    backend whose [stab_batch] the batch path descends (default the
+    interval tree). *)
+
 val run_parallel : ?shards:int -> seed:int -> ops:int -> unit -> outcome
 (** Parallel-vs-sequential differential run: one seeded workload
     (band/select subscriptions plus [~ops] rows of batched ingest) is

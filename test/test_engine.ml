@@ -410,6 +410,62 @@ let run_sequential_scenario (band_ranges, select_ranges, events) =
     events;
   !delivered
 
+(* The flat-batch ingest path must deliver the identical result
+   {e sequence} — same tuples, same rids/sids, same order — as a
+   per-tuple insert loop over the same rows.  Consecutive same-side
+   events coalesce into one batch each, so batches of many sizes (and
+   singletons) are exercised. *)
+let run_batched_scenario (band_ranges, select_ranges, events) =
+  let eng = Engine.create ~alpha:0.3 () in
+  let delivered = ref [] in
+  List.iteri
+    (fun i range ->
+      ignore
+        (Engine.subscribe_band eng ~range:(I.shift range (-5.0)) (fun r s ->
+             delivered :=
+               (`Band, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    band_ranges;
+  List.iteri
+    (fun i (range_a, range_c) ->
+      ignore
+        (Engine.subscribe_select eng ~range_a ~range_c (fun r s ->
+             delivered :=
+               (`Select, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    select_ranges;
+  let module Batch = Cq_relation.Batch in
+  let pending_side = ref `R and pending = ref [] in
+  let flush_pending () =
+    match !pending with
+    | [] -> ()
+    | rows ->
+        let b = Batch.of_rows (Array.of_list (List.rev rows)) in
+        ignore
+          (match !pending_side with
+          | `R -> Engine.ingest_batch_r eng b
+          | `S -> Engine.ingest_batch_s eng b);
+        pending := []
+  in
+  List.iter
+    (fun ev ->
+      let side, row = match ev with InsR (a, b) -> (`R, (a, b)) | InsS (b, c) -> (`S, (b, c)) in
+      (match (!pending, !pending_side, side) with
+      | _ :: _, `R, `S | _ :: _, `S, `R -> flush_pending ()
+      | _ -> ());
+      pending_side := side;
+      pending := row :: !pending)
+    events;
+  flush_pending ();
+  !delivered
+
+let prop_batch_matches_per_tuple =
+  QCheck2.Test.make ~name:"batch ingest: identical delivery sequence to per-tuple path"
+    ~count:60 scenario_gen (fun scenario ->
+      let base = run_sequential_scenario scenario in
+      let got = run_batched_scenario scenario in
+      got = base
+      || QCheck2.Test.fail_reportf "batch path delivered %d results, per-tuple %d"
+           (List.length got) (List.length base))
+
 let prop_parallel_matches_sequential =
   QCheck2.Test.make ~name:"parallel: shards in {1,2,4} match the sequential multiset"
     ~count:40 scenario_gen (fun scenario ->
@@ -771,6 +827,10 @@ let () =
           qc prop_engine_deletions_retract;
           Alcotest.test_case "failing callback isolated" `Quick
             test_engine_isolates_failing_callback;
+        ] );
+      ( "batch",
+        [
+          qc prop_batch_matches_per_tuple;
         ] );
       ( "parallel",
         [

@@ -9,7 +9,12 @@ module Rect = Cq_index.Rect
 module Rtree = Cq_index.Rtree
 module Rng = Cq_util.Rng
 
-module FB = Btree.Make (Float)
+module FB = Btree.Make (struct
+  type t = float
+
+  let compare = Float.compare
+  let compare_at (a : float array) i k = Float.compare (Array.unsafe_get a i) k
+end)
 
 (* Values come from a small grid so duplicates are common — the hard
    case for ordered-index seek semantics. *)
@@ -137,6 +142,43 @@ let prop_btree_cursor_walk =
             walk [] (FB.seek_le t kmax)
       in
       forward = model && backward = model)
+
+let prop_btree_walks =
+  QCheck2.Test.make ~name:"btree: walk_ge/walk_lt match model splits" ~count:200
+    QCheck2.Gen.(pair ops_gen (list_size (int_range 1 20) key_gen))
+    (fun (ops, probes) ->
+      let t, model = apply_ops ops in
+      List.for_all
+        (fun k ->
+          (* Unbounded walks must reproduce the model split at k. *)
+          let asc = ref [] in
+          FB.walk_ge t k (fun k' v ->
+              asc := (k', v) :: !asc;
+              true);
+          let desc = ref [] in
+          FB.walk_lt t k (fun k' v ->
+              desc := (k', v) :: !desc;
+              true);
+          let ge_model = List.filter (fun (k', _) -> k' >= k) model in
+          let lt_model = List.filter (fun (k', _) -> k' < k) model in
+          List.rev !asc = ge_model && !desc = lt_model)
+        probes)
+
+let test_btree_walk_early_stop () =
+  let t = FB.create ~order:2 () in
+  List.iter (fun k -> FB.insert t k (int_of_float k)) [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ];
+  let seen = ref 0 in
+  FB.walk_ge t 2.0 (fun k _ ->
+      incr seen;
+      k < 4.0);
+  (* Visits 2, 3, then 4 (which stops the walk). *)
+  Alcotest.(check int) "bounded ascending" 3 !seen;
+  let seen = ref 0 in
+  FB.walk_lt t 5.0 (fun k _ ->
+      incr seen;
+      k > 2.0);
+  (* Visits 4, 3, then 2 (which stops the walk). *)
+  Alcotest.(check int) "bounded descending" 3 !seen
 
 let test_btree_neighbours () =
   let t = FB.create ~order:2 () in
@@ -548,6 +590,78 @@ let test_treap_extras () =
   Alcotest.(check bool) "empty isect is full line" true
     (I.stabs (T.isect T.empty) 1e18)
 
+(* ------------------- flat interval tree / stab_batch ------------------ *)
+
+module Flat = Cq_index.Flat_interval_tree
+module SB = Cq_index.Stab_backend
+
+(* The flat arena tree claims bit-for-bit the semantics of the boxed
+   persistent tree — including emission order, so the lists are
+   compared unsorted. *)
+let prop_flat_matches_persistent_under_churn =
+  QCheck2.Test.make ~name:"flat itree: agrees with persistent tree under churn" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 200) (pair (frequencyl [ (3, true); (2, false) ]) interval_gen))
+    (fun ops ->
+      let ft : int Flat.t = Flat.create () in
+      let it = Itree.Mutable.create () in
+      let live = ref [] in
+      let next = ref 0 in
+      List.iter
+        (fun (is_add, iv) ->
+          if is_add then begin
+            let id = !next in
+            incr next;
+            Flat.add ft iv id;
+            Itree.Mutable.add it iv id;
+            live := (iv, id) :: !live
+          end
+          else
+            match !live with
+            | [] -> ()
+            | (iv, id) :: rest ->
+                if not (Flat.remove ft iv (fun p -> p = id)) then
+                  QCheck2.Test.fail_report "flat tree remove failed";
+                ignore (Itree.Mutable.remove it iv (fun p -> p = id));
+                live := rest)
+        ops;
+      Flat.check_invariants ft;
+      let ok = ref true in
+      for x = 0 to 100 do
+        let xf = float_of_int x in
+        let got = ref [] in
+        Flat.stab ft xf (fun p -> got := p :: !got);
+        if List.rev !got <> List.map snd (Itree.stab_list (Itree.Mutable.snapshot it) xf)
+        then ok := false
+      done;
+      !ok && Flat.size ft = List.length !live)
+
+(* Every backend's batched descent must agree with a loop of scalar
+   stabs, key by key, in the exact per-key order. *)
+let prop_stab_batch_matches_stab_loop =
+  QCheck2.Test.make ~name:"stab_batch = per-key stab loop (all backends)" ~count:150
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 60) interval_gen)
+        (list_size (int_range 0 20) (float_bound_inclusive 100.0)))
+    (fun (ivs, key_list) ->
+      let keys = Array.of_list key_list in
+      List.for_all
+        (fun kind ->
+          let module B = (val SB.backend kind) in
+          let t = B.create ~seed:11 in
+          List.iteri (fun i iv -> B.add t iv i) ivs;
+          let per_idx = Array.make (Array.length keys) [] in
+          B.stab_batch t ~keys ~f:(fun ~idx p -> per_idx.(idx) <- p :: per_idx.(idx));
+          let ok = ref true in
+          Array.iteri
+            (fun i key ->
+              let want = ref [] in
+              B.stab t key (fun p -> want := p :: !want);
+              if per_idx.(i) <> !want then ok := false)
+            keys;
+          !ok)
+        SB.all)
+
 (* --------------------------------------------------------------------- *)
 
 let qc = QCheck_alcotest.to_alcotest
@@ -562,6 +676,8 @@ let () =
           qc prop_btree_range;
           qc prop_btree_bulk_load;
           qc prop_btree_cursor_walk;
+          qc prop_btree_walks;
+          Alcotest.test_case "walk early stop" `Quick test_btree_walk_early_stop;
           Alcotest.test_case "neighbours" `Quick test_btree_neighbours;
           Alcotest.test_case "duplicates" `Quick test_btree_find_all_duplicates;
           Alcotest.test_case "empty tree" `Quick test_btree_empty;
@@ -581,6 +697,11 @@ let () =
           qc prop_treap_split_join;
           qc prop_treap_remove;
           Alcotest.test_case "mem/min/fold/isect" `Quick test_treap_extras;
+        ] );
+      ( "flat_interval_tree",
+        [
+          qc prop_flat_matches_persistent_under_churn;
+          qc prop_stab_batch_matches_stab_loop;
         ] );
       ( "interval_skiplist",
         [

@@ -137,6 +137,102 @@ let test_scale_lengths () =
   Alcotest.(check (float 1e-9)) "same midpoint" 5.0 (I.midpoint scaled.(0));
   Alcotest.(check (float 1e-9)) "point stays" 0.0 (I.length scaled.(1))
 
+(* ------------------------------- Batch -------------------------------- *)
+
+module B = Cq_relation.Batch
+
+let test_batch_push_get () =
+  let b = B.create () in
+  for i = 0 to 99 do
+    B.push b ~x:(float_of_int i) ~y:(float_of_int (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (B.length b);
+  for i = 0 to 99 do
+    Alcotest.(check (float 0.0)) "x" (float_of_int i) (B.x b i);
+    Alcotest.(check (float 0.0)) "y" (float_of_int (i * 2)) (B.y b i);
+    Alcotest.(check int) "id unset" (-1) (B.id b i)
+  done;
+  B.check_invariants b
+
+let test_batch_clear_reuse () =
+  let b = B.create ~capacity:4 () in
+  B.push b ~x:1.0 ~y:2.0;
+  B.clear b;
+  Alcotest.(check bool) "empty" true (B.is_empty b);
+  B.push b ~x:3.0 ~y:4.0;
+  Alcotest.(check (float 0.0)) "reused slot" 3.0 (B.x b 0);
+  B.check_invariants b
+
+let test_batch_slice_aliases () =
+  let b = B.of_rows [| (1.0, 10.0); (2.0, 20.0); (3.0, 30.0); (4.0, 40.0) |] in
+  let v = B.slice b ~pos:1 ~len:2 in
+  Alcotest.(check bool) "is view" true (B.is_view v);
+  Alcotest.(check int) "view length" 2 (B.length v);
+  Alcotest.(check (float 0.0)) "view x" 2.0 (B.x v 0);
+  Alcotest.(check (float 0.0)) "view y" 30.0 (B.y v 1);
+  (* Sub-slice composes offsets. *)
+  let vv = B.slice v ~pos:1 ~len:1 in
+  Alcotest.(check (float 0.0)) "sub-slice x" 3.0 (B.x vv 0);
+  (* In-place root writes are visible through the view (no copy). *)
+  B.set_id b 1 77;
+  Alcotest.(check int) "alias id" 77 (B.id v 0);
+  (match B.push v ~x:0.0 ~y:0.0 with
+  | () -> Alcotest.fail "view push accepted"
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { value; _ }) ->
+      Alcotest.(check string) "view push rejected" "read-only view" value);
+  (match B.slice b ~pos:3 ~len:2 with
+  | _ -> Alcotest.fail "out-of-bounds slice accepted"
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { name; _ }) ->
+      Alcotest.(check string) "slice oob rejected" "pos/len" name);
+  B.check_invariants b;
+  B.check_invariants v
+
+let test_batch_seal () =
+  let b = B.of_rows [| (1.0, 2.0) |] in
+  B.seal b;
+  Alcotest.(check bool) "sealed" true (B.sealed b);
+  (match B.push b ~x:0.0 ~y:0.0 with
+  | () -> Alcotest.fail "sealed push accepted"
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { value; _ }) ->
+      Alcotest.(check string) "sealed push rejected" "sealed batch" value);
+  (match B.clear b with
+  | () -> Alcotest.fail "sealed clear accepted"
+  | exception Cq_util.Error.Cq_error (Cq_util.Error.Invalid_parameter { value; _ }) ->
+      Alcotest.(check string) "sealed clear rejected" "sealed batch" value);
+  (* Reads stay legal while sealed. *)
+  Alcotest.(check (float 0.0)) "sealed read" 1.0 (B.x b 0);
+  B.unseal b;
+  B.push b ~x:3.0 ~y:4.0;
+  Alcotest.(check int) "push after unseal" 2 (B.length b)
+
+let test_batch_tuple_round_trip () =
+  let rng = Rng.create 5 in
+  let ss = W.gen_s_tuples W.default rng ~n:200 in
+  let rs = W.gen_r_tuples W.default rng ~n:200 in
+  let sb = B.of_s_tuples ss and rb = B.of_r_tuples rs in
+  Alcotest.(check bool) "s round trip" true (B.to_s_tuples sb = ss);
+  Alcotest.(check bool) "r round trip" true (B.to_r_tuples rb = rs);
+  (* Batch generators replay the tuple generators' stream exactly. *)
+  let rng2 = Rng.create 5 in
+  let sb2 = W.gen_s_batch W.default rng2 ~n:200 in
+  let rb2 = W.gen_r_batch W.default rng2 ~n:200 in
+  Alcotest.(check bool) "gen_s_batch matches" true (B.to_s_tuples sb2 = ss);
+  Alcotest.(check bool) "gen_r_batch matches" true (B.to_r_tuples rb2 = rs);
+  (* Table bulk-load from the batch agrees with the tuple bulk-load. *)
+  let t1 = Table.of_s_tuples ss and t2 = Table.of_s_batch sb in
+  Alcotest.(check int) "table sizes" (Table.s_size t1) (Table.s_size t2)
+
+let prop_batch_models_rows =
+  QCheck2.Test.make ~name:"batch models row array" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 100)
+        (map2 (fun a b -> (float_of_int a, float_of_int b)) (int_bound 50) (int_bound 50)))
+    (fun rows ->
+      let arr = Array.of_list rows in
+      let b = B.of_rows arr in
+      B.check_invariants b;
+      B.to_rows b = arr)
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -144,6 +240,15 @@ let () =
     [
       ( "table",
         [ qc prop_s_table_indexes_agree; qc prop_r_table_round_trip ] );
+      ( "batch",
+        [
+          Alcotest.test_case "push/get" `Quick test_batch_push_get;
+          Alcotest.test_case "clear and reuse" `Quick test_batch_clear_reuse;
+          Alcotest.test_case "slice aliasing" `Quick test_batch_slice_aliases;
+          Alcotest.test_case "seal/unseal" `Quick test_batch_seal;
+          Alcotest.test_case "tuple round trips" `Quick test_batch_tuple_round_trip;
+          qc prop_batch_models_rows;
+        ] );
       ( "workload",
         [
           Alcotest.test_case "distributions" `Slow test_workload_distributions;

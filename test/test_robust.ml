@@ -56,6 +56,20 @@ let test_fuzz_engine () =
     (fun backend -> check_outcome (Oracle.run_engine ~backend ~seed:3 ~ops:400 ()))
     Cq_index.Stab_backend.all
 
+let test_fuzz_batch () =
+  (* The flat-batch-vs-per-tuple multiset property over 100+ seeds on
+     the default backend (the one with a native batched descent), plus
+     a smaller sweep over the loop-fallback backends. *)
+  List.iter
+    (fun seed -> check_outcome (Oracle.run_batch ~seed ~ops:200 ()))
+    (List.init 110 (fun i -> i + 1));
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun backend -> check_outcome (Oracle.run_batch ~backend ~seed ~ops:200 ()))
+        Cq_index.Stab_backend.all)
+    (List.init 10 (fun i -> i + 1))
+
 let test_fuzz_parallel () =
   (* The parallel-vs-sequential multiset property across many seeds and
      both interesting shard counts (2 = minimal fan-out, 4 = more
@@ -252,6 +266,7 @@ let () =
           Alcotest.test_case "tracker agrees" `Quick test_fuzz_tracker;
           Alcotest.test_case "partitions agree" `Quick test_fuzz_partitions;
           Alcotest.test_case "engine agrees" `Quick test_fuzz_engine;
+          Alcotest.test_case "batch ingest matches per-tuple" `Quick test_fuzz_batch;
           Alcotest.test_case "parallel matches sequential" `Quick test_fuzz_parallel;
           Alcotest.test_case "shed answers within claimed bounds" `Quick test_fuzz_shed;
           Alcotest.test_case "adaptive-rate shed answers within bounds" `Quick

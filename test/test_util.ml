@@ -198,6 +198,102 @@ let prop_vec_models_list =
       List.iter (Vec.push v) ops;
       Vec.to_list v = ops)
 
+(* Growth across doubling boundaries: sizes clustered around powers of
+   two (the capacity edges of the doubling policy) must preserve every
+   element and the length, whatever the initial capacity. *)
+let prop_vec_growth_capacity_edges =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_bound 6)
+        (map2 (fun k d -> Int.max 0 ((1 lsl k) + d - 2)) (int_bound 10) (int_bound 4)))
+  in
+  QCheck2.Test.make ~name:"vec growth across capacity edges" ~count:300 gen
+    (fun (cap, n) ->
+      let v = if cap = 0 then Vec.create () else Vec.make cap in
+      for i = 0 to n - 1 do
+        Vec.push v i
+      done;
+      Vec.length v = n
+      &&
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Vec.get v i <> i then ok := false
+      done;
+      !ok)
+
+(* Clear-and-reuse (the hot-path scratch pattern): after any number of
+   fill/clear rounds the vec models exactly the last round's pushes —
+   no stale elements, no leftover length. *)
+let prop_vec_clear_reuse =
+  QCheck2.Test.make ~name:"vec clear-and-reuse models last round" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 6) (list (int_bound 1000)))
+    (fun rounds ->
+      let v = Vec.create () in
+      List.iter
+        (fun round ->
+          Vec.clear v;
+          List.iter (Vec.push v) round)
+        rounds;
+      let last = List.nth rounds (List.length rounds - 1) in
+      Vec.to_list v = last)
+
+(* iter/iteri/fold visit in push order, and to_array agrees. *)
+let prop_vec_iteration_order =
+  QCheck2.Test.make ~name:"vec iteration follows push order" ~count:300
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun ops ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) ops;
+      let seen = ref [] in
+      Vec.iter (fun x -> seen := x :: !seen) v;
+      let indexed_ok = ref true in
+      Vec.iteri (fun i x -> if Vec.get v i <> x then indexed_ok := false) v;
+      List.rev !seen = ops
+      && !indexed_ok
+      && Vec.fold (fun acc x -> x :: acc) [] v = List.rev ops
+      && Array.to_list (Vec.to_array v) = ops)
+
+(* Mixed push/pop/swap_remove stream against a list model. *)
+let prop_vec_mixed_ops_model =
+  let open QCheck2.Gen in
+  let op = oneof [ map (fun x -> `Push x) (int_bound 1000); pure `Pop; pure `Swap ] in
+  QCheck2.Test.make ~name:"vec mixed ops model" ~count:300 (list op) (fun ops ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun o ->
+          match o with
+          | `Push x ->
+              Vec.push v x;
+              model := !model @ [ x ]
+          | `Pop ->
+              if Vec.length v > 0 then begin
+                let got = Vec.pop v in
+                let n = List.length !model in
+                let last = List.nth !model (n - 1) in
+                if got <> last then model := [ -1 ] (* force mismatch *)
+                else model := List.filteri (fun i _ -> i < n - 1) !model
+              end
+          | `Swap ->
+              if Vec.length v > 0 then begin
+                let got = Vec.swap_remove v 0 in
+                match !model with
+                | first :: rest ->
+                    if got <> first then model := [ -1 ]
+                    else begin
+                      (* swap_remove moves the last element into slot 0. *)
+                      let n = List.length rest in
+                      if n = 0 then model := []
+                      else
+                        model :=
+                          List.nth rest (n - 1)
+                          :: List.filteri (fun i _ -> i < n - 1) rest
+                    end
+                | [] -> ()
+              end)
+        ops;
+      Vec.to_list v = !model)
+
 (* ------------------------------- Order ------------------------------- *)
 
 (* The monomorphic comparators that replaced polymorphic [List.sort
@@ -270,6 +366,10 @@ let () =
           Alcotest.test_case "bounds errors" `Quick test_vec_bounds;
           Alcotest.test_case "sort/fold/exists" `Quick test_vec_sort_fold;
           QCheck_alcotest.to_alcotest prop_vec_models_list;
+          QCheck_alcotest.to_alcotest prop_vec_growth_capacity_edges;
+          QCheck_alcotest.to_alcotest prop_vec_clear_reuse;
+          QCheck_alcotest.to_alcotest prop_vec_iteration_order;
+          QCheck_alcotest.to_alcotest prop_vec_mixed_ops_model;
         ] );
       ( "order",
         [
