@@ -60,10 +60,10 @@ let with_metrics enabled f =
 (* Shared demo workload for $(b,stats) and $(b,trace): a band-join
    engine under a clustered query population hot enough that the
    trackers promote (and, after the unsubscribe wave, demote) groups. *)
-let run_demo ~queries ~events ~alpha ~seed ~backend =
+let run_demo ~queries ~events ~alpha ~seed ~backend ~strategy =
   let module E = Cq_engine.Engine in
   let rng = Cq_util.Rng.create seed in
-  let eng = E.create ~alpha ~seed ~backend () in
+  let eng = E.create ~alpha ~seed ~backend ~strategy () in
   let ranges =
     Cq_relation.Workload.gen_clustered_ranges ~scattered_len:(10.0, 4.0) rng ~n:queries
       ~n_clusters:8 ~clustered_frac:0.9 ~domain:(-500.0, 500.0) ~cluster_halfwidth:15.0
@@ -258,26 +258,44 @@ let run_overload_demo ~seed ~overload ~events =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed; failures replay exactly under the same seed.")
 
+(* Unknown enum-ish flag values get their own exit code and a one-line
+   hint, not cmdliner's generic usage dump (124) and not a raw
+   exception: scripts can tell a mistyped --backend/--strategy apart
+   from a real failure.  Validation therefore happens in the command
+   bodies (below), not in a cmdliner conv. *)
+let bad_flag_exit = 64
+
+let bad_flag_value ~flag ~given ~valid =
+  Printf.eprintf "cqctl: unknown %s %s (valid: %s)\n%!" flag given valid;
+  Stdlib.exit bad_flag_exit
+
 (* "itree" | "skiplist" | "treap" for a single backend, or "all". *)
 let backend_arg =
-  let parse s =
-    if String.equal s "all" then Ok None
-    else
-      match Cq_index.Stab_backend.of_string s with
-      | Ok k -> Ok (Some k)
-      | Error msg -> Error (`Msg msg)
-  in
-  let print fmt = function
-    | None -> Format.pp_print_string fmt "all"
-    | Some k -> Format.pp_print_string fmt (Cq_index.Stab_backend.to_string k)
-  in
   Arg.(
     value
-    & opt (conv (parse, print)) (Some Cq_index.Stab_backend.Itree)
+    & opt string "itree"
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:"Engine stabbing backend: $(b,itree), $(b,skiplist), $(b,treap), or $(b,all).")
 
-let backends_of = function Some k -> [ k ] | None -> Cq_index.Stab_backend.all
+let backends_of s =
+  if String.equal s "all" then Cq_index.Stab_backend.all
+  else
+    match Cq_index.Stab_backend.of_string s with
+    | Ok k -> [ k ]
+    | Error _ ->
+        bad_flag_value ~flag:"--backend" ~given:s ~valid:"itree, skiplist, treap, all"
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "hotspot"
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Event-processing strategy: $(b,hotspot) or $(b,ssi).")
+
+let strategy_of s =
+  match Hotspot_core.Processor.strategy_of_string s with
+  | Ok k -> k
+  | Error _ -> bad_flag_value ~flag:"--strategy" ~given:s ~valid:"hotspot, ssi"
 
 let fuzz_cmd =
   let ops =
@@ -414,12 +432,13 @@ let overload_arg =
            report admission/shedding counters and degraded-answer bounds.")
 
 let stats_cmd =
-  let run seed queries events alpha backend overload =
+  let run seed queries events alpha backend strategy overload =
+    let backend = first_backend backend and strategy = strategy_of strategy in
     Cq_obs.Metrics.set_enabled true;
     Cq_obs.Trace.set_enabled true;
     (match overload with
     | Cq_engine.Engine.Config.Block ->
-        let eng = run_demo ~queries ~events ~alpha ~seed ~backend:(first_backend backend) in
+        let eng = run_demo ~queries ~events ~alpha ~seed ~backend ~strategy in
         Format.printf "@[<v>%a@]@." Cq_engine.Engine.pp_stats (Cq_engine.Engine.stats eng)
     | (Cq_engine.Engine.Config.Reject | Cq_engine.Engine.Config.Shed) as overload ->
         run_overload_demo ~seed ~overload ~events);
@@ -434,7 +453,9 @@ let stats_cmd =
          "Run an instrumented demo workload and print the engine stats block, the metrics \
           registry, and the trace tail.  With $(b,--overload reject|shed), a bursty \
           parallel demo exercises the admission-control / load-shedding path instead.")
-    Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg $ overload_arg)
+    Term.(
+      const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg
+      $ strategy_arg $ overload_arg)
 
 let trace_cmd =
   let out =
@@ -443,10 +464,11 @@ let trace_cmd =
       & opt string "trace.json"
       & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the Chrome trace_event JSON.")
   in
-  let run seed queries events alpha backend out =
+  let run seed queries events alpha backend strategy out =
+    let backend = first_backend backend and strategy = strategy_of strategy in
     Cq_obs.Metrics.set_enabled true;
     Cq_obs.Trace.set_enabled true;
-    ignore (run_demo ~queries ~events ~alpha ~seed ~backend:(first_backend backend));
+    ignore (run_demo ~queries ~events ~alpha ~seed ~backend ~strategy);
     Cq_obs.Trace.write_chrome ~path:out;
     Printf.printf "wrote %d trace events to %s (%d dropped by the ring)\n"
       (Cq_obs.Trace.length ()) out
@@ -457,7 +479,198 @@ let trace_cmd =
        ~doc:
          "Run the instrumented demo workload and export the trace ring as Chrome \
           trace_event JSON (load in chrome://tracing or Perfetto).")
-    Term.(const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg $ out)
+    Term.(
+      const run $ seed_arg $ demo_queries $ demo_events $ demo_alpha $ backend_arg
+      $ strategy_arg $ out)
+
+(* --------------------------- serve / client ----------------------------- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let resolve_addr host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok (Unix.ADDR_INET (addr, port))
+  | exception Failure _ ->
+      Error (Printf.sprintf "not an IP address: %s (try 127.0.0.1)" host)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 7171
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; 0 picks an ephemeral port (printed at startup).")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Accept cap; connections beyond it are refused with a typed error frame.")
+  in
+  let session_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "session-queue" ] ~docv:"FRAMES"
+          ~doc:
+            "Bounded result-queue capacity per session.  Small values make slow readers \
+             shed (with OVERLOAD notices) sooner.")
+  in
+  let shards =
+    Arg.(
+      value & opt shard_count 1
+      & info [ "shards" ] ~docv:"N" ~doc:"Worker shards for the parallel engine.")
+  in
+  let alpha =
+    Arg.(value & opt float 0.01 & info [ "alpha" ] ~doc:"Hotspot threshold.")
+  in
+  let run seed host port max_sessions session_queue shards alpha backend strategy metrics =
+    let backend = first_backend backend and strategy = strategy_of strategy in
+    with_metrics metrics @@ fun () ->
+    match resolve_addr host port with
+    | Error msg -> `Error (false, msg)
+    | Ok addr -> (
+        let engine =
+          {
+            Cq_engine.Engine.Config.default with
+            Cq_engine.Engine.Config.alpha;
+            seed;
+            backend;
+            strategy;
+            shards;
+          }
+        in
+        let config =
+          { Cq_net.Server.default_config with engine; max_sessions; session_queue }
+        in
+        match Cq_net.Server.try_create ~config ~addr () with
+        | Error e -> `Error (false, Cq_util.Error.to_string e)
+        | Ok srv ->
+            let stop _ = Cq_net.Server.stop srv in
+            Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+            Printf.printf "cqctl serve: listening on %s:%d (backend %s, strategy %s, %d shard%s)\n%!"
+              host (Cq_net.Server.port srv)
+              (Cq_index.Stab_backend.to_string backend)
+              (Hotspot_core.Processor.strategy_to_string strategy)
+              shards
+              (if shards = 1 then "" else "s");
+            Cq_net.Server.serve srv;
+            Format.printf "@[<v>%a@]@." Cq_net.Server.pp_stats (Cq_net.Server.stats srv);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the continuous-query engine over TCP (DESIGN.md \xc2\xa714): sessions register \
+          band/select queries, stream tuple batches, and receive fan-out result frames \
+          with end-to-end backpressure.  Stop with SIGINT/SIGTERM.")
+    Term.(
+      ret
+        (const run $ seed_arg $ host_arg $ port $ max_sessions $ session_queue $ shards
+        $ alpha $ backend_arg $ strategy_arg $ metrics_term))
+
+let client_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port to connect to.")
+  in
+  let bands =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' float float) [ (400.0, 600.0) ]
+      & info [ "band" ] ~docv:"LO:HI"
+          ~doc:"Band-query window to register (repeatable; default one 400:600 window).")
+  in
+  let batches =
+    Arg.(value & opt int 32 & info [ "batches" ] ~docv:"N" ~doc:"Tuple batches to stream.")
+  in
+  let rows =
+    Arg.(value & opt int 64 & info [ "rows" ] ~docv:"N" ~doc:"Rows per batch.")
+  in
+  let run seed host port bands batches rows =
+    let module Client = Cq_net.Client in
+    let module Frame = Cq_net.Frame in
+    let fail e = `Error (false, Client.error_to_string e) in
+    match resolve_addr host port with
+    | Error msg -> `Error (false, msg)
+    | Ok addr -> (
+        match Client.connect ~addr () with
+        | Error e -> fail e
+        | Ok c -> (
+            Printf.printf "session %d\n%!" (Client.session_id c);
+            let rec register = function
+              | [] -> Ok ()
+              | (lo, hi) :: rest -> (
+                  match Client.register_band c ~lo ~hi with
+                  | Error _ as e -> e
+                  | Ok qid ->
+                      Printf.printf "registered [%g, %g] as q%d\n%!" lo hi qid;
+                      register rest)
+            in
+            match register bands with
+            | Error e ->
+                Client.close c;
+                fail e
+            | Ok () ->
+                (* Seeded stream in the demo domain [0, 1000): R rows
+                   carry (a, b), S rows (b, c); flushing every batch
+                   keeps results arriving incrementally. *)
+                let rng = Cq_util.Rng.create seed in
+                let accepted = ref 0 and result_rows = ref 0 and dropped = ref 0 in
+                let outcome = ref (`Ok ()) in
+                (try
+                   for _ = 1 to batches do
+                     let side = if Cq_util.Rng.bool rng then Frame.R else Frame.S in
+                     let rows =
+                       Array.init rows (fun _ ->
+                           ( 1000.0 *. Cq_util.Rng.float rng,
+                             1000.0 *. Cq_util.Rng.float rng ))
+                     in
+                     (match
+                        Client.send_batch c ~side (Cq_net.Driver.batch_of_rows rows)
+                      with
+                     | Ok (Client.Accepted n) -> accepted := !accepted + n
+                     | Ok (Client.Overloaded { source; dropped = d; retry_after_ms }) ->
+                         Printf.printf "OVERLOAD (%s): %d dropped, retry in %.1fms\n%!"
+                           (Frame.overload_source_to_string source)
+                           d retry_after_ms
+                     | Error e ->
+                         outcome := fail e;
+                         raise Exit);
+                     match Client.flush c with
+                     | Error e ->
+                         outcome := fail e;
+                         raise Exit
+                     | Ok _ ->
+                         List.iter
+                           (fun (_, rs) -> result_rows := !result_rows + Array.length rs)
+                           (Client.take_results c);
+                         List.iter
+                           (fun (source, d, _) ->
+                             dropped := !dropped + d;
+                             Printf.printf "OVERLOAD (%s): %d result rows dropped\n%!"
+                               (Frame.overload_source_to_string source)
+                               d)
+                           (Client.take_overloads c)
+                   done
+                 with Exit -> ());
+                (match !outcome with `Ok () -> ignore (Client.bye c) | _ -> Client.close c);
+                Printf.printf
+                  "streamed %d rows in %d batches; %d result rows received, %d dropped at \
+                   the server\n%!"
+                  !accepted batches !result_rows !dropped;
+                !outcome))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Connect to $(b,cqctl serve), register band queries, stream a seeded tuple \
+          workload, and report the result rows received.")
+    Term.(ret (const run $ seed_arg $ host_arg $ port $ bands $ batches $ rows))
 
 let lint_cmd =
   (* Shares Cq_lint.Engine with the standalone cqlint binary — same
@@ -493,6 +706,9 @@ let main =
   let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in
   Cmd.group
     (Cmd.info "cqctl" ~version:"1.0.0" ~doc)
-    [ bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd; stats_cmd; trace_cmd; lint_cmd ]
+    [
+      bench_cmd; list_cmd; zipf_cmd; workload_cmd; fuzz_cmd; audit_cmd; stats_cmd;
+      trace_cmd; serve_cmd; client_cmd; lint_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,82 @@
+(* The network front-end under concurrent sessions: batch request
+   latency (send to ack, which spans decode, ingest, flush, fan-out and
+   the reply write) and aggregate ingest throughput, swept over the
+   session count on a loopback socket. *)
+
+module Driver = Cq_net.Driver
+module Metrics = Cq_obs.Metrics
+
+(* The server runs in its own process (or domain, once this process
+   has created domains — see {!Cq_net.Driver.run_workload}), so its
+   side of the instrumentation comes back as a snapshot.  Replay the
+   counters and gauges into this process's registry so the experiment's
+   obs block shows the server's view (net.* frame/queue metrics);
+   histogram cells cannot be replayed from a summary, so their
+   percentiles land in the metrics list instead. *)
+let merge_server_snapshot (snap : Metrics.snapshot) =
+  List.iter
+    (fun (name, v) -> if v > 0 then Metrics.add (Metrics.counter name) v)
+    snap.Metrics.snap_counters;
+  List.iter
+    (fun (name, v) -> if Float.compare v 0.0 <> 0 then Metrics.set (Metrics.gauge name) v)
+    snap.Metrics.snap_gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist_summary)) ->
+      if h.Metrics.count > 0 then begin
+        Report.record_metric (name ^ "_p50") h.Metrics.p50 "ns";
+        Report.record_metric (name ^ "_p99") h.Metrics.p99 "ns"
+      end)
+    snap.Metrics.snap_histograms
+
+let serve_sessions (scale : Setup.scale) =
+  Report.section "serve-sessions" "Network front-end: latency and throughput vs sessions";
+  Report.note "Seeded loopback workload (DESIGN.md s14): each session registers 2";
+  Report.note "continuous queries, then the driver streams tuple batches in";
+  Report.note "lockstep and measures each batch's send-to-ack round trip -- the";
+  Report.note "ack orders behind the flush that processed the batch, so the RTT";
+  Report.note "covers decode, ingest, flush, result fan-out and the reply write.";
+  Report.note "One event-loop tick serves every session, so aggregate throughput";
+  Report.note "should hold roughly flat as sessions grow and per-batch latency";
+  Report.note "should grow with the fan-out work, not with idle sessions.";
+  let batches = max 48 (scale.Setup.events / 20) in
+  let rows_per_batch = 16 in
+  Report.json_param "batches" (string_of_int batches);
+  Report.json_param "rows_per_batch" (string_of_int rows_per_batch);
+  let rows =
+    List.filter_map
+      (fun sessions ->
+        let w =
+          Driver.gen_workload ~seed:(40 + sessions) ~sessions ~queries_per_session:2
+            ~batches ~rows_per_batch
+        in
+        match Driver.run_workload w with
+        | Error e ->
+            Report.note "sessions=%d FAILED: %s" sessions (Cq_net.Client.error_to_string e);
+            None
+        | Ok o ->
+            let p50 = Driver.percentile o.Driver.latencies_ns 50.0 in
+            let p99 = Driver.percentile o.Driver.latencies_ns 99.0 in
+            let total_rows = batches * rows_per_batch in
+            let tput = float_of_int total_rows /. o.Driver.elapsed_s in
+            let st = o.Driver.server in
+            Option.iter merge_server_snapshot o.Driver.server_metrics;
+            let tag = Printf.sprintf "sessions_%d_" sessions in
+            Report.record_metric (tag ^ "rtt_p50") p50 "ns";
+            Report.record_metric (tag ^ "rtt_p99") p99 "ns";
+            Report.record_metric (tag ^ "tuples_per_sec") tput "rows/s";
+            Some
+              [
+                string_of_int sessions;
+                Report.fmt_throughput tput;
+                Report.fmt_ns p50;
+                Report.fmt_ns p99;
+                string_of_int st.Cq_net.Server.net_results_delivered;
+                string_of_int st.Cq_net.Server.net_results_dropped;
+                string_of_int st.Cq_net.Server.net_overloads;
+              ])
+      [ 1; 4; 16; 64 ]
+  in
+  Report.table
+    ~header:
+      [ "sessions"; "tuples/s"; "rtt p50"; "rtt p99"; "result rows"; "dropped"; "overloads" ]
+    ~rows

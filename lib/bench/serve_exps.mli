@@ -1,0 +1,6 @@
+(** Network front-end experiments (the [serve-sessions] entry). *)
+
+val serve_sessions : Setup.scale -> unit
+(** Concurrent loopback sessions vs per-batch request latency
+    (send-to-ack p50/p99) and aggregate ingest throughput, with the
+    server-side obs snapshot merged into the experiment's obs block. *)

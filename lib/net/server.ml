@@ -1,0 +1,511 @@
+module Par = Cq_engine.Parallel
+module Engine = Cq_engine.Engine
+module I = Cq_interval.Interval
+module Error = Cq_util.Error
+module Metrics = Cq_obs.Metrics
+
+let m_accepts = Metrics.counter "net.accepts"
+let m_active = Metrics.gauge "net.sessions.active"
+let m_frames_in = Metrics.counter "net.frames.in"
+let m_decode_ns = Metrics.histogram "net.frame.decode_ns"
+let m_batches_in = Metrics.counter "net.batches.in"
+let m_rows_in = Metrics.counter "net.rows.in"
+let m_results_delivered = Metrics.counter "net.results.delivered"
+let m_results_dropped = Metrics.counter "net.results.dropped"
+let m_overloads = Metrics.counter "net.overload.frames"
+let m_proto_errors = Metrics.counter "net.proto_errors"
+
+(* Fixed kernel socket-buffer size (bytes) for accepted connections;
+   see the rationale at the [accept_loop] call site. *)
+let sock_buf_bytes = 256 * 1024
+
+type config = {
+  engine : Engine.Config.t;
+  max_sessions : int;
+  session_queue : int;
+  max_frame : int;
+}
+
+let default_config =
+  {
+    engine = Engine.Config.default;
+    max_sessions = 1024;
+    session_queue = 64;
+    max_frame = Frame.default_max_frame;
+  }
+
+type sub_entry = { sub : Par.subscription; owner : int }
+
+type t = {
+  cfg : config;
+  par : Par.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable torn_down : bool;
+  sessions : (int, Session.t) Hashtbl.t;
+  mutable next_sid : int;
+  mutable next_qid : int;
+  subs : (int, sub_entry) Hashtbl.t;
+  (* Batches queued to the engine alias their decode buffers until the
+     next flush barrier unseals them; hold the roots until then. *)
+  mutable inflight : Cq_relation.Batch.t list;
+  mutable dirty : bool;
+  rbuf : Bytes.t;
+  mutable accepts : int;
+  mutable results_delivered : int;
+  mutable results_dropped : int;
+  mutable overloads_sent : int;
+  mutable proto_errors : int;
+  mutable flushes : int;
+}
+
+type stats = {
+  net_accepts : int;
+  net_active : int;
+  net_results_delivered : int;
+  net_results_dropped : int;
+  net_overloads : int;
+  net_proto_errors : int;
+  net_flushes : int;
+}
+
+let stats t =
+  {
+    net_accepts = t.accepts;
+    net_active = Hashtbl.length t.sessions;
+    net_results_delivered = t.results_delivered;
+    net_results_dropped = t.results_dropped;
+    net_overloads = t.overloads_sent;
+    net_proto_errors = t.proto_errors;
+    net_flushes = t.flushes;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>accepts              %d@,active sessions      %d@,results delivered    %d@,results \
+     dropped      %d@,overload frames      %d@,protocol errors      %d@,flushes              \
+     %d@]"
+    s.net_accepts s.net_active s.net_results_delivered s.net_results_dropped s.net_overloads
+    s.net_proto_errors s.net_flushes
+
+let port t = t.port
+let active_sessions t = Hashtbl.length t.sessions
+
+let try_create ?(config = default_config) ~addr () =
+  let ( let* ) = Result.bind in
+  let* _ = Error.at_least ~name:"max_sessions" ~min:1 config.max_sessions in
+  let* _ = Error.at_least ~name:"session_queue" ~min:1 config.session_queue in
+  let* _ = Error.at_least ~name:"max_frame" ~min:64 config.max_frame in
+  let* par = Par.try_create_cfg config.engine in
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd addr;
+       Unix.listen fd 128;
+       Unix.set_nonblock fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (err, fn, _) ->
+      Par.shutdown par;
+      Error
+        (Error.Invalid_parameter
+           {
+             name = "addr";
+             value = Printf.sprintf "%s: %s" fn (Unix.error_message err);
+             expected = "a bindable TCP address";
+           })
+  | listen_fd ->
+      let port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> 0
+      in
+      let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock stop_r;
+      Ok
+        {
+          cfg = config;
+          par;
+          listen_fd;
+          port;
+          stop_r;
+          stop_w;
+          stopping = false;
+          torn_down = false;
+          sessions = Hashtbl.create 64;
+          next_sid = 1;
+          next_qid = 1;
+          subs = Hashtbl.create 64;
+          inflight = [];
+          dirty = false;
+          rbuf = Bytes.create 65536;
+          accepts = 0;
+          results_delivered = 0;
+          results_dropped = 0;
+          overloads_sent = 0;
+          proto_errors = 0;
+          flushes = 0;
+        }
+
+let create ?config ~addr () = Error.ok_exn (try_create ?config ~addr ())
+
+(* ------------------------- session lifecycle --------------------------- *)
+
+let close_session t s =
+  if not (Session.closed s) then begin
+    List.iter
+      (fun qid ->
+        match Hashtbl.find_opt t.subs qid with
+        | Some { sub; _ } ->
+            ignore (Par.unsubscribe t.par sub);
+            Hashtbl.remove t.subs qid
+        | None -> ())
+      (Session.qids s);
+    Session.close_fd s;
+    Hashtbl.remove t.sessions (Session.sid s);
+    Metrics.set m_active (float_of_int (Hashtbl.length t.sessions))
+  end
+
+let sorted_sessions t =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  List.sort (fun a b -> Int.compare (Session.sid a) (Session.sid b)) all
+
+let send_ctrl t s frame =
+  if not (Session.enqueue_ctrl s frame) then
+    (* Control FIFO overflow: the client floods requests without
+       reading replies.  Cut it loose — that is the bound. *)
+    close_session t s
+
+let maybe_notify_overload t s =
+  let dropped = Session.dropped_rows s in
+  if dropped > 0 then
+    let notice =
+      Frame.Overload { source = Frame.Slow_session; dropped; retry_after_ms = 50.0 }
+    in
+    if Session.enqueue_ctrl s notice then begin
+      Session.clear_dropped s;
+      t.overloads_sent <- t.overloads_sent + 1;
+      Metrics.incr m_overloads
+    end
+
+(* ------------------------------ accept --------------------------------- *)
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+    | fd, _peer ->
+        t.accepts <- t.accepts + 1;
+        Metrics.incr m_accepts;
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (_, _, _) -> ());
+        (* Pin both kernel buffers.  Auto-tuned buffers are a trap for
+           this traffic shape: a client that drains one result burst
+           quickly gets its window auto-grown past what the kernel will
+           actually allocate, and when it then idles between RPCs the
+           in-window segments that no longer fit are silently dropped —
+           on loopback that means retransmission timeouts with
+           exponential backoff, i.e. multi-second stalls.  A fixed
+           buffer keeps the advertised window honest, and a small send
+           buffer keeps undelivered results in our bounded per-session
+           queues — where the backpressure accounting lives — rather
+           than invisibly in the kernel. *)
+        (try
+           Unix.setsockopt_int fd Unix.SO_SNDBUF sock_buf_bytes;
+           Unix.setsockopt_int fd Unix.SO_RCVBUF sock_buf_bytes
+         with Unix.Unix_error (_, _, _) -> ());
+        if Hashtbl.length t.sessions >= t.cfg.max_sessions then begin
+          (* Best-effort refusal; the fd is non-blocking, a lost byte
+             just looks like a reset to the peer. *)
+          let buf = Buffer.create 64 in
+          Frame.encode_server buf
+            (Frame.Err { code = Frame.Err_server_full; message = "session limit reached" });
+          let b = Buffer.to_bytes buf in
+          (try ignore (Unix.write fd b 0 (Bytes.length b))
+           with Unix.Unix_error (_, _, _) -> ());
+          try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+        end
+        else begin
+          let sid = t.next_sid in
+          t.next_sid <- sid + 1;
+          let s =
+            Session.create ~sid ~fd ~queue_cap:t.cfg.session_queue
+              ~max_frame:t.cfg.max_frame
+          in
+          Hashtbl.replace t.sessions sid s;
+          Metrics.set m_active (float_of_int (Hashtbl.length t.sessions))
+        end
+  done
+
+(* ---------------------------- frame handling --------------------------- *)
+
+let finite_range lo hi = Float.is_finite lo && Float.is_finite hi && lo <= hi
+
+let register t s ~subscribe =
+  let qid = t.next_qid in
+  t.next_qid <- qid + 1;
+  match subscribe qid with
+  | Ok sub ->
+      Hashtbl.replace t.subs qid { sub; owner = Session.sid s };
+      Session.add_qid s qid;
+      send_ctrl t s (Frame.Registered { qid })
+  | Error e ->
+      t.next_qid <- qid;
+      send_ctrl t s (Frame.Err { code = Frame.Err_engine; message = Error.to_string e })
+
+let handle_frame t s (frame : Frame.client_frame) =
+  match frame with
+  | Frame.Hello { version } ->
+      if version = Frame.protocol_version then
+        send_ctrl t s
+          (Frame.Welcome { version = Frame.protocol_version; session_id = Session.sid s })
+      else begin
+        send_ctrl t s
+          (Frame.Err
+             {
+               code = Frame.Err_proto;
+               message =
+                 Printf.sprintf "protocol version %d unsupported (server speaks %d)" version
+                   Frame.protocol_version;
+             });
+        Session.mark_closing s
+      end
+  | Frame.Register_band { lo; hi } ->
+      if not (finite_range lo hi) then
+        send_ctrl t s
+          (Frame.Err { code = Frame.Err_bad_request; message = "band range must be finite with lo <= hi" })
+      else
+        register t s ~subscribe:(fun qid ->
+            Par.try_subscribe_band t.par ~range:(I.make lo hi) (fun r sv ->
+                Session.record_result s ~qid ~ra:r.Cq_relation.Tuple.a ~rb:r.Cq_relation.Tuple.b
+                  ~sb:sv.Cq_relation.Tuple.b ~sc:sv.Cq_relation.Tuple.c))
+  | Frame.Register_select { a_lo; a_hi; c_lo; c_hi } ->
+      if not (finite_range a_lo a_hi && finite_range c_lo c_hi) then
+        send_ctrl t s
+          (Frame.Err
+             { code = Frame.Err_bad_request; message = "select ranges must be finite with lo <= hi" })
+      else
+        register t s ~subscribe:(fun qid ->
+            Par.try_subscribe_select t.par ~range_a:(I.make a_lo a_hi)
+              ~range_c:(I.make c_lo c_hi) (fun r sv ->
+                Session.record_result s ~qid ~ra:r.Cq_relation.Tuple.a ~rb:r.Cq_relation.Tuple.b
+                  ~sb:sv.Cq_relation.Tuple.b ~sc:sv.Cq_relation.Tuple.c))
+  | Frame.Drop { qid } -> (
+      match Hashtbl.find_opt t.subs qid with
+      | Some { sub; owner } when owner = Session.sid s ->
+          ignore (Par.unsubscribe t.par sub);
+          Hashtbl.remove t.subs qid;
+          Session.remove_qid s qid;
+          send_ctrl t s (Frame.Dropped { qid })
+      | Some _ | None ->
+          send_ctrl t s
+            (Frame.Err
+               { code = Frame.Err_bad_request; message = Printf.sprintf "q%d is not yours to drop" qid }))
+  | Frame.Batch { side; rows } ->
+      let n = Cq_relation.Batch.length rows in
+      Metrics.incr m_batches_in;
+      if n = 0 then send_ctrl t s (Frame.Batch_ok { rows = 0 })
+      else begin
+        let engine_side = match side with Frame.R -> Par.R | Frame.S -> Par.S in
+        match Par.try_ingest_batch_flat t.par engine_side rows with
+        | Ok () ->
+            t.dirty <- true;
+            t.inflight <- rows :: t.inflight;
+            Metrics.add m_rows_in n;
+            send_ctrl t s (Frame.Batch_ok { rows = n })
+        | Error (Error.Overload { retry_after_ms; _ }) ->
+            t.overloads_sent <- t.overloads_sent + 1;
+            Metrics.incr m_overloads;
+            send_ctrl t s
+              (Frame.Overload { source = Frame.Engine_admission; dropped = n; retry_after_ms })
+        | Error e ->
+            send_ctrl t s (Frame.Err { code = Frame.Err_engine; message = Error.to_string e })
+      end
+  | Frame.Flush -> Session.request_flush s
+  | Frame.Ping { token } -> send_ctrl t s (Frame.Pong { token })
+  | Frame.Bye ->
+      send_ctrl t s Frame.Goodbye;
+      Session.mark_closing s
+
+let handle_proto_error t s e =
+  t.proto_errors <- t.proto_errors + 1;
+  Metrics.incr m_proto_errors;
+  send_ctrl t s
+    (Frame.Err { code = Frame.Err_proto; message = Frame.proto_error_to_string e });
+  Session.mark_closing s
+
+let handle_readable t s =
+  match Unix.read (Session.fd s) t.rbuf 0 (Bytes.length t.rbuf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_session t s
+  | 0 -> (
+      match Frame.Decoder.at_eof (Session.decoder s) with
+      | Ok () -> close_session t s
+      | Error _ ->
+          t.proto_errors <- t.proto_errors + 1;
+          Metrics.incr m_proto_errors;
+          close_session t s)
+  | n ->
+      Frame.Decoder.feed (Session.decoder s) t.rbuf ~off:0 ~len:n;
+      let continue = ref true in
+      while !continue && not (Session.closing s || Session.closed s) do
+        let t0 = if Metrics.enabled () then Cq_util.Clock.monotonic_ns () else 0L in
+        match Frame.Decoder.next_client (Session.decoder s) with
+        | Frame.Decoder.Frame f ->
+            if Metrics.enabled () then
+              Metrics.observe m_decode_ns
+                (Int64.to_float (Int64.sub (Cq_util.Clock.monotonic_ns ()) t0));
+            Session.count_frame_in s;
+            Metrics.incr m_frames_in;
+            handle_frame t s f
+        | Frame.Decoder.Awaiting -> continue := false
+        | Frame.Decoder.Broken e ->
+            handle_proto_error t s e;
+            continue := false
+      done
+
+(* ------------------------------- flush --------------------------------- *)
+
+let do_flush t =
+  ignore (Par.flush t.par);
+  t.flushes <- t.flushes + 1;
+  (* The barrier unsealed the decode-buffer roots; release them. *)
+  t.inflight <- [];
+  t.dirty <- false;
+  List.iter
+    (fun s ->
+      if not (Session.closed s) then begin
+        let delivered = ref 0 in
+        List.iter
+          (fun (qid, rows) ->
+            let n = Array.length rows in
+            if Session.enqueue_result_frame s (Frame.Results { qid; rows }) then begin
+              delivered := !delivered + n;
+              t.results_delivered <- t.results_delivered + n;
+              Metrics.add m_results_delivered n;
+              Session.count_results_sent s n
+            end
+            else begin
+              Session.note_dropped s n;
+              t.results_dropped <- t.results_dropped + n;
+              Metrics.add m_results_dropped n
+            end)
+          (Session.take_pending s);
+        maybe_notify_overload t s;
+        if Session.flush_requested s then begin
+          Session.clear_flush_request s;
+          Session.set_flush_ack s !delivered
+        end;
+        ignore (Session.try_send_flush_ack s)
+      end)
+    (sorted_sessions t)
+
+(* ------------------------------- the tick ------------------------------ *)
+
+let step t ~timeout =
+  let sessions = sorted_sessions t in
+  let reads =
+    t.stop_r
+    :: (if t.stopping || Hashtbl.length t.sessions >= t.cfg.max_sessions + 8 then [] else [ t.listen_fd ])
+    @ List.filter_map
+        (fun s ->
+          if Session.closing s || Session.closed s || Session.throttled s then None
+          else Some (Session.fd s))
+        sessions
+  in
+  let writes = List.filter_map (fun s -> if Session.wants_write s then Some (Session.fd s) else None) sessions in
+  let readable, _writable, _ =
+    match Unix.select reads writes [] timeout with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  let handled = ref 0 in
+  if List.memq t.stop_r readable then begin
+    let b = Bytes.create 16 in
+    (try
+       while Unix.read t.stop_r b 0 16 > 0 do
+         ()
+       done
+     with Unix.Unix_error (_, _, _) -> ());
+    t.stopping <- true
+  end;
+  if List.memq t.listen_fd readable then accept_loop t;
+  List.iter
+    (fun s ->
+      if (not (Session.closed s)) && List.memq (Session.fd s) readable then begin
+        let before = Session.frames_in s in
+        handle_readable t s;
+        handled := !handled + (Session.frames_in s - before)
+      end)
+    sessions;
+  if t.dirty || List.exists (fun s -> Session.flush_requested s) (sorted_sessions t) then
+    do_flush t;
+  (* Opportunistic writes: sockets are non-blocking, so attempting
+     every session with queued output costs at most one EWOULDBLOCK;
+     the select write-set exists to wake the loop, not to gate this. *)
+  List.iter
+    (fun s ->
+      if not (Session.closed s) then begin
+        (if Session.wants_write s then
+           match Session.write_step s with
+           | `Gone -> close_session t s
+           | `Blocked | `Drained -> ());
+        if not (Session.closed s) then begin
+          ignore (Session.try_send_flush_ack s);
+          maybe_notify_overload t s;
+          if Session.closing s && not (Session.wants_write s) then close_session t s
+        end
+      end)
+    (sorted_sessions t);
+  !handled
+
+let debug_dump t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "sessions=%d dirty=%b\n" (Hashtbl.length t.sessions) t.dirty);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  sid=%d throttled=%b out=%d wants_write=%b closing=%b flush_req=%b ack_due=%b dropped=%d results_sent=%d\n"
+           (Session.sid s) (Session.throttled s) (Session.out_depth s)
+           (Session.wants_write s) (Session.closing s) (Session.flush_requested s)
+           (Session.flush_ack_due s) (Session.dropped_rows s) (Session.results_sent s)))
+    (sorted_sessions t);
+  Buffer.contents b
+
+let stop t =
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error (_, _, _) -> ()
+
+let teardown t =
+  if not t.torn_down then begin
+    t.torn_down <- true;
+    List.iter (fun s -> Session.close_fd s) (sorted_sessions t);
+    Hashtbl.reset t.sessions;
+    Hashtbl.reset t.subs;
+    (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close t.stop_r with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close t.stop_w with Unix.Unix_error (_, _, _) -> ());
+    Par.shutdown t.par
+  end
+
+let serve t =
+  while not t.stopping do
+    ignore (step t ~timeout:0.25)
+  done;
+  teardown t
+
+let with_server ?config ~addr f =
+  match try_create ?config ~addr () with
+  | Error e -> Error.raise_ e
+  | Ok t -> Fun.protect ~finally:(fun () -> teardown t) (fun () -> f t)

@@ -1185,3 +1185,106 @@ let fuzz_all ?backend ?(shards = 2) ~seed ~ops () =
       run_parallel ~shards ~seed ~ops:engine_ops ();
       run_shed_adaptive ~seed ~ops:engine_ops ();
     ]
+
+(* Served-vs-direct differential check: the same seeded workload runs
+   once through the network front-end (Cq_net.Driver's lockstep
+   loopback harness — real sockets, real frames, a real multi-session
+   server) and once straight into an identically configured parallel
+   engine, and every session's result stream must match bit-for-bit:
+   same qid assignment, same rows, same order.  Lockstep driving plus
+   the server's read/flush/write tick make the served order
+   deterministic, so this is an equality check, not a multiset one. *)
+module Netd = Cq_net.Driver
+
+let run_serve ?(sessions = 4) ?(shards = 2) ~seed ~ops () =
+  let run = make_run (Printf.sprintf "serve[%d]" sessions) seed in
+  let n_batches = max 2 (ops / 20) in
+  let w =
+    Netd.gen_workload ~seed ~sessions ~queries_per_session:2 ~batches:n_batches
+      ~rows_per_batch:8
+  in
+  let cfg = { Cq_engine.Engine.Config.default with shards; seed } in
+  let total_rows =
+    Array.fold_left (fun acc (b : Netd.batch_spec) -> acc + Array.length b.rows) 0 w.batches
+  in
+  (try
+     match Netd.run_workload ~engine:cfg w with
+     | Error e -> diverge run 0 "served run failed: %s" (Cq_net.Client.error_to_string e)
+     | Ok oc ->
+         if oc.server.net_results_dropped <> 0 then
+           diverge run 0 "lockstep run dropped %d result rows — queues were sized not to"
+             oc.server.net_results_dropped
+         else begin
+           (* Direct replay: same config, same flat-batch path, same
+              session-major registration order, one flush per batch
+              (the server flushes every ingest tick under lockstep). *)
+           let par = Cq_util.Error.ok_exn (Par.try_create_cfg cfg) in
+           let recording = ref true in
+           let direct = Array.make sessions [] in
+           let next_qid = ref 1 in
+           let expect_qids =
+             Array.mapi
+               (fun i specs ->
+                 Array.map
+                   (fun spec ->
+                     let qid = !next_qid in
+                     incr next_qid;
+                     let cb (r : Tuple.r) (s : Tuple.s) =
+                       if !recording then
+                         direct.(i) <- (qid, (r.a, r.b, s.b, s.c)) :: direct.(i)
+                     in
+                     (match spec with
+                     | Netd.Band { lo; hi } ->
+                         ignore (Par.subscribe_band par ~range:(I.make lo hi) cb)
+                     | Netd.Select { a_lo; a_hi; c_lo; c_hi } ->
+                         ignore
+                           (Par.subscribe_select par ~range_a:(I.make a_lo a_hi)
+                              ~range_c:(I.make c_lo c_hi) cb));
+                     qid)
+                   specs)
+               w.queries
+           in
+           Array.iter
+             (fun (b : Netd.batch_spec) ->
+               let side = match b.side with Cq_net.Frame.R -> Par.R | Cq_net.Frame.S -> Par.S in
+               (match Par.try_ingest_batch_flat par side (Netd.batch_of_rows b.rows) with
+               | Ok () -> ()
+               | Error e -> diverge run 0 "direct ingest failed: %s" (Cq_util.Error.to_string e));
+               ignore (Par.flush par))
+             w.batches;
+           ignore (Par.flush par);
+           recording := false;
+           Par.shutdown par;
+           if not (Array.for_all2 (fun a b -> a = b) expect_qids oc.qids) then
+             diverge run 0 "qid assignment differs between served and direct runs"
+           else
+             Array.iteri
+               (fun i frames ->
+                 if Option.is_none run.div then begin
+                   let served =
+                     List.concat_map
+                       (fun (qid, rows) ->
+                         List.map (fun row -> (qid, row)) (Array.to_list rows))
+                       (Array.to_list frames)
+                   in
+                   let expect = List.rev direct.(i) in
+                   let ns = List.length served and ne = List.length expect in
+                   if ns <> ne then
+                     diverge run i "session %d: served %d result rows, direct run has %d" i
+                       ns ne
+                   else
+                     List.iteri
+                       (fun k ((q1, r1), (q2, r2)) ->
+                         if Option.is_none run.div && not (q1 = q2 && r1 = r2) then
+                           let p1 (a, b, c, d) =
+                             Printf.sprintf "(%.17g, %.17g, %.17g, %.17g)" a b c d
+                           in
+                           diverge run k
+                             "session %d row %d: served q%d %s, direct q%d %s" i k q1
+                             (p1 r1) q2 (p1 r2))
+                       (List.combine served expect)
+                 end)
+               oc.results
+         end
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:total_rows ~final_size:total_rows

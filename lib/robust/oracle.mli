@@ -145,6 +145,20 @@ val run_burst : ?shards:int -> seed:int -> ops:int -> unit -> outcome
     degraded-answer contract is asserted too: every estimate within
     its claimed bound, every unreported query exact. *)
 
+val run_serve : ?sessions:int -> ?shards:int -> seed:int -> ops:int -> unit -> outcome
+(** Served-vs-direct differential check.  One seeded workload
+    ({!Cq_net.Driver.gen_workload}) is run through the network
+    front-end — a real {!Cq_net.Server} on a loopback socket, one
+    client per session, lockstep batch streaming — and replayed
+    directly into an identically configured {!Cq_engine.Parallel} with
+    session-major registration and one flush per batch.  Every
+    session's result stream must match {e bit-for-bit}: same qid
+    assignment, same [(r.a, r.b, s.b, s.c)] rows, same order.  The
+    lockstep discipline plus the server's read/flush/write tick order
+    make the served side deterministic, so equality (not multiset
+    equality) is the contract.  [sessions] defaults to 4, [shards] to
+    2. *)
+
 val fuzz_all :
   ?backend:Cq_index.Stab_backend.kind ->
   ?shards:int ->

@@ -560,6 +560,86 @@ let test_bounded_queue_push_timeout () =
   Alcotest.(check bool) "succeeds once space frees" true (Domain.join d);
   Alcotest.(check (option int)) "drained" (Some 3) (BQ.try_pop q)
 
+let test_bounded_queue_producer_consumer () =
+  (* Live SPSC exercise under real contention: a tiny capacity forces
+     both parties through their blocking paths many times, and FIFO
+     order must survive — the engine relies on commands arriving at
+     each shard in ingest order. *)
+  let n = 5_000 in
+  let q = BQ.create ~capacity:4 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          BQ.push q i
+        done)
+  in
+  let expected = ref 1 in
+  let in_order = ref true in
+  for _ = 1 to n do
+    let v = BQ.pop q in
+    if v <> !expected then in_order := false;
+    incr expected
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "strict FIFO across domains" true !in_order;
+  Alcotest.(check (option int)) "nothing left over" None (BQ.try_pop q);
+  Alcotest.(check int) "empty at rest" 0 (BQ.length q)
+
+let test_bounded_queue_try_ops_concurrent () =
+  (* Non-blocking variants under the same contention: the producer
+     spins on [try_push], the consumer on [try_pop].  Everything
+     pushed must come out exactly once, in order, and the occupancy
+     the consumer observes can never exceed the capacity. *)
+  (* Modest n: [cpu_relax] does not yield the core, so on a one-core
+     box each spin burns a scheduler quantum before the peer runs. *)
+  let n = 1_000 and cap = 3 in
+  let q = BQ.create ~capacity:cap in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          while not (BQ.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let got = ref 0 and in_order = ref true and over_cap = ref false in
+  while !got < n do
+    if BQ.length q > cap then over_cap := true;
+    match BQ.try_pop q with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+        incr got;
+        if v <> !got then in_order := false
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "strict FIFO under try ops" true !in_order;
+  Alcotest.(check bool) "occupancy never exceeds capacity" false !over_cap;
+  Alcotest.(check (option int)) "drained" None (BQ.try_pop q)
+
+(* Model check: any single-domain interleaving of try ops behaves as
+   the textbook bounded FIFO (the concurrent tests above cover the
+   cross-domain story; this one covers the full op surface, including
+   rejected pushes leaving the queue untouched). *)
+let prop_bounded_queue_matches_model =
+  QCheck2.Test.make ~name:"bounded_queue: try ops match FIFO model" ~count:300
+    QCheck2.Gen.(pair (int_range 1 5) (list_size (int_bound 200) (option (int_bound 1000))))
+    (fun (cap, ops) ->
+      let q = BQ.create ~capacity:cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              let accepted = BQ.try_push q v in
+              let model_accepts = Queue.length model < cap in
+              if model_accepts then Queue.add v model;
+              accepted = model_accepts && BQ.length q = Queue.length model
+          | None ->
+              let got = BQ.try_pop q in
+              let want = Queue.take_opt model in
+              got = want && BQ.length q = Queue.length model)
+        ops)
+
 (* --------------------------- overload policies ------------------------- *)
 
 let test_parallel_shutdown_with_inflight_batches () =
@@ -843,6 +923,11 @@ let () =
         [
           Alcotest.test_case "try_push/try_pop" `Quick test_bounded_queue_try_ops;
           Alcotest.test_case "push_timeout" `Quick test_bounded_queue_push_timeout;
+          Alcotest.test_case "blocking producer/consumer FIFO" `Quick
+            test_bounded_queue_producer_consumer;
+          Alcotest.test_case "try ops under contention" `Quick
+            test_bounded_queue_try_ops_concurrent;
+          qc prop_bounded_queue_matches_model;
         ] );
       ( "overload",
         [
