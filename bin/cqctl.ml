@@ -505,9 +505,11 @@ let serve_cmd =
   in
   let max_sessions =
     Arg.(
-      value & opt int 1024
+      value & opt int 1000
       & info [ "max-sessions" ] ~docv:"N"
-          ~doc:"Accept cap; connections beyond it are refused with a typed error frame.")
+          ~doc:
+            "Accept cap; connections beyond it are refused with a typed error frame.  At \
+             most 1000 (the select(2) FD_SETSIZE budget).")
   in
   let session_queue =
     Arg.(

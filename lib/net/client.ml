@@ -101,7 +101,15 @@ let rec rpc_wait t ~terminal =
 let rpc t frame ~terminal =
   match send t frame with Error _ as e -> e | Ok () -> rpc_wait t ~terminal
 
+(* Same rationale as the server's: a vanished peer must cost an EPIPE
+   on this socket, not a process-killing SIGPIPE. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
 let connect ?(recv_timeout = 5.0) ?(max_frame = Frame.default_max_frame) ~addr () =
+  Lazy.force ignore_sigpipe;
   match
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try

@@ -24,8 +24,10 @@ type side = R | S
     with asynchronous {!server_frame.Results} / [Overload] pushes. *)
 type client_frame =
   | Hello of { version : int }
-      (** Must be the first frame; the server answers [Welcome] (or a
-          protocol error on a version mismatch). *)
+      (** Must be the first frame, exactly once — enforced: any other
+          frame before a successful handshake, or a repeated [Hello],
+          draws a fatal [Err_proto].  The server answers [Welcome] (or
+          a protocol error on a version mismatch). *)
   | Register_band of { lo : float; hi : float }
       (** Register a continuous band query with window [\[lo, hi\]];
           answered by [Registered] carrying the session-visible qid. *)

@@ -19,6 +19,23 @@ let m_proto_errors = Metrics.counter "net.proto_errors"
    see the rationale at the [accept_loop] call site. *)
 let sock_buf_bytes = 256 * 1024
 
+(* A peer that vanishes mid-write must surface as EPIPE on that one
+   socket — handled in [Session.write_step], which closes just that
+   session — not as a process-killing SIGPIPE.  Set once, process-wide:
+   every write in this module relies on it. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+(* [Unix.select] cannot watch an fd >= FD_SETSIZE (1024 on Linux) — it
+   raises EINVAL, which would crash the loop exactly as the server
+   approaches capacity.  Budget the watchable range: stdio, the
+   listener, the stop pipe, and transient accept fds leave room for at
+   most [max_sessions_limit] concurrent sessions. *)
+let fd_setsize = 1024
+let max_sessions_limit = fd_setsize - 24
+
 type config = {
   engine : Engine.Config.t;
   max_sessions : int;
@@ -29,7 +46,7 @@ type config = {
 let default_config =
   {
     engine = Engine.Config.default;
-    max_sessions = 1024;
+    max_sessions = max_sessions_limit;
     session_queue = 64;
     max_frame = Frame.default_max_frame;
   }
@@ -96,7 +113,21 @@ let active_sessions t = Hashtbl.length t.sessions
 
 let try_create ?(config = default_config) ~addr () =
   let ( let* ) = Result.bind in
+  Lazy.force ignore_sigpipe;
   let* _ = Error.at_least ~name:"max_sessions" ~min:1 config.max_sessions in
+  let* _ =
+    if config.max_sessions <= max_sessions_limit then Ok config.max_sessions
+    else
+      Error
+        (Error.Invalid_parameter
+           {
+             name = "max_sessions";
+             value = string_of_int config.max_sessions;
+             expected =
+               Printf.sprintf "an integer <= %d (select's FD_SETSIZE budget)"
+                 max_sessions_limit;
+           })
+  in
   let* _ = Error.at_least ~name:"session_queue" ~min:1 config.session_queue in
   let* _ = Error.at_least ~name:"max_frame" ~min:64 config.max_frame in
   let* par = Par.try_create_cfg config.engine in
@@ -264,23 +295,32 @@ let register t s ~subscribe =
       t.next_qid <- qid;
       send_ctrl t s (Frame.Err { code = Frame.Err_engine; message = Error.to_string e })
 
+(* A protocol violation (framing error or handshake breach) is fatal:
+   one ERR {proto}, then the session drains and closes. *)
+let proto_violation t s message =
+  t.proto_errors <- t.proto_errors + 1;
+  Metrics.incr m_proto_errors;
+  send_ctrl t s (Frame.Err { code = Frame.Err_proto; message });
+  Session.mark_closing s
+
 let handle_frame t s (frame : Frame.client_frame) =
   match frame with
   | Frame.Hello { version } ->
-      if version = Frame.protocol_version then
+      if Session.greeted s then
+        proto_violation t s "HELLO must be the first frame of a session, exactly once"
+      else if version = Frame.protocol_version then begin
+        Session.mark_greeted s;
         send_ctrl t s
           (Frame.Welcome { version = Frame.protocol_version; session_id = Session.sid s })
-      else begin
-        send_ctrl t s
-          (Frame.Err
-             {
-               code = Frame.Err_proto;
-               message =
-                 Printf.sprintf "protocol version %d unsupported (server speaks %d)" version
-                   Frame.protocol_version;
-             });
-        Session.mark_closing s
       end
+      else
+        proto_violation t s
+          (Printf.sprintf "protocol version %d unsupported (server speaks %d)" version
+             Frame.protocol_version)
+  | _ when not (Session.greeted s) ->
+      (* Version negotiation cannot be skipped: no other frame means
+         anything before the handshake pins what we are speaking. *)
+      proto_violation t s "expected HELLO as the first frame"
   | Frame.Register_band { lo; hi } ->
       if not (finite_range lo hi) then
         send_ctrl t s
@@ -338,12 +378,7 @@ let handle_frame t s (frame : Frame.client_frame) =
       send_ctrl t s Frame.Goodbye;
       Session.mark_closing s
 
-let handle_proto_error t s e =
-  t.proto_errors <- t.proto_errors + 1;
-  Metrics.incr m_proto_errors;
-  send_ctrl t s
-    (Frame.Err { code = Frame.Err_proto; message = Frame.proto_error_to_string e });
-  Session.mark_closing s
+let handle_proto_error t s e = proto_violation t s (Frame.proto_error_to_string e)
 
 let handle_readable t s =
   match Unix.read (Session.fd s) t.rbuf 0 (Bytes.length t.rbuf) with

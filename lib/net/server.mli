@@ -23,20 +23,27 @@ type t
 
 type config = {
   engine : Cq_engine.Engine.Config.t;  (** Engine the server fronts. *)
-  max_sessions : int;  (** Accept cap; beyond it new connections get [Err_server_full]. *)
+  max_sessions : int;
+      (** Accept cap; beyond it new connections get [Err_server_full].
+          At most 1000: [Unix.select] cannot watch fds past FD_SETSIZE
+          (1024), so {!try_create} refuses configs whose sessions could
+          push a watched fd over it. *)
   session_queue : int;  (** Bounded result-queue capacity per session, in frames. *)
   max_frame : int;  (** Per-session decoder body cap, bytes. *)
 }
 
 val default_config : config
-(** [Engine.Config.default] engine, 1024 sessions, 64-frame queues,
-    {!Frame.default_max_frame} frames. *)
+(** [Engine.Config.default] engine, 1000 sessions (the FD_SETSIZE
+    budget), 64-frame queues, {!Frame.default_max_frame} frames. *)
 
 val try_create :
   ?config:config -> addr:Unix.sockaddr -> unit -> (t, Cq_util.Error.t) result
 (** Bind and listen (non-blocking, [SO_REUSEADDR]); port 0 picks an
     ephemeral port, see {!port}.  Fails with [Invalid_parameter] on a
-    bad config or unbindable address. *)
+    bad config or unbindable address.  Also ignores [SIGPIPE]
+    process-wide (once): a peer that vanishes mid-write must surface
+    as [EPIPE] on that one socket, closing just that session, not kill
+    the whole server. *)
 
 val create : ?config:config -> addr:Unix.sockaddr -> unit -> t
 (** {!try_create}, raising {!Cq_util.Error.Cq_error} on failure. *)

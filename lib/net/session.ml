@@ -37,6 +37,7 @@ type t = {
   mutable ack_rows : int;
   mutable closing : bool;
   mutable closed : bool;
+  mutable greeted : bool;
   mutable frames_in : int;
   mutable results_sent : int;
 }
@@ -61,6 +62,7 @@ let create ~sid ~fd ~queue_cap ~max_frame =
     ack_rows = 0;
     closing = false;
     closed = false;
+    greeted = false;
     frames_in = 0;
     results_sent = 0;
   }
@@ -72,6 +74,8 @@ let closing t = t.closing
 let closed t = t.closed
 let mark_closing t = t.closing <- true
 let mark_closed t = t.closed <- true
+let greeted t = t.greeted
+let mark_greeted t = t.greeted <- true
 let frames_in t = t.frames_in
 let count_frame_in t = t.frames_in <- t.frames_in + 1
 let results_sent t = t.results_sent

@@ -35,6 +35,12 @@ val closed : t -> bool
 val mark_closing : t -> unit
 val mark_closed : t -> unit
 
+val greeted : t -> bool
+(** A [Hello] with the right version has been accepted; until then
+    every other frame is a fatal protocol violation. *)
+
+val mark_greeted : t -> unit
+
 val frames_in : t -> int
 val count_frame_in : t -> unit
 val results_sent : t -> int

@@ -400,6 +400,139 @@ let test_slow_reader_bounded () =
     | Frame.Goodbye -> true
     | _ -> false)
 
+(* --------------------------- handshake gate ---------------------------- *)
+
+(* HELLO must be the first frame of a session, exactly once: anything
+   else before a successful handshake — and a repeated HELLO — draws a
+   fatal ERR {proto} followed by a close, so version negotiation can
+   never be bypassed. *)
+let test_hello_required () =
+  let srv = Server.create ~addr:(loopback 0) () in
+  Fun.protect ~finally:(fun () -> Server.teardown srv) @@ fun () ->
+  let violate frames ~what =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    @@ fun () ->
+    Unix.connect fd (loopback (Server.port srv));
+    Unix.set_nonblock fd;
+    let dec = Frame.Decoder.create () in
+    let got = ref [] in
+    List.iter (rsend fd) frames;
+    step_until srv fd dec got ~what (function
+      | Frame.Err { code = Frame.Err_proto; _ } -> true
+      | _ -> false);
+    (* The violation is fatal: the session drains its error and closes. *)
+    let rbuf = Bytes.create 1024 in
+    let rec until_eof n =
+      if n > 500 then Alcotest.failf "session survived: %s" what
+      else begin
+        ignore (Server.step srv ~timeout:0.01);
+        match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+        | 0 -> ()
+        | _ -> until_eof (n + 1)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            until_eof (n + 1)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> until_eof (n + 1)
+        | exception Unix.Unix_error (_, _, _) -> ()
+      end
+    in
+    until_eof 0
+  in
+  violate [ Frame.Register_band { lo = 0.0; hi = 1.0 } ] ~what:"ERR for REGISTER before HELLO";
+  violate [ Frame.Ping { token = 7 } ] ~what:"ERR for PING before HELLO";
+  violate
+    [
+      Frame.Hello { version = Frame.protocol_version };
+      Frame.Hello { version = Frame.protocol_version };
+    ]
+    ~what:"ERR for repeated HELLO";
+  let st = Server.stats srv in
+  Alcotest.(check bool) "handshake violations counted as protocol errors" true
+    (st.Server.net_proto_errors >= 3)
+
+(* ------------------------ fd budget / dead peers ------------------------ *)
+
+(* select(2) cannot watch fds past FD_SETSIZE: the config validator
+   must refuse session caps that could push a watched fd over it, and
+   the default must sit inside the budget. *)
+let test_max_sessions_fd_budget () =
+  let dflt = Server.default_config in
+  Alcotest.(check bool) "default max_sessions fits the select budget" true
+    (dflt.Server.max_sessions <= 1000);
+  match
+    Server.try_create
+      ~config:{ dflt with Server.max_sessions = 1024 }
+      ~addr:(loopback 0) ()
+  with
+  | Error (Cq_util.Error.Invalid_parameter { name = "max_sessions"; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Cq_util.Error.to_string e)
+  | Ok srv ->
+      Server.teardown srv;
+      Alcotest.fail "max_sessions past FD_SETSIZE was accepted"
+
+(* A client that vanishes mid-stream (RST, unread fan-out in flight)
+   must cost exactly its own session: server creation ignores SIGPIPE,
+   so the dead socket's writes fail with EPIPE/ECONNRESET and the
+   [`Gone] path reaps one session while the server keeps serving. *)
+let test_abrupt_disconnect_survival () =
+  let config = { Server.default_config with session_queue = 4 } in
+  let srv = Server.create ~config ~addr:(loopback 0) () in
+  Fun.protect ~finally:(fun () -> Server.teardown srv) @@ fun () ->
+  (* The disposition itself: [Sys.signal] returns the old handler. *)
+  let old = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Alcotest.(check bool) "SIGPIPE ignored after server creation" true
+    (old = Sys.Signal_ignore);
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (loopback (Server.port srv));
+  Unix.set_nonblock fd;
+  let dec = Frame.Decoder.create () in
+  let got = ref [] in
+  rsend fd (Frame.Hello { version = Frame.protocol_version });
+  step_until srv fd dec got ~what:"Welcome" (function
+    | Frame.Welcome _ -> true
+    | _ -> false);
+  rsend fd (Frame.Register_band { lo = -1e6; hi = 1e6 });
+  step_until srv fd dec got ~what:"Registered" (function
+    | Frame.Registered _ -> true
+    | _ -> false);
+  (* Pile up fan-out this client will never read, then vanish with an
+     RST (linger 0) while result frames are still queued/streaming. *)
+  let rows = Array.init 64 (fun i -> (float_of_int (i mod 5), 0.0)) in
+  rsend fd (Frame.Batch { side = Frame.R; rows = Batch.of_rows rows });
+  rsend fd (Frame.Batch { side = Frame.S; rows = Batch.of_rows rows });
+  rsend fd Frame.Flush;
+  for _ = 1 to 5 do
+    ignore (Server.step srv ~timeout:0.01)
+  done;
+  Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+  Unix.close fd;
+  let rec reaped n =
+    if n > 500 then Alcotest.fail "dead session never reaped"
+    else begin
+      ignore (Server.step srv ~timeout:0.01);
+      if Server.active_sessions srv > 0 then reaped (n + 1)
+    end
+  in
+  reaped 0;
+  (* Same server, fresh client: still alive and speaking. *)
+  let fd2 = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error (_, _, _) -> ())
+  @@ fun () ->
+  Unix.connect fd2 (loopback (Server.port srv));
+  Unix.set_nonblock fd2;
+  let dec2 = Frame.Decoder.create () in
+  let got2 = ref [] in
+  rsend fd2 (Frame.Hello { version = Frame.protocol_version });
+  step_until srv fd2 dec2 got2 ~what:"Welcome after abrupt peer death" (function
+    | Frame.Welcome _ -> true
+    | _ -> false);
+  rsend fd2 (Frame.Ping { token = 5 });
+  step_until srv fd2 dec2 got2 ~what:"Pong after abrupt peer death" (function
+    | Frame.Pong { token = 5 } -> true
+    | _ -> false)
+
 (* ------------------------------- oracle -------------------------------- *)
 
 let test_serve_oracle_sweep () =
@@ -455,6 +588,12 @@ let () =
           Alcotest.test_case "64 concurrent sessions" `Quick test_sixty_four_sessions;
           Alcotest.test_case "slow reader: bounded queues + OVERLOAD" `Quick
             test_slow_reader_bounded;
+          Alcotest.test_case "handshake: HELLO first, exactly once" `Quick
+            test_hello_required;
+          Alcotest.test_case "max_sessions capped by select fd budget" `Quick
+            test_max_sessions_fd_budget;
+          Alcotest.test_case "abrupt client death: one session, no SIGPIPE" `Quick
+            test_abrupt_disconnect_survival;
         ] );
       ( "oracle",
         [
