@@ -118,7 +118,9 @@ let fork_server config =
           close_in ic;
           ignore (Unix.waitpid [] pid);
           Error msg
-      | exception _ ->
+      | exception (End_of_file | Failure _ | Sys_error _) ->
+          (* Truncated handshake = the child died before writing its
+             port; other exceptions are ours and must propagate. *)
           close_in ic;
           ignore (Unix.waitpid [] pid);
           Error "server child died before reporting its port")
@@ -161,12 +163,16 @@ let stop_server h =
   let stats, snap =
     if not readable then (None, None)
     else
+      (* A crashed child yields a truncated stream: [End_of_file] or a
+         [Failure] from Marshal, or [Sys_error] if the pipe was torn
+         down under us.  Anything else (e.g. a real [Unix_error]) is a
+         driver bug and must propagate, not read as "child crashed". *)
       match (Marshal.from_channel h.ic : Server.stats) with
       | st -> (
           match (Marshal.from_channel h.ic : Metrics.snapshot) with
           | sn -> (Some st, Some sn)
-          | exception _ -> (Some st, None))
-      | exception _ -> (None, None)
+          | exception (End_of_file | Failure _ | Sys_error _) -> (Some st, None))
+      | exception (End_of_file | Failure _ | Sys_error _) -> (None, None)
   in
   if not readable then (try Unix.kill h.pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
   close_in h.ic;
