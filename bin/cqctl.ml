@@ -676,10 +676,21 @@ let client_cmd =
 
 let lint_cmd =
   (* Shares Cq_lint.Engine with the standalone cqlint binary — same
-     rules, same waivers, same exit discipline. *)
+     rules, same waivers, same exit discipline.  --format is a plain
+     string validated in the body so a typo exits 64 with a hint, like
+     every other enum-ish cqctl flag. *)
   let format_arg =
-    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
-    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Also write a SARIF 2.1.0 report to $(docv) (for GitHub code scanning).")
   in
   let waivers_arg =
     Arg.(
@@ -690,19 +701,28 @@ let lint_cmd =
   let root_arg =
     Arg.(value & pos 0 dir "." & info [] ~docv:"ROOT" ~doc:"Workspace root containing lib/ and bin/.")
   in
-  let run format waiver_file root =
-    let report = Cq_lint.Engine.run ?waiver_file ~root () in
+  let run format sarif_file waiver_file root =
     (match format with
-    | `Json -> print_endline (Cq_lint.Render.json_of_report report)
-    | `Text -> print_string (Cq_lint.Render.text_of_report report));
+    | "text" | "json" -> ()
+    | other -> bad_flag_value ~flag:"--format" ~given:other ~valid:"text, json");
+    let report = Cq_lint.Engine.run ?waiver_file ~root () in
+    (match sarif_file with
+    | Some f ->
+        Out_channel.with_open_bin f (fun oc ->
+            Out_channel.output_string oc (Cq_lint.Render.sarif_of_report report))
+    | None -> ());
+    (match format with
+    | "json" -> print_endline (Cq_lint.Render.json_of_report report)
+    | _ -> print_string (Cq_lint.Render.text_of_report report));
     if Cq_lint.Engine.clean report then `Ok () else `Error (false, "lint findings (see above)")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Run the cqlint static-analysis gate (CQL001-CQL005: polymorphic compare, error \
-          discipline, global mutable state, Obj.magic, mli coverage) over lib/ and bin/.")
-    Term.(ret (const run $ format_arg $ waivers_arg $ root_arg))
+         "Run the cqlint static-analysis gate (CQL001-CQL010: style, error and state \
+          discipline plus domain-safety, event-loop and hot-path allocation rules) \
+          over lib/ and bin/.")
+    Term.(ret (const run $ format_arg $ sarif_arg $ waivers_arg $ root_arg))
 
 let main =
   let doc = "scalable continuous query processing by tracking hotspots (VLDB 2006 reproduction)" in

@@ -1,11 +1,20 @@
 (* cqlint — the repo's AST-driven convention gate (DESIGN.md §10).
 
    Parses every .ml/.mli under ROOT/lib and ROOT/bin with ppxlib's
-   pinned AST and enforces CQL001–CQL005, honouring per-site waivers
+   pinned AST and enforces CQL001–CQL010, honouring per-site waivers
    from ROOT/.cqlint.  Exit 0 only when the tree is clean: no unwaived
    finding, no stale waiver, no parse error. *)
 
 open Cmdliner
+
+(* Same discipline as cqctl: unknown enum-ish flag values get exit 64
+   and a one-line hint, not cmdliner's usage dump — scripts can tell a
+   mistyped --format apart from real findings (exit 1). *)
+let bad_flag_exit = 64
+
+let bad_flag_value ~flag ~given ~valid =
+  Printf.eprintf "cqlint: unknown %s %s (valid: %s)\n%!" flag given valid;
+  Stdlib.exit bad_flag_exit
 
 let list_rules () =
   List.iter
@@ -15,19 +24,55 @@ let list_rules () =
     Cq_lint.Rule.all;
   0
 
-let run format waiver_file root list_only =
+let write_file path contents = Out_channel.with_open_bin path (fun oc ->
+    Out_channel.output_string oc contents)
+
+let run format sarif_file hot_manifest waiver_file root list_only =
   if list_only then list_rules ()
   else begin
-    let report = Cq_lint.Engine.run ?waiver_file ~root () in
     (match format with
-    | `Json -> print_endline (Cq_lint.Render.json_of_report report)
-    | `Text -> print_string (Cq_lint.Render.text_of_report report));
-    if Cq_lint.Engine.clean report then 0 else 1
+    | "text" | "json" -> ()
+    | other -> bad_flag_value ~flag:"--format" ~given:other ~valid:"text, json");
+    match hot_manifest with
+    | Some out ->
+        let lines = Cq_lint.Engine.hot_manifest ~root in
+        let contents =
+          match lines with [] -> "" | _ -> String.concat "\n" lines ^ "\n"
+        in
+        if String.equal out "-" then print_string contents else write_file out contents;
+        0
+    | None ->
+        let report = Cq_lint.Engine.run ?waiver_file ~root () in
+        (match sarif_file with
+        | Some f -> write_file f (Cq_lint.Render.sarif_of_report report)
+        | None -> ());
+        (match format with
+        | "json" -> print_endline (Cq_lint.Render.json_of_report report)
+        | _ -> print_string (Cq_lint.Render.text_of_report report));
+        if Cq_lint.Engine.clean report then 0 else 1
   end
 
 let format_arg =
-  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
-  Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  Arg.(
+    value
+    & opt string "text"
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let sarif_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sarif" ] ~docv:"FILE"
+        ~doc:"Also write a SARIF 2.1.0 report to $(docv) (for GitHub code scanning).")
+
+let hot_manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hot-manifest" ] ~docv:"FILE"
+        ~doc:
+          "Instead of linting, write the [\\@cq.hot] annotation manifest (one \
+           path:name line per hot binding) to $(docv); $(b,-) for stdout.")
 
 let waivers_arg =
   Arg.(
@@ -45,6 +90,8 @@ let cmd =
   Cmd.v
     (Cmd.info "cqlint" ~version:"1.0.0"
        ~doc:"Static analysis gate: hot-path, error-discipline and domain-safety invariants.")
-    Term.(const run $ format_arg $ waivers_arg $ root_arg $ list_rules_arg)
+    Term.(
+      const run $ format_arg $ sarif_arg $ hot_manifest_arg $ waivers_arg $ root_arg
+      $ list_rules_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -291,12 +291,12 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
        candidates with a stabbing query, otherwise every scattered
        query is probed (band windows shift with the event, so no fixed
        stabbing point exists). *)
-    let iter_scattered t ev f =
+    let[@cq.hot] iter_scattered t ev f =
       match Q.scatter_point ev with
       | Some x -> B.stab t.scattered x f
       | None -> B.iter t.scattered f
 
-    let process_r t ev sink =
+    let[@cq.hot] process_r t ev sink =
       Dedupe.fresh t.dedupe;
       if Metrics.enabled () then begin
         let cands = ref 0 and marked = ref 0 in
@@ -342,7 +342,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
        for the rest of the batch because event processing never moves
        queries between the hotspot and scattered partitions — only
        query churn does, and that invalidates below. *)
-    let stage_batch t evs n =
+    let[@cq.hot] stage_batch t evs n =
       t.staged_n <- -1;
       if n > 0 && B.size t.scattered > 0 then begin
         match Q.scatter_point evs.(0) with
@@ -367,7 +367,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
             end
       end
 
-    let process_staged t ~idx ev sink =
+    let[@cq.hot] process_staged t ~idx ev sink =
       if idx < 0 || idx >= t.staged_n then process_r t ev sink
       else begin
         Dedupe.fresh t.dedupe;
@@ -519,7 +519,9 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
 
     let name = Q.label ^ "-SSI"
 
-    let rebuild t =
+    (* The lazy rebuild is the sanctioned slow path: churn-triggered,
+       amortised over the batch — [@cq.cold] cuts CQL008 propagation. *)
+    let[@cq.cold] rebuild t =
       t.rebuilds <- t.rebuilds + 1;
       Trace.with_span ~cat:"ssi" (Q.label ^ ".ssi_rebuild") (fun () ->
           let qs = Hashtbl.fold (fun _ q acc -> q :: acc) t.queries [] in
@@ -559,7 +561,7 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
 
     let create_cfg ?alpha:_ ?epsilon:_ ?seed:_ store queries = create store queries
 
-    let process_r t ev sink =
+    let[@cq.hot] process_r t ev sink =
       refresh t;
       Dedupe.fresh t.dedupe;
       if Metrics.enabled () then begin
@@ -584,8 +586,8 @@ module Make (Q : QUERY) (B : Cq_index.Stab_backend.S) = struct
 
     (* SSI has no scattered index, so there is nothing to stage beyond
        hoisting the lazy rebuild out of the per-event loop. *)
-    let stage_batch t _ n = if n > 0 then refresh t
-    let process_staged t ~idx:_ ev sink = process_r t ev sink
+    let[@cq.hot] stage_batch t _ n = if n > 0 then refresh t
+    let[@cq.hot] process_staged t ~idx:_ ev sink = process_r t ev sink
 
     let affected t ev report =
       refresh t;

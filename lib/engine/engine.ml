@@ -725,7 +725,7 @@ let ensure_sbuf t n = if Array.length t.sbuf < n then t.sbuf <- Array.make n dum
 (* [home] is the row stored in the side's home table — structurally
    [to_row pseudo], passed in so the S side can reuse the row it
    already built instead of re-allocating it per event. *)
-let ingest_staged t side ~idx pseudo ~home ~on_band ~on_select =
+let[@cq.hot] ingest_staged t side ~idx pseudo ~home ~on_band ~on_select =
   t.events <- t.events + 1;
   t.shed_ord <- t.shed_ord + 1;
   if t.shed_rate < 1.0 then
@@ -749,20 +749,29 @@ let ingest_staged t side ~idx pseudo ~home ~on_band ~on_select =
 
 (* Whole-batch validation, mirroring [validate_rows]: a bad row fails
    the batch before any state changes. *)
-let validate_batch ~x_name ~y_name batch =
+(* Tracks the first bad index, not a materialised error, so the clean
+   (overwhelmingly common) pass allocates nothing; the [Error] payload
+   is built once, after the scan, only on the failure path. *)
+let[@cq.hot] validate_batch ~x_name ~y_name batch =
   let n = Batch.length batch in
-  let bad = ref None in
-  for i = 0 to n - 1 do
-    if Option.is_none !bad then begin
-      let x = Batch.unsafe_x batch i and y = Batch.unsafe_y batch i in
-      if not (Float.is_finite x) then bad := Some (Err.Not_finite { name = x_name; value = x })
-      else if not (Float.is_finite y) then
-        bad := Some (Err.Not_finite { name = y_name; value = y })
+  let bad = ref (-1) in
+  let bad_y = ref false in
+  let i = ref 0 in
+  while !bad < 0 && !i < n do
+    let x = Batch.unsafe_x batch !i and y = Batch.unsafe_y batch !i in
+    if not (Float.is_finite x) then bad := !i
+    else if not (Float.is_finite y) then begin
+      bad := !i;
+      bad_y := true
     end
+    else incr i
   done;
-  match !bad with None -> Ok () | Some e -> Error e
+  if !bad < 0 then Ok ()
+  else if !bad_y then
+    Error (Err.Not_finite { name = y_name; value = Batch.unsafe_y batch !bad })
+  else Error (Err.Not_finite { name = x_name; value = Batch.unsafe_x batch !bad })
 
-let try_ingest_batch_r t ?on_event batch =
+let[@cq.hot] try_ingest_batch_r t ?on_event batch =
   match validate_batch ~x_name:"a" ~y_name:"b" batch with
   | Error e -> Error e
   | Ok () ->
@@ -787,7 +796,7 @@ let try_ingest_batch_r t ?on_event batch =
       t.cur_r <- None;
       Ok (t.results - before)
 
-let try_ingest_batch_s t ?on_event batch =
+let[@cq.hot] try_ingest_batch_s t ?on_event batch =
   match validate_batch ~x_name:"b" ~y_name:"c" batch with
   | Error e -> Error e
   | Ok () ->

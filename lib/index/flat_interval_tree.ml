@@ -277,7 +277,7 @@ let remove t iv pred =
 (* Stabbing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let rec stab_at t i x f =
+let[@cq.hot] rec stab_at t i x f =
   (* Prune: nothing below contains x if every right endpoint is to its
      left.  Emission order matches {!Interval_tree.stab} exactly. *)
   if i <> nil && t.maxhi.(i) >= x then begin
@@ -290,14 +290,14 @@ let rec stab_at t i x f =
     end
   end
 
-let stab t x f = stab_at t t.root x f
+let[@cq.hot] stab t x f = stab_at t t.root x f
 
 let stab_count t x =
   let n = ref 0 in
   stab t x (fun _ -> incr n);
   !n
 
-let stab_batch t ~keys ~f =
+let[@cq.hot] stab_batch t ~keys ~f =
   let n = Array.length keys in
   if n = 1 then stab t keys.(0) (fun p -> f ~idx:0 p)
   else if n > 1 then begin
@@ -307,7 +307,10 @@ let stab_batch t ~keys ~f =
        node.  Per key the visited entries and their order are exactly
        those of a scalar [stab] — the window conditions below are the
        per-node conditions of [stab_at] applied to a sorted run. *)
-    let perm = Array.init n (fun j -> j) in
+    let perm = Array.make n 0 in
+    for j = 0 to n - 1 do
+      perm.(j) <- j
+    done;
     Array.sort (fun a b -> Float.compare keys.(a) keys.(b)) perm;
     let key j = keys.(perm.(j)) in
     (* First index in [a, b) whose key is > v. *)

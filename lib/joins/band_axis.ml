@@ -4,7 +4,7 @@ module Tuple = Cq_relation.Tuple
 module Fbt = Table.Fbt
 module Vec = Cq_util.Vec
 
-let window_nonempty table w =
+let[@cq.hot] window_nonempty table w =
   match Fbt.seek_ge (Table.s_by_b table) (I.lo w) with
   | Some c -> Fbt.key c <= I.hi w
   | None -> false

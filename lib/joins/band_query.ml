@@ -6,9 +6,9 @@ let make ~qid ~range = { qid; range }
 
 let of_ranges ranges = Array.mapi (fun qid range -> { qid; range }) ranges
 
-let instantiated q ~b = I.shift q.range b
+let[@cq.hot] instantiated q ~b = I.shift q.range b
 
-let matches q ~r_b ~s_b = I.stabs q.range (s_b -. r_b)
+let[@cq.hot] matches q ~r_b ~s_b = I.stabs q.range (s_b -. r_b)
 
 let pp fmt q = Format.fprintf fmt "bq#%d%a" q.qid I.pp q.range
 

@@ -140,3 +140,34 @@ let run ?waiver_file ~root () =
   let diags = List.sort Diagnostic.compare diags in
   let findings, waived, unused_waivers = apply_waivers waivers diags in
   { findings; waived; unused_waivers; files; errors = List.rev !errors }
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path manifest (out/hot_path.list)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One "path:name" line per [@cq.hot] binding, sorted.  Line numbers
+   are deliberately omitted so unrelated edits do not churn the
+   committed manifest; CI diffs the committed copy against a fresh one
+   and fails if any annotation disappeared. *)
+let hot_manifest ~root =
+  let files = discover ~root in
+  let lines = ref [] in
+  List.iter
+    (fun path ->
+      if has_suffix path ".ml" then
+        match In_channel.with_open_bin (Filename.concat root path) In_channel.input_all with
+        | source -> (
+            let lexbuf = Lexing.from_string source in
+            Lexing.set_filename lexbuf path;
+            match Ppxlib.Parse.implementation lexbuf with
+            | st ->
+                List.iter
+                  (fun (name, _line) -> lines := Printf.sprintf "%s:%s" path name :: !lines)
+                  (Rules.hot_bindings st)
+            | exception exn ->
+                (* Unparseable files already fail [run]; the manifest
+                   stays total and just skips them. *)
+                ignore (Printexc.to_string exn))
+        | exception Sys_error _ -> ())
+    files;
+  List.sort_uniq String.compare !lines

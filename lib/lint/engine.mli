@@ -25,3 +25,9 @@ val lint_path : root:string -> path:string -> (Diagnostic.t list, string) result
 val run : ?waiver_file:string -> root:string -> unit -> report
 (** Full run over [root].  [waiver_file] defaults to [root/.cqlint]
     when that file exists; a missing default is simply "no waivers". *)
+
+val hot_manifest : root:string -> string list
+(** Sorted ["path:name"] lines, one per [\[@cq.hot\]] binding under
+    [root].  Line numbers are omitted so unrelated edits do not churn
+    the committed manifest ([out/hot_path.list]); CI regenerates it and
+    fails if any committed entry disappeared. *)

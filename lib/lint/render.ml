@@ -44,11 +44,21 @@ let waiver_fields (w : Waiver.t) =
     ("waiver_line", string_of_int w.source_line);
   ]
 
+let rule_fields rule =
+  [
+    ("id", str (Rule.id rule));
+    ("name", str (Rule.name rule));
+    ("summary", str (Rule.summary rule));
+  ]
+
+(* schema_version 2 (PR 9): adds the [rules] catalogue so consumers can
+   render names/rationales without hard-coding the rule set. *)
 let json_of_report (r : Engine.report) =
   obj
     [
       ("tool", str "cqlint");
-      ("schema_version", "1");
+      ("schema_version", "2");
+      ("rules", arr (List.map (fun rule -> obj (rule_fields rule)) Rule.all));
       ( "summary",
         obj
           [
@@ -67,6 +77,106 @@ let json_of_report (r : Engine.report) =
              r.waived) );
       ("unused_waivers", arr (List.map (fun w -> obj (waiver_fields w)) r.unused_waivers));
       ("errors", arr (List.map str r.errors));
+    ]
+
+(* SARIF 2.1.0 — the minimal profile GitHub code scanning consumes:
+   one run, a driver with the rule catalogue, one result per unwaived
+   finding (waived findings are suppressed in-source per §3.35).
+   Columns are 1-based in SARIF; Diagnostic stores 0-based columns. *)
+let sarif_of_report (r : Engine.report) =
+  let sarif_rule rule =
+    obj
+      [
+        ("id", str (Rule.id rule));
+        ("name", str (Rule.name rule));
+        ("shortDescription", obj [ ("text", str (Rule.name rule)) ]);
+        ("fullDescription", obj [ ("text", str (Rule.summary rule)) ]);
+        ("defaultConfiguration", obj [ ("level", str "error") ]);
+      ]
+  in
+  let rule_index rule =
+    let rec go i = function
+      | [] -> -1
+      | r :: _ when Rule.equal r rule -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 Rule.all
+  in
+  let location (d : Diagnostic.t) =
+    obj
+      [
+        ( "physicalLocation",
+          obj
+            [
+              ("artifactLocation", obj [ ("uri", str d.path) ]);
+              ( "region",
+                obj
+                  [
+                    ("startLine", string_of_int d.line);
+                    ("startColumn", string_of_int (d.col + 1));
+                    ("endLine", string_of_int d.end_line);
+                    ("endColumn", string_of_int (d.end_col + 1));
+                  ] );
+            ] );
+      ]
+  in
+  let result ?suppression (d : Diagnostic.t) =
+    obj
+      ([
+         ("ruleId", str (Rule.id d.rule));
+         ("ruleIndex", string_of_int (rule_index d.rule));
+         ("level", str "error");
+         ("message", obj [ ("text", str d.message) ]);
+         ("locations", arr [ location d ]);
+       ]
+      @
+      match suppression with
+      | None -> []
+      | Some why ->
+          [
+            ( "suppressions",
+              arr
+                [
+                  obj
+                    [
+                      ("kind", str "external");
+                      ("justification", str why);
+                    ];
+                ] );
+          ])
+  in
+  let results =
+    List.map (fun d -> result d) r.findings
+    @ List.map
+        (fun (d, (w : Waiver.t)) -> result ~suppression:w.justification d)
+        r.waived
+  in
+  obj
+    [
+      ("version", str "2.1.0");
+      ( "$schema",
+        str
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ( "runs",
+        arr
+          [
+            obj
+              [
+                ( "tool",
+                  obj
+                    [
+                      ( "driver",
+                        obj
+                          [
+                            ("name", str "cqlint");
+                            ("informationUri", str "https://example.invalid/cqlint");
+                            ("rules", arr (List.map sarif_rule Rule.all));
+                          ] );
+                    ] );
+                ("results", arr results);
+              ];
+          ] );
     ]
 
 let text_of_report (r : Engine.report) =

@@ -1,9 +1,18 @@
-(** Report rendering: compiler-style text and the machine-readable JSON
-    the CI gate jq-checks (schema_version 1). *)
+(** Report rendering: compiler-style text, the machine-readable JSON
+    the CI gate jq-checks (schema_version 2), and SARIF 2.1.0 for
+    GitHub code scanning. *)
 
 val json_of_report : Engine.report -> string
 (** One JSON object:
-    [{tool, schema_version, summary:{files,findings,waived,unused_waivers,errors},
+    [{tool, schema_version, rules:[...],
+      summary:{files,findings,waived,unused_waivers,errors},
       findings:[...], waived:[...], unused_waivers:[...], errors:[...]}] *)
+
+val sarif_of_report : Engine.report -> string
+(** SARIF 2.1.0, one run: the full rule catalogue under
+    [tool.driver.rules], one [result] per finding.  Waived findings are
+    emitted with an external [suppression] carrying the waiver's
+    justification, so code scanning shows them as suppressed rather
+    than losing them. *)
 
 val text_of_report : Engine.report -> string

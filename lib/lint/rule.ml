@@ -1,6 +1,17 @@
-type t = CQL001 | CQL002 | CQL003 | CQL004 | CQL005
+type t =
+  | CQL001
+  | CQL002
+  | CQL003
+  | CQL004
+  | CQL005
+  | CQL006
+  | CQL007
+  | CQL008
+  | CQL009
+  | CQL010
 
-let all = [ CQL001; CQL002; CQL003; CQL004; CQL005 ]
+let all =
+  [ CQL001; CQL002; CQL003; CQL004; CQL005; CQL006; CQL007; CQL008; CQL009; CQL010 ]
 
 let id = function
   | CQL001 -> "CQL001"
@@ -8,6 +19,11 @@ let id = function
   | CQL003 -> "CQL003"
   | CQL004 -> "CQL004"
   | CQL005 -> "CQL005"
+  | CQL006 -> "CQL006"
+  | CQL007 -> "CQL007"
+  | CQL008 -> "CQL008"
+  | CQL009 -> "CQL009"
+  | CQL010 -> "CQL010"
 
 let name = function
   | CQL001 -> "no-polymorphic-compare"
@@ -15,6 +31,11 @@ let name = function
   | CQL003 -> "global-mutable-state"
   | CQL004 -> "obj-magic-ban"
   | CQL005 -> "mli-coverage"
+  | CQL006 -> "domain-shared-state"
+  | CQL007 -> "no-blocking-in-event-loop"
+  | CQL008 -> "hot-path-allocation"
+  | CQL009 -> "unsafe-access-discipline"
+  | CQL010 -> "no-swallowed-exceptions"
 
 let summary = function
   | CQL001 ->
@@ -28,6 +49,23 @@ let summary = function
        explicit before the engine is sharded across domains"
   | CQL004 -> "Obj.magic and friends defeat the type system; never in this codebase"
   | CQL005 -> "every lib/ module exposes a signature (.mli) or carries a waiver"
+  | CQL006 ->
+      "mutable state captured by a Domain.spawn body without a Mutex.protect/\
+       Mutex.lock or Atomic guard: a data race the compiler cannot see"
+  | CQL007 ->
+      "blocking Unix call or unbounded loop inside the lib/net event loop: one \
+       blocked call stalls every session; mark sanctioned sites [@cq.blocking_ok]"
+  | CQL008 ->
+      "[@cq.hot] functions (and the local functions they call) must not allocate: \
+       no closures, tuple/record/variant construction, partial application, @/^, \
+       or List combinators on the zero-allocation ingest spine"
+  | CQL009 ->
+      "Array/Bytes/Batch unsafe_* accesses are legal only inside [@cq.hot] \
+       functions (bounds are the hot-path contract) or with a same-line \
+       bounds-evidence waiver"
+  | CQL010 ->
+      "a handler that discards the exception (with _ -> / unused binder) without \
+       re-raising or routing through Cq_util.Error hides real failures"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -36,6 +74,11 @@ let of_id s =
   | "CQL003" -> Some CQL003
   | "CQL004" -> Some CQL004
   | "CQL005" -> Some CQL005
+  | "CQL006" -> Some CQL006
+  | "CQL007" -> Some CQL007
+  | "CQL008" -> Some CQL008
+  | "CQL009" -> Some CQL009
+  | "CQL010" -> Some CQL010
   | _ -> None
 
 let equal a b = String.equal (id a) (id b)
@@ -46,10 +89,18 @@ let starts_with ~prefix s =
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
 (* CQL001/CQL004 audit everything we compile; the error-discipline,
-   state and signature rules are library-only conventions. *)
+   state and signature rules are library-only conventions.  CQL006,
+   CQL008 and CQL009 follow the code they guard (domains, [@cq.hot]
+   annotations and unsafe accessors appear in lib/ and bin/ alike);
+   CQL007 is scoped to the single-threaded event-loop modules, and
+   CQL010 is a library contract (binaries may deliberately catch-all
+   at their outermost boundary). *)
+let event_loop_paths = [ "lib/net/server.ml"; "lib/net/session.ml" ]
+
 let applies_to rule ~path =
   let in_lib = starts_with ~prefix:"lib/" path in
   let in_bin = starts_with ~prefix:"bin/" path in
   match rule with
-  | CQL001 | CQL004 -> in_lib || in_bin
-  | CQL002 | CQL003 | CQL005 -> in_lib
+  | CQL001 | CQL004 | CQL006 | CQL008 | CQL009 -> in_lib || in_bin
+  | CQL002 | CQL003 | CQL005 | CQL010 -> in_lib
+  | CQL007 -> List.exists (String.equal path) event_loop_paths

@@ -3,7 +3,17 @@
     Each rule enforces a convention the OCaml compiler cannot check
     for us; DESIGN.md §10 records the rationale for every rule. *)
 
-type t = CQL001 | CQL002 | CQL003 | CQL004 | CQL005
+type t =
+  | CQL001
+  | CQL002
+  | CQL003
+  | CQL004
+  | CQL005
+  | CQL006
+  | CQL007
+  | CQL008
+  | CQL009
+  | CQL010
 
 val all : t list
 val id : t -> string  (** ["CQL001"] … *)
@@ -19,6 +29,8 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 
 val applies_to : t -> path:string -> bool
-(** [path] is workspace-relative with ['/'] separators.  CQL001 and
-    CQL004 cover [lib/] and [bin/]; CQL002, CQL003 and CQL005 are
-    library-only conventions. *)
+(** [path] is workspace-relative with ['/'] separators.  CQL001,
+    CQL004, CQL006, CQL008 and CQL009 cover [lib/] and [bin/];
+    CQL002, CQL003, CQL005 and CQL010 are library-only conventions;
+    CQL007 is scoped to the event-loop modules
+    ([lib/net/server.ml], [lib/net/session.ml]). *)

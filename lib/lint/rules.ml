@@ -284,10 +284,807 @@ class checker ~path ~(report : Diagnostic.t -> unit) =
       self#pop !pushed
   end
 
+(* ================================================================== *)
+(* Pass 2: concurrency- and performance-safety rules (CQL006–CQL010)   *)
+(*                                                                     *)
+(* These rules need whole-file context the statement-local checker      *)
+(* above cannot carry: which module-level bindings are mutable, which   *)
+(* functions carry [@cq.hot] (directly or through a local call), and    *)
+(* what a [Domain.spawn] argument can reach.  A prepass collects that   *)
+(* context, then an explicit environment-threading walk applies the     *)
+(* rules.  All analyses are per-file and name-based — deliberately      *)
+(* conservative approximations of properties the type system cannot     *)
+(* express (DESIGN.md §10).                                             *)
+(* ================================================================== *)
+
+let attr_names = List.map (fun (a : attribute) -> a.attr_name.txt)
+let has_attr name attrs = List.exists (String.equal name) (attr_names attrs)
+let hot_attr = "cq.hot"
+let cold_attr = "cq.cold"
+let blocking_ok_attr = "cq.blocking_ok"
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let rec lid_components = function
+  | Lident n -> [ n ]
+  | Ldot (l, n) -> lid_components l @ [ n ]
+  | Lapply (a, b) -> lid_components a @ lid_components b
+
+(* Every longident referenced in [e] (uses in any position). *)
+let idents_of e =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter
+      method! longident_loc l = acc := l.txt :: !acc
+    end
+  in
+  it#expression e;
+  !acc
+
+let uses_var v e =
+  List.exists (function Lident n -> String.equal n v | _ -> false) (idents_of e)
+
+(* "Routes the failure": re-raises, or goes through the typed error
+   channel (Cq_util.Error / the local Err alias). *)
+let routes_failure e =
+  List.exists
+    (fun lid ->
+      match lid_components lid with
+      | [ ("raise" | "raise_notrace" | "failwith") ] -> true
+      | comps ->
+          List.exists (String.equal "raise_") comps
+          || List.exists (String.equal "corrupt") comps
+          || List.exists (fun c -> String.equal c "Error" || String.equal c "Err") comps)
+    (idents_of e)
+
+(* [if Metrics.enabled () then instrumented else bare]: only the bare
+   branch runs in steady state, so the instrumented branch is exempt
+   from the allocation gate (DESIGN.md §9: a disabled probe costs one
+   load and one branch). *)
+let gated_on_enabled cond =
+  List.exists
+    (fun lid ->
+      match lid_components lid with
+      | comps -> ( match List.rev comps with "enabled" :: _ -> true | _ -> false))
+    (idents_of cond)
+
+let raise_family lid =
+  match lid_components lid with
+  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg") ] -> true
+  | comps -> (
+      match List.rev comps with
+      | ("raise_" | "corrupt" | "raise" | "raise_notrace") :: _ -> true
+      | _ -> false)
+
+(* Blocking system-call family for CQL007.  [Unix.close] and the
+   socket-option calls never block on a local socket and stay legal. *)
+let blocking_call lid =
+  match lid with
+  | Ldot (Lident "Unix", fn) ->
+      List.exists (String.equal fn)
+        [
+          "read"; "write"; "single_write"; "select"; "sleep"; "sleepf"; "accept";
+          "connect"; "recv"; "recvfrom"; "send"; "sendto"; "waitpid"; "wait";
+          "system"; "pause";
+        ]
+  | Ldot (Lident "Thread", ("delay" | "join")) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Prepass: module-level functions, call graph, hot set, mutable tops   *)
+(* ------------------------------------------------------------------ *)
+
+type fn_info = {
+  fn_loc : Location.t;
+  fn_body : expression;  (** the binding RHS, constraints stripped *)
+  fn_cold : bool;
+  fn_arity : int;  (** syntactic parameter count of the outer function *)
+  fn_plain : bool;  (** every parameter unlabelled — arity check is sound *)
+  fn_calls : string list;  (** [Lident] references in the body *)
+}
+
+type ctx = {
+  fns : (string, fn_info list) Hashtbl.t;
+  mutable_tops : (string, string) Hashtbl.t;  (** name -> constructor *)
+  hot : (string, unit) Hashtbl.t;  (** transitively hot names *)
+  hot_seeds : (string * int) list;  (** annotated (name, line), manifest order *)
+}
+
+let rec binding_name pat =
+  match pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
+
+let fn_shape e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_function (params, _, body) ->
+      let arity =
+        List.length params + (match body with Pfunction_cases _ -> 1 | Pfunction_body _ -> 0)
+      in
+      let plain =
+        List.for_all
+          (fun p ->
+            match p.pparam_desc with
+            | Pparam_val (Nolabel, None, _) -> true
+            | _ -> false)
+          params
+        && (match body with Pfunction_cases _ -> false | Pfunction_body _ -> true)
+      in
+      Some (arity, plain)
+  | _ -> None
+
+let collect_ctx st =
+  let fns = Hashtbl.create 64 in
+  let mutable_tops = Hashtbl.create 16 in
+  let hot = Hashtbl.create 16 in
+  let seeds = ref [] in
+  let add_fn name info =
+    Hashtbl.replace fns name (info :: Option.value ~default:[] (Hashtbl.find_opt fns name))
+  in
+  let visit_vb vb =
+    match binding_name vb.pvb_pat with
+    | None -> ()
+    | Some name ->
+        let body = strip_constraint vb.pvb_expr in
+        let is_hot = has_attr hot_attr vb.pvb_attributes in
+        let is_cold = has_attr cold_attr vb.pvb_attributes in
+        if is_hot then begin
+          Hashtbl.replace hot name ();
+          seeds := (name, vb.pvb_loc.loc_start.pos_lnum) :: !seeds
+        end;
+        (match fn_shape body with
+        | Some (arity, plain) ->
+            let calls =
+              List.filter_map
+                (function Lident n -> Some n | _ -> None)
+                (idents_of body)
+            in
+            add_fn name
+              {
+                fn_loc = vb.pvb_loc;
+                fn_body = body;
+                fn_cold = is_cold;
+                fn_arity = arity;
+                fn_plain = plain;
+                fn_calls = calls;
+              }
+        | None -> ());
+        (match (strip_constraint vb.pvb_expr).pexp_desc with
+        | Pexp_apply (f, _) -> (
+            match (strip_constraint f).pexp_desc with
+            | Pexp_ident { txt; _ } -> (
+                match mutable_ctor (strip_stdlib txt) with
+                | Some what when not (String.equal what "Atomic.make") ->
+                    (* Atomics are the guard, not the hazard. *)
+                    Hashtbl.replace mutable_tops name what
+                | _ -> ())
+            | _ -> ())
+        | _ -> ())
+  in
+  let rec visit_structure items = List.iter visit_item items
+  and visit_item item =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) -> List.iter visit_vb vbs
+    | Pstr_module mb -> visit_module_expr mb.pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> visit_module_expr mb.pmb_expr) mbs
+    | Pstr_include { pincl_mod; _ } -> visit_module_expr pincl_mod
+    | _ -> ()
+  and visit_module_expr me =
+    match me.pmod_desc with
+    | Pmod_structure items -> visit_structure items
+    | Pmod_functor (_, body) -> visit_module_expr body
+    | Pmod_constraint (me, _) -> visit_module_expr me
+    | _ -> ()
+  in
+  visit_structure st;
+  (* Transitive hotness: a hot function's local callees are hot too,
+     unless the callee is marked [@cq.cold] (the sanctioned
+     slow-path cut). *)
+  let cold_name callee =
+    List.exists
+      (fun i -> i.fn_cold)
+      (Option.value ~default:[] (Hashtbl.find_opt fns callee))
+  in
+  let queue = Queue.create () in
+  Hashtbl.iter (fun n () -> Queue.add n queue) hot;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter
+      (fun info ->
+        List.iter
+          (fun callee ->
+            if
+              Hashtbl.mem fns callee
+              && (not (Hashtbl.mem hot callee))
+              && not (cold_name callee)
+            then begin
+              Hashtbl.replace hot callee ();
+              Queue.add callee queue
+            end)
+          info.fn_calls)
+      (Option.value ~default:[] (Hashtbl.find_opt fns n))
+  done;
+  { fns; mutable_tops; hot; hot_seeds = List.rev !seeds }
+
+let hot_bindings st = (collect_ctx st).hot_seeds
+
+(* ------------------------------------------------------------------ *)
+(* CQL006: Domain.spawn reachability scan                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_mutex_fn name f =
+  match (strip_constraint f).pexp_desc with
+  | Pexp_ident { txt = Ldot (Lident "Mutex", n); _ } -> String.equal n name
+  | _ -> false
+
+(* The value a mutation targets: strip field and (parser-desugared)
+   array/bytes subscript accesses down to the root identifier. *)
+let rec root_ident e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_ident { txt = Lident n; _ } -> Some n
+  | Pexp_field (e, _) -> root_ident e
+  | Pexp_apply (f, (_, first) :: _) -> (
+      match (strip_constraint f).pexp_desc with
+      | Pexp_ident { txt = Ldot (Lident ("Array" | "Bytes" | "String"), ("get" | "unsafe_get")); _ }
+        ->
+          root_ident first
+      | _ -> None)
+  | _ -> None
+
+let mutating_module_call lid =
+  match lid with
+  | Ldot (Lident "Array", ("set" | "unsafe_set" | "fill" | "blit")) -> Some "Array"
+  | Ldot (Lident "Bytes", ("set" | "unsafe_set" | "fill" | "blit")) -> Some "Bytes"
+  | Ldot
+      ( Lident "Hashtbl",
+        ("replace" | "add" | "remove" | "clear" | "reset" | "filter_map_inplace") ) ->
+      Some "Hashtbl"
+  | Ldot (Lident "Buffer", n) when has_prefix ~prefix:"add_" n -> Some "Buffer"
+  | Ldot (Lident "Buffer", ("clear" | "reset" | "truncate")) -> Some "Buffer"
+  | Ldot (Lident ("Queue" | "Stack"), ("push" | "add" | "pop" | "take" | "clear" | "transfer"))
+    ->
+      Some "Queue/Stack"
+  | _ -> None
+
+let spawn_scan ~path ~ctx ~report arg =
+  let emit loc msg = report (Diagnostic.make ~rule:Rule.CQL006 ~path ~loc msg) in
+  let scanned : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let bound : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let is_bound n = match Hashtbl.find_opt bound n with Some c -> c > 0 | None -> false in
+  let push ns =
+    List.iter
+      (fun n -> Hashtbl.replace bound n (1 + Option.value ~default:0 (Hashtbl.find_opt bound n)))
+      ns
+  in
+  let pop ns =
+    List.iter
+      (fun n -> Hashtbl.replace bound n (Option.value ~default:1 (Hashtbl.find_opt bound n) - 1))
+      ns
+  in
+  let pending = Queue.create () in
+  let enqueue_fn n =
+    if Hashtbl.mem ctx.fns n && not (Hashtbl.mem scanned n) then begin
+      Hashtbl.replace scanned n ();
+      Queue.add n pending
+    end
+  in
+  let guard_hint =
+    "guard it with Mutex.protect/Mutex.lock, use an Atomic, or hand the state \
+     to exactly one domain"
+  in
+  let rec scan ~guard e =
+    match e.pexp_desc with
+    | Pexp_sequence _ ->
+        (* Walk the statement spine tracking Mutex.lock/unlock pairs:
+           statements between a lock and its unlock are guarded. *)
+        let rec spine acc e =
+          match e.pexp_desc with
+          | Pexp_sequence (a, b) -> spine (a :: acc) b
+          | _ -> List.rev (e :: acc)
+        in
+        let g = ref guard in
+        List.iter
+          (fun stmt ->
+            (match stmt.pexp_desc with
+            | Pexp_apply (f, _) when is_mutex_fn "lock" f -> g := !g + 1
+            | Pexp_apply (f, _) when is_mutex_fn "unlock" f -> g := max guard (!g - 1)
+            | _ -> ());
+            scan ~guard:!g stmt)
+          (spine [] e)
+    | Pexp_apply (f, args) when is_mutex_fn "protect" f ->
+        scan ~guard f;
+        List.iter (fun (_, a) -> scan ~guard:(guard + 1) a) args
+    | Pexp_ident { txt = Lident n; _ } ->
+        if guard = 0 && (not (is_bound n)) && Hashtbl.mem ctx.mutable_tops n then
+          emit e.pexp_loc
+            (Printf.sprintf
+               "top-level mutable state %s (%s) is reached from a Domain.spawn body \
+                without a guard in scope; %s"
+               n
+               (Hashtbl.find ctx.mutable_tops n)
+               guard_hint);
+        enqueue_fn n
+    | Pexp_apply (f, args) ->
+        (match (strip_constraint f).pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            let txt = strip_stdlib txt in
+            match txt with
+            | Lident ((":=" | "incr" | "decr") as op) when guard = 0 -> (
+                match args with
+                | (_, target) :: _ -> (
+                    match root_ident target with
+                    | Some n when (not (is_bound n)) && not (Hashtbl.mem ctx.mutable_tops n) ->
+                        emit e.pexp_loc
+                          (Printf.sprintf
+                             "(%s) on %s, a ref captured from outside the Domain.spawn \
+                              body, without a guard in scope; %s"
+                             op n guard_hint)
+                    | _ -> ())
+                | [] -> ())
+            | _ -> (
+                match mutating_module_call txt with
+                | Some what when guard = 0 -> (
+                    match args with
+                    | (_, target) :: _ -> (
+                        match root_ident target with
+                        | Some n when (not (is_bound n)) && not (Hashtbl.mem ctx.mutable_tops n)
+                          ->
+                            emit e.pexp_loc
+                              (Printf.sprintf
+                                 "%s mutation of %s, captured from outside the \
+                                  Domain.spawn body, without a guard in scope; %s"
+                                 what n guard_hint)
+                        | _ -> ())
+                    | [] -> ())
+                | _ -> ()))
+        | _ -> ());
+        scan ~guard f;
+        List.iter (fun (_, a) -> scan ~guard a) args
+    | Pexp_setfield (b, _, v) ->
+        (match root_ident b with
+        | Some n when guard = 0 && not (is_bound n) ->
+            emit e.pexp_loc
+              (Printf.sprintf
+                 "mutable-field write on %s, captured from outside the Domain.spawn \
+                  body, without a guard in scope; %s"
+                 n guard_hint)
+        | _ -> ());
+        scan ~guard b;
+        scan ~guard v
+    | Pexp_let (rf, vbs, body) ->
+        let names = List.concat_map (fun vb -> bound_names [] vb.pvb_pat) vbs in
+        if (match rf with Recursive -> true | Nonrecursive -> false) then begin
+          push names;
+          List.iter (fun vb -> scan ~guard vb.pvb_expr) vbs;
+          scan ~guard body;
+          pop names
+        end
+        else begin
+          List.iter (fun vb -> scan ~guard vb.pvb_expr) vbs;
+          push names;
+          scan ~guard body;
+          pop names
+        end
+    | Pexp_function (params, _, body) ->
+        let names =
+          List.concat_map
+            (fun p ->
+              match p.pparam_desc with
+              | Pparam_val (_, default, pat) ->
+                  Option.iter (scan ~guard) default;
+                  bound_names [] pat
+              | Pparam_newtype _ -> [])
+            params
+        in
+        push names;
+        (match body with
+        | Pfunction_body b -> scan ~guard b
+        | Pfunction_cases (cases, _, _) -> scan_cases ~guard cases);
+        pop names
+    | Pexp_match (s, cases) | Pexp_try (s, cases) ->
+        scan ~guard s;
+        scan_cases ~guard cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+        scan ~guard lo;
+        scan ~guard hi;
+        let names = bound_names [] pat in
+        push names;
+        scan ~guard body;
+        pop names
+    | _ ->
+        (* Generic recursion into the remaining forms. *)
+        let first = ref true in
+        let it =
+          object
+            inherit Ast_traverse.iter as super
+
+            method! expression e' =
+              if !first then begin
+                first := false;
+                super#expression e'
+              end
+              else scan ~guard e'
+          end
+        in
+        it#expression e
+  and scan_cases ~guard cases =
+    List.iter
+      (fun c ->
+        let names = bound_names [] c.pc_lhs in
+        push names;
+        Option.iter (scan ~guard) c.pc_guard;
+        scan ~guard c.pc_rhs;
+        pop names)
+      cases
+  in
+  (* The spawn argument: an inline closure is scanned directly; any
+     module-level function it references (e.g. [Domain.spawn (worker st)])
+     is scanned transitively, its parameters counting as handed-over
+     (explicitly transferred) state. *)
+  scan ~guard:0 arg;
+  while not (Queue.is_empty pending) do
+    let n = Queue.pop pending in
+    List.iter (fun info -> scan ~guard:0 info.fn_body)
+      (Option.value ~default:[] (Hashtbl.find_opt ctx.fns n))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* CQL007–CQL010: the environment-threading walk                        *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  in_hot : bool;  (** inside a (transitively) [@cq.hot] binding *)
+  exempt : bool;  (** CQL008 suppressed: raise args, gated branch, result wrap *)
+  tail : bool;  (** tail position of the enclosing hot function *)
+  blocking_ok : bool;  (** inside a [@cq.blocking_ok] expression/binding *)
+}
+
+let swallow_hint =
+  "name the expected exception constructors, use the binder, or route the \
+   failure through Cq_util.Error"
+
+(* Classify an exception-handler pattern: a wildcard (or an or-pattern
+   containing one) discards everything; a bare binder may still be used
+   by the body; a constructor pattern is a deliberate catch. *)
+let rec classify_handler p =
+  match p.ppat_desc with
+  | Ppat_any -> `Wild
+  | Ppat_var { txt; _ } -> `Var txt
+  | Ppat_alias (_, { txt; _ }) -> `Var txt
+  | Ppat_constraint (p, _) -> classify_handler p
+  | Ppat_or (a, b) -> (
+      match (classify_handler a, classify_handler b) with
+      | `Wild, _ | _, `Wild -> `Wild
+      | (`Var _ as v), _ | _, (`Var _ as v) -> v
+      | _ -> `Specific)
+  | _ -> `Specific
+
+let rec exception_sub p =
+  match p.ppat_desc with
+  | Ppat_exception sub -> Some sub
+  | Ppat_or (a, b) -> ( match exception_sub a with Some s -> Some s | None -> exception_sub b)
+  | Ppat_constraint (p, _) -> exception_sub p
+  | _ -> None
+
+class pass2 ~path ~ctx ~(report : Diagnostic.t -> unit) =
+  let active r = Rule.applies_to r ~path in
+  let r006 = active Rule.CQL006
+  and r007 = active Rule.CQL007
+  and r008 = active Rule.CQL008
+  and r009 = active Rule.CQL009
+  and r010 = active Rule.CQL010 in
+  object (self)
+    method private emit rule loc message = report (Diagnostic.make ~rule ~path ~loc message)
+
+    method private check_handler pat rhs =
+      if r010 then
+        match classify_handler pat with
+        | `Wild ->
+            if not (routes_failure rhs) then
+              self#emit Rule.CQL010 pat.ppat_loc
+                (Printf.sprintf
+                   "wildcard handler discards the exception (Unix_error and friends \
+                    vanish silently); %s"
+                   swallow_hint)
+        | `Var v ->
+            if not (uses_var v rhs || routes_failure rhs) then
+              self#emit Rule.CQL010 pat.ppat_loc
+                (Printf.sprintf "handler binds %s but never consults it; %s" v swallow_hint)
+        | `Specific -> ()
+
+    method private check_ident env lid loc =
+      (if r007 && (not env.blocking_ok) && blocking_call (strip_stdlib lid) then
+         self#emit Rule.CQL007 loc
+           (Printf.sprintf
+              "%s can block the single-threaded event loop, stalling every session; \
+               mark the call [@cq.blocking_ok] with the reason it cannot block \
+               (non-blocking fd, bounded timeout)"
+              (String.concat "." (lid_components lid))));
+      (if r009 && not env.in_hot then
+         match strip_stdlib lid with
+         | Ldot (_, n) when has_prefix ~prefix:"unsafe_" n ->
+             self#emit Rule.CQL009 loc
+               (Printf.sprintf
+                  "%s outside a [@cq.hot] function: unchecked accesses are the hot \
+                   path's contract only — move it under [@cq.hot] or waive this line \
+                   with the bounds evidence"
+                  (String.concat "." (lid_components lid)))
+         | _ -> ());
+      if r008 && env.in_hot && not env.exempt then
+        match strip_stdlib lid with
+        | Lident (("@" | "^") as op) ->
+            self#emit Rule.CQL008 loc
+              (Printf.sprintf
+                 "(%s) allocates on the [@cq.hot] path; preallocate or rewrite with \
+                  index arithmetic"
+                 op)
+        | Ldot (Lident "List", fn) ->
+            self#emit Rule.CQL008 loc
+              (Printf.sprintf
+                 "List.%s on the [@cq.hot] path allocates list cells/closures per \
+                  element; use preallocated arrays or explicit loops"
+                 fn)
+        | _ -> ()
+
+    method private walk_fn env fe =
+      match fe.pexp_desc with
+      | Pexp_function (params, _, body) ->
+          List.iter
+            (fun p ->
+              match p.pparam_desc with
+              | Pparam_val (_, default, _) ->
+                  Option.iter (self#walk { env with tail = false }) default
+              | Pparam_newtype _ -> ())
+            params;
+          (match body with
+          | Pfunction_body b -> self#walk { env with tail = true } b
+          | Pfunction_cases (cases, _, _) -> self#walk_cases env cases)
+      | _ -> self#walk env fe
+
+    method private walk_cases env cases =
+      (* Case bodies keep tail position; guards do not. *)
+      List.iter
+        (fun c ->
+          Option.iter (self#walk { env with tail = false }) c.pc_guard;
+          self#walk env c.pc_rhs)
+        cases
+
+    method private walk_binding env vb =
+      let env =
+        {
+          env with
+          blocking_ok = env.blocking_ok || has_attr blocking_ok_attr vb.pvb_attributes;
+          in_hot =
+            (env.in_hot || has_attr hot_attr vb.pvb_attributes)
+            && not (has_attr cold_attr vb.pvb_attributes);
+        }
+      in
+      let rhs = strip_constraint vb.pvb_expr in
+      match rhs.pexp_desc with
+      | Pexp_function _ ->
+          (* The binding's own lambda is the function being defined,
+             not a closure allocated per call. *)
+          self#walk_fn env rhs
+      | _ -> self#walk { env with tail = false } vb.pvb_expr
+
+    method private alloc env loc what hint =
+      if r008 && env.in_hot && not env.exempt then
+        self#emit Rule.CQL008 loc
+          (Printf.sprintf "%s on the [@cq.hot] path; %s" what hint)
+
+    method walk env e =
+      let env =
+        if has_attr blocking_ok_attr e.pexp_attributes then { env with blocking_ok = true }
+        else env
+      in
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> self#check_ident env txt e.pexp_loc
+      | Pexp_function _ ->
+          self#alloc env e.pexp_loc "closure construction"
+            "hoist it to a module-level function or a preallocated field";
+          self#walk_fn env e
+      | Pexp_tuple es ->
+          self#alloc env e.pexp_loc "tuple construction"
+            "return components through out-parameters or split the function";
+          List.iter (self#walk { env with tail = false }) es
+      | Pexp_record (fields, base) ->
+          self#alloc env e.pexp_loc "record construction"
+            "reuse a preallocated record or waive with the amortisation argument";
+          Option.iter (self#walk { env with tail = false }) base;
+          List.iter (fun (_, v) -> self#walk { env with tail = false } v) fields
+      | Pexp_construct ({ txt; _ }, Some payload) ->
+          let result_wrap =
+            env.tail && match txt with Lident ("Ok" | "Error") -> true | _ -> false
+          in
+          if not result_wrap then
+            self#alloc env e.pexp_loc
+              (Printf.sprintf "%s construction" (String.concat "." (lid_components txt)))
+              "constructor payloads box; restructure or waive with the amortisation \
+               argument";
+          let env = { env with tail = false; exempt = env.exempt || result_wrap } in
+          (* A multi-argument constructor is one block: the syntactic
+             tuple is its argument list, not a nested allocation. *)
+          (match payload.pexp_desc with
+          | Pexp_tuple es -> List.iter (self#walk env) es
+          | _ -> self#walk env payload)
+      | Pexp_variant (_, Some payload) ->
+          self#alloc env e.pexp_loc "polymorphic-variant construction"
+            "variant payloads box on every call";
+          self#walk { env with tail = false } payload
+      | Pexp_apply (f, args) ->
+          (let fs = strip_constraint f in
+           match fs.pexp_desc with
+           | Pexp_ident { txt; _ } -> (
+               let txt' = strip_stdlib txt in
+               (* Domain.spawn: run the CQL006 reachability scan. *)
+               (if r006 then
+                  match txt' with
+                  | Ldot (Lident "Domain", "spawn") ->
+                      List.iter (fun (_, a) -> spawn_scan ~path ~ctx ~report a) args
+                  | _ -> ());
+               (* Partial application of a local function: flag only
+                  when the callee's parameters are all positional, so
+                  the syntactic arity comparison is sound. *)
+               if r008 && env.in_hot && not env.exempt then
+                 match txt' with
+                 | Lident n -> (
+                     match Hashtbl.find_opt ctx.fns n with
+                     | Some (info :: _)
+                       when info.fn_plain
+                            && List.for_all
+                                 (fun (l, _) ->
+                                   match l with Nolabel -> true | _ -> false)
+                                 args
+                            && List.length args < info.fn_arity ->
+                         self#emit Rule.CQL008 e.pexp_loc
+                           (Printf.sprintf
+                              "partial application of %s (%d of %d arguments) \
+                               allocates a closure on the [@cq.hot] path"
+                              n (List.length args) info.fn_arity)
+                     | _ -> ())
+                 | _ -> ())
+           | _ -> ());
+          let arg_exempt =
+            match (strip_constraint f).pexp_desc with
+            | Pexp_ident { txt; _ } -> raise_family (strip_stdlib txt)
+            | _ -> false
+          in
+          self#walk { env with tail = false } f;
+          List.iter
+            (fun (_, a) ->
+              self#walk { env with tail = false; exempt = env.exempt || arg_exempt } a)
+            args
+      | Pexp_let (_, vbs, body) ->
+          List.iter (self#walk_binding env) vbs;
+          self#walk env body
+      | Pexp_sequence (a, b) ->
+          self#walk { env with tail = false } a;
+          self#walk env b
+      | Pexp_ifthenelse (cond, then_, else_) ->
+          let gated = gated_on_enabled cond in
+          self#walk { env with tail = false } cond;
+          self#walk { env with exempt = env.exempt || gated } then_;
+          Option.iter (self#walk env) else_
+      | Pexp_match (scrut, cases) ->
+          List.iter
+            (fun c ->
+              match exception_sub c.pc_lhs with
+              | Some sub -> self#check_handler sub c.pc_rhs
+              | None -> ())
+            cases;
+          self#walk { env with tail = false } scrut;
+          self#walk_cases env cases
+      | Pexp_try (scrut, cases) ->
+          List.iter (fun c -> self#check_handler c.pc_lhs c.pc_rhs) cases;
+          self#walk { env with tail = false } scrut;
+          self#walk_cases env cases
+      | Pexp_while (cond, body) ->
+          (match cond.pexp_desc with
+          | Pexp_construct ({ txt = Lident "true"; _ }, None)
+            when r007 && not env.blocking_ok ->
+              self#emit Rule.CQL007 e.pexp_loc
+                "unbounded [while true] in the event loop: every iteration must be \
+                 bounded by readiness or a stop flag; mark deliberate drains \
+                 [@cq.blocking_ok]"
+          | _ -> ());
+          self#walk { env with tail = false } cond;
+          self#walk { env with tail = false } body
+      | Pexp_for (_, lo, hi, _, body) ->
+          self#walk { env with tail = false } lo;
+          self#walk { env with tail = false } hi;
+          self#walk { env with tail = false } body
+      | Pexp_setfield (b, _, v) ->
+          self#walk { env with tail = false } b;
+          self#walk { env with tail = false } v
+      | Pexp_field (b, _) -> self#walk { env with tail = false } b
+      | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) -> self#walk env inner
+      | Pexp_open (_, inner) | Pexp_lazy inner -> self#walk env inner
+      | Pexp_assert inner -> self#walk { env with tail = false; exempt = true } inner
+      | Pexp_constant _ | Pexp_construct (_, None) | Pexp_variant (_, None)
+      | Pexp_unreachable ->
+          ()
+      | Pexp_array es -> List.iter (self#walk { env with tail = false }) es
+      | _ ->
+          (* Generic recursion for the remaining forms (objects, letops,
+             local modules, extensions ...). *)
+          let first = ref true in
+          let it =
+            object
+              inherit Ast_traverse.iter as super
+
+              method! expression e' =
+                if !first then begin
+                  first := false;
+                  super#expression e'
+                end
+                else self#walk { env with tail = false } e'
+            end
+          in
+          it#expression e
+
+    method structure items = List.iter self#structure_item items
+
+    method structure_item item =
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let hot =
+                (match binding_name vb.pvb_pat with
+                | Some n -> Hashtbl.mem ctx.hot n
+                | None -> false)
+                || has_attr hot_attr vb.pvb_attributes
+              in
+              self#walk_binding
+                { in_hot = hot; exempt = false; tail = false; blocking_ok = false }
+                vb)
+            vbs
+      | Pstr_module mb -> self#module_expr mb.pmb_expr
+      | Pstr_recmodule mbs -> List.iter (fun mb -> self#module_expr mb.pmb_expr) mbs
+      | Pstr_include { pincl_mod; _ } -> self#module_expr pincl_mod
+      | Pstr_eval (e, _) ->
+          self#walk { in_hot = false; exempt = false; tail = false; blocking_ok = false } e
+      | _ -> ()
+
+    method module_expr me =
+      match me.pmod_desc with
+      | Pmod_structure items -> self#structure items
+      | Pmod_functor (_, body) -> self#module_expr body
+      | Pmod_constraint (me, _) -> self#module_expr me
+      | Pmod_apply (a, b) ->
+          self#module_expr a;
+          self#module_expr b
+      | _ -> ()
+  end
+
+let check_extended ~path st =
+  let needs =
+    List.exists
+      (fun r -> Rule.applies_to r ~path)
+      [ Rule.CQL006; Rule.CQL007; Rule.CQL008; Rule.CQL009; Rule.CQL010 ]
+  in
+  if not needs then []
+  else begin
+    let ctx = collect_ctx st in
+    let acc = ref [] in
+    let p = new pass2 ~path ~ctx ~report:(fun d -> acc := d :: !acc) in
+    p#structure st;
+    !acc
+  end
+
+let diag_compare (a : Diagnostic.t) (b : Diagnostic.t) =
+  match Diagnostic.compare a b with
+  | 0 -> String.compare a.message b.message
+  | c -> c
+
 let check_structure ~path st =
   let acc = ref [] in
   let c = new checker ~path ~report:(fun d -> acc := d :: !acc) in
   c#structure st;
-  List.sort Diagnostic.compare !acc
+  List.sort_uniq diag_compare (check_extended ~path st @ !acc)
 
 let check_signature ~path:_ (_ : signature) = []

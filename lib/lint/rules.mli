@@ -1,11 +1,22 @@
-(** The AST-driven rule checks (CQL001–CQL004).
+(** The AST-driven rule checks (CQL001–CQL004, CQL006–CQL010).
 
     CQL005 (mli-coverage) is a file-system property and lives in
     {!Engine}.  All checks are scope-aware: a local or module-level
     binding of [compare]/[min]/[max] shadows the polymorphic primitive
     and suppresses CQL001 for uses in its scope, and functor bodies are
     exempt from CQL003 (their "module-level" state is allocated per
-    application). *)
+    application).
+
+    The concurrency/performance rules (CQL006–CQL010) run as a second
+    pass that first collects whole-file context — module-level function
+    bodies and their local call sets, module-level mutable bindings, and
+    the transitive closure of [\[@cq.hot\]] annotations over local calls
+    (cut by [\[@cq.cold\]]) — then threads an environment
+    (hot? exempt? tail? blocking-ok?) through an explicit AST walk.
+    Everything is a per-file, name-based over-approximation: the rules
+    enforce conventions the type system cannot express, and false
+    positives are handled by restructuring the code or by a justified
+    waiver, never by weakening the rule. *)
 
 val check_structure : path:string -> Ppxlib.structure -> Diagnostic.t list
 (** Run every rule that applies to [path] (see {!Rule.applies_to}) over
@@ -13,3 +24,9 @@ val check_structure : path:string -> Ppxlib.structure -> Diagnostic.t list
 
 val check_signature : path:string -> Ppxlib.signature -> Diagnostic.t list
 (** Interfaces contain no expressions; today this is always []. *)
+
+val hot_bindings : Ppxlib.structure -> (string * int) list
+(** The [\[@cq.hot\]]-annotated value bindings of a parsed
+    implementation as [(name, line)] pairs in source order — the raw
+    material for the committed hot-path manifest ([out/hot_path.list])
+    that CI uses to refuse silent annotation removal. *)

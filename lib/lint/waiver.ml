@@ -33,6 +33,11 @@ let split_site site =
         if n <= 0 then Error "line numbers are 1-based" else Ok (normalize_path path, Some n)
       else Error (Printf.sprintf "%S is not a line number" suffix)
 
+let site_to_string w =
+  match w.line with
+  | None -> Printf.sprintf "%s %s" (Rule.id w.rule) w.path
+  | Some l -> Printf.sprintf "%s %s:%d" (Rule.id w.rule) w.path l
+
 let parse_line ~file ~source_line raw =
   let text = String.trim raw in
   let err reason = Error { file; source_line; text; reason } in
@@ -43,7 +48,7 @@ let parse_line ~file ~source_line raw =
     | Some sp -> (
         let rule_s = String.sub text 0 sp in
         match Rule.of_id rule_s with
-        | None -> err (Printf.sprintf "unknown rule id %S (expected CQL001..CQL005)" rule_s)
+        | None -> err (Printf.sprintf "unknown rule id %S (expected CQL001..CQL010)" rule_s)
         | Some rule -> (
             let rest = String.trim (String.sub text sp (String.length text - sp)) in
             (* Find the " -- " justification separator. *)
@@ -75,7 +80,32 @@ let parse ~file contents =
     (fun i raw ->
       match parse_line ~file ~source_line:(i + 1) raw with
       | Ok None -> ()
-      | Ok (Some w) -> waivers := w :: !waivers
+      | Ok (Some w) -> (
+          (* A duplicate site is a stale edit, not extra safety: the
+             second entry would mask the removal of the first. *)
+          match
+            List.find_opt
+              (fun p ->
+                Rule.equal p.rule w.rule
+                && String.equal p.path w.path
+                && (match (p.line, w.line) with
+                   | None, None -> true
+                   | Some a, Some b -> a = b
+                   | _ -> false))
+              !waivers
+          with
+          | Some first ->
+              errors :=
+                {
+                  file;
+                  source_line = w.source_line;
+                  text = String.trim raw;
+                  reason =
+                    Printf.sprintf "duplicate waiver for %s (first on line %d)"
+                      (site_to_string w) first.source_line;
+                }
+                :: !errors
+          | None -> waivers := w :: !waivers)
       | Error e -> errors := e :: !errors)
     lines;
   match List.rev !errors with [] -> Ok (List.rev !waivers) | es -> Error es
@@ -90,8 +120,3 @@ let covers w (d : Diagnostic.t) =
   Rule.equal w.rule d.rule
   && String.equal w.path d.path
   && match w.line with None -> true | Some l -> l = d.line
-
-let site_to_string w =
-  match w.line with
-  | None -> Printf.sprintf "%s %s" (Rule.id w.rule) w.path
-  | Some l -> Printf.sprintf "%s %s:%d" (Rule.id w.rule) w.path l

@@ -231,7 +231,9 @@ let maybe_notify_overload t s =
 let accept_loop t =
   let continue = ref true in
   while !continue do
-    match Unix.accept ~cloexec:true t.listen_fd with
+    (* The listen fd is non-blocking: accept returns EAGAIN instead of
+       waiting, and the loop exits on it. *)
+    match (Unix.accept ~cloexec:true t.listen_fd [@cq.blocking_ok]) with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (_, _, _) -> continue := false
@@ -263,7 +265,9 @@ let accept_loop t =
           Frame.encode_server buf
             (Frame.Err { code = Frame.Err_server_full; message = "session limit reached" });
           let b = Buffer.to_bytes buf in
-          (try ignore (Unix.write fd b 0 (Bytes.length b))
+          (try ignore (Unix.write fd b 0 (Bytes.length b) [@cq.blocking_ok])
+           (* refusal fd is fresh and non-blocking: a full socket buffer
+              errors out instead of stalling the loop *)
            with Unix.Unix_error (_, _, _) -> ());
           try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
         end
@@ -381,7 +385,9 @@ let handle_frame t s (frame : Frame.client_frame) =
 let handle_proto_error t s e = proto_violation t s (Frame.proto_error_to_string e)
 
 let handle_readable t s =
-  match Unix.read (Session.fd s) t.rbuf 0 (Bytes.length t.rbuf) with
+  (* Session fds are non-blocking (set at accept): read returns EAGAIN
+     rather than waiting for bytes. *)
+  match (Unix.read (Session.fd s) t.rbuf 0 (Bytes.length t.rbuf) [@cq.blocking_ok]) with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> close_session t s
   | 0 -> (
@@ -461,7 +467,9 @@ let step t ~timeout =
   in
   let writes = List.filter_map (fun s -> if Session.wants_write s then Some (Session.fd s) else None) sessions in
   let readable, _writable, _ =
-    match Unix.select reads writes [] timeout with
+    (* select is the event loop's one sanctioned wait: bounded by
+       [timeout] and woken early by the stop pipe. *)
+    match (Unix.select reads writes [] timeout [@cq.blocking_ok]) with
     | r -> r
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
   in
@@ -469,7 +477,9 @@ let step t ~timeout =
   if List.memq t.stop_r readable then begin
     let b = Bytes.create 16 in
     (try
-       while Unix.read t.stop_r b 0 16 > 0 do
+       (* stop_r is the non-blocking read end of the stop pipe: the
+          drain ends on EAGAIN, not on quiescence. *)
+       while (Unix.read t.stop_r b 0 16 [@cq.blocking_ok]) > 0 do
          ()
        done
      with Unix.Unix_error (_, _, _) -> ());
@@ -520,7 +530,10 @@ let debug_dump t =
   Buffer.contents b
 
 let stop t =
-  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error (_, _, _) -> ()
+  (* One byte into the non-blocking stop pipe; a full pipe already
+     guarantees a pending wakeup. *)
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1 [@cq.blocking_ok])
+  with Unix.Unix_error (_, _, _) -> ()
 
 let teardown t =
   if not t.torn_down then begin

@@ -207,7 +207,9 @@ let write_step t =
     | None -> ()
     | Some b -> (
         let len = Bytes.length b - t.woff in
-        match Unix.write t.fd b t.woff len with
+        (* The session fd is non-blocking: a full socket buffer returns
+           EAGAIN (handled below) instead of stalling the event loop. *)
+        match (Unix.write t.fd b t.woff len [@cq.blocking_ok]) with
         | n ->
             if n = len then begin
               t.wbuf <- None;

@@ -98,14 +98,14 @@ let id b i =
 (* Single-expression bodies so the classic inliner expands them at the
    call site: a non-inlined call would box the float return on every
    read, defeating the flat columns. *)
-let unsafe_x b i = Array.unsafe_get b.xs (b.off + i)
-let unsafe_y b i = Array.unsafe_get b.ys (b.off + i)
+let[@cq.hot] unsafe_x b i = Array.unsafe_get b.xs (b.off + i)
+let[@cq.hot] unsafe_y b i = Array.unsafe_get b.ys (b.off + i)
 
-let x b i =
+let[@cq.hot] x b i =
   check_index b i "x";
   b.xs.(b.off + i)
 
-let y b i =
+let[@cq.hot] y b i =
   check_index b i "y";
   b.ys.(b.off + i)
 
@@ -114,7 +114,7 @@ let set_id b i id =
   check_index b i "set_id";
   b.ids.(b.off + i) <- id
 
-let slice b ~pos ~len =
+let[@cq.hot] slice b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > b.len then
     Err.raise_
       (Err.Invalid_parameter
@@ -133,7 +133,7 @@ let slice b ~pos ~len =
     sealed = false;
   }
 
-let iter b ~f =
+let[@cq.hot] iter b ~f =
   for i = 0 to b.len - 1 do
     let j = b.off + i in
     f ~i ~x:b.xs.(j) ~y:b.ys.(j)

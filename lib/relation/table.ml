@@ -5,7 +5,7 @@ module Fkey = struct
 
   (* Monomorphic read: the key arrays are flat float arrays, so the
      generic [a.(i)] would box on every comparison of every descent. *)
-  let compare_at (a : float array) i k = Float.compare (Array.unsafe_get a i) k
+  let[@cq.hot] compare_at (a : float array) i k = Float.compare (Array.unsafe_get a i) k
 end
 
 module Pkey = struct
@@ -15,7 +15,7 @@ module Pkey = struct
     let c = Float.compare a1 b1 in
     if c <> 0 then c else Float.compare a2 b2
 
-  let compare_at a i k = compare (Array.unsafe_get a i) k
+  let[@cq.hot] compare_at a i k = compare (Array.unsafe_get a i) k
 end
 
 module Fbt = Cq_index.Btree.Make (Fkey)

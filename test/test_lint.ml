@@ -321,6 +321,386 @@ let syntax_error_is_reported () =
   | Ok _ -> Alcotest.fail "unparsable source must not lint clean"
 
 (* ------------------------------------------------------------------ *)
+(* CQL006 domain-shared-state                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cql006_hits () =
+  let ds =
+    lint
+      {|
+let counter = ref 0
+let table = Hashtbl.create 16
+let start () = Domain.spawn (fun () -> incr counter)
+let fill () = Domain.spawn (fun () -> Hashtbl.replace table 1 2)
+let leak () =
+  let local = ref 0 in
+  Domain.spawn (fun () -> local := 1)
+|}
+  in
+  check_lines "unguarded toplevel and captured state flagged" Rule.CQL006 [ 4; 5; 8 ] ds
+
+let cql006_transitive () =
+  (* The spawn body is a module-level function: the scan follows the
+     reference and finds the mutation inside it. *)
+  let ds =
+    lint
+      {|
+let state = ref 0
+let work () = incr state
+let start () = Domain.spawn work
+|}
+  in
+  check_lines "mutation inside a spawned file-local fn" Rule.CQL006 [ 3 ] ds
+
+let cql006_mutex_guarded () =
+  let ds =
+    lint
+      {|
+let m = Mutex.create ()
+let counter = ref 0
+let table = Hashtbl.create 16
+let protected () = Domain.spawn (fun () -> Mutex.protect m (fun () -> incr counter))
+let locked () =
+  Domain.spawn (fun () ->
+      Mutex.lock m;
+      Hashtbl.replace table 1 2;
+      Mutex.unlock m)
+|}
+  in
+  check_lines "Mutex.protect and lock/unlock spans are guards" Rule.CQL006 [] ds
+
+let cql006_atomic_and_handover () =
+  let ds =
+    lint
+      {|
+let hits = Atomic.make 0
+let bump () = Domain.spawn (fun () -> Atomic.incr hits)
+let worker st = st := 1
+let handover st = Domain.spawn (fun () -> worker st)
+|}
+  in
+  check_lines "atomics and parameter handover are clean" Rule.CQL006 [] ds
+
+let cql006_no_spawn_no_findings () =
+  let ds = lint {|
+let counter = ref 0
+let bump () = incr counter
+|} in
+  check_lines "mutable state without Domain.spawn is CQL003's business" Rule.CQL006 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL007 no-blocking-in-event-loop                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ev_path = "lib/net/server.ml"
+
+let cql007_hits () =
+  let ds =
+    lint ~path:ev_path
+      {|
+let pull fd b = ignore (Unix.read fd b 0 16)
+let nap () = Unix.sleepf 0.1
+let rec pump () = while true do pump () done
+|}
+  in
+  check_lines "blocking calls and while-true flagged" Rule.CQL007 [ 2; 3; 4 ] ds
+
+let cql007_scoped_to_event_loop () =
+  let ds = lint ~path:"lib/other/io.ml" "let pull fd b = ignore (Unix.read fd b 0 16)" in
+  check_lines "CQL007 only covers the event-loop modules" Rule.CQL007 [] ds
+
+let cql007_blocking_ok_expression () =
+  let ds =
+    lint ~path:ev_path
+      "let pull fd b = ignore (Unix.read fd b 0 16 [@cq.blocking_ok])"
+  in
+  check_lines "expression attribute waives the call" Rule.CQL007 [] ds
+
+let cql007_blocking_ok_binding () =
+  let ds =
+    lint ~path:ev_path
+      {|
+let[@cq.blocking_ok] drain fd b =
+  while Unix.read fd b 0 1 > 0 do
+    ()
+  done
+|}
+  in
+  check_lines "binding attribute covers the whole body" Rule.CQL007 [] ds
+
+let cql007_nonblocking_calls_clean () =
+  let ds =
+    lint ~path:ev_path
+      {|
+let shut fd = Unix.close fd
+let nb fd = Unix.set_nonblock fd
+|}
+  in
+  check_lines "close/setsockopt-family calls never block" Rule.CQL007 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL008 hot-path-allocation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cql008_hits () =
+  let ds =
+    lint
+      {|
+let[@cq.hot] f g x = g (fun y -> y + x)
+let[@cq.hot] pair a b = (a, b)
+let[@cq.hot] opt x = Some x
+let[@cq.hot] cat a b = a ^ b
+let[@cq.hot] len xs = List.length xs
+|}
+  in
+  check_lines "closure/tuple/variant/^/List all flagged" Rule.CQL008 [ 2; 3; 4; 5; 6 ] ds
+
+let cql008_transitive_callee () =
+  (* [helper] carries no annotation but is called from a hot function:
+     the allocation inside it is on the hot path. *)
+  let ds =
+    lint {|
+let helper x = [ x ]
+let[@cq.hot] entry x = helper x
+|}
+  in
+  check_lines "local callee inherits hotness" Rule.CQL008 [ 2 ] ds
+
+let cql008_partial_application () =
+  let ds =
+    lint {|
+let add3 a b c = a + b + c
+let[@cq.hot] f x = add3 x 1
+|}
+  in
+  check_lines "partial application of a local fn allocates" Rule.CQL008 [ 3 ] ds
+
+let cql008_cold_cut () =
+  let ds =
+    lint
+      {|
+let[@cq.cold] slow x = [ x; x ]
+let[@cq.hot] fast x = if x > 0 then x else List.length (slow x)
+|}
+  in
+  (* [slow]'s list allocations are exempt ([@cq.cold] cuts propagation);
+     the List.length on the hot body itself still counts. *)
+  check_lines "[@cq.cold] stops propagation, hot body still checked" Rule.CQL008 [ 3 ] ds
+
+let cql008_non_hot_clean () =
+  let ds = lint "let f xs = List.map (fun x -> (x, x)) xs" in
+  check_lines "no annotation, no rule" Rule.CQL008 [] ds
+
+let cql008_result_and_raise_exempt () =
+  let ds =
+    lint
+      {|
+let[@cq.hot] checked x =
+  if x < 0 then Error "negative"
+  else if x > 100 then raise (Invalid_argument "too big")
+  else Ok x
+|}
+  in
+  check_lines "tail Ok/Error and raise payloads are exempt" Rule.CQL008 [] ds
+
+let cql008_gated_and_loops_clean () =
+  let ds =
+    lint
+      {|
+let enabled () = false
+let[@cq.hot] observe x = if enabled () then Some x else None
+let[@cq.hot] sum a =
+  let n = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    n := !n + Array.unsafe_get a i
+  done;
+  !n
+|}
+  in
+  check_lines "metrics-gated branch and ref loops are clean" Rule.CQL008 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL009 unsafe-access-discipline                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cql009_hits () =
+  let ds =
+    lint
+      {|
+let f a i = Array.unsafe_get a i
+let g b i x = Bytes.unsafe_set b i x
+let h st i = Batch.unsafe_x st i
+|}
+  in
+  check_lines "unsafe accessors outside [@cq.hot] flagged" Rule.CQL009 [ 2; 3; 4 ] ds
+
+let cql009_hot_is_legal () =
+  let ds = lint "let[@cq.hot] f a i = Array.unsafe_get a i" in
+  check_lines "inside [@cq.hot] the contract holds" Rule.CQL009 [] ds
+
+let cql009_transitively_hot_is_legal () =
+  let ds =
+    lint {|
+let get a i = Array.unsafe_get a i
+let[@cq.hot] entry a = get a 0
+|}
+  in
+  check_lines "transitive hotness also legalises" Rule.CQL009 [] ds
+
+let cql009_checked_access_clean () =
+  let ds = lint "let f a i = Array.get a i" in
+  check_lines "bounds-checked access is always fine" Rule.CQL009 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* CQL010 no-swallowed-exceptions                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cql010_hits () =
+  let ds =
+    lint
+      {|
+let f h = try h () with _ -> ()
+let g h = try h () with e -> ()
+let i h = match h () with x -> x | exception _ -> 0
+|}
+  in
+  check_lines "wildcard and unused-binder handlers flagged" Rule.CQL010 [ 2; 3; 4 ] ds
+
+let cql010_non_hits () =
+  let ds =
+    lint
+      {|
+let f h = try h () with Not_found -> 0
+let g h log = try h () with e -> log e
+let i h = try h () with _ -> raise Exit
+let j h = match h () with x -> Ok x | exception Exit -> Error "stopped"
+|}
+  in
+  check_lines "named/used/re-raised handlers are clean" Rule.CQL010 [] ds
+
+let cql010_routed_through_error_channel () =
+  let ds =
+    lint
+      {|
+let f h = try Ok (h ()) with _ -> Error "operation failed"
+let g h = try h () with _ -> Cq_util.Error.corrupt ~structure:"fixture" "broken"
+|}
+  in
+  check_lines "routing into the typed error channel is clean" Rule.CQL010 [] ds
+
+let cql010_lib_only () =
+  let ds = lint ~path:"bin/fixture.ml" "let f h = try h () with _ -> ()" in
+  check_lines "binaries may catch-all at the boundary" Rule.CQL010 [] ds
+
+(* ------------------------------------------------------------------ *)
+(* Waiver-file edge cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let waiver_duplicates_rejected () =
+  let contents = "CQL001 lib/a.ml -- first\nCQL001 lib/a.ml -- second\n" in
+  match Waiver.parse ~file:".cqlint" contents with
+  | Ok _ -> Alcotest.fail "duplicate waiver must be rejected"
+  | Error es -> (
+      match es with
+      | [ e ] ->
+          Alcotest.(check int) "second line blamed" 2 e.source_line;
+          Alcotest.(check bool) "mentions duplicate" true (contains ~needle:"duplicate" e.reason);
+          Alcotest.(check bool) "points at the first" true (contains ~needle:"line 1" e.reason)
+      | _ -> Alcotest.failf "expected one error, got %d" (List.length es))
+
+let waiver_distinct_lines_not_duplicates () =
+  let contents = "CQL001 lib/a.ml:3 -- site one\nCQL001 lib/a.ml:9 -- site two\n" in
+  match Waiver.parse ~file:".cqlint" contents with
+  | Ok ws -> Alcotest.(check int) "both kept" 2 (List.length ws)
+  | Error _ -> Alcotest.fail "different lines are different sites"
+
+let waiver_crlf_lines () =
+  let contents = "CQL001 lib/a.ml:3 -- dos line endings\r\nCQL002 lib/b.ml -- also crlf\r\n" in
+  match Waiver.parse ~file:".cqlint" contents with
+  | Error es ->
+      Alcotest.failf "CRLF must parse: %s"
+        (String.concat "; " (List.map Waiver.error_to_string es))
+  | Ok ws -> (
+      Alcotest.(check int) "two entries" 2 (List.length ws);
+      match ws with
+      | [ _; w2 ] ->
+          Alcotest.(check string) "no trailing CR in the justification" "also crlf"
+            w2.justification
+      | _ -> Alcotest.fail "unexpected shape")
+
+let waiver_beyond_cql010_rejected () =
+  expect_reject "rule beyond the set" "CQL011 lib/a.ml -- from the future" "CQL001..CQL010";
+  expect_reject "way beyond" "CQL042 lib/a.ml -- nope" "unknown rule id"
+
+(* ------------------------------------------------------------------ *)
+(* Renderers: schema_version-2 JSON and SARIF 2.1.0                     *)
+(* ------------------------------------------------------------------ *)
+
+let report_fixture f =
+  with_temp_tree
+    [
+      ("lib/a.ml", "let f x y = compare x y\nlet g () = failwith \"x\"\n");
+      ("lib/a.mli", "val f : 'a -> 'a -> int\nval g : unit -> 'b\n");
+      (".cqlint", "CQL002 lib/a.ml -- fixture waiver for the failwith\n");
+    ]
+    (fun root -> f (Engine.run ~root ()))
+
+let json_schema_v2 () =
+  report_fixture (fun report ->
+      let json = Render.json_of_report report in
+      Alcotest.(check bool) "schema_version 2" true (contains ~needle:"\"schema_version\":2" json);
+      Alcotest.(check bool) "rules catalogue present" true (contains ~needle:"\"rules\":[" json);
+      Alcotest.(check bool) "all ten rules listed" true (contains ~needle:"CQL010" json))
+
+let sarif_shape () =
+  report_fixture (fun report ->
+      let sarif = Render.sarif_of_report report in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true
+            (contains ~needle sarif))
+        [
+          "\"version\":\"2.1.0\"";
+          "sarif-schema-2.1.0.json";
+          "\"driver\":{\"name\":\"cqlint\"";
+          "\"ruleId\":\"CQL001\"";
+          "physicalLocation";
+          "\"startLine\":1";
+          (* the rule catalogue is complete even for rules with no hits *)
+          "\"id\":\"CQL010\"";
+          (* the waived CQL002 finding is suppressed, not dropped *)
+          "\"suppressions\":[";
+          "fixture waiver for the failwith";
+        ])
+
+let sarif_columns_one_based () =
+  report_fixture (fun report ->
+      let sarif = Render.sarif_of_report report in
+      (* Diagnostic cols are 0-based; the CQL001 compare at col 12 must
+         render as startColumn 13. *)
+      Alcotest.(check bool) "startColumn is 1-based" true
+        (contains ~needle:"\"startColumn\":13" sarif))
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path manifest                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hot_manifest_lists_annotations () =
+  with_temp_tree
+    [
+      ( "lib/a.ml",
+        "let[@cq.hot] fast x = x\nlet slow x = x\nmodule M = struct\n  let[@cq.hot] inner y \
+         = y\nend\n" );
+      ("lib/a.mli", "val fast : 'a -> 'a\nval slow : 'a -> 'a\nmodule M : sig val inner : 'a -> 'a end\n");
+      ("bin/b.ml", "let[@cq.hot] main () = ()\n");
+    ]
+    (fun root ->
+      Alcotest.(check (list string))
+        "one path:name line per [@cq.hot] binding, sorted"
+        [ "bin/b.ml:main"; "lib/a.ml:fast"; "lib/a.ml:inner" ]
+        (Engine.hot_manifest ~root))
+
+(* ------------------------------------------------------------------ *)
 (* Meta: the repository itself lints clean                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -406,6 +786,46 @@ let () =
           Alcotest.test_case "waived" `Quick cql005_waived_via_file;
           Alcotest.test_case "stale waiver fails" `Quick stale_waiver_fails;
         ] );
+      ( "cql006",
+        [
+          Alcotest.test_case "hits" `Quick cql006_hits;
+          Alcotest.test_case "transitive into spawned fn" `Quick cql006_transitive;
+          Alcotest.test_case "mutex-guarded negative" `Quick cql006_mutex_guarded;
+          Alcotest.test_case "atomic + handover negative" `Quick cql006_atomic_and_handover;
+          Alcotest.test_case "no spawn, no findings" `Quick cql006_no_spawn_no_findings;
+        ] );
+      ( "cql007",
+        [
+          Alcotest.test_case "hits" `Quick cql007_hits;
+          Alcotest.test_case "scoped to event loop" `Quick cql007_scoped_to_event_loop;
+          Alcotest.test_case "blocking_ok on expression" `Quick cql007_blocking_ok_expression;
+          Alcotest.test_case "blocking_ok on binding" `Quick cql007_blocking_ok_binding;
+          Alcotest.test_case "non-blocking calls clean" `Quick cql007_nonblocking_calls_clean;
+        ] );
+      ( "cql008",
+        [
+          Alcotest.test_case "hits" `Quick cql008_hits;
+          Alcotest.test_case "transitive callee" `Quick cql008_transitive_callee;
+          Alcotest.test_case "partial application" `Quick cql008_partial_application;
+          Alcotest.test_case "cold cut" `Quick cql008_cold_cut;
+          Alcotest.test_case "non-hot clean" `Quick cql008_non_hot_clean;
+          Alcotest.test_case "result/raise exempt" `Quick cql008_result_and_raise_exempt;
+          Alcotest.test_case "gated + loops clean" `Quick cql008_gated_and_loops_clean;
+        ] );
+      ( "cql009",
+        [
+          Alcotest.test_case "hits" `Quick cql009_hits;
+          Alcotest.test_case "hot is legal" `Quick cql009_hot_is_legal;
+          Alcotest.test_case "transitively hot is legal" `Quick cql009_transitively_hot_is_legal;
+          Alcotest.test_case "checked access clean" `Quick cql009_checked_access_clean;
+        ] );
+      ( "cql010",
+        [
+          Alcotest.test_case "hits" `Quick cql010_hits;
+          Alcotest.test_case "non-hits" `Quick cql010_non_hits;
+          Alcotest.test_case "error-channel routing" `Quick cql010_routed_through_error_channel;
+          Alcotest.test_case "lib-only" `Quick cql010_lib_only;
+        ] );
       ( "waivers",
         [
           Alcotest.test_case "good lines" `Quick waiver_parse_good;
@@ -413,7 +833,19 @@ let () =
           Alcotest.test_case "all bad lines reported" `Quick waiver_parse_reports_all_bad_lines;
           Alcotest.test_case "coverage matching" `Quick waiver_covers;
           Alcotest.test_case "syntax errors reported" `Quick syntax_error_is_reported;
+          Alcotest.test_case "duplicates rejected" `Quick waiver_duplicates_rejected;
+          Alcotest.test_case "distinct lines kept" `Quick waiver_distinct_lines_not_duplicates;
+          Alcotest.test_case "crlf lines" `Quick waiver_crlf_lines;
+          Alcotest.test_case "beyond CQL010 rejected" `Quick waiver_beyond_cql010_rejected;
         ] );
+      ( "render",
+        [
+          Alcotest.test_case "json schema v2" `Quick json_schema_v2;
+          Alcotest.test_case "sarif shape" `Quick sarif_shape;
+          Alcotest.test_case "sarif 1-based columns" `Quick sarif_columns_one_based;
+        ] );
+      ( "manifest",
+        [ Alcotest.test_case "hot manifest" `Quick hot_manifest_lists_annotations ] );
       ( "meta",
         [
           Alcotest.test_case "repo lints clean" `Quick repo_lints_clean;
