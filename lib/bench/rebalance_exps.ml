@@ -1,0 +1,140 @@
+(* Adaptive rebalancing under hotspot drift: the rebalance-drift
+   experiment replays a walking Zipf-hotspot stream (Fault.gen_drift —
+   online register/deregister mid-ingest, registration mass piled on
+   one home shard, the pile walking across strips) through the
+   parallel engine and measures what the strip rebalancer buys. *)
+
+module Par = Cq_engine.Parallel
+module Fault = Cq_robust.Fault
+
+(* Replay one drift stream into a parallel engine and collect the
+   delivered-result multiset alongside the rebalancer's own ledger.
+   The handle queue mirrors Oracle.run_drift: Drift_deregister always
+   retires the oldest live registration, so the replay is a pure
+   function of the stream. *)
+let replay ~seed ~shards ~rebalance stream =
+  let t = Par.create ~alpha:0.1 ~seed ~shards ~batch_size:8 ~rebalance () in
+  let results = ref [] in
+  let handles = Queue.create () in
+  let next_qi = ref 0 in
+  let rows = ref 0 in
+  let reg spec =
+    let qi = !next_qi in
+    incr next_qi;
+    let cb (r : Cq_relation.Tuple.r) (s : Cq_relation.Tuple.s) =
+      results := (qi, r.rid, s.sid) :: !results
+    in
+    Queue.add (Par.register t spec cb) handles
+  in
+  let (), dt =
+    Cq_util.Clock.time (fun () ->
+        Array.iter
+          (fun op ->
+            match op with
+            | Fault.Drift_register { range } -> reg (Par.Band { range })
+            | Fault.Drift_register_select { range_a; range_c } ->
+                reg (Par.Select { range_a; range_c })
+            | Fault.Drift_deregister -> (
+                match Queue.take_opt handles with
+                | Some sub -> ignore (Par.deregister t sub)
+                | None -> ())
+            | Fault.Drift_r batch ->
+                rows := !rows + Array.length batch;
+                Par.ingest_batch t Par.R batch
+            | Fault.Drift_s batch ->
+                rows := !rows + Array.length batch;
+                Par.ingest_batch t Par.S batch
+            | Fault.Drift_flush -> ignore (Par.flush t))
+          stream;
+        ignore (Par.flush t))
+  in
+  Par.check_invariants t;
+  let rb = Par.rebalance_stats t in
+  let loads = Par.shard_loads t in
+  let delivered = Par.results_delivered t in
+  Par.shutdown t;
+  let cmp (q1, r1, s1) (q2, r2, s2) =
+    let c = Int.compare q1 q2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare r1 r2 in
+      if c <> 0 then c else Int.compare s1 s2
+  in
+  (List.sort cmp !results, delivered, rb, loads, !rows, dt)
+
+(* max(load)·n / total over the post-run per-shard query loads — the
+   same ratio the rebalancer steers on, here from the final placement. *)
+let final_query_ratio (loads : Par.shard_load array) =
+  let total = Array.fold_left (fun a l -> a + l.Par.sl_queries) 0 loads in
+  let worst = Array.fold_left (fun a l -> Int.max a l.Par.sl_queries) 0 loads in
+  if total = 0 then 1.0
+  else float_of_int (worst * Array.length loads) /. float_of_int total
+
+let rebalance_drift (scale : Setup.scale) =
+  Report.section "rebalance-drift" "Adaptive shard rebalancing under hotspot drift";
+  Report.note "A Zipf hotspot whose sites sit shards x strip-width apart parks";
+  Report.note "every query on one home shard, then walks (DESIGN.md s15): without";
+  Report.note "rebalancing the placement stays pathological for the whole run.";
+  Report.note "The rebalancer migrates whole strips at flush barriers; the";
+  Report.note "delivered multiset must not notice (checked against 1 shard here,";
+  Report.note "and against the oracle under 100+ seeds in the fuzz suite).";
+  let max_shards = List.fold_left Int.max 1 scale.shards in
+  let threshold = match scale.rebalance with Some t -> t | None -> 1.5 in
+  let seed = 11 in
+  let n_ops = Int.max 240 scale.events in
+  Report.json_param "threshold" (Printf.sprintf "%.2f" threshold);
+  Report.json_param "check_every" "2";
+  Report.json_param "drift_ops" (string_of_int n_ops);
+  Report.json_param "max_shards" (string_of_int max_shards);
+  let stream = Fault.gen_drift ~shards:max_shards ~seed ~n:n_ops () in
+  let armed = Some { Cq_engine.Engine.Config.threshold; check_every = 2 } in
+  let base_results, base_delivered, _, _, _, _ =
+    replay ~seed ~shards:1 ~rebalance:None stream
+  in
+  let rows =
+    List.concat_map
+      (fun shards ->
+        List.map
+          (fun rebalance ->
+            let label = match rebalance with Some _ -> "on" | None -> "off" in
+            let results, delivered, rb, loads, n_rows, dt =
+              replay ~seed ~shards ~rebalance stream
+            in
+            let matches =
+              delivered = base_delivered
+              && List.equal
+                   (fun (q1, r1, s1) (q2, r2, s2) -> q1 = q2 && r1 = r2 && s1 = s2)
+                   results base_results
+            in
+            let ratio = final_query_ratio loads in
+            let tput = float_of_int n_rows /. dt in
+            let key k = Printf.sprintf "shards_%d_rb_%s_%s" shards label k in
+            Report.json_param (key "migrations") (string_of_int rb.Par.rb_migrations);
+            Report.json_param (key "migrated_queries")
+              (string_of_int rb.Par.rb_migrated_queries);
+            Report.json_param (key "final_query_ratio") (Printf.sprintf "%.3f" ratio);
+            Report.json_param (key "matches_one_shard") (string_of_bool matches);
+            [
+              string_of_int shards;
+              label;
+              Report.fmt_throughput tput;
+              string_of_int rb.Par.rb_checks;
+              string_of_int rb.Par.rb_migrations;
+              string_of_int rb.Par.rb_migrated_queries;
+              Printf.sprintf "%.2f" ratio;
+              string_of_int delivered;
+              (if matches then "yes" else "NO");
+            ])
+          (if shards = 1 then [ None ] else [ None; armed ]))
+      scale.shards
+  in
+  Report.table
+    ~header:
+      [
+        "shards"; "rebalance"; "rows/s"; "checks"; "migrations"; "migrated qs";
+        "final ratio"; "results"; "= 1 shard";
+      ]
+    ~rows;
+  Report.note "final ratio: max(queries)·shards / total over the end-of-run";
+  Report.note "placement — 1.0 is perfectly flat, %d is everything on one shard."
+    max_shards

@@ -1,0 +1,11 @@
+(** The [rebalance-drift] experiment: a walking Zipf-hotspot stream
+    ({!Cq_robust.Fault.gen_drift}) replayed through the parallel engine
+    at each shard count of the sweep, with the strip rebalancer off and
+    armed, reporting migrations, migrated queries, the end-of-run
+    load-imbalance ratio, and whether the delivered multiset matches
+    the 1-shard run bit-for-bit. *)
+
+val rebalance_drift : Setup.scale -> unit
+(** [scale.rebalance] overrides the imbalance threshold (default 1.5);
+    [scale.events] scales the drift-stream length (floor 240);
+    [scale.shards] is the sweep. *)

@@ -31,6 +31,8 @@ module Config = struct
     | "shed" -> Ok Shed
     | s -> Error (Printf.sprintf "unknown overload policy %S (block|reject|shed)" s)
 
+  type rebalance = { threshold : float; check_every : int }
+
   type t = {
     alpha : float;
     epsilon : float;
@@ -41,6 +43,7 @@ module Config = struct
     batch_size : int;
     overload : overload;
     shed_rate : float;
+    rebalance : rebalance option;
   }
 
   let default =
@@ -54,6 +57,7 @@ module Config = struct
       batch_size = 256;
       overload = Block;
       shed_rate = 1.0;
+      rebalance = None;
     }
 
   (* The single validator behind every try_create path (sequential and
@@ -74,7 +78,24 @@ module Config = struct
                 | Ok _ -> (
                     match Err.in_unit_open_closed ~name:"shed_rate" t.shed_rate with
                     | Error _ as e -> e
-                    | Ok _ -> Ok t))))
+                    | Ok _ -> (
+                        match t.rebalance with
+                        | None -> Ok t
+                        | Some { threshold; check_every } ->
+                            if not (Float.is_finite threshold && threshold >= 1.0) then
+                              Error
+                                (Err.Invalid_parameter
+                                   {
+                                     name = "rebalance.threshold";
+                                     value = Printf.sprintf "%g" threshold;
+                                     expected = "a finite imbalance ratio >= 1.0";
+                                   })
+                            else (
+                              match
+                                Err.at_least ~name:"rebalance.check_every" ~min:1 check_every
+                              with
+                              | Error _ as e -> e
+                              | Ok _ -> Ok t))))))
 end
 
 type subscription =
@@ -477,7 +498,7 @@ let try_create_cfg (cfg : Config.t) =
 let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
 
 let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
-    ?shed_rate () =
+    ?shed_rate ?rebalance () =
   let d = Config.default in
   try_create_cfg
     {
@@ -490,13 +511,14 @@ let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?ove
       batch_size = Option.value batch_size ~default:d.batch_size;
       overload = Option.value overload ~default:d.overload;
       shed_rate = Option.value shed_rate ~default:d.shed_rate;
+      rebalance = Option.value rebalance ~default:d.rebalance;
     }
 
 let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload ?shed_rate
-    () =
+    ?rebalance () =
   Err.ok_exn
     (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
-       ?shed_rate ())
+       ?shed_rate ?rebalance ())
 
 let fresh_qid t =
   let q = t.next_qid in

@@ -19,6 +19,14 @@ let m_merge_ns = Metrics.histogram "parallel.merge_ns"
 let m_batches = Metrics.counter "parallel.batches"
 let m_imbalance = Metrics.gauge "parallel.shard_imbalance"
 
+(* Rebalancer observability: checks run, whole-group (strip) moves,
+   queries carried by those moves, and the load-imbalance ratio seen at
+   the last check.  All recorded on the coordinator's domain. *)
+let m_rb_checks = Metrics.counter "parallel.rebalance.checks"
+let m_rb_migrations = Metrics.counter "parallel.rebalance.migrations"
+let m_rb_migrated = Metrics.counter "parallel.rebalance.migrated_queries"
+let m_rb_ratio = Metrics.gauge "parallel.rebalance.last_ratio"
+
 (* Overload-management observability: admission-control rejections
    (Reject policy), whole chunks dropped because a queue stayed full
    past the shed-mode grace window, the effective keep-rate of the most
@@ -44,9 +52,28 @@ let compare_tagged a b =
     let c = Int.compare a.shard b.shard in
     if c <> 0 then c else Int.compare a.idx b.idx
 
-type kind = Band | Select
+(* The coordinator keeps every query's full definition: routing needs
+   its partition-axis strip, and migration replays the definition into
+   the target shard (the data plane is broadcast-replicated, so the
+   definition is the whole of a query's portable state). *)
+type spec =
+  | Band of { range : I.t }
+  | Select of { range_a : I.t; range_c : I.t }
 
-type subscription = { sub_qid : int; sub_shard : int }
+(* A subscription names only the query: the owning shard is looked up
+   at use time, because the rebalancer may have migrated the query
+   since the handle was issued. *)
+type subscription = { sub_qid : int }
+
+(* Coordinator-side record of one live query.  [rg_window] counts the
+   results delivered since the last rebalance check — the windowed
+   load signal the migration policy reads. *)
+type reg = {
+  rg_spec : spec;
+  rg_cb : Tuple.r -> Tuple.s -> unit;
+  rg_strip : int;
+  mutable rg_window : int;
+}
 
 (* What a shard reports at every barrier: its drained result buffer
    plus the stats/snapshot block, captured on the shard's own domain
@@ -85,6 +112,19 @@ type shard_state = {
   mutable worker_error : exn option;
   mutable delivered : int;  (* coordinator-side running total for this shard *)
   depth_gauge : Metrics.gauge;
+  (* Per-shard load gauges, refreshed from the shard's barrier ack on
+     the coordinator's domain: live queries, stabbing-group count
+     (hotspot groups across both processors), the largest group, and
+     cumulative deliveries. *)
+  queries_gauge : Metrics.gauge;
+  groups_gauge : Metrics.gauge;
+  max_group_gauge : Metrics.gauge;
+  delivered_gauge : Metrics.gauge;
+  (* Latest barrier-ack load figures, kept here so [shard_loads] can
+     report without re-reading the metrics registry. *)
+  mutable ld_queries : int;
+  mutable ld_groups : int;
+  mutable ld_max_group : int;
 }
 
 type par = { shard_states : shard_state array; doms : unit Domain.t array }
@@ -110,8 +150,13 @@ type impl = Seq of seq_state | Par of par
 type t = {
   cfg : E.Config.t;
   impl : impl;
-  cbs : (int, kind * (Tuple.r -> Tuple.s -> unit)) Hashtbl.t;
+  regs : (int, reg) Hashtbl.t;  (* qid -> full query definition *)
   owners : (int, int) Hashtbl.t;  (* qid -> owning shard *)
+  (* Strip-ownership overrides laid down by the rebalancer.  A strip
+     absent here lives on its round-robin home shard; migrating a strip
+     records the new owner so later registrations land with their
+     group. *)
+  strip_owners : (int, int) Hashtbl.t;
   mutable next_qid : int;
   mutable next_seq : int;
   mutable total_delivered : int;
@@ -127,6 +172,13 @@ type t = {
      views of them sit in shard queues; unsealed at the next flush
      barrier, after every shard has consumed its copy of the views. *)
   mutable inflight : Batch.t list;
+  (* Rebalancer bookkeeping: flush barriers seen (the check clock) and
+     the running totals surfaced by [rebalance_stats]. *)
+  mutable flushes : int;
+  mutable n_checks : int;
+  mutable n_migrations : int;
+  mutable n_migrated : int;
+  mutable last_ratio : float;
   mutable stopped : bool;
 }
 
@@ -242,6 +294,17 @@ let try_create_cfg (cfg : E.Config.t) =
                   delivered = 0;
                   depth_gauge =
                     Metrics.gauge (Printf.sprintf "parallel.shard%d.queue_depth" sid);
+                  queries_gauge =
+                    Metrics.gauge (Printf.sprintf "parallel.shard%d.queries" sid);
+                  groups_gauge =
+                    Metrics.gauge (Printf.sprintf "parallel.shard%d.groups" sid);
+                  max_group_gauge =
+                    Metrics.gauge (Printf.sprintf "parallel.shard%d.max_group" sid);
+                  delivered_gauge =
+                    Metrics.gauge (Printf.sprintf "parallel.shard%d.delivered" sid);
+                  ld_queries = 0;
+                  ld_groups = 0;
+                  ld_max_group = 0;
                 })
           in
           (* Shard engines are built here on the coordinator — metric
@@ -269,21 +332,27 @@ let try_create_cfg (cfg : E.Config.t) =
         {
           cfg;
           impl;
-          cbs = Hashtbl.create 64;
+          regs = Hashtbl.create 64;
           owners = Hashtbl.create 64;
+          strip_owners = Hashtbl.create 16;
           next_qid = 0;
           next_seq = 0;
           total_delivered = 0;
           dropped_chunks = 0;
           dropped_rows = 0;
           inflight = [];
+          flushes = 0;
+          n_checks = 0;
+          n_migrations = 0;
+          n_migrated = 0;
+          last_ratio = 1.0;
           stopped = false;
         }
 
 let create_cfg cfg = Err.ok_exn (try_create_cfg cfg)
 
 let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
-    ?shed_rate () =
+    ?shed_rate ?rebalance () =
   let d = E.Config.default in
   try_create_cfg
     {
@@ -296,13 +365,14 @@ let try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?ove
       batch_size = Option.value batch_size ~default:d.batch_size;
       overload = Option.value overload ~default:d.overload;
       shed_rate = Option.value shed_rate ~default:d.shed_rate;
+      rebalance = Option.value rebalance ~default:d.rebalance;
     }
 
 let create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload ?shed_rate
-    () =
+    ?rebalance () =
   Err.ok_exn
     (try_create ?alpha ?epsilon ?seed ?backend ?strategy ?shards ?batch_size ?overload
-       ?shed_rate ())
+       ?shed_rate ?rebalance ())
 
 let shards t = t.cfg.shards
 
@@ -320,18 +390,45 @@ let ensure_live t = if t.stopped then Err.raise_ stopped_error
 (* Range partitioning with striping: the partition axis is cut into
    fixed-width strips and strips are dealt round-robin to shards, so a
    cluster of overlapping queries (a future hotspot) stays mostly
-   within one shard while distinct clusters spread across shards. *)
+   within one shard while distinct clusters spread across shards.  The
+   strip is also the rebalancer's migration unit: queries sharing a
+   strip share a stabbing neighbourhood, so they move together. *)
 let strip_width = 128.0
 
-let shard_for t iv =
+let strip_of iv =
+  let mid = I.lo iv +. ((I.hi iv -. I.lo iv) /. 2.0) in
+  if not (Float.is_finite mid) then 0
+  else int_of_float (Float.floor (mid /. strip_width))
+
+let default_shard_of_strip t strip =
   let n = t.cfg.shards in
-  if n = 1 then 0
-  else
-    let mid = I.lo iv +. ((I.hi iv -. I.lo iv) /. 2.0) in
-    if not (Float.is_finite mid) then 0
-    else
-      let strip = int_of_float (Float.floor (mid /. strip_width)) in
-      ((strip mod n) + n) mod n
+  ((strip mod n) + n) mod n
+
+(* Current owner of a strip: the rebalancer's override if it moved the
+   strip, the round-robin home shard otherwise. *)
+let shard_of_strip t strip =
+  match Hashtbl.find_opt t.strip_owners strip with
+  | Some sh -> sh
+  | None -> default_shard_of_strip t strip
+
+(* The partition axis the strips cut: [range] for band queries,
+   [range_c] for selects, mirroring the sequential engine's processor
+   split. *)
+let spec_axis = function
+  | Band { range } -> range
+  | Select { range_c; _ } -> range_c
+
+let validate_spec = function
+  | Band { range } ->
+      if I.is_empty range then Error (Err.Empty_range { name = "range" }) else Ok ()
+  | Select { range_a; range_c } ->
+      if I.is_empty range_a then Error (Err.Empty_range { name = "range_a" })
+      else if I.is_empty range_c then Error (Err.Empty_range { name = "range_c" })
+      else Ok ()
+
+let sub_cmd qid = function
+  | Band { range } -> Sub_band { qid; range }
+  | Select { range_a; range_c } -> Sub_select { qid; range_a; range_c }
 
 let fresh_qid t =
   let q = t.next_qid in
@@ -342,74 +439,79 @@ let record_seq (s : seq_state) qid r s_tup =
   s.buf := { seq = !(s.cur_seq); shard = 0; idx = !(s.cur_idx); qid; r; s = s_tup } :: !(s.buf);
   incr s.cur_idx
 
+(* Install one query: record its definition, route it to its strip's
+   current owner, and replay the subscription there.  O(1) beyond the
+   engine's own subscribe. *)
+let add_query t spec cb =
+  let qid = fresh_qid t in
+  let strip = strip_of (spec_axis spec) in
+  let shard = shard_of_strip t strip in
+  Hashtbl.replace t.regs qid { rg_spec = spec; rg_cb = cb; rg_strip = strip; rg_window = 0 };
+  Hashtbl.replace t.owners qid shard;
+  (match t.impl with
+  | Seq s ->
+      let sub =
+        match spec with
+        | Band { range } -> E.subscribe_band s.eng ~range (record_seq s qid)
+        | Select { range_a; range_c } ->
+            E.subscribe_select s.eng ~range_a ~range_c (record_seq s qid)
+      in
+      Hashtbl.replace s.subs qid sub
+  | Par p -> Bounded_queue.push p.shard_states.(shard).queue (sub_cmd qid spec));
+  { sub_qid = qid }
+
+let remove_query t qid =
+  if not (Hashtbl.mem t.regs qid) then false
+  else begin
+    Hashtbl.remove t.regs qid;
+    let owner = Hashtbl.find_opt t.owners qid in
+    Hashtbl.remove t.owners qid;
+    (match t.impl with
+    | Seq s -> (
+        match Hashtbl.find_opt s.subs qid with
+        | Some esub ->
+            ignore (E.unsubscribe s.eng esub);
+            Hashtbl.remove s.subs qid
+        | None -> ())
+    | Par p -> (
+        match owner with
+        | Some sh -> Bounded_queue.push p.shard_states.(sh).queue (Unsub { qid })
+        | None -> ()));
+    true
+  end
+
 let try_subscribe_band t ~range cb =
   match live t with
   | Error e -> Error e
-  | Ok () ->
-  if I.is_empty range then Error (Err.Empty_range { name = "range" })
-  else begin
-    let qid = fresh_qid t in
-    let shard = shard_for t range in
-    Hashtbl.replace t.cbs qid (Band, cb);
-    Hashtbl.replace t.owners qid shard;
-    (match t.impl with
-    | Seq s -> Hashtbl.replace s.subs qid (E.subscribe_band s.eng ~range (record_seq s qid))
-    | Par p -> Bounded_queue.push p.shard_states.(shard).queue (Sub_band { qid; range }));
-    Ok { sub_qid = qid; sub_shard = shard }
-  end
+  | Ok () -> (
+      let spec = Band { range } in
+      match validate_spec spec with Error e -> Error e | Ok () -> Ok (add_query t spec cb))
 
 let subscribe_band t ~range cb = Err.ok_exn (try_subscribe_band t ~range cb)
 
 let try_subscribe_select t ~range_a ~range_c cb =
   match live t with
   | Error e -> Error e
-  | Ok () ->
-  if I.is_empty range_a then Error (Err.Empty_range { name = "range_a" })
-  else if I.is_empty range_c then Error (Err.Empty_range { name = "range_c" })
-  else begin
-    let qid = fresh_qid t in
-    (* range_c is the partition axis of the select processors. *)
-    let shard = shard_for t range_c in
-    Hashtbl.replace t.cbs qid (Select, cb);
-    Hashtbl.replace t.owners qid shard;
-    (match t.impl with
-    | Seq s ->
-        Hashtbl.replace s.subs qid
-          (E.subscribe_select s.eng ~range_a ~range_c (record_seq s qid))
-    | Par p ->
-        Bounded_queue.push p.shard_states.(shard).queue (Sub_select { qid; range_a; range_c }));
-    Ok { sub_qid = qid; sub_shard = shard }
-  end
+  | Ok () -> (
+      let spec = Select { range_a; range_c } in
+      match validate_spec spec with Error e -> Error e | Ok () -> Ok (add_query t spec cb))
 
 let subscribe_select t ~range_a ~range_c cb =
   Err.ok_exn (try_subscribe_select t ~range_a ~range_c cb)
 
 let unsubscribe t sub =
   ensure_live t;
-  if not (Hashtbl.mem t.cbs sub.sub_qid) then false
-  else begin
-    Hashtbl.remove t.cbs sub.sub_qid;
-    Hashtbl.remove t.owners sub.sub_qid;
-    (match t.impl with
-    | Seq s -> (
-        match Hashtbl.find_opt s.subs sub.sub_qid with
-        | Some esub ->
-            ignore (E.unsubscribe s.eng esub);
-            Hashtbl.remove s.subs sub.sub_qid
-        | None -> ())
-    | Par p ->
-        Bounded_queue.push p.shard_states.(sub.sub_shard).queue (Unsub { qid = sub.sub_qid }));
-    true
-  end
+  remove_query t sub.sub_qid
 
-let count_kind t k =
+let band_query_count t =
   Hashtbl.fold
-    (fun _ (kind, _) acc ->
-      match (kind, k) with Band, Band | Select, Select -> acc + 1 | _ -> acc)
-    t.cbs 0
+    (fun _ rg acc -> match rg.rg_spec with Band _ -> acc + 1 | Select _ -> acc)
+    t.regs 0
 
-let band_query_count t = count_kind t Band
-let select_query_count t = count_kind t Select
+let select_query_count t =
+  Hashtbl.fold
+    (fun _ rg acc -> match rg.rg_spec with Select _ -> acc + 1 | Band _ -> acc)
+    t.regs 0
 
 (* ------------------------------ ingest --------------------------------- *)
 
@@ -612,12 +714,156 @@ let deliver t results =
   let sorted = List.sort compare_tagged results in
   List.iter
     (fun tg ->
-      (match Hashtbl.find_opt t.cbs tg.qid with
-      | Some (_, cb) -> protected cb tg.r tg.s
+      (match Hashtbl.find_opt t.regs tg.qid with
+      | Some rg ->
+          (* The windowed load signal the rebalancer reads: results
+             delivered since the last check.  Counted here, on the
+             already-merged stream, so it is a pure function of the
+             input — identical across runs and across shard layouts. *)
+          rg.rg_window <- rg.rg_window + 1;
+          protected rg.rg_cb tg.r tg.s
       | None -> ());
       t.total_delivered <- t.total_delivered + 1)
     sorted;
   List.length sorted
+
+(* ----------------------------- rebalancing ------------------------------ *)
+
+(* Load model: a shard's load is the sum over its queries of
+   [1 + rg_window] — one point for ownership, plus the results the
+   query delivered since the last check.  Cold queries keep a floor
+   weight so empty shards still attract migrations, and hot groups
+   dominate, which is the point. *)
+let shard_query_loads t =
+  let loads = Array.make t.cfg.shards 0 in
+  Hashtbl.iter
+    (fun qid rg ->
+      match Hashtbl.find_opt t.owners qid with
+      | Some sh -> loads.(sh) <- loads.(sh) + 1 + rg.rg_window
+      | None -> ())
+    t.regs;
+  loads
+
+(* max(load) * shards / total(load): 1.0 is perfectly even, [shards] is
+   everything-on-one-shard. *)
+let imbalance_ratio loads =
+  let total = Array.fold_left ( + ) 0 loads in
+  if total = 0 then 1.0
+  else
+    let mx = Array.fold_left Int.max 0 loads in
+    float_of_int (mx * Array.length loads) /. float_of_int total
+
+(* First-index tie-break keeps the choice a pure function of the load
+   vector. *)
+let arg_extreme cmp loads =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if cmp v loads.(!best) then best := i) loads;
+  !best
+
+(* Move one whole strip from [src] to [dst].  The caller runs at a
+   flush barrier, so both queues are drained: the Unsub/Sub pairs land
+   at the same position of both shards' command streams, making the
+   migration point a deterministic batch boundary.  The data plane is
+   broadcast-replicated, so re-subscribing on the target is a complete
+   state transfer — the query's results are identical either side of
+   the move. *)
+let migrate_strip t p ~strip ~src ~dst =
+  let qids =
+    Hashtbl.fold
+      (fun qid rg acc ->
+        if rg.rg_strip = strip then
+          match Hashtbl.find_opt t.owners qid with
+          | Some sh when sh = src -> qid :: acc
+          | Some _ | None -> acc
+        else acc)
+      t.regs []
+    |> List.sort Int.compare
+  in
+  List.iter
+    (fun qid ->
+      match Hashtbl.find_opt t.regs qid with
+      | None -> ()
+      | Some rg ->
+          Bounded_queue.push p.shard_states.(src).queue (Unsub { qid });
+          Bounded_queue.push p.shard_states.(dst).queue (sub_cmd qid rg.rg_spec);
+          Hashtbl.replace t.owners qid dst)
+    qids;
+  Hashtbl.replace t.strip_owners strip dst;
+  List.length qids
+
+(* Runs on the coordinator immediately after every flush barrier's
+   delivery.  Every [check_every] flushes: while the imbalance ratio
+   exceeds the threshold, greedily move the strip that best lowers the
+   heaviest shard's projected load — but only if it strictly improves
+   it, so the loop terminates and cannot oscillate.  All inputs
+   (windowed counts, flush count, config) are pure functions of the
+   input stream, so the migration schedule is too. *)
+let maybe_rebalance t p =
+  match t.cfg.rebalance with
+  | None -> ()
+  | Some { E.Config.threshold; check_every } ->
+      t.flushes <- t.flushes + 1;
+      if t.flushes mod check_every = 0 then begin
+        t.n_checks <- t.n_checks + 1;
+        Metrics.incr m_rb_checks;
+        let loads = shard_query_loads t in
+        let improving = ref true in
+        while !improving do
+          improving := false;
+          let ratio = imbalance_ratio loads in
+          t.last_ratio <- ratio;
+          Metrics.set m_rb_ratio ratio;
+          if ratio > threshold then begin
+            let src = arg_extreme ( > ) loads in
+            let dst = arg_extreme ( < ) loads in
+            if src <> dst then begin
+              (* Weight of every strip hosted on the source shard. *)
+              let strip_w : (int, int) Hashtbl.t = Hashtbl.create 16 in
+              Hashtbl.iter
+                (fun qid rg ->
+                  match Hashtbl.find_opt t.owners qid with
+                  | Some sh when sh = src ->
+                      let w =
+                        match Hashtbl.find_opt strip_w rg.rg_strip with
+                        | Some w -> w
+                        | None -> 0
+                      in
+                      Hashtbl.replace strip_w rg.rg_strip (w + 1 + rg.rg_window)
+                  | Some _ | None -> ())
+                t.regs;
+              (* Candidate strip: minimise the projected heavier side
+                 of the (src, dst) pair; ties break to the smallest
+                 strip id. *)
+              let best = ref None in
+              Hashtbl.iter
+                (fun strip w ->
+                  let projected = Int.max (loads.(src) - w) (loads.(dst) + w) in
+                  match !best with
+                  | None -> best := Some (strip, w, projected)
+                  | Some (bs, _, bp) ->
+                      if projected < bp || (projected = bp && strip < bs) then
+                        best := Some (strip, w, projected))
+                strip_w;
+              match !best with
+              | Some (strip, w, projected) when projected < loads.(src) ->
+                  let moved = migrate_strip t p ~strip ~src ~dst in
+                  loads.(src) <- loads.(src) - w;
+                  loads.(dst) <- loads.(dst) + w;
+                  t.n_migrations <- t.n_migrations + 1;
+                  t.n_migrated <- t.n_migrated + moved;
+                  Metrics.incr m_rb_migrations;
+                  Metrics.add m_rb_migrated moved;
+                  Log.info (fun m ->
+                      m "rebalance: strip %d (%d queries, weight %d) shard %d -> %d" strip
+                        moved w src dst);
+                  improving := true
+              | Some _ | None -> ()
+            end
+          end
+        done;
+        (* Fresh window for the next check. *)
+        Hashtbl.iter (fun _ rg -> rg.rg_window <- 0) t.regs
+      end
 
 (* Run one barrier command (Flush or Check) through every shard and
    wait for all acks before looking at any error — a poisoned shard
@@ -683,6 +929,16 @@ let sync t =
             match ack with
             | Some a ->
                 st.delivered <- st.delivered + List.length a.a_results;
+                (* Refresh the per-shard load gauges from the ack, on
+                   the coordinator's domain — worker-side recording
+                   would race the registry's lock-free cells. *)
+                st.ld_queries <- a.a_band.P.snap_queries + a.a_select.P.snap_queries;
+                st.ld_groups <- a.a_stats.E.band_hotspots + a.a_stats.E.select_hotspots;
+                st.ld_max_group <- a.a_stats.E.max_group_size;
+                Metrics.set st.queries_gauge (float_of_int st.ld_queries);
+                Metrics.set st.groups_gauge (float_of_int st.ld_groups);
+                Metrics.set st.max_group_gauge (float_of_int st.ld_max_group);
+                Metrics.set st.delivered_gauge (float_of_int st.delivered);
                 List.rev_append a.a_results acc
             | None -> acc)
           [] acks
@@ -695,6 +951,10 @@ let sync t =
           (float_of_int (mx * Array.length counts) /. float_of_int total)
       end;
       let n = deliver t all in
+      (* Rebalance checks run here, after delivery at the barrier:
+         queues are drained, windowed counts are fresh, and any
+         migration commands land before the next batch. *)
+      maybe_rebalance t p;
       (Array.to_list (Array.map (fun (_, ack, _) -> ack) acks) |> List.filter_map Fun.id, n)
 
 let flush t =
@@ -710,7 +970,94 @@ let flush t =
 
 let results_delivered t = t.total_delivered
 
+(* ------------------------ elastic registration -------------------------- *)
+
+(* Online registration on a running engine: quiesce at a flush barrier
+   first, so the new query's first observable event is a deterministic
+   stream position (the barrier), then install it exactly like a
+   static subscription. *)
+let try_register t spec cb =
+  match live t with
+  | Error e -> Error e
+  | Ok () -> (
+      match validate_spec spec with
+      | Error e -> Error e
+      | Ok () ->
+          ignore (sync t);
+          Ok (add_query t spec cb))
+
+let register t spec cb = Err.ok_exn (try_register t spec cb)
+
+(* Online deregistration: same barrier discipline.  [Ok false] when the
+   subscription was already gone. *)
+let try_deregister t sub =
+  match live t with
+  | Error e -> Error e
+  | Ok () ->
+      if not (Hashtbl.mem t.regs sub.sub_qid) then Ok false
+      else begin
+        ignore (sync t);
+        Ok (remove_query t sub.sub_qid)
+      end
+
+let deregister t sub = Err.ok_exn (try_deregister t sub)
+
 (* ---------------------------- introspection ----------------------------- *)
+
+type shard_load = {
+  sl_shard : int;
+  sl_queries : int;
+  sl_groups : int;
+  sl_max_group : int;
+  sl_queue_depth : int;
+  sl_delivered : int;
+}
+
+let shard_loads t =
+  ensure_live t;
+  let acks, _ = sync t in
+  match t.impl with
+  | Seq _ -> (
+      match acks with
+      | a :: _ ->
+          [|
+            {
+              sl_shard = 0;
+              sl_queries = a.a_band.P.snap_queries + a.a_select.P.snap_queries;
+              sl_groups = a.a_stats.E.band_hotspots + a.a_stats.E.select_hotspots;
+              sl_max_group = a.a_stats.E.max_group_size;
+              sl_queue_depth = 0;
+              sl_delivered = t.total_delivered;
+            };
+          |]
+      | [] -> [||])
+  | Par p ->
+      Array.map
+        (fun st ->
+          {
+            sl_shard = st.sid;
+            sl_queries = st.ld_queries;
+            sl_groups = st.ld_groups;
+            sl_max_group = st.ld_max_group;
+            sl_queue_depth = Bounded_queue.length st.queue;
+            sl_delivered = st.delivered;
+          })
+        p.shard_states
+
+type rebalance_stats = {
+  rb_checks : int;
+  rb_migrations : int;
+  rb_migrated_queries : int;
+  rb_last_ratio : float;
+}
+
+let rebalance_stats t =
+  {
+    rb_checks = t.n_checks;
+    rb_migrations = t.n_migrations;
+    rb_migrated_queries = t.n_migrated;
+    rb_last_ratio = t.last_ratio;
+  }
 
 let merged_stats (acks : ack list) =
   let band = List.fold_left (fun acc a -> P.merge_snapshot acc a.a_band) P.empty_snapshot acks in
@@ -783,14 +1130,32 @@ let check_invariants t =
   | Par p -> ignore (barrier p Check));
   (* Every registered query is owned by exactly one shard, and the
      shards' query populations add up to the registry. *)
-  if Hashtbl.length t.cbs <> Hashtbl.length t.owners then
-    fail "parallel: %d callbacks for %d owned queries" (Hashtbl.length t.cbs)
+  if Hashtbl.length t.regs <> Hashtbl.length t.owners then
+    fail "parallel: %d registrations for %d owned queries" (Hashtbl.length t.regs)
       (Hashtbl.length t.owners);
   Hashtbl.iter
     (fun qid shard ->
       if shard < 0 || shard >= t.cfg.shards then
         fail "parallel: query %d owned by nonexistent shard %d" qid shard)
     t.owners;
+  Hashtbl.iter
+    (fun strip shard ->
+      if shard < 0 || shard >= t.cfg.shards then
+        fail "parallel: strip %d owned by nonexistent shard %d" strip shard)
+    t.strip_owners;
+  (* Ownership is strip-granular: a query always lives on its strip's
+     current shard, so whole stabbing neighbourhoods migrate together
+     and a re-registration joins its group wherever it moved to. *)
+  Hashtbl.iter
+    (fun qid rg ->
+      let expect = shard_of_strip t rg.rg_strip in
+      match Hashtbl.find_opt t.owners qid with
+      | Some sh when sh = expect -> ()
+      | Some sh ->
+          fail "parallel: query %d on shard %d but its strip %d maps to shard %d" qid sh
+            rg.rg_strip expect
+      | None -> fail "parallel: query %d registered but unowned" qid)
+    t.regs;
   let owned =
     List.fold_left (fun acc a -> acc + a.a_band.P.snap_queries + a.a_select.P.snap_queries) 0 acks
   in

@@ -33,6 +33,22 @@
     replays seeded workloads through both engines and asserts the
     multisets agree.
 
+    {2 Elasticity and rebalancing}
+
+    The engine is {e elastic}: queries join and leave a running engine
+    ({!try_register} / {!try_deregister}), and an optional rebalancer
+    ({!Engine.Config.rebalance}) migrates whole strips — stabbing
+    neighbourhoods — between shards when the load-imbalance ratio
+    crosses a threshold.  Both operations quiesce at a flush barrier,
+    so every membership change happens at a deterministic position of
+    the event stream; and because the data plane is
+    broadcast-replicated (every shard sees every tuple), moving a query
+    is just replaying its definition on the target shard — no state
+    transfer, and the query's result stream is {b identical either side
+    of the move} (only the [shard] component of its merge tags
+    changes).  The full protocol, including why determinism survives,
+    is DESIGN.md §15.
+
     {2 Fallback and caveats}
 
     With [shards = 1] no domains are spawned: commands execute inline
@@ -52,7 +68,20 @@ type t
     {!Engine.try_insert_r} / {!Engine.try_insert_s}. *)
 type side = R | S
 
+(** A continuous query's full, portable definition — everything needed
+    to (re)play it into any shard.  [Band {range}] subscribes to
+    [b - a ∈ range] join results; [Select {range_a; range_c}] to
+    [a ∈ range_a ∧ c ∈ range_c] ones.  The routing strip is derived
+    from [range] (band) or [range_c] (select), the processors'
+    partition axes. *)
+type spec =
+  | Band of { range : Cq_interval.Interval.t }
+  | Select of { range_a : Cq_interval.Interval.t; range_c : Cq_interval.Interval.t }
+
 type subscription
+(** A handle naming one live query.  Deliberately {e not} tied to a
+    shard: the rebalancer may migrate the query at any flush barrier,
+    and the handle keeps working across moves. *)
 
 val try_create_cfg : Engine.Config.t -> (t, Cq_util.Error.t) result
 (** Validates via {!Engine.Config.validate} (so a bad [shards] or
@@ -72,6 +101,7 @@ val try_create :
   ?batch_size:int ->
   ?overload:Engine.Config.overload ->
   ?shed_rate:float ->
+  ?rebalance:Engine.Config.rebalance option ->
   unit ->
   (t, Cq_util.Error.t) result
 
@@ -85,6 +115,7 @@ val create :
   ?batch_size:int ->
   ?overload:Engine.Config.overload ->
   ?shed_rate:float ->
+  ?rebalance:Engine.Config.rebalance option ->
   unit ->
   t
 
@@ -129,9 +160,46 @@ val subscribe_select :
   subscription
 
 val unsubscribe : t -> subscription -> bool
+(** Remove a query without a barrier: results already buffered on its
+    shard (ingested but not yet flushed) are still delivered at the
+    next flush, then silently discarded at the merge.  [false] if the
+    subscription was already gone.  For a deterministic leave point use
+    {!try_deregister}. *)
 
 val band_query_count : t -> int
 val select_query_count : t -> int
+
+(** {2 Elastic registration}
+
+    Online membership changes on a {e running} engine.  Both calls
+    first run a full flush barrier (cost: one {!flush}, i.e. one
+    queue-drain round-trip per shard plus the merge), so the join or
+    leave point is a deterministic batch boundary of the event stream:
+    replaying the same call sequence against the same input yields
+    bit-for-bit the same output, for any shard count.  Beyond the
+    barrier, registration is O(1) on the coordinator plus one
+    subscribe on the owning shard. *)
+
+val try_register :
+  t ->
+  spec ->
+  (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) ->
+  (subscription, Cq_util.Error.t) result
+(** Flush-barrier quiesce, then install the query on its strip's
+    {e current} owner — which may be a migrated shard, so a
+    re-registration lands with the rest of its stabbing neighbourhood.
+    Pending results of other queries are delivered by the implicit
+    flush.  Errors: empty ranges ([Empty_range]), dead engine. *)
+
+val register :
+  t -> spec -> (Cq_relation.Tuple.r -> Cq_relation.Tuple.s -> unit) -> subscription
+
+val try_deregister : t -> subscription -> (bool, Cq_util.Error.t) result
+(** Flush-barrier quiesce (delivering everything the query produced up
+    to the barrier), then remove it.  [Ok false] when the subscription
+    was already gone — in that case no barrier runs. *)
+
+val deregister : t -> subscription -> bool
 
 (** {2 Batch ingest} *)
 
@@ -221,6 +289,40 @@ val stats : t -> Engine.stats
 val shard_result_counts : t -> int array
 (** Results delivered per shard so far — the load-balance signal behind
     the [parallel.shard_imbalance] gauge. *)
+
+(** One shard's load figures, as of the most recent flush barrier.
+    The same values are exported through [Cq_obs.Metrics] as
+    [parallel.shard<i>.{queue_depth,queries,groups,max_group,delivered}]
+    gauges (coordinator-owned cells; recording obeys the global
+    metrics switch). *)
+type shard_load = {
+  sl_shard : int;
+  sl_queries : int;  (** Live queries hosted on the shard. *)
+  sl_groups : int;
+      (** Stabbing groups (hotspot groups, band + select trackers). *)
+  sl_max_group : int;  (** Largest single stabbing group. *)
+  sl_queue_depth : int;  (** Commands waiting in the shard's queue. *)
+  sl_delivered : int;  (** Results delivered by the shard so far. *)
+}
+
+val shard_loads : t -> shard_load array
+(** Flushes (refreshing every figure), then reports one entry per
+    shard.  [shards = 1] reports a single synthetic entry.  O(shards)
+    beyond the flush. *)
+
+(** Cumulative rebalancer activity.  All zeros unless
+    {!Engine.Config.rebalance} is set. *)
+type rebalance_stats = {
+  rb_checks : int;  (** Imbalance checks run (every [check_every] flushes). *)
+  rb_migrations : int;  (** Whole-strip moves executed. *)
+  rb_migrated_queries : int;  (** Queries carried by those moves. *)
+  rb_last_ratio : float;
+      (** Imbalance ratio after the latest check:
+          [max(load) * shards / total(load)], 1.0 = perfectly even. *)
+}
+
+val rebalance_stats : t -> rebalance_stats
+(** O(1); no barrier. *)
 
 val shed_info : t -> Engine.degraded list
 (** Flushes, then returns the degraded-answer reports of every query

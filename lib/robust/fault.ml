@@ -159,6 +159,100 @@ let gen_burst ~seed ~n =
         | 1 -> Burst_s (rows (1 + Rng.int rng 8))
         | _ -> Burst_r (rows (1 + Rng.int rng 8)))
 
+(* ------------------------------------------------------------------ *)
+(* Hotspot-drift streams                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Z = Cq_engine.Zipf_model
+
+type drift_op =
+  | Drift_register of { range : I.t }
+  | Drift_register_select of { range_a : I.t; range_c : I.t }
+  | Drift_deregister
+  | Drift_r of (float * float) array
+  | Drift_s of (float * float) array
+  | Drift_flush
+
+let pp_drift_op fmt = function
+  | Drift_register { range } -> Format.fprintf fmt "drift-register %s" (I.to_string range)
+  | Drift_register_select { range_a; range_c } ->
+      Format.fprintf fmt "drift-register-select %s %s" (I.to_string range_a)
+        (I.to_string range_c)
+  | Drift_deregister -> Format.fprintf fmt "drift-deregister"
+  | Drift_r rows -> Format.fprintf fmt "drift-r[%d]" (Array.length rows)
+  | Drift_s rows -> Format.fprintf fmt "drift-s[%d]" (Array.length rows)
+  | Drift_flush -> Format.fprintf fmt "drift-flush"
+
+(* One strip of Parallel's partition axis is 128 wide; placing the
+   drift sites exactly [shards] strips apart parks every Zipf rank on
+   the same home shard, so registration mass concentrates there and
+   the rebalancer must fire.  The lattice then walks by a seeded
+   velocity, carrying the pile-up across strip boundaries. *)
+let drift_strip_width = 128.0
+let drift_flush_every = 6
+
+let gen_drift ?(shards = 4) ~seed ~n () =
+  let rng = Rng.create seed in
+  let d =
+    {
+      Z.dr_groups = 3;
+      dr_beta = 1.1 +. (Rng.float rng *. 0.6);
+      dr_center0 = (drift_strip_width /. 2.0) +. (Rng.float rng *. 20.0) -. 10.0;
+      dr_spread = float_of_int shards *. drift_strip_width;
+      dr_velocity = 8.0 +. (Rng.float rng *. 32.0);
+    }
+  in
+  let step = ref 0 in
+  let site rank = Z.group_center d ~step:!step ~rank in
+  let register i =
+    (* The first [dr_groups] registrations take one rank each, so at
+       least two distinct strips are always populated and a whole-strip
+       move can strictly improve the imbalance. *)
+    let rank = if i < d.Z.dr_groups then i else Z.sample_rank d ~u:(Rng.float rng) in
+    let c = site rank in
+    let w = 4.0 +. (Rng.float rng *. 40.0) in
+    if Rng.int rng 4 = 0 then
+      let a_lo = c -. 500.0 in
+      Drift_register_select
+        { range_a = I.make a_lo (a_lo +. 1000.0); range_c = I.make (c -. (w /. 2.0)) (c +. (w /. 2.0)) }
+    else Drift_register { range = I.make (c -. (w /. 2.0)) (c +. (w /. 2.0)) }
+  in
+  (* Rows aimed at the hot sites: an R row [(u, u + c)] has band value
+     [b - a = c], an S row [(u + c, c)] has select attribute [c], so
+     both query kinds at site [c] actually deliver and the windowed
+     load signal tracks the walk. *)
+  let rows len =
+    Array.init len (fun _ ->
+        let c = site (Z.sample_rank d ~u:(Rng.float rng)) in
+        let u = (Rng.float rng *. 40.0) -. 20.0 in
+        if Rng.bool rng then (u, u +. c) else (u +. c, c))
+  in
+  let n_reg = ref 0 and live = ref 0 in
+  Array.init n (fun i ->
+      if i mod drift_flush_every = drift_flush_every - 1 then begin
+        incr step;
+        Drift_flush
+      end
+      else if !live < d.Z.dr_groups then begin
+        let op = register !n_reg in
+        incr n_reg;
+        incr live;
+        op
+      end
+      else
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 ->
+            let op = register !n_reg in
+            incr n_reg;
+            incr live;
+            op
+        | 3 when !live > d.Z.dr_groups + 2 ->
+            decr live;
+            Drift_deregister
+        | _ ->
+            let len = 2 + Rng.int rng 14 in
+            if Rng.bool rng then Drift_r (rows len) else Drift_s (rows len))
+
 let tuple_cap = 400
 let query_cap = 60
 

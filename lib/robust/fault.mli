@@ -69,3 +69,32 @@ val gen_burst : seed:int -> n:int -> burst_op array
     frequent flushes) with burst phases (large 64–256-row batches,
     no flush), so ingest repeatedly outruns drain and the configured
     overload policy must engage.  Pure function of [seed]. *)
+
+(** {2 Hotspot-drift streams} *)
+
+type drift_op =
+  | Drift_register of { range : Cq_interval.Interval.t }
+      (** Register a band query, live, mid-stream. *)
+  | Drift_register_select of {
+      range_a : Cq_interval.Interval.t;
+      range_c : Cq_interval.Interval.t;
+    }
+  | Drift_deregister  (** Deregister the driver's oldest live query. *)
+  | Drift_r of (float * float) array  (** A batch of R rows near the hotspot. *)
+  | Drift_s of (float * float) array
+  | Drift_flush  (** Barrier: deliver, and advance the hotspot walk. *)
+
+val pp_drift_op : Format.formatter -> drift_op -> unit
+
+val gen_drift : ?shards:int -> seed:int -> n:int -> unit -> drift_op array
+(** A {!Cq_engine.Zipf_model.drift} hotspot that walks over the
+    parallel engine's partition axis.  The Zipf sites are laid exactly
+    [shards] (default 4) strips apart, so every rank shares a home
+    shard: registrations pile onto one shard, the imbalance ratio hits
+    [shards], and a configured rebalancer {e must} migrate — then the
+    lattice walks (a seeded velocity per flush step) and drags the
+    pile-up across strip boundaries, forcing repeat migrations.  The
+    first three registrations take distinct ranks so at least two
+    strips are populated (a precondition for a strictly-improving
+    whole-strip move).  Pure function of [seed]; all intervals and rows
+    are materialised in the array, so replays are exact. *)

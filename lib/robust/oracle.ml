@@ -627,6 +627,96 @@ let run_parallel ?(shards = 2) ~seed ~ops () =
    with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
   finish run ~ops:total_rows ~final_size:total_rows
 
+(* Drift differential run: a {!Fault.gen_drift} walking-hotspot stream
+   — live registration/deregistration mid-ingest, registration mass
+   Zipf-concentrated on one home shard, the concentration walking
+   across strips — is replayed verbatim into a 1-shard engine (no
+   domains, no rebalancer activity) and an N-shard engine with the
+   rebalancer armed.  Two properties under test: the delivered
+   (query, rid, sid) multiset is bit-for-bit independent of the shard
+   count {e even while strips migrate}, and the stream's pile-up
+   actually forces at least one migration (otherwise the run proves
+   nothing about migration safety). *)
+let run_drift ?(shards = 4) ~seed ~ops () =
+  let run = make_run (Printf.sprintf "drift[%d]" shards) seed in
+  let stream = Fault.gen_drift ~shards ~seed ~n:(max 60 ops) () in
+  let collect n_shards =
+    let t =
+      Par.create ~alpha:0.1 ~seed ~shards:n_shards ~batch_size:8
+        ~rebalance:(Some { Engine.Config.threshold = 1.5; check_every = 2 })
+        ()
+    in
+    let results = ref [] in
+    let handles = Queue.create () in
+    let next_qi = ref 0 in
+    let reg spec =
+      let qi = !next_qi in
+      incr next_qi;
+      let cb (r : Tuple.r) (s : Tuple.s) = results := (qi, r.rid, s.sid) :: !results in
+      Queue.add (Par.register t spec cb) handles
+    in
+    Array.iter
+      (fun op ->
+        match op with
+        | Fault.Drift_register { range } -> reg (Par.Band { range })
+        | Fault.Drift_register_select { range_a; range_c } ->
+            reg (Par.Select { range_a; range_c })
+        | Fault.Drift_deregister -> (
+            match Queue.take_opt handles with
+            | Some sub -> ignore (Par.deregister t sub)
+            | None -> ())
+        | Fault.Drift_r rows -> Par.ingest_batch t Par.R rows
+        | Fault.Drift_s rows -> Par.ingest_batch t Par.S rows
+        | Fault.Drift_flush -> ignore (Par.flush t))
+      stream;
+    ignore (Par.flush t);
+    Par.check_invariants t;
+    let delivered = Par.results_delivered t in
+    let rb = Par.rebalance_stats t in
+    Par.shutdown t;
+    (!results, delivered, rb)
+  in
+  (try
+     let seq_rs, seq_n, _ = collect 1 in
+     let par_rs, par_n, rb = collect shards in
+     if rb.Par.rb_migrations < 1 then
+       diverge run 0 "drift stream forced no migration (%d checks, ratio %.2f)"
+         rb.Par.rb_checks rb.Par.rb_last_ratio
+     else if seq_n <> par_n then
+       diverge run 0 "sequential delivered %d results, %d shards delivered %d" seq_n shards
+         par_n
+     else begin
+       let cmp (q1, r1, s1) (q2, r2, s2) =
+         let c = Int.compare q1 q2 in
+         if c <> 0 then c
+         else
+           let c = Int.compare r1 r2 in
+           if c <> 0 then c else Int.compare s1 s2
+       in
+       let a = List.sort cmp seq_rs and b = List.sort cmp par_rs in
+       let rec first_diff i xs ys =
+         match (xs, ys) with
+         | [], [] -> ()
+         | (q, r, s) :: _, [] ->
+             diverge run i "result (q=%d, rid=%d, sid=%d) missing under %d shards" q r s
+               shards
+         | [], (q, r, s) :: _ ->
+             diverge run i "result (q=%d, rid=%d, sid=%d) fabricated under %d shards" q r s
+               shards
+         | x :: xs', y :: ys' ->
+             if cmp x y = 0 then first_diff (i + 1) xs' ys'
+             else
+               let q, r, s = x and q', r', s' = y in
+               diverge run i
+                 "multisets differ under migration: sequential has (q=%d, rid=%d, sid=%d), \
+                  %d shards have (q=%d, rid=%d, sid=%d)"
+                 q r s shards q' r' s'
+       in
+       first_diff 0 a b
+     end
+   with exn -> diverge run 0 "uncaught exception: %s" (Printexc.to_string exn));
+  finish run ~ops:(Array.length stream) ~final_size:(Array.length stream)
+
 (* Flat-batch differential check: one seeded insert-only workload runs
    twice through identically configured sequential engines — once a
    row at a time (insert_r/insert_s), once through the flat-batch path

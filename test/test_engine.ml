@@ -479,6 +479,116 @@ let prop_parallel_matches_sequential =
                (List.length got) (List.length base))
         [ 1; 2; 4 ])
 
+(* Elastic registration: deregistering a query at a flush barrier and
+   immediately re-registering the same definition is a semantic no-op —
+   delivery is driven by incoming events joining against the fully
+   replicated tables, so the churned query must deliver exactly what a
+   statically subscribed one does.  Exercises register/deregister's
+   barrier discipline on a live, mid-stream engine. *)
+let run_rereg_scenario ~shards ~churn_at (band_ranges, select_ranges, events) =
+  let t = Par.create ~alpha:0.3 ~shards ~batch_size:8 () in
+  let delivered = ref [] in
+  let handle0 = ref None in
+  let reg_band i range =
+    let sub =
+      Par.register t (Par.Band { range }) (fun r s ->
+          delivered :=
+            (`Band, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)
+    in
+    if i = 0 then handle0 := Some (sub, range)
+  in
+  List.iteri (fun i range -> reg_band i (I.shift range (-5.0))) band_ranges;
+  List.iteri
+    (fun i (range_a, range_c) ->
+      ignore
+        (Par.register t (Par.Select { range_a; range_c }) (fun r s ->
+             delivered :=
+               (`Select, i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+    select_ranges;
+  List.iteri
+    (fun j ev ->
+      (if j = churn_at then
+         match !handle0 with
+         | Some (sub, range) ->
+             ignore (Par.deregister t sub);
+             reg_band 0 range
+         | None -> ());
+      match ev with
+      | InsR (a, b) -> Par.ingest_batch t Par.R [| (a, b) |]
+      | InsS (b, c) -> Par.ingest_batch t Par.S [| (b, c) |])
+    events;
+  ignore (Par.flush t);
+  Par.check_invariants t;
+  Par.shutdown t;
+  !delivered
+
+let prop_rereg_matches_static =
+  QCheck2.Test.make
+    ~name:"elastic: register/deregister/re-register equals a fresh static engine" ~count:30
+    QCheck2.Gen.(pair scenario_gen (int_bound 40))
+    (fun (scenario, churn_at) ->
+      let norm l = List.sort compare l in
+      let base = norm (run_sequential_scenario scenario) in
+      List.for_all
+        (fun shards ->
+          let got = norm (run_rereg_scenario ~shards ~churn_at scenario) in
+          got = base
+          || QCheck2.Test.fail_reportf "shards=%d churn@%d delivered %d results, static %d"
+               shards churn_at (List.length got) (List.length base))
+        [ 1; 3 ])
+
+(* Migration under ingest: pile band queries onto strips 0 and 4 — the
+   same home shard when [shards = 4] — alternate ingest with flushes so
+   the armed rebalancer ([check_every = 1]) migrates strips while later
+   batches are already in flight, and require both that migrations
+   actually happened and that the delivered multiset still matches the
+   1-shard run bit-for-bit. *)
+let test_migration_under_ingest () =
+  let shards = 4 in
+  (* Strip 0 centre and strip [shards] centre: both round-robin to
+     shard 0, so all six queries start on one shard. *)
+  let centers = [ 64.0; 64.0 +. (float_of_int shards *. 128.0) ] in
+  let queries = List.concat_map (fun c -> [ c; c; c ]) centers in
+  let collect n_shards =
+    let t =
+      Par.create ~alpha:0.3 ~shards:n_shards ~batch_size:4
+        ~rebalance:(Some { Cq_engine.Engine.Config.threshold = 1.2; check_every = 1 })
+        ()
+    in
+    let delivered = ref [] in
+    List.iteri
+      (fun i c ->
+        ignore
+          (Par.register t
+             (Par.Band { range = I.make (c -. 8.0) (c +. 8.0) })
+             (fun r s ->
+               delivered :=
+                 (i, r.Cq_relation.Tuple.rid, s.Cq_relation.Tuple.sid) :: !delivered)))
+      queries;
+    for k = 0 to 11 do
+      let u = float_of_int k in
+      List.iter
+        (fun c ->
+          (* R row (u, u + c) has band value c; S row (u + c, c) joins
+             it on b and stabs the selects' c axis. *)
+          Par.ingest_batch t Par.R [| (u, u +. c) |];
+          Par.ingest_batch t Par.S [| (u +. c, c) |])
+        centers;
+      if k mod 2 = 1 then ignore (Par.flush t)
+    done;
+    ignore (Par.flush t);
+    Par.check_invariants t;
+    let rb = Par.rebalance_stats t in
+    Par.shutdown t;
+    (List.sort compare !delivered, rb)
+  in
+  let seq_rs, _ = collect 1 in
+  let par_rs, rb = collect shards in
+  Alcotest.(check bool) "at least one migration fired" true (rb.Par.rb_migrations >= 1);
+  Alcotest.(check bool) "migrated queries counted" true (rb.Par.rb_migrated_queries >= 1);
+  Alcotest.(check int) "same result count" (List.length seq_rs) (List.length par_rs);
+  Alcotest.(check bool) "same result multiset" true (seq_rs = par_rs)
+
 let test_parallel_shutdown_discipline () =
   let t = Par.create ~shards:2 () in
   let hits = ref 0 in
@@ -915,6 +1025,8 @@ let () =
       ( "parallel",
         [
           qc prop_parallel_matches_sequential;
+          qc prop_rereg_matches_static;
+          Alcotest.test_case "migration under ingest" `Quick test_migration_under_ingest;
           Alcotest.test_case "shutdown discipline" `Quick test_parallel_shutdown_discipline;
           Alcotest.test_case "error payload field names" `Quick
             test_error_payload_field_names;

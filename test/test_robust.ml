@@ -80,6 +80,32 @@ let test_fuzz_parallel () =
       check_outcome (Oracle.run_parallel ~shards:4 ~seed ~ops:300 ()))
     (List.init 10 (fun i -> i + 1))
 
+let test_fuzz_drift () =
+  (* The migration-safety sweep: 110 seeds of the walking-hotspot
+     stream, each run required to force at least one strip migration
+     and to stay bit-for-bit multiset-identical to the 1-shard run
+     across them (ISSUE 10's acceptance bar).  A smaller shards = 2
+     sweep covers the minimal fan-out where source and target are the
+     only shards. *)
+  List.iter
+    (fun seed -> check_outcome (Oracle.run_drift ~shards:4 ~seed ~ops:240 ()))
+    (List.init 110 (fun i -> i + 1));
+  List.iter
+    (fun seed -> check_outcome (Oracle.run_drift ~shards:2 ~seed ~ops:240 ()))
+    (List.init 10 (fun i -> i + 1))
+
+let test_drift_gen_deterministic () =
+  let dump ops =
+    String.concat "; "
+      (Array.to_list (Array.map (Format.asprintf "%a" Fault.pp_drift_op) ops))
+  in
+  Alcotest.(check string) "same seed, same drift stream"
+    (dump (Fault.gen_drift ~shards:4 ~seed:5 ~n:200 ()))
+    (dump (Fault.gen_drift ~shards:4 ~seed:5 ~n:200 ()));
+  Alcotest.(check bool) "different seed, different drift stream" true
+    (dump (Fault.gen_drift ~shards:4 ~seed:5 ~n:200 ())
+    <> dump (Fault.gen_drift ~shards:4 ~seed:6 ~n:200 ()))
+
 let test_burst_gen_deterministic () =
   let dump ops =
     String.concat "; "
@@ -257,6 +283,7 @@ let () =
         [
           Alcotest.test_case "stream deterministic" `Quick test_fault_gen_deterministic;
           Alcotest.test_case "burst stream deterministic" `Quick test_burst_gen_deterministic;
+          Alcotest.test_case "drift stream deterministic" `Quick test_drift_gen_deterministic;
           Alcotest.test_case "replay deterministic" `Quick test_fuzz_replay_deterministic;
         ] );
       ( "oracle",
@@ -268,6 +295,8 @@ let () =
           Alcotest.test_case "engine agrees" `Quick test_fuzz_engine;
           Alcotest.test_case "batch ingest matches per-tuple" `Quick test_fuzz_batch;
           Alcotest.test_case "parallel matches sequential" `Quick test_fuzz_parallel;
+          Alcotest.test_case "drift forces migrations, stays deterministic" `Quick
+            test_fuzz_drift;
           Alcotest.test_case "shed answers within claimed bounds" `Quick test_fuzz_shed;
           Alcotest.test_case "adaptive-rate shed answers within bounds" `Quick
             test_fuzz_shed_adaptive;
